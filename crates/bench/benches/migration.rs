@@ -1,0 +1,60 @@
+//! Criterion: real-CPU cost of the OCC migration machinery (copy planning,
+//! validation, BLT commit) — the software side of Figure 3a.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mux::{Mux, MuxOptions, PinnedPolicy, TierConfig, BLOCK};
+use simdev::{DeviceClass, VirtualClock};
+use tvfs::memfs::MemFs;
+use tvfs::{FileSystem, FileType, ROOT_INO};
+
+fn bench_migration(c: &mut Criterion) {
+    let clock = VirtualClock::new();
+    let mux = Arc::new(Mux::new(
+        clock,
+        Arc::new(PinnedPolicy::new(0)),
+        MuxOptions::default(),
+    ));
+    for (i, class) in [DeviceClass::Pmem, DeviceClass::Ssd]
+        .into_iter()
+        .enumerate()
+    {
+        mux.add_tier(
+            TierConfig {
+                name: format!("t{i}"),
+                class,
+            },
+            Arc::new(MemFs::new(format!("t{i}"), 1 << 30)) as Arc<dyn FileSystem>,
+        );
+    }
+    let f = mux.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+    let blocks = 64u64;
+    mux.write(f.ino, 0, &vec![1u8; (blocks * BLOCK) as usize])
+        .unwrap();
+
+    let mut g = c.benchmark_group("migration");
+    g.throughput(Throughput::Bytes(blocks * BLOCK));
+    let mut to = 1u32;
+    g.bench_function("occ_256k_round_trip", |b| {
+        b.iter(|| {
+            mux.migrate_range(f.ino, 0, blocks, to).unwrap();
+            to ^= 1;
+        })
+    });
+    let mut to = 1u32;
+    g.bench_function("lock_based_256k_round_trip", |b| {
+        b.iter(|| {
+            mux.migrate_range_lock_based(f.ino, 0, blocks, to).unwrap();
+            to ^= 1;
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_migration
+}
+criterion_main!(benches);

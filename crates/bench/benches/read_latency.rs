@@ -1,0 +1,63 @@
+//! Criterion: real-CPU cost of Mux's read path vs direct native access
+//! (the software side of the §3.2 read-latency experiment; the virtual-
+//! time shape comparison lives in the `repro` binary).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mux::{LruPolicy, Mux, MuxOptions, TierConfig, BLOCK};
+use simdev::{DeviceClass, VirtualClock};
+use tvfs::memfs::MemFs;
+use tvfs::{FileSystem, FileType, ROOT_INO};
+
+fn setup() -> (Arc<Mux>, u64, Arc<MemFs>, u64) {
+    let clock = VirtualClock::new();
+    let fs = Arc::new(MemFs::new("t0", 1 << 30));
+    let mux = Arc::new(Mux::new(
+        clock,
+        Arc::new(LruPolicy::default_watermarks()),
+        MuxOptions::default(),
+    ));
+    mux.add_tier(
+        TierConfig {
+            name: "t0".into(),
+            class: DeviceClass::Pmem,
+        },
+        fs.clone() as Arc<dyn FileSystem>,
+    );
+    let mf = mux.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+    mux.write(mf.ino, 0, &vec![7u8; (256 * BLOCK) as usize])
+        .unwrap();
+    let nf = fs.create(ROOT_INO, "g", FileType::Regular, 0o644).unwrap();
+    fs.write(nf.ino, 0, &vec![7u8; (256 * BLOCK) as usize])
+        .unwrap();
+    (mux, mf.ino, fs, nf.ino)
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let (mux, mino, native, nino) = setup();
+    let mut buf = [0u8; 1];
+    let mut g = c.benchmark_group("read_1byte");
+    g.bench_function("native_memfs", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 37) % 256;
+            native.read(nino, i * BLOCK + 11, &mut buf).unwrap();
+        })
+    });
+    g.bench_function("through_mux", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 37) % 256;
+            mux.read(mino, i * BLOCK + 11, &mut buf).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_reads
+}
+criterion_main!(benches);

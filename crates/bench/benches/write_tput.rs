@@ -1,0 +1,65 @@
+//! Criterion: real-CPU cost of the Mux write path — dispatch planning,
+//! BLT updates, metadata affinity — over zero-cost in-memory tiers
+//! (software side of §3.2's write experiment).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mux::{Mux, MuxOptions, PinnedPolicy, StripingPolicy, TierConfig, TieringPolicy, BLOCK};
+use simdev::{DeviceClass, VirtualClock};
+use tvfs::memfs::MemFs;
+use tvfs::{FileSystem, FileType, ROOT_INO};
+
+fn mux_with(policy: Arc<dyn TieringPolicy>, n_tiers: usize) -> Arc<Mux> {
+    let clock = VirtualClock::new();
+    let mux = Arc::new(Mux::new(clock, policy, MuxOptions::default()));
+    let classes = [DeviceClass::Pmem, DeviceClass::Ssd, DeviceClass::Hdd];
+    for i in 0..n_tiers {
+        mux.add_tier(
+            TierConfig {
+                name: format!("t{i}"),
+                class: classes[i % 3],
+            },
+            Arc::new(MemFs::new(format!("t{i}"), 1 << 30)) as Arc<dyn FileSystem>,
+        );
+    }
+    mux
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_path");
+    g.throughput(Throughput::Bytes(64 * BLOCK));
+    let data = vec![5u8; (64 * BLOCK) as usize];
+
+    let pinned = mux_with(Arc::new(PinnedPolicy::new(0)), 1);
+    let f = pinned
+        .create(ROOT_INO, "f", FileType::Regular, 0o644)
+        .unwrap();
+    g.bench_function("256k_single_tier", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            pinned.write(f.ino, off % (1 << 28), &data).unwrap();
+            off += 64 * BLOCK;
+        })
+    });
+
+    let striped = mux_with(Arc::new(StripingPolicy::new(4)), 3);
+    let f = striped
+        .create(ROOT_INO, "f", FileType::Regular, 0o644)
+        .unwrap();
+    g.bench_function("256k_striped_3_tiers", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            striped.write(f.ino, off % (1 << 28), &data).unwrap();
+            off += 64 * BLOCK;
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_writes
+}
+criterion_main!(benches);

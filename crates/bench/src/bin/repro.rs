@@ -1,0 +1,112 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--experiment fig3a|fig3b|read-overhead|write-overhead|
+//!        meta-overhead|ablation-occ|ablation-cache|ablation-policy|all]
+//!       [--quick]
+//! ```
+//!
+//! Results print as tables (virtual-time numbers) and are also written as
+//! JSON under `bench_results/`.
+
+use bench::experiments as ex;
+use bench::report;
+
+struct Scale {
+    fig3a_payload: u64,
+    fig3b_total: u64,
+    read_ops: usize,
+    write_ops: usize,
+    ablation_ops: usize,
+    occ_rounds: usize,
+}
+
+const FULL: Scale = Scale {
+    fig3a_payload: 256 << 20,
+    fig3b_total: 256 << 20,
+    read_ops: 20_000,
+    write_ops: 48,
+    ablation_ops: 8_000,
+    occ_rounds: 6,
+};
+
+const QUICK: Scale = Scale {
+    fig3a_payload: 32 << 20,
+    fig3b_total: 32 << 20,
+    read_ops: 4_000,
+    write_ops: 12,
+    ablation_ops: 2_000,
+    occ_rounds: 2,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut experiment = "all".to_string();
+    let mut scale = &FULL;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--experiment" | "-e" => {
+                i += 1;
+                experiment = args.get(i).cloned().unwrap_or_else(|| "all".into());
+            }
+            "--quick" | "-q" => scale = &QUICK,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--experiment NAME] [--quick]\n\
+                     experiments: fig3a fig3b read-overhead write-overhead\n\
+                     \x20            meta-overhead ablation-occ ablation-cache\n\
+                     \x20            ablation-policy all"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let all = experiment == "all";
+    println!("== Mux reproduction harness (virtual-time results) ==\n");
+    if all || experiment == "fig3a" {
+        let r = ex::fig3a(scale.fig3a_payload);
+        println!("{}", report::render_fig3a(&r));
+        let _ = report::write_json("fig3a", &r);
+    }
+    if all || experiment == "fig3b" {
+        let r = ex::fig3b(scale.fig3b_total, 4096);
+        println!("{}", report::render_fig3b(&r));
+        let _ = report::write_json("fig3b", &r);
+    }
+    if all || experiment == "read-overhead" {
+        let r = ex::read_overhead(scale.read_ops);
+        println!("{}", report::render_read_overhead(&r));
+        let _ = report::write_json("read_overhead", &r);
+    }
+    if all || experiment == "write-overhead" {
+        let r = ex::write_overhead(scale.write_ops);
+        println!("{}", report::render_write_overhead(&r));
+        let _ = report::write_json("write_overhead", &r);
+    }
+    if all || experiment == "meta-overhead" {
+        let r = ex::meta_overhead();
+        println!("{}", report::render_meta_overhead(&r));
+        let _ = report::write_json("meta_overhead", &r);
+    }
+    if all || experiment == "ablation-occ" {
+        let r = ex::ablation_occ(scale.occ_rounds);
+        println!("{}", report::render_occ(&r));
+        let _ = report::write_json("ablation_occ", &r);
+    }
+    if all || experiment == "ablation-cache" {
+        let r = ex::ablation_cache(scale.ablation_ops);
+        println!("{}", report::render_cache(&r));
+        let _ = report::write_json("ablation_cache", &r);
+    }
+    if all || experiment == "ablation-policy" {
+        let r = ex::ablation_policy(scale.ablation_ops);
+        println!("{}", report::render_policy(&r));
+        let _ = report::write_json("ablation_policy", &r);
+    }
+}

@@ -1,0 +1,779 @@
+//! One function per table/figure of the paper, plus the ablations listed
+//! in DESIGN.md. All results are returned as serializable structs; the
+//! `repro` binary renders them.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mux::{
+    CacheConfig, CacheController, HotColdPolicy, LruPolicy, MuxOptions, PinnedPolicy,
+    TieringPolicy, BLOCK,
+};
+use serde::Serialize;
+use simdev::DeviceClass;
+use strata::StrataOptions;
+use tvfs::{FileSystem, FileType, ROOT_INO};
+use workloads::{pattern_at, HotCold, Permutation, Sequential, UniformRandom, Zipfian};
+
+use crate::testbed::{build_mux_stack, build_single_tier, build_strata, Capacities, Tier};
+
+fn mk(fs: &dyn FileSystem, name: &str) -> u64 {
+    fs.create(ROOT_INO, name, FileType::Regular, 0o644)
+        .unwrap()
+        .ino
+}
+
+fn mbps(bytes: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return f64::INFINITY;
+    }
+    bytes as f64 / (ns as f64 / 1e9) / 1e6
+}
+
+// ---------------------------------------------------------------------
+// Figure 3a — migration matrix
+// ---------------------------------------------------------------------
+
+/// One cell of the migration matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct MigrationCell {
+    /// Source tier label.
+    pub from: String,
+    /// Destination tier label.
+    pub to: String,
+    /// Mux migration throughput, MB/s.
+    pub mux_mbps: f64,
+    /// Strata migration throughput, MB/s (`None` = not supported).
+    pub strata_mbps: Option<f64>,
+}
+
+/// Figure 3a result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3a {
+    /// The six ordered device pairs.
+    pub cells: Vec<MigrationCell>,
+    /// Headline ratio: Mux / Strata on the PM→SSD path (paper: 2.59×).
+    pub pm_to_ssd_ratio: f64,
+}
+
+/// Runs the Figure 3a experiment: data migration throughput between every
+/// device pair, Mux vs Strata.
+pub fn fig3a(payload_bytes: u64) -> Fig3a {
+    let caps = Capacities::default();
+    let labels = ["PM", "SSD", "HDD"];
+    let mut cells = Vec::new();
+    for from in 0..3u32 {
+        for to in 0..3u32 {
+            if from == to {
+                continue;
+            }
+            // --- Mux: pin data onto `from`, migrate to `to`. Small
+            // native caches so the copy hits devices, not DRAM. ---
+            let policy = Arc::new(PinnedPolicy::new(from));
+            let stack = crate::testbed::build_mux_stack_cached(
+                caps,
+                policy,
+                MuxOptions::default(),
+                4 << 20,
+            );
+            let ino = mk(stack.mux.as_ref(), "victim");
+            let chunk = 4 << 20;
+            let mut off = 0u64;
+            while off < payload_bytes {
+                let n = chunk.min(payload_bytes - off);
+                stack
+                    .mux
+                    .write(ino, off, &pattern_at(off, n as usize))
+                    .unwrap();
+                off += n;
+            }
+            stack.mux.fsync(ino).unwrap();
+            let t0 = stack.clock.now_ns();
+            stack
+                .mux
+                .migrate_range(ino, 0, payload_bytes / BLOCK, to)
+                .unwrap();
+            let mux_mbps = mbps(payload_bytes, stack.clock.now_ns() - t0);
+            // --- Strata: only PM→SSD and PM→HDD exist. ---
+            let strata_mbps = {
+                let s = build_strata(caps, StrataOptions::default());
+                let (from_class, to_class) = (
+                    [DeviceClass::Pmem, DeviceClass::Ssd, DeviceClass::Hdd][from as usize],
+                    [DeviceClass::Pmem, DeviceClass::Ssd, DeviceClass::Hdd][to as usize],
+                );
+                let sino = mk(s.as_ref(), "victim");
+                s.set_placement_target(Some(from as usize));
+                let mut off = 0u64;
+                while off < payload_bytes {
+                    let n = chunk.min(payload_bytes - off);
+                    s.write(sino, off, &pattern_at(off, n as usize)).unwrap();
+                    off += n;
+                }
+                s.force_digest().unwrap();
+                let clock = s.devices()[0].clock().clone();
+                let t0 = clock.now_ns();
+                match s.migrate(from_class, to_class, u64::MAX) {
+                    Ok(_) => Some(mbps(payload_bytes, clock.now_ns() - t0)),
+                    Err(_) => None,
+                }
+            };
+            cells.push(MigrationCell {
+                from: labels[from as usize].into(),
+                to: labels[to as usize].into(),
+                mux_mbps,
+                strata_mbps,
+            });
+        }
+    }
+    let pm_ssd = cells
+        .iter()
+        .find(|c| c.from == "PM" && c.to == "SSD")
+        .unwrap();
+    let ratio = pm_ssd.mux_mbps / pm_ssd.strata_mbps.unwrap_or(f64::INFINITY);
+    Fig3a {
+        pm_to_ssd_ratio: ratio,
+        cells,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 3b — per-device I/O throughput
+// ---------------------------------------------------------------------
+
+/// One device's bar pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3bRow {
+    /// Device label.
+    pub device: String,
+    /// Strata throughput, MB/s.
+    pub strata_mbps: f64,
+    /// Mux throughput, MB/s.
+    pub mux_mbps: f64,
+    /// Mux / Strata (paper: 1.08 / 1.46 / 1.07).
+    pub ratio: f64,
+}
+
+/// Runs the Figure 3b experiment: random-write throughput with all I/O
+/// directed at one device, Strata vs Mux (scaled-down Strata
+/// microbenchmark).
+pub fn fig3b(total_bytes: u64, op_size: u64) -> Vec<Fig3bRow> {
+    let caps = Capacities::default();
+    let mut rows = Vec::new();
+    for (i, tier) in [Tier::Pm, Tier::Ssd, Tier::Hdd].into_iter().enumerate() {
+        // --- Mux, pinned to the tier. ---
+        let stack = build_mux_stack(
+            caps,
+            Arc::new(PinnedPolicy::new(i as u32)),
+            MuxOptions::default(),
+        );
+        // Write-once random order (the paper's 90 GB of random writes,
+        // scaled): every block is written exactly once, shuffled.
+        let region = total_bytes;
+        let ino = mk(stack.mux.as_ref(), "bench");
+        let mut gen = Permutation::new(region, op_size, 42);
+        let t0 = stack.clock.now_ns();
+        let mut written = 0u64;
+        let payload = vec![0xA5u8; op_size as usize];
+        while written < total_bytes {
+            stack.mux.write(ino, gen.next_off(), &payload).unwrap();
+            written += op_size;
+        }
+        stack.mux.fsync(ino).unwrap();
+        let mux_mbps = mbps(total_bytes, stack.clock.now_ns() - t0);
+        // --- Strata, digestion directed at the tier. ---
+        let s = build_strata(caps, StrataOptions::default());
+        s.set_placement_target(Some(i));
+        let sino = mk(s.as_ref(), "bench");
+        let mut gen = Permutation::new(region, op_size, 42);
+        let clock = s.devices()[0].clock().clone();
+        let t0 = clock.now_ns();
+        let mut written = 0u64;
+        while written < total_bytes {
+            s.write(sino, gen.next_off(), &payload).unwrap();
+            written += op_size;
+        }
+        s.sync().unwrap();
+        let strata_mbps = mbps(total_bytes, clock.now_ns() - t0);
+        rows.push(Fig3bRow {
+            device: tier.label().into(),
+            strata_mbps,
+            mux_mbps,
+            ratio: mux_mbps / strata_mbps,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// §3.2 — read-latency overhead
+// ---------------------------------------------------------------------
+
+/// One tier's worst-case read-latency comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReadOverheadRow {
+    /// Tier label.
+    pub tier: String,
+    /// Native average latency, ns.
+    pub native_ns: f64,
+    /// Mux average latency, ns.
+    pub mux_ns: f64,
+    /// Overhead percentage (paper: +52.4 / +87.3 / +6.6).
+    pub overhead_pct: f64,
+}
+
+/// Per-tier configuration for the worst-case read experiment (file size
+/// and page-cache size reproduce each native file system's §3.2 operating
+/// point; see EXPERIMENTS.md).
+fn read_cfg(tier: Tier) -> (u64, u64) {
+    match tier {
+        // DAX: no page cache; file size is immaterial to the hit rate.
+        Tier::Pm => (64 << 20, 0),
+        // Hot working set: file fits fully in the DRAM page cache.
+        Tier::Ssd => (48 << 20, 64 << 20),
+        // Cold tail: the file exceeds the cache by ~0.1 %, so a sliver of
+        // reads pay the full seek penalty and dominate the average.
+        Tier::Hdd => (16402 * 4096, 16384 * 4096),
+    }
+}
+
+/// Runs the §3.2 read experiment: repeated 1-byte reads at random offsets,
+/// Mux vs direct native access.
+pub fn read_overhead(ops: usize) -> Vec<ReadOverheadRow> {
+    let mut rows = Vec::new();
+    for tier in Tier::ALL {
+        let (file_size, cache) = read_cfg(tier);
+        let st = build_single_tier(
+            tier,
+            4 * file_size.max(64 << 20),
+            cache,
+            Arc::new(LruPolicy::default_watermarks()),
+            MuxOptions::default(),
+        );
+        let chunk = 4u64 << 20;
+        // Native measurement.
+        let native_ns = {
+            let ino = mk(st.native.as_ref(), "f");
+            let mut off = 0u64;
+            while off < file_size {
+                let n = chunk.min(file_size - off);
+                st.native
+                    .write(ino, off, &pattern_at(off, n as usize))
+                    .unwrap();
+                off += n;
+            }
+            st.native.fsync(ino).unwrap();
+            let mut gen = UniformRandom::new(file_size, 1, 1, 7);
+            let mut one = [0u8; 1];
+            // Warm the page cache to steady state.
+            for _ in 0..ops {
+                st.native.read(ino, gen.next_off(), &mut one).unwrap();
+            }
+            let t0 = st.native_clock.now_ns();
+            for _ in 0..ops {
+                st.native.read(ino, gen.next_off(), &mut one).unwrap();
+            }
+            (st.native_clock.now_ns() - t0) as f64 / ops as f64
+        };
+        // Mux measurement (same workload, same seed).
+        let mux_ns = {
+            let ino = mk(st.mux.as_ref(), "f");
+            let mut off = 0u64;
+            while off < file_size {
+                let n = chunk.min(file_size - off);
+                st.mux
+                    .write(ino, off, &pattern_at(off, n as usize))
+                    .unwrap();
+                off += n;
+            }
+            st.mux.fsync(ino).unwrap();
+            let mut gen = UniformRandom::new(file_size, 1, 1, 7);
+            let mut one = [0u8; 1];
+            for _ in 0..ops {
+                st.mux.read(ino, gen.next_off(), &mut one).unwrap();
+            }
+            let t0 = st.mux_clock.now_ns();
+            for _ in 0..ops {
+                st.mux.read(ino, gen.next_off(), &mut one).unwrap();
+            }
+            (st.mux_clock.now_ns() - t0) as f64 / ops as f64
+        };
+        rows.push(ReadOverheadRow {
+            tier: tier.label().into(),
+            native_ns,
+            mux_ns,
+            overhead_pct: (mux_ns / native_ns - 1.0) * 100.0,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// §3.2 — write-throughput overhead
+// ---------------------------------------------------------------------
+
+/// One tier's sequential-write comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct WriteOverheadRow {
+    /// Tier label.
+    pub tier: String,
+    /// Native throughput, MB/s.
+    pub native_mbps: f64,
+    /// Mux throughput, MB/s.
+    pub mux_mbps: f64,
+    /// Throughput reduction percentage (paper: −1.6 / −2.2 / −3.5).
+    pub overhead_pct: f64,
+}
+
+/// Runs the §3.2 write experiment: repeated 4 MiB sequential writes.
+pub fn write_overhead(n_writes: usize) -> Vec<WriteOverheadRow> {
+    let op = 4u64 << 20;
+    let mut rows = Vec::new();
+    for tier in Tier::ALL {
+        let region = n_writes as u64 * op;
+        let st = build_single_tier(
+            tier,
+            2 * region + (64 << 20),
+            64 << 20,
+            Arc::new(LruPolicy::default_watermarks()),
+            MuxOptions::default(),
+        );
+        let payload = vec![0x5Au8; op as usize];
+        // fsync every 8 writes (32 MiB batches): enough to keep the run
+        // device-bound without turning it into an fsync benchmark.
+        let native_mbps = {
+            let ino = mk(st.native.as_ref(), "f");
+            let mut seq = Sequential::new(region, op);
+            let t0 = st.native_clock.now_ns();
+            for i in 0..n_writes {
+                st.native.write(ino, seq.next_off(), &payload).unwrap();
+                if i % 8 == 7 {
+                    st.native.fsync(ino).unwrap();
+                }
+            }
+            st.native.fsync(ino).unwrap();
+            mbps(n_writes as u64 * op, st.native_clock.now_ns() - t0)
+        };
+        let mux_mbps = {
+            let ino = mk(st.mux.as_ref(), "f");
+            let mut seq = Sequential::new(region, op);
+            let t0 = st.mux_clock.now_ns();
+            for i in 0..n_writes {
+                st.mux.write(ino, seq.next_off(), &payload).unwrap();
+                if i % 8 == 7 {
+                    st.mux.fsync(ino).unwrap();
+                }
+            }
+            st.mux.fsync(ino).unwrap();
+            mbps(n_writes as u64 * op, st.mux_clock.now_ns() - t0)
+        };
+        rows.push(WriteOverheadRow {
+            tier: tier.label().into(),
+            native_mbps,
+            mux_mbps,
+            overhead_pct: (1.0 - mux_mbps / native_mbps) * 100.0,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// §2.3 — metadata space overhead
+// ---------------------------------------------------------------------
+
+/// One file-size point of the metadata-overhead sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetaOverheadRow {
+    /// File size in bytes.
+    pub file_bytes: u64,
+    /// Byte-array BLT encoding size.
+    pub blt_bytes: u64,
+    /// Overhead ratio (paper bound: < 0.025 %).
+    pub overhead_pct: f64,
+}
+
+/// Sweeps file sizes and reports the Block Lookup Table's byte-array
+/// space overhead.
+pub fn meta_overhead() -> Vec<MetaOverheadRow> {
+    let mut rows = Vec::new();
+    for mb in [1u64, 16, 256, 1024, 10 * 1024] {
+        let file_bytes = mb << 20;
+        let blocks = file_bytes / BLOCK;
+        let mut blt = mux::BlockLookupTable::new();
+        blt.assign(0, blocks, 0);
+        let blt_bytes = blt.encode_bytemap().len() as u64;
+        rows.push(MetaOverheadRow {
+            file_bytes,
+            blt_bytes,
+            overhead_pct: blt_bytes as f64 / file_bytes as f64 * 100.0,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Ablation A1 — OCC vs lock-based migration
+// ---------------------------------------------------------------------
+
+/// Result of the OCC ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct OccAblation {
+    /// Virtual ns migrations held the per-file write lock under OCC
+    /// (deterministic: the §2.4 critical path).
+    pub occ_lock_hold_vns: u64,
+    /// Same, under whole-copy locking.
+    pub locked_lock_hold_vns: u64,
+    /// Worst single write-op stall while OCC migrations ran (real ns;
+    /// indicative only — scheduler-noisy on small machines).
+    pub occ_max_stall_ns: u64,
+    /// Worst single write-op stall under lock-based migration (real ns).
+    pub locked_max_stall_ns: u64,
+    /// Writer ops completed during the OCC migration windows.
+    pub occ_writer_ops: u64,
+    /// Writer ops completed during the lock-based migration windows.
+    pub locked_writer_ops: u64,
+    /// OCC conflicts detected.
+    pub occ_conflicts: u64,
+    /// OCC retry rounds.
+    pub occ_retries: u64,
+    /// Migrations that fell back to locking.
+    pub occ_fallbacks: u64,
+}
+
+/// Runs a concurrent writer against back-to-back migrations, once with the
+/// OCC synchronizer and once with whole-copy locking. The §2.4 claim is
+/// about the *critical path*: under OCC a write never waits for a whole
+/// file copy, so the worst single-op stall stays small; under pessimistic
+/// locking some unlucky write waits out the entire migration.
+pub fn ablation_occ(rounds: usize) -> OccAblation {
+    fn run(rounds: usize, locked: bool) -> (u64, u64, (u64, u64, u64, u64, u64), u64) {
+        let stack = build_mux_stack(
+            Capacities::default(),
+            Arc::new(PinnedPolicy::new(0)),
+            MuxOptions::default(),
+        );
+        let ino = mk(stack.mux.as_ref(), "f");
+        let blocks = 2048u64;
+        stack
+            .mux
+            .write(ino, 0, &vec![1u8; (blocks * BLOCK) as usize])
+            .unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let ops = Arc::new(AtomicU64::new(0));
+        let max_stall = Arc::new(AtomicU64::new(0));
+        let writer = {
+            let mux = Arc::clone(&stack.mux);
+            let stop = Arc::clone(&stop);
+            let ops = Arc::clone(&ops);
+            let max_stall = Arc::clone(&max_stall);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                let page = vec![7u8; BLOCK as usize];
+                // Rewrite a hot *subset* (first 64 blocks): the realistic
+                // conflict shape. OCC retries only those; whole-copy
+                // locking stalls the writer for the entire file.
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = std::time::Instant::now();
+                    mux.write(ino, (i % 64) * BLOCK, &page).unwrap();
+                    let dt = t0.elapsed().as_nanos() as u64;
+                    max_stall.fetch_max(dt, Ordering::Relaxed);
+                    ops.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        };
+        let mut during = 0u64;
+        for r in 0..rounds {
+            let to = if r % 2 == 0 { 1 } else { 2 };
+            let before = ops.load(Ordering::Relaxed);
+            if locked {
+                stack
+                    .mux
+                    .migrate_range_lock_based(ino, 0, blocks, to)
+                    .unwrap();
+            } else {
+                stack.mux.migrate_range(ino, 0, blocks, to).unwrap();
+            }
+            during += ops.load(Ordering::Relaxed) - before;
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        (
+            max_stall.load(Ordering::Relaxed),
+            during,
+            stack.mux.occ_stats().snapshot(),
+            stack.mux.occ_stats().lock_hold_vns(),
+        )
+    }
+    let (occ_stall, occ_ops, occ_stats, occ_hold) = run(rounds, false);
+    let (locked_stall, locked_ops, _, locked_hold) = run(rounds, true);
+    OccAblation {
+        occ_lock_hold_vns: occ_hold,
+        locked_lock_hold_vns: locked_hold,
+        occ_max_stall_ns: occ_stall,
+        locked_max_stall_ns: locked_stall,
+        occ_writer_ops: occ_ops,
+        locked_writer_ops: locked_ops,
+        occ_conflicts: occ_stats.1,
+        occ_retries: occ_stats.2,
+        occ_fallbacks: occ_stats.3,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablation A2 — SCM cache on/off, MGLRU vs plain LRU
+// ---------------------------------------------------------------------
+
+/// One cache configuration's result.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheAblationRow {
+    /// Configuration label.
+    pub config: String,
+    /// Average read latency, ns.
+    pub avg_read_ns: f64,
+    /// SCM cache hit rate (0 when disabled).
+    pub hit_rate: f64,
+}
+
+/// Zipfian reads over HDD-resident files, with the SCM cache disabled,
+/// with MGLRU, and with an (approximated) single-generation LRU.
+pub fn ablation_cache(ops: usize) -> Vec<CacheAblationRow> {
+    let mut rows = Vec::new();
+    for (label, cache_cfg) in [
+        ("no SCM cache", None),
+        (
+            "SCM cache, MGLRU (4 gens)",
+            Some(CacheConfig {
+                cache_from: DeviceClass::Ssd,
+                generations: 4,
+                age_threshold: 512,
+                insert_young: false,
+            }),
+        ),
+        (
+            "SCM cache, plain LRU (1 gen)",
+            Some(CacheConfig {
+                cache_from: DeviceClass::Ssd,
+                generations: 2,
+                age_threshold: u64::MAX, // never ages
+                insert_young: true,      // → classic LRU order
+            }),
+        ),
+    ] {
+        // Native DRAM caches are kept small (4 MiB) so the HDD actually
+        // gets exercised; the SCM cache is what stands between reads and
+        // 8 ms seeks.
+        let stack = crate::testbed::build_mux_stack_cached(
+            Capacities::default(),
+            Arc::new(PinnedPolicy::new(2)), // data lives on the HDD
+            MuxOptions::default(),
+            4 << 20,
+        );
+        let n_files = 64u64;
+        let file_blocks = 64u64;
+        let mut inos = Vec::new();
+        for i in 0..n_files {
+            let ino = mk(stack.mux.as_ref(), &format!("f{i}"));
+            stack
+                .mux
+                .write(ino, 0, &vec![i as u8; (file_blocks * BLOCK) as usize])
+                .unwrap();
+            stack.mux.fsync(ino).unwrap();
+            inos.push(ino);
+        }
+        let cache = cache_cfg.map(|cfg| {
+            // SCM cache window: a dedicated region of the PM device
+            // accessed via DAX (1024 slots = 4 MiB, a quarter of the data set,
+            // so the replacement policy is constantly deciding).
+            let window = mux::cache::DaxWindow::new(
+                stack.devices[0].clone(),
+                vec![(stack.devices[0].capacity() - (4 << 20), 4 << 20)],
+            );
+            Arc::new(CacheController::new(Box::new(window), cfg))
+        });
+        if let Some(c) = &cache {
+            stack.mux.attach_cache(Arc::clone(c));
+        }
+        let mut zipf = Zipfian::new(n_files * file_blocks, 0.9, 3);
+        let mut buf = vec![0u8; BLOCK as usize];
+        // Zipfian working set plus periodic cold scans (the access shape
+        // MGLRU is designed for: one scan must not flush the hot set).
+        let mut scan_file = 0u64;
+        let mut access = |stack: &crate::testbed::MuxStack, i: usize| {
+            if i % 256 == 255 {
+                // Cold scan burst: two whole files.
+                for _ in 0..2 {
+                    scan_file = (scan_file + 1) % n_files;
+                    for b in 0..file_blocks {
+                        let mut pg = vec![0u8; BLOCK as usize];
+                        stack
+                            .mux
+                            .read(inos[scan_file as usize], b * BLOCK, &mut pg)
+                            .unwrap();
+                    }
+                }
+            } else {
+                let item = zipf.next_item();
+                let (f, b) = (item / file_blocks, item % file_blocks);
+                stack
+                    .mux
+                    .read(inos[f as usize], b * BLOCK, &mut buf)
+                    .unwrap();
+            }
+        };
+        // Warmup then measure.
+        for i in 0..ops / 2 {
+            access(&stack, i);
+        }
+        let (h0, m0) = cache.as_ref().map(|c| c.hit_stats()).unwrap_or((0, 0));
+        let t0 = stack.clock.now_ns();
+        for i in 0..ops {
+            access(&stack, i);
+        }
+        let avg = (stack.clock.now_ns() - t0) as f64 / ops as f64;
+        let hit_rate = cache
+            .as_ref()
+            .map(|c| {
+                let (h, m) = c.hit_stats();
+                (h - h0) as f64 / ((h - h0) + (m - m0)).max(1) as f64
+            })
+            .unwrap_or(0.0);
+        rows.push(CacheAblationRow {
+            config: label.into(),
+            avg_read_ns: avg,
+            hit_rate,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Ablation A3 — policy comparison
+// ---------------------------------------------------------------------
+
+/// One policy's result on the hot/cold workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyAblationRow {
+    /// Policy name.
+    pub policy: String,
+    /// Average read latency after convergence, ns.
+    pub avg_read_ns: f64,
+    /// Fraction of hot-file blocks resident on the PM tier at the end.
+    pub hot_on_fast: f64,
+}
+
+/// Hot/cold workload under different tiering policies; each policy runs
+/// migrations between access phases.
+pub fn ablation_policy(ops: usize) -> Vec<PolicyAblationRow> {
+    let policies: Vec<(&str, Arc<dyn TieringPolicy>)> = vec![
+        ("lru", Arc::new(LruPolicy::default_watermarks())),
+        ("hot-cold", Arc::new(HotColdPolicy::new())),
+        ("tpfs", Arc::new(mux::TpfsPolicy::default())),
+        ("pinned-to-hdd (worst case)", Arc::new(PinnedPolicy::new(2))),
+    ];
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        let stack = crate::testbed::build_mux_stack_cached(
+            Capacities {
+                pm: 64 << 20, // small PM keeps placement decisions hard
+                ssd: 512 << 20,
+                hdd: 4 << 30,
+            },
+            policy,
+            MuxOptions::default(),
+            256 << 10, // tiny native caches: tier choice dominates latency
+        );
+        let n_files = 64u64;
+        let file_blocks = 32u64;
+        let mut gen = HotCold::new(n_files, 0.125, 0.9, 11);
+        let mut inos = Vec::new();
+        for i in 0..n_files {
+            let ino = mk(stack.mux.as_ref(), &format!("f{i}"));
+            stack
+                .mux
+                .write(ino, 0, &vec![i as u8; (file_blocks * BLOCK) as usize])
+                .unwrap();
+            stack.mux.fsync(ino).unwrap();
+            inos.push(ino);
+        }
+        let mut buf = vec![0u8; BLOCK as usize];
+        // Block index varies per access so the touched set spans whole
+        // files (a fixed block per file would fit any tiny cache).
+        let mut step = 0u64;
+        let mut next_block = |f: u64| {
+            step += 1;
+            (f * 7 + step * 13) % file_blocks
+        };
+        // Access phases interleaved with policy migration passes.
+        for _phase in 0..4 {
+            for _ in 0..ops / 8 {
+                let f = gen.next_item();
+                let b = next_block(f);
+                stack
+                    .mux
+                    .read(inos[f as usize], b * BLOCK, &mut buf)
+                    .unwrap();
+            }
+            stack.mux.run_policy_migrations();
+        }
+        // Measure converged read latency on the same distribution.
+        let t0 = stack.clock.now_ns();
+        for _ in 0..ops {
+            let f = gen.next_item();
+            let b = next_block(f);
+            stack
+                .mux
+                .read(inos[f as usize], b * BLOCK, &mut buf)
+                .unwrap();
+        }
+        let avg = (stack.clock.now_ns() - t0) as f64 / ops as f64;
+        // How much of the hot set ended up on PM?
+        let mut hot_blocks = 0u64;
+        let mut hot_on_pm = 0u64;
+        for f in 0..gen.hot_items() {
+            let ino = inos[f as usize];
+            let status = stack.mux.tier_status();
+            let _ = status;
+            // Count via per-tier allocation probes.
+            if let Some((_, l)) = stack.mux.next_data(ino, 0).unwrap() {
+                let _ = l;
+            }
+            let file_view = stack
+                .mux
+                .getattr(ino)
+                .map(|a| a.blocks_bytes / BLOCK)
+                .unwrap_or(0);
+            hot_blocks += file_view;
+            hot_on_pm += blocks_on_tier(&stack, ino, 0);
+        }
+        rows.push(PolicyAblationRow {
+            policy: name.into(),
+            avg_read_ns: avg,
+            hot_on_fast: if hot_blocks == 0 {
+                0.0
+            } else {
+                hot_on_pm as f64 / hot_blocks as f64
+            },
+        });
+    }
+    rows
+}
+
+fn blocks_on_tier(stack: &crate::testbed::MuxStack, ino: u64, tier: u32) -> u64 {
+    // The native file's allocated bytes on that tier ≈ blocks held there.
+    let handle = match tier {
+        0 => &stack.nova,
+        _ => return 0,
+    };
+    // Probe via lookup from the native root using the Mux path name.
+    let name = {
+        // Files in these experiments live in the root with known names;
+        // find the matching dentry by ino through readdir.
+        let entries = stack.mux.readdir(ROOT_INO).unwrap();
+        entries.into_iter().find(|e| e.ino == ino).map(|e| e.name)
+    };
+    let Some(name) = name else { return 0 };
+    match handle.lookup(ROOT_INO, &name) {
+        Ok(attr) => attr.blocks_bytes / BLOCK,
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,15 @@
+//! Benchmark harness for the Mux reproduction.
+//!
+//! [`testbed`] builds the full stacks (devices → native file systems → Mux,
+//! and the Strata baseline); [`experiments`] implements one function per
+//! table/figure of the paper plus the ablations; [`report`] renders results
+//! as tables and JSON. The `repro` binary drives everything.
+//!
+//! All performance numbers are **virtual time** ([`simdev::VirtualClock`]):
+//! deterministic, seed-stable, and calibrated for *shape* against the
+//! paper (see EXPERIMENTS.md), not for absolute agreement with the
+//! authors' hardware.
+
+pub mod experiments;
+pub mod report;
+pub mod testbed;

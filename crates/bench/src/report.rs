@@ -1,0 +1,201 @@
+//! Table rendering and JSON output for the repro harness.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+use crate::experiments::*;
+
+/// Renders a value grid with headers as a fixed-width table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(out, "  {:<w$}", c, w = widths[i]);
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    line(
+        &mut out,
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    );
+    for r in rows {
+        line(&mut out, r);
+    }
+    out
+}
+
+/// Renders Figure 3a (migration matrix).
+pub fn render_fig3a(f: &Fig3a) -> String {
+    let mut rows = Vec::new();
+    for c in &f.cells {
+        rows.push(vec![
+            format!("{} → {}", c.from, c.to),
+            format!("{:.0}", c.mux_mbps),
+            c.strata_mbps
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "N/S".into()),
+        ]);
+    }
+    let mut s = String::from("Figure 3a — data-migration throughput (MB/s, virtual time)\n");
+    s += &table(&["path", "Mux", "Strata"], &rows);
+    let _ = writeln!(
+        s,
+        "\n  Mux supports 6/6 paths; Strata 2/6 (paper: same).\n  PM→SSD: Mux is {:.2}x Strata (paper: 2.59x).",
+        f.pm_to_ssd_ratio
+    );
+    s
+}
+
+/// Renders Figure 3b (per-device throughput).
+pub fn render_fig3b(rows: &[Fig3bRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.clone(),
+                format!("{:.0}", r.strata_mbps),
+                format!("{:.0}", r.mux_mbps),
+                format!("{:.2}x", r.ratio),
+            ]
+        })
+        .collect();
+    let mut s =
+        String::from("Figure 3b — per-device random-write throughput (MB/s, virtual time)\n");
+    s += &table(&["device", "Strata", "Mux", "Mux/Strata"], &body);
+    s += "\n  Paper ratios: 1.08x (PM), 1.46x (SSD), 1.07x (HDD).\n";
+    s
+}
+
+/// Renders the §3.2 read-latency table.
+pub fn render_read_overhead(rows: &[ReadOverheadRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tier.clone(),
+                format!("{:.0}", r.native_ns),
+                format!("{:.0}", r.mux_ns),
+                format!("+{:.1}%", r.overhead_pct),
+            ]
+        })
+        .collect();
+    let mut s = String::from(
+        "§3.2 — worst-case read latency (1-byte random reads; avg ns, virtual time)\n",
+    );
+    s += &table(&["tier", "native", "Mux", "overhead"], &body);
+    s += "\n  Paper: +52.4% (PM), +87.3% (SSD), +6.6% (HDD).\n";
+    s
+}
+
+/// Renders the §3.2 write-throughput table.
+pub fn render_write_overhead(rows: &[WriteOverheadRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tier.clone(),
+                format!("{:.0}", r.native_mbps),
+                format!("{:.0}", r.mux_mbps),
+                format!("-{:.1}%", r.overhead_pct),
+            ]
+        })
+        .collect();
+    let mut s = String::from(
+        "§3.2 — sequential write throughput (4 MiB writes + fsync; MB/s, virtual time)\n",
+    );
+    s += &table(&["tier", "native", "Mux", "overhead"], &body);
+    s += "\n  Paper: -1.6% (PM), -2.2% (SSD), -3.5% (HDD).\n";
+    s
+}
+
+/// Renders the metadata-overhead sweep.
+pub fn render_meta_overhead(rows: &[MetaOverheadRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} MiB", r.file_bytes >> 20),
+                format!("{}", r.blt_bytes),
+                format!("{:.4}%", r.overhead_pct),
+            ]
+        })
+        .collect();
+    let mut s = String::from("§2.3 — Block Lookup Table space overhead (byte-array encoding)\n");
+    s += &table(&["file size", "BLT bytes", "overhead"], &body);
+    s += "\n  Paper bound: < 0.025%.\n";
+    s
+}
+
+/// Renders the OCC ablation.
+pub fn render_occ(a: &OccAblation) -> String {
+    format!(
+        "Ablation A1 — OCC vs lock-based migration (concurrent writer)\n\
+         \x20 exclusive-lock time across all migrations (virtual, deterministic):\n\
+         \x20    OCC synchronizer: {:>12.1} µs  (revalidate + BLT swing only)\n\
+         \x20    whole-copy lock:  {:>12.1} µs  (the entire copy)\n\
+         \x20    critical path shrunk {:.0}x\n\
+         \x20 writer ops inside migration windows (indicative): OCC {}, locked {}\n\
+         \x20 conflicts detected: {}, retry rounds: {}, lock fallbacks: {}\n",
+        a.occ_lock_hold_vns as f64 / 1e3,
+        a.locked_lock_hold_vns as f64 / 1e3,
+        a.locked_lock_hold_vns as f64 / a.occ_lock_hold_vns.max(1) as f64,
+        a.occ_writer_ops,
+        a.locked_writer_ops,
+        a.occ_conflicts,
+        a.occ_retries,
+        a.occ_fallbacks,
+    )
+}
+
+/// Renders the cache ablation.
+pub fn render_cache(rows: &[CacheAblationRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                format!("{:.0}", r.avg_read_ns),
+                format!("{:.1}%", r.hit_rate * 100.0),
+            ]
+        })
+        .collect();
+    let mut s = String::from("Ablation A2 — SCM cache (zipfian reads over HDD data)\n");
+    s += &table(&["configuration", "avg read ns", "hit rate"], &body);
+    s
+}
+
+/// Renders the policy ablation.
+pub fn render_policy(rows: &[PolicyAblationRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                format!("{:.0}", r.avg_read_ns),
+                format!("{:.0}%", r.hot_on_fast * 100.0),
+            ]
+        })
+        .collect();
+    let mut s = String::from("Ablation A3 — tiering policies (hot/cold workload)\n");
+    s += &table(&["policy", "avg read ns", "hot data on PM"], &body);
+    s
+}
+
+/// Writes any serializable result as JSON next to the binary.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
+    std::fs::create_dir_all("bench_results")?;
+    let path = format!("bench_results/{name}.json");
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(())
+}

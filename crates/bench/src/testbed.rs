@@ -1,0 +1,315 @@
+//! Stack builders: devices, native file systems, Mux, Strata.
+
+use std::sync::Arc;
+
+use e4fs::{E4Fs, E4Options};
+use mux::{Mux, MuxOptions, TierConfig, TieringPolicy};
+use novafs::{NovaFs, NovaOptions};
+use simdev::{hdd, nvme_ssd, pmem, Device, DeviceClass, DeviceConfig, VirtualClock};
+use strata::{StrataFs, StrataOptions};
+use tvfs::FileSystem;
+use xefs::{XeFs, XeOptions};
+
+/// Capacities for the three-tier hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct Capacities {
+    /// PM device bytes.
+    pub pm: u64,
+    /// SSD device bytes.
+    pub ssd: u64,
+    /// HDD device bytes.
+    pub hdd: u64,
+}
+
+impl Default for Capacities {
+    fn default() -> Self {
+        Capacities {
+            pm: 512 << 20,
+            ssd: 2 << 30,
+            hdd: 8 << 30,
+        }
+    }
+}
+
+fn device(profile: simdev::DeviceProfile, capacity: u64, clock: &VirtualClock) -> Device {
+    Device::new(
+        DeviceConfig {
+            profile,
+            capacity,
+            // Benchmarks never crash; skip undo logging so gigabytes of
+            // unflushed writes don't accumulate rollback state.
+            track_durability: false,
+        },
+        clock.clone(),
+    )
+}
+
+/// A full Mux hierarchy: three devices, three native file systems, Mux.
+pub struct MuxStack {
+    /// The shared virtual clock.
+    pub clock: VirtualClock,
+    /// PM / SSD / HDD devices.
+    pub devices: [Device; 3],
+    /// The Mux instance (tier ids 0 = PM/novafs, 1 = SSD/xefs,
+    /// 2 = HDD/e4fs).
+    pub mux: Arc<Mux>,
+    /// The NOVA-like FS (kept for DAX-window access).
+    pub nova: Arc<NovaFs>,
+}
+
+/// Builds devices + novafs/xefs/e4fs + Mux with `policy` (64 MiB native
+/// page caches).
+pub fn build_mux_stack(
+    caps: Capacities,
+    policy: Arc<dyn TieringPolicy>,
+    opts: MuxOptions,
+) -> MuxStack {
+    build_mux_stack_cached(caps, policy, opts, 64 << 20)
+}
+
+/// [`build_mux_stack`] with explicit native page-cache capacity (device-
+/// bound experiments shrink it so cache hits do not fake device speed).
+pub fn build_mux_stack_cached(
+    caps: Capacities,
+    policy: Arc<dyn TieringPolicy>,
+    opts: MuxOptions,
+    page_cache_bytes: u64,
+) -> MuxStack {
+    let clock = VirtualClock::new();
+    let pm_dev = device(pmem(), caps.pm, &clock);
+    let ssd_dev = device(nvme_ssd(), caps.ssd, &clock);
+    let hdd_dev = device(hdd(), caps.hdd, &clock);
+    let nova = Arc::new(NovaFs::format(pm_dev.clone(), NovaOptions::default()).unwrap());
+    let xe = Arc::new(
+        XeFs::format(
+            ssd_dev.clone(),
+            XeOptions {
+                page_cache_bytes,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let e4 = Arc::new(
+        E4Fs::format(
+            hdd_dev.clone(),
+            E4Options {
+                page_cache_bytes,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let mux = Arc::new(Mux::new(clock.clone(), policy, opts));
+    mux.add_tier(
+        TierConfig {
+            name: "pm-nova".into(),
+            class: DeviceClass::Pmem,
+        },
+        nova.clone() as Arc<dyn FileSystem>,
+    );
+    mux.add_tier(
+        TierConfig {
+            name: "ssd-xefs".into(),
+            class: DeviceClass::Ssd,
+        },
+        xe as Arc<dyn FileSystem>,
+    );
+    mux.add_tier(
+        TierConfig {
+            name: "hdd-e4fs".into(),
+            class: DeviceClass::Hdd,
+        },
+        e4 as Arc<dyn FileSystem>,
+    );
+    MuxStack {
+        clock,
+        devices: [pm_dev, ssd_dev, hdd_dev],
+        mux,
+        nova,
+    }
+}
+
+/// Builds a Strata baseline over its own identical devices and clock.
+pub fn build_strata(caps: Capacities, opts: StrataOptions) -> Arc<StrataFs> {
+    let clock = VirtualClock::new();
+    Arc::new(StrataFs::new(
+        device(pmem(), caps.pm, &clock),
+        device(nvme_ssd(), caps.ssd, &clock),
+        device(hdd(), caps.hdd, &clock),
+        opts,
+    ))
+}
+
+/// A single-tier stack: one native FS alone, and Mux layered over the
+/// same kind of FS on an identical device — the §3.2 overhead setup.
+pub struct SingleTier {
+    /// Shared clock of the native stack.
+    pub native_clock: VirtualClock,
+    /// The bare native file system.
+    pub native: Arc<dyn FileSystem>,
+    /// Clock of the Mux stack.
+    pub mux_clock: VirtualClock,
+    /// Mux over one identical native file system.
+    pub mux: Arc<Mux>,
+}
+
+/// Which tier a single-tier experiment targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Persistent memory + novafs.
+    Pm,
+    /// NVMe SSD + xefs.
+    Ssd,
+    /// Rotational disk + e4fs.
+    Hdd,
+}
+
+impl Tier {
+    /// All tiers, hierarchy order.
+    pub const ALL: [Tier; 3] = [Tier::Pm, Tier::Ssd, Tier::Hdd];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tier::Pm => "PM (novafs)",
+            Tier::Ssd => "SSD (xefs)",
+            Tier::Hdd => "HDD (e4fs)",
+        }
+    }
+
+    /// Device class.
+    pub fn class(&self) -> DeviceClass {
+        match self {
+            Tier::Pm => DeviceClass::Pmem,
+            Tier::Ssd => DeviceClass::Ssd,
+            Tier::Hdd => DeviceClass::Hdd,
+        }
+    }
+}
+
+fn native_fs_on(
+    tier: Tier,
+    capacity: u64,
+    clock: &VirtualClock,
+    cache_bytes: u64,
+) -> Arc<dyn FileSystem> {
+    match tier {
+        Tier::Pm => {
+            let dev = device(pmem(), capacity, clock);
+            Arc::new(NovaFs::format(dev, NovaOptions::default()).unwrap())
+        }
+        Tier::Ssd => {
+            let dev = device(nvme_ssd(), capacity, clock);
+            Arc::new(
+                XeFs::format(
+                    dev,
+                    XeOptions {
+                        page_cache_bytes: cache_bytes,
+                        readahead_pages: 0, // random microbenchmarks
+                        ..Default::default()
+                    },
+                )
+                .unwrap(),
+            )
+        }
+        Tier::Hdd => {
+            let dev = device(hdd(), capacity, clock);
+            Arc::new(
+                E4Fs::format(
+                    dev,
+                    E4Options {
+                        page_cache_bytes: cache_bytes,
+                        readahead_pages: 0,
+                        ..Default::default()
+                    },
+                )
+                .unwrap(),
+            )
+        }
+    }
+}
+
+/// Builds the native-vs-Mux pair for one tier (identical devices and FS
+/// options; independent clocks so latencies are separable).
+pub fn build_single_tier(
+    tier: Tier,
+    capacity: u64,
+    cache_bytes: u64,
+    policy: Arc<dyn TieringPolicy>,
+    opts: MuxOptions,
+) -> SingleTier {
+    let native_clock = VirtualClock::new();
+    let native = native_fs_on(tier, capacity, &native_clock, cache_bytes);
+    let mux_clock = VirtualClock::new();
+    let under = native_fs_on(tier, capacity, &mux_clock, cache_bytes);
+    let mux = Arc::new(Mux::new(mux_clock.clone(), policy, opts));
+    mux.add_tier(
+        TierConfig {
+            name: format!("{tier:?}"),
+            class: tier.class(),
+        },
+        under,
+    );
+    SingleTier {
+        native_clock,
+        native,
+        mux_clock,
+        mux,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mux::LruPolicy;
+    use tvfs::{FileType, ROOT_INO};
+
+    #[test]
+    fn mux_stack_builds_and_serves_io() {
+        let s = build_mux_stack(
+            Capacities {
+                pm: 64 << 20,
+                ssd: 128 << 20,
+                hdd: 256 << 20,
+            },
+            Arc::new(LruPolicy::default_watermarks()),
+            MuxOptions::default(),
+        );
+        let f = s
+            .mux
+            .create(ROOT_INO, "x", FileType::Regular, 0o644)
+            .unwrap();
+        s.mux.write(f.ino, 0, b"hello").unwrap();
+        let mut b = [0u8; 5];
+        s.mux.read(f.ino, 0, &mut b).unwrap();
+        assert_eq!(&b, b"hello");
+        assert!(s.clock.now_ns() > 0);
+    }
+
+    #[test]
+    fn single_tier_pairs_have_independent_clocks() {
+        for tier in Tier::ALL {
+            let st = build_single_tier(
+                tier,
+                64 << 20,
+                32 << 20,
+                Arc::new(LruPolicy::default_watermarks()),
+                MuxOptions::default(),
+            );
+            let f = st
+                .native
+                .create(ROOT_INO, "x", FileType::Regular, 0o644)
+                .unwrap();
+            st.native.write(f.ino, 0, b"n").unwrap();
+            let t_native = st.native_clock.now_ns();
+            let f2 = st
+                .mux
+                .create(ROOT_INO, "x", FileType::Regular, 0o644)
+                .unwrap();
+            st.mux.write(f2.ino, 0, b"m").unwrap();
+            assert!(t_native > 0);
+            assert!(st.mux_clock.now_ns() > t_native, "mux path must cost more");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The State Bookkeeper: per-file tiering state.
+//!
+//! One [`MuxFile`] exists per regular file. It owns the Block Lookup
+//! Table, the collective inode, the per-tier native inode handles, and the
+//! OCC state the paper's §2.4 synchronizer relies on:
+//!
+//! * `version` — bumped by every user write; migrations snapshot it before
+//!   copying and revalidate after.
+//! * `migrating` — the migration flag; while set, writers record the block
+//!   ranges they touch in `dirty_during_migration` so a conflicting
+//!   migration can retry exactly those blocks.
+//! * `io_lock` — writers hold it shared for the duration of their native
+//!   dispatch; the OCC commit (and the lock-based fallback) takes it
+//!   exclusively, so a commit never interleaves with a half-finished
+//!   write.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+use tvfs::InodeNo;
+
+use crate::blt::BlockLookupTable;
+use crate::meta::CollectiveInode;
+use crate::types::TierId;
+
+/// Mux's own inode number type (independent of native inos).
+pub type MuxIno = u64;
+
+/// Per-file tiering state.
+pub struct MuxFile {
+    /// Mux inode number.
+    pub ino: MuxIno,
+    /// Block Lookup Table + collective inode, under one short lock.
+    pub state: RwLock<FileState>,
+    /// OCC version counter (user writes bump it).
+    pub version: AtomicU64,
+    /// Migration in progress.
+    pub migrating: AtomicBool,
+    /// Block ranges written while `migrating` was set.
+    pub dirty_during_migration: Mutex<Vec<(u64, u64)>>,
+    /// Writers shared / migration-commit exclusive.
+    pub io_lock: RwLock<()>,
+}
+
+/// The lockable portion of a file's bookkeeping.
+pub struct FileState {
+    /// Block → tier map.
+    pub blt: BlockLookupTable,
+    /// Attribute cache + affinity.
+    pub meta: CollectiveInode,
+    /// Native inode on each tier that materializes this file.
+    pub native: HashMap<TierId, InodeNo>,
+    /// Block → replica tier (paper §4: "a much stronger crash consistency
+    /// guarantee can be designed … by the opportunity for data replication
+    /// across devices"). Replicas are read-only failover copies; writes
+    /// invalidate them.
+    pub replicas: tvfs::RangeMap<TierId>,
+}
+
+impl MuxFile {
+    /// Creates bookkeeping for a new file hosted on `host`.
+    pub fn new(ino: MuxIno, meta: CollectiveInode) -> Self {
+        MuxFile {
+            ino,
+            state: RwLock::new(FileState {
+                blt: BlockLookupTable::new(),
+                meta,
+                native: HashMap::new(),
+                replicas: tvfs::RangeMap::new(),
+            }),
+            version: AtomicU64::new(0),
+            migrating: AtomicBool::new(false),
+            dirty_during_migration: Mutex::new(Vec::new()),
+            io_lock: RwLock::new(()),
+        }
+    }
+
+    /// Called by the write path after its native dispatch, while still
+    /// holding `io_lock` shared: bump the version and, if a migration is in
+    /// flight, record the touched range.
+    pub fn note_write(&self, block: u64, n_blocks: u64) {
+        self.version.fetch_add(1, Ordering::Release);
+        if self.migrating.load(Ordering::Acquire) {
+            self.dirty_during_migration.lock().push((block, n_blocks));
+        }
+    }
+
+    /// Snapshot of the version counter.
+    pub fn version_now(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Begins a migration window: sets the flag and clears the dirty list.
+    /// Returns the version snapshot to validate against.
+    pub fn begin_migration(&self) -> u64 {
+        self.dirty_during_migration.lock().clear();
+        self.migrating.store(true, Ordering::Release);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        self.version_now()
+    }
+
+    /// Ends the migration window, returning ranges dirtied during it.
+    pub fn end_migration(&self) -> Vec<(u64, u64)> {
+        self.migrating.store(false, Ordering::Release);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        std::mem::take(&mut *self.dirty_during_migration.lock())
+    }
+
+    /// Ranges dirtied so far in the current migration window, without
+    /// ending it.
+    pub fn peek_dirty(&self) -> Vec<(u64, u64)> {
+        self.dirty_during_migration.lock().clone()
+    }
+}
+
+/// True if any dirty range intersects `[block, block+n)`.
+pub fn ranges_intersect(dirty: &[(u64, u64)], block: u64, n: u64) -> bool {
+    dirty.iter().any(|&(s, l)| s < block + n && block < s + l)
+}
+
+/// The clipped intersection of `dirty` with `[block, block+n)`, merged
+/// and sorted — the blocks a conflicted migration round must re-copy
+/// (§2.4: "Mux retries the migration of those blocks").
+pub fn clip_ranges(dirty: &[(u64, u64)], block: u64, n: u64) -> Vec<(u64, u64)> {
+    let end = block + n;
+    let mut out: Vec<(u64, u64)> = dirty
+        .iter()
+        .filter_map(|&(s, l)| {
+            let a = s.max(block);
+            let b = (s + l).min(end);
+            (a < b).then(|| (a, b - a))
+        })
+        .collect();
+    out.sort_unstable();
+    // Merge overlapping/adjacent.
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(out.len());
+    for (s, l) in out {
+        match merged.last_mut() {
+            Some((ms, ml)) if *ms + *ml >= s => {
+                let new_end = (s + l).max(*ms + *ml);
+                *ml = new_end - *ms;
+            }
+            _ => merged.push((s, l)),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvfs::{FileAttr, FileType};
+
+    fn file() -> MuxFile {
+        MuxFile::new(
+            7,
+            CollectiveInode::new(FileAttr::new(7, FileType::Regular, 0o644, 0), 0),
+        )
+    }
+
+    #[test]
+    fn writes_bump_version() {
+        let f = file();
+        let v0 = f.version_now();
+        f.note_write(0, 1);
+        f.note_write(5, 2);
+        assert_eq!(f.version_now(), v0 + 2);
+    }
+
+    #[test]
+    fn dirty_tracking_only_while_migrating() {
+        let f = file();
+        f.note_write(0, 1);
+        assert!(f.peek_dirty().is_empty());
+        f.begin_migration();
+        f.note_write(3, 2);
+        assert_eq!(f.peek_dirty(), vec![(3, 2)]);
+        let dirty = f.end_migration();
+        assert_eq!(dirty, vec![(3, 2)]);
+        // After the window, writes are not recorded.
+        f.note_write(9, 1);
+        assert!(f.peek_dirty().is_empty());
+    }
+
+    #[test]
+    fn migration_window_bumps_version_twice() {
+        let f = file();
+        let v0 = f.version_now();
+        f.begin_migration();
+        f.end_migration();
+        assert_eq!(f.version_now(), v0 + 2);
+    }
+
+    #[test]
+    fn clean_migration_window_detectable() {
+        let f = file();
+        let v = f.begin_migration();
+        // No writes in between.
+        assert_eq!(f.version_now(), v);
+        assert!(f.end_migration().is_empty());
+    }
+
+    #[test]
+    fn clip_ranges_merges_and_clips() {
+        let dirty = vec![(10, 5), (12, 6), (30, 2), (0, 3)];
+        // Window [11, 31): clips (10,5)→(11,4), merges with (12,6)→(11,7),
+        // keeps (30,1), drops (0,3).
+        assert_eq!(clip_ranges(&dirty, 11, 20), vec![(11, 7), (30, 1)]);
+        assert!(clip_ranges(&dirty, 100, 5).is_empty());
+        assert!(clip_ranges(&[], 0, 10).is_empty());
+    }
+
+    #[test]
+    fn intersect_logic() {
+        let dirty = vec![(10, 5), (20, 1)];
+        assert!(ranges_intersect(&dirty, 12, 2));
+        assert!(ranges_intersect(&dirty, 14, 10));
+        assert!(ranges_intersect(&dirty, 0, 11));
+        assert!(!ranges_intersect(&dirty, 15, 5));
+        assert!(!ranges_intersect(&dirty, 21, 100));
+        assert!(!ranges_intersect(&[], 0, 100));
+    }
+}

@@ -1,0 +1,53 @@
+//! Mux — a tiered file system that talks to file systems, not device
+//! drivers.
+//!
+//! This crate is the primary contribution of *"Rethinking Tiered Storage:
+//! Talk to File Systems, Not Device Drivers"* (HotOS '25). [`Mux`] slots
+//! between the VFS layer and device-specific native file systems: it
+//! implements [`tvfs::FileSystem`] towards applications and *consumes* the
+//! same trait from the native file systems registered as tiers — issuing
+//! "the same VFS function that invokes it, but with different file handles,
+//! lengths, and offsets" (paper §2.1).
+//!
+//! The components follow Figure 1(c) of the paper:
+//!
+//! | Paper component      | Module |
+//! |----------------------|--------|
+//! | VFS Call Processor   | [`Mux`]'s `FileSystem` impl |
+//! | FS Multiplexer / VFS Call Maker | [`Mux`] dispatch logic (request splitting per the Block Lookup Table, per-tier calls, result merge) |
+//! | File Blk. Tracker    | [`blt`] — the Block Lookup Table extent tree |
+//! | Metadata Tracker     | [`meta`] — per-attribute metadata affinity + the collective inode |
+//! | State Bookkeeper     | [`crate::file`] — per-file versions, migration flags, per-tier handles; [`persist`] — the durable Mux metafile |
+//! | OCC Synchronizer     | [`occ`] — optimistic cross-file-system migration |
+//! | Policy Runner        | [`policy`] (trait + built-ins), [`policy_vm`] (the eBPF-style loadable policy) |
+//! | Cache Controller     | [`cache`] + [`mglru`] — the SCM cache file with multi-generational LRU |
+//!
+//! Plus the §4 discussion items that have concrete implementations here:
+//! the device-profile-driven I/O [`sched`]uler and runtime tier
+//! add/remove.
+
+pub mod blt;
+pub mod cache;
+pub mod file;
+pub mod meta;
+pub mod mglru;
+mod mux;
+pub mod occ;
+pub mod persist;
+pub mod policy;
+pub mod policy_vm;
+pub mod sched;
+pub mod stats;
+pub mod types;
+
+pub use blt::BlockLookupTable;
+pub use cache::{CacheConfig, CacheController};
+pub use meta::{AttrKind, CollectiveInode};
+pub use mux::{Mux, TierHandle};
+pub use occ::{MigrationOutcome, OccStats};
+pub use policy::{
+    HotColdPolicy, LruPolicy, PinnedPolicy, PlacementCtx, StripingPolicy, TieringPolicy, TpfsPolicy,
+};
+pub use policy_vm::{PolicyProgram, VmOp, VmPolicy};
+pub use stats::MuxStats;
+pub use types::{CostModel, MuxOptions, TierConfig, TierId, BLOCK};

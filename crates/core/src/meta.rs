@@ -1,0 +1,216 @@
+//! Metadata multiplexing: per-attribute affinity and the collective inode
+//! (paper §2.3).
+//!
+//! "For each metadata attribute, there is an affinitive file system at any
+//! given point in time, that holds the most up-to-date value for the
+//! attribute." Mux bookkeeps that owner per attribute, caches all values in
+//! a *collective inode* (so `getattr` never fans out to native file
+//! systems), and lazily pushes values down to the non-affinitive file
+//! systems. Disk consumption (`blocks_bytes`) has no single owner and is
+//! aggregated across all participating file systems.
+
+use tvfs::FileAttr;
+
+use crate::types::TierId;
+
+/// The metadata attributes Mux multiplexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrKind {
+    /// Logical file size — owned by the file system storing the last byte.
+    Size,
+    /// Last-modified time — owned by the file system that performed the
+    /// last update.
+    Mtime,
+    /// Last-access time — owned by the file system that served the last
+    /// read's final block.
+    Atime,
+    /// Permission bits / ownership — owned by the host (creating) file
+    /// system until an explicit `setattr` moves them.
+    Mode,
+}
+
+/// All attribute kinds, for iteration.
+pub const ALL_ATTRS: [AttrKind; 4] = [
+    AttrKind::Size,
+    AttrKind::Mtime,
+    AttrKind::Atime,
+    AttrKind::Mode,
+];
+
+/// The collective inode: cached attribute values plus per-attribute
+/// affinity.
+#[derive(Debug, Clone)]
+pub struct CollectiveInode {
+    /// Cached, authoritative attribute values.
+    pub attr: FileAttr,
+    /// Affinitive tier per attribute.
+    size_owner: TierId,
+    mtime_owner: TierId,
+    atime_owner: TierId,
+    mode_owner: TierId,
+    /// Tiers whose native metadata is stale w.r.t. the collective inode
+    /// (lazy-sync queue).
+    stale: Vec<TierId>,
+}
+
+impl CollectiveInode {
+    /// A fresh collective inode; `host` is the creating file system, the
+    /// initial owner of every attribute.
+    pub fn new(attr: FileAttr, host: TierId) -> Self {
+        CollectiveInode {
+            attr,
+            size_owner: host,
+            mtime_owner: host,
+            atime_owner: host,
+            mode_owner: host,
+            stale: Vec::new(),
+        }
+    }
+
+    /// Current owner of an attribute.
+    pub fn owner(&self, kind: AttrKind) -> TierId {
+        match kind {
+            AttrKind::Size => self.size_owner,
+            AttrKind::Mtime => self.mtime_owner,
+            AttrKind::Atime => self.atime_owner,
+            AttrKind::Mode => self.mode_owner,
+        }
+    }
+
+    /// Reassigns an attribute's affinity (the new owner just produced the
+    /// freshest value); other tiers become lazily stale.
+    pub fn set_owner(&mut self, kind: AttrKind, tier: TierId) {
+        let slot = match kind {
+            AttrKind::Size => &mut self.size_owner,
+            AttrKind::Mtime => &mut self.mtime_owner,
+            AttrKind::Atime => &mut self.atime_owner,
+            AttrKind::Mode => &mut self.mode_owner,
+        };
+        if *slot != tier {
+            let old = *slot;
+            *slot = tier;
+            if !self.stale.contains(&old) {
+                self.stale.push(old);
+            }
+        }
+    }
+
+    /// A write finished: `tier` wrote the last block of the operation,
+    /// producing `new_size` (if grown) and `mtime`.
+    pub fn on_write(&mut self, tier: TierId, end_off: u64, mtime_ns: u64) {
+        if end_off > self.attr.size {
+            self.attr.size = end_off;
+            self.set_owner(AttrKind::Size, tier);
+        }
+        self.attr.mtime_ns = mtime_ns;
+        self.set_owner(AttrKind::Mtime, tier);
+    }
+
+    /// A read finished: `tier` served the final block.
+    pub fn on_read(&mut self, tier: TierId, atime_ns: u64) {
+        self.attr.atime_ns = atime_ns;
+        self.set_owner(AttrKind::Atime, tier);
+    }
+
+    /// Explicitly queues a tier for lazy metadata sync (e.g. a migration
+    /// destination that just became a participant and has never seen the
+    /// collective inode's values).
+    pub fn mark_stale(&mut self, tier: TierId) {
+        if !self.stale.contains(&tier) {
+            self.stale.push(tier);
+        }
+    }
+
+    /// Takes the lazy-sync queue (tiers to push current values to).
+    pub fn take_stale(&mut self) -> Vec<TierId> {
+        std::mem::take(&mut self.stale)
+    }
+
+    /// Whether any tier is pending lazy metadata sync.
+    pub fn has_stale(&self) -> bool {
+        !self.stale.is_empty()
+    }
+
+    /// Serialized owner table (for the metafile).
+    pub fn owners(&self) -> [TierId; 4] {
+        [
+            self.size_owner,
+            self.mtime_owner,
+            self.atime_owner,
+            self.mode_owner,
+        ]
+    }
+
+    /// Restores an owner table (metafile load).
+    pub fn set_owners(&mut self, o: [TierId; 4]) {
+        self.size_owner = o[0];
+        self.mtime_owner = o[1];
+        self.atime_owner = o[2];
+        self.mode_owner = o[3];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvfs::FileType;
+
+    fn ci() -> CollectiveInode {
+        CollectiveInode::new(FileAttr::new(1, FileType::Regular, 0o644, 0), 0)
+    }
+
+    #[test]
+    fn host_owns_everything_initially() {
+        let c = ci();
+        for k in ALL_ATTRS {
+            assert_eq!(c.owner(k), 0);
+        }
+        assert!(!c.has_stale());
+    }
+
+    #[test]
+    fn append_moves_size_affinity_to_last_block_writer() {
+        let mut c = ci();
+        c.on_write(2, 8192, 5);
+        assert_eq!(c.owner(AttrKind::Size), 2);
+        assert_eq!(c.owner(AttrKind::Mtime), 2);
+        assert_eq!(c.attr.size, 8192);
+        // Overwrite inside the file on another tier: size owner unchanged,
+        // mtime owner moves.
+        c.on_write(1, 4096, 9);
+        assert_eq!(c.owner(AttrKind::Size), 2);
+        assert_eq!(c.owner(AttrKind::Mtime), 1);
+        assert_eq!(c.attr.size, 8192);
+        assert_eq!(c.attr.mtime_ns, 9);
+    }
+
+    #[test]
+    fn read_moves_atime_affinity() {
+        let mut c = ci();
+        c.on_read(3, 77);
+        assert_eq!(c.owner(AttrKind::Atime), 3);
+        assert_eq!(c.attr.atime_ns, 77);
+        assert_eq!(c.owner(AttrKind::Mtime), 0, "reads do not touch mtime");
+    }
+
+    #[test]
+    fn affinity_change_queues_lazy_sync() {
+        let mut c = ci();
+        c.on_write(1, 100, 1);
+        assert!(c.has_stale());
+        let stale = c.take_stale();
+        assert_eq!(stale, vec![0]);
+        assert!(!c.has_stale());
+        // Same-owner updates do not re-queue.
+        c.on_write(1, 200, 2);
+        assert!(!c.has_stale());
+    }
+
+    #[test]
+    fn owners_roundtrip() {
+        let mut c = ci();
+        c.set_owners([3, 1, 2, 0]);
+        assert_eq!(c.owner(AttrKind::Size), 3);
+        assert_eq!(c.owners(), [3, 1, 2, 0]);
+    }
+}

@@ -1,0 +1,1128 @@
+//! The Mux file system: VFS Call Processor, FS Multiplexer and VFS Call
+//! Maker (paper Figure 1c).
+//!
+//! `Mux` implements [`FileSystem`] towards applications. Each user request
+//! is split along Block Lookup Table extents into per-tier sub-requests,
+//! dispatched to the native file systems *through the same trait*, and the
+//! results are merged into one response. All file metadata is answered
+//! from the collective inode — `getattr` never fans out.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use simdev::VirtualClock;
+use tvfs::{
+    DirEntry, FileAttr, FileSystem, FileType, InodeNo, SetAttr, StatFs, VfsError, VfsResult,
+    ROOT_INO,
+};
+
+use crate::cache::CacheController;
+use crate::file::{MuxFile, MuxIno};
+use crate::meta::{AttrKind, CollectiveInode};
+use crate::occ::OccStats;
+use crate::policy::{PlacementCtx, TierStatus, TieringPolicy};
+use crate::sched::IoScheduler;
+use crate::stats::MuxStats;
+use crate::types::{MuxOptions, TierConfig, TierId, BLOCK};
+
+/// A registered tier: a native file system plus its description.
+pub struct TierHandle {
+    /// Tier id (index at registration).
+    pub id: TierId,
+    /// Static description.
+    pub config: TierConfig,
+    /// The native file system, spoken to through the VFS trait.
+    pub fs: Arc<dyn FileSystem>,
+    /// Tier is being removed; no new placements.
+    pub draining: AtomicBool,
+    /// Timestamp granularity of the native file system in ns (paper §4,
+    /// "Feature Imparity": e.g. FAT records timestamps at two-second
+    /// granularity). The collective inode keeps full precision; values
+    /// lazily pushed to this tier are rounded down to a multiple of this.
+    pub timestamp_granularity_ns: AtomicU64,
+}
+
+/// One entry in a Mux directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NsEntry {
+    /// A regular file.
+    File(MuxIno),
+    /// A directory.
+    Dir(MuxIno),
+}
+
+impl NsEntry {
+    fn ino(&self) -> MuxIno {
+        match self {
+            NsEntry::File(i) | NsEntry::Dir(i) => *i,
+        }
+    }
+}
+
+/// A Mux directory node.
+pub struct MuxDir {
+    /// Parent directory (self for the root).
+    pub parent: MuxIno,
+    /// Name within the parent.
+    pub name: String,
+    /// Children.
+    pub entries: BTreeMap<String, NsEntry>,
+    /// Directory attributes (kept by Mux; directories are not tiered).
+    pub attr: FileAttr,
+}
+
+/// The uniform namespace (paper §2.1): Mux's own directory tree, mirrored
+/// lazily into the native file systems as files materialize on tiers.
+#[derive(Default)]
+pub struct Namespace {
+    /// Directory nodes by Mux ino.
+    pub dirs: HashMap<MuxIno, MuxDir>,
+    /// File ino → (parent dir, name).
+    pub file_loc: HashMap<MuxIno, (MuxIno, String)>,
+}
+
+impl Namespace {
+    fn path_components(&self, dir: MuxIno) -> VfsResult<Vec<String>> {
+        let mut comps = Vec::new();
+        let mut cur = dir;
+        let mut hops = 0;
+        while cur != ROOT_INO {
+            let d = self.dirs.get(&cur).ok_or(VfsError::Stale)?;
+            comps.push(d.name.clone());
+            cur = d.parent;
+            hops += 1;
+            if hops > 4096 {
+                return Err(VfsError::Io("namespace cycle".into()));
+            }
+        }
+        comps.reverse();
+        Ok(comps)
+    }
+}
+
+/// Index of a device class in per-class cost tables.
+pub(crate) fn class_index(c: simdev::DeviceClass) -> usize {
+    match c {
+        simdev::DeviceClass::Pmem => 0,
+        simdev::DeviceClass::CxlSsd => 1,
+        simdev::DeviceClass::Ssd => 2,
+        simdev::DeviceClass::Hdd => 3,
+    }
+}
+
+/// The Mux tiered file system.
+///
+/// # Examples
+///
+/// Building a two-tier hierarchy from any [`FileSystem`] implementations
+/// and writing through the unified namespace:
+///
+/// ```
+/// use std::sync::Arc;
+/// use mux::{LruPolicy, Mux, MuxOptions, TierConfig};
+/// use simdev::{DeviceClass, VirtualClock};
+/// use tvfs::{memfs::MemFs, FileSystem, FileType, ROOT_INO};
+///
+/// let mux = Mux::new(
+///     VirtualClock::new(),
+///     Arc::new(LruPolicy::default_watermarks()),
+///     MuxOptions::default(),
+/// );
+/// mux.add_tier(
+///     TierConfig { name: "fast".into(), class: DeviceClass::Pmem },
+///     Arc::new(MemFs::new("fast", 1 << 24)) as Arc<dyn FileSystem>,
+/// );
+/// mux.add_tier(
+///     TierConfig { name: "slow".into(), class: DeviceClass::Hdd },
+///     Arc::new(MemFs::new("slow", 1 << 26)) as Arc<dyn FileSystem>,
+/// );
+/// let f = mux.create(ROOT_INO, "hello", FileType::Regular, 0o644).unwrap();
+/// mux.write(f.ino, 0, b"tiered").unwrap();
+/// mux.migrate_file(f.ino, 1).unwrap(); // demote to the slow tier
+/// let mut buf = [0u8; 6];
+/// mux.read(f.ino, 0, &mut buf).unwrap();
+/// assert_eq!(&buf, b"tiered");
+/// ```
+pub struct Mux {
+    pub(crate) opts: MuxOptions,
+    pub(crate) clock: VirtualClock,
+    pub(crate) policy: RwLock<Arc<dyn TieringPolicy>>,
+    pub(crate) tiers: RwLock<Vec<Arc<TierHandle>>>,
+    pub(crate) ns: RwLock<Namespace>,
+    pub(crate) files: RwLock<HashMap<MuxIno, Arc<MuxFile>>>,
+    pub(crate) next_ino: AtomicU64,
+    pub(crate) stats: MuxStats,
+    pub(crate) occ: OccStats,
+    pub(crate) cache: RwLock<Option<Arc<CacheController>>>,
+    pub(crate) sched: IoScheduler,
+    /// Serializes whole-file migrations (one at a time per Mux; per-file
+    /// serialization happens via `MuxFile::migrating`).
+    pub(crate) meta_mutations: AtomicU64,
+    pub(crate) metafile: Mutex<Option<crate::persist::MetafileHandle>>,
+}
+
+impl Mux {
+    /// Creates an empty Mux with the given policy. Register tiers with
+    /// [`Mux::add_tier`] before use.
+    pub fn new(clock: VirtualClock, policy: Arc<dyn TieringPolicy>, opts: MuxOptions) -> Self {
+        let mut ns = Namespace::default();
+        ns.dirs.insert(
+            ROOT_INO,
+            MuxDir {
+                parent: ROOT_INO,
+                name: String::new(),
+                entries: BTreeMap::new(),
+                attr: {
+                    let mut a = FileAttr::new(ROOT_INO, FileType::Directory, 0o755, 0);
+                    a.nlink = 2;
+                    a
+                },
+            },
+        );
+        Mux {
+            opts,
+            clock,
+            policy: RwLock::new(policy),
+            tiers: RwLock::new(Vec::new()),
+            ns: RwLock::new(ns),
+            files: RwLock::new(HashMap::new()),
+            next_ino: AtomicU64::new(ROOT_INO + 1),
+            stats: MuxStats::default(),
+            occ: OccStats::default(),
+            cache: RwLock::new(None),
+            sched: IoScheduler::new(),
+            meta_mutations: AtomicU64::new(0),
+            metafile: Mutex::new(None),
+        }
+    }
+
+    /// Registers a native file system as a tier; "the user only needs to
+    /// mount the new file system and register it with Mux" (§2.1). Works
+    /// at runtime.
+    pub fn add_tier(&self, config: TierConfig, fs: Arc<dyn FileSystem>) -> TierId {
+        let mut tiers = self.tiers.write();
+        let id = tiers.len() as TierId;
+        tiers.push(Arc::new(TierHandle {
+            id,
+            config,
+            fs,
+            draining: AtomicBool::new(false),
+            timestamp_granularity_ns: AtomicU64::new(1),
+        }));
+        id
+    }
+
+    /// Replaces the tiering policy at runtime.
+    pub fn set_policy(&self, policy: Arc<dyn TieringPolicy>) {
+        *self.policy.write() = policy;
+    }
+
+    /// Declares a tier's native timestamp granularity (§4, Feature
+    /// Imparity — e.g. 2 s for a FAT-backed tier). Mux's collective inode
+    /// keeps full-precision values; only the copies lazily synchronized to
+    /// that tier are rounded.
+    pub fn set_tier_timestamp_granularity(
+        &self,
+        tier: TierId,
+        granularity_ns: u64,
+    ) -> VfsResult<()> {
+        self.tier(tier)?
+            .timestamp_granularity_ns
+            .store(granularity_ns.max(1), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Attaches the SCM cache controller.
+    pub fn attach_cache(&self, cache: Arc<CacheController>) {
+        *self.cache.write() = Some(cache);
+    }
+
+    /// Mux-level operation counters.
+    pub fn stats(&self) -> &MuxStats {
+        &self.stats
+    }
+
+    /// OCC synchronizer counters.
+    pub fn occ_stats(&self) -> &OccStats {
+        &self.occ
+    }
+
+    /// The background I/O scheduler.
+    pub fn scheduler(&self) -> &IoScheduler {
+        &self.sched
+    }
+
+    /// Current tier table (id, name, class, space) as shown to policies;
+    /// draining tiers are excluded.
+    pub fn tier_status(&self) -> Vec<TierStatus> {
+        self.tiers
+            .read()
+            .iter()
+            .filter(|t| !t.draining.load(Ordering::Acquire))
+            .map(|t| {
+                let st = t.fs.statfs().unwrap_or(StatFs {
+                    total_bytes: 0,
+                    free_bytes: 0,
+                    inodes: 0,
+                    block_size: BLOCK as u32,
+                });
+                TierStatus {
+                    id: t.id,
+                    name: t.config.name.clone(),
+                    class: t.config.class,
+                    free_bytes: st.free_bytes,
+                    total_bytes: st.total_bytes,
+                }
+            })
+            .collect()
+    }
+
+    pub(crate) fn tier(&self, id: TierId) -> VfsResult<Arc<TierHandle>> {
+        self.tiers
+            .read()
+            .get(id as usize)
+            .cloned()
+            .ok_or_else(|| VfsError::InvalidArgument(format!("no tier {id}")))
+    }
+
+    pub(crate) fn charge(&self, ns: u64) {
+        self.clock.advance(ns);
+    }
+
+    pub(crate) fn now(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    pub(crate) fn get_file(&self, ino: MuxIno) -> VfsResult<Arc<MuxFile>> {
+        self.files
+            .read()
+            .get(&ino)
+            .cloned()
+            .ok_or(VfsError::NotFound)
+    }
+
+    pub(crate) fn note_meta_mutation(&self) {
+        let n = self.meta_mutations.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.opts.snapshot_every > 0 && n.is_multiple_of(self.opts.snapshot_every) {
+            let _ = self.snapshot_metafile();
+        }
+    }
+
+    /// Materializes the file on `tier` (creating parent directories and a
+    /// sparse file as needed) and returns the native inode.
+    pub(crate) fn ensure_native(&self, file: &MuxFile, tier: TierId) -> VfsResult<InodeNo> {
+        if let Some(&nino) = file.state.read().native.get(&tier) {
+            return Ok(nino);
+        }
+        let handle = self.tier(tier)?;
+        let (comps, name) = {
+            let ns = self.ns.read();
+            let &(parent, ref name) = ns.file_loc.get(&file.ino).ok_or(VfsError::Stale)?;
+            (ns.path_components(parent)?, name.clone())
+        };
+        let mut cur = handle.fs.root_ino();
+        for comp in &comps {
+            cur = match handle.fs.lookup(cur, comp) {
+                Ok(a) if a.is_dir() => a.ino,
+                Ok(_) => return Err(VfsError::NotDir),
+                Err(VfsError::NotFound) => {
+                    handle.fs.create(cur, comp, FileType::Directory, 0o755)?.ino
+                }
+                Err(e) => return Err(e),
+            };
+        }
+        let nino = match handle.fs.lookup(cur, &name) {
+            Ok(a) => a.ino,
+            Err(VfsError::NotFound) => handle.fs.create(cur, &name, FileType::Regular, 0o644)?.ino,
+            Err(e) => return Err(e),
+        };
+        file.state.write().native.insert(tier, nino);
+        Ok(nino)
+    }
+
+    /// Splits `[off, off+len)` at block and `max_dispatch_bytes`
+    /// boundaries, calling `f(sub_off, sub_len)` per dispatch.
+    fn for_each_dispatch(
+        &self,
+        off: u64,
+        len: u64,
+        mut f: impl FnMut(u64, u64) -> VfsResult<()>,
+    ) -> VfsResult<()> {
+        let max = self.opts.cost.max_dispatch_bytes.max(BLOCK);
+        let mut cur = off;
+        let end = off + len;
+        while cur < end {
+            let n = max.min(end - cur);
+            f(cur, n)?;
+            cur += n;
+        }
+        Ok(())
+    }
+
+    /// The write dispatch plan for `[off, off+len)`: `(tier, byte_off,
+    /// byte_len, newly_placed)` runs in file order.
+    fn plan_write(
+        &self,
+        file: &MuxFile,
+        off: u64,
+        len: u64,
+        sync: bool,
+    ) -> VfsResult<Vec<(TierId, u64, u64, bool)>> {
+        let first = off / BLOCK;
+        let last = (off + len - 1) / BLOCK;
+        let n_blocks = last - first + 1;
+        self.charge(self.opts.cost.blt_lookup_ns);
+        let state = file.state.read();
+        let file_size = state.meta.attr.size;
+        let mapped = state.blt.plan(first, n_blocks);
+        drop(state);
+        let tier_status = self.tier_status();
+        if tier_status.is_empty() {
+            return Err(VfsError::Io("mux has no tiers".into()));
+        }
+        let policy = self.policy.read().clone();
+        let mut out: Vec<(TierId, u64, u64, bool)> = Vec::new();
+        let mut cursor = first;
+        let push = |tier: TierId, b0: u64, nb: u64, fresh: bool, out: &mut Vec<_>| {
+            // Convert block run to the byte range clipped to the request.
+            let seg_start = (b0 * BLOCK).max(off);
+            let seg_end = ((b0 + nb) * BLOCK).min(off + len);
+            if seg_start < seg_end {
+                out.push((tier, seg_start, seg_end - seg_start, fresh));
+            }
+        };
+        let place_hole = |b0: u64, nb: u64, out: &mut Vec<_>| {
+            let ctx = PlacementCtx {
+                ino: file.ino,
+                off: b0 * BLOCK,
+                len: nb * BLOCK,
+                file_size,
+                is_append: b0 * BLOCK >= file_size,
+                sync,
+                tiers: &tier_status,
+            };
+            // `place_run` may stripe the run across tiers.
+            let mut b = b0;
+            for (piece_bytes, tier) in policy.place_run(&ctx) {
+                let piece_blocks = piece_bytes.div_ceil(BLOCK);
+                push(tier, b, piece_blocks.min(b0 + nb - b), true, out);
+                b += piece_blocks;
+                if b >= b0 + nb {
+                    break;
+                }
+            }
+        };
+        for e in &mapped {
+            if e.start > cursor {
+                place_hole(cursor, e.start - cursor, &mut out);
+            }
+            push(e.value, e.start, e.len, false, &mut out);
+            cursor = e.start + e.len;
+        }
+        if cursor <= last {
+            place_hole(cursor, last - cursor + 1, &mut out);
+        }
+        Ok(out)
+    }
+}
+
+impl FileSystem for Mux {
+    fn fs_name(&self) -> &str {
+        "mux"
+    }
+
+    fn lookup(&self, parent: InodeNo, name: &str) -> VfsResult<FileAttr> {
+        self.charge(self.opts.cost.call_processor_ns);
+        let ns = self.ns.read();
+        let dir = ns.dirs.get(&parent).ok_or(VfsError::NotFound)?;
+        match dir.entries.get(name) {
+            Some(NsEntry::Dir(i)) => ns.dirs.get(i).map(|d| d.attr).ok_or(VfsError::Stale),
+            Some(NsEntry::File(i)) => {
+                let files = self.files.read();
+                files
+                    .get(i)
+                    .map(|f| f.state.read().meta.attr)
+                    .ok_or(VfsError::Stale)
+            }
+            None => Err(VfsError::NotFound),
+        }
+    }
+
+    fn getattr(&self, ino: InodeNo) -> VfsResult<FileAttr> {
+        self.charge(self.opts.cost.call_processor_ns);
+        // Served entirely from the collective inode — no native calls.
+        if let Some(d) = self.ns.read().dirs.get(&ino) {
+            return Ok(d.attr);
+        }
+        Ok(self.get_file(ino)?.state.read().meta.attr)
+    }
+
+    fn setattr(&self, ino: InodeNo, set: &SetAttr) -> VfsResult<FileAttr> {
+        self.charge(self.opts.cost.call_processor_ns + self.opts.cost.meta_update_ns);
+        let now = self.now();
+        if let Some(d) = self.ns.write().dirs.get_mut(&ino) {
+            if set.size.is_some() {
+                return Err(VfsError::IsDir);
+            }
+            if let Some(m) = set.mode {
+                d.attr.mode = m;
+            }
+            if let Some(u) = set.uid {
+                d.attr.uid = u;
+            }
+            if let Some(g) = set.gid {
+                d.attr.gid = g;
+            }
+            d.attr.ctime_ns = now;
+            return Ok(d.attr);
+        }
+        let file = self.get_file(ino)?;
+        let _io = file.io_lock.write(); // exclude concurrent writes
+        if let Some(new_size) = set.size {
+            let old_size = file.state.read().meta.attr.size;
+            if new_size < old_size {
+                // Fan out the truncate to every tier materializing the
+                // file, then clear the BLT tail.
+                let natives: Vec<(TierId, InodeNo)> = {
+                    let st = file.state.read();
+                    st.native.iter().map(|(&t, &n)| (t, n)).collect()
+                };
+                for (tid, nino) in natives {
+                    self.charge(self.opts.cost.dispatch_ns);
+                    let handle = self.tier(tid)?;
+                    // Native sparse files may be shorter than the logical
+                    // size; only shrink those that extend past the cut.
+                    let nsize = handle.fs.getattr(nino)?.size;
+                    if nsize > new_size {
+                        handle.fs.setattr(nino, &SetAttr::truncate(new_size))?;
+                    }
+                }
+                let first_dead = new_size.div_ceil(BLOCK);
+                let mut st = file.state.write();
+                let end = st.blt.end();
+                if end > first_dead {
+                    st.blt.clear(first_dead, end - first_dead);
+                }
+                st.meta.attr.size = new_size;
+                st.meta.attr.mtime_ns = now;
+                drop(st);
+                if let Some(cache) = self.cache.read().clone() {
+                    cache.invalidate(ino, first_dead, u64::MAX / BLOCK - first_dead);
+                }
+            } else {
+                file.state.write().meta.attr.size = new_size;
+            }
+            file.note_write(new_size / BLOCK, 1);
+        }
+        let mut st = file.state.write();
+        if let Some(m) = set.mode {
+            st.meta.attr.mode = m;
+            let owner = st.meta.owner(AttrKind::Mode);
+            st.meta.set_owner(AttrKind::Mode, owner); // unchanged owner
+        }
+        if let Some(u) = set.uid {
+            st.meta.attr.uid = u;
+        }
+        if let Some(g) = set.gid {
+            st.meta.attr.gid = g;
+        }
+        if let Some(t) = set.atime_ns {
+            st.meta.attr.atime_ns = t;
+        }
+        if let Some(t) = set.mtime_ns {
+            st.meta.attr.mtime_ns = t;
+        }
+        st.meta.attr.ctime_ns = now;
+        let attr = st.meta.attr;
+        drop(st);
+        self.note_meta_mutation();
+        Ok(attr)
+    }
+
+    fn create(
+        &self,
+        parent: InodeNo,
+        name: &str,
+        kind: FileType,
+        mode: u32,
+    ) -> VfsResult<FileAttr> {
+        if name.is_empty() || name.contains('/') {
+            return Err(VfsError::InvalidArgument("bad name".into()));
+        }
+        self.charge(self.opts.cost.call_processor_ns + self.opts.cost.meta_update_ns);
+        let now = self.now();
+        let ino = self.next_ino.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut ns = self.ns.write();
+            let dir = ns.dirs.get_mut(&parent).ok_or(VfsError::NotFound)?;
+            if dir.entries.contains_key(name) {
+                return Err(VfsError::Exists);
+            }
+            match kind {
+                FileType::Directory => {
+                    dir.entries.insert(name.to_string(), NsEntry::Dir(ino));
+                    dir.attr.nlink += 1;
+                    let mut attr = FileAttr::new(ino, FileType::Directory, mode, now);
+                    attr.nlink = 2;
+                    ns.dirs.insert(
+                        ino,
+                        MuxDir {
+                            parent,
+                            name: name.to_string(),
+                            entries: BTreeMap::new(),
+                            attr,
+                        },
+                    );
+                }
+                FileType::Regular => {
+                    dir.entries.insert(name.to_string(), NsEntry::File(ino));
+                    ns.file_loc.insert(ino, (parent, name.to_string()));
+                }
+            }
+        }
+        let attr = FileAttr::new(ino, kind, mode, now);
+        if kind == FileType::Regular {
+            // The host file system (initial affinity owner for all
+            // metadata, §2.3) is whatever the policy would pick for the
+            // first byte.
+            let tier_status = self.tier_status();
+            let host = if tier_status.is_empty() {
+                0
+            } else {
+                let policy = self.policy.read().clone();
+                policy.place(&PlacementCtx {
+                    ino,
+                    off: 0,
+                    len: 0,
+                    file_size: 0,
+                    is_append: true,
+                    sync: false,
+                    tiers: &tier_status,
+                })
+            };
+            let file = Arc::new(MuxFile::new(ino, CollectiveInode::new(attr, host)));
+            self.files.write().insert(ino, file);
+        }
+        self.note_meta_mutation();
+        let mut out = attr;
+        if kind == FileType::Directory {
+            out.nlink = 2;
+        }
+        Ok(out)
+    }
+
+    fn unlink(&self, parent: InodeNo, name: &str) -> VfsResult<()> {
+        self.charge(self.opts.cost.call_processor_ns + self.opts.cost.meta_update_ns);
+        let entry = {
+            let ns = self.ns.read();
+            let dir = ns.dirs.get(&parent).ok_or(VfsError::NotFound)?;
+            *dir.entries.get(name).ok_or(VfsError::NotFound)?
+        };
+        match entry {
+            NsEntry::Dir(ino) => {
+                let mut ns = self.ns.write();
+                let empty = ns
+                    .dirs
+                    .get(&ino)
+                    .map(|d| d.entries.is_empty())
+                    .ok_or(VfsError::Stale)?;
+                if !empty {
+                    return Err(VfsError::NotEmpty);
+                }
+                ns.dirs.remove(&ino);
+                if let Some(p) = ns.dirs.get_mut(&parent) {
+                    p.entries.remove(name);
+                    p.attr.nlink = p.attr.nlink.saturating_sub(1);
+                }
+                // Native mirrors of the directory are garbage-collected
+                // lazily; empty dirs on tiers are harmless.
+            }
+            NsEntry::File(ino) => {
+                let file = self.get_file(ino)?;
+                let _io = file.io_lock.write();
+                // Fan out the unlink to every tier materializing it.
+                let natives: Vec<TierId> = {
+                    let st = file.state.read();
+                    st.native.keys().copied().collect()
+                };
+                for tid in natives {
+                    self.charge(self.opts.cost.dispatch_ns);
+                    let handle = self.tier(tid)?;
+                    // Resolve the native parent by path and unlink there.
+                    let (comps, fname) = {
+                        let ns = self.ns.read();
+                        let &(p, ref n) = ns.file_loc.get(&ino).ok_or(VfsError::Stale)?;
+                        (ns.path_components(p)?, n.clone())
+                    };
+                    let mut cur = handle.fs.root_ino();
+                    let mut ok = true;
+                    for comp in &comps {
+                        match handle.fs.lookup(cur, comp) {
+                            Ok(a) => cur = a.ino,
+                            Err(_) => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        match handle.fs.unlink(cur, &fname) {
+                            Ok(()) | Err(VfsError::NotFound) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                if let Some(cache) = self.cache.read().clone() {
+                    cache.invalidate_file(ino);
+                }
+                let mut ns = self.ns.write();
+                if let Some(p) = ns.dirs.get_mut(&parent) {
+                    p.entries.remove(name);
+                }
+                ns.file_loc.remove(&ino);
+                drop(ns);
+                self.files.write().remove(&ino);
+            }
+        }
+        self.note_meta_mutation();
+        Ok(())
+    }
+
+    fn rename(
+        &self,
+        parent: InodeNo,
+        name: &str,
+        new_parent: InodeNo,
+        new_name: &str,
+    ) -> VfsResult<()> {
+        self.charge(self.opts.cost.call_processor_ns + self.opts.cost.meta_update_ns);
+        let entry = {
+            let ns = self.ns.read();
+            let dir = ns.dirs.get(&parent).ok_or(VfsError::NotFound)?;
+            *dir.entries.get(name).ok_or(VfsError::NotFound)?
+        };
+        // Replace target if it exists.
+        let existing = {
+            let ns = self.ns.read();
+            let ndir = ns.dirs.get(&new_parent).ok_or(VfsError::NotFound)?;
+            ndir.entries.get(new_name).copied()
+        };
+        match existing {
+            Some(NsEntry::Dir(d)) => {
+                let ns = self.ns.read();
+                if ns.dirs.get(&d).is_some_and(|dd| !dd.entries.is_empty()) {
+                    return Err(VfsError::NotEmpty);
+                }
+                drop(ns);
+                self.unlink(new_parent, new_name)?;
+            }
+            Some(NsEntry::File(f)) if NsEntry::File(f) != entry => {
+                self.unlink(new_parent, new_name)?;
+            }
+            _ => {}
+        }
+        // Fan out the rename to tiers that materialize the file, so native
+        // paths stay congruent with the Mux namespace.
+        if let NsEntry::File(ino) = entry {
+            let file = self.get_file(ino)?;
+            let natives: Vec<(TierId, InodeNo)> = {
+                let st = file.state.read();
+                st.native.iter().map(|(&t, &n)| (t, n)).collect()
+            };
+            for (tid, _nino) in natives {
+                self.charge(self.opts.cost.dispatch_ns);
+                let handle = self.tier(tid)?;
+                let (old_comps, old_name) = {
+                    let ns = self.ns.read();
+                    let &(p, ref n) = ns.file_loc.get(&ino).ok_or(VfsError::Stale)?;
+                    (ns.path_components(p)?, n.clone())
+                };
+                let new_comps = self.ns.read().path_components(new_parent)?;
+                // Resolve old parent.
+                let mut cur = handle.fs.root_ino();
+                let mut found = true;
+                for comp in &old_comps {
+                    match handle.fs.lookup(cur, comp) {
+                        Ok(a) => cur = a.ino,
+                        Err(_) => {
+                            found = false;
+                            break;
+                        }
+                    }
+                }
+                if !found {
+                    continue;
+                }
+                let old_parent_native = cur;
+                // Resolve/create new parent chain.
+                let mut cur = handle.fs.root_ino();
+                for comp in &new_comps {
+                    cur = match handle.fs.lookup(cur, comp) {
+                        Ok(a) => a.ino,
+                        Err(VfsError::NotFound) => {
+                            handle.fs.create(cur, comp, FileType::Directory, 0o755)?.ino
+                        }
+                        Err(e) => return Err(e),
+                    };
+                }
+                match handle
+                    .fs
+                    .rename(old_parent_native, &old_name, cur, new_name)
+                {
+                    Ok(()) | Err(VfsError::NotFound) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let mut ns = self.ns.write();
+        let dir = ns.dirs.get_mut(&parent).ok_or(VfsError::NotFound)?;
+        dir.entries.remove(name);
+        let ndir = ns.dirs.get_mut(&new_parent).ok_or(VfsError::NotFound)?;
+        ndir.entries.insert(new_name.to_string(), entry);
+        match entry {
+            NsEntry::File(ino) => {
+                ns.file_loc.insert(ino, (new_parent, new_name.to_string()));
+            }
+            NsEntry::Dir(d) => {
+                if let Some(dd) = ns.dirs.get_mut(&d) {
+                    dd.parent = new_parent;
+                    dd.name = new_name.to_string();
+                }
+            }
+        }
+        drop(ns);
+        self.note_meta_mutation();
+        Ok(())
+    }
+
+    fn readdir(&self, ino: InodeNo) -> VfsResult<Vec<DirEntry>> {
+        self.charge(self.opts.cost.call_processor_ns);
+        let ns = self.ns.read();
+        let dir = ns.dirs.get(&ino).ok_or(VfsError::NotFound)?;
+        Ok(dir
+            .entries
+            .iter()
+            .map(|(name, e)| DirEntry {
+                name: name.clone(),
+                ino: e.ino(),
+                kind: match e {
+                    NsEntry::Dir(_) => FileType::Directory,
+                    NsEntry::File(_) => FileType::Regular,
+                },
+            })
+            .collect())
+    }
+
+    fn read(&self, ino: InodeNo, off: u64, buf: &mut [u8]) -> VfsResult<usize> {
+        let cost = &self.opts.cost;
+        self.charge(cost.call_processor_ns + cost.blt_lookup_ns + cost.occ_check_ns);
+        let file = self.get_file(ino)?;
+        let now = self.now();
+        let size = file.state.read().meta.attr.size;
+        if off >= size {
+            return Ok(0);
+        }
+        let n = buf.len().min((size - off) as usize);
+        let first = off / BLOCK;
+        let last = (off + n as u64 - 1) / BLOCK;
+        let plan = file.state.read().blt.plan(first, last - first + 1);
+        let cache = self.cache.read().clone();
+        let mut last_tier: Option<TierId> = None;
+        let mut split_tiers = std::collections::HashSet::new();
+        // Zero-fill; mapped segments overwrite.
+        buf[..n].fill(0);
+        for seg in &plan {
+            split_tiers.insert(seg.value);
+            last_tier = Some(seg.value);
+            let handle = self.tier(seg.value)?;
+            let seg_start = (seg.start * BLOCK).max(off);
+            let seg_end = ((seg.start + seg.len) * BLOCK).min(off + n as u64);
+            // Per-block cache check, then dispatch the uncached remainder.
+            let mut cur = seg_start;
+            while cur < seg_end {
+                let block = cur / BLOCK;
+                let block_end = ((block + 1) * BLOCK).min(seg_end);
+                let dst = &mut buf[(cur - off) as usize..(block_end - off) as usize];
+                let mut served = false;
+                if let Some(c) = &cache {
+                    if c.should_cache(handle.config.class) {
+                        let mut page = vec![0u8; BLOCK as usize];
+                        if c.lookup(ino, block, &mut page)? {
+                            let in_pg = (cur % BLOCK) as usize;
+                            dst.copy_from_slice(&page[in_pg..in_pg + dst.len()]);
+                            MuxStats::add(&self.stats.cache_hits, 1);
+                            served = true;
+                        } else {
+                            MuxStats::add(&self.stats.cache_misses, 1);
+                        }
+                    }
+                }
+                if !served {
+                    let nino = self.ensure_native(&file, seg.value)?;
+                    self.charge(cost.dispatch_ns);
+                    MuxStats::add(&self.stats.dispatches, 1);
+                    let got = match handle.fs.read(nino, cur, dst) {
+                        Ok(got) => got,
+                        Err(VfsError::Io(primary_err)) => {
+                            // Primary tier failed: fail over to a replica
+                            // if this block has one (§4 replication).
+                            let rep = file.state.read().replicas.get(block);
+                            match rep {
+                                Some(rt) if rt != seg.value => {
+                                    let rh = self.tier(rt)?;
+                                    let rino = self.ensure_native(&file, rt)?;
+                                    self.charge(cost.dispatch_ns);
+                                    rh.fs.read(rino, cur, dst)?
+                                }
+                                _ => return Err(VfsError::Io(primary_err)),
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    // Native sparse size may be shorter: the rest is zeros.
+                    if got < dst.len() {
+                        dst[got..].fill(0);
+                    }
+                    if let Some(c) = &cache {
+                        if c.should_cache(handle.config.class) {
+                            // Fill the whole block (page-granular cache);
+                            // best-effort — a failing primary (already
+                            // served via replica) must not fail the read.
+                            let mut page = vec![0u8; BLOCK as usize];
+                            if let Ok(got) = handle.fs.read(nino, block * BLOCK, &mut page) {
+                                if got > 0 {
+                                    c.fill(ino, block, &page)?;
+                                }
+                            }
+                        }
+                    }
+                }
+                cur = block_end;
+            }
+        }
+        self.charge(cost.merge_ns);
+        MuxStats::add(&self.stats.reads, 1);
+        MuxStats::add(&self.stats.bytes_read, n as u64);
+        if split_tiers.len() > 1 {
+            MuxStats::add(&self.stats.split_reads, 1);
+        }
+        // Metadata affinity: the tier serving the final block owns atime.
+        if let Some(t) = last_tier {
+            let mut st = file.state.write();
+            st.meta.on_read(t, now);
+            drop(st);
+            let policy = self.policy.read().clone();
+            policy.on_access(ino, first, last - first + 1, false, now);
+            let fastest = self
+                .tier_status()
+                .into_iter()
+                .min_by_key(|s| s.class)
+                .map(|s| s.id);
+            if fastest.is_some() && fastest != Some(t) {
+                policy.on_tier_read(ino, t, false, now);
+            }
+        }
+        Ok(n)
+    }
+
+    fn write(&self, ino: InodeNo, off: u64, data: &[u8]) -> VfsResult<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let cost = &self.opts.cost;
+        self.charge(cost.call_processor_ns + cost.occ_check_ns);
+        let file = self.get_file(ino)?;
+        let now = self.now();
+        let _io = file.io_lock.read();
+        let plan = self.plan_write(&file, off, data.len() as u64, false)?;
+        let mut split_tiers = std::collections::HashSet::new();
+        let mut last_tier = 0;
+        for &(tier, seg_off, seg_len, _fresh) in &plan {
+            split_tiers.insert(tier);
+            last_tier = tier;
+            let handle = self.tier(tier)?;
+            let extra_per_kib =
+                cost.write_dispatch_extra_ns_per_kib[class_index(handle.config.class)];
+            let nino = self.ensure_native(&file, tier)?;
+            self.for_each_dispatch(seg_off, seg_len, |sub_off, sub_len| {
+                self.charge(cost.dispatch_ns + extra_per_kib * sub_len.div_ceil(1024));
+                MuxStats::add(&self.stats.dispatches, 1);
+                let src = &data[(sub_off - off) as usize..(sub_off - off + sub_len) as usize];
+                let wrote = handle.fs.write(nino, sub_off, src)?;
+                if wrote != src.len() {
+                    return Err(VfsError::Io("short native write".into()));
+                }
+                Ok(())
+            })?;
+        }
+        // Bookkeeping: BLT for fresh placements, affinity, version.
+        let first = off / BLOCK;
+        let last = (off + data.len() as u64 - 1) / BLOCK;
+        {
+            let mut st = file.state.write();
+            for &(tier, seg_off, seg_len, fresh) in &plan {
+                if fresh {
+                    let b0 = seg_off / BLOCK;
+                    let b1 = (seg_off + seg_len - 1) / BLOCK;
+                    st.blt.assign(b0, b1 - b0 + 1, tier);
+                }
+            }
+            st.meta.on_write(last_tier, off + data.len() as u64, now);
+            st.meta.attr.blocks_bytes = st.blt.mapped_blocks() * BLOCK;
+            // Overwritten blocks invalidate their replicas (§4): the
+            // replica is a point-in-time durability copy, never a stale
+            // read source.
+            st.replicas.remove(first, last - first + 1);
+        }
+        self.charge(cost.meta_update_ns + cost.merge_ns);
+        file.note_write(first, last - first + 1);
+        if let Some(cache) = self.cache.read().clone() {
+            cache.invalidate(ino, first, last - first + 1);
+        }
+        MuxStats::add(&self.stats.writes, 1);
+        MuxStats::add(&self.stats.bytes_written, data.len() as u64);
+        if split_tiers.len() > 1 {
+            MuxStats::add(&self.stats.split_writes, 1);
+        }
+        let policy = self.policy.read().clone();
+        policy.on_access(ino, first, last - first + 1, true, now);
+        Ok(data.len())
+    }
+
+    fn punch_hole(&self, ino: InodeNo, off: u64, len: u64) -> VfsResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        self.charge(self.opts.cost.call_processor_ns + self.opts.cost.blt_lookup_ns);
+        let file = self.get_file(ino)?;
+        let _io = file.io_lock.read();
+        let first = off / BLOCK;
+        let end = off + len;
+        let plan = file
+            .state
+            .read()
+            .blt
+            .plan(first, end.div_ceil(BLOCK) - first);
+        for seg in &plan {
+            let handle = self.tier(seg.value)?;
+            let nino = self.ensure_native(&file, seg.value)?;
+            let seg_start = (seg.start * BLOCK).max(off);
+            let seg_end = ((seg.start + seg.len) * BLOCK).min(end);
+            self.charge(self.opts.cost.dispatch_ns);
+            handle.fs.punch_hole(nino, seg_start, seg_end - seg_start)?;
+        }
+        // Whole blocks leave the BLT.
+        let first_full = off.div_ceil(BLOCK);
+        let last_full = end / BLOCK;
+        if last_full > first_full {
+            file.state
+                .write()
+                .blt
+                .clear(first_full, last_full - first_full);
+            if let Some(cache) = self.cache.read().clone() {
+                cache.invalidate(ino, first_full, last_full - first_full);
+            }
+        }
+        file.note_write(first, end.div_ceil(BLOCK) - first);
+        self.note_meta_mutation();
+        Ok(())
+    }
+
+    fn next_data(&self, ino: InodeNo, off: u64) -> VfsResult<Option<(u64, u64)>> {
+        self.charge(self.opts.cost.call_processor_ns + self.opts.cost.blt_lookup_ns);
+        let file = self.get_file(ino)?;
+        let st = file.state.read();
+        let size = st.meta.attr.size;
+        if off >= size {
+            return Ok(None);
+        }
+        match st.blt.next_mapped(off / BLOCK) {
+            Some(e) => {
+                let start = (e.start * BLOCK).max(off);
+                let end = ((e.start + e.len) * BLOCK).min(size);
+                if start >= size {
+                    return Ok(None);
+                }
+                Ok(Some((start, end - start)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn fsync(&self, ino: InodeNo) -> VfsResult<()> {
+        self.charge(self.opts.cost.call_processor_ns);
+        if self.ns.read().dirs.contains_key(&ino) {
+            // Directory fsync: persist the Mux metafile.
+            return self.snapshot_metafile();
+        }
+        let file = self.get_file(ino)?;
+        MuxStats::add(&self.stats.fsyncs, 1);
+        // Fan out to every participating file system and synchronize their
+        // completion (paper §4).
+        let natives: Vec<(TierId, InodeNo)> = {
+            let st = file.state.read();
+            st.native.iter().map(|(&t, &n)| (t, n)).collect()
+        };
+        for (tid, nino) in &natives {
+            self.charge(self.opts.cost.dispatch_ns);
+            let handle = self.tier(*tid)?;
+            handle.fs.fsync(*nino)?;
+        }
+        // Lazy metadata sync: push collective-inode values to tiers whose
+        // native copies went stale when affinity moved.
+        let (stale, attr) = {
+            let mut st = file.state.write();
+            (st.meta.take_stale(), st.meta.attr)
+        };
+        for tid in stale {
+            if let Some(&nino) = file.state.read().native.get(&tid) {
+                let handle = self.tier(tid)?;
+                // Respect the tier's native timestamp semantics (§4): a
+                // FAT-granularity tier only ever sees rounded values.
+                let gran = handle
+                    .timestamp_granularity_ns
+                    .load(Ordering::Relaxed)
+                    .max(1);
+                let _ = handle.fs.setattr(
+                    nino,
+                    &SetAttr {
+                        atime_ns: Some(attr.atime_ns / gran * gran),
+                        mtime_ns: Some(attr.mtime_ns / gran * gran),
+                        mode: Some(attr.mode),
+                        ..Default::default()
+                    },
+                );
+            }
+        }
+        self.snapshot_metafile()
+    }
+
+    fn sync(&self) -> VfsResult<()> {
+        self.charge(self.opts.cost.call_processor_ns);
+        for t in self.tiers.read().iter() {
+            t.fs.sync()?;
+        }
+        self.snapshot_metafile()
+    }
+
+    fn statfs(&self) -> VfsResult<StatFs> {
+        // Aggregated across tiers: the hierarchy is "a single device to the
+        // host" (§1).
+        let mut total = 0;
+        let mut free = 0;
+        for t in self.tiers.read().iter() {
+            if let Ok(st) = t.fs.statfs() {
+                total += st.total_bytes;
+                free += st.free_bytes;
+            }
+        }
+        Ok(StatFs {
+            total_bytes: total,
+            free_bytes: free,
+            inodes: self.files.read().len() as u64,
+            block_size: BLOCK as u32,
+        })
+    }
+}

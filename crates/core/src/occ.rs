@@ -1,0 +1,548 @@
+//! The OCC Synchronizer (paper §2.4).
+//!
+//! Data movement between file systems cannot use a shared lock — "no
+//! universal lock among them exists" — so Mux uses optimistic concurrency
+//! control: "data movement does not change the content of the data; so, a
+//! data movement process is considered successful if the content of the
+//! data remains unchanged throughout the process."
+//!
+//! Protocol per migrated range:
+//!
+//! 1. **Begin** — set the file's migration flag, snapshot the version
+//!    counter, clear the dirty-range list (writers append to it while the
+//!    flag is up).
+//! 2. **Copy** — read the range from the source file system(s), write it
+//!    into the destination's sparse file at the same offsets. No lock is
+//!    held; user I/O proceeds concurrently.
+//! 3. **Validate + commit** — take the file's `io_lock` exclusively for an
+//!    instant (this only waits out writes already in flight): if no dirty
+//!    range intersects the migrated range, swing the Block Lookup Table —
+//!    the copied blocks become visible atomically. Otherwise retry just
+//!    the conflicting blocks, up to `migration_retries` times.
+//! 4. **Fallback** — if retries exhaust, hold `io_lock` exclusively while
+//!    copying the remaining conflicted blocks (lock-based migration), so
+//!    the process "will be completed in a finite amount of time" and the
+//!    replication lag is bounded.
+//! 5. **Reclaim** — punch the moved blocks out of the source file systems.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tvfs::{VfsError, VfsResult};
+
+use crate::file::{clip_ranges, ranges_intersect, MuxFile, MuxIno};
+use crate::mux::Mux;
+use crate::policy::{FileView, MigrationPlan};
+use crate::sched::IoRequest;
+use crate::types::{TierId, BLOCK};
+
+/// Counters for the OCC synchronizer.
+#[derive(Debug, Default)]
+pub struct OccStats {
+    /// Migration attempts started.
+    pub migrations: AtomicU64,
+    /// Copy rounds that found conflicting writes at validation.
+    pub conflicts: AtomicU64,
+    /// Optimistic retry rounds executed.
+    pub retries: AtomicU64,
+    /// Migrations that fell back to lock-based copying.
+    pub fallbacks: AtomicU64,
+    /// Blocks whose ownership moved.
+    pub blocks_moved: AtomicU64,
+    /// Virtual nanoseconds the per-file `io_lock` was held *exclusively*
+    /// by migration code — the §2.4 "critical path" that OCC minimizes
+    /// (user writes stall only while this lock is held).
+    pub lock_hold_vns: AtomicU64,
+}
+
+impl OccStats {
+    fn bump(c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `(migrations, conflicts, retries, fallbacks, blocks_moved)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.migrations.load(Ordering::Relaxed),
+            self.conflicts.load(Ordering::Relaxed),
+            self.retries.load(Ordering::Relaxed),
+            self.fallbacks.load(Ordering::Relaxed),
+            self.blocks_moved.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Virtual ns migrations spent holding the per-file write lock.
+    pub fn lock_hold_vns(&self) -> u64 {
+        self.lock_hold_vns.load(Ordering::Relaxed)
+    }
+}
+
+/// How a migration concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationOutcome {
+    /// Nothing needed to move (already on the destination / holes only).
+    NothingToDo,
+    /// Committed optimistically after `retries` conflict-retry rounds.
+    Committed {
+        /// Conflict-retry rounds that ran before the commit.
+        retries: u32,
+    },
+    /// Committed, but only after falling back to lock-based copying.
+    LockFallback,
+}
+
+/// Result of one policy-driven migration pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrationSummary {
+    /// Plans the policy produced.
+    pub planned: usize,
+    /// Plans executed (source differed from destination).
+    pub executed: usize,
+    /// Total blocks moved.
+    pub blocks_moved: u64,
+    /// Plans that failed (e.g. destination out of space).
+    pub failed: usize,
+}
+
+impl Mux {
+    /// Copies `[block, block+n)` of `file` into tier `to` (no commit).
+    /// Returns the number of blocks copied. Copies flow through the I/O
+    /// scheduler so seek-bound sources are read in elevator order.
+    fn copy_range(&self, file: &MuxFile, block: u64, n: u64, to: TierId) -> VfsResult<u64> {
+        let plan = file.state.read().blt.plan(block, n);
+        let dst = self.tier(to)?;
+        let dst_ino = self.ensure_native(file, to)?;
+        let mut copied = 0u64;
+        // Queue per-source reads and drain in device order.
+        let mut by_tier: Vec<(TierId, Vec<IoRequest>)> = Vec::new();
+        // Small enough that a native file system's internal locking
+        // never stalls foreground I/O for long; large enough to amortize
+        // per-request overheads.
+        const COPY_CHUNK: u64 = 256 << 10;
+        for seg in &plan {
+            if seg.value == to {
+                continue;
+            }
+            // Bound buffer sizes: split large extents into copy chunks.
+            let mut off = seg.start * BLOCK;
+            let end = (seg.start + seg.len) * BLOCK;
+            while off < end {
+                let len = COPY_CHUNK.min(end - off);
+                let req = IoRequest {
+                    ino: file.ino,
+                    off,
+                    len,
+                    write: false,
+                };
+                match by_tier.iter_mut().find(|(t, _)| *t == seg.value) {
+                    Some((_, v)) => v.push(req),
+                    None => by_tier.push((seg.value, vec![req])),
+                }
+                off += len;
+            }
+        }
+        for (tier, reqs) in by_tier {
+            let src = self.tier(tier)?;
+            let src_ino = self.ensure_native(file, tier)?;
+            for r in reqs {
+                self.sched.submit(tier, r);
+            }
+            // Determine drain order from the source device class via the
+            // registered profile-ish heuristic: seek-bound tiers are
+            // elevator-ordered inside the scheduler.
+            let profile = match src.config.class {
+                simdev::DeviceClass::Hdd => simdev::hdd(),
+                simdev::DeviceClass::Ssd => simdev::nvme_ssd(),
+                simdev::DeviceClass::CxlSsd => simdev::cxl_ssd(),
+                simdev::DeviceClass::Pmem => simdev::pmem(),
+            };
+            for r in self.sched.drain(tier, &profile) {
+                let mut buf = vec![0u8; r.len as usize];
+                let got = src.fs.read(src_ino, r.off, &mut buf)?;
+                // Sparse shorter file: the tail reads as zeros.
+                buf[got..].fill(0);
+                let wrote = dst.fs.write(dst_ino, r.off, &buf)?;
+                if wrote != buf.len() {
+                    return Err(VfsError::Io("short migration write".into()));
+                }
+                copied += r.len / BLOCK;
+            }
+        }
+        Ok(copied)
+    }
+
+    /// Punches the moved range out of every source file system.
+    fn reclaim_sources(&self, file: &MuxFile, moved: &[(TierId, u64, u64)]) -> VfsResult<()> {
+        for &(tier, b0, nb) in moved {
+            let handle = self.tier(tier)?;
+            if let Some(&nino) = file.state.read().native.get(&tier) {
+                handle.fs.punch_hole(nino, b0 * BLOCK, nb * BLOCK)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Migrates `[block, block+n)` of file `ino` to tier `to` using the
+    /// OCC synchronizer.
+    pub fn migrate_range(
+        &self,
+        ino: MuxIno,
+        block: u64,
+        n: u64,
+        to: TierId,
+    ) -> VfsResult<MigrationOutcome> {
+        let file = self.get_file(ino)?;
+        let dst = self.tier(to)?; // validate destination
+        if dst.draining.load(Ordering::Acquire) {
+            return Err(VfsError::InvalidArgument(
+                "destination tier is being removed".into(),
+            ));
+        }
+        // Anything to do?
+        let sources: Vec<(TierId, u64, u64)> = file
+            .state
+            .read()
+            .blt
+            .plan(block, n)
+            .iter()
+            .filter(|e| e.value != to)
+            .map(|e| (e.value, e.start, e.len))
+            .collect();
+        if sources.is_empty() {
+            return Ok(MigrationOutcome::NothingToDo);
+        }
+        // One migration at a time per file.
+        if file.migrating.swap(true, Ordering::AcqRel) {
+            return Err(VfsError::Busy);
+        }
+        OccStats::bump(&self.occ.migrations, 1);
+        // Journal the intent before any copy lands in the destination, so
+        // crash recovery can tell migration debris from real data.
+        self.journal_migration_intent(ino, block, n, to)?;
+        let result = self.migrate_locked_out(&file, block, n, to);
+        // The flag is cleared inside commit paths via end_migration; make
+        // sure a failure also clears it.
+        file.migrating.store(false, Ordering::Release);
+        let outcome = result?;
+        // The destination is a (possibly new) participant whose native
+        // metadata has never seen the collective inode: queue lazy sync.
+        file.state.write().meta.mark_stale(to);
+        self.journal_migration_commit(ino, block, n, to)?;
+        self.reclaim_sources(&file, &sources)?;
+        OccStats::bump(&self.occ.blocks_moved, sources.iter().map(|s| s.2).sum());
+        self.note_meta_mutation();
+        Ok(outcome)
+    }
+
+    /// The OCC attempt/retry/fallback loop. The migration flag is already
+    /// set; `begin_migration`'s dirty window tracks concurrent writers.
+    ///
+    /// Invariant across rounds: every block of `[block, block+n)` outside
+    /// `remaining` has a fresh copy on the destination (any write that
+    /// could have staled it was folded into `remaining` by a later
+    /// round). Commit therefore validates the *whole* range against the
+    /// current dirty window and swings the entire Block Lookup Table
+    /// range at once.
+    fn migrate_locked_out(
+        &self,
+        file: &MuxFile,
+        block: u64,
+        n: u64,
+        to: TierId,
+    ) -> VfsResult<MigrationOutcome> {
+        let cost = &self.opts.cost;
+        let mut remaining: Vec<(u64, u64)> = vec![(block, n)];
+        let mut retries = 0u32;
+        let commit = |file: &MuxFile| {
+            let mut st = file.state.write();
+            let mapped: Vec<(u64, u64)> = st
+                .blt
+                .plan(block, n)
+                .iter()
+                .map(|e| (e.start, e.len))
+                .collect();
+            for (mb, ml) in mapped {
+                st.blt.assign(mb, ml, to);
+            }
+        };
+        loop {
+            file.begin_migration();
+            for &(b, l) in &remaining {
+                self.copy_range(file, b, l, to)?;
+            }
+            // Make the copies durable on the destination before they can
+            // become visible through the Block Lookup Table.
+            if let Some(&dst_ino) = file.state.read().native.get(&to) {
+                self.tier(to)?.fs.fsync(dst_ino)?;
+            }
+            self.charge(cost.occ_check_ns);
+            // Validate against the whole migrated range: any write during
+            // this round staled whatever it touched.
+            if !ranges_intersect(&file.peek_dirty(), block, n) {
+                // Commit: exclusive instant, recheck, swing the BLT.
+                let io = file.io_lock.write();
+                let t0 = self.clock.now_ns();
+                let dirty = file.peek_dirty();
+                if !ranges_intersect(&dirty, block, n) {
+                    // The only work on the user-visible critical path: the
+                    // revalidation plus the BLT swing.
+                    self.charge(cost.occ_check_ns + cost.blt_lookup_ns + cost.meta_update_ns);
+                    commit(file);
+                    file.end_migration();
+                    OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+                    drop(io);
+                    return Ok(MigrationOutcome::Committed { retries });
+                }
+                OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+                drop(io);
+                // A write slipped in between validate and commit.
+            }
+            OccStats::bump(&self.occ.conflicts, 1);
+            // Retry only the conflicted blocks.
+            let dirty = file.end_migration();
+            remaining = clip_ranges(&dirty, block, n);
+            debug_assert!(!remaining.is_empty());
+            retries += 1;
+            OccStats::bump(&self.occ.retries, 1);
+            if retries > self.opts.migration_retries {
+                // Lock-based fallback: block writers while re-copying the
+                // conflicted remainder, then commit everything.
+                OccStats::bump(&self.occ.fallbacks, 1);
+                let io = file.io_lock.write();
+                let t0 = self.clock.now_ns();
+                file.begin_migration();
+                for &(b, l) in &remaining {
+                    self.copy_range(file, b, l, to)?;
+                }
+                if let Some(&dst_ino) = file.state.read().native.get(&to) {
+                    self.tier(to)?.fs.fsync(dst_ino)?;
+                }
+                commit(file);
+                file.end_migration();
+                OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+                drop(io);
+                return Ok(MigrationOutcome::LockFallback);
+            }
+        }
+    }
+
+    /// Migrates `[block, block+n)` holding the file's `io_lock`
+    /// exclusively for the *entire* copy — the traditional pessimistic
+    /// scheme the OCC ablation compares against. Writers stall for the
+    /// whole migration instead of only the commit instant.
+    pub fn migrate_range_lock_based(
+        &self,
+        ino: MuxIno,
+        block: u64,
+        n: u64,
+        to: TierId,
+    ) -> VfsResult<MigrationOutcome> {
+        let file = self.get_file(ino)?;
+        self.tier(to)?;
+        let sources: Vec<(TierId, u64, u64)> = file
+            .state
+            .read()
+            .blt
+            .plan(block, n)
+            .iter()
+            .filter(|e| e.value != to)
+            .map(|e| (e.value, e.start, e.len))
+            .collect();
+        if sources.is_empty() {
+            return Ok(MigrationOutcome::NothingToDo);
+        }
+        if file.migrating.swap(true, Ordering::AcqRel) {
+            return Err(VfsError::Busy);
+        }
+        OccStats::bump(&self.occ.migrations, 1);
+        OccStats::bump(&self.occ.fallbacks, 1);
+        self.journal_migration_intent(ino, block, n, to)?;
+        {
+            let _io = file.io_lock.write();
+            let t0 = self.clock.now_ns();
+            let res = self.copy_range(&file, block, n, to).and_then(|c| {
+                if let Some(&dst_ino) = file.state.read().native.get(&to) {
+                    self.tier(to)?.fs.fsync(dst_ino)?;
+                }
+                Ok(c)
+            });
+            OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+            if res.is_ok() {
+                let mut st = file.state.write();
+                let mapped: Vec<(u64, u64)> = st
+                    .blt
+                    .plan(block, n)
+                    .iter()
+                    .map(|e| (e.start, e.len))
+                    .collect();
+                for (mb, ml) in mapped {
+                    st.blt.assign(mb, ml, to);
+                }
+            }
+            file.migrating.store(false, Ordering::Release);
+            res?;
+        }
+        file.state.write().meta.mark_stale(to);
+        self.journal_migration_commit(ino, block, n, to)?;
+        self.reclaim_sources(&file, &sources)?;
+        OccStats::bump(&self.occ.blocks_moved, sources.iter().map(|s| s.2).sum());
+        self.note_meta_mutation();
+        Ok(MigrationOutcome::LockFallback)
+    }
+
+    /// Replicates `[block, block+n)` onto tier `to` (paper §4: replication
+    /// across devices for stronger crash consistency). The Block Lookup
+    /// Table is unchanged — the primary copy keeps serving I/O — but the
+    /// replica is recorded and used as a read-failover source when the
+    /// primary errors, and preferred by recovery when the primary tier
+    /// lost data. Writes to a replicated range invalidate the replica.
+    pub fn replicate_range(&self, ino: MuxIno, block: u64, n: u64, to: TierId) -> VfsResult<u64> {
+        let file = self.get_file(ino)?;
+        self.tier(to)?;
+        // Exclude writers for the copy: replicas must match the primary at
+        // the instant they are recorded (simple and safe; replication is a
+        // background durability job, not a hot path).
+        let _io = file.io_lock.write();
+        let copied = {
+            // Copy only blocks not already living on `to`.
+            let plan = file.state.read().blt.plan(block, n);
+            let mut copied = 0u64;
+            let dst = self.tier(to)?;
+            let dst_ino = self.ensure_native(&file, to)?;
+            for seg in plan {
+                if seg.value == to {
+                    continue;
+                }
+                let src = self.tier(seg.value)?;
+                let src_ino = self.ensure_native(&file, seg.value)?;
+                let mut off = seg.start * BLOCK;
+                let end = (seg.start + seg.len) * BLOCK;
+                while off < end {
+                    let len = (4u64 << 20).min(end - off);
+                    let mut buf = vec![0u8; len as usize];
+                    let got = src.fs.read(src_ino, off, &mut buf)?;
+                    buf[got..].fill(0);
+                    dst.fs.write(dst_ino, off, &buf)?;
+                    off += len;
+                }
+                let mut st = file.state.write();
+                st.replicas.insert(seg.start, seg.len, to);
+                copied += seg.len;
+            }
+            if copied > 0 {
+                let dst = self.tier(to)?;
+                dst.fs.fsync(dst_ino)?;
+            }
+            copied
+        };
+        self.note_meta_mutation();
+        Ok(copied)
+    }
+
+    /// Migrates an entire file to `to`.
+    pub fn migrate_file(&self, ino: MuxIno, to: TierId) -> VfsResult<MigrationOutcome> {
+        let file = self.get_file(ino)?;
+        let end = file.state.read().blt.end();
+        if end == 0 {
+            return Ok(MigrationOutcome::NothingToDo);
+        }
+        self.migrate_range(ino, 0, end, to)
+    }
+
+    /// One policy-driven migration pass: asks the policy for plans and
+    /// executes them.
+    pub fn run_policy_migrations(&self) -> MigrationSummary {
+        let tiers = self.tier_status();
+        let files: Vec<FileView> = {
+            let files = self.files.read();
+            files
+                .values()
+                .map(|f| {
+                    let st = f.state.read();
+                    FileView {
+                        ino: f.ino,
+                        extents: st
+                            .blt
+                            .extents()
+                            .iter()
+                            .map(|e| (e.start, e.len, e.value))
+                            .collect(),
+                    }
+                })
+                .collect()
+        };
+        let policy = self.policy.read().clone();
+        let plans: Vec<MigrationPlan> = policy.plan_migrations(&tiers, &files);
+        let mut summary = MigrationSummary {
+            planned: plans.len(),
+            ..Default::default()
+        };
+        for p in plans {
+            match self.migrate_range(p.ino, p.block, p.n_blocks, p.to) {
+                Ok(MigrationOutcome::NothingToDo) => {}
+                Ok(_) => {
+                    summary.executed += 1;
+                    summary.blocks_moved += p.n_blocks;
+                }
+                Err(_) => summary.failed += 1,
+            }
+        }
+        summary
+    }
+
+    /// Removes a tier: drains every block off it, then drops the handle.
+    /// "To remove a device, data must be migrated first" (§2.1).
+    pub fn remove_tier(&self, tier: TierId) -> VfsResult<()> {
+        let handle = self.tier(tier)?;
+        handle.draining.store(true, Ordering::Release);
+        // Destination: the policy's choice among remaining tiers, per file.
+        let remaining = self.tier_status();
+        if remaining.is_empty() {
+            handle.draining.store(false, Ordering::Release);
+            return Err(VfsError::Busy);
+        }
+        let inos: Vec<MuxIno> = self.files.read().keys().copied().collect();
+        for ino in inos {
+            let file = match self.get_file(ino) {
+                Ok(f) => f,
+                Err(_) => continue,
+            };
+            let on_tier: Vec<(u64, u64)> = file
+                .state
+                .read()
+                .blt
+                .extents()
+                .iter()
+                .filter(|e| e.value == tier)
+                .map(|e| (e.start, e.len))
+                .collect();
+            for (b, l) in on_tier {
+                // Place per the policy, excluding the draining tier
+                // (tier_status already filters it).
+                let policy = self.policy.read().clone();
+                let dest = policy.place(&crate::policy::PlacementCtx {
+                    ino,
+                    off: b * BLOCK,
+                    len: l * BLOCK,
+                    file_size: file.state.read().meta.attr.size,
+                    is_append: false,
+                    sync: false,
+                    tiers: &remaining,
+                });
+                if dest == tier {
+                    handle.draining.store(false, Ordering::Release);
+                    return Err(VfsError::InvalidArgument(
+                        "policy keeps placing on the draining tier".into(),
+                    ));
+                }
+                if let Err(e) = self.migrate_range(ino, b, l, dest) {
+                    handle.draining.store(false, Ordering::Release);
+                    return Err(e);
+                }
+            }
+            // Forget the native handle on the drained tier.
+            file.state.write().native.remove(&tier);
+        }
+        // Keep the slot (ids are indexes) but mark it permanently drained.
+        Ok(())
+    }
+}

@@ -1,0 +1,601 @@
+//! The durable Mux metafile: snapshots, migration intents and recovery
+//! (paper §2.3's "Mux maintains its own metadata" and §4's crash
+//! consistency).
+//!
+//! Mux's bookkeeping lives in two regular files on a tier of the user's
+//! choice (conventionally the fastest): a **snapshot** of the namespace,
+//! Block Lookup Tables (byte-array encoding), affinity tables and native
+//! handles; and an **intent journal** for in-flight migrations. The
+//! snapshot is rewritten on `fsync`/`sync`; intents are appended (and
+//! fsync'd) around each migration so recovery can tell half-copied
+//! migration debris from real data.
+//!
+//! Recovery composes three sources, in order:
+//!
+//! 1. the snapshot (authoritative for everything it covers),
+//! 2. the intent journal (re-applies committed migrations newer than the
+//!    snapshot; identifies debris of uncommitted ones),
+//! 3. **reconciliation with the native file systems** — the "talk to file
+//!    systems" payoff: every tier's namespace is walked, unknown files are
+//!    adopted into the union view (paper §2.1's merged directory tree) and
+//!    unknown blocks are adopted into the BLT by probing `SEEK_DATA`
+//!    extents. Unsynced writes thus survive as well as the native file
+//!    system preserved them; conflicting adoptions resolve by native
+//!    mtime.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
+use simdev::VirtualClock;
+use tvfs::{FileAttr, FileSystem, FileType, InodeNo, SetAttr, VfsError, VfsResult, ROOT_INO};
+
+use crate::blt::BlockLookupTable;
+use crate::file::{MuxFile, MuxIno};
+use crate::meta::CollectiveInode;
+use crate::mux::{Mux, MuxDir, NsEntry};
+use crate::policy::TieringPolicy;
+use crate::types::{MuxOptions, TierConfig, TierId, BLOCK};
+
+const SNAP_MAGIC: u64 = 0x4d55_584d_4554_4132; // "MUXMETA2"
+const SNAPSHOT_NAME: &str = ".mux.snapshot";
+const INTENTS_NAME: &str = ".mux.intents";
+
+const INTENT_BEGIN: u8 = 1;
+const INTENT_COMMIT: u8 = 2;
+const INTENT_RECORD: usize = 1 + 8 + 8 + 8 + 4;
+
+/// Where the metafile lives.
+pub struct MetafileHandle {
+    fs: Arc<dyn FileSystem>,
+    snapshot_ino: InodeNo,
+    intents_ino: InodeNo,
+    intents_off: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Intent {
+    kind: u8,
+    ino: MuxIno,
+    block: u64,
+    n: u64,
+    to: TierId,
+}
+
+impl Intent {
+    fn encode(&self) -> [u8; INTENT_RECORD] {
+        let mut b = [0u8; INTENT_RECORD];
+        b[0] = self.kind;
+        b[1..9].copy_from_slice(&self.ino.to_le_bytes());
+        b[9..17].copy_from_slice(&self.block.to_le_bytes());
+        b[17..25].copy_from_slice(&self.n.to_le_bytes());
+        b[25..29].copy_from_slice(&self.to.to_le_bytes());
+        b
+    }
+
+    fn decode(raw: &[u8]) -> Option<Intent> {
+        if raw.len() < INTENT_RECORD || (raw[0] != INTENT_BEGIN && raw[0] != INTENT_COMMIT) {
+            return None;
+        }
+        Some(Intent {
+            kind: raw[0],
+            ino: u64::from_le_bytes(raw[1..9].try_into().ok()?),
+            block: u64::from_le_bytes(raw[9..17].try_into().ok()?),
+            n: u64::from_le_bytes(raw[17..25].try_into().ok()?),
+            to: u32::from_le_bytes(raw[25..29].try_into().ok()?),
+        })
+    }
+}
+
+fn find_or_create(fs: &dyn FileSystem, name: &str) -> VfsResult<InodeNo> {
+    match fs.lookup(ROOT_INO, name) {
+        Ok(a) => Ok(a.ino),
+        Err(VfsError::NotFound) => Ok(fs.create(ROOT_INO, name, FileType::Regular, 0o600)?.ino),
+        Err(e) => Err(e),
+    }
+}
+
+impl Mux {
+    /// Enables the durable metafile on `tier` (conventionally the fastest,
+    /// so the per-migration intent writes are cheap).
+    pub fn enable_metafile(&self, tier: TierId) -> VfsResult<()> {
+        let handle = self.tier(tier)?;
+        let snapshot_ino = find_or_create(handle.fs.as_ref(), SNAPSHOT_NAME)?;
+        let intents_ino = find_or_create(handle.fs.as_ref(), INTENTS_NAME)?;
+        let intents_off = handle.fs.getattr(intents_ino)?.size;
+        *self.metafile.lock() = Some(MetafileHandle {
+            fs: Arc::clone(&handle.fs),
+            snapshot_ino,
+            intents_ino,
+            intents_off,
+        });
+        Ok(())
+    }
+
+    /// Appends a migration-begin intent (fsync'd before any copy lands).
+    ///
+    /// Public for crash-injection tests; normal callers go through
+    /// [`Mux::migrate_range`], which journals automatically.
+    pub fn journal_migration_intent(
+        &self,
+        ino: MuxIno,
+        block: u64,
+        n: u64,
+        to: TierId,
+    ) -> VfsResult<()> {
+        self.append_intent(Intent {
+            kind: INTENT_BEGIN,
+            ino,
+            block,
+            n,
+            to,
+        })
+    }
+
+    /// Appends a migration-commit record.
+    pub(crate) fn journal_migration_commit(
+        &self,
+        ino: MuxIno,
+        block: u64,
+        n: u64,
+        to: TierId,
+    ) -> VfsResult<()> {
+        self.append_intent(Intent {
+            kind: INTENT_COMMIT,
+            ino,
+            block,
+            n,
+            to,
+        })
+    }
+
+    fn append_intent(&self, intent: Intent) -> VfsResult<()> {
+        let mut guard = self.metafile.lock();
+        let Some(handle) = guard.as_mut() else {
+            return Ok(());
+        };
+        let rec = intent.encode();
+        handle
+            .fs
+            .write(handle.intents_ino, handle.intents_off, &rec)?;
+        handle.fs.fsync(handle.intents_ino)?;
+        handle.intents_off += rec.len() as u64;
+        Ok(())
+    }
+
+    /// Serializes the full Mux state into the snapshot file and truncates
+    /// the intent journal (everything journaled is now in the snapshot).
+    pub fn snapshot_metafile(&self) -> VfsResult<()> {
+        let mut guard = self.metafile.lock();
+        let Some(handle) = guard.as_mut() else {
+            return Ok(());
+        };
+        let mut b: Vec<u8> = Vec::with_capacity(4096);
+        b.put_u64_le(SNAP_MAGIC);
+        b.put_u64_le(self.next_ino.load(Ordering::Relaxed));
+        {
+            let ns = self.ns.read();
+            let dirs: Vec<(&MuxIno, &MuxDir)> = ns.dirs.iter().collect();
+            b.put_u32_le(dirs.len() as u32);
+            for (&ino, d) in dirs {
+                b.put_u64_le(ino);
+                b.put_u64_le(d.parent);
+                b.put_u16_le(d.name.len() as u16);
+                b.extend_from_slice(d.name.as_bytes());
+                b.put_u32_le(d.attr.mode);
+            }
+        }
+        {
+            let files = self.files.read();
+            let ns = self.ns.read();
+            b.put_u32_le(files.len() as u32);
+            for (&ino, f) in files.iter() {
+                let st = f.state.read();
+                let (parent, name) = ns
+                    .file_loc
+                    .get(&ino)
+                    .cloned()
+                    .unwrap_or((ROOT_INO, format!(".orphan-{ino}")));
+                b.put_u64_le(ino);
+                b.put_u64_le(parent);
+                b.put_u16_le(name.len() as u16);
+                b.extend_from_slice(name.as_bytes());
+                let a = st.meta.attr;
+                b.put_u64_le(a.size);
+                b.put_u64_le(a.blocks_bytes);
+                b.put_u64_le(a.atime_ns);
+                b.put_u64_le(a.mtime_ns);
+                b.put_u64_le(a.ctime_ns);
+                b.put_u32_le(a.mode);
+                b.put_u32_le(a.uid);
+                b.put_u32_le(a.gid);
+                for o in st.meta.owners() {
+                    b.put_u32_le(o);
+                }
+                b.put_u32_le(st.native.len() as u32);
+                for (&t, &nino) in &st.native {
+                    b.put_u32_le(t);
+                    b.put_u64_le(nino);
+                }
+                let bytemap = st.blt.encode_bytemap();
+                b.put_u32_le(bytemap.len() as u32);
+                b.extend_from_slice(&bytemap);
+                // Replica table: same byte-array encoding as the BLT.
+                let mut rep_blt = BlockLookupTable::new();
+                for e in st.replicas.iter() {
+                    rep_blt.assign(e.start, e.len, e.value);
+                }
+                let repmap = rep_blt.encode_bytemap();
+                b.put_u32_le(repmap.len() as u32);
+                b.extend_from_slice(&repmap);
+            }
+        }
+        handle
+            .fs
+            .setattr(handle.snapshot_ino, &SetAttr::truncate(0))?;
+        handle.fs.write(handle.snapshot_ino, 0, &b)?;
+        handle.fs.fsync(handle.snapshot_ino)?;
+        handle
+            .fs
+            .setattr(handle.intents_ino, &SetAttr::truncate(0))?;
+        handle.fs.fsync(handle.intents_ino)?;
+        handle.intents_off = 0;
+        Ok(())
+    }
+
+    /// Loads a snapshot blob into this (empty) Mux.
+    fn load_snapshot(&self, raw: &[u8]) -> VfsResult<()> {
+        let mut r = raw;
+        if r.len() < 20 || r.get_u64_le() != SNAP_MAGIC {
+            return Err(VfsError::Io("bad mux snapshot".into()));
+        }
+        self.next_ino.store(r.get_u64_le(), Ordering::Relaxed);
+        let n_dirs = r.get_u32_le() as usize;
+        let mut dir_meta: Vec<(MuxIno, MuxIno, String, u32)> = Vec::with_capacity(n_dirs);
+        for _ in 0..n_dirs {
+            let ino = r.get_u64_le();
+            let parent = r.get_u64_le();
+            let nlen = r.get_u16_le() as usize;
+            let name = String::from_utf8(r[..nlen].to_vec())
+                .map_err(|_| VfsError::Io("bad name".into()))?;
+            r.advance(nlen);
+            let mode = r.get_u32_le();
+            dir_meta.push((ino, parent, name, mode));
+        }
+        {
+            let mut ns = self.ns.write();
+            for (ino, parent, name, mode) in &dir_meta {
+                if *ino == ROOT_INO {
+                    continue;
+                }
+                let mut attr = FileAttr::new(*ino, FileType::Directory, *mode, 0);
+                attr.nlink = 2;
+                ns.dirs.insert(
+                    *ino,
+                    MuxDir {
+                        parent: *parent,
+                        name: name.clone(),
+                        entries: BTreeMap::new(),
+                        attr,
+                    },
+                );
+            }
+            // Wire children into parents.
+            for (ino, parent, name, _) in &dir_meta {
+                if *ino == ROOT_INO {
+                    continue;
+                }
+                if let Some(p) = ns.dirs.get_mut(parent) {
+                    p.entries.insert(name.clone(), NsEntry::Dir(*ino));
+                }
+            }
+        }
+        let n_files = r.get_u32_le() as usize;
+        for _ in 0..n_files {
+            let ino = r.get_u64_le();
+            let parent = r.get_u64_le();
+            let nlen = r.get_u16_le() as usize;
+            let name = String::from_utf8(r[..nlen].to_vec())
+                .map_err(|_| VfsError::Io("bad name".into()))?;
+            r.advance(nlen);
+            let mut attr = FileAttr::new(ino, FileType::Regular, 0o644, 0);
+            attr.size = r.get_u64_le();
+            attr.blocks_bytes = r.get_u64_le();
+            attr.atime_ns = r.get_u64_le();
+            attr.mtime_ns = r.get_u64_le();
+            attr.ctime_ns = r.get_u64_le();
+            attr.mode = r.get_u32_le();
+            attr.uid = r.get_u32_le();
+            attr.gid = r.get_u32_le();
+            let owners = [
+                r.get_u32_le(),
+                r.get_u32_le(),
+                r.get_u32_le(),
+                r.get_u32_le(),
+            ];
+            let mut meta = CollectiveInode::new(attr, owners[0]);
+            meta.set_owners(owners);
+            let file = MuxFile::new(ino, meta);
+            let n_native = r.get_u32_le() as usize;
+            {
+                let mut st = file.state.write();
+                for _ in 0..n_native {
+                    let t = r.get_u32_le();
+                    let nino = r.get_u64_le();
+                    st.native.insert(t, nino);
+                }
+                let blen = r.get_u32_le() as usize;
+                st.blt = BlockLookupTable::decode_bytemap(&r[..blen]);
+                r.advance(blen);
+                let rlen = r.get_u32_le() as usize;
+                let rep = BlockLookupTable::decode_bytemap(&r[..rlen]);
+                r.advance(rlen);
+                for e in rep.extents() {
+                    st.replicas.insert(e.start, e.len, e.value);
+                }
+            }
+            {
+                let mut ns = self.ns.write();
+                if let Some(p) = ns.dirs.get_mut(&parent) {
+                    p.entries.insert(name.clone(), NsEntry::File(ino));
+                }
+                ns.file_loc.insert(ino, (parent, name));
+            }
+            self.files.write().insert(ino, Arc::new(file));
+        }
+        Ok(())
+    }
+
+    /// Recovers a Mux over existing tiers: loads the snapshot + intent
+    /// journal from `metafile_tier` (if present) and reconciles with every
+    /// native file system.
+    pub fn recover(
+        clock: VirtualClock,
+        policy: Arc<dyn TieringPolicy>,
+        opts: MuxOptions,
+        tiers: Vec<(TierConfig, Arc<dyn FileSystem>)>,
+        metafile_tier: TierId,
+    ) -> VfsResult<Mux> {
+        let mux = Mux::new(clock, policy, opts);
+        for (cfg, fs) in tiers {
+            mux.add_tier(cfg, fs);
+        }
+        // 1. Snapshot.
+        let handle = mux.tier(metafile_tier)?;
+        let mut intents: Vec<Intent> = Vec::new();
+        if let Ok(attr) = handle.fs.lookup(ROOT_INO, SNAPSHOT_NAME) {
+            if attr.size > 0 {
+                let mut raw = vec![0u8; attr.size as usize];
+                handle.fs.read(attr.ino, 0, &mut raw)?;
+                mux.load_snapshot(&raw)?;
+            }
+            // 2. Intent journal.
+            if let Ok(iattr) = handle.fs.lookup(ROOT_INO, INTENTS_NAME) {
+                let mut raw = vec![0u8; iattr.size as usize];
+                handle.fs.read(iattr.ino, 0, &mut raw)?;
+                let mut off = 0;
+                while let Some(i) = Intent::decode(&raw[off.min(raw.len())..]) {
+                    intents.push(i);
+                    off += INTENT_RECORD;
+                }
+            }
+        }
+        // Register native handles and merge namespaces first, so intent
+        // processing can reach destination files the snapshot predates.
+        mux.reconcile_namespaces()?;
+        // Apply intents: committed migrations re-apply their BLT move;
+        // uncommitted ones leave debris in the destination to punch.
+        for (idx, intent) in intents.iter().enumerate() {
+            if intent.kind != INTENT_BEGIN {
+                continue;
+            }
+            let committed = intents[idx + 1..].iter().any(|c| {
+                c.kind == INTENT_COMMIT
+                    && c.ino == intent.ino
+                    && c.block == intent.block
+                    && c.n == intent.n
+                    && c.to == intent.to
+            });
+            let Ok(file) = mux.get_file(intent.ino) else {
+                continue;
+            };
+            if committed {
+                let mut st = file.state.write();
+                let mapped: Vec<(u64, u64)> = st
+                    .blt
+                    .plan(intent.block, intent.n)
+                    .iter()
+                    .map(|e| (e.start, e.len))
+                    .collect();
+                for (b, l) in mapped {
+                    st.blt.assign(b, l, intent.to);
+                }
+            } else {
+                // Debris: punch the copied-but-never-committed range out
+                // of the destination, unless the BLT already maps those
+                // blocks there.
+                let st = file.state.read();
+                let owned_by_dest: Vec<(u64, u64)> = st
+                    .blt
+                    .plan(intent.block, intent.n)
+                    .iter()
+                    .filter(|e| e.value == intent.to)
+                    .map(|e| (e.start, e.len))
+                    .collect();
+                let native = st.native.get(&intent.to).copied();
+                drop(st);
+                if let Some(nino) = native {
+                    let dst = mux.tier(intent.to)?;
+                    // Punch everything in the intent range except what the
+                    // BLT legitimately assigns to this tier.
+                    let mut cur = intent.block;
+                    let end = intent.block + intent.n;
+                    let mut owned = owned_by_dest.into_iter().peekable();
+                    while cur < end {
+                        let next_owned = owned.peek().copied();
+                        match next_owned {
+                            Some((s, l)) if s <= cur => {
+                                cur = s + l;
+                                owned.next();
+                            }
+                            Some((s, _)) => {
+                                dst.fs.punch_hole(nino, cur * BLOCK, (s - cur) * BLOCK)?;
+                                cur = s;
+                            }
+                            None => {
+                                dst.fs.punch_hole(nino, cur * BLOCK, (end - cur) * BLOCK)?;
+                                cur = end;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Adopt blocks the BLTs do not cover (unsnapshotted writes).
+        mux.adopt_all_blocks()?;
+        mux.enable_metafile(metafile_tier)?;
+        Ok(mux)
+    }
+
+    /// Walks every tier's namespace, adopting files and blocks Mux does
+    /// not know about — the merged union view of §2.1 plus crash repair.
+    pub fn reconcile_with_tiers(&self) -> VfsResult<()> {
+        self.reconcile_namespaces()?;
+        self.adopt_all_blocks()
+    }
+
+    /// Namespace half of reconciliation: walk every tier's directory
+    /// tree, adopt unknown files/dirs and register native inode handles.
+    pub fn reconcile_namespaces(&self) -> VfsResult<()> {
+        let tiers: Vec<_> = self.tiers.read().iter().cloned().collect();
+        for handle in &tiers {
+            self.adopt_dir(handle.as_ref(), handle.fs.root_ino(), ROOT_INO)?;
+        }
+        Ok(())
+    }
+
+    /// Block half of reconciliation: probe extents for every file and
+    /// adopt blocks missing from BLTs (e.g. writes that never reached a
+    /// snapshot).
+    pub fn adopt_all_blocks(&self) -> VfsResult<()> {
+        let inos: Vec<MuxIno> = self.files.read().keys().copied().collect();
+        for ino in inos {
+            self.adopt_blocks(ino)?;
+        }
+        Ok(())
+    }
+
+    fn adopt_dir(
+        &self,
+        tier: &crate::mux::TierHandle,
+        native_dir: InodeNo,
+        mux_dir: MuxIno,
+    ) -> VfsResult<()> {
+        let entries = tier.fs.readdir(native_dir)?;
+        for e in entries {
+            if e.name == SNAPSHOT_NAME || e.name == INTENTS_NAME {
+                continue;
+            }
+            match e.kind {
+                FileType::Directory => {
+                    let child_mux = {
+                        let ns = self.ns.read();
+                        ns.dirs
+                            .get(&mux_dir)
+                            .and_then(|d| d.entries.get(&e.name).copied())
+                    };
+                    let child_mux = match child_mux {
+                        Some(NsEntry::Dir(d)) => d,
+                        Some(NsEntry::File(_)) => continue, // type conflict: skip
+                        None => {
+                            let attr = self.create(mux_dir, &e.name, FileType::Directory, 0o755)?;
+                            attr.ino
+                        }
+                    };
+                    self.adopt_dir(tier, e.ino, child_mux)?;
+                }
+                FileType::Regular => {
+                    let existing = {
+                        let ns = self.ns.read();
+                        ns.dirs
+                            .get(&mux_dir)
+                            .and_then(|d| d.entries.get(&e.name).copied())
+                    };
+                    let mux_ino = match existing {
+                        Some(NsEntry::File(f)) => f,
+                        Some(NsEntry::Dir(_)) => continue,
+                        None => self.create(mux_dir, &e.name, FileType::Regular, 0o644)?.ino,
+                    };
+                    let file = self.get_file(mux_ino)?;
+                    let nattr = tier.fs.getattr(e.ino)?;
+                    let mut st = file.state.write();
+                    st.native.insert(tier.id, e.ino);
+                    // Union semantics: logical size/mtime are the max over
+                    // participants (a sparse participant is never longer
+                    // than the logical file).
+                    if nattr.size > st.meta.attr.size {
+                        st.meta.attr.size = nattr.size;
+                        st.meta.set_owner(crate::meta::AttrKind::Size, tier.id);
+                    }
+                    if nattr.mtime_ns > st.meta.attr.mtime_ns {
+                        st.meta.attr.mtime_ns = nattr.mtime_ns;
+                        st.meta.set_owner(crate::meta::AttrKind::Mtime, tier.id);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Adopts blocks present on tiers but absent from the file's BLT,
+    /// resolving multi-tier conflicts by native mtime (best-effort — such
+    /// blocks can only come from unsynced writes, which carry no
+    /// guarantee).
+    fn adopt_blocks(&self, ino: MuxIno) -> VfsResult<()> {
+        let file = self.get_file(ino)?;
+        let natives: Vec<(TierId, InodeNo)> = {
+            let st = file.state.read();
+            st.native.iter().map(|(&t, &n)| (t, n)).collect()
+        };
+        // Tier order: probe the latest-mtime participant first; since only
+        // unmapped blocks are adopted, the latest writer wins conflicts.
+        let mut with_mtime: Vec<(u64, TierId, InodeNo)> = Vec::new();
+        for (t, nino) in natives {
+            let handle = self.tier(t)?;
+            let m = handle.fs.getattr(nino).map(|a| a.mtime_ns).unwrap_or(0);
+            with_mtime.push((m, t, nino));
+        }
+        with_mtime.sort_unstable();
+        with_mtime.reverse();
+        for (_m, t, nino) in with_mtime {
+            let handle = self.tier(t)?;
+            let mut off = 0u64;
+            while let Some((start, len)) = handle.fs.next_data(nino, off)? {
+                let b0 = start / BLOCK;
+                let b1 = (start + len).div_ceil(BLOCK);
+                let mut st = file.state.write();
+                // Only adopt blocks the BLT does not map at all; mapped
+                // blocks are authoritative (snapshot/intents).
+                let mut cur = b0;
+                while cur < b1 {
+                    match st.blt.tier_of(cur) {
+                        Some(_) => cur += 1,
+                        None => {
+                            let mut run = 1;
+                            while cur + run < b1 && st.blt.tier_of(cur + run).is_none() {
+                                run += 1;
+                            }
+                            st.blt.assign(cur, run, t);
+                            cur += run;
+                        }
+                    }
+                }
+                st.meta.attr.blocks_bytes = st.blt.mapped_blocks() * BLOCK;
+                drop(st);
+                off = start + len;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,178 @@
+//! The I/O scheduler (paper §4, "Improving The I/O Scheduler").
+//!
+//! "We currently use a simple scheduling algorithm based on device profiles
+//! (performance characteristics and feature sets)." Background I/O
+//! (migration copies, cache fills) is queued per tier and drained in a
+//! device-appropriate order: elevator (offset-sorted, adjacent requests
+//! merged) for seek-bound devices, FIFO with merging for solid-state
+//! devices. Foreground user I/O never queues — it dispatches directly —
+//! so the scheduler shapes only Mux's own asynchronous work.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use simdev::DeviceProfile;
+
+use crate::types::TierId;
+
+/// One queued background request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoRequest {
+    /// File it belongs to (for accounting).
+    pub ino: u64,
+    /// Byte offset on the tier.
+    pub off: u64,
+    /// Byte length.
+    pub len: u64,
+    /// Write (vs read).
+    pub write: bool,
+}
+
+/// Per-tier background queues.
+#[derive(Debug, Default)]
+pub struct IoScheduler {
+    queues: Mutex<HashMap<TierId, Vec<IoRequest>>>,
+}
+
+impl IoScheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a background request for `tier`.
+    pub fn submit(&self, tier: TierId, req: IoRequest) {
+        self.queues.lock().entry(tier).or_default().push(req);
+    }
+
+    /// Pending requests for a tier.
+    pub fn pending(&self, tier: TierId) -> usize {
+        self.queues.lock().get(&tier).map_or(0, Vec::len)
+    }
+
+    /// Estimated service time of a request on a device (used to order
+    /// drains across tiers and for pacing decisions).
+    pub fn estimate_ns(profile: &DeviceProfile, req: &IoRequest) -> u64 {
+        if req.write {
+            profile.write_cost(req.off, req.len, u64::MAX)
+        } else {
+            profile.read_cost(req.off, req.len, u64::MAX)
+        }
+    }
+
+    /// Drains a tier's queue in dispatch order for the given device:
+    /// seek-bound devices get an elevator sweep with adjacent-request
+    /// merging; others get FIFO with merging.
+    pub fn drain(&self, tier: TierId, profile: &DeviceProfile) -> Vec<IoRequest> {
+        let mut reqs = self.queues.lock().remove(&tier).unwrap_or_default();
+        if reqs.is_empty() {
+            return reqs;
+        }
+        if profile.seek_ns > 0 {
+            // Elevator: one ascending sweep minimizes seeks.
+            reqs.sort_by_key(|r| (r.write, r.off));
+        }
+        // Merge adjacent same-direction, same-file requests.
+        let mut merged: Vec<IoRequest> = Vec::with_capacity(reqs.len());
+        for r in reqs {
+            match merged.last_mut() {
+                Some(last)
+                    if last.write == r.write
+                        && last.ino == r.ino
+                        && last.off + last.len == r.off =>
+                {
+                    last.len += r.len;
+                }
+                _ => merged.push(r),
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdev::{hdd, nvme_ssd};
+
+    fn req(ino: u64, off: u64, len: u64, write: bool) -> IoRequest {
+        IoRequest {
+            ino,
+            off,
+            len,
+            write,
+        }
+    }
+
+    #[test]
+    fn hdd_drain_sorts_by_offset() {
+        let s = IoScheduler::new();
+        s.submit(0, req(1, 9000, 100, false));
+        s.submit(0, req(1, 100, 100, false));
+        s.submit(0, req(1, 5000, 100, false));
+        let out = s.drain(0, &hdd());
+        let offs: Vec<u64> = out.iter().map(|r| r.off).collect();
+        assert_eq!(offs, vec![100, 5000, 9000]);
+        assert_eq!(s.pending(0), 0);
+    }
+
+    #[test]
+    fn ssd_drain_keeps_fifo() {
+        let s = IoScheduler::new();
+        s.submit(0, req(1, 9000, 100, false));
+        s.submit(0, req(1, 100, 100, false));
+        let out = s.drain(0, &nvme_ssd());
+        let offs: Vec<u64> = out.iter().map(|r| r.off).collect();
+        assert_eq!(offs, vec![9000, 100]);
+    }
+
+    #[test]
+    fn adjacent_requests_merge() {
+        let s = IoScheduler::new();
+        s.submit(0, req(1, 0, 4096, true));
+        s.submit(0, req(1, 4096, 4096, true));
+        s.submit(0, req(1, 8192, 4096, true));
+        s.submit(0, req(1, 20000, 4096, true));
+        let out = s.drain(0, &nvme_ssd());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], req(1, 0, 3 * 4096, true));
+    }
+
+    #[test]
+    fn merge_respects_direction_and_file() {
+        let s = IoScheduler::new();
+        s.submit(0, req(1, 0, 4096, true));
+        s.submit(0, req(1, 4096, 4096, false)); // read: no merge
+        s.submit(0, req(2, 8192, 4096, false)); // other file: no merge
+        let out = s.drain(0, &nvme_ssd());
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn elevator_merges_after_sorting() {
+        let s = IoScheduler::new();
+        s.submit(0, req(1, 4096, 4096, false));
+        s.submit(0, req(1, 0, 4096, false));
+        let out = s.drain(0, &hdd());
+        assert_eq!(out.len(), 1, "sorted adjacent requests must merge");
+        assert_eq!(out[0].len, 8192);
+    }
+
+    #[test]
+    fn queues_are_per_tier() {
+        let s = IoScheduler::new();
+        s.submit(0, req(1, 0, 1, false));
+        s.submit(1, req(1, 0, 1, false));
+        assert_eq!(s.pending(0), 1);
+        assert_eq!(s.pending(1), 1);
+        s.drain(0, &nvme_ssd());
+        assert_eq!(s.pending(0), 0);
+        assert_eq!(s.pending(1), 1);
+    }
+
+    #[test]
+    fn estimates_track_device_speed() {
+        let r = req(1, 1 << 30, 4096, false);
+        assert!(IoScheduler::estimate_ns(&hdd(), &r) > IoScheduler::estimate_ns(&nvme_ssd(), &r));
+    }
+}

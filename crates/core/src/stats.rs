@@ -1,0 +1,97 @@
+//! Operation counters for Mux.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters exposed by [`crate::Mux::stats`].
+#[derive(Debug, Default)]
+pub struct MuxStats {
+    /// User read operations.
+    pub reads: AtomicU64,
+    /// User write operations.
+    pub writes: AtomicU64,
+    /// Bytes read by users.
+    pub bytes_read: AtomicU64,
+    /// Bytes written by users.
+    pub bytes_written: AtomicU64,
+    /// Sub-requests dispatched to native file systems.
+    pub dispatches: AtomicU64,
+    /// Reads split across more than one tier.
+    pub split_reads: AtomicU64,
+    /// Writes split across more than one tier.
+    pub split_writes: AtomicU64,
+    /// SCM cache hits.
+    pub cache_hits: AtomicU64,
+    /// SCM cache misses.
+    pub cache_misses: AtomicU64,
+    /// Blocks migrated between tiers.
+    pub blocks_migrated: AtomicU64,
+    /// fsync fan-outs issued.
+    pub fsyncs: AtomicU64,
+}
+
+/// Plain snapshot of [`MuxStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MuxStatsSnapshot {
+    /// User read operations.
+    pub reads: u64,
+    /// User write operations.
+    pub writes: u64,
+    /// Bytes read by users.
+    pub bytes_read: u64,
+    /// Bytes written by users.
+    pub bytes_written: u64,
+    /// Sub-requests dispatched to native file systems.
+    pub dispatches: u64,
+    /// Reads split across tiers.
+    pub split_reads: u64,
+    /// Writes split across tiers.
+    pub split_writes: u64,
+    /// SCM cache hits.
+    pub cache_hits: u64,
+    /// SCM cache misses.
+    pub cache_misses: u64,
+    /// Blocks migrated.
+    pub blocks_migrated: u64,
+    /// fsync fan-outs.
+    pub fsyncs: u64,
+}
+
+impl MuxStats {
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot.
+    pub fn snapshot(&self) -> MuxStatsSnapshot {
+        MuxStatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            split_reads: self.split_reads.load(Ordering::Relaxed),
+            split_writes: self.split_writes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            blocks_migrated: self.blocks_migrated.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_adds() {
+        let s = MuxStats::default();
+        MuxStats::add(&s.reads, 2);
+        MuxStats::add(&s.bytes_read, 100);
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.bytes_read, 100);
+        assert_eq!(snap.writes, 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests: Mux over multiple tiers behaves exactly like a flat
+//! in-memory file, no matter how operations and migrations interleave.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mux::{Mux, MuxOptions, StripingPolicy, TierConfig, BLOCK};
+use simdev::{DeviceClass, VirtualClock};
+use tvfs::memfs::MemFs;
+use tvfs::{FileSystem, FileType, SetAttr, ROOT_INO};
+
+const REGION: u64 = 64 * BLOCK;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { off: u64, len: u64, fill: u8 },
+    Read { off: u64, len: u64 },
+    Punch { off: u64, len: u64 },
+    Truncate { size: u64 },
+    Migrate { block: u64, n: u64, to: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..REGION - 1, 1..(3 * BLOCK), any::<u8>())
+            .prop_map(|(off, len, fill)| Op::Write { off, len, fill }),
+        3 => (0..REGION, 1..(4 * BLOCK)).prop_map(|(off, len)| Op::Read { off, len }),
+        1 => (0..REGION, 1..(4 * BLOCK)).prop_map(|(off, len)| Op::Punch { off, len }),
+        1 => (0..REGION).prop_map(|size| Op::Truncate { size }),
+        2 => (0..(REGION / BLOCK), 1..16u64, 0..3u32)
+            .prop_map(|(block, n, to)| Op::Migrate { block, n, to }),
+    ]
+}
+
+fn build_mux() -> Arc<Mux> {
+    let clock = VirtualClock::new();
+    let mux = Arc::new(Mux::new(
+        clock,
+        Arc::new(StripingPolicy::new(2)),
+        MuxOptions::default(),
+    ));
+    let classes = [DeviceClass::Pmem, DeviceClass::Ssd, DeviceClass::Hdd];
+    for (i, class) in classes.into_iter().enumerate() {
+        mux.add_tier(
+            TierConfig {
+                name: format!("t{i}"),
+                class,
+            },
+            Arc::new(MemFs::new(format!("t{i}"), 1 << 28)) as Arc<dyn FileSystem>,
+        );
+    }
+    mux
+}
+
+/// A flat shadow model of one file.
+struct Model {
+    data: Vec<u8>,
+    size: u64,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            data: vec![0u8; (2 * REGION) as usize],
+            size: 0,
+        }
+    }
+
+    fn write(&mut self, off: u64, buf: &[u8]) {
+        self.data[off as usize..off as usize + buf.len()].copy_from_slice(buf);
+        self.size = self.size.max(off + buf.len() as u64);
+    }
+
+    fn read(&self, off: u64, len: u64) -> Vec<u8> {
+        if off >= self.size {
+            return Vec::new();
+        }
+        let end = (off + len).min(self.size);
+        self.data[off as usize..end as usize].to_vec()
+    }
+
+    fn punch(&mut self, off: u64, len: u64) {
+        let end = ((off + len) as usize).min(self.data.len());
+        self.data[off as usize..end].fill(0);
+    }
+
+    fn truncate(&mut self, size: u64) {
+        if size < self.size {
+            self.data[size as usize..self.size as usize].fill(0);
+        }
+        self.size = size;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mux_matches_flat_file_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mux = build_mux();
+        let f = mux.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+        let mut model = Model::new();
+        for op in &ops {
+            match *op {
+                Op::Write { off, len, fill } => {
+                    let len = len.min(REGION - off).max(1);
+                    let buf = vec![fill; len as usize];
+                    prop_assert_eq!(mux.write(f.ino, off, &buf).unwrap(), buf.len());
+                    model.write(off, &buf);
+                }
+                Op::Read { off, len } => {
+                    let mut buf = vec![0u8; len as usize];
+                    let n = mux.read(f.ino, off, &mut buf).unwrap();
+                    let want = model.read(off, len);
+                    prop_assert_eq!(&buf[..n], &want[..], "read at {}+{}", off, len);
+                }
+                Op::Punch { off, len } => {
+                    mux.punch_hole(f.ino, off, len).unwrap();
+                    model.punch(off, len);
+                }
+                Op::Truncate { size } => {
+                    mux.setattr(f.ino, &SetAttr::truncate(size)).unwrap();
+                    model.truncate(size);
+                }
+                Op::Migrate { block, n, to } => {
+                    mux.migrate_range(f.ino, block, n, to).unwrap();
+                    // No model change: migration must be invisible.
+                }
+            }
+            // Size invariant holds continuously.
+            prop_assert_eq!(mux.getattr(f.ino).unwrap().size, model.size);
+        }
+        // Final full-content comparison.
+        let mut buf = vec![0u8; model.size as usize];
+        let n = mux.read(f.ino, 0, &mut buf).unwrap();
+        prop_assert_eq!(n as u64, model.size);
+        prop_assert_eq!(&buf[..], &model.data[..model.size as usize]);
+    }
+
+    #[test]
+    fn bytemap_roundtrip_is_identity(
+        extents in proptest::collection::vec((0..512u64, 1..32u64, 0..4u32), 0..24)
+    ) {
+        let mut blt = mux::BlockLookupTable::new();
+        for &(start, len, tier) in &extents {
+            blt.assign(start, len, tier);
+        }
+        let decoded = mux::BlockLookupTable::decode_bytemap(&blt.encode_bytemap());
+        for b in 0..600u64 {
+            prop_assert_eq!(decoded.tier_of(b), blt.tier_of(b), "block {}", b);
+        }
+        prop_assert_eq!(decoded.mapped_blocks(), blt.mapped_blocks());
+    }
+}

@@ -1,0 +1,124 @@
+//! Bitmap helpers over 4 KiB metadata blocks.
+
+/// Tests bit `i` in a bitmap block.
+pub fn get_bit(bitmap: &[u8], i: u64) -> bool {
+    bitmap[(i / 8) as usize] & (1 << (i % 8)) != 0
+}
+
+/// Sets bit `i`.
+pub fn set_bit(bitmap: &mut [u8], i: u64) {
+    bitmap[(i / 8) as usize] |= 1 << (i % 8);
+}
+
+/// Clears bit `i`.
+pub fn clear_bit(bitmap: &mut [u8], i: u64) {
+    bitmap[(i / 8) as usize] &= !(1 << (i % 8));
+}
+
+/// Advances `i` past fully-set bytes (8 bits at a time) — keeps linear
+/// scans from degenerating on long allocated stretches.
+fn skip_full_bytes(bitmap: &[u8], mut i: u64, limit: u64) -> u64 {
+    while i < limit && i.is_multiple_of(8) && i + 8 <= limit && bitmap[(i / 8) as usize] == 0xFF {
+        i += 8;
+    }
+    i
+}
+
+/// Finds the first zero bit in `[from, limit)`, scanning with wraparound
+/// from `from` back through `[0, from)`.
+pub fn find_zero(bitmap: &[u8], from: u64, limit: u64) -> Option<u64> {
+    let scan = |mut i: u64, end: u64| -> Option<u64> {
+        while i < end {
+            if i.is_multiple_of(8) {
+                i = skip_full_bytes(bitmap, i, end);
+                if i >= end {
+                    break;
+                }
+            }
+            if !get_bit(bitmap, i) {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    };
+    scan(from, limit).or_else(|| scan(0, from))
+}
+
+/// Finds the longest run of zero bits starting at or after `from`, up to
+/// `max_len`, within `[0, limit)`. Returns `(start, len)`.
+pub fn find_zero_run(bitmap: &[u8], from: u64, limit: u64, max_len: u64) -> Option<(u64, u64)> {
+    let start = find_zero(bitmap, from, limit)?;
+    let mut len = 1;
+    while start + len < limit && len < max_len && !get_bit(bitmap, start + len) {
+        len += 1;
+    }
+    Some((start, len))
+}
+
+/// Number of zero bits in `[0, limit)`.
+pub fn count_zeros(bitmap: &[u8], limit: u64) -> u64 {
+    (0..limit).filter(|&i| !get_bit(bitmap, i)).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = vec![0u8; 16];
+        assert!(!get_bit(&b, 42));
+        set_bit(&mut b, 42);
+        assert!(get_bit(&b, 42));
+        assert!(!get_bit(&b, 41));
+        assert!(!get_bit(&b, 43));
+        clear_bit(&mut b, 42);
+        assert!(!get_bit(&b, 42));
+    }
+
+    #[test]
+    fn find_zero_wraps() {
+        let mut b = vec![0u8; 2];
+        for i in 0..8 {
+            set_bit(&mut b, i);
+        }
+        // from=4 → bits 4..16 checked; 8 is free.
+        assert_eq!(find_zero(&b, 4, 16), Some(8));
+        // All set → None.
+        for i in 8..16 {
+            set_bit(&mut b, i);
+        }
+        assert_eq!(find_zero(&b, 4, 16), None);
+    }
+
+    #[test]
+    fn find_zero_run_finds_longest_prefix() {
+        let mut b = vec![0u8; 4];
+        set_bit(&mut b, 3);
+        // Free: 0,1,2, then 4.. — run at 0 has len 3.
+        assert_eq!(find_zero_run(&b, 0, 32, 8), Some((0, 3)));
+        // Ask for at most 2.
+        assert_eq!(find_zero_run(&b, 0, 32, 2), Some((0, 2)));
+        // Start past the first run.
+        assert_eq!(find_zero_run(&b, 4, 32, 100), Some((4, 28)));
+    }
+
+    #[test]
+    fn find_zero_run_wraps_to_start() {
+        let mut b = vec![0u8; 1];
+        for i in 4..8 {
+            set_bit(&mut b, i);
+        }
+        assert_eq!(find_zero_run(&b, 6, 8, 4), Some((0, 4)));
+    }
+
+    #[test]
+    fn count_zeros_respects_limit() {
+        let mut b = vec![0u8; 2];
+        set_bit(&mut b, 0);
+        set_bit(&mut b, 9);
+        assert_eq!(count_zeros(&b, 8), 7);
+        assert_eq!(count_zeros(&b, 16), 14);
+    }
+}

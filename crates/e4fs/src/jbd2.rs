@@ -1,0 +1,353 @@
+//! A JBD2-style block-image journal with eager checkpointing.
+//!
+//! Layout: the first journal block is the **journal header**
+//! (`[magic][last_checkpointed_seq]`); the rest is the ring. A transaction
+//! frame is:
+//!
+//! ```text
+//! [seq u64][n_blocks u32][crc u32]  ([block_no u64][4096-byte image]) * n
+//! ```
+//!
+//! Commit protocol (ordered mode is enforced by the caller, which writes
+//! file data in place *before* calling [`Jbd2::commit`]):
+//!
+//! 1. append the frame to the ring (checkpointing first if the ring is
+//!    low on space),
+//! 2. device flush — the transaction is now durable.
+//!
+//! **Checkpointing is deferred**, as in real JBD2: committed block images
+//! accumulate in memory and are written to their home locations (sorted,
+//! merged) only when the ring runs low — one seek-heavy sweep amortizes
+//! over many commits. The header's `last_checkpointed_seq` advances at
+//! checkpoint time.
+//!
+//! Replay scans the ring from the start and applies every valid frame with
+//! `seq > last_checkpointed_seq`, newest last. The header guard is what
+//! prevents an *old* frame surviving in the ring from rolling a block back
+//! after its newer transaction was overwritten by a ring wrap.
+
+use bytes::{Buf, BufMut};
+use simdev::Device;
+use tvfs::{VfsError, VfsResult};
+
+use crate::layout::BLOCK;
+
+/// Journal header magic ("JBD2SIM!").
+const JMAGIC: u64 = 0x4a42_4432_5349_4d21;
+
+const FRAME_HEADER: usize = 8 + 4 + 4;
+
+fn crc(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// The journal writer.
+#[derive(Debug)]
+pub struct Jbd2 {
+    header_block: u64,
+    ring_off: u64,
+    ring_len: u64,
+    cursor: u64,
+    next_seq: u64,
+    /// Committed-but-not-checkpointed home images (newest wins).
+    pending_home: std::collections::BTreeMap<u64, Vec<u8>>,
+}
+
+impl Jbd2 {
+    /// A fresh journal occupying blocks `[first_block, first_block +
+    /// n_blocks)`; writes the initial header.
+    pub fn format(dev: &Device, first_block: u64, n_blocks: u64) -> VfsResult<Self> {
+        let j = Jbd2 {
+            header_block: first_block,
+            ring_off: (first_block + 1) * BLOCK,
+            ring_len: (n_blocks - 1) * BLOCK,
+            cursor: (first_block + 1) * BLOCK,
+            next_seq: 1,
+            pending_home: std::collections::BTreeMap::new(),
+        };
+        j.write_header(dev, 0)?;
+        Ok(j)
+    }
+
+    fn write_header(&self, dev: &Device, last_ckpt: u64) -> VfsResult<()> {
+        let mut b = Vec::with_capacity(16);
+        b.put_u64_le(JMAGIC);
+        b.put_u64_le(last_ckpt);
+        dev.write(self.header_block * BLOCK, &b)?;
+        Ok(())
+    }
+
+    /// Commits a transaction of metadata block images: journal write +
+    /// flush. Home writes are deferred to [`Jbd2::checkpoint`], which runs
+    /// automatically when the ring is low on space. No-op for an empty
+    /// set.
+    pub fn commit(&mut self, dev: &Device, blocks: &[(u64, Vec<u8>)]) -> VfsResult<()> {
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(blocks.len() * (8 + BLOCK as usize));
+        for (no, img) in blocks {
+            debug_assert_eq!(img.len(), BLOCK as usize);
+            payload.put_u64_le(*no);
+            payload.extend_from_slice(img);
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.put_u64_le(self.next_seq);
+        frame.put_u32_le(blocks.len() as u32);
+        frame.put_u32_le(crc(&payload));
+        frame.extend_from_slice(&payload);
+        if frame.len() as u64 + 8 > self.ring_len {
+            return Err(VfsError::Io("journal smaller than one transaction".into()));
+        }
+        let low_space = self.cursor + frame.len() as u64 + 8 > self.ring_off + self.ring_len;
+        if low_space {
+            // Wrap is only safe over checkpointed frames.
+            self.checkpoint(dev)?;
+            self.cursor = self.ring_off;
+        }
+        // Journal write, then barrier: the txn is durable.
+        dev.write(self.cursor, &frame)?;
+        // Terminate the ring after the frame so replay stops cleanly.
+        dev.write(self.cursor + frame.len() as u64, &[0u8; 8])?;
+        dev.flush();
+        self.cursor += frame.len() as u64;
+        self.next_seq += 1;
+        for (no, img) in blocks {
+            self.pending_home.insert(*no, img.clone());
+        }
+        Ok(())
+    }
+
+    /// Writes all committed-but-unwritten home images (sorted, contiguous
+    /// runs merged), advances the checkpoint guard and flushes.
+    pub fn checkpoint(&mut self, dev: &Device) -> VfsResult<()> {
+        if self.pending_home.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut self.pending_home);
+        let entries: Vec<(u64, Vec<u8>)> = pending.into_iter().collect();
+        let mut i = 0usize;
+        while i < entries.len() {
+            let start = entries[i].0;
+            let mut run = 1usize;
+            while i + run < entries.len() && entries[i + run].0 == start + run as u64 {
+                run += 1;
+            }
+            let mut blob = Vec::with_capacity(run * BLOCK as usize);
+            for (_, img) in &entries[i..i + run] {
+                blob.extend_from_slice(img);
+            }
+            dev.write(start * BLOCK, &blob)?;
+            i += run;
+        }
+        self.write_header(dev, self.next_seq - 1)?;
+        dev.flush();
+        Ok(())
+    }
+
+    /// Recovers the journal: applies any committed-but-uncheckpointed
+    /// transaction to home locations, returns the journal ready for new
+    /// commits.
+    pub fn recover(dev: &Device, first_block: u64, n_blocks: u64) -> VfsResult<Self> {
+        let mut hdr = vec![0u8; 16];
+        dev.read(first_block * BLOCK, &mut hdr)?;
+        let mut h = hdr.as_slice();
+        if h.get_u64_le() != JMAGIC {
+            return Err(VfsError::Io("bad journal header".into()));
+        }
+        let last_ckpt = h.get_u64_le();
+        let ring_off = (first_block + 1) * BLOCK;
+        let ring_len = (n_blocks - 1) * BLOCK;
+        let mut raw = vec![0u8; ring_len as usize];
+        dev.read(ring_off, &mut raw)?;
+        let mut pos = 0usize;
+        let mut max_seq = last_ckpt;
+        let mut replayed = 0usize;
+        loop {
+            if pos + FRAME_HEADER > raw.len() {
+                break;
+            }
+            let mut f = &raw[pos..pos + FRAME_HEADER];
+            let seq = f.get_u64_le();
+            let n = f.get_u32_le() as usize;
+            let sum = f.get_u32_le();
+            if seq == 0 || n == 0 {
+                break;
+            }
+            let plen = n * (8 + BLOCK as usize);
+            if pos + FRAME_HEADER + plen > raw.len() {
+                break;
+            }
+            let payload = &raw[pos + FRAME_HEADER..pos + FRAME_HEADER + plen];
+            if crc(payload) != sum {
+                break; // torn frame: crash frontier
+            }
+            if seq > last_ckpt {
+                // Committed but possibly not checkpointed: replay images.
+                let mut p = payload;
+                for _ in 0..n {
+                    let no = p.get_u64_le();
+                    dev.write(no * BLOCK, &p[..BLOCK as usize])?;
+                    p.advance(BLOCK as usize);
+                }
+                replayed += 1;
+            }
+            max_seq = max_seq.max(seq);
+            pos += FRAME_HEADER + plen;
+        }
+        let j = Jbd2 {
+            header_block: first_block,
+            ring_off,
+            ring_len,
+            cursor: ring_off + pos as u64,
+            next_seq: max_seq + 1,
+            pending_home: std::collections::BTreeMap::new(),
+        };
+        if replayed > 0 {
+            j.write_header(dev, max_seq)?;
+            dev.flush();
+        }
+        Ok(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdev::{hdd, VirtualClock};
+
+    fn dev() -> Device {
+        Device::with_profile(hdd(), 256 << 20, VirtualClock::new())
+    }
+
+    fn img(b: u8) -> Vec<u8> {
+        vec![b; BLOCK as usize]
+    }
+
+    #[test]
+    fn checkpoint_writes_home_locations() {
+        let d = dev();
+        let mut j = Jbd2::format(&d, 1, 64).unwrap();
+        j.commit(&d, &[(100, img(7)), (200, img(9))]).unwrap();
+        // Deferred: home locations untouched until checkpoint.
+        let mut buf = vec![0u8; BLOCK as usize];
+        d.read(100 * BLOCK, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0));
+        j.checkpoint(&d).unwrap();
+        d.read(100 * BLOCK, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 7));
+        d.read(200 * BLOCK, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 9));
+        // Checkpoint is idempotent / no-op when clean.
+        let writes = d.stats().snapshot().writes;
+        j.checkpoint(&d).unwrap();
+        assert_eq!(d.stats().snapshot().writes, writes);
+    }
+
+    #[test]
+    fn recovery_replays_committed_unchecked_txns() {
+        let d = dev();
+        let mut j = Jbd2::format(&d, 1, 64).unwrap();
+        j.commit(&d, &[(100, img(7))]).unwrap();
+        // No checkpoint; crash. Recovery must install the home image.
+        d.crash();
+        let _ = Jbd2::recover(&d, 1, 64).unwrap();
+        let mut buf = vec![0u8; BLOCK as usize];
+        d.read(100 * BLOCK, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn crash_before_journal_flush_loses_txn_cleanly() {
+        let d = dev();
+        let mut j = Jbd2::format(&d, 1, 64).unwrap();
+        j.commit(&d, &[(100, img(1))]).unwrap();
+        // Manually emulate a torn in-flight txn: write garbage at the
+        // cursor without a flush, then crash.
+        d.write(j.cursor, &[0xAB; 100]).unwrap();
+        d.crash();
+        let _ = Jbd2::recover(&d, 1, 64).unwrap();
+        let mut buf = vec![0u8; BLOCK as usize];
+        d.read(100 * BLOCK, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 1), "committed txn must survive");
+    }
+
+    #[test]
+    fn crash_between_commit_and_checkpoint_replays() {
+        let d = dev();
+        let mut j = Jbd2::format(&d, 1, 64).unwrap();
+        // Do a normal commit of block 100 = 1.
+        j.commit(&d, &[(100, img(1))]).unwrap();
+        // Hand-craft a committed-but-not-checkpointed txn: journal frame
+        // flushed, home write NOT performed, header not bumped.
+        let mut payload = Vec::new();
+        payload.put_u64_le(100u64);
+        payload.extend_from_slice(&img(2));
+        let mut frame = Vec::new();
+        frame.put_u64_le(2u64); // seq 2
+        frame.put_u32_le(1);
+        frame.put_u32_le(crc(&payload));
+        frame.extend_from_slice(&payload);
+        d.write(j.cursor, &frame).unwrap();
+        d.flush();
+        d.crash();
+        let _ = Jbd2::recover(&d, 1, 64).unwrap();
+        let mut buf = vec![0u8; BLOCK as usize];
+        d.read(100 * BLOCK, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 2), "recovery must replay seq 2");
+        // Recovery is idempotent.
+        let _ = Jbd2::recover(&d, 1, 64).unwrap();
+        d.read(100 * BLOCK, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn ring_wrap_does_not_roll_back() {
+        let d = dev();
+        // Tiny ring: 3 blocks total → ring of 2 blocks; each 1-block txn
+        // frame is ~4112 bytes, so two commits force a wrap.
+        let mut j = Jbd2::format(&d, 1, 3).unwrap();
+        j.commit(&d, &[(100, img(1))]).unwrap();
+        j.commit(&d, &[(100, img(2))]).unwrap(); // wraps, overwrites seq 1? no: seq2 fits after; seq3 wraps
+        j.commit(&d, &[(100, img(3))]).unwrap();
+        let _ = Jbd2::recover(&d, 1, 3).unwrap();
+        let mut buf = vec![0u8; BLOCK as usize];
+        d.read(100 * BLOCK, &mut buf).unwrap();
+        assert!(
+            buf.iter().all(|&x| x == 3),
+            "stale ring frames must not be replayed"
+        );
+    }
+
+    #[test]
+    fn recover_continues_sequence() {
+        let d = dev();
+        let mut j = Jbd2::format(&d, 1, 64).unwrap();
+        j.commit(&d, &[(100, img(1))]).unwrap();
+        j.commit(&d, &[(101, img(2))]).unwrap();
+        let j2 = Jbd2::recover(&d, 1, 64).unwrap();
+        assert_eq!(j2.next_seq, 3);
+    }
+
+    #[test]
+    fn oversized_txn_rejected() {
+        let d = dev();
+        let mut j = Jbd2::format(&d, 1, 3).unwrap(); // ring: 2 blocks
+        let blocks: Vec<(u64, Vec<u8>)> = (0..4).map(|i| (500 + i, img(1))).collect();
+        assert!(j.commit(&d, &blocks).is_err());
+    }
+
+    #[test]
+    fn empty_commit_is_noop() {
+        let d = dev();
+        let mut j = Jbd2::format(&d, 1, 8).unwrap();
+        let writes = d.stats().snapshot().writes;
+        j.commit(&d, &[]).unwrap();
+        assert_eq!(d.stats().snapshot().writes, writes);
+    }
+}

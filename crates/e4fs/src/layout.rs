@@ -1,0 +1,481 @@
+//! On-disk layout: superblock, block groups, inode records, extent blocks,
+//! directory blocks.
+//!
+//! ```text
+//! block 0                     superblock
+//! blocks 1..=J                journal (header block + ring)
+//! then per group g:
+//!   +0                        block bitmap
+//!   +1                        inode bitmap
+//!   +2 .. +2+T                inode table (256 B per inode)
+//!   +2+T ..                   data blocks
+//! ```
+
+use bytes::{Buf, BufMut};
+use tvfs::{FileAttr, FileType, VfsError, VfsResult};
+
+/// File-system block size.
+pub const BLOCK: u64 = 4096;
+
+/// Superblock magic ("E4FS-SIM").
+pub const MAGIC: u64 = 0x4534_4653_2d53_494d;
+
+/// Bytes per on-disk inode record.
+pub const INODE_SIZE: u64 = 256;
+
+/// Inline extents stored directly in the inode record.
+pub const INLINE_EXTENTS: usize = 6;
+
+/// An extent run as stored on disk: `(file_page, disk_block, len)`.
+pub type DiskExtent = (u64, u64, u32);
+
+/// Extent entries per overflow block (`[count u32][next u64]` header).
+pub const EXTENTS_PER_BLOCK: usize = ((BLOCK as usize) - 12) / 20;
+
+/// Superblock fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Magic, [`MAGIC`].
+    pub magic: u64,
+    /// Device capacity at format time.
+    pub capacity: u64,
+    /// Journal size in blocks (header + ring).
+    pub journal_blocks: u64,
+    /// Blocks per group.
+    pub blocks_per_group: u64,
+    /// Inodes per group.
+    pub inodes_per_group: u64,
+}
+
+impl Superblock {
+    /// Encoded size.
+    pub const SIZE: usize = 40;
+
+    /// Encodes the superblock.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(Self::SIZE);
+        b.put_u64_le(self.magic);
+        b.put_u64_le(self.capacity);
+        b.put_u64_le(self.journal_blocks);
+        b.put_u64_le(self.blocks_per_group);
+        b.put_u64_le(self.inodes_per_group);
+        b
+    }
+
+    /// Decodes and validates.
+    pub fn decode(mut raw: &[u8]) -> VfsResult<Self> {
+        if raw.len() < Self::SIZE {
+            return Err(VfsError::Io("short superblock".into()));
+        }
+        let sb = Superblock {
+            magic: raw.get_u64_le(),
+            capacity: raw.get_u64_le(),
+            journal_blocks: raw.get_u64_le(),
+            blocks_per_group: raw.get_u64_le(),
+            inodes_per_group: raw.get_u64_le(),
+        };
+        if sb.magic != MAGIC {
+            return Err(VfsError::Io("bad e4fs magic".into()));
+        }
+        Ok(sb)
+    }
+
+    /// First block after superblock + journal.
+    pub fn groups_start(&self) -> u64 {
+        1 + self.journal_blocks
+    }
+
+    /// Inode-table blocks per group.
+    pub fn itable_blocks(&self) -> u64 {
+        (self.inodes_per_group * INODE_SIZE).div_ceil(BLOCK)
+    }
+
+    /// Per-group metadata blocks (bitmaps + inode table).
+    pub fn group_meta_blocks(&self) -> u64 {
+        2 + self.itable_blocks()
+    }
+
+    /// Number of complete groups on the device.
+    pub fn group_count(&self) -> u64 {
+        let avail = (self.capacity / BLOCK).saturating_sub(self.groups_start());
+        avail / self.blocks_per_group
+    }
+
+    /// First block of group `g`.
+    pub fn group_start(&self, g: u64) -> u64 {
+        self.groups_start() + g * self.blocks_per_group
+    }
+
+    /// Block number of group `g`'s block bitmap.
+    pub fn block_bitmap_block(&self, g: u64) -> u64 {
+        self.group_start(g)
+    }
+
+    /// Block number of group `g`'s inode bitmap.
+    pub fn inode_bitmap_block(&self, g: u64) -> u64 {
+        self.group_start(g) + 1
+    }
+
+    /// First inode-table block of group `g`.
+    pub fn itable_start(&self, g: u64) -> u64 {
+        self.group_start(g) + 2
+    }
+
+    /// First data block of group `g`.
+    pub fn data_start(&self, g: u64) -> u64 {
+        self.group_start(g) + self.group_meta_blocks()
+    }
+
+    /// Data blocks per group.
+    pub fn data_blocks_per_group(&self) -> u64 {
+        self.blocks_per_group - self.group_meta_blocks()
+    }
+
+    /// Total inodes.
+    #[allow(dead_code)] // part of the geometry API, used by tests/tools
+    pub fn total_inodes(&self) -> u64 {
+        self.group_count() * self.inodes_per_group
+    }
+
+    /// `(group, index)` of inode `ino` (1-based inode numbers).
+    pub fn inode_location(&self, ino: u64) -> (u64, u64) {
+        let idx = ino - 1;
+        (idx / self.inodes_per_group, idx % self.inodes_per_group)
+    }
+
+    /// `(itable block, byte offset within block)` of inode `ino`.
+    pub fn inode_block(&self, ino: u64) -> (u64, usize) {
+        let (g, idx) = self.inode_location(ino);
+        let byte = idx * INODE_SIZE;
+        (self.itable_start(g) + byte / BLOCK, (byte % BLOCK) as usize)
+    }
+
+    /// Group that owns data block `b`, or `None` for metadata regions.
+    pub fn group_of_block(&self, b: u64) -> Option<u64> {
+        if b < self.groups_start() {
+            return None;
+        }
+        let g = (b - self.groups_start()) / self.blocks_per_group;
+        (g < self.group_count()).then_some(g)
+    }
+}
+
+/// The 256-byte on-disk inode record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskInode {
+    /// Slot is in use.
+    pub valid: bool,
+    /// Directory flag.
+    pub is_dir: bool,
+    /// Permission bits.
+    pub mode: u32,
+    /// Owner / group.
+    pub uid: u32,
+    /// Group id.
+    pub gid: u32,
+    /// Logical size.
+    pub size: u64,
+    /// Allocated bytes.
+    pub blocks_bytes: u64,
+    /// Timestamps (virtual ns).
+    pub atime_ns: u64,
+    /// Modification time.
+    pub mtime_ns: u64,
+    /// Change time.
+    pub ctime_ns: u64,
+    /// Link count.
+    pub nlink: u32,
+    /// Inline extents `(file_page, disk_block, len)`.
+    pub inline: Vec<DiskExtent>,
+    /// First overflow extent block (0 = none).
+    pub overflow: u64,
+}
+
+impl DiskInode {
+    /// An empty, invalid record.
+    pub fn empty() -> Self {
+        DiskInode {
+            valid: false,
+            is_dir: false,
+            mode: 0,
+            uid: 0,
+            gid: 0,
+            size: 0,
+            blocks_bytes: 0,
+            atime_ns: 0,
+            mtime_ns: 0,
+            ctime_ns: 0,
+            nlink: 0,
+            inline: Vec::new(),
+            overflow: 0,
+        }
+    }
+
+    /// Encodes into exactly [`INODE_SIZE`] bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(INODE_SIZE as usize);
+        b.put_u8(self.valid as u8);
+        b.put_u8(self.is_dir as u8);
+        b.put_u8(self.inline.len() as u8);
+        b.put_u8(0);
+        b.put_u32_le(self.mode);
+        b.put_u32_le(self.uid);
+        b.put_u32_le(self.gid);
+        b.put_u32_le(self.nlink);
+        b.put_u64_le(self.size);
+        b.put_u64_le(self.blocks_bytes);
+        b.put_u64_le(self.atime_ns);
+        b.put_u64_le(self.mtime_ns);
+        b.put_u64_le(self.ctime_ns);
+        b.put_u64_le(self.overflow);
+        for &(fp, db, len) in self.inline.iter().take(INLINE_EXTENTS) {
+            b.put_u64_le(fp);
+            b.put_u64_le(db);
+            b.put_u32_le(len);
+        }
+        b.resize(INODE_SIZE as usize, 0);
+        b
+    }
+
+    /// Decodes from a 256-byte slice.
+    pub fn decode(mut raw: &[u8]) -> VfsResult<Self> {
+        if raw.len() < INODE_SIZE as usize {
+            return Err(VfsError::Io("short inode".into()));
+        }
+        let valid = raw.get_u8() != 0;
+        let is_dir = raw.get_u8() != 0;
+        let n_inline = raw.get_u8() as usize;
+        raw.get_u8();
+        let mode = raw.get_u32_le();
+        let uid = raw.get_u32_le();
+        let gid = raw.get_u32_le();
+        let nlink = raw.get_u32_le();
+        let size = raw.get_u64_le();
+        let blocks_bytes = raw.get_u64_le();
+        let atime_ns = raw.get_u64_le();
+        let mtime_ns = raw.get_u64_le();
+        let ctime_ns = raw.get_u64_le();
+        let overflow = raw.get_u64_le();
+        if n_inline > INLINE_EXTENTS {
+            return Err(VfsError::Io("bad inline extent count".into()));
+        }
+        let mut inline = Vec::with_capacity(n_inline);
+        for _ in 0..n_inline {
+            inline.push((raw.get_u64_le(), raw.get_u64_le(), raw.get_u32_le()));
+        }
+        Ok(DiskInode {
+            valid,
+            is_dir,
+            mode,
+            uid,
+            gid,
+            size,
+            blocks_bytes,
+            atime_ns,
+            mtime_ns,
+            ctime_ns,
+            nlink,
+            inline,
+            overflow,
+        })
+    }
+
+    /// Converts to VFS attributes.
+    pub fn to_attr(&self, ino: u64) -> FileAttr {
+        let kind = if self.is_dir {
+            FileType::Directory
+        } else {
+            FileType::Regular
+        };
+        let mut a = FileAttr::new(ino, kind, self.mode, 0);
+        a.size = self.size;
+        a.blocks_bytes = self.blocks_bytes;
+        a.atime_ns = self.atime_ns;
+        a.mtime_ns = self.mtime_ns;
+        a.ctime_ns = self.ctime_ns;
+        a.nlink = self.nlink;
+        a.uid = self.uid;
+        a.gid = self.gid;
+        a
+    }
+}
+
+/// Encodes an overflow extent block: `[count u32][next u64][entries]`.
+pub fn encode_extent_block(extents: &[DiskExtent], next: u64) -> Vec<u8> {
+    debug_assert!(extents.len() <= EXTENTS_PER_BLOCK);
+    let mut b = Vec::with_capacity(BLOCK as usize);
+    b.put_u32_le(extents.len() as u32);
+    b.put_u64_le(next);
+    for &(fp, db, len) in extents {
+        b.put_u64_le(fp);
+        b.put_u64_le(db);
+        b.put_u32_le(len);
+    }
+    b.resize(BLOCK as usize, 0);
+    b
+}
+
+/// Decodes an overflow extent block.
+pub fn decode_extent_block(mut raw: &[u8]) -> VfsResult<(Vec<DiskExtent>, u64)> {
+    if raw.len() < BLOCK as usize {
+        return Err(VfsError::Io("short extent block".into()));
+    }
+    let n = raw.get_u32_le() as usize;
+    let next = raw.get_u64_le();
+    if n > EXTENTS_PER_BLOCK {
+        return Err(VfsError::Io("bad extent block count".into()));
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push((raw.get_u64_le(), raw.get_u64_le(), raw.get_u32_le()));
+    }
+    Ok((v, next))
+}
+
+/// Serializes directory entries; the caller splits the result into blocks.
+pub fn encode_dentries(dentries: &[(String, u64, bool)]) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.put_u32_le(dentries.len() as u32);
+    for (name, ino, is_dir) in dentries {
+        b.put_u16_le(name.len() as u16);
+        b.extend_from_slice(name.as_bytes());
+        b.put_u64_le(*ino);
+        b.put_u8(*is_dir as u8);
+    }
+    b
+}
+
+/// Parses directory entries back.
+pub fn decode_dentries(mut raw: &[u8]) -> VfsResult<Vec<(String, u64, bool)>> {
+    if raw.len() < 4 {
+        return Err(VfsError::Io("short dir data".into()));
+    }
+    let n = raw.get_u32_le() as usize;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        if raw.len() < 2 {
+            return Err(VfsError::Io("short dirent".into()));
+        }
+        let nlen = raw.get_u16_le() as usize;
+        if raw.len() < nlen + 9 {
+            return Err(VfsError::Io("short dirent".into()));
+        }
+        let name = String::from_utf8(raw[..nlen].to_vec())
+            .map_err(|_| VfsError::Io("bad dirent name".into()))?;
+        raw.advance(nlen);
+        let ino = raw.get_u64_le();
+        let is_dir = raw.get_u8() != 0;
+        v.push((name, ino, is_dir));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sb() -> Superblock {
+        Superblock {
+            magic: MAGIC,
+            capacity: 1 << 30,
+            journal_blocks: 1024,
+            blocks_per_group: 8192,
+            inodes_per_group: 1024,
+        }
+    }
+
+    #[test]
+    fn superblock_roundtrip() {
+        let s = sb();
+        assert_eq!(Superblock::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn geometry_is_consistent() {
+        let s = sb();
+        // 1024 inodes * 256 B = 64 blocks.
+        assert_eq!(s.itable_blocks(), 64);
+        assert_eq!(s.group_meta_blocks(), 66);
+        assert_eq!(s.groups_start(), 1025);
+        // (262144 - 1025) / 8192 = 31 full groups.
+        assert_eq!(s.group_count(), 31);
+        assert_eq!(s.data_start(0), 1025 + 66);
+        assert_eq!(s.group_start(1), 1025 + 8192);
+    }
+
+    #[test]
+    fn inode_location_mapping() {
+        let s = sb();
+        assert_eq!(s.inode_location(1), (0, 0));
+        assert_eq!(s.inode_location(1024), (0, 1023));
+        assert_eq!(s.inode_location(1025), (1, 0));
+        let (blk, off) = s.inode_block(1);
+        assert_eq!(blk, s.itable_start(0));
+        assert_eq!(off, 0);
+        let (blk, off) = s.inode_block(17);
+        assert_eq!(blk, s.itable_start(0) + 1);
+        assert_eq!(off, 0);
+        assert_eq!(s.inode_block(2).1, 256);
+    }
+
+    #[test]
+    fn group_of_block_bounds() {
+        let s = sb();
+        assert_eq!(s.group_of_block(0), None);
+        assert_eq!(s.group_of_block(s.groups_start()), Some(0));
+        assert_eq!(s.group_of_block(s.group_start(3) + 5), Some(3));
+    }
+
+    #[test]
+    fn disk_inode_roundtrip() {
+        let di = DiskInode {
+            valid: true,
+            is_dir: true,
+            mode: 0o755,
+            uid: 3,
+            gid: 4,
+            size: 12345,
+            blocks_bytes: 8192,
+            atime_ns: 1,
+            mtime_ns: 2,
+            ctime_ns: 3,
+            nlink: 2,
+            inline: vec![(0, 100, 2), (5, 200, 1)],
+            overflow: 777,
+        };
+        let enc = di.encode();
+        assert_eq!(enc.len(), INODE_SIZE as usize);
+        assert_eq!(DiskInode::decode(&enc).unwrap(), di);
+    }
+
+    #[test]
+    fn empty_inode_is_invalid() {
+        let raw = vec![0u8; INODE_SIZE as usize];
+        assert!(!DiskInode::decode(&raw).unwrap().valid);
+    }
+
+    #[test]
+    fn extent_block_roundtrip() {
+        let exts: Vec<(u64, u64, u32)> = (0..50).map(|i| (i * 10, i * 100, 3)).collect();
+        let enc = encode_extent_block(&exts, 42);
+        let (got, next) = decode_extent_block(&enc).unwrap();
+        assert_eq!(got, exts);
+        assert_eq!(next, 42);
+    }
+
+    #[test]
+    fn extent_block_capacity() {
+        // (4096 - 12) / 20 entries per overflow block.
+        assert_eq!(EXTENTS_PER_BLOCK, 204);
+    }
+
+    #[test]
+    fn dentries_roundtrip() {
+        let d = vec![
+            ("file.txt".to_string(), 7, false),
+            ("sub".to_string(), 9, true),
+        ];
+        assert_eq!(decode_dentries(&encode_dentries(&d)).unwrap(), d);
+        assert_eq!(decode_dentries(&encode_dentries(&[])).unwrap(), vec![]);
+    }
+}

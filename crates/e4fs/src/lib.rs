@@ -1,0 +1,33 @@
+//! `e4fs` — an Ext4-like journaling file system for rotational disks.
+//!
+//! Models the Ext4 design (Mathur et al., OLS '07) that the paper mounts on
+//! its HDD tier, with the pieces that distinguish it from `xefs` built for
+//! real rather than renamed:
+//!
+//! * **Block groups.** The disk splits into groups, each holding a block
+//!   bitmap, an inode bitmap, an on-disk inode table and data blocks.
+//!   Allocation is goal-directed (near the file's previous block) and
+//!   first-fit within the group — the classic ext4 locality story for
+//!   seek-bound media.
+//! * **On-disk metadata blocks.** Inodes are 256-byte records in the inode
+//!   table; directories serialize their entries into journaled metadata
+//!   blocks; large extent maps overflow into chained extent blocks. All
+//!   metadata block images live in an in-memory `MetaStore` mirror whose
+//!   dirty blocks form the journal transactions.
+//! * **JBD2-style journal, ordered mode.** A transaction is a set of whole
+//!   metadata *block images* plus a checksummed commit frame. Ordered mode
+//!   is enforced: dirty file data is written in place *before* the
+//!   transaction commits, so committed metadata never points at unwritten
+//!   data. Checkpointing is deferred, as in real JBD2: committed block
+//!   images are written home in one sorted sweep when the ring runs low;
+//!   the journal header tracks the last checkpointed sequence so replay
+//!   never rolls a block back.
+
+mod bitmap;
+mod fs;
+mod jbd2;
+mod layout;
+mod metastore;
+
+pub use fs::{E4Fs, E4Options};
+pub use layout::BLOCK;

@@ -1,0 +1,134 @@
+//! In-memory mirror of metadata block images.
+//!
+//! Every metadata block (bitmaps, inode-table blocks, directory blocks,
+//! extent-overflow blocks) has its current image here. Mutations mark
+//! blocks dirty; the dirty set becomes the next JBD2 transaction. Home
+//! locations on the device are written only at checkpoint time.
+
+use std::collections::{BTreeSet, HashMap};
+
+use simdev::Device;
+use tvfs::VfsResult;
+
+use crate::layout::BLOCK;
+
+/// The metadata block mirror.
+#[derive(Debug, Default)]
+pub struct MetaStore {
+    blocks: HashMap<u64, Vec<u8>>,
+    dirty: BTreeSet<u64>,
+}
+
+impl MetaStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_loaded(&mut self, dev: &Device, block: u64) -> VfsResult<()> {
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.blocks.entry(block) {
+            let mut buf = vec![0u8; BLOCK as usize];
+            dev.read(block * BLOCK, &mut buf)?;
+            slot.insert(buf);
+        }
+        Ok(())
+    }
+
+    /// Reads a metadata block, loading it from the device on first touch.
+    pub fn load(&mut self, dev: &Device, block: u64) -> VfsResult<&[u8]> {
+        self.ensure_loaded(dev, block)?;
+        Ok(self.blocks.get(&block).expect("just loaded"))
+    }
+
+    /// Mutates a metadata block (loading it first if needed) and marks it
+    /// dirty for the next transaction.
+    pub fn update(&mut self, dev: &Device, block: u64, f: impl FnOnce(&mut [u8])) -> VfsResult<()> {
+        self.ensure_loaded(dev, block)?;
+        let b = self.blocks.get_mut(&block).expect("just loaded");
+        f(b);
+        self.dirty.insert(block);
+        Ok(())
+    }
+
+    /// Replaces a block image wholesale (e.g. a fresh directory block).
+    pub fn put(&mut self, block: u64, data: Vec<u8>) {
+        debug_assert_eq!(data.len(), BLOCK as usize);
+        self.blocks.insert(block, data);
+        self.dirty.insert(block);
+    }
+
+    /// Forgets a block (freed metadata); it will not be journaled.
+    pub fn forget(&mut self, block: u64) {
+        self.blocks.remove(&block);
+        self.dirty.remove(&block);
+    }
+
+    /// Takes the dirty set as `(block, image)` pairs for a transaction.
+    pub fn take_dirty(&mut self) -> Vec<(u64, Vec<u8>)> {
+        let dirty = std::mem::take(&mut self.dirty);
+        dirty
+            .into_iter()
+            .filter_map(|b| self.blocks.get(&b).map(|img| (b, img.clone())))
+            .collect()
+    }
+
+    /// Whether any block is dirty.
+    #[allow(dead_code)] // diagnostics / tests
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Number of dirty blocks.
+    #[allow(dead_code)] // diagnostics / tests
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdev::{hdd, VirtualClock};
+
+    fn dev() -> Device {
+        Device::with_profile(hdd(), 64 << 20, VirtualClock::new())
+    }
+
+    #[test]
+    fn load_reads_device_once() {
+        let d = dev();
+        d.write(5 * BLOCK, b"hello").unwrap();
+        let mut m = MetaStore::new();
+        assert_eq!(&m.load(&d, 5).unwrap()[..5], b"hello");
+        let reads = d.stats().snapshot().reads;
+        m.load(&d, 5).unwrap();
+        assert_eq!(d.stats().snapshot().reads, reads, "cached");
+    }
+
+    #[test]
+    fn update_marks_dirty() {
+        let d = dev();
+        let mut m = MetaStore::new();
+        m.update(&d, 3, |b| b[0] = 7).unwrap();
+        assert!(m.has_dirty());
+        let dirty = m.take_dirty();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].0, 3);
+        assert_eq!(dirty[0].1[0], 7);
+        assert!(!m.has_dirty());
+        // Image persists in the mirror after take.
+        assert_eq!(m.load(&d, 3).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn put_and_forget() {
+        let d = dev();
+        let mut m = MetaStore::new();
+        m.put(9, vec![1u8; BLOCK as usize]);
+        assert_eq!(m.dirty_count(), 1);
+        m.forget(9);
+        assert!(!m.has_dirty());
+        // After forget, load re-reads the device (zeros).
+        assert_eq!(m.load(&d, 9).unwrap()[0], 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! `netfs` — networked file systems as Mux tiers (paper §4, "Distributed
+//! Mux").
+//!
+//! The paper's most ambitious discussion item: "By designing a Mux-to-Mux
+//! interconnection (e.g., through Remote Procedure Call) at the Mux layer
+//! and a distributed tiering policy, it is possible that a set of machines
+//! mounting traditional file systems can be integrated into a distributed
+//! storage system. … We plan to start with attaching networked file systems
+//! as one of the underlying file systems."
+//!
+//! That starting point is exactly what this crate provides:
+//!
+//! * [`SimLink`] — a simulated network link: round-trip latency + byte
+//!   bandwidth charged on the shared [`simdev::VirtualClock`], with
+//!   fail-stop injection for partition testing.
+//! * [`RemoteFs`] — a [`tvfs::FileSystem`] that forwards every VFS call
+//!   over a [`SimLink`] to a backing file system "on the other machine".
+//!   Requests and responses are genuinely serialized (the link charges the
+//!   real message sizes), so a remote tier's cost profile emerges from the
+//!   link, not from hand-waving.
+//!
+//! Because [`RemoteFs`] is just another `FileSystem`, it can be registered
+//! as a Mux tier unchanged — and since *Mux itself* implements
+//! `FileSystem`, a whole remote Mux hierarchy can be attached as a single
+//! tier of a local Mux: the Mux-to-Mux interconnection, in one line.
+
+mod link;
+mod remote;
+mod wire;
+
+pub use link::{LinkProfile, SimLink};
+pub use remote::RemoteFs;

@@ -1,0 +1,140 @@
+//! The simulated network link.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use simdev::VirtualClock;
+use tvfs::{VfsError, VfsResult};
+
+/// Performance model of a link: one message of `n` bytes costs
+/// `one_way_ns + n * 1e9 / bandwidth_bps`; a request/response pair charges
+/// both directions.
+#[derive(Debug, Clone)]
+pub struct LinkProfile {
+    /// One-way propagation + stack latency.
+    pub one_way_ns: u64,
+    /// Link bandwidth in bytes/second.
+    pub bandwidth_bps: u64,
+}
+
+impl LinkProfile {
+    /// A 25 GbE-ish datacenter link: ~10 µs one-way, ~3 GB/s.
+    pub fn datacenter() -> Self {
+        LinkProfile {
+            one_way_ns: 10_000,
+            bandwidth_bps: 3_000_000_000,
+        }
+    }
+
+    /// A WAN-ish link: 2 ms one-way, 100 MB/s.
+    pub fn wan() -> Self {
+        LinkProfile {
+            one_way_ns: 2_000_000,
+            bandwidth_bps: 100_000_000,
+        }
+    }
+
+    /// Service time of one message of `bytes`.
+    pub fn message_ns(&self, bytes: u64) -> u64 {
+        self.one_way_ns + bytes.saturating_mul(1_000_000_000) / self.bandwidth_bps.max(1)
+    }
+}
+
+/// A bidirectional simulated link charging a [`VirtualClock`].
+#[derive(Clone)]
+pub struct SimLink {
+    shared: Arc<Shared>,
+}
+
+struct Shared {
+    profile: LinkProfile,
+    clock: VirtualClock,
+    partitioned: AtomicBool,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl SimLink {
+    /// A healthy link with `profile`, charging `clock`.
+    pub fn new(profile: LinkProfile, clock: VirtualClock) -> Self {
+        SimLink {
+            shared: Arc::new(Shared {
+                profile,
+                clock,
+                partitioned: AtomicBool::new(false),
+                messages: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Simulates a network partition: transfers fail until healed.
+    pub fn set_partitioned(&self, p: bool) {
+        self.shared.partitioned.store(p, Ordering::Release);
+    }
+
+    /// `(messages, bytes)` transferred so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.shared.messages.load(Ordering::Relaxed),
+            self.shared.bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Charges one message of `bytes` in one direction.
+    pub fn transfer(&self, bytes: u64) -> VfsResult<()> {
+        if self.shared.partitioned.load(Ordering::Acquire) {
+            return Err(VfsError::Io("network partition".into()));
+        }
+        self.shared
+            .clock
+            .advance(self.shared.profile.message_ns(bytes));
+        self.shared.messages.fetch_add(1, Ordering::Relaxed);
+        self.shared.bytes.fetch_add(bytes, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_cost_has_latency_and_bandwidth_terms() {
+        let p = LinkProfile {
+            one_way_ns: 1000,
+            bandwidth_bps: 1_000_000_000,
+        };
+        assert_eq!(p.message_ns(0), 1000);
+        assert_eq!(p.message_ns(1_000_000), 1000 + 1_000_000);
+    }
+
+    #[test]
+    fn transfer_charges_clock_and_counts() {
+        let clock = VirtualClock::new();
+        let l = SimLink::new(
+            LinkProfile {
+                one_way_ns: 500,
+                bandwidth_bps: 1_000_000_000,
+            },
+            clock.clone(),
+        );
+        l.transfer(1000).unwrap();
+        assert_eq!(clock.now_ns(), 500 + 1000);
+        assert_eq!(l.stats(), (1, 1000));
+    }
+
+    #[test]
+    fn partition_blocks_traffic() {
+        let l = SimLink::new(LinkProfile::datacenter(), VirtualClock::new());
+        l.set_partitioned(true);
+        assert!(l.transfer(1).is_err());
+        l.set_partitioned(false);
+        assert!(l.transfer(1).is_ok());
+    }
+
+    #[test]
+    fn wan_slower_than_datacenter() {
+        assert!(LinkProfile::wan().message_ns(4096) > LinkProfile::datacenter().message_ns(4096));
+    }
+}

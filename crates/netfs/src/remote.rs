@@ -1,0 +1,282 @@
+//! `RemoteFs`: a file system on the far side of a link.
+
+use std::sync::Arc;
+
+use tvfs::{DirEntry, FileAttr, FileSystem, FileType, InodeNo, SetAttr, StatFs, VfsResult};
+
+use crate::link::SimLink;
+use crate::wire;
+
+/// A [`FileSystem`] proxy that forwards every call over a [`SimLink`] to a
+/// backing file system.
+///
+/// Each method charges one request and one response message on the link
+/// (sized from its actual arguments and results), then executes on the
+/// backing store. Registering a `RemoteFs` as a Mux tier attaches a
+/// networked file system to the hierarchy — §4's starting point for
+/// Distributed Mux.
+pub struct RemoteFs {
+    name: String,
+    link: SimLink,
+    backing: Arc<dyn FileSystem>,
+}
+
+impl RemoteFs {
+    /// Wraps `backing` behind `link`.
+    pub fn new(name: impl Into<String>, link: SimLink, backing: Arc<dyn FileSystem>) -> Self {
+        RemoteFs {
+            name: name.into(),
+            link,
+            backing,
+        }
+    }
+
+    /// The link (for stats / partition injection in tests).
+    pub fn link(&self) -> &SimLink {
+        &self.link
+    }
+
+    fn rpc<R>(
+        &self,
+        req_fixed: u64,
+        req_payload: u64,
+        resp_fixed: u64,
+        f: impl FnOnce() -> VfsResult<R>,
+    ) -> VfsResult<(R, u64)> {
+        self.link.transfer(wire::request(req_fixed, req_payload))?;
+        let out = f()?;
+        Ok((out, resp_fixed))
+    }
+
+    fn finish<R>(&self, out: (R, u64), resp_payload: u64) -> VfsResult<R> {
+        self.link.transfer(wire::response(out.1, resp_payload))?;
+        Ok(out.0)
+    }
+}
+
+impl FileSystem for RemoteFs {
+    fn fs_name(&self) -> &str {
+        &self.name
+    }
+
+    fn root_ino(&self) -> InodeNo {
+        self.backing.root_ino()
+    }
+
+    fn lookup(&self, parent: InodeNo, name: &str) -> VfsResult<FileAttr> {
+        let out = self.rpc(8 + wire::name(name), 0, wire::ATTR, || {
+            self.backing.lookup(parent, name)
+        })?;
+        self.finish(out, 0)
+    }
+
+    fn getattr(&self, ino: InodeNo) -> VfsResult<FileAttr> {
+        let out = self.rpc(8, 0, wire::ATTR, || self.backing.getattr(ino))?;
+        self.finish(out, 0)
+    }
+
+    fn setattr(&self, ino: InodeNo, set: &SetAttr) -> VfsResult<FileAttr> {
+        let out = self.rpc(8 + 48, 0, wire::ATTR, || self.backing.setattr(ino, set))?;
+        self.finish(out, 0)
+    }
+
+    fn create(
+        &self,
+        parent: InodeNo,
+        name: &str,
+        kind: FileType,
+        mode: u32,
+    ) -> VfsResult<FileAttr> {
+        let out = self.rpc(13 + wire::name(name), 0, wire::ATTR, || {
+            self.backing.create(parent, name, kind, mode)
+        })?;
+        self.finish(out, 0)
+    }
+
+    fn unlink(&self, parent: InodeNo, name: &str) -> VfsResult<()> {
+        let out = self.rpc(8 + wire::name(name), 0, 0, || {
+            self.backing.unlink(parent, name)
+        })?;
+        self.finish(out, 0)
+    }
+
+    fn rename(
+        &self,
+        parent: InodeNo,
+        name: &str,
+        new_parent: InodeNo,
+        new_name: &str,
+    ) -> VfsResult<()> {
+        let out = self.rpc(16 + wire::name(name) + wire::name(new_name), 0, 0, || {
+            self.backing.rename(parent, name, new_parent, new_name)
+        })?;
+        self.finish(out, 0)
+    }
+
+    fn readdir(&self, ino: InodeNo) -> VfsResult<Vec<DirEntry>> {
+        let out = self.rpc(8, 0, 4, || self.backing.readdir(ino))?;
+        let resp_payload: u64 = out.0.iter().map(|e| 9 + wire::name(&e.name)).sum();
+        self.finish(out, resp_payload)
+    }
+
+    fn read(&self, ino: InodeNo, off: u64, buf: &mut [u8]) -> VfsResult<usize> {
+        // Request carries (ino, off, len); response carries the data.
+        let out = self.rpc(24, 0, 8, || self.backing.read(ino, off, buf))?;
+        let n = out.0;
+        self.finish(out, n as u64)
+    }
+
+    fn write(&self, ino: InodeNo, off: u64, data: &[u8]) -> VfsResult<usize> {
+        // Request carries the data; response carries the count.
+        let out = self.rpc(24, data.len() as u64, 8, || {
+            self.backing.write(ino, off, data)
+        })?;
+        self.finish(out, 0)
+    }
+
+    fn punch_hole(&self, ino: InodeNo, off: u64, len: u64) -> VfsResult<()> {
+        let out = self.rpc(24, 0, 0, || self.backing.punch_hole(ino, off, len))?;
+        self.finish(out, 0)
+    }
+
+    fn next_data(&self, ino: InodeNo, off: u64) -> VfsResult<Option<(u64, u64)>> {
+        let out = self.rpc(16, 0, 17, || self.backing.next_data(ino, off))?;
+        self.finish(out, 0)
+    }
+
+    fn fsync(&self, ino: InodeNo) -> VfsResult<()> {
+        let out = self.rpc(8, 0, 0, || self.backing.fsync(ino))?;
+        self.finish(out, 0)
+    }
+
+    fn sync(&self) -> VfsResult<()> {
+        let out = self.rpc(0, 0, 0, || self.backing.sync())?;
+        self.finish(out, 0)
+    }
+
+    fn statfs(&self) -> VfsResult<StatFs> {
+        let out = self.rpc(0, 0, 28, || self.backing.statfs())?;
+        self.finish(out, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkProfile;
+    use simdev::VirtualClock;
+    use tvfs::memfs::MemFs;
+    use tvfs::{VfsError, ROOT_INO};
+
+    fn remote(clock: &VirtualClock) -> (RemoteFs, Arc<MemFs>) {
+        let backing = Arc::new(MemFs::new("far", 1 << 26));
+        let link = SimLink::new(LinkProfile::datacenter(), clock.clone());
+        (
+            RemoteFs::new("remote-far", link, backing.clone() as Arc<dyn FileSystem>),
+            backing,
+        )
+    }
+
+    #[test]
+    fn roundtrip_through_the_wire() {
+        let clock = VirtualClock::new();
+        let (r, backing) = remote(&clock);
+        let f = r.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+        r.write(f.ino, 0, b"over the network").unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(r.read(f.ino, 0, &mut buf).unwrap(), 16);
+        assert_eq!(&buf, b"over the network");
+        // The data really lives on the backing store.
+        assert_eq!(backing.lookup(ROOT_INO, "f").unwrap().size, 16);
+    }
+
+    #[test]
+    fn every_call_pays_two_messages() {
+        let clock = VirtualClock::new();
+        let (r, _) = remote(&clock);
+        let (m0, _) = r.link().stats();
+        r.getattr(ROOT_INO).unwrap();
+        let (m1, _) = r.link().stats();
+        assert_eq!(m1 - m0, 2);
+    }
+
+    #[test]
+    fn bulk_data_is_charged_by_size() {
+        let clock = VirtualClock::new();
+        let (r, _) = remote(&clock);
+        let f = r.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+        let (_, b0) = r.link().stats();
+        r.write(f.ino, 0, &vec![1u8; 1 << 20]).unwrap();
+        let (_, b1) = r.link().stats();
+        assert!(b1 - b0 >= 1 << 20, "wire bytes must include the payload");
+        // Reads charge the payload on the response.
+        let (_, b1) = r.link().stats();
+        let mut buf = vec![0u8; 1 << 20];
+        r.read(f.ino, 0, &mut buf).unwrap();
+        let (_, b2) = r.link().stats();
+        assert!(b2 - b1 >= 1 << 20);
+    }
+
+    #[test]
+    fn latency_emerges_from_the_link() {
+        let clock = VirtualClock::new();
+        let (r, _) = remote(&clock);
+        let t0 = clock.now_ns();
+        r.getattr(ROOT_INO).unwrap();
+        let rtt = clock.now_ns() - t0;
+        // Two 10 µs one-way hops plus header bytes.
+        assert!(rtt >= 20_000, "rtt {rtt}");
+        assert!(rtt < 25_000);
+    }
+
+    #[test]
+    fn partition_surfaces_as_io_error() {
+        let clock = VirtualClock::new();
+        let (r, _) = remote(&clock);
+        let f = r.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+        r.link().set_partitioned(true);
+        assert!(matches!(
+            r.write(f.ino, 0, b"x").unwrap_err(),
+            VfsError::Io(_)
+        ));
+        r.link().set_partitioned(false);
+        assert!(r.write(f.ino, 0, b"x").is_ok());
+    }
+
+    #[test]
+    fn works_as_a_mux_tier() {
+        use mux::{LruPolicy, Mux, MuxOptions, TierConfig};
+        let clock = VirtualClock::new();
+        let (r, backing) = remote(&clock);
+        let mux = Mux::new(
+            clock.clone(),
+            Arc::new(LruPolicy::default_watermarks()),
+            MuxOptions::default(),
+        );
+        // Local fast tier + remote capacity tier.
+        mux.add_tier(
+            TierConfig {
+                name: "local".into(),
+                class: simdev::DeviceClass::Pmem,
+            },
+            Arc::new(MemFs::new("local", 1 << 26)) as Arc<dyn FileSystem>,
+        );
+        let remote_id = mux.add_tier(
+            TierConfig {
+                name: "remote".into(),
+                class: simdev::DeviceClass::Hdd, // slowest class: archival
+            },
+            Arc::new(r) as Arc<dyn FileSystem>,
+        );
+        let f = mux
+            .create(ROOT_INO, "doc", FileType::Regular, 0o644)
+            .unwrap();
+        mux.write(f.ino, 0, &vec![7u8; 64 * 1024]).unwrap();
+        // Demote to the remote machine through the OCC synchronizer.
+        mux.migrate_file(f.ino, remote_id).unwrap();
+        assert!(backing.lookup(ROOT_INO, "doc").unwrap().blocks_bytes > 0);
+        let mut buf = vec![0u8; 64 * 1024];
+        mux.read(f.ino, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
+    }
+}

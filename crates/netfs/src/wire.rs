@@ -1,0 +1,41 @@
+//! Wire sizes for the RPC messages.
+//!
+//! `RemoteFs` executes calls in-process (the "server" is a trait object),
+//! but the link must charge realistic message sizes, so every call has an
+//! explicit request/response encoding size derived from its arguments —
+//! a fixed RPC header plus the marshalled payload.
+
+/// Fixed per-message overhead: transport header + method id + status.
+pub const HEADER: u64 = 48;
+
+/// Request size of a call with `fixed` argument bytes and `payload` bulk
+/// data bytes.
+pub fn request(fixed: u64, payload: u64) -> u64 {
+    HEADER + fixed + payload
+}
+
+/// Response size with `fixed` result bytes and `payload` bulk data.
+pub fn response(fixed: u64, payload: u64) -> u64 {
+    HEADER + fixed + payload
+}
+
+/// Marshalled size of a `FileAttr`.
+pub const ATTR: u64 = 64;
+
+/// Marshalled size of a name string.
+pub fn name(n: &str) -> u64 {
+    2 + n.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_monotone_in_payload() {
+        assert!(request(8, 4096) > request(8, 0));
+        assert_eq!(request(8, 0), HEADER + 8);
+        assert_eq!(response(ATTR, 0), HEADER + ATTR);
+        assert_eq!(name("abc"), 5);
+    }
+}

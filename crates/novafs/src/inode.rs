@@ -1,0 +1,50 @@
+//! In-DRAM inode state — a cache of the on-device log.
+
+use std::collections::BTreeMap;
+
+use tvfs::{FileAttr, Linear, RangeMap};
+
+use crate::layout::InodeSlot;
+
+/// In-memory representation of one inode.
+///
+/// Everything here is reconstructible from the log; see
+/// [`crate::NovaFs::mount`].
+#[derive(Debug, Clone)]
+pub struct Inode {
+    /// Cached attributes (atime is maintained lazily, in DRAM only, as with
+    /// `relatime`).
+    pub attr: FileAttr,
+    /// The persistent slot (log head/tail pointers).
+    pub slot: InodeSlot,
+    /// File page → device page map.
+    pub extents: RangeMap<Linear>,
+    /// Directory entries (`name → (ino, is_dir)`), directories only.
+    pub dentries: BTreeMap<String, (u64, bool)>,
+    /// Committed log entries still contributing state.
+    pub live_entries: u64,
+    /// Committed log entries superseded by later ones (cleaning heuristic).
+    pub dead_entries: u64,
+    /// Log pages owned by this inode, for cleaning and deletion.
+    pub log_pages: Vec<u64>,
+}
+
+impl Inode {
+    /// Fresh in-memory inode from attributes and slot.
+    pub fn new(attr: FileAttr, slot: InodeSlot) -> Self {
+        Inode {
+            attr,
+            slot,
+            extents: RangeMap::new(),
+            dentries: BTreeMap::new(),
+            live_entries: 0,
+            dead_entries: 0,
+            log_pages: Vec::new(),
+        }
+    }
+
+    /// Whether the log-cleaning threshold is met.
+    pub fn wants_cleaning(&self) -> bool {
+        self.dead_entries > 64 && self.dead_entries > self.live_entries
+    }
+}

@@ -1,0 +1,192 @@
+//! On-device layout constants and codecs.
+//!
+//! ```text
+//! page 0              superblock
+//! pages 1..=IT        inode table (INODE_SLOT bytes per inode)
+//! pages IT+1..        log pages and data pages, allocated on demand
+//! ```
+
+use bytes::{Buf, BufMut};
+use tvfs::{VfsError, VfsResult};
+
+/// File-system page size.
+pub const PAGE: u64 = 4096;
+
+/// Superblock magic ("NOVAFSIM").
+pub const MAGIC: u64 = 0x4e4f_5641_4653_494d;
+
+/// Bytes per inode-table slot.
+pub const INODE_SLOT: u64 = 64;
+
+/// Inode numbers start at the VFS root constant.
+pub const FIRST_INO: u64 = tvfs::ROOT_INO;
+
+/// Fixed fields of the superblock (page 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Magic number, [`MAGIC`].
+    pub magic: u64,
+    /// Total device capacity this FS was formatted with.
+    pub capacity: u64,
+    /// Number of inode slots in the inode table.
+    pub n_inodes: u64,
+}
+
+impl Superblock {
+    /// Serialized size in bytes.
+    pub const SIZE: usize = 24;
+
+    /// Encodes into a buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(Self::SIZE);
+        b.put_u64_le(self.magic);
+        b.put_u64_le(self.capacity);
+        b.put_u64_le(self.n_inodes);
+        b
+    }
+
+    /// Decodes, validating the magic.
+    pub fn decode(mut raw: &[u8]) -> VfsResult<Self> {
+        if raw.len() < Self::SIZE {
+            return Err(VfsError::Io("short superblock".into()));
+        }
+        let sb = Superblock {
+            magic: raw.get_u64_le(),
+            capacity: raw.get_u64_le(),
+            n_inodes: raw.get_u64_le(),
+        };
+        if sb.magic != MAGIC {
+            return Err(VfsError::Io("bad novafs magic".into()));
+        }
+        Ok(sb)
+    }
+
+    /// Number of pages the inode table occupies.
+    pub fn inode_table_pages(&self) -> u64 {
+        (self.n_inodes * INODE_SLOT).div_ceil(PAGE)
+    }
+
+    /// First page available to the allocator (after superblock + table).
+    pub fn first_free_page(&self) -> u64 {
+        1 + self.inode_table_pages()
+    }
+
+    /// Device offset of inode slot `ino`.
+    pub fn inode_slot_off(&self, ino: u64) -> u64 {
+        PAGE + (ino - FIRST_INO) * INODE_SLOT
+    }
+}
+
+/// Persistent inode-table slot: existence plus the log-head/tail pointers.
+///
+/// The `(tail_page, tail_off)` pair is the commit point of the whole inode:
+/// log entries at or past the tail are not part of the file system state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InodeSlot {
+    /// Slot holds a live inode.
+    pub valid: bool,
+    /// 0 = regular file, 1 = directory.
+    pub kind_dir: bool,
+    /// First log page (0 = no log yet).
+    pub log_head: u64,
+    /// Page containing the committed log tail.
+    pub tail_page: u64,
+    /// Byte offset of the tail within `tail_page`.
+    pub tail_off: u32,
+}
+
+impl InodeSlot {
+    /// Serialized size (fits in [`INODE_SLOT`]).
+    pub const SIZE: usize = 32;
+
+    /// Encodes the slot.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(Self::SIZE);
+        b.put_u8(self.valid as u8);
+        b.put_u8(self.kind_dir as u8);
+        b.put_u16_le(0);
+        b.put_u32_le(self.tail_off);
+        b.put_u64_le(self.log_head);
+        b.put_u64_le(self.tail_page);
+        b.put_u64_le(0); // reserved
+        b
+    }
+
+    /// Decodes a slot.
+    pub fn decode(mut raw: &[u8]) -> VfsResult<Self> {
+        if raw.len() < Self::SIZE {
+            return Err(VfsError::Io("short inode slot".into()));
+        }
+        let valid = raw.get_u8() != 0;
+        let kind_dir = raw.get_u8() != 0;
+        raw.get_u16_le();
+        let tail_off = raw.get_u32_le();
+        let log_head = raw.get_u64_le();
+        let tail_page = raw.get_u64_le();
+        Ok(InodeSlot {
+            valid,
+            kind_dir,
+            log_head,
+            tail_page,
+            tail_off,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblock_roundtrip() {
+        let sb = Superblock {
+            magic: MAGIC,
+            capacity: 1 << 30,
+            n_inodes: 4096,
+        };
+        let enc = sb.encode();
+        assert_eq!(Superblock::decode(&enc).unwrap(), sb);
+    }
+
+    #[test]
+    fn superblock_bad_magic_rejected() {
+        let sb = Superblock {
+            magic: 0xdead,
+            capacity: 1,
+            n_inodes: 1,
+        };
+        assert!(Superblock::decode(&sb.encode()).is_err());
+    }
+
+    #[test]
+    fn inode_table_sizing() {
+        let sb = Superblock {
+            magic: MAGIC,
+            capacity: 1 << 30,
+            n_inodes: 4096,
+        };
+        // 4096 inodes * 64 B = 64 pages.
+        assert_eq!(sb.inode_table_pages(), 64);
+        assert_eq!(sb.first_free_page(), 65);
+        assert_eq!(sb.inode_slot_off(FIRST_INO), PAGE);
+        assert_eq!(sb.inode_slot_off(FIRST_INO + 2), PAGE + 128);
+    }
+
+    #[test]
+    fn inode_slot_roundtrip() {
+        let s = InodeSlot {
+            valid: true,
+            kind_dir: true,
+            log_head: 77,
+            tail_page: 78,
+            tail_off: 1234,
+        };
+        assert_eq!(InodeSlot::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_slot_decodes_invalid() {
+        let raw = [0u8; InodeSlot::SIZE];
+        assert!(!InodeSlot::decode(&raw).unwrap().valid);
+    }
+}

@@ -1,0 +1,164 @@
+//! In-DRAM page allocator.
+//!
+//! NOVA keeps its allocator in DRAM and rebuilds it during recovery by
+//! scanning the logs; we do the same. Allocation state is therefore never
+//! written to the device.
+
+use std::collections::BTreeSet;
+
+use tvfs::{VfsError, VfsResult};
+
+/// Free-page allocator over a page range `[first, end)`.
+#[derive(Debug)]
+pub struct PageAllocator {
+    free: BTreeSet<u64>,
+    total: u64,
+}
+
+impl PageAllocator {
+    /// Creates an allocator with all pages in `[first, end)` free.
+    pub fn new(first: u64, end: u64) -> Self {
+        PageAllocator {
+            free: (first..end).collect(),
+            total: end.saturating_sub(first),
+        }
+    }
+
+    /// Marks `page` as in use (during recovery replay).
+    pub fn reserve(&mut self, page: u64) {
+        self.free.remove(&page);
+    }
+
+    /// Allocates `n` pages, contiguous if possible, otherwise any pages.
+    /// Returns runs of `(start, len)`.
+    pub fn alloc(&mut self, n: u64) -> VfsResult<Vec<(u64, u64)>> {
+        if (self.free.len() as u64) < n {
+            return Err(VfsError::NoSpace);
+        }
+        // Single-page fast path: lowest free page, no contiguity scan.
+        if n == 1 {
+            let p = *self.free.iter().next().expect("checked non-empty");
+            self.free.remove(&p);
+            return Ok(vec![(p, 1)]);
+        }
+        // First-fit scan for a contiguous run.
+        if let Some(start) = self.find_contiguous(n) {
+            for p in start..start + n {
+                self.free.remove(&p);
+            }
+            return Ok(vec![(start, n)]);
+        }
+        // Fragmented: take pages in address order, coalescing runs.
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..n {
+            let p = *self.free.iter().next().expect("checked above");
+            self.free.remove(&p);
+            match runs.last_mut() {
+                Some((s, l)) if *s + *l == p => *l += 1,
+                _ => runs.push((p, 1)),
+            }
+        }
+        Ok(runs)
+    }
+
+    /// Allocates exactly one page.
+    pub fn alloc_one(&mut self) -> VfsResult<u64> {
+        Ok(self.alloc(1)?[0].0)
+    }
+
+    fn find_contiguous(&self, n: u64) -> Option<u64> {
+        let mut run_start = None;
+        let mut run_len = 0u64;
+        for &p in &self.free {
+            match run_start {
+                Some(s) if s + run_len == p => {
+                    run_len += 1;
+                }
+                _ => {
+                    run_start = Some(p);
+                    run_len = 1;
+                }
+            }
+            if run_len == n {
+                return Some(run_start.unwrap() + run_len - n);
+            }
+        }
+        None
+    }
+
+    /// Returns pages to the free pool.
+    pub fn free_run(&mut self, start: u64, len: u64) {
+        for p in start..start + len {
+            self.free.insert(p);
+        }
+    }
+
+    /// Number of free pages.
+    pub fn free_pages(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Total pages managed.
+    pub fn total_pages(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_contiguous_when_possible() {
+        let mut a = PageAllocator::new(10, 100);
+        let runs = a.alloc(5).unwrap();
+        assert_eq!(runs, vec![(10, 5)]);
+        assert_eq!(a.free_pages(), 85);
+    }
+
+    #[test]
+    fn alloc_fragmented_coalesces_runs() {
+        let mut a = PageAllocator::new(0, 10);
+        // Occupy evens: 0,2,4,6,8 → frees are 1,3,5,7,9.
+        for p in [0, 2, 4, 6, 8] {
+            a.reserve(p);
+        }
+        let runs = a.alloc(3).unwrap();
+        assert_eq!(runs, vec![(1, 1), (3, 1), (5, 1)]);
+    }
+
+    #[test]
+    fn exhaustion_is_nospace() {
+        let mut a = PageAllocator::new(0, 4);
+        a.alloc(4).unwrap();
+        assert_eq!(a.alloc(1).unwrap_err(), VfsError::NoSpace);
+    }
+
+    #[test]
+    fn free_returns_pages() {
+        let mut a = PageAllocator::new(0, 4);
+        let runs = a.alloc(4).unwrap();
+        assert_eq!(a.free_pages(), 0);
+        for (s, l) in runs {
+            a.free_run(s, l);
+        }
+        assert_eq!(a.free_pages(), 4);
+    }
+
+    #[test]
+    fn reserve_prevents_allocation() {
+        let mut a = PageAllocator::new(0, 3);
+        a.reserve(0);
+        a.reserve(1);
+        let runs = a.alloc(1).unwrap();
+        assert_eq!(runs, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn contiguous_search_spans_gap_correctly() {
+        let mut a = PageAllocator::new(0, 20);
+        a.reserve(5); // free: 0..5, 6..20
+        let runs = a.alloc(10).unwrap();
+        assert_eq!(runs, vec![(6, 10)]);
+    }
+}

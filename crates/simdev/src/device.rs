@@ -1,0 +1,517 @@
+//! The simulated device: a RAM-backed byte store with virtual timing,
+//! a volatile write cache, and crash/fault injection.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{DeviceProfile, DeviceStats, FaultMode, VirtualClock, SIM_PAGE};
+
+/// Errors a device can return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DevError {
+    /// Access beyond the device capacity.
+    OutOfBounds {
+        /// Requested offset.
+        off: u64,
+        /// Requested length.
+        len: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// Injected or modelled I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for DevError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DevError::OutOfBounds { off, len, capacity } => {
+                write!(f, "access [{off}, {off}+{len}) beyond capacity {capacity}")
+            }
+            DevError::Io(msg) => write!(f, "device I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DevError {}
+
+/// Construction parameters for a [`Device`].
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Timing model.
+    pub profile: DeviceProfile,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// When `true`, unflushed writes are undo-logged so [`Device::crash`]
+    /// can discard them. Benchmarks that never crash disable this to avoid
+    /// unbounded undo growth.
+    pub track_durability: bool,
+}
+
+struct Inner {
+    pages: HashMap<u64, Box<[u8; SIM_PAGE]>>,
+    /// End offset of the last access, for the sequentiality/seek model.
+    last_end: u64,
+    fault: FaultMode,
+    /// Undo records for unflushed writes, oldest first.
+    undo: Vec<UndoRecord>,
+}
+
+struct UndoRecord {
+    off: u64,
+    /// Content of `[off, off+new_len)` before the write (zero-extended).
+    old: Vec<u8>,
+}
+
+/// A simulated storage device.
+///
+/// Cloneable handle (`Arc` inside); all methods are thread-safe. Every data
+/// operation charges virtual time on the shared [`VirtualClock`] according
+/// to the device's [`DeviceProfile`] and records [`DeviceStats`].
+#[derive(Clone)]
+pub struct Device {
+    shared: Arc<Shared>,
+}
+
+struct Shared {
+    profile: DeviceProfile,
+    capacity: u64,
+    clock: VirtualClock,
+    stats: DeviceStats,
+    track_durability: bool,
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Device")
+            .field("profile", &self.shared.profile.name)
+            .field("capacity", &self.shared.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Device {
+    /// Creates a device with the given configuration, charging time to
+    /// `clock`.
+    pub fn new(config: DeviceConfig, clock: VirtualClock) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                profile: config.profile,
+                capacity: config.capacity,
+                clock,
+                stats: DeviceStats::default(),
+                track_durability: config.track_durability,
+                inner: Mutex::new(Inner {
+                    pages: HashMap::new(),
+                    last_end: 0,
+                    fault: FaultMode::None,
+                    undo: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Convenience constructor with durability tracking enabled.
+    pub fn with_profile(profile: DeviceProfile, capacity: u64, clock: VirtualClock) -> Self {
+        Self::new(
+            DeviceConfig {
+                profile,
+                capacity,
+                track_durability: true,
+            },
+            clock,
+        )
+    }
+
+    /// The device's timing profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.shared.profile
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.shared.capacity
+    }
+
+    /// The clock this device charges.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.shared.clock
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.shared.stats
+    }
+
+    /// Sets the fault-injection mode.
+    pub fn set_fault_mode(&self, mode: FaultMode) {
+        self.shared.inner.lock().fault = mode;
+    }
+
+    fn check_bounds(&self, off: u64, len: u64) -> Result<(), DevError> {
+        if off
+            .checked_add(len)
+            .is_none_or(|end| end > self.shared.capacity)
+        {
+            return Err(DevError::OutOfBounds {
+                off,
+                len,
+                capacity: self.shared.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `off` into `buf`, returning the virtual
+    /// service time in nanoseconds. Unwritten regions read as zeros.
+    pub fn read(&self, off: u64, buf: &mut [u8]) -> Result<u64, DevError> {
+        self.check_bounds(off, buf.len() as u64)?;
+        let mut inner = self.shared.inner.lock();
+        if inner.fault.tick_should_fail() {
+            return Err(DevError::Io("injected fail-stop".into()));
+        }
+        let p = &self.shared.profile;
+        if p.seek_ns > 0 && off != inner.last_end {
+            self.shared.stats.on_seek();
+        }
+        let ns = p.read_cost(off, buf.len() as u64, inner.last_end);
+        Self::copy_out(&inner.pages, off, buf);
+        inner.last_end = off + buf.len() as u64;
+        drop(inner);
+        self.shared.clock.advance(ns);
+        self.shared.stats.on_read(buf.len() as u64, ns);
+        Ok(ns)
+    }
+
+    /// Writes `data` at `off`, returning the virtual service time.
+    ///
+    /// The write lands in the volatile write cache: it is readable
+    /// immediately but only survives [`Device::crash`] once flushed.
+    pub fn write(&self, off: u64, data: &[u8]) -> Result<u64, DevError> {
+        self.check_bounds(off, data.len() as u64)?;
+        let mut inner = self.shared.inner.lock();
+        if inner.fault.tick_should_fail() {
+            return Err(DevError::Io("injected fail-stop".into()));
+        }
+        let p = &self.shared.profile;
+        if p.seek_ns > 0 && off != inner.last_end {
+            self.shared.stats.on_seek();
+        }
+        let ns = p.write_cost(off, data.len() as u64, inner.last_end);
+        if self.shared.track_durability {
+            let mut old = vec![0u8; data.len()];
+            Self::copy_out(&inner.pages, off, &mut old);
+            inner.undo.push(UndoRecord { off, old });
+        }
+        Self::copy_in(&mut inner.pages, off, data);
+        inner.last_end = off + data.len() as u64;
+        drop(inner);
+        self.shared.clock.advance(ns);
+        self.shared.stats.on_write(data.len() as u64, ns);
+        Ok(ns)
+    }
+
+    /// Persists all cached writes (a full persistence barrier).
+    pub fn flush(&self) -> u64 {
+        let mut inner = self.shared.inner.lock();
+        inner.undo.clear();
+        drop(inner);
+        let ns = self.shared.profile.flush_ns;
+        self.shared.clock.advance(ns);
+        self.shared.stats.on_flush(ns);
+        ns
+    }
+
+    /// Persists cached writes that overlap `[off, off+len)` — the CLWB/
+    /// CLFLUSH path on byte-addressable devices.
+    pub fn flush_range(&self, off: u64, len: u64) -> u64 {
+        let mut inner = self.shared.inner.lock();
+        inner
+            .undo
+            .retain(|r| r.off + r.old.len() as u64 <= off || r.off >= off + len);
+        drop(inner);
+        let ns = self.shared.profile.flush_ns;
+        self.shared.clock.advance(ns);
+        self.shared.stats.on_flush(ns);
+        ns
+    }
+
+    /// Simulates a power failure: every unflushed write is rolled back (or,
+    /// under [`FaultMode::TornWrites`], torn at a deterministic point).
+    ///
+    /// The device remains usable afterwards, as if powered back on.
+    pub fn crash(&self) {
+        let mut inner = self.shared.inner.lock();
+        let torn_seed = match inner.fault {
+            FaultMode::TornWrites { seed } => Some(seed),
+            _ => None,
+        };
+        // Undo newest-first so overlapping writes restore correctly.
+        let undo = std::mem::take(&mut inner.undo);
+        for (i, rec) in undo.iter().enumerate().rev() {
+            let keep = match torn_seed {
+                // Deterministic tear point in [0, len]: a prefix of the new
+                // data survives, the rest rolls back.
+                Some(seed) => {
+                    let h = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(i as u64)
+                        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    (h % (rec.old.len() as u64 + 1)) as usize
+                }
+                None => 0,
+            };
+            if keep < rec.old.len() {
+                Self::copy_in(&mut inner.pages, rec.off + keep as u64, &rec.old[keep..]);
+            }
+        }
+        inner.last_end = 0;
+    }
+
+    /// Number of writes currently unpersisted (test aid).
+    pub fn unflushed_writes(&self) -> usize {
+        self.shared.inner.lock().undo.len()
+    }
+
+    fn copy_out(pages: &HashMap<u64, Box<[u8; SIM_PAGE]>>, off: u64, buf: &mut [u8]) {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = off + done as u64;
+            let page_no = cur / SIM_PAGE as u64;
+            let in_page = (cur % SIM_PAGE as u64) as usize;
+            let n = (SIM_PAGE - in_page).min(buf.len() - done);
+            match pages.get(&page_no) {
+                Some(p) => buf[done..done + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+        }
+    }
+
+    fn copy_in(pages: &mut HashMap<u64, Box<[u8; SIM_PAGE]>>, off: u64, data: &[u8]) {
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur = off + done as u64;
+            let page_no = cur / SIM_PAGE as u64;
+            let in_page = (cur % SIM_PAGE as u64) as usize;
+            let n = (SIM_PAGE - in_page).min(data.len() - done);
+            let page = pages
+                .entry(page_no)
+                .or_insert_with(|| Box::new([0u8; SIM_PAGE]));
+            page[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hdd, nvme_ssd, pmem};
+
+    fn pm_dev() -> Device {
+        Device::with_profile(pmem(), 1 << 26, VirtualClock::new())
+    }
+
+    #[test]
+    fn read_unwritten_returns_zeros() {
+        let d = pm_dev();
+        let mut buf = [0xFFu8; 64];
+        d.read(1000, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let d = pm_dev();
+        d.write(4090, b"hello world").unwrap(); // spans a page boundary
+        let mut buf = [0u8; 11];
+        d.read(4090, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let d = pm_dev();
+        let cap = d.capacity();
+        assert!(matches!(
+            d.write(cap - 4, &[0u8; 8]),
+            Err(DevError::OutOfBounds { .. })
+        ));
+        let mut b = [0u8; 8];
+        assert!(d.read(cap, &mut b).is_err());
+        // Overflowing offset must not panic.
+        assert!(d.read(u64::MAX, &mut b).is_err());
+    }
+
+    #[test]
+    fn clock_advances_on_io() {
+        let d = pm_dev();
+        let t0 = d.clock().now_ns();
+        d.write(0, &[1u8; 4096]).unwrap();
+        assert!(d.clock().now_ns() > t0);
+    }
+
+    #[test]
+    fn stats_recorded() {
+        let d = pm_dev();
+        d.write(0, &[1u8; 100]).unwrap();
+        let mut b = [0u8; 50];
+        d.read(0, &mut b).unwrap();
+        d.flush();
+        let s = d.stats().snapshot();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_read, 50);
+        assert_eq!(s.flushes, 1);
+        assert!(s.busy_ns > 0);
+    }
+
+    #[test]
+    fn crash_discards_unflushed() {
+        let d = pm_dev();
+        d.write(0, b"durable").unwrap();
+        d.flush();
+        d.write(0, b"ephemer").unwrap();
+        d.crash();
+        let mut b = [0u8; 7];
+        d.read(0, &mut b).unwrap();
+        assert_eq!(&b, b"durable");
+    }
+
+    #[test]
+    fn crash_preserves_flushed_range() {
+        let d = pm_dev();
+        d.write(0, b"aaaa").unwrap();
+        d.write(100, b"bbbb").unwrap();
+        d.flush_range(0, 4);
+        d.crash();
+        let mut a = [0u8; 4];
+        let mut b = [0u8; 4];
+        d.read(0, &mut a).unwrap();
+        d.read(100, &mut b).unwrap();
+        assert_eq!(&a, b"aaaa");
+        assert_eq!(b, [0u8; 4]);
+    }
+
+    #[test]
+    fn crash_rolls_back_overlapping_writes_in_order() {
+        let d = pm_dev();
+        d.write(0, b"11111111").unwrap();
+        d.flush();
+        d.write(0, b"22222222").unwrap();
+        d.write(4, b"3333").unwrap();
+        d.crash();
+        let mut b = [0u8; 8];
+        d.read(0, &mut b).unwrap();
+        assert_eq!(&b, b"11111111");
+    }
+
+    #[test]
+    fn torn_writes_keep_prefix_only() {
+        let d = pm_dev();
+        d.write(0, b"old_old_old_old_").unwrap();
+        d.flush();
+        d.set_fault_mode(FaultMode::TornWrites { seed: 7 });
+        d.write(0, b"new_new_new_new_").unwrap();
+        d.crash();
+        let mut b = [0u8; 16];
+        d.read(0, &mut b).unwrap();
+        // Some prefix is new, the suffix is old; the whole buffer must be a
+        // valid tear of the two.
+        let tear = (0..=16)
+            .find(|&k| b[..k] == b"new_new_new_new_"[..k] && b[k..] == b"old_old_old_old_"[k..]);
+        assert!(tear.is_some(), "buffer {b:?} is not a prefix-tear");
+    }
+
+    #[test]
+    fn fail_stop_injects_errors() {
+        let d = pm_dev();
+        d.set_fault_mode(FaultMode::FailStop { remaining_ops: 1 });
+        d.write(0, b"x").unwrap();
+        assert!(matches!(d.write(0, b"y"), Err(DevError::Io(_))));
+        // Reads fail too.
+        let mut b = [0u8; 1];
+        assert!(d.read(0, &mut b).is_err());
+    }
+
+    #[test]
+    fn hdd_random_slower_than_sequential() {
+        let clock = VirtualClock::new();
+        let d = Device::with_profile(hdd(), 1 << 30, clock.clone());
+        let data = vec![0u8; 4096];
+        let t_start = clock.now_ns();
+        for i in 0..16 {
+            d.write(i * 4096, &data).unwrap();
+        }
+        let seq = clock.now_ns() - t_start;
+        let t_start = clock.now_ns();
+        for i in 0..16 {
+            d.write(((i * 7919) % 1024) * (1 << 20), &data).unwrap();
+        }
+        let rand = clock.now_ns() - t_start;
+        assert!(
+            rand > seq * 5,
+            "random {rand} should dwarf sequential {seq}"
+        );
+        assert!(d.stats().snapshot().seeks >= 16);
+    }
+
+    #[test]
+    fn ssd_faster_than_hdd_random() {
+        let clock = VirtualClock::new();
+        let ssd = Device::with_profile(nvme_ssd(), 1 << 30, clock.clone());
+        let hdd_dev = Device::with_profile(hdd(), 1 << 30, clock.clone());
+        let data = vec![0u8; 4096];
+        let ssd_ns = ssd.write(123 << 20, &data).unwrap();
+        let hdd_ns = hdd_dev.write(123 << 20, &data).unwrap();
+        assert!(hdd_ns > ssd_ns * 10);
+    }
+
+    #[test]
+    fn untracked_device_keeps_writes_on_crash() {
+        let d = Device::new(
+            DeviceConfig {
+                profile: pmem(),
+                capacity: 1 << 20,
+                track_durability: false,
+            },
+            VirtualClock::new(),
+        );
+        d.write(0, b"stay").unwrap();
+        d.crash();
+        let mut b = [0u8; 4];
+        d.read(0, &mut b).unwrap();
+        assert_eq!(&b, b"stay");
+        assert_eq!(d.unflushed_writes(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_disjoint_ranges() {
+        let d = pm_dev();
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    let data = vec![i as u8 + 1; 1024];
+                    for j in 0..32 {
+                        d.write(i * (1 << 20) + j * 1024, &data).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..4u64 {
+            let mut b = vec![0u8; 1024];
+            d.read(i * (1 << 20), &mut b).unwrap();
+            assert!(b.iter().all(|&x| x == i as u8 + 1));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Fault-injection modes for crash-consistency and error-path testing.
+
+/// How a device misbehaves.
+///
+/// Set via [`crate::Device::set_fault_mode`]. `FailStop` exercises error
+/// handling in the file systems; `TornWrites` makes [`crate::Device::crash`]
+/// persist only a prefix of each unflushed write, exercising recovery code
+/// against partially persisted state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// Healthy device.
+    #[default]
+    None,
+    /// Every I/O after the next `remaining_ops` operations fails with
+    /// [`crate::DevError::Io`].
+    FailStop {
+        /// Operations left before the device starts failing.
+        remaining_ops: u64,
+    },
+    /// On [`crate::Device::crash`], each unflushed write survives only up to
+    /// a deterministic prefix length derived from `seed` (possibly zero
+    /// bytes), modelling torn sector writes.
+    TornWrites {
+        /// Seed for the deterministic tear points.
+        seed: u64,
+    },
+}
+
+impl FaultMode {
+    /// Returns `true` if the device should reject I/O right now, decrementing
+    /// the fail-stop countdown as a side effect.
+    pub(crate) fn tick_should_fail(&mut self) -> bool {
+        match self {
+            FaultMode::FailStop { remaining_ops } => {
+                if *remaining_ops == 0 {
+                    true
+                } else {
+                    *remaining_ops -= 1;
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fails() {
+        let mut m = FaultMode::None;
+        for _ in 0..100 {
+            assert!(!m.tick_should_fail());
+        }
+    }
+
+    #[test]
+    fn fail_stop_counts_down() {
+        let mut m = FaultMode::FailStop { remaining_ops: 2 };
+        assert!(!m.tick_should_fail());
+        assert!(!m.tick_should_fail());
+        assert!(m.tick_should_fail());
+        assert!(m.tick_should_fail());
+    }
+}

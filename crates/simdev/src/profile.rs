@@ -1,0 +1,261 @@
+//! Performance profiles for the device classes in the paper's hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+/// Broad class of a storage device, as seen by tiering policies.
+///
+/// The ordering (`Pmem < CxlSsd < Ssd < Hdd`) reflects the storage hierarchy:
+/// lower values are faster tiers. Policies use this for default
+/// promote/demote directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Byte-addressable persistent memory (Optane PMem 200 in the paper).
+    Pmem,
+    /// CXL-attached flash with load/store access; an extensibility demo tier.
+    CxlSsd,
+    /// NVMe block SSD (Optane SSD DC P4800X in the paper).
+    Ssd,
+    /// Rotational disk (Seagate Exos X18 in the paper).
+    Hdd,
+}
+
+impl DeviceClass {
+    /// Short lowercase label used in reports and mount names.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceClass::Pmem => "pm",
+            DeviceClass::CxlSsd => "cxl",
+            DeviceClass::Ssd => "ssd",
+            DeviceClass::Hdd => "hdd",
+        }
+    }
+
+    /// Whether the device is accessed with load/store semantics (DAX-able).
+    pub fn byte_addressable(self) -> bool {
+        matches!(self, DeviceClass::Pmem | DeviceClass::CxlSsd)
+    }
+}
+
+/// Timing model for one device.
+///
+/// Service time of an access of `len` bytes at offset `off`:
+///
+/// ```text
+/// t = queue_submit_ns                       (command submission, 0 for DAX)
+///   + read|write_latency_ns                 (media access setup)
+///   + seek_ns (HDD only, when off is not sequential w.r.t. the last access)
+///   + len * 1e9 / read|write_bw_bps         (transfer)
+/// ```
+///
+/// Flushes charge `flush_ns` per call (a CLFLUSH+fence on PM, a FLUSH/FUA
+/// command on block devices).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable model name, e.g. `"optane-pmem-200"`.
+    pub name: String,
+    /// Device class (drives policy defaults and DAX availability).
+    pub class: DeviceClass,
+    /// Fixed media latency added to every read.
+    pub read_latency_ns: u64,
+    /// Fixed media latency added to every write.
+    pub write_latency_ns: u64,
+    /// Sustained read bandwidth in bytes/second.
+    pub read_bw_bps: u64,
+    /// Sustained write bandwidth in bytes/second.
+    pub write_bw_bps: u64,
+    /// Average seek + rotational delay, charged on non-sequential access.
+    /// Zero for solid-state devices.
+    pub seek_ns: u64,
+    /// Command submission/completion overhead (doorbell, interrupt). Zero
+    /// for load/store devices.
+    pub queue_submit_ns: u64,
+    /// Cost of one persistence barrier (flush).
+    pub flush_ns: u64,
+    /// Natural access granularity in bytes: 1 for byte-addressable devices,
+    /// the sector/page size for block devices. Sub-granule accesses are
+    /// charged as a full granule transfer.
+    pub access_granularity: u32,
+}
+
+impl DeviceProfile {
+    /// Service time for reading `len` bytes at `off`, given the previous
+    /// access end `last_end` (for the seek model).
+    pub fn read_cost(&self, off: u64, len: u64, last_end: u64) -> u64 {
+        self.xfer_cost(off, len, last_end, self.read_latency_ns, self.read_bw_bps)
+    }
+
+    /// Service time for writing `len` bytes at `off`.
+    pub fn write_cost(&self, off: u64, len: u64, last_end: u64) -> u64 {
+        self.xfer_cost(off, len, last_end, self.write_latency_ns, self.write_bw_bps)
+    }
+
+    fn xfer_cost(&self, off: u64, len: u64, last_end: u64, fixed: u64, bw: u64) -> u64 {
+        let gran = u64::from(self.access_granularity.max(1));
+        // Sub-granule and misaligned accesses transfer whole granules.
+        let first = off / gran * gran;
+        let last = (off + len.max(1)).div_ceil(gran) * gran;
+        let moved = last - first;
+        let mut t = self.queue_submit_ns + fixed;
+        if self.seek_ns > 0 && off != last_end {
+            t += self.seek_ns;
+        }
+        t + moved.saturating_mul(1_000_000_000) / bw.max(1)
+    }
+}
+
+/// Intel Optane PMem 200-like persistent memory profile.
+///
+/// ~170 ns load latency, byte-granular, ~8.6 GB/s read and ~3.0 GB/s write
+/// per DIMM, cheap cache-line flushes.
+pub fn pmem() -> DeviceProfile {
+    DeviceProfile {
+        name: "optane-pmem-200".into(),
+        class: DeviceClass::Pmem,
+        read_latency_ns: 170,
+        write_latency_ns: 90,
+        read_bw_bps: 8_600_000_000,
+        write_bw_bps: 3_000_000_000,
+        seek_ns: 0,
+        queue_submit_ns: 0,
+        flush_ns: 120,
+        access_granularity: 1,
+    }
+}
+
+/// Intel Optane SSD DC P4800X-like NVMe profile.
+///
+/// ~10 µs per 4 KiB command, ~2.4 GB/s read / ~2.0 GB/s write, block
+/// granular with NVMe submission cost.
+pub fn nvme_ssd() -> DeviceProfile {
+    DeviceProfile {
+        name: "optane-ssd-p4800x".into(),
+        class: DeviceClass::Ssd,
+        read_latency_ns: 10_000,
+        write_latency_ns: 10_000,
+        read_bw_bps: 2_400_000_000,
+        write_bw_bps: 2_000_000_000,
+        seek_ns: 0,
+        queue_submit_ns: 1_500,
+        flush_ns: 15_000,
+        access_granularity: 4096,
+    }
+}
+
+/// Seagate Exos X18-like 7200 rpm SATA HDD profile.
+///
+/// ~4.16 ms average seek + half-rotation, ~270 MB/s streaming transfer.
+pub fn hdd() -> DeviceProfile {
+    DeviceProfile {
+        name: "exos-x18".into(),
+        class: DeviceClass::Hdd,
+        read_latency_ns: 60_000,
+        write_latency_ns: 60_000,
+        read_bw_bps: 270_000_000,
+        write_bw_bps: 270_000_000,
+        seek_ns: 8_330_000,
+        queue_submit_ns: 5_000,
+        flush_ns: 1_000_000,
+        access_granularity: 4096,
+    }
+}
+
+/// CXL-attached SSD profile (Samsung CMM-style), used by the extensibility
+/// example to demonstrate adding a fourth tier at runtime.
+pub fn cxl_ssd() -> DeviceProfile {
+    DeviceProfile {
+        name: "cxl-ssd".into(),
+        class: DeviceClass::CxlSsd,
+        read_latency_ns: 600,
+        write_latency_ns: 900,
+        read_bw_bps: 5_000_000_000,
+        write_bw_bps: 2_500_000_000,
+        seek_ns: 0,
+        queue_submit_ns: 0,
+        flush_ns: 400,
+        access_granularity: 64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ordering_matches_hierarchy() {
+        assert!(DeviceClass::Pmem < DeviceClass::CxlSsd);
+        assert!(DeviceClass::CxlSsd < DeviceClass::Ssd);
+        assert!(DeviceClass::Ssd < DeviceClass::Hdd);
+    }
+
+    #[test]
+    fn byte_addressability() {
+        assert!(DeviceClass::Pmem.byte_addressable());
+        assert!(DeviceClass::CxlSsd.byte_addressable());
+        assert!(!DeviceClass::Ssd.byte_addressable());
+        assert!(!DeviceClass::Hdd.byte_addressable());
+    }
+
+    #[test]
+    fn pmem_single_byte_read_is_cheap() {
+        let p = pmem();
+        let t = p.read_cost(123, 1, 0);
+        // Fixed latency plus a one-byte transfer: well under a microsecond.
+        assert!(t >= p.read_latency_ns);
+        assert!(t < 1_000, "pmem 1B read should be <1us, got {t}ns");
+    }
+
+    #[test]
+    fn ssd_charges_full_block_for_one_byte() {
+        let p = nvme_ssd();
+        let one = p.read_cost(5, 1, 0);
+        let full = p.read_cost(4096, 4096, 0);
+        // Both move one 4 KiB block.
+        assert_eq!(one, full);
+        assert!(one > 10_000);
+    }
+
+    #[test]
+    fn hdd_seek_charged_only_on_discontinuity() {
+        let p = hdd();
+        let seq = p.read_cost(8192, 4096, 8192);
+        let rand = p.read_cost(1 << 30, 4096, 8192);
+        assert!(rand > seq + p.seek_ns / 2);
+        assert_eq!(rand - seq, p.seek_ns);
+    }
+
+    #[test]
+    fn misaligned_access_spans_two_blocks() {
+        let p = nvme_ssd();
+        let aligned = p.read_cost(0, 4096, 0);
+        let misaligned = p.read_cost(4000, 200, 0);
+        // 4000..4200 touches two 4 KiB granules.
+        assert!(misaligned > aligned);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_length() {
+        let p = pmem();
+        let small = p.write_cost(0, 4096, 0);
+        let big = p.write_cost(0, 4 << 20, 0);
+        assert!(big > small * 100);
+    }
+
+    #[test]
+    fn sequential_hdd_throughput_near_streaming_rate() {
+        let p = hdd();
+        // 64 MiB sequential in 1 MiB chunks.
+        let chunk = 1u64 << 20;
+        let mut t = 0;
+        let mut off = 0;
+        for _ in 0..64 {
+            t += p.write_cost(off, chunk, off);
+            off += chunk;
+        }
+        let bytes = 64.0 * chunk as f64;
+        let mbps = bytes / (t as f64 / 1e9) / 1e6;
+        assert!(
+            (200.0..=275.0).contains(&mbps),
+            "expected ~270 MB/s streaming, got {mbps:.1}"
+        );
+    }
+}

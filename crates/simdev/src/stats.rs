@@ -1,0 +1,126 @@
+//! Per-device operation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative statistics for one device.
+///
+/// All fields are atomics so devices can be shared across threads; readers
+/// take a consistent-enough snapshot via [`DeviceStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    /// Number of read operations.
+    pub reads: AtomicU64,
+    /// Number of write operations.
+    pub writes: AtomicU64,
+    /// Number of flush (persistence barrier) operations.
+    pub flushes: AtomicU64,
+    /// Total bytes read.
+    pub bytes_read: AtomicU64,
+    /// Total bytes written.
+    pub bytes_written: AtomicU64,
+    /// Seeks charged by the HDD model.
+    pub seeks: AtomicU64,
+    /// Total virtual nanoseconds this device was busy.
+    pub busy_ns: AtomicU64,
+}
+
+/// A plain-old-data copy of [`DeviceStats`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Number of read operations.
+    pub reads: u64,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Number of flush operations.
+    pub flushes: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Seeks charged by the HDD model.
+    pub seeks: u64,
+    /// Total virtual nanoseconds busy.
+    pub busy_ns: u64,
+}
+
+impl DeviceStats {
+    /// Records a read of `bytes` taking `ns` of device time.
+    pub fn on_read(&self, bytes: u64, ns: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records a write of `bytes` taking `ns` of device time.
+    pub fn on_write(&self, bytes: u64, ns: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records a flush taking `ns`.
+    pub fn on_flush(&self, ns: u64) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records one seek.
+    pub fn on_seek(&self) {
+        self.seeks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.flushes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.seeks.store(0, Ordering::Relaxed);
+        self.busy_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = DeviceStats::default();
+        s.on_read(100, 10);
+        s.on_read(50, 5);
+        s.on_write(200, 20);
+        s.on_flush(3);
+        s.on_seek();
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.bytes_read, 150);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.bytes_written, 200);
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.seeks, 1);
+        assert_eq!(snap.busy_ns, 38);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = DeviceStats::default();
+        s.on_write(1, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

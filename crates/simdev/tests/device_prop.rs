@@ -1,0 +1,150 @@
+//! Property tests: the simulated device behaves like a flat byte array
+//! with write-cache crash semantics.
+
+use proptest::prelude::*;
+use simdev::{Device, DeviceConfig, VirtualClock};
+
+const CAP: u64 = 1 << 16;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { off: u64, len: u64, fill: u8 },
+    Read { off: u64, len: u64 },
+    Flush,
+    FlushRange { off: u64, len: u64 },
+    Crash,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..CAP - 1, 1..512u64, any::<u8>()).prop_map(|(off, len, fill)| Op::Write {
+            off,
+            len,
+            fill
+        }),
+        3 => (0..CAP, 1..512u64).prop_map(|(off, len)| Op::Read { off, len }),
+        1 => Just(Op::Flush),
+        1 => (0..CAP - 1, 1..512u64).prop_map(|(off, len)| Op::FlushRange { off, len }),
+        1 => Just(Op::Crash),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn device_matches_model_with_crash_semantics(
+        ops in proptest::collection::vec(op_strategy(), 1..48)
+    ) {
+        let dev = Device::new(
+            DeviceConfig {
+                profile: simdev::pmem(),
+                capacity: CAP,
+                track_durability: true,
+            },
+            VirtualClock::new(),
+        );
+        // Two models: current (volatile view) and persisted.
+        let mut cur = vec![0u8; CAP as usize];
+        let mut durable = vec![0u8; CAP as usize];
+        // Unflushed ranges (for crash rollback): keep it simple by
+        // re-deriving durable state only at flush points.
+        for op in &ops {
+            match *op {
+                Op::Write { off, len, fill } => {
+                    let len = len.min(CAP - off);
+                    dev.write(off, &vec![fill; len as usize]).unwrap();
+                    cur[off as usize..(off + len) as usize].fill(fill);
+                }
+                Op::Read { off, len } => {
+                    let len = len.min(CAP.saturating_sub(off));
+                    if len == 0 {
+                        continue;
+                    }
+                    let mut buf = vec![0u8; len as usize];
+                    dev.read(off, &mut buf).unwrap();
+                    prop_assert_eq!(&buf[..], &cur[off as usize..(off + len) as usize]);
+                }
+                Op::Flush => {
+                    dev.flush();
+                    durable.copy_from_slice(&cur);
+                }
+                Op::FlushRange { off, len } => {
+                    let len = len.min(CAP - off);
+                    dev.flush_range(off, len);
+                    // Byte-precise range persistence is only guaranteed for
+                    // writes fully inside the range; model conservatively by
+                    // persisting exactly that range's current content only
+                    // when no partially-overlapping unflushed write exists.
+                    // To keep the model exact, fall back to checking reads
+                    // only (handled by `cur`); durability of the range is
+                    // checked via the full-flush and crash cases.
+                    let _ = len;
+                }
+                Op::Crash => {
+                    dev.crash();
+                    // Everything unflushed rolls back… except ranges that
+                    // were flush_range'd, which we conservatively do not
+                    // model — so resynchronize `cur` from the device
+                    // itself and only assert it never contains bytes that
+                    // are neither durable nor currently-written values.
+                    let mut now = vec![0u8; CAP as usize];
+                    dev.read(0, &mut now).unwrap();
+                    for i in 0..CAP as usize {
+                        prop_assert!(
+                            now[i] == durable[i] || now[i] == cur[i],
+                            "byte {} is {} but must be durable({}) or last-written({})",
+                            i, now[i], durable[i], cur[i]
+                        );
+                    }
+                    cur = now.clone();
+                    durable = now;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn untracked_device_is_a_plain_byte_array(
+        ops in proptest::collection::vec(op_strategy(), 1..48)
+    ) {
+        let dev = Device::new(
+            DeviceConfig {
+                profile: simdev::nvme_ssd(),
+                capacity: CAP,
+                track_durability: false,
+            },
+            VirtualClock::new(),
+        );
+        let mut model = vec![0u8; CAP as usize];
+        for op in &ops {
+            match *op {
+                Op::Write { off, len, fill } => {
+                    let len = len.min(CAP - off);
+                    dev.write(off, &vec![fill; len as usize]).unwrap();
+                    model[off as usize..(off + len) as usize].fill(fill);
+                }
+                Op::Crash => dev.crash(), // no-op for data: nothing tracked
+                Op::Flush => {
+                    dev.flush();
+                }
+                Op::FlushRange { off, len } => {
+                    dev.flush_range(off, len.min(CAP - off));
+                }
+                Op::Read { off, len } => {
+                    let len = len.min(CAP.saturating_sub(off));
+                    if len == 0 {
+                        continue;
+                    }
+                    let mut buf = vec![0u8; len as usize];
+                    dev.read(off, &mut buf).unwrap();
+                    prop_assert_eq!(&buf[..], &model[off as usize..(off + len) as usize]);
+                }
+            }
+        }
+        // Final full comparison.
+        let mut now = vec![0u8; CAP as usize];
+        dev.read(0, &mut now).unwrap();
+        prop_assert_eq!(now, model);
+    }
+}

@@ -1,0 +1,31 @@
+//! `strata` — the monolithic tiered-file-system baseline (Strata,
+//! SOSP '17), as characterized by the Mux paper's §3.1.
+//!
+//! This is the *contrast* system: it manages all three devices **directly
+//! through device handles**, not through native file systems. The design
+//! properties the paper measures against are reproduced:
+//!
+//! * **Log-then-digest writes.** Every write first lands in an update log
+//!   on persistent memory (synchronously, with flushes), and a digest pass
+//!   later moves it to its final blocks. On the PM tier this is a double
+//!   write — "such logging is not necessary on persistent memory devices"
+//!   is exactly the overhead NOVA (and therefore Mux) avoids.
+//! * **Static routing.** Data movement paths are wired at build time:
+//!   digestion targets PM's shared area; eviction supports PM→SSD and
+//!   PM→HDD only. SSD→HDD demotion and *any* promotion are unsupported
+//!   ("N/S" in Figure 3a) — requesting them returns
+//!   [`tvfs::VfsError::NotSupported`].
+//! * **Coarse extent-tree locking.** The per-file extent tree is locked
+//!   for the whole digest/eviction of that file, stalling concurrent
+//!   access to blocks that did not need to move; the stall is charged in
+//!   virtual time.
+//!
+//! The namespace is kept in DRAM — this crate is a *performance and
+//! extensibility* baseline for the paper's comparison, not a
+//! crash-consistency study.
+
+mod fs;
+mod log;
+
+pub use fs::{StrataFs, StrataOptions};
+pub use log::{LogEntry, UpdateLog};

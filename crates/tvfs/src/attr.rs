@@ -1,0 +1,172 @@
+//! Inode attributes and file-system statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of a directory entry / inode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+}
+
+/// Inode attributes, the `struct stat` of this VFS.
+///
+/// These are exactly the attributes Mux's Metadata Tracker multiplexes with
+/// per-attribute affinity (paper §2.3): `size` is owned by the file system
+/// holding the last byte, `mtime_ns` by the last writer, `atime_ns` by the
+/// last reader, while `blocks` (disk consumption) has no single owner and is
+/// aggregated across all participants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileAttr {
+    /// Inode number within the owning file system.
+    pub ino: crate::InodeNo,
+    /// Logical file size in bytes.
+    pub size: u64,
+    /// Bytes actually allocated (sparse files allocate less than `size`).
+    pub blocks_bytes: u64,
+    /// Last access time, virtual nanoseconds.
+    pub atime_ns: u64,
+    /// Last modification time, virtual nanoseconds.
+    pub mtime_ns: u64,
+    /// Last status change time, virtual nanoseconds.
+    pub ctime_ns: u64,
+    /// File type.
+    pub kind: FileType,
+    /// Permission bits (0o777 mask).
+    pub mode: u32,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Owner user id.
+    pub uid: u32,
+    /// Owner group id.
+    pub gid: u32,
+}
+
+impl FileAttr {
+    /// A fresh attribute block for a newly created inode.
+    pub fn new(ino: crate::InodeNo, kind: FileType, mode: u32, now_ns: u64) -> Self {
+        FileAttr {
+            ino,
+            size: 0,
+            blocks_bytes: 0,
+            atime_ns: now_ns,
+            mtime_ns: now_ns,
+            ctime_ns: now_ns,
+            kind,
+            mode,
+            nlink: 1,
+            uid: 0,
+            gid: 0,
+        }
+    }
+
+    /// Whether this inode is a directory.
+    pub fn is_dir(&self) -> bool {
+        self.kind == FileType::Directory
+    }
+}
+
+/// Attribute changes requested through `setattr` (a subset may be present).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetAttr {
+    /// Truncate/extend to this size.
+    pub size: Option<u64>,
+    /// New permission bits.
+    pub mode: Option<u32>,
+    /// New owner.
+    pub uid: Option<u32>,
+    /// New group.
+    pub gid: Option<u32>,
+    /// Explicit access time.
+    pub atime_ns: Option<u64>,
+    /// Explicit modification time.
+    pub mtime_ns: Option<u64>,
+}
+
+impl SetAttr {
+    /// A `setattr` that only truncates to `size`.
+    pub fn truncate(size: u64) -> Self {
+        SetAttr {
+            size: Some(size),
+            ..Default::default()
+        }
+    }
+
+    /// Whether no change is requested.
+    pub fn is_empty(&self) -> bool {
+        *self == SetAttr::default()
+    }
+}
+
+/// File-system level statistics (`statfs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatFs {
+    /// Total capacity available for data, bytes.
+    pub total_bytes: u64,
+    /// Free capacity, bytes.
+    pub free_bytes: u64,
+    /// Number of live inodes.
+    pub inodes: u64,
+    /// Preferred I/O block size.
+    pub block_size: u32,
+}
+
+impl StatFs {
+    /// Bytes in use.
+    pub fn used_bytes(&self) -> u64 {
+        self.total_bytes.saturating_sub(self.free_bytes)
+    }
+
+    /// Fraction of capacity in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 0.0;
+        }
+        self.used_bytes() as f64 / self.total_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_attr_zeroed() {
+        let a = FileAttr::new(7, FileType::Regular, 0o644, 99);
+        assert_eq!(a.ino, 7);
+        assert_eq!(a.size, 0);
+        assert_eq!(a.mtime_ns, 99);
+        assert!(!a.is_dir());
+        assert!(FileAttr::new(1, FileType::Directory, 0o755, 0).is_dir());
+    }
+
+    #[test]
+    fn setattr_truncate_only_sets_size() {
+        let s = SetAttr::truncate(100);
+        assert_eq!(s.size, Some(100));
+        assert_eq!(s.mode, None);
+        assert!(!s.is_empty());
+        assert!(SetAttr::default().is_empty());
+    }
+
+    #[test]
+    fn statfs_utilization() {
+        let s = StatFs {
+            total_bytes: 100,
+            free_bytes: 25,
+            inodes: 1,
+            block_size: 4096,
+        };
+        assert_eq!(s.used_bytes(), 75);
+        assert!((s.utilization() - 0.75).abs() < 1e-9);
+        let empty = StatFs {
+            total_bytes: 0,
+            free_bytes: 0,
+            inodes: 0,
+            block_size: 1,
+        };
+        assert_eq!(empty.utilization(), 0.0);
+    }
+}

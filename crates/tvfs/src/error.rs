@@ -1,0 +1,95 @@
+//! The error type shared by every file system behind the VFS boundary.
+
+use std::fmt;
+
+/// Result alias for VFS operations.
+pub type VfsResult<T> = Result<T, VfsError>;
+
+/// Errors a [`crate::FileSystem`] may return, mirroring the POSIX errno set
+/// the Linux VFS would surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// `ENOENT` — no such file or directory.
+    NotFound,
+    /// `EEXIST` — name already exists.
+    Exists,
+    /// `ENOTDIR` — a path component is not a directory.
+    NotDir,
+    /// `EISDIR` — operation needs a regular file but got a directory.
+    IsDir,
+    /// `ENOTEMPTY` — directory not empty.
+    NotEmpty,
+    /// `ENOSPC` — device out of space.
+    NoSpace,
+    /// `EINVAL` — invalid argument.
+    InvalidArgument(String),
+    /// `EBADF` — bad file handle.
+    BadHandle,
+    /// `EROFS` — file system is read-only (e.g. a tier being drained).
+    ReadOnly,
+    /// `EBUSY` — resource busy (e.g. unmounting a tier with open files).
+    Busy,
+    /// `ENOSYS` — the file system does not implement this operation.
+    NotSupported,
+    /// `EIO` — an underlying device error, with context.
+    Io(String),
+    /// `ESTALE` — inode vanished beneath the caller (races with unlink).
+    Stale,
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound => write!(f, "no such file or directory"),
+            VfsError::Exists => write!(f, "file exists"),
+            VfsError::NotDir => write!(f, "not a directory"),
+            VfsError::IsDir => write!(f, "is a directory"),
+            VfsError::NotEmpty => write!(f, "directory not empty"),
+            VfsError::NoSpace => write!(f, "no space left on device"),
+            VfsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            VfsError::BadHandle => write!(f, "bad file handle"),
+            VfsError::ReadOnly => write!(f, "read-only file system"),
+            VfsError::Busy => write!(f, "device or resource busy"),
+            VfsError::NotSupported => write!(f, "operation not supported"),
+            VfsError::Io(msg) => write!(f, "I/O error: {msg}"),
+            VfsError::Stale => write!(f, "stale file handle"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+impl From<simdev::DevError> for VfsError {
+    fn from(e: simdev::DevError) -> Self {
+        match e {
+            simdev::DevError::OutOfBounds { .. } => VfsError::NoSpace,
+            simdev::DevError::Io(msg) => VfsError::Io(msg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(VfsError::NotFound.to_string(), "no such file or directory");
+        assert!(VfsError::Io("disk died".into())
+            .to_string()
+            .contains("disk died"));
+    }
+
+    #[test]
+    fn device_errors_convert() {
+        let e: VfsError = simdev::DevError::Io("bad".into()).into();
+        assert!(matches!(e, VfsError::Io(_)));
+        let e: VfsError = simdev::DevError::OutOfBounds {
+            off: 0,
+            len: 1,
+            capacity: 0,
+        }
+        .into();
+        assert_eq!(e, VfsError::NoSpace);
+    }
+}

@@ -1,0 +1,42 @@
+//! A tiny VFS layer: the boundary Mux talks through.
+//!
+//! The paper's thesis is that a tiered file system should access device
+//! types "indirectly through device-specific file systems, rather than
+//! directly through device drivers", with the Linux VFS as the well-defined
+//! interface both sides implement. This crate is that interface for the
+//! reproduction:
+//!
+//! * [`FileSystem`] — the trait every native file system (`novafs`, `xefs`,
+//!   `e4fs`) implements, and that Mux both implements (facing applications)
+//!   and consumes (facing native file systems). Mux's "VFS Call Maker"
+//!   issues the very same trait methods that invoked it, with different
+//!   inodes, offsets and lengths.
+//! * [`Vfs`] — a mount table plus file-descriptor table giving applications
+//!   a POSIX-ish API (`open`/`read`/`write`/…) over any mounted
+//!   [`FileSystem`].
+//!
+//! Sparse files are first-class: writes may land at any offset, unwritten
+//! ranges read as zeros, [`FileSystem::punch_hole`] deallocates ranges and
+//! [`FileSystem::next_data`] enumerates allocated extents (`SEEK_DATA`
+//! style). Mux relies on all three to preserve file offsets across tiers
+//! (paper §2.2).
+
+mod attr;
+mod error;
+mod fs;
+pub mod memfs;
+mod pagecache;
+mod path;
+mod rangemap;
+mod vfs;
+
+pub use attr::{FileAttr, FileType, SetAttr, StatFs};
+pub use error::{VfsError, VfsResult};
+pub use fs::{resolve_parent, resolve_path, DirEntry, FileSystem, OpenFlags, ROOT_INO};
+pub use pagecache::{CacheStats, PageCache};
+pub use path::{join_path, normalize, split_parent};
+pub use rangemap::{Extent, Linear, RangeMap, Segmentable};
+pub use vfs::{Fd, MountId, Vfs};
+
+/// Inode number type used across the stack.
+pub type InodeNo = u64;

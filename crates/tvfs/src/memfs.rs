@@ -1,0 +1,494 @@
+//! `MemFs` — a reference, fully sparse, in-memory [`FileSystem`].
+//!
+//! Exists for three reasons: it documents the expected trait semantics in
+//! the simplest possible form, it serves as a zero-cost test double for
+//! exercising Mux logic without device timing, and it demonstrates the
+//! paper's extensibility claim — *any* `FileSystem` implementor can be a
+//! Mux tier, including this one.
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::Mutex;
+
+use crate::{
+    DirEntry, FileAttr, FileSystem, FileType, InodeNo, SetAttr, StatFs, VfsError, VfsResult,
+    ROOT_INO,
+};
+
+const PAGE: u64 = 4096;
+
+struct MemFile {
+    attr: FileAttr,
+    /// Sparse page store: absent pages are holes.
+    pages: BTreeMap<u64, Box<[u8; PAGE as usize]>>,
+}
+
+struct MemDir {
+    attr: FileAttr,
+    entries: BTreeMap<String, InodeNo>,
+}
+
+struct Inner {
+    files: HashMap<InodeNo, MemFile>,
+    dirs: HashMap<InodeNo, MemDir>,
+    next_ino: InodeNo,
+    op_counter: u64,
+}
+
+/// An in-memory sparse file system.
+pub struct MemFs {
+    name: String,
+    capacity: u64,
+    inner: Mutex<Inner>,
+}
+
+impl MemFs {
+    /// An empty file system with the given nominal capacity.
+    pub fn new(name: impl Into<String>, capacity: u64) -> Self {
+        let mut dirs = HashMap::new();
+        let mut attr = FileAttr::new(ROOT_INO, FileType::Directory, 0o755, 0);
+        attr.nlink = 2;
+        dirs.insert(
+            ROOT_INO,
+            MemDir {
+                attr,
+                entries: BTreeMap::new(),
+            },
+        );
+        MemFs {
+            name: name.into(),
+            capacity,
+            inner: Mutex::new(Inner {
+                files: HashMap::new(),
+                dirs,
+                next_ino: ROOT_INO + 1,
+                op_counter: 0,
+            }),
+        }
+    }
+
+    /// Total VFS operations served (test aid).
+    pub fn op_count(&self) -> u64 {
+        self.inner.lock().op_counter
+    }
+
+    fn used_bytes(inner: &Inner) -> u64 {
+        inner
+            .files
+            .values()
+            .map(|f| f.pages.len() as u64 * PAGE)
+            .sum()
+    }
+}
+
+impl FileSystem for MemFs {
+    fn fs_name(&self) -> &str {
+        &self.name
+    }
+
+    fn lookup(&self, parent: InodeNo, name: &str) -> VfsResult<FileAttr> {
+        let mut inner = self.inner.lock();
+        inner.op_counter += 1;
+        let dir = inner.dirs.get(&parent).ok_or(VfsError::NotDir)?;
+        let &ino = dir.entries.get(name).ok_or(VfsError::NotFound)?;
+        inner
+            .files
+            .get(&ino)
+            .map(|f| f.attr)
+            .or_else(|| inner.dirs.get(&ino).map(|d| d.attr))
+            .ok_or(VfsError::Stale)
+    }
+
+    fn getattr(&self, ino: InodeNo) -> VfsResult<FileAttr> {
+        let mut inner = self.inner.lock();
+        inner.op_counter += 1;
+        inner
+            .files
+            .get(&ino)
+            .map(|f| f.attr)
+            .or_else(|| inner.dirs.get(&ino).map(|d| d.attr))
+            .ok_or(VfsError::NotFound)
+    }
+
+    fn setattr(&self, ino: InodeNo, set: &SetAttr) -> VfsResult<FileAttr> {
+        let mut inner = self.inner.lock();
+        inner.op_counter += 1;
+        if let Some(new_size) = set.size {
+            let f = inner.files.get_mut(&ino).ok_or(VfsError::NotFound)?;
+            if new_size < f.attr.size {
+                let first_dead = new_size.div_ceil(PAGE);
+                f.pages.retain(|&p, _| p < first_dead);
+                if new_size % PAGE != 0 {
+                    if let Some(page) = f.pages.get_mut(&(new_size / PAGE)) {
+                        page[(new_size % PAGE) as usize..].fill(0);
+                    }
+                }
+            }
+            f.attr.size = new_size;
+            f.attr.blocks_bytes = f.pages.len() as u64 * PAGE;
+        }
+        let attr = {
+            let inner = &mut *inner;
+            let a = if let Some(f) = inner.files.get_mut(&ino) {
+                &mut f.attr
+            } else if let Some(d) = inner.dirs.get_mut(&ino) {
+                &mut d.attr
+            } else {
+                return Err(VfsError::NotFound);
+            };
+            if let Some(m) = set.mode {
+                a.mode = m;
+            }
+            if let Some(u) = set.uid {
+                a.uid = u;
+            }
+            if let Some(g) = set.gid {
+                a.gid = g;
+            }
+            if let Some(t) = set.atime_ns {
+                a.atime_ns = t;
+            }
+            if let Some(t) = set.mtime_ns {
+                a.mtime_ns = t;
+            }
+            *a
+        };
+        Ok(attr)
+    }
+
+    fn create(
+        &self,
+        parent: InodeNo,
+        name: &str,
+        kind: FileType,
+        mode: u32,
+    ) -> VfsResult<FileAttr> {
+        if name.is_empty() || name.contains('/') {
+            return Err(VfsError::InvalidArgument("bad name".into()));
+        }
+        let mut inner = self.inner.lock();
+        inner.op_counter += 1;
+        if !inner.dirs.contains_key(&parent) {
+            return Err(VfsError::NotDir);
+        }
+        if inner.dirs[&parent].entries.contains_key(name) {
+            return Err(VfsError::Exists);
+        }
+        let ino = inner.next_ino;
+        inner.next_ino += 1;
+        let mut attr = FileAttr::new(ino, kind, mode, 0);
+        match kind {
+            FileType::Regular => {
+                inner.files.insert(
+                    ino,
+                    MemFile {
+                        attr,
+                        pages: BTreeMap::new(),
+                    },
+                );
+            }
+            FileType::Directory => {
+                attr.nlink = 2;
+                inner.dirs.insert(
+                    ino,
+                    MemDir {
+                        attr,
+                        entries: BTreeMap::new(),
+                    },
+                );
+            }
+        }
+        inner
+            .dirs
+            .get_mut(&parent)
+            .expect("checked")
+            .entries
+            .insert(name.to_string(), ino);
+        Ok(attr)
+    }
+
+    fn unlink(&self, parent: InodeNo, name: &str) -> VfsResult<()> {
+        let mut inner = self.inner.lock();
+        inner.op_counter += 1;
+        let ino = {
+            let dir = inner.dirs.get(&parent).ok_or(VfsError::NotDir)?;
+            *dir.entries.get(name).ok_or(VfsError::NotFound)?
+        };
+        if let Some(d) = inner.dirs.get(&ino) {
+            if !d.entries.is_empty() {
+                return Err(VfsError::NotEmpty);
+            }
+        }
+        inner
+            .dirs
+            .get_mut(&parent)
+            .expect("checked")
+            .entries
+            .remove(name);
+        inner.files.remove(&ino);
+        inner.dirs.remove(&ino);
+        Ok(())
+    }
+
+    fn rename(
+        &self,
+        parent: InodeNo,
+        name: &str,
+        new_parent: InodeNo,
+        new_name: &str,
+    ) -> VfsResult<()> {
+        let mut inner = self.inner.lock();
+        inner.op_counter += 1;
+        let ino = {
+            let dir = inner.dirs.get(&parent).ok_or(VfsError::NotDir)?;
+            *dir.entries.get(name).ok_or(VfsError::NotFound)?
+        };
+        // Replace a regular-file target; refuse non-empty dirs.
+        if let Some(&existing) = inner
+            .dirs
+            .get(&new_parent)
+            .ok_or(VfsError::NotDir)?
+            .entries
+            .get(new_name)
+        {
+            if existing != ino {
+                if let Some(d) = inner.dirs.get(&existing) {
+                    if !d.entries.is_empty() {
+                        return Err(VfsError::NotEmpty);
+                    }
+                }
+                inner.files.remove(&existing);
+                inner.dirs.remove(&existing);
+            }
+        }
+        inner
+            .dirs
+            .get_mut(&parent)
+            .expect("checked")
+            .entries
+            .remove(name);
+        inner
+            .dirs
+            .get_mut(&new_parent)
+            .expect("checked")
+            .entries
+            .insert(new_name.to_string(), ino);
+        Ok(())
+    }
+
+    fn readdir(&self, ino: InodeNo) -> VfsResult<Vec<DirEntry>> {
+        let mut inner = self.inner.lock();
+        inner.op_counter += 1;
+        let dir = inner.dirs.get(&ino).ok_or(VfsError::NotDir)?;
+        Ok(dir
+            .entries
+            .iter()
+            .map(|(name, &child)| DirEntry {
+                name: name.clone(),
+                ino: child,
+                kind: if inner.dirs.contains_key(&child) {
+                    FileType::Directory
+                } else {
+                    FileType::Regular
+                },
+            })
+            .collect())
+    }
+
+    fn read(&self, ino: InodeNo, off: u64, buf: &mut [u8]) -> VfsResult<usize> {
+        let mut inner = self.inner.lock();
+        inner.op_counter += 1;
+        let f = inner.files.get(&ino).ok_or(VfsError::NotFound)?;
+        if off >= f.attr.size {
+            return Ok(0);
+        }
+        let n = buf.len().min((f.attr.size - off) as usize);
+        let mut done = 0usize;
+        while done < n {
+            let pos = off + done as u64;
+            let pg = pos / PAGE;
+            let in_pg = (pos % PAGE) as usize;
+            let chunk = (PAGE as usize - in_pg).min(n - done);
+            match f.pages.get(&pg) {
+                Some(p) => buf[done..done + chunk].copy_from_slice(&p[in_pg..in_pg + chunk]),
+                None => buf[done..done + chunk].fill(0),
+            }
+            done += chunk;
+        }
+        Ok(n)
+    }
+
+    fn write(&self, ino: InodeNo, off: u64, data: &[u8]) -> VfsResult<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut inner = self.inner.lock();
+        inner.op_counter += 1;
+        if Self::used_bytes(&inner) + data.len() as u64 > self.capacity {
+            return Err(VfsError::NoSpace);
+        }
+        let f = inner.files.get_mut(&ino).ok_or(VfsError::NotFound)?;
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = off + done as u64;
+            let pg = pos / PAGE;
+            let in_pg = (pos % PAGE) as usize;
+            let chunk = (PAGE as usize - in_pg).min(data.len() - done);
+            let page = f
+                .pages
+                .entry(pg)
+                .or_insert_with(|| Box::new([0u8; PAGE as usize]));
+            page[in_pg..in_pg + chunk].copy_from_slice(&data[done..done + chunk]);
+            done += chunk;
+        }
+        f.attr.size = f.attr.size.max(off + data.len() as u64);
+        f.attr.blocks_bytes = f.pages.len() as u64 * PAGE;
+        f.attr.mtime_ns += 1; // logical clock: strictly increasing
+        Ok(data.len())
+    }
+
+    fn punch_hole(&self, ino: InodeNo, off: u64, len: u64) -> VfsResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        inner.op_counter += 1;
+        let f = inner.files.get_mut(&ino).ok_or(VfsError::NotFound)?;
+        let end = off + len;
+        let first_full = off.div_ceil(PAGE);
+        let last_full = end / PAGE;
+        // Zero partial edges.
+        let head_end = end.min(first_full * PAGE);
+        if off < head_end {
+            if let Some(p) = f.pages.get_mut(&(off / PAGE)) {
+                p[(off % PAGE) as usize..(off % PAGE + (head_end - off)) as usize].fill(0);
+            }
+        }
+        let tail_start = (last_full * PAGE).max(off);
+        if tail_start < end && tail_start >= head_end {
+            if let Some(p) = f.pages.get_mut(&(tail_start / PAGE)) {
+                p[(tail_start % PAGE) as usize..(tail_start % PAGE + (end - tail_start)) as usize]
+                    .fill(0);
+            }
+        }
+        if last_full > first_full {
+            f.pages.retain(|&p, _| p < first_full || p >= last_full);
+        }
+        f.attr.blocks_bytes = f.pages.len() as u64 * PAGE;
+        Ok(())
+    }
+
+    fn next_data(&self, ino: InodeNo, off: u64) -> VfsResult<Option<(u64, u64)>> {
+        let mut inner = self.inner.lock();
+        inner.op_counter += 1;
+        let f = inner.files.get(&ino).ok_or(VfsError::NotFound)?;
+        let size = f.attr.size;
+        if off >= size {
+            return Ok(None);
+        }
+        let start_pg = off / PAGE;
+        let Some((&pg, _)) = f.pages.range(start_pg..).next() else {
+            return Ok(None);
+        };
+        let data_start = (pg * PAGE).max(off);
+        if data_start >= size {
+            return Ok(None);
+        }
+        // Extend over contiguous pages.
+        let mut end_pg = pg;
+        while f.pages.contains_key(&(end_pg + 1)) {
+            end_pg += 1;
+        }
+        let data_end = ((end_pg + 1) * PAGE).min(size);
+        Ok(Some((data_start, data_end - data_start)))
+    }
+
+    fn fsync(&self, ino: InodeNo) -> VfsResult<()> {
+        let mut inner = self.inner.lock();
+        inner.op_counter += 1;
+        if inner.files.contains_key(&ino) || inner.dirs.contains_key(&ino) {
+            Ok(())
+        } else {
+            Err(VfsError::NotFound)
+        }
+    }
+
+    fn sync(&self) -> VfsResult<()> {
+        self.inner.lock().op_counter += 1;
+        Ok(())
+    }
+
+    fn statfs(&self) -> VfsResult<StatFs> {
+        let inner = self.inner.lock();
+        let used = Self::used_bytes(&inner);
+        Ok(StatFs {
+            total_bytes: self.capacity,
+            free_bytes: self.capacity.saturating_sub(used),
+            inodes: inner.files.len() as u64,
+            block_size: PAGE as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> MemFs {
+        MemFs::new("mem", 1 << 24)
+    }
+
+    #[test]
+    fn sparse_semantics() {
+        let f = fs();
+        let a = f.create(ROOT_INO, "x", FileType::Regular, 0o644).unwrap();
+        f.write(a.ino, 10 * PAGE, b"tail").unwrap();
+        let attr = f.getattr(a.ino).unwrap();
+        assert_eq!(attr.size, 10 * PAGE + 4);
+        assert_eq!(attr.blocks_bytes, PAGE);
+        assert_eq!(f.next_data(a.ino, 0).unwrap().unwrap().0, 10 * PAGE);
+        let mut buf = [9u8; 8];
+        f.read(a.ino, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn punch_and_truncate() {
+        let f = fs();
+        let a = f.create(ROOT_INO, "x", FileType::Regular, 0o644).unwrap();
+        f.write(a.ino, 0, &vec![7u8; 3 * PAGE as usize]).unwrap();
+        f.punch_hole(a.ino, PAGE, PAGE).unwrap();
+        assert_eq!(f.getattr(a.ino).unwrap().blocks_bytes, 2 * PAGE);
+        f.setattr(a.ino, &SetAttr::truncate(100)).unwrap();
+        f.setattr(a.ino, &SetAttr::truncate(PAGE)).unwrap();
+        let mut buf = vec![9u8; PAGE as usize];
+        f.read(a.ino, 0, &mut buf).unwrap();
+        assert!(buf[..100].iter().all(|&b| b == 7));
+        assert!(buf[100..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let f = MemFs::new("tiny", 2 * PAGE);
+        let a = f.create(ROOT_INO, "x", FileType::Regular, 0o644).unwrap();
+        f.write(a.ino, 0, &vec![1u8; PAGE as usize]).unwrap();
+        assert_eq!(
+            f.write(a.ino, PAGE * 4, &vec![1u8; 2 * PAGE as usize])
+                .unwrap_err(),
+            VfsError::NoSpace
+        );
+        assert!(f.statfs().unwrap().free_bytes <= PAGE);
+    }
+
+    #[test]
+    fn dirs_and_rename() {
+        let f = fs();
+        let d = f.create(ROOT_INO, "d", FileType::Directory, 0o755).unwrap();
+        let a = f.create(d.ino, "x", FileType::Regular, 0o644).unwrap();
+        f.rename(d.ino, "x", ROOT_INO, "y").unwrap();
+        assert_eq!(f.lookup(ROOT_INO, "y").unwrap().ino, a.ino);
+        assert!(f.lookup(d.ino, "x").is_err());
+        f.unlink(ROOT_INO, "y").unwrap();
+        f.unlink(ROOT_INO, "d").unwrap();
+    }
+}

@@ -1,0 +1,486 @@
+//! A DRAM page cache with LRU eviction and dirty-page pinning.
+//!
+//! Linux keeps the page cache in the VFS layer; block-device file systems
+//! (`xefs`, `e4fs`) use this one. `novafs` does not — NOVA's DAX path reads
+//! persistent memory directly, one of the device-specific behaviours the
+//! paper's evaluation depends on (§3.2: the relative Mux overhead differs
+//! per tier largely because the *base* read path differs).
+//!
+//! Clean pages are evicted LRU-first; dirty pages are pinned until the
+//! owning file system takes them for writeback.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::InodeNo;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the page.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Clean pages evicted.
+    pub evictions: u64,
+}
+
+struct Page {
+    data: Box<[u8]>,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// An LRU page cache keyed by `(inode, page index)`.
+pub struct PageCache {
+    page_size: usize,
+    capacity_pages: usize,
+    pages: HashMap<(InodeNo, u64), Page>,
+    lru: BTreeMap<u64, (InodeNo, u64)>,
+    next_stamp: u64,
+    stats: CacheStats,
+    /// Incrementally maintained count of dirty pages (checked on every
+    /// write for writeback throttling — must be O(1)).
+    dirty_count: usize,
+}
+
+impl PageCache {
+    /// Creates a cache holding at most `capacity_bytes` of `page_size`
+    /// pages.
+    pub fn new(capacity_bytes: u64, page_size: usize) -> Self {
+        PageCache {
+            page_size,
+            capacity_pages: (capacity_bytes as usize / page_size).max(1),
+            pages: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+            stats: CacheStats::default(),
+            dirty_count: 0,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Maximum resident pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Current resident pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn touch(&mut self, key: (InodeNo, u64)) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some(p) = self.pages.get_mut(&key) {
+            self.lru.remove(&p.stamp);
+            p.stamp = stamp;
+            self.lru.insert(stamp, key);
+        }
+    }
+
+    /// Looks up a page, copying it into `out` on a hit.
+    pub fn get(&mut self, ino: InodeNo, page: u64, out: &mut [u8]) -> bool {
+        let key = (ino, page);
+        if self.pages.contains_key(&key) {
+            self.touch(key);
+            let p = &self.pages[&key];
+            out.copy_from_slice(&p.data);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Whether a page is resident (no LRU bump, no stats).
+    pub fn contains(&self, ino: InodeNo, page: u64) -> bool {
+        self.pages.contains_key(&(ino, page))
+    }
+
+    /// Inserts a clean page (after a device read), evicting if needed.
+    pub fn insert_clean(&mut self, ino: InodeNo, page: u64, data: &[u8]) {
+        debug_assert_eq!(data.len(), self.page_size);
+        let key = (ino, page);
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some(p) = self.pages.get_mut(&key) {
+            // Keep dirty status: a racing writer's data must not be
+            // silently marked clean.
+            let was_dirty = p.dirty;
+            self.lru.remove(&p.stamp);
+            p.data.copy_from_slice(data);
+            p.dirty = was_dirty;
+            p.stamp = stamp;
+            self.lru.insert(stamp, key);
+            return;
+        }
+        self.pages.insert(
+            key,
+            Page {
+                data: data.to_vec().into_boxed_slice(),
+                dirty: false,
+                stamp,
+            },
+        );
+        self.lru.insert(stamp, key);
+        self.evict_to_capacity();
+    }
+
+    /// Modifies (or creates) a page and marks it dirty. `init` provides the
+    /// base content when the page is not resident (e.g. read from device or
+    /// zeros); `apply` mutates it.
+    pub fn update_dirty(
+        &mut self,
+        ino: InodeNo,
+        page: u64,
+        init: impl FnOnce() -> Vec<u8>,
+        apply: impl FnOnce(&mut [u8]),
+    ) {
+        let key = (ino, page);
+        if !self.pages.contains_key(&key) {
+            let data = init();
+            debug_assert_eq!(data.len(), self.page_size);
+            let stamp = self.next_stamp;
+            self.next_stamp += 1;
+            self.pages.insert(
+                key,
+                Page {
+                    data: data.into_boxed_slice(),
+                    dirty: false,
+                    stamp,
+                },
+            );
+            self.lru.insert(stamp, key);
+        }
+        self.touch(key);
+        let p = self.pages.get_mut(&key).expect("just inserted");
+        apply(&mut p.data);
+        if !p.dirty {
+            p.dirty = true;
+            self.dirty_count += 1;
+        }
+        self.evict_to_capacity();
+    }
+
+    /// Takes every dirty page of `ino` (ascending page order) for
+    /// writeback, marking them clean in place.
+    pub fn take_dirty(&mut self, ino: InodeNo) -> Vec<(u64, Vec<u8>)> {
+        let mut out: Vec<(u64, Vec<u8>)> = self
+            .pages
+            .iter_mut()
+            .filter(|((i, _), p)| *i == ino && p.dirty)
+            .map(|((_, pg), p)| {
+                p.dirty = false;
+                (*pg, p.data.to_vec())
+            })
+            .collect();
+        self.dirty_count -= out.len();
+        out.sort_by_key(|(pg, _)| *pg);
+        self.evict_to_capacity();
+        out
+    }
+
+    /// Dirty page count for one inode.
+    pub fn dirty_pages(&self, ino: InodeNo) -> usize {
+        self.pages
+            .iter()
+            .filter(|((i, _), p)| *i == ino && p.dirty)
+            .count()
+    }
+
+    /// Total dirty pages (O(1)).
+    pub fn total_dirty(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Inodes that currently own dirty pages.
+    pub fn dirty_inodes(&self) -> Vec<InodeNo> {
+        let mut v: Vec<InodeNo> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|((i, _), _)| *i)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Drops every page of `ino` (including dirty ones — the caller is
+    /// deleting or truncating the file).
+    pub fn invalidate(&mut self, ino: InodeNo) {
+        let keys: Vec<(InodeNo, u64)> = self
+            .pages
+            .keys()
+            .filter(|(i, _)| *i == ino)
+            .copied()
+            .collect();
+        for k in keys {
+            if let Some(p) = self.pages.remove(&k) {
+                self.lru.remove(&p.stamp);
+                if p.dirty {
+                    self.dirty_count -= 1;
+                }
+            }
+        }
+    }
+
+    /// Drops pages of `ino` in `[from_page, to_page)` — hole punching.
+    pub fn invalidate_range(&mut self, ino: InodeNo, from_page: u64, to_page: u64) {
+        let keys: Vec<(InodeNo, u64)> = self
+            .pages
+            .keys()
+            .filter(|(i, pg)| *i == ino && (from_page..to_page).contains(pg))
+            .copied()
+            .collect();
+        for k in keys {
+            if let Some(p) = self.pages.remove(&k) {
+                self.lru.remove(&p.stamp);
+                if p.dirty {
+                    self.dirty_count -= 1;
+                }
+            }
+        }
+    }
+
+    /// Sorted list of `ino`'s dirty page indexes.
+    pub fn dirty_page_list(&self, ino: InodeNo) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|((i, _), p)| *i == ino && p.dirty)
+            .map(|((_, pg), _)| *pg)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drops pages of `ino` at or after `from_page` (truncate).
+    pub fn invalidate_from(&mut self, ino: InodeNo, from_page: u64) {
+        let keys: Vec<(InodeNo, u64)> = self
+            .pages
+            .keys()
+            .filter(|(i, pg)| *i == ino && *pg >= from_page)
+            .copied()
+            .collect();
+        for k in keys {
+            if let Some(p) = self.pages.remove(&k) {
+                self.lru.remove(&p.stamp);
+                if p.dirty {
+                    self.dirty_count -= 1;
+                }
+            }
+        }
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.pages.len() > self.capacity_pages {
+            // Everything dirty? Overcommit until writeback — O(1) check,
+            // not an LRU scan (this runs on every write).
+            if self.pages.len() == self.dirty_count {
+                break;
+            }
+            // Oldest clean page goes first; dirty pages are pinned.
+            let victim = self
+                .lru
+                .iter()
+                .map(|(_, &k)| k)
+                .find(|k| !self.pages[k].dirty);
+            match victim {
+                Some(k) => {
+                    let p = self.pages.remove(&k).expect("present");
+                    self.lru.remove(&p.stamp);
+                    self.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(b: u8) -> Vec<u8> {
+        vec![b; 64]
+    }
+
+    fn cache(pages: u64) -> PageCache {
+        PageCache::new(pages * 64, 64)
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = cache(4);
+        c.insert_clean(1, 0, &page(7));
+        let mut out = vec![0u8; 64];
+        assert!(c.get(1, 0, &mut out));
+        assert_eq!(out, page(7));
+        assert!(!c.get(1, 1, &mut out));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = cache(2);
+        c.insert_clean(1, 0, &page(0));
+        c.insert_clean(1, 1, &page(1));
+        // Touch page 0 so page 1 is the LRU victim.
+        let mut out = vec![0u8; 64];
+        c.get(1, 0, &mut out);
+        c.insert_clean(1, 2, &page(2));
+        assert!(c.contains(1, 0));
+        assert!(!c.contains(1, 1));
+        assert!(c.contains(1, 2));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn dirty_pages_survive_eviction_pressure() {
+        let mut c = cache(2);
+        c.update_dirty(1, 0, || page(0), |d| d[0] = 9);
+        c.update_dirty(1, 1, || page(1), |d| d[0] = 9);
+        c.insert_clean(1, 2, &page(2));
+        // Clean page 2 must be the victim even though it is newest.
+        assert!(c.contains(1, 0));
+        assert!(c.contains(1, 1));
+        assert!(!c.contains(1, 2));
+    }
+
+    #[test]
+    fn take_dirty_returns_sorted_and_cleans() {
+        let mut c = cache(8);
+        c.update_dirty(1, 5, || page(5), |_| {});
+        c.update_dirty(1, 2, || page(2), |_| {});
+        c.update_dirty(2, 0, || page(0), |_| {});
+        let taken = c.take_dirty(1);
+        assert_eq!(
+            taken.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            vec![2, 5]
+        );
+        assert_eq!(c.dirty_pages(1), 0);
+        assert_eq!(c.dirty_pages(2), 1);
+        // Pages remain resident, now clean.
+        assert!(c.contains(1, 5));
+        assert_eq!(c.dirty_inodes(), vec![2]);
+    }
+
+    #[test]
+    fn update_dirty_applies_over_init() {
+        let mut c = cache(4);
+        c.update_dirty(
+            1,
+            0,
+            || page(3),
+            |d| {
+                d[10] = 42;
+            },
+        );
+        let mut out = vec![0u8; 64];
+        c.get(1, 0, &mut out);
+        assert_eq!(out[9], 3);
+        assert_eq!(out[10], 42);
+        // Second update must not re-init.
+        c.update_dirty(1, 0, || panic!("must not init again"), |d| d[11] = 43);
+        c.get(1, 0, &mut out);
+        assert_eq!(out[10], 42);
+        assert_eq!(out[11], 43);
+    }
+
+    #[test]
+    fn insert_clean_on_dirty_page_keeps_dirty_flag() {
+        let mut c = cache(4);
+        c.update_dirty(1, 0, || page(1), |_| {});
+        c.insert_clean(1, 0, &page(2));
+        assert_eq!(c.dirty_pages(1), 1);
+    }
+
+    #[test]
+    fn invalidate_drops_all_pages() {
+        let mut c = cache(8);
+        c.insert_clean(1, 0, &page(0));
+        c.update_dirty(1, 1, || page(1), |_| {});
+        c.insert_clean(2, 0, &page(9));
+        c.invalidate(1);
+        assert!(!c.contains(1, 0));
+        assert!(!c.contains(1, 1));
+        assert!(c.contains(2, 0));
+    }
+
+    #[test]
+    fn invalidate_from_truncates() {
+        let mut c = cache(8);
+        for pg in 0..4 {
+            c.insert_clean(1, pg, &page(pg as u8));
+        }
+        c.invalidate_from(1, 2);
+        assert!(c.contains(1, 0));
+        assert!(c.contains(1, 1));
+        assert!(!c.contains(1, 2));
+        assert!(!c.contains(1, 3));
+    }
+
+    #[test]
+    fn dirty_counter_stays_consistent_through_mixed_ops() {
+        let mut c = cache(16);
+        let recount = |c: &PageCache| {
+            (0..4u64)
+                .flat_map(|i| (0..8u64).map(move |p| (i, p)))
+                .filter(|&(i, p)| c.contains(i, p) && c.dirty_pages(i) > 0)
+                .count(); // not the check itself — see below
+        };
+        let _ = recount;
+        for i in 0..3u64 {
+            for p in 0..4u64 {
+                c.update_dirty(i, p, || page(1), |_| {});
+            }
+        }
+        assert_eq!(c.total_dirty(), 12);
+        c.update_dirty(0, 0, || page(0), |_| {}); // already dirty: no double count
+        assert_eq!(c.total_dirty(), 12);
+        c.take_dirty(0);
+        assert_eq!(c.total_dirty(), 8);
+        c.invalidate(1);
+        assert_eq!(c.total_dirty(), 4);
+        c.invalidate_range(2, 0, 2);
+        assert_eq!(c.total_dirty(), 2);
+        c.invalidate_from(2, 3);
+        assert_eq!(c.total_dirty(), 1);
+        c.invalidate(2);
+        assert_eq!(c.total_dirty(), 0);
+        // Re-dirtying a clean resident page counts again.
+        c.update_dirty(0, 0, || page(0), |_| {});
+        assert_eq!(c.total_dirty(), 1);
+    }
+
+    #[test]
+    fn all_dirty_overcommits_instead_of_losing_data() {
+        let mut c = cache(2);
+        for pg in 0..4 {
+            c.update_dirty(1, pg, || page(pg as u8), |_| {});
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.total_dirty(), 4);
+        // Writeback lets it shrink again.
+        c.take_dirty(1);
+        assert!(c.len() <= 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Path normalization helpers.
+
+/// Normalizes a path: collapses `//`, resolves `.` and `..` lexically, and
+/// guarantees a leading `/`. The root is `"/"`.
+///
+/// `..` above the root stays at the root, as in POSIX.
+pub fn normalize(path: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            other => parts.push(other),
+        }
+    }
+    if parts.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", parts.join("/"))
+    }
+}
+
+/// Splits a normalized path into `(parent_dir, file_name)`.
+///
+/// Returns `None` for the root path, which has no parent.
+pub fn split_parent(path: &str) -> Option<(&str, &str)> {
+    let path = path.trim_end_matches('/');
+    if path.is_empty() {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some(("/", &path[1..])),
+        Some(i) => Some((&path[..i], &path[i + 1..])),
+        None => Some(("/", path)),
+    }
+}
+
+/// Joins a directory path and a child name.
+pub fn join_path(dir: &str, name: &str) -> String {
+    if dir == "/" {
+        format!("/{name}")
+    } else {
+        format!("{}/{name}", dir.trim_end_matches('/'))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_basic() {
+        assert_eq!(normalize("/a/b/c"), "/a/b/c");
+        assert_eq!(normalize("a/b"), "/a/b");
+        assert_eq!(normalize("/a//b/"), "/a/b");
+        assert_eq!(normalize("/"), "/");
+        assert_eq!(normalize(""), "/");
+    }
+
+    #[test]
+    fn normalize_dots() {
+        assert_eq!(normalize("/a/./b"), "/a/b");
+        assert_eq!(normalize("/a/../b"), "/b");
+        assert_eq!(normalize("/../../a"), "/a");
+        assert_eq!(normalize("/a/b/../.."), "/");
+    }
+
+    #[test]
+    fn split_parent_basic() {
+        assert_eq!(split_parent("/a"), Some(("/", "a")));
+        assert_eq!(split_parent("/a/b"), Some(("/a", "b")));
+        assert_eq!(split_parent("/a/b/c"), Some(("/a/b", "c")));
+        assert_eq!(split_parent("/"), None);
+        assert_eq!(split_parent(""), None);
+    }
+
+    #[test]
+    fn join_roundtrips_split() {
+        for p in ["/a", "/a/b", "/x/y/z"] {
+            let (d, n) = split_parent(p).unwrap();
+            assert_eq!(join_path(d, n), p);
+        }
+    }
+}

@@ -1,0 +1,723 @@
+//! Mount table and file-descriptor layer.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::fs::{resolve_parent, resolve_path};
+use crate::{
+    DirEntry, FileAttr, FileSystem, FileType, InodeNo, OpenFlags, SetAttr, StatFs, VfsError,
+    VfsResult,
+};
+
+/// A file-descriptor handle returned by [`Vfs::open`].
+pub type Fd = u64;
+
+/// Identifier of a mount within the [`Vfs`] mount table.
+pub type MountId = u64;
+
+struct Mount {
+    id: MountId,
+    /// Normalized mount point; `"/"` allowed for exactly one mount.
+    path: String,
+    fs: Arc<dyn FileSystem>,
+}
+
+struct OpenFile {
+    fs: Arc<dyn FileSystem>,
+    ino: InodeNo,
+    flags: OpenFlags,
+    pos: u64,
+}
+
+/// The VFS: a mount table plus a POSIX-ish file API.
+///
+/// Applications in this reproduction talk to a `Vfs` exactly the way Linux
+/// applications talk to the kernel VFS. In the Mux configuration a single
+/// Mux instance is mounted at `/` and the native file systems are *not*
+/// mounted here at all — they are registered directly with Mux, which calls
+/// their [`FileSystem`] methods itself. In the "no tiering" baseline
+/// configurations, a native file system is mounted at `/` directly.
+#[derive(Clone)]
+pub struct Vfs {
+    shared: Arc<Shared>,
+}
+
+struct Shared {
+    mounts: RwLock<Vec<Mount>>,
+    next_mount: Mutex<MountId>,
+    fds: Mutex<Vec<Option<OpenFile>>>,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vfs {
+    /// Creates an empty VFS with no mounts.
+    pub fn new() -> Self {
+        Vfs {
+            shared: Arc::new(Shared {
+                mounts: RwLock::new(Vec::new()),
+                next_mount: Mutex::new(1),
+                fds: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Mounts `fs` at `path` (normalized). Longest-prefix match wins at
+    /// resolution time, so `/` and `/archive` may coexist.
+    pub fn mount(&self, path: &str, fs: Arc<dyn FileSystem>) -> VfsResult<MountId> {
+        let path = crate::normalize(path);
+        let mut mounts = self.shared.mounts.write();
+        if mounts.iter().any(|m| m.path == path) {
+            return Err(VfsError::Exists);
+        }
+        let mut next = self.shared.next_mount.lock();
+        let id = *next;
+        *next += 1;
+        mounts.push(Mount { id, path, fs });
+        Ok(id)
+    }
+
+    /// Unmounts the mount with `id`. Fails with [`VfsError::Busy`] if any
+    /// open descriptor still refers to that file system.
+    pub fn umount(&self, id: MountId) -> VfsResult<()> {
+        let mut mounts = self.shared.mounts.write();
+        let idx = mounts
+            .iter()
+            .position(|m| m.id == id)
+            .ok_or(VfsError::NotFound)?;
+        let fs = Arc::clone(&mounts[idx].fs);
+        let fds = self.shared.fds.lock();
+        if fds.iter().flatten().any(|f| Arc::ptr_eq(&f.fs, &fs)) {
+            return Err(VfsError::Busy);
+        }
+        mounts.remove(idx);
+        Ok(())
+    }
+
+    /// Resolves `path` to `(file_system, path_within_fs)` by longest-prefix
+    /// mount match.
+    pub fn resolve_mount(&self, path: &str) -> VfsResult<(Arc<dyn FileSystem>, String)> {
+        let path = crate::normalize(path);
+        let mounts = self.shared.mounts.read();
+        let best = mounts
+            .iter()
+            .filter(|m| {
+                path == m.path || m.path == "/" || path.starts_with(&format!("{}/", m.path))
+            })
+            .max_by_key(|m| m.path.len())
+            .ok_or(VfsError::NotFound)?;
+        let rel = if best.path == "/" {
+            path.clone()
+        } else {
+            let r = &path[best.path.len()..];
+            if r.is_empty() {
+                "/".into()
+            } else {
+                r.to_string()
+            }
+        };
+        Ok((Arc::clone(&best.fs), rel))
+    }
+
+    /// Opens `path` with `flags`, creating the file if requested.
+    pub fn open(&self, path: &str, flags: OpenFlags) -> VfsResult<Fd> {
+        let (fs, rel) = self.resolve_mount(path)?;
+        let attr = match resolve_path(fs.as_ref(), &rel) {
+            Ok(a) => {
+                if a.is_dir() && (flags.write || flags.truncate) {
+                    return Err(VfsError::IsDir);
+                }
+                a
+            }
+            Err(VfsError::NotFound) if flags.create => {
+                let (parent, name) = resolve_parent(fs.as_ref(), &rel)?;
+                fs.create(parent.ino, name, FileType::Regular, 0o644)?
+            }
+            Err(e) => return Err(e),
+        };
+        if flags.truncate && attr.size > 0 {
+            fs.setattr(attr.ino, &SetAttr::truncate(0))?;
+        }
+        let mut fds = self.shared.fds.lock();
+        let of = OpenFile {
+            fs,
+            ino: attr.ino,
+            flags,
+            pos: 0,
+        };
+        let fd = match fds.iter().position(Option::is_none) {
+            Some(i) => {
+                fds[i] = Some(of);
+                i
+            }
+            None => {
+                fds.push(Some(of));
+                fds.len() - 1
+            }
+        };
+        Ok(fd as Fd)
+    }
+
+    /// Closes a descriptor.
+    pub fn close(&self, fd: Fd) -> VfsResult<()> {
+        let mut fds = self.shared.fds.lock();
+        let slot = fds.get_mut(fd as usize).ok_or(VfsError::BadHandle)?;
+        if slot.take().is_none() {
+            return Err(VfsError::BadHandle);
+        }
+        Ok(())
+    }
+
+    fn with_fd<R>(&self, fd: Fd, f: impl FnOnce(&mut OpenFile) -> VfsResult<R>) -> VfsResult<R> {
+        let mut fds = self.shared.fds.lock();
+        let of = fds
+            .get_mut(fd as usize)
+            .and_then(Option::as_mut)
+            .ok_or(VfsError::BadHandle)?;
+        f(of)
+    }
+
+    /// Reads at the descriptor's position, advancing it.
+    pub fn read(&self, fd: Fd, buf: &mut [u8]) -> VfsResult<usize> {
+        let (fs, ino, pos) = self.with_fd(fd, |of| {
+            if !of.flags.read {
+                return Err(VfsError::BadHandle);
+            }
+            Ok((Arc::clone(&of.fs), of.ino, of.pos))
+        })?;
+        let n = fs.read(ino, pos, buf)?;
+        self.with_fd(fd, |of| {
+            of.pos = pos + n as u64;
+            Ok(())
+        })?;
+        Ok(n)
+    }
+
+    /// Writes at the descriptor's position (or EOF with `append`),
+    /// advancing it.
+    pub fn write(&self, fd: Fd, data: &[u8]) -> VfsResult<usize> {
+        let (fs, ino, flags, mut pos) = self.with_fd(fd, |of| {
+            if !of.flags.write {
+                return Err(VfsError::BadHandle);
+            }
+            Ok((Arc::clone(&of.fs), of.ino, of.flags, of.pos))
+        })?;
+        if flags.append {
+            pos = fs.getattr(ino)?.size;
+        }
+        let n = fs.write(ino, pos, data)?;
+        if flags.sync {
+            fs.fsync(ino)?;
+        }
+        self.with_fd(fd, |of| {
+            of.pos = pos + n as u64;
+            Ok(())
+        })?;
+        Ok(n)
+    }
+
+    /// Positional read; does not move the descriptor offset.
+    pub fn pread(&self, fd: Fd, off: u64, buf: &mut [u8]) -> VfsResult<usize> {
+        let (fs, ino) = self.with_fd(fd, |of| {
+            if !of.flags.read {
+                return Err(VfsError::BadHandle);
+            }
+            Ok((Arc::clone(&of.fs), of.ino))
+        })?;
+        fs.read(ino, off, buf)
+    }
+
+    /// Positional write; does not move the descriptor offset.
+    pub fn pwrite(&self, fd: Fd, off: u64, data: &[u8]) -> VfsResult<usize> {
+        let (fs, ino, sync) = self.with_fd(fd, |of| {
+            if !of.flags.write {
+                return Err(VfsError::BadHandle);
+            }
+            Ok((Arc::clone(&of.fs), of.ino, of.flags.sync))
+        })?;
+        let n = fs.write(ino, off, data)?;
+        if sync {
+            fs.fsync(ino)?;
+        }
+        Ok(n)
+    }
+
+    /// Absolute seek; returns the new position.
+    pub fn seek(&self, fd: Fd, pos: u64) -> VfsResult<u64> {
+        self.with_fd(fd, |of| {
+            of.pos = pos;
+            Ok(pos)
+        })
+    }
+
+    /// `fstat`.
+    pub fn fstat(&self, fd: Fd) -> VfsResult<FileAttr> {
+        let (fs, ino) = self.with_fd(fd, |of| Ok((Arc::clone(&of.fs), of.ino)))?;
+        fs.getattr(ino)
+    }
+
+    /// Persists one open file.
+    pub fn fsync(&self, fd: Fd) -> VfsResult<()> {
+        let (fs, ino) = self.with_fd(fd, |of| Ok((Arc::clone(&of.fs), of.ino)))?;
+        fs.fsync(ino)
+    }
+
+    /// `stat` by path.
+    pub fn stat(&self, path: &str) -> VfsResult<FileAttr> {
+        let (fs, rel) = self.resolve_mount(path)?;
+        resolve_path(fs.as_ref(), &rel)
+    }
+
+    /// Applies attribute changes by path.
+    pub fn setattr(&self, path: &str, set: &SetAttr) -> VfsResult<FileAttr> {
+        let (fs, rel) = self.resolve_mount(path)?;
+        let attr = resolve_path(fs.as_ref(), &rel)?;
+        fs.setattr(attr.ino, set)
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&self, path: &str) -> VfsResult<FileAttr> {
+        let (fs, rel) = self.resolve_mount(path)?;
+        let (parent, name) = resolve_parent(fs.as_ref(), &rel)?;
+        fs.create(parent.ino, name, FileType::Directory, 0o755)
+    }
+
+    /// Removes a file or empty directory.
+    pub fn unlink(&self, path: &str) -> VfsResult<()> {
+        let (fs, rel) = self.resolve_mount(path)?;
+        let (parent, name) = resolve_parent(fs.as_ref(), &rel)?;
+        fs.unlink(parent.ino, name)
+    }
+
+    /// Renames within a single mount.
+    pub fn rename(&self, from: &str, to: &str) -> VfsResult<()> {
+        let (fs_a, rel_a) = self.resolve_mount(from)?;
+        let (fs_b, rel_b) = self.resolve_mount(to)?;
+        if !Arc::ptr_eq(&fs_a, &fs_b) {
+            return Err(VfsError::NotSupported);
+        }
+        let (pa, na) = resolve_parent(fs_a.as_ref(), &rel_a)?;
+        let (pb, nb) = resolve_parent(fs_b.as_ref(), &rel_b)?;
+        fs_a.rename(pa.ino, na, pb.ino, nb)
+    }
+
+    /// Lists a directory.
+    pub fn readdir(&self, path: &str) -> VfsResult<Vec<DirEntry>> {
+        let (fs, rel) = self.resolve_mount(path)?;
+        let attr = resolve_path(fs.as_ref(), &rel)?;
+        fs.readdir(attr.ino)
+    }
+
+    /// `statfs` for the mount containing `path`.
+    pub fn statfs(&self, path: &str) -> VfsResult<StatFs> {
+        let (fs, _) = self.resolve_mount(path)?;
+        fs.statfs()
+    }
+
+    /// Persists every mounted file system.
+    pub fn sync_all(&self) -> VfsResult<()> {
+        let mounts = self.shared.mounts.read();
+        for m in mounts.iter() {
+            m.fs.sync()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VfsError;
+    use std::collections::HashMap;
+
+    /// A trivially simple in-memory FileSystem used to test the VFS layer
+    /// itself (the real file systems live in their own crates).
+    struct MemFs {
+        inner: Mutex<MemInner>,
+    }
+
+    struct MemInner {
+        next_ino: InodeNo,
+        files: HashMap<InodeNo, (FileAttr, Vec<u8>)>,
+        dirs: HashMap<InodeNo, HashMap<String, InodeNo>>,
+        attrs: HashMap<InodeNo, FileAttr>,
+    }
+
+    impl MemFs {
+        fn new() -> Self {
+            let mut dirs = HashMap::new();
+            dirs.insert(ROOT, HashMap::new());
+            let mut attrs = HashMap::new();
+            attrs.insert(ROOT, FileAttr::new(ROOT, FileType::Directory, 0o755, 0));
+            MemFs {
+                inner: Mutex::new(MemInner {
+                    next_ino: ROOT + 1,
+                    files: HashMap::new(),
+                    dirs,
+                    attrs,
+                }),
+            }
+        }
+    }
+
+    const ROOT: InodeNo = crate::ROOT_INO;
+
+    impl FileSystem for MemFs {
+        fn fs_name(&self) -> &str {
+            "memfs"
+        }
+
+        fn lookup(&self, parent: InodeNo, name: &str) -> VfsResult<FileAttr> {
+            let inner = self.inner.lock();
+            let dir = inner.dirs.get(&parent).ok_or(VfsError::NotDir)?;
+            let ino = *dir.get(name).ok_or(VfsError::NotFound)?;
+            inner
+                .attrs
+                .get(&ino)
+                .copied()
+                .or_else(|| inner.files.get(&ino).map(|f| f.0))
+                .ok_or(VfsError::Stale)
+        }
+
+        fn getattr(&self, ino: InodeNo) -> VfsResult<FileAttr> {
+            let inner = self.inner.lock();
+            inner
+                .attrs
+                .get(&ino)
+                .copied()
+                .or_else(|| inner.files.get(&ino).map(|f| f.0))
+                .ok_or(VfsError::NotFound)
+        }
+
+        fn setattr(&self, ino: InodeNo, set: &SetAttr) -> VfsResult<FileAttr> {
+            let mut inner = self.inner.lock();
+            let f = inner.files.get_mut(&ino).ok_or(VfsError::NotFound)?;
+            if let Some(sz) = set.size {
+                f.1.resize(sz as usize, 0);
+                f.0.size = sz;
+            }
+            Ok(f.0)
+        }
+
+        fn create(
+            &self,
+            parent: InodeNo,
+            name: &str,
+            kind: FileType,
+            mode: u32,
+        ) -> VfsResult<FileAttr> {
+            let mut inner = self.inner.lock();
+            let ino = inner.next_ino;
+            {
+                let dir = inner.dirs.get_mut(&parent).ok_or(VfsError::NotDir)?;
+                if dir.contains_key(name) {
+                    return Err(VfsError::Exists);
+                }
+                dir.insert(name.to_string(), ino);
+            }
+            inner.next_ino += 1;
+            let attr = FileAttr::new(ino, kind, mode, 0);
+            match kind {
+                FileType::Regular => {
+                    inner.files.insert(ino, (attr, Vec::new()));
+                }
+                FileType::Directory => {
+                    inner.dirs.insert(ino, HashMap::new());
+                    inner.attrs.insert(ino, attr);
+                }
+            }
+            Ok(attr)
+        }
+
+        fn unlink(&self, parent: InodeNo, name: &str) -> VfsResult<()> {
+            let mut inner = self.inner.lock();
+            let ino = {
+                let dir = inner.dirs.get_mut(&parent).ok_or(VfsError::NotDir)?;
+                dir.remove(name).ok_or(VfsError::NotFound)?
+            };
+            inner.files.remove(&ino);
+            inner.dirs.remove(&ino);
+            inner.attrs.remove(&ino);
+            Ok(())
+        }
+
+        fn rename(
+            &self,
+            parent: InodeNo,
+            name: &str,
+            new_parent: InodeNo,
+            new_name: &str,
+        ) -> VfsResult<()> {
+            let mut inner = self.inner.lock();
+            let ino = {
+                let dir = inner.dirs.get_mut(&parent).ok_or(VfsError::NotDir)?;
+                dir.remove(name).ok_or(VfsError::NotFound)?
+            };
+            let ndir = inner.dirs.get_mut(&new_parent).ok_or(VfsError::NotDir)?;
+            ndir.insert(new_name.to_string(), ino);
+            Ok(())
+        }
+
+        fn readdir(&self, ino: InodeNo) -> VfsResult<Vec<DirEntry>> {
+            let inner = self.inner.lock();
+            let dir = inner.dirs.get(&ino).ok_or(VfsError::NotDir)?;
+            Ok(dir
+                .iter()
+                .map(|(n, &i)| DirEntry {
+                    name: n.clone(),
+                    ino: i,
+                    kind: if inner.dirs.contains_key(&i) {
+                        FileType::Directory
+                    } else {
+                        FileType::Regular
+                    },
+                })
+                .collect())
+        }
+
+        fn read(&self, ino: InodeNo, off: u64, buf: &mut [u8]) -> VfsResult<usize> {
+            let inner = self.inner.lock();
+            let f = inner.files.get(&ino).ok_or(VfsError::NotFound)?;
+            if off >= f.1.len() as u64 {
+                return Ok(0);
+            }
+            let n = buf.len().min(f.1.len() - off as usize);
+            buf[..n].copy_from_slice(&f.1[off as usize..off as usize + n]);
+            Ok(n)
+        }
+
+        fn write(&self, ino: InodeNo, off: u64, data: &[u8]) -> VfsResult<usize> {
+            let mut inner = self.inner.lock();
+            let f = inner.files.get_mut(&ino).ok_or(VfsError::NotFound)?;
+            let end = off as usize + data.len();
+            if f.1.len() < end {
+                f.1.resize(end, 0);
+                f.0.size = end as u64;
+            }
+            f.1[off as usize..end].copy_from_slice(data);
+            Ok(data.len())
+        }
+
+        fn punch_hole(&self, ino: InodeNo, off: u64, len: u64) -> VfsResult<()> {
+            let mut inner = self.inner.lock();
+            let f = inner.files.get_mut(&ino).ok_or(VfsError::NotFound)?;
+            let end = ((off + len) as usize).min(f.1.len());
+            if (off as usize) < end {
+                f.1[off as usize..end].fill(0);
+            }
+            Ok(())
+        }
+
+        fn next_data(&self, ino: InodeNo, off: u64) -> VfsResult<Option<(u64, u64)>> {
+            let inner = self.inner.lock();
+            let f = inner.files.get(&ino).ok_or(VfsError::NotFound)?;
+            if off >= f.1.len() as u64 {
+                return Ok(None);
+            }
+            Ok(Some((off, f.1.len() as u64 - off)))
+        }
+
+        fn fsync(&self, _ino: InodeNo) -> VfsResult<()> {
+            Ok(())
+        }
+
+        fn sync(&self) -> VfsResult<()> {
+            Ok(())
+        }
+
+        fn statfs(&self) -> VfsResult<StatFs> {
+            Ok(StatFs {
+                total_bytes: 1 << 20,
+                free_bytes: 1 << 19,
+                inodes: self.inner.lock().files.len() as u64,
+                block_size: 4096,
+            })
+        }
+    }
+
+    fn vfs_with_memfs() -> Vfs {
+        let v = Vfs::new();
+        v.mount("/", Arc::new(MemFs::new())).unwrap();
+        v
+    }
+
+    #[test]
+    fn open_create_write_read() {
+        let v = vfs_with_memfs();
+        let fd = v.open("/hello.txt", OpenFlags::read_write()).unwrap();
+        assert_eq!(v.write(fd, b"hi there").unwrap(), 8);
+        v.seek(fd, 0).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(v.read(fd, &mut buf).unwrap(), 8);
+        assert_eq!(&buf, b"hi there");
+        v.close(fd).unwrap();
+    }
+
+    #[test]
+    fn open_missing_without_create_fails() {
+        let v = vfs_with_memfs();
+        assert_eq!(
+            v.open("/nope", OpenFlags::read_only()).unwrap_err(),
+            VfsError::NotFound
+        );
+    }
+
+    #[test]
+    fn pread_pwrite_do_not_move_offset() {
+        let v = vfs_with_memfs();
+        let fd = v.open("/f", OpenFlags::read_write()).unwrap();
+        v.pwrite(fd, 100, b"xyz").unwrap();
+        let mut b = [0u8; 3];
+        assert_eq!(v.pread(fd, 100, &mut b).unwrap(), 3);
+        assert_eq!(&b, b"xyz");
+        // Sequential read still starts at 0.
+        let mut z = [9u8; 3];
+        v.read(fd, &mut z).unwrap();
+        assert_eq!(z, [0, 0, 0]);
+    }
+
+    #[test]
+    fn append_mode_writes_at_eof() {
+        let v = vfs_with_memfs();
+        let fd = v
+            .open(
+                "/log",
+                OpenFlags {
+                    read: true,
+                    write: true,
+                    create: true,
+                    append: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        v.write(fd, b"aaa").unwrap();
+        v.seek(fd, 0).unwrap();
+        v.write(fd, b"bbb").unwrap(); // must still append
+        assert_eq!(v.fstat(fd).unwrap().size, 6);
+    }
+
+    #[test]
+    fn truncate_on_open() {
+        let v = vfs_with_memfs();
+        let fd = v.open("/t", OpenFlags::read_write()).unwrap();
+        v.write(fd, b"0123456789").unwrap();
+        v.close(fd).unwrap();
+        let fd = v
+            .open(
+                "/t",
+                OpenFlags {
+                    read: true,
+                    write: true,
+                    truncate: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(v.fstat(fd).unwrap().size, 0);
+    }
+
+    #[test]
+    fn mkdir_readdir_unlink() {
+        let v = vfs_with_memfs();
+        v.mkdir("/dir").unwrap();
+        let fd = v.open("/dir/f", OpenFlags::read_write()).unwrap();
+        v.close(fd).unwrap();
+        let names: Vec<String> = v
+            .readdir("/dir")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, vec!["f"]);
+        v.unlink("/dir/f").unwrap();
+        assert!(v.readdir("/dir").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rename_moves_entry() {
+        let v = vfs_with_memfs();
+        let fd = v.open("/a", OpenFlags::read_write()).unwrap();
+        v.write(fd, b"data").unwrap();
+        v.close(fd).unwrap();
+        v.rename("/a", "/b").unwrap();
+        assert_eq!(v.stat("/a").unwrap_err(), VfsError::NotFound);
+        assert_eq!(v.stat("/b").unwrap().size, 4);
+    }
+
+    #[test]
+    fn longest_prefix_mount_wins() {
+        let v = Vfs::new();
+        let root = Arc::new(MemFs::new());
+        let nested = Arc::new(MemFs::new());
+        v.mount("/", root).unwrap();
+        v.mount("/fast", Arc::clone(&nested) as Arc<dyn FileSystem>)
+            .unwrap();
+        let fd = v.open("/fast/x", OpenFlags::read_write()).unwrap();
+        v.write(fd, b"q").unwrap();
+        v.close(fd).unwrap();
+        // The nested fs got the file; the root did not.
+        assert!(nested.lookup(ROOT, "x").is_ok());
+        assert_eq!(v.stat("/x").unwrap_err(), VfsError::NotFound);
+    }
+
+    #[test]
+    fn umount_busy_with_open_fd() {
+        let v = Vfs::new();
+        let id = v.mount("/", Arc::new(MemFs::new())).unwrap();
+        let fd = v.open("/f", OpenFlags::read_write()).unwrap();
+        assert_eq!(v.umount(id).unwrap_err(), VfsError::Busy);
+        v.close(fd).unwrap();
+        v.umount(id).unwrap();
+        assert!(v.stat("/f").is_err());
+    }
+
+    #[test]
+    fn double_mount_same_path_rejected() {
+        let v = Vfs::new();
+        v.mount("/", Arc::new(MemFs::new())).unwrap();
+        assert_eq!(
+            v.mount("/", Arc::new(MemFs::new())).unwrap_err(),
+            VfsError::Exists
+        );
+    }
+
+    #[test]
+    fn close_invalid_fd_rejected() {
+        let v = vfs_with_memfs();
+        assert_eq!(v.close(99).unwrap_err(), VfsError::BadHandle);
+        let fd = v.open("/f", OpenFlags::read_write()).unwrap();
+        v.close(fd).unwrap();
+        assert_eq!(v.close(fd).unwrap_err(), VfsError::BadHandle);
+    }
+
+    #[test]
+    fn read_only_fd_rejects_write() {
+        let v = vfs_with_memfs();
+        let fd = v.open("/f", OpenFlags::read_write()).unwrap();
+        v.close(fd).unwrap();
+        let fd = v.open("/f", OpenFlags::read_only()).unwrap();
+        assert_eq!(v.write(fd, b"x").unwrap_err(), VfsError::BadHandle);
+    }
+
+    #[test]
+    fn fd_slots_are_reused() {
+        let v = vfs_with_memfs();
+        let fd1 = v.open("/a", OpenFlags::read_write()).unwrap();
+        v.close(fd1).unwrap();
+        let fd2 = v.open("/b", OpenFlags::read_write()).unwrap();
+        assert_eq!(fd1, fd2);
+    }
+
+    #[test]
+    fn statfs_reaches_fs() {
+        let v = vfs_with_memfs();
+        let s = v.statfs("/").unwrap();
+        assert_eq!(s.total_bytes, 1 << 20);
+    }
+}

@@ -1,0 +1,318 @@
+//! Free-extent allocation: per-AG extent trees and the AG round-robin.
+
+use std::collections::BTreeMap;
+
+use tvfs::{VfsError, VfsResult};
+
+/// A free-extent tree over block numbers: `start → len`, adjacent extents
+/// merged.
+#[derive(Debug, Clone, Default)]
+pub struct ExtentAllocator {
+    free: BTreeMap<u64, u64>,
+    free_blocks: u64,
+}
+
+impl ExtentAllocator {
+    /// All blocks in `[start, end)` free.
+    pub fn new(start: u64, end: u64) -> Self {
+        let mut free = BTreeMap::new();
+        if end > start {
+            free.insert(start, end - start);
+        }
+        ExtentAllocator {
+            free,
+            free_blocks: end.saturating_sub(start),
+        }
+    }
+
+    /// Free block count.
+    pub fn free_blocks(&self) -> u64 {
+        self.free_blocks
+    }
+
+    /// Allocates up to `want` contiguous blocks: the first extent of at
+    /// least `want` blocks, else the largest available extent. Returns
+    /// `(start, len)` with `len <= want`, or `None` if empty.
+    pub fn alloc_extent(&mut self, want: u64) -> Option<(u64, u64)> {
+        if want == 0 || self.free.is_empty() {
+            return None;
+        }
+        let pick = self
+            .free
+            .iter()
+            .find(|(_, &l)| l >= want)
+            .map(|(&s, _)| s)
+            .or_else(|| self.free.iter().max_by_key(|(_, &l)| l).map(|(&s, _)| s))?;
+        let len = self.free[&pick];
+        let take = len.min(want);
+        self.free.remove(&pick);
+        if take < len {
+            self.free.insert(pick + take, len - take);
+        }
+        self.free_blocks -= take;
+        Some((pick, take))
+    }
+
+    /// Removes a specific range from the free pool (recovery replay).
+    /// Silently ignores blocks that are already allocated.
+    pub fn reserve(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let end = start + len;
+        // Collect overlapping free extents.
+        let mut touched: Vec<(u64, u64)> = Vec::new();
+        if let Some((&s, &l)) = self.free.range(..start).next_back() {
+            if s + l > start {
+                touched.push((s, l));
+            }
+        }
+        for (&s, &l) in self.free.range(start..end) {
+            touched.push((s, l));
+        }
+        for (s, l) in touched {
+            self.free.remove(&s);
+            self.free_blocks -= l;
+            if s < start {
+                self.free.insert(s, start - s);
+                self.free_blocks += start - s;
+            }
+            if s + l > end {
+                self.free.insert(end, s + l - end);
+                self.free_blocks += s + l - end;
+            }
+        }
+    }
+
+    /// Returns `[start, start+len)` to the free pool, merging neighbours.
+    pub fn free_extent(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.free_blocks += len;
+        let mut start = start;
+        let mut len = len;
+        // Merge with left neighbour.
+        if let Some((&s, &l)) = self.free.range(..start).next_back() {
+            debug_assert!(s + l <= start, "double free at {start}");
+            if s + l == start {
+                self.free.remove(&s);
+                start = s;
+                len += l;
+            }
+        }
+        // Merge with right neighbour.
+        if let Some((&s, &l)) = self.free.range(start + len..).next() {
+            if start + len == s {
+                self.free.remove(&s);
+                len += l;
+            }
+        }
+        self.free.insert(start, len);
+    }
+
+    /// Largest single free extent (for diagnostics/tests).
+    pub fn largest_extent(&self) -> u64 {
+        self.free.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Allocation groups: `n_ags` [`ExtentAllocator`]s with inode affinity.
+#[derive(Debug)]
+pub struct AgAllocator {
+    ags: Vec<ExtentAllocator>,
+    ag_blocks: u64,
+    first_block: u64,
+}
+
+impl AgAllocator {
+    /// Splits `[first, end)` into `n_ags` groups.
+    pub fn new(first: u64, end: u64, n_ags: usize) -> Self {
+        let n_ags = n_ags.max(1);
+        let total = end.saturating_sub(first);
+        let ag_blocks = (total / n_ags as u64).max(1);
+        let mut ags = Vec::with_capacity(n_ags);
+        for i in 0..n_ags {
+            let s = first + i as u64 * ag_blocks;
+            let e = if i == n_ags - 1 {
+                end
+            } else {
+                first + (i as u64 + 1) * ag_blocks
+            };
+            ags.push(ExtentAllocator::new(s, e.min(end)));
+        }
+        AgAllocator {
+            ags,
+            ag_blocks,
+            first_block: first,
+        }
+    }
+
+    /// Number of groups.
+    pub fn n_ags(&self) -> usize {
+        self.ags.len()
+    }
+
+    /// Total free blocks across groups.
+    pub fn free_blocks(&self) -> u64 {
+        self.ags.iter().map(|a| a.free_blocks()).sum()
+    }
+
+    /// Allocates `n` blocks as extent runs, preferring the inode's
+    /// affinity group and spilling to the others.
+    pub fn alloc(&mut self, ino: u64, n: u64) -> VfsResult<Vec<(u64, u64)>> {
+        if self.free_blocks() < n {
+            return Err(VfsError::NoSpace);
+        }
+        let home = (ino as usize) % self.ags.len();
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        let mut left = n;
+        for i in 0..self.ags.len() {
+            let ag = (home + i) % self.ags.len();
+            while left > 0 {
+                match self.ags[ag].alloc_extent(left) {
+                    Some((s, l)) => {
+                        left -= l;
+                        match runs.last_mut() {
+                            Some((rs, rl)) if *rs + *rl == s => *rl += l,
+                            _ => runs.push((s, l)),
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if left == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(left, 0, "free_blocks precondition violated");
+        Ok(runs)
+    }
+
+    /// Marks `[start, start+len)` allocated (recovery).
+    pub fn reserve(&mut self, start: u64, len: u64) {
+        // The range may straddle group boundaries.
+        let mut s = start;
+        let end = start + len;
+        while s < end {
+            let ag = self.ag_of(s);
+            let ag_end = self.first_block + (ag as u64 + 1) * self.ag_blocks;
+            let chunk_end = if ag + 1 == self.ags.len() {
+                end
+            } else {
+                end.min(ag_end)
+            };
+            self.ags[ag].reserve(s, chunk_end - s);
+            s = chunk_end;
+        }
+    }
+
+    /// Frees `[start, start+len)`.
+    pub fn free(&mut self, start: u64, len: u64) {
+        let mut s = start;
+        let end = start + len;
+        while s < end {
+            let ag = self.ag_of(s);
+            let ag_end = self.first_block + (ag as u64 + 1) * self.ag_blocks;
+            let chunk_end = if ag + 1 == self.ags.len() {
+                end
+            } else {
+                end.min(ag_end)
+            };
+            self.ags[ag].free_extent(s, chunk_end - s);
+            s = chunk_end;
+        }
+    }
+
+    fn ag_of(&self, block: u64) -> usize {
+        (((block - self.first_block) / self.ag_blocks) as usize).min(self.ags.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_prefers_contiguous() {
+        let mut a = ExtentAllocator::new(0, 100);
+        assert_eq!(a.alloc_extent(10), Some((0, 10)));
+        assert_eq!(a.alloc_extent(90), Some((10, 90)));
+        assert_eq!(a.alloc_extent(1), None);
+    }
+
+    #[test]
+    fn alloc_falls_back_to_largest() {
+        let mut a = ExtentAllocator::new(0, 100);
+        a.reserve(40, 10); // free: [0,40) and [50,100)
+        let (s, l) = a.alloc_extent(60).unwrap();
+        assert_eq!((s, l), (50, 50), "should take the largest available");
+        assert_eq!(a.free_blocks(), 40);
+    }
+
+    #[test]
+    fn free_merges_neighbours() {
+        let mut a = ExtentAllocator::new(0, 100);
+        let (s1, _) = a.alloc_extent(30).unwrap();
+        let (s2, _) = a.alloc_extent(30).unwrap();
+        a.free_extent(s1, 30);
+        a.free_extent(s2, 30);
+        assert_eq!(a.free_blocks(), 100);
+        assert_eq!(a.largest_extent(), 100);
+    }
+
+    #[test]
+    fn reserve_splits_free_extent() {
+        let mut a = ExtentAllocator::new(0, 100);
+        a.reserve(20, 10);
+        assert_eq!(a.free_blocks(), 90);
+        let (s, l) = a.alloc_extent(100).unwrap();
+        assert_eq!((s, l), (30, 70));
+    }
+
+    #[test]
+    fn reserve_idempotent_on_allocated() {
+        let mut a = ExtentAllocator::new(0, 100);
+        a.reserve(20, 10);
+        a.reserve(20, 10); // no-op
+        assert_eq!(a.free_blocks(), 90);
+        a.reserve(15, 10); // half-overlapping
+        assert_eq!(a.free_blocks(), 85);
+    }
+
+    #[test]
+    fn ag_affinity_spreads_inodes() {
+        let mut ag = AgAllocator::new(0, 400, 4);
+        let r1 = ag.alloc(1, 10).unwrap();
+        let r2 = ag.alloc(2, 10).unwrap();
+        let r5 = ag.alloc(5, 10).unwrap();
+        // Inodes 1 and 5 share AG 1; inode 2 uses AG 2.
+        assert_eq!(r1[0].0 / 100, 1);
+        assert_eq!(r2[0].0 / 100, 2);
+        assert_eq!(r5[0].0 / 100, 1);
+    }
+
+    #[test]
+    fn ag_spills_when_home_full() {
+        let mut ag = AgAllocator::new(0, 200, 2);
+        ag.alloc(0, 100).unwrap(); // fill AG 0
+        let runs = ag.alloc(0, 50).unwrap();
+        assert!(runs[0].0 >= 100, "must spill into AG 1");
+    }
+
+    #[test]
+    fn ag_nospace() {
+        let mut ag = AgAllocator::new(0, 100, 2);
+        ag.alloc(0, 100).unwrap();
+        assert_eq!(ag.alloc(0, 1).unwrap_err(), VfsError::NoSpace);
+    }
+
+    #[test]
+    fn ag_reserve_and_free_across_boundary() {
+        let mut ag = AgAllocator::new(0, 200, 2);
+        ag.reserve(90, 20); // straddles the AG boundary at 100
+        assert_eq!(ag.free_blocks(), 180);
+        ag.free(90, 20);
+        assert_eq!(ag.free_blocks(), 200);
+    }
+}

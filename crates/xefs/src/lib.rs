@@ -1,0 +1,29 @@
+//! `xefs` — an XFS-like extent file system for block SSDs.
+//!
+//! Models the XFS design (Sweeney, USENIX '96) that the paper mounts on its
+//! Optane SSD tier. The behaviours that matter to the reproduction:
+//!
+//! * **Allocation groups.** The data area is split into allocation groups,
+//!   each with its own free-extent tree; inodes have an AG affinity so
+//!   independent files allocate in parallel regions and large files get
+//!   contiguous extents.
+//! * **Delayed allocation.** Buffered writes accumulate in the DRAM page
+//!   cache; device blocks are allocated only at writeback time, so a file
+//!   written in many small appends still lands in a few large extents.
+//! * **Metadata-only journaling.** Metadata transactions (inode attributes,
+//!   extent maps, directories) are committed to a ring-buffer journal with
+//!   sequence numbers and checksums; file data is written in place and is
+//!   *not* journaled. Recovery replays the journal from the last
+//!   checkpoint; data never fsync'd may be lost, but metadata is always
+//!   consistent — the XFS contract.
+//! * **Page cache + readahead.** Reads are served from a DRAM page cache
+//!   ([`tvfs::PageCache`]) with sequential readahead.
+
+mod extalloc;
+mod fs;
+mod journal;
+mod layout;
+
+pub use extalloc::{AgAllocator, ExtentAllocator};
+pub use fs::{XeFs, XeOptions};
+pub use layout::BLOCK;

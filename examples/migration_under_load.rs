@@ -1,0 +1,94 @@
+//! The OCC Synchronizer under fire (paper §2.4): a writer hammers a file
+//! while Mux migrates it back and forth between tiers. Compare the
+//! optimistic protocol against whole-copy locking.
+//!
+//! ```text
+//! cargo run --release --example migration_under_load
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mux::BLOCK;
+use tvfs::{FileSystem, FileType, ROOT_INO};
+
+fn run(lock_based: bool) -> (u64, (u64, u64, u64, u64, u64), u64) {
+    let (mux, _clock, _devices) = mux_repro::default_hierarchy(64 << 20, 256 << 20, 1 << 30);
+    let file = mux
+        .create(ROOT_INO, "contended", FileType::Regular, 0o644)
+        .unwrap();
+    let blocks = 2048u64;
+    mux.write(file.ino, 0, &vec![1u8; (blocks * BLOCK) as usize])
+        .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let mux = Arc::clone(&mux);
+        let stop = Arc::clone(&stop);
+        let ops = Arc::clone(&ops);
+        let ino = file.ino;
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            let page = vec![7u8; BLOCK as usize];
+            while !stop.load(Ordering::Relaxed) {
+                mux.write(ino, (i % blocks) * BLOCK, &page).unwrap();
+                ops.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        })
+    };
+    // Count writer progress strictly inside the migration windows, so
+    // thread-scheduling gaps between rounds don't pollute the comparison.
+    let mut during = 0u64;
+    for round in 0..8 {
+        let to = if round % 2 == 0 { 1 } else { 2 };
+        let before = ops.load(Ordering::Relaxed);
+        if lock_based {
+            mux.migrate_range_lock_based(file.ino, 0, blocks, to)
+                .unwrap();
+        } else {
+            mux.migrate_range(file.ino, 0, blocks, to).unwrap();
+        }
+        during += ops.load(Ordering::Relaxed) - before;
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    // Integrity: every block readable and recent.
+    let mut buf = vec![0u8; (blocks * BLOCK) as usize];
+    mux.read(file.ino, 0, &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == 1 || b == 7), "data corrupted");
+    (
+        during,
+        mux.occ_stats().snapshot(),
+        mux.occ_stats().lock_hold_vns(),
+    )
+}
+
+fn main() {
+    println!("== migration under concurrent writes ==\n");
+    let (occ_ops, occ, occ_hold) = run(false);
+    println!("OCC synchronizer (paper §2.4):");
+    println!("  writer ops completed during 8 migrations: {occ_ops}");
+    println!(
+        "  exclusive-lock time (virtual): {:.1} µs — commits only",
+        occ_hold as f64 / 1e3
+    );
+    println!(
+        "  migrations={} conflicts={} retries={} lock-fallbacks={} blocks-moved={}",
+        occ.0, occ.1, occ.2, occ.3, occ.4
+    );
+    let (locked_ops, _, locked_hold) = run(true);
+    println!("\nlock-based migration (the traditional scheme):");
+    println!("  writer ops completed during 8 migrations: {locked_ops}");
+    println!(
+        "  exclusive-lock time (virtual): {:.1} µs — the whole copy",
+        locked_hold as f64 / 1e3
+    );
+    println!(
+        "\nOCC shrank the user-visible critical path {:.0}x: conflicts were\n\
+         detected and only the conflicting blocks were retried, instead of\n\
+         blocking every write for the whole copy.",
+        locked_hold as f64 / occ_hold.max(1) as f64
+    );
+}

@@ -1,0 +1,135 @@
+//! `mux-repro` — a from-scratch Rust reproduction of *"Rethinking Tiered
+//! Storage: Talk to File Systems, Not Device Drivers"* (HotOS '25).
+//!
+//! This umbrella crate re-exports the workspace so examples and downstream
+//! users have one dependency:
+//!
+//! * [`mux`] — the paper's contribution: the Mux tiered file system
+//!   (Block Lookup Table, metadata affinity, OCC migration, SCM cache,
+//!   policy runner).
+//! * [`tvfs`] — the VFS boundary both Mux and the native file systems
+//!   implement.
+//! * [`novafs`] / [`xefs`] / [`e4fs`] — device-specific native file
+//!   systems for PM / SSD / HDD.
+//! * [`strata`] — the monolithic tiered-file-system baseline.
+//! * [`simdev`] — simulated devices with deterministic virtual-time
+//!   accounting.
+//! * [`workloads`] — deterministic workload generators.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for paper-vs-measured results. Run the paper's
+//! tables and figures with `cargo run --release -p bench --bin repro`.
+
+pub mod config;
+
+pub use e4fs;
+pub use mux;
+pub use novafs;
+pub use simdev;
+pub use strata;
+pub use tvfs;
+pub use workloads;
+pub use xefs;
+
+use std::sync::Arc;
+
+use mux::cache::DaxWindow;
+use mux::{CacheConfig, CacheController, LruPolicy, Mux, MuxOptions, TierConfig};
+use simdev::{Device, DeviceClass, VirtualClock};
+use tvfs::{FileSystem, FileType, ROOT_INO};
+
+/// Builds the paper's reference hierarchy in one call: PM + SSD + HDD
+/// devices, NOVA-like / XFS-like / Ext4-like file systems, and a Mux with
+/// the paper's LRU policy — the fastest way to a working tiered file
+/// system.
+///
+/// Returns `(mux, clock, [pm, ssd, hdd])`. Tier ids: 0 = PM, 1 = SSD,
+/// 2 = HDD.
+///
+/// # Examples
+///
+/// ```
+/// use tvfs::{FileSystem, FileType, ROOT_INO};
+/// let (mux, _clock, _devs) = mux_repro::default_hierarchy(64 << 20, 256 << 20, 1 << 30);
+/// let f = mux.create(ROOT_INO, "hello", FileType::Regular, 0o644).unwrap();
+/// mux.write(f.ino, 0, b"tiered!").unwrap();
+/// let mut buf = [0u8; 7];
+/// mux.read(f.ino, 0, &mut buf).unwrap();
+/// assert_eq!(&buf, b"tiered!");
+/// ```
+pub fn default_hierarchy(
+    pm_bytes: u64,
+    ssd_bytes: u64,
+    hdd_bytes: u64,
+) -> (Arc<Mux>, VirtualClock, [Device; 3]) {
+    let clock = VirtualClock::new();
+    let pm = Device::with_profile(simdev::pmem(), pm_bytes, clock.clone());
+    let ssd = Device::with_profile(simdev::nvme_ssd(), ssd_bytes, clock.clone());
+    let hdd = Device::with_profile(simdev::hdd(), hdd_bytes, clock.clone());
+    let nova =
+        Arc::new(novafs::NovaFs::format(pm.clone(), novafs::NovaOptions::default()).unwrap());
+    let xe = Arc::new(xefs::XeFs::format(ssd.clone(), xefs::XeOptions::default()).unwrap());
+    let e4 = Arc::new(e4fs::E4Fs::format(hdd.clone(), e4fs::E4Options::default()).unwrap());
+    let m = Arc::new(Mux::new(
+        clock.clone(),
+        Arc::new(LruPolicy::default_watermarks()),
+        MuxOptions::default(),
+    ));
+    m.add_tier(
+        TierConfig {
+            name: "pm-nova".into(),
+            class: DeviceClass::Pmem,
+        },
+        nova as Arc<dyn FileSystem>,
+    );
+    m.add_tier(
+        TierConfig {
+            name: "ssd-xefs".into(),
+            class: DeviceClass::Ssd,
+        },
+        xe as Arc<dyn FileSystem>,
+    );
+    m.add_tier(
+        TierConfig {
+            name: "hdd-e4fs".into(),
+            class: DeviceClass::Hdd,
+        },
+        e4 as Arc<dyn FileSystem>,
+    );
+    (m, clock, [pm, ssd, hdd])
+}
+
+/// Builds the paper's §2.5 SCM cache: one preallocated cache file on the
+/// PM file system, DAX-mapped through its device extents, managed by the
+/// MGLRU cache controller. Attach the result with [`Mux::attach_cache`].
+///
+/// "Mux can create one file for all caches, which helps reduce the
+/// overhead of managing multiple files as well as disk fragmentation.
+/// Alternatively, Mux can preallocate the cache file to ensure cache
+/// availability and reduce block allocation overhead."
+pub fn scm_cache_on_nova(
+    nova: &novafs::NovaFs,
+    capacity_bytes: u64,
+    config: CacheConfig,
+) -> tvfs::VfsResult<Arc<CacheController>> {
+    // Create + preallocate the cache file (zero-fill forces allocation).
+    let attr = match nova.lookup(ROOT_INO, ".mux-cache") {
+        Ok(a) => a,
+        Err(tvfs::VfsError::NotFound) => {
+            nova.create(ROOT_INO, ".mux-cache", FileType::Regular, 0o600)?
+        }
+        Err(e) => return Err(e),
+    };
+    let chunk = 4u64 << 20;
+    let zeros = vec![0u8; chunk as usize];
+    let mut off = attr.size;
+    while off < capacity_bytes {
+        let n = chunk.min(capacity_bytes - off);
+        nova.write(attr.ino, off, &zeros[..n as usize])?;
+        off += n;
+    }
+    // DAX-map the file: raw device extents, no per-access FS calls.
+    let extents = nova.file_device_extents(attr.ino)?;
+    let window = DaxWindow::new(nova.device().clone(), extents);
+    Ok(Arc::new(CacheController::new(Box::new(window), config)))
+}

@@ -1,0 +1,137 @@
+//! Crash torture: random workloads, torn-write power failures, remount
+//! through each file system's real recovery path, verify that everything
+//! fsynced survives byte-for-byte and that the file system is consistent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simdev::{Device, FaultMode, VirtualClock};
+use tvfs::{FileSystem, FileType, ROOT_INO};
+
+const REGION: u64 = 32 * 4096;
+
+/// Runs a random workload with periodic fsync; returns the model content
+/// as of the last fsync (what must survive).
+fn torture(fs: &dyn FileSystem, seed: u64) -> (Vec<u8>, u64) {
+    let f = fs.create(ROOT_INO, "t", FileType::Regular, 0o644).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = vec![0u8; REGION as usize];
+    let mut size = 0u64;
+    for i in 0..120 {
+        let off = rng.gen_range(0..REGION - 1);
+        let len = rng.gen_range(1..8192).min(REGION - off);
+        let fill = rng.gen::<u8>();
+        fs.write(f.ino, off, &vec![fill; len as usize]).unwrap();
+        model[off as usize..(off + len) as usize].fill(fill);
+        size = size.max(off + len);
+        if i % 17 == 16 {
+            fs.fsync(f.ino).unwrap();
+        }
+    }
+    // Final fsync: the whole model state is now the durable frontier.
+    fs.fsync(f.ino).unwrap();
+    (model, size)
+}
+
+fn verify(fs: &dyn FileSystem, synced: &[u8], synced_size: u64) {
+    let f = fs.lookup(ROOT_INO, "t").expect("fsynced file must exist");
+    assert!(f.size >= synced_size, "size rolled back past last fsync");
+    let mut buf = vec![0u8; synced_size as usize];
+    let n = fs.read(f.ino, 0, &mut buf).unwrap();
+    assert_eq!(n as u64, synced_size);
+    assert_eq!(
+        &buf[..],
+        &synced[..synced_size as usize],
+        "fsynced content diverged"
+    );
+}
+
+#[test]
+fn novafs_survives_torn_write_crashes() {
+    for seed in 0..6u64 {
+        let dev = Device::with_profile(simdev::pmem(), 64 << 20, VirtualClock::new());
+        let (synced, synced_size) = {
+            let fs = novafs::NovaFs::format(dev.clone(), novafs::NovaOptions::default()).unwrap();
+            torture(&fs, seed)
+        };
+        dev.set_fault_mode(FaultMode::TornWrites { seed });
+        dev.crash();
+        dev.set_fault_mode(FaultMode::None);
+        let fs = novafs::NovaFs::mount(dev, novafs::NovaOptions::default()).unwrap();
+        verify(&fs, &synced, synced_size);
+    }
+}
+
+#[test]
+fn xefs_survives_torn_write_crashes() {
+    for seed in 0..6u64 {
+        let dev = Device::with_profile(simdev::nvme_ssd(), 64 << 20, VirtualClock::new());
+        let (synced, synced_size) = {
+            let fs = xefs::XeFs::format(dev.clone(), xefs::XeOptions::default()).unwrap();
+            torture(&fs, seed)
+        };
+        dev.set_fault_mode(FaultMode::TornWrites { seed });
+        dev.crash();
+        dev.set_fault_mode(FaultMode::None);
+        let fs = xefs::XeFs::mount(dev, xefs::XeOptions::default()).unwrap();
+        verify(&fs, &synced, synced_size);
+    }
+}
+
+#[test]
+fn e4fs_survives_torn_write_crashes() {
+    for seed in 0..6u64 {
+        let dev = Device::with_profile(simdev::hdd(), 128 << 20, VirtualClock::new());
+        let opts = e4fs::E4Options {
+            journal_blocks: 512,
+            blocks_per_group: 4096,
+            inodes_per_group: 128,
+            ..Default::default()
+        };
+        let (synced, synced_size) = {
+            let fs = e4fs::E4Fs::format(dev.clone(), opts.clone()).unwrap();
+            torture(&fs, seed)
+        };
+        dev.set_fault_mode(FaultMode::TornWrites { seed });
+        dev.crash();
+        dev.set_fault_mode(FaultMode::None);
+        let fs = e4fs::E4Fs::mount(dev, opts).unwrap();
+        verify(&fs, &synced, synced_size);
+    }
+}
+
+#[test]
+fn fail_stop_mid_workload_surfaces_errors_not_corruption() {
+    // A device that dies mid-run must produce I/O errors; after the device
+    // "recovers" (fault cleared + remount), previously fsynced data is
+    // still valid.
+    let dev = Device::with_profile(simdev::nvme_ssd(), 64 << 20, VirtualClock::new());
+    let fs = xefs::XeFs::format(dev.clone(), xefs::XeOptions::default()).unwrap();
+    let f = fs.create(ROOT_INO, "t", FileType::Regular, 0o644).unwrap();
+    fs.write(f.ino, 0, &vec![7u8; 64 * 1024]).unwrap();
+    fs.fsync(f.ino).unwrap();
+    dev.set_fault_mode(FaultMode::FailStop { remaining_ops: 3 });
+    // Keep writing until the device dies; the FS must return Err, not
+    // panic or corrupt.
+    let mut died = false;
+    for i in 0..64u64 {
+        if fs
+            .write(f.ino, i * 4096, &vec![9u8; 4096])
+            .and_then(|_| fs.fsync(f.ino))
+            .is_err()
+        {
+            died = true;
+            break;
+        }
+    }
+    assert!(died, "fail-stop never surfaced");
+    // Recover the device and remount.
+    dev.set_fault_mode(FaultMode::None);
+    dev.crash();
+    let fs2 = xefs::XeFs::mount(dev, xefs::XeOptions::default()).unwrap();
+    let f2 = fs2.lookup(ROOT_INO, "t").unwrap();
+    let mut buf = vec![0u8; 64 * 1024];
+    fs2.read(f2.ino, 0, &mut buf).unwrap();
+    // The originally fsynced bytes are either the old value or a newer
+    // fsynced one — never garbage.
+    assert!(buf.iter().all(|&b| b == 7 || b == 9));
+}

@@ -1,0 +1,200 @@
+//! Property tests run against all three native file systems: each must
+//! behave like a flat file model under arbitrary op sequences, and must
+//! survive a remount (novafs/e4fs/xefs recovery paths) with fsynced state
+//! intact.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use simdev::{Device, VirtualClock};
+use tvfs::{FileSystem, FileType, SetAttr, ROOT_INO};
+
+const REGION: u64 = 48 * 4096;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { off: u64, len: u64, fill: u8 },
+    Read { off: u64, len: u64 },
+    Punch { off: u64, len: u64 },
+    Truncate { size: u64 },
+    Fsync,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..REGION - 1, 1..12_000u64, any::<u8>())
+            .prop_map(|(off, len, fill)| Op::Write { off, len, fill }),
+        3 => (0..REGION, 1..16_000u64).prop_map(|(off, len)| Op::Read { off, len }),
+        1 => (0..REGION, 1..16_000u64).prop_map(|(off, len)| Op::Punch { off, len }),
+        1 => (0..REGION).prop_map(|size| Op::Truncate { size }),
+        1 => Just(Op::Fsync),
+    ]
+}
+
+struct Model {
+    data: Vec<u8>,
+    size: u64,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            data: vec![0u8; (2 * REGION) as usize],
+            size: 0,
+        }
+    }
+}
+
+fn check_ops(fs: Arc<dyn FileSystem>, ops: &[Op]) -> Result<(), TestCaseError> {
+    let f = fs.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+    let mut m = Model::new();
+    for op in ops {
+        match *op {
+            Op::Write { off, len, fill } => {
+                let len = len.min(REGION - off).max(1);
+                let buf = vec![fill; len as usize];
+                prop_assert_eq!(fs.write(f.ino, off, &buf).unwrap(), buf.len());
+                m.data[off as usize..off as usize + buf.len()].copy_from_slice(&buf);
+                m.size = m.size.max(off + len);
+            }
+            Op::Read { off, len } => {
+                let mut buf = vec![0u8; len as usize];
+                let n = fs.read(f.ino, off, &mut buf).unwrap();
+                let want_end = (off + len).min(m.size);
+                let want: &[u8] = if off >= m.size {
+                    &[]
+                } else {
+                    &m.data[off as usize..want_end as usize]
+                };
+                prop_assert_eq!(&buf[..n], want, "read {}+{} on {}", off, len, fs.fs_name());
+            }
+            Op::Punch { off, len } => {
+                fs.punch_hole(f.ino, off, len).unwrap();
+                let end = ((off + len) as usize).min(m.data.len());
+                m.data[off as usize..end].fill(0);
+            }
+            Op::Truncate { size } => {
+                fs.setattr(f.ino, &SetAttr::truncate(size)).unwrap();
+                if size < m.size {
+                    m.data[size as usize..m.size as usize].fill(0);
+                }
+                m.size = size;
+            }
+            Op::Fsync => {
+                fs.fsync(f.ino).unwrap();
+            }
+        }
+        prop_assert_eq!(fs.getattr(f.ino).unwrap().size, m.size);
+    }
+    let mut buf = vec![0u8; m.size as usize];
+    let n = fs.read(f.ino, 0, &mut buf).unwrap();
+    prop_assert_eq!(n as u64, m.size);
+    prop_assert_eq!(&buf[..], &m.data[..m.size as usize]);
+    Ok(())
+}
+
+/// Runs ops, syncs, remounts through the recovery path, and verifies the
+/// full content survived.
+fn check_remount<F, M>(format: F, mount: M, dev: Device, ops: &[Op]) -> Result<(), TestCaseError>
+where
+    F: FnOnce(Device) -> Arc<dyn FileSystem>,
+    M: FnOnce(Device) -> Arc<dyn FileSystem>,
+{
+    let mut m = Model::new();
+    {
+        let fs = format(dev.clone());
+        let f = fs.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+        for op in ops {
+            if let Op::Write { off, len, fill } = *op {
+                let len = len.min(REGION - off).max(1);
+                let buf = vec![fill; len as usize];
+                fs.write(f.ino, off, &buf).unwrap();
+                m.data[off as usize..off as usize + buf.len()].copy_from_slice(&buf);
+                m.size = m.size.max(off + len);
+            }
+        }
+        fs.sync().unwrap();
+    }
+    dev.crash(); // drop anything unflushed; sync'd state must survive
+    let fs = mount(dev);
+    let f = fs.lookup(ROOT_INO, "f").unwrap();
+    prop_assert_eq!(f.size, m.size);
+    let mut buf = vec![0u8; m.size as usize];
+    fs.read(f.ino, 0, &mut buf).unwrap();
+    prop_assert_eq!(&buf[..], &m.data[..m.size as usize]);
+    Ok(())
+}
+
+fn nova_dev() -> Device {
+    Device::with_profile(simdev::pmem(), 64 << 20, VirtualClock::new())
+}
+
+fn ssd_dev() -> Device {
+    Device::with_profile(simdev::nvme_ssd(), 64 << 20, VirtualClock::new())
+}
+
+fn hdd_dev() -> Device {
+    Device::with_profile(simdev::hdd(), 128 << 20, VirtualClock::new())
+}
+
+fn small_e4() -> e4fs::E4Options {
+    e4fs::E4Options {
+        journal_blocks: 512,
+        blocks_per_group: 4096,
+        inodes_per_group: 128,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn novafs_matches_model(ops in proptest::collection::vec(op_strategy(), 1..32)) {
+        let fs = Arc::new(novafs::NovaFs::format(nova_dev(), novafs::NovaOptions::default()).unwrap());
+        check_ops(fs, &ops)?;
+    }
+
+    #[test]
+    fn xefs_matches_model(ops in proptest::collection::vec(op_strategy(), 1..32)) {
+        let fs = Arc::new(xefs::XeFs::format(ssd_dev(), xefs::XeOptions::default()).unwrap());
+        check_ops(fs, &ops)?;
+    }
+
+    #[test]
+    fn e4fs_matches_model(ops in proptest::collection::vec(op_strategy(), 1..32)) {
+        let fs = Arc::new(e4fs::E4Fs::format(hdd_dev(), small_e4()).unwrap());
+        check_ops(fs, &ops)?;
+    }
+
+    #[test]
+    fn novafs_survives_remount(ops in proptest::collection::vec(op_strategy(), 1..16)) {
+        check_remount(
+            |d| Arc::new(novafs::NovaFs::format(d, novafs::NovaOptions::default()).unwrap()) as _,
+            |d| Arc::new(novafs::NovaFs::mount(d, novafs::NovaOptions::default()).unwrap()) as _,
+            nova_dev(),
+            &ops,
+        )?;
+    }
+
+    #[test]
+    fn xefs_survives_remount(ops in proptest::collection::vec(op_strategy(), 1..16)) {
+        check_remount(
+            |d| Arc::new(xefs::XeFs::format(d, xefs::XeOptions::default()).unwrap()) as _,
+            |d| Arc::new(xefs::XeFs::mount(d, xefs::XeOptions::default()).unwrap()) as _,
+            ssd_dev(),
+            &ops,
+        )?;
+    }
+
+    #[test]
+    fn e4fs_survives_remount(ops in proptest::collection::vec(op_strategy(), 1..16)) {
+        check_remount(
+            |d| Arc::new(e4fs::E4Fs::format(d, small_e4()).unwrap()) as _,
+            |d| Arc::new(e4fs::E4Fs::mount(d, small_e4()).unwrap()) as _,
+            hdd_dev(),
+            &ops,
+        )?;
+    }
+}
