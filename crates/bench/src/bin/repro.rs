@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--experiment fig3a|fig3b|read-overhead|write-overhead|
-//!        meta-overhead|ablation-occ|ablation-cache|ablation-policy|all]
+//!        meta-overhead|ablation-occ|ablation-cache|ablation-policy|
+//!        degraded-mode|all]
 //!       [--quick]
 //! ```
 //!
@@ -19,6 +20,7 @@ struct Scale {
     write_ops: usize,
     ablation_ops: usize,
     occ_rounds: usize,
+    degraded_ops: usize,
 }
 
 const FULL: Scale = Scale {
@@ -28,6 +30,7 @@ const FULL: Scale = Scale {
     write_ops: 48,
     ablation_ops: 8_000,
     occ_rounds: 6,
+    degraded_ops: 64,
 };
 
 const QUICK: Scale = Scale {
@@ -37,6 +40,7 @@ const QUICK: Scale = Scale {
     write_ops: 12,
     ablation_ops: 2_000,
     occ_rounds: 2,
+    degraded_ops: 16,
 };
 
 fn main() {
@@ -56,7 +60,7 @@ fn main() {
                     "usage: repro [--experiment NAME] [--quick]\n\
                      experiments: fig3a fig3b read-overhead write-overhead\n\
                      \x20            meta-overhead ablation-occ ablation-cache\n\
-                     \x20            ablation-policy all"
+                     \x20            ablation-policy degraded-mode all"
                 );
                 return;
             }
@@ -108,5 +112,10 @@ fn main() {
         let r = ex::ablation_policy(scale.ablation_ops);
         println!("{}", report::render_policy(&r));
         let _ = report::write_json("ablation_policy", &r);
+    }
+    if all || experiment == "degraded-mode" {
+        let r = ex::degraded_mode(scale.degraded_ops);
+        println!("{}", report::render_degraded(&r));
+        let _ = report::write_json("degraded_mode", &r);
     }
 }

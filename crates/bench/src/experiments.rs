@@ -777,3 +777,71 @@ fn blocks_on_tier(stack: &crate::testbed::MuxStack, ino: u64, tier: u32) -> u64 
         Err(_) => 0,
     }
 }
+
+// ---------------------------------------------------------------------
+// Robustness — degraded-mode throughput under a fenced tier
+// ---------------------------------------------------------------------
+
+/// Result of the degraded-mode experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct DegradedMode {
+    /// Overwrite throughput with every tier healthy (PM-resident), MB/s.
+    pub healthy_mbps: f64,
+    /// Overwrite throughput after the PM tier is forced Offline, so the
+    /// write path redirects every segment to the SSD, MB/s.
+    pub degraded_mbps: f64,
+    /// `degraded / healthy` — the cost of losing the fastest tier.
+    pub ratio: f64,
+    /// Redirected write segments observed during the degraded run.
+    pub redirected_writes: u64,
+    /// The tier that was fenced.
+    pub offline_tier: String,
+}
+
+/// Measures what fencing the fastest tier costs: a file is laid out on
+/// PM, then overwritten twice with 1 MiB sequential writes — once with
+/// all tiers healthy, once with PM forced Offline so the degradation
+/// backstop redirects every overwrite to the SSD.
+pub fn degraded_mode(n_writes: usize) -> DegradedMode {
+    let op = 1u64 << 20;
+    let run = |fence: bool| -> (f64, u64) {
+        let st = build_mux_stack(
+            Capacities::default(),
+            Arc::new(PinnedPolicy::new(0)),
+            MuxOptions::default(),
+        );
+        let ino = mk(st.mux.as_ref(), "f");
+        let payload = vec![0xA5u8; op as usize];
+        let mut seq = Sequential::new(n_writes as u64 * op, op);
+        for _ in 0..n_writes {
+            st.mux.write(ino, seq.next_off(), &payload).unwrap();
+        }
+        st.mux.fsync(ino).unwrap();
+        if fence {
+            st.mux
+                .health()
+                .force_state(0, mux::TierHealthState::Offline);
+        }
+        let before = st.mux.stats().snapshot().redirected_writes;
+        let mut seq = Sequential::new(n_writes as u64 * op, op);
+        let t0 = st.clock.now_ns();
+        for i in 0..n_writes {
+            st.mux.write(ino, seq.next_off(), &payload).unwrap();
+            if i % 8 == 7 {
+                st.mux.fsync(ino).unwrap();
+            }
+        }
+        st.mux.fsync(ino).unwrap();
+        let tp = mbps(n_writes as u64 * op, st.clock.now_ns() - t0);
+        (tp, st.mux.stats().snapshot().redirected_writes - before)
+    };
+    let (healthy_mbps, _) = run(false);
+    let (degraded_mbps, redirected_writes) = run(true);
+    DegradedMode {
+        healthy_mbps,
+        degraded_mbps,
+        ratio: degraded_mbps / healthy_mbps,
+        redirected_writes,
+        offline_tier: "PM (novafs)".into(),
+    }
+}

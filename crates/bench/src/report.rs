@@ -192,6 +192,29 @@ pub fn render_policy(rows: &[PolicyAblationRow]) -> String {
     s
 }
 
+/// Renders the degraded-mode (fenced-tier) experiment.
+pub fn render_degraded(d: &DegradedMode) -> String {
+    let body = vec![vec![
+        format!("{:.1}", d.healthy_mbps),
+        format!("{:.1}", d.degraded_mbps),
+        format!("{:.2}x", d.ratio),
+        d.redirected_writes.to_string(),
+        d.offline_tier.clone(),
+    ]];
+    let mut s = String::from("Robustness — overwrite throughput with the fastest tier fenced\n");
+    s += &table(
+        &[
+            "healthy MB/s",
+            "degraded MB/s",
+            "ratio",
+            "redirected",
+            "fenced tier",
+        ],
+        &body,
+    );
+    s
+}
+
 /// Writes any serializable result as JSON next to the binary.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
     std::fs::create_dir_all("bench_results")?;

@@ -210,7 +210,11 @@ impl CacheController {
                         let Some(victim) = inner.lru.evict() else {
                             return Ok(()); // zero-capacity cache
                         };
-                        let s = inner.map.remove(&victim).expect("tracked");
+                        let Some(s) = inner.map.remove(&victim) else {
+                            // LRU and map disagree — drop the fill rather
+                            // than panic; the cache is best-effort.
+                            return Ok(());
+                        };
                         inner.rev.remove(&s);
                         s
                     }

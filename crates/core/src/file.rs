@@ -147,6 +147,28 @@ pub fn clip_ranges(dirty: &[(u64, u64)], block: u64, n: u64) -> Vec<(u64, u64)> 
     merged
 }
 
+/// The complement of `excluded` within `[block, block+n)`: the sub-ranges
+/// NOT covered by any excluded range. Used by the fault-abort path to
+/// partially commit the blocks of a failed migration round that did copy
+/// and validate (everything outside `remaining ∪ dirty`).
+pub fn subtract_ranges(block: u64, n: u64, excluded: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let end = block + n;
+    // Clip + merge the exclusions first so gaps between them are exact.
+    let holes = clip_ranges(excluded, block, n);
+    let mut out = Vec::new();
+    let mut cur = block;
+    for (s, l) in holes {
+        if s > cur {
+            out.push((cur, s - cur));
+        }
+        cur = s + l;
+    }
+    if cur < end {
+        out.push((cur, end - cur));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +231,23 @@ mod tests {
         assert_eq!(clip_ranges(&dirty, 11, 20), vec![(11, 7), (30, 1)]);
         assert!(clip_ranges(&dirty, 100, 5).is_empty());
         assert!(clip_ranges(&[], 0, 10).is_empty());
+    }
+
+    #[test]
+    fn subtract_ranges_complements_within_window() {
+        // Window [10, 20), holes (12,2) and (16,1) → keep (10,2),(14,2),(17,3).
+        assert_eq!(
+            subtract_ranges(10, 10, &[(12, 2), (16, 1)]),
+            vec![(10, 2), (14, 2), (17, 3)]
+        );
+        // No holes → the whole window.
+        assert_eq!(subtract_ranges(5, 3, &[]), vec![(5, 3)]);
+        // Hole covers everything → nothing kept.
+        assert!(subtract_ranges(5, 3, &[(0, 100)]).is_empty());
+        // Holes outside the window are ignored.
+        assert_eq!(subtract_ranges(5, 3, &[(100, 4)]), vec![(5, 3)]);
+        // Overlapping holes merge before subtraction.
+        assert_eq!(subtract_ranges(0, 10, &[(2, 3), (4, 2)]), vec![(0, 2), (6, 4)]);
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! Tier health tracking and the circuit breaker (fault tolerance).
+//!
+//! Devices fail partially and intermittently long before they fail
+//! completely. Mux tracks per-tier health from the outcome of every native
+//! dispatch and drives a circuit breaker through four states:
+//!
+//! ```text
+//!   Healthy ──errors──▶ Degraded ──errors──▶ ReadOnly ──errors──▶ Offline
+//!      ▲                   │                     │                   │
+//!      └────success────────┘                (reset only)        (reset only)
+//! ```
+//!
+//! * **Healthy** — full service.
+//! * **Degraded** — errors observed recently; the tier still serves reads
+//!   and writes but placement prefers healthier tiers. Recovers to
+//!   `Healthy` on the next success.
+//! * **ReadOnly** — the error streak crossed the read-only threshold; new
+//!   writes and cache fills are redirected to the healthiest remaining
+//!   tier. Existing data stays readable (and should be evacuated).
+//! * **Offline** — the breaker is latched: the tier is not dispatched to
+//!   at all; reads fall through to surviving replicas. Only an explicit
+//!   [`HealthRegistry::reset`] (operator action) re-admits the tier.
+//!
+//! Two signals trip the breaker: a *consecutive-error* streak (fail-stop
+//! devices) and a *windowed error rate* (flaky links that interleave
+//! successes). Transient errors are additionally absorbed by a bounded
+//! retry-with-backoff loop around every tier dispatch
+//! (`Mux::tier_io`); backoff is charged on the shared virtual clock, so
+//! fault scenarios stay deterministic.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::types::TierId;
+
+/// Circuit-breaker state of one tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TierHealthState {
+    /// Full service.
+    #[default]
+    Healthy,
+    /// Recent errors: still serving, placement prefers other tiers.
+    Degraded,
+    /// Writes redirected away; reads (and evacuation) still allowed.
+    ReadOnly,
+    /// Latched off: no dispatches until an explicit reset.
+    Offline,
+}
+
+impl TierHealthState {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TierHealthState::Healthy => "healthy",
+            TierHealthState::Degraded => "degraded",
+            TierHealthState::ReadOnly => "read-only",
+            TierHealthState::Offline => "offline",
+        }
+    }
+}
+
+/// Thresholds and retry policy for the health subsystem.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Consecutive I/O errors before `Healthy` → `Degraded`.
+    pub degraded_after: u32,
+    /// Consecutive I/O errors before the tier turns `ReadOnly`.
+    pub read_only_after: u32,
+    /// Consecutive I/O errors before the breaker latches `Offline`.
+    pub offline_after: u32,
+    /// Rolling window (operations) for the error-rate signal.
+    pub window_ops: u32,
+    /// Error rate within the window that forces at least `Degraded`.
+    pub window_error_rate: f64,
+    /// Bounded retries per dispatch before the error surfaces.
+    pub io_retries: u32,
+    /// Virtual-ns backoff before the first retry (doubles per attempt).
+    pub backoff_base_ns: u64,
+    /// Backoff cap in virtual ns.
+    pub backoff_max_ns: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            degraded_after: 1,
+            read_only_after: 8,
+            offline_after: 16,
+            window_ops: 64,
+            window_error_rate: 0.5,
+            io_retries: 3,
+            backoff_base_ns: 100_000,
+            backoff_max_ns: 10_000_000,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Exponential backoff for retry `attempt` (1-based), capped.
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(32);
+        (self.backoff_base_ns << shift).min(self.backoff_max_ns)
+    }
+}
+
+/// Point-in-time view of one tier's health counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSnapshot {
+    /// Current breaker state.
+    pub state: TierHealthState,
+    /// Current consecutive-error streak.
+    pub consecutive_errors: u32,
+    /// Total I/O errors observed (including retried ones).
+    pub errors: u64,
+    /// Total successful dispatches.
+    pub successes: u64,
+    /// Total retries issued by the backoff loop.
+    pub retries: u64,
+    /// Breaker escalations (state transitions toward worse states).
+    pub trips: u64,
+}
+
+#[derive(Debug, Default)]
+struct TierHealth {
+    state: TierHealthState,
+    consecutive_errors: u32,
+    /// Rolling outcome window: bit i of `window` = error (1) / success (0);
+    /// `window_len` ≤ `config.window_ops` (≤ 64) entries are valid.
+    window: u64,
+    window_len: u32,
+    errors: u64,
+    successes: u64,
+    retries: u64,
+    trips: u64,
+}
+
+impl TierHealth {
+    fn push_window(&mut self, error: bool, cap: u32) {
+        self.window = (self.window << 1) | error as u64;
+        self.window_len = (self.window_len + 1).min(cap.min(64));
+    }
+
+    fn window_rate(&self, cap: u32) -> f64 {
+        let n = self.window_len.min(cap.min(64));
+        if n == 0 {
+            return 0.0;
+        }
+        let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        (self.window & mask).count_ones() as f64 / n as f64
+    }
+}
+
+/// Per-tier health state for one Mux instance.
+#[derive(Debug)]
+pub struct HealthRegistry {
+    config: HealthConfig,
+    tiers: Mutex<HashMap<TierId, TierHealth>>,
+}
+
+impl HealthRegistry {
+    /// Empty registry (tiers appear on first record/query, as `Healthy`).
+    pub fn new(config: HealthConfig) -> Self {
+        HealthRegistry {
+            config,
+            tiers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The thresholds and retry policy in force.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// Current breaker state of a tier.
+    pub fn state(&self, tier: TierId) -> TierHealthState {
+        self.tiers
+            .lock()
+            .get(&tier)
+            .map(|t| t.state)
+            .unwrap_or_default()
+    }
+
+    /// Whether new writes / cache fills may target this tier.
+    pub fn can_write(&self, tier: TierId) -> bool {
+        matches!(
+            self.state(tier),
+            TierHealthState::Healthy | TierHealthState::Degraded
+        )
+    }
+
+    /// Whether reads may be dispatched to this tier.
+    pub fn can_read(&self, tier: TierId) -> bool {
+        self.state(tier) != TierHealthState::Offline
+    }
+
+    /// Records a successful dispatch: clears the streak; a `Degraded` tier
+    /// recovers to `Healthy` once its windowed error rate is back under
+    /// the threshold. `ReadOnly`/`Offline` stay latched (reset only).
+    pub fn record_success(&self, tier: TierId) {
+        let mut tiers = self.tiers.lock();
+        let h = tiers.entry(tier).or_default();
+        h.successes += 1;
+        h.consecutive_errors = 0;
+        h.push_window(false, self.config.window_ops);
+        if h.state == TierHealthState::Degraded
+            && h.window_rate(self.config.window_ops) < self.config.window_error_rate
+        {
+            h.state = TierHealthState::Healthy;
+        }
+    }
+
+    /// Records a failed dispatch and runs the breaker; returns the
+    /// (possibly escalated) state.
+    pub fn record_error(&self, tier: TierId) -> TierHealthState {
+        let mut tiers = self.tiers.lock();
+        let h = tiers.entry(tier).or_default();
+        h.errors += 1;
+        h.consecutive_errors += 1;
+        h.push_window(true, self.config.window_ops);
+        let c = h.consecutive_errors;
+        let cfg = &self.config;
+        let mut next = h.state;
+        if c >= cfg.offline_after {
+            next = TierHealthState::Offline;
+        } else if c >= cfg.read_only_after {
+            next = next.max(TierHealthState::ReadOnly);
+        } else if c >= cfg.degraded_after
+            || (h.window_len >= cfg.window_ops.min(64)
+                && h.window_rate(cfg.window_ops) >= cfg.window_error_rate)
+        {
+            next = next.max(TierHealthState::Degraded);
+        }
+        if next > h.state {
+            h.trips += 1;
+            h.state = next;
+        }
+        h.state
+    }
+
+    /// Records one retry issued by the backoff loop.
+    pub fn record_retry(&self, tier: TierId) {
+        self.tiers.lock().entry(tier).or_default().retries += 1;
+    }
+
+    /// Operator action: re-admits a tier (clears the breaker and streak;
+    /// cumulative counters are kept).
+    pub fn reset(&self, tier: TierId) {
+        let mut tiers = self.tiers.lock();
+        let h = tiers.entry(tier).or_default();
+        h.state = TierHealthState::Healthy;
+        h.consecutive_errors = 0;
+        h.window = 0;
+        h.window_len = 0;
+    }
+
+    /// Forces a breaker state (operator action / tests): e.g. proactively
+    /// fencing a tier `ReadOnly` before planned maintenance.
+    pub fn force_state(&self, tier: TierId, state: TierHealthState) {
+        let mut tiers = self.tiers.lock();
+        let h = tiers.entry(tier).or_default();
+        if state > h.state {
+            h.trips += 1;
+        }
+        h.state = state;
+    }
+
+    /// Counter snapshot for one tier.
+    pub fn snapshot(&self, tier: TierId) -> HealthSnapshot {
+        let tiers = self.tiers.lock();
+        let h = tiers.get(&tier);
+        HealthSnapshot {
+            state: h.map(|t| t.state).unwrap_or_default(),
+            consecutive_errors: h.map(|t| t.consecutive_errors).unwrap_or(0),
+            errors: h.map(|t| t.errors).unwrap_or(0),
+            successes: h.map(|t| t.successes).unwrap_or(0),
+            retries: h.map(|t| t.retries).unwrap_or(0),
+            trips: h.map(|t| t.trips).unwrap_or(0),
+        }
+    }
+}
+
+impl Default for HealthRegistry {
+    fn default() -> Self {
+        Self::new(HealthConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> HealthRegistry {
+        HealthRegistry::new(HealthConfig {
+            degraded_after: 1,
+            read_only_after: 3,
+            offline_after: 5,
+            window_ops: 8,
+            window_error_rate: 0.5,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn fresh_tier_is_healthy_and_serves_both_directions() {
+        let r = reg();
+        assert_eq!(r.state(0), TierHealthState::Healthy);
+        assert!(r.can_read(0));
+        assert!(r.can_write(0));
+    }
+
+    #[test]
+    fn escalates_through_states_and_latches_offline() {
+        let r = reg();
+        assert_eq!(r.record_error(0), TierHealthState::Degraded);
+        assert_eq!(r.record_error(0), TierHealthState::Degraded);
+        assert_eq!(r.record_error(0), TierHealthState::ReadOnly);
+        assert!(!r.can_write(0));
+        assert!(r.can_read(0));
+        r.record_error(0);
+        assert_eq!(r.record_error(0), TierHealthState::Offline);
+        assert!(!r.can_read(0));
+        // Offline is latched: successes do not resurrect the tier.
+        r.record_success(0);
+        assert_eq!(r.state(0), TierHealthState::Offline);
+        assert_eq!(r.snapshot(0).trips, 3, "one trip per escalation");
+    }
+
+    #[test]
+    fn degraded_recovers_on_success() {
+        let r = reg();
+        r.record_error(0);
+        assert_eq!(r.state(0), TierHealthState::Degraded);
+        // Enough successes to pull the windowed rate under the threshold.
+        for _ in 0..8 {
+            r.record_success(0);
+        }
+        assert_eq!(r.state(0), TierHealthState::Healthy);
+    }
+
+    #[test]
+    fn read_only_does_not_recover_without_reset() {
+        let r = reg();
+        for _ in 0..3 {
+            r.record_error(0);
+        }
+        assert_eq!(r.state(0), TierHealthState::ReadOnly);
+        for _ in 0..20 {
+            r.record_success(0);
+        }
+        assert_eq!(r.state(0), TierHealthState::ReadOnly);
+        r.reset(0);
+        assert_eq!(r.state(0), TierHealthState::Healthy);
+    }
+
+    #[test]
+    fn window_rate_trips_degraded_despite_interleaved_successes() {
+        let r = HealthRegistry::new(HealthConfig {
+            degraded_after: 100, // streak alone never trips
+            read_only_after: 200,
+            offline_after: 300,
+            window_ops: 8,
+            window_error_rate: 0.5,
+            ..Default::default()
+        });
+        // Alternate success/error: streak never exceeds 1, but the window
+        // holds 50% errors once full.
+        for _ in 0..8 {
+            r.record_success(0);
+            r.record_error(0);
+        }
+        assert_eq!(r.state(0), TierHealthState::Degraded);
+    }
+
+    #[test]
+    fn tiers_are_independent() {
+        let r = reg();
+        for _ in 0..5 {
+            r.record_error(1);
+        }
+        assert_eq!(r.state(1), TierHealthState::Offline);
+        assert_eq!(r.state(0), TierHealthState::Healthy);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = HealthConfig {
+            backoff_base_ns: 1000,
+            backoff_max_ns: 6000,
+            ..Default::default()
+        };
+        assert_eq!(cfg.backoff_ns(1), 1000);
+        assert_eq!(cfg.backoff_ns(2), 2000);
+        assert_eq!(cfg.backoff_ns(3), 4000);
+        assert_eq!(cfg.backoff_ns(4), 6000, "capped");
+        assert_eq!(cfg.backoff_ns(60), 6000, "shift-safe far past the cap");
+    }
+
+    #[test]
+    fn force_state_and_counters() {
+        let r = reg();
+        r.force_state(0, TierHealthState::ReadOnly);
+        assert!(!r.can_write(0));
+        r.record_retry(0);
+        r.record_retry(0);
+        let s = r.snapshot(0);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.state, TierHealthState::ReadOnly);
+        assert_eq!(s.trips, 1);
+    }
+}

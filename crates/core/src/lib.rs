@@ -23,12 +23,14 @@
 //! | Cache Controller     | [`cache`] + [`mglru`] — the SCM cache file with multi-generational LRU |
 //!
 //! Plus the §4 discussion items that have concrete implementations here:
-//! the device-profile-driven I/O [`sched`]uler and runtime tier
-//! add/remove.
+//! the device-profile-driven I/O [`sched`]uler, runtime tier add/remove,
+//! and per-tier fault tolerance ([`health`] — circuit breaker, bounded
+//! retry with backoff, and graceful degradation when a device sickens).
 
 pub mod blt;
 pub mod cache;
 pub mod file;
+pub mod health;
 pub mod meta;
 pub mod mglru;
 mod mux;
@@ -42,6 +44,7 @@ pub mod types;
 
 pub use blt::BlockLookupTable;
 pub use cache::{CacheConfig, CacheController};
+pub use health::{HealthConfig, HealthRegistry, HealthSnapshot, TierHealthState};
 pub use meta::{AttrKind, CollectiveInode};
 pub use mux::{Mux, TierHandle};
 pub use occ::{MigrationOutcome, OccStats};

@@ -20,6 +20,7 @@ use tvfs::{
 
 use crate::cache::CacheController;
 use crate::file::{MuxFile, MuxIno};
+use crate::health::{HealthRegistry, HealthSnapshot};
 use crate::meta::{AttrKind, CollectiveInode};
 use crate::occ::OccStats;
 use crate::policy::{PlacementCtx, TierStatus, TieringPolicy};
@@ -161,6 +162,8 @@ pub struct Mux {
     /// serialization happens via `MuxFile::migrating`).
     pub(crate) meta_mutations: AtomicU64,
     pub(crate) metafile: Mutex<Option<crate::persist::MetafileHandle>>,
+    /// Per-tier circuit breaker (see [`crate::health`]).
+    pub(crate) health: HealthRegistry,
 }
 
 impl Mux {
@@ -181,6 +184,7 @@ impl Mux {
                 },
             },
         );
+        let health = HealthRegistry::new(opts.health.clone());
         Mux {
             opts,
             clock,
@@ -195,6 +199,7 @@ impl Mux {
             sched: IoScheduler::new(),
             meta_mutations: AtomicU64::new(0),
             metafile: Mutex::new(None),
+            health,
         }
     }
 
@@ -254,6 +259,16 @@ impl Mux {
         &self.sched
     }
 
+    /// The per-tier circuit breaker (inspect, reset, or fence tiers).
+    pub fn health(&self) -> &HealthRegistry {
+        &self.health
+    }
+
+    /// Health counters of one tier.
+    pub fn tier_health(&self, tier: TierId) -> HealthSnapshot {
+        self.health.snapshot(tier)
+    }
+
     /// Current tier table (id, name, class, space) as shown to policies;
     /// draining tiers are excluded.
     pub fn tier_status(&self) -> Vec<TierStatus> {
@@ -274,6 +289,7 @@ impl Mux {
                     class: t.config.class,
                     free_bytes: st.free_bytes,
                     total_bytes: st.total_bytes,
+                    health: self.health.state(t.id),
                 }
             })
             .collect()
@@ -303,6 +319,145 @@ impl Mux {
             .ok_or(VfsError::NotFound)
     }
 
+    /// A file's block placement as `(block, n_blocks, tier)` extents in
+    /// file order — where the data actually lives after placement,
+    /// migration, or fault-driven redirection.
+    pub fn file_placement(&self, ino: MuxIno) -> VfsResult<Vec<(u64, u64, TierId)>> {
+        let file = self.get_file(ino)?;
+        let state = file.state.read();
+        Ok(state
+            .blt
+            .extents()
+            .into_iter()
+            .map(|e| (e.start, e.len, e.value))
+            .collect())
+    }
+
+    /// Runs one native-tier dispatch through the bounded
+    /// retry-with-backoff loop, feeding the outcome to the circuit
+    /// breaker. Only transient [`VfsError::Io`] errors are retried —
+    /// `NoSpace`, `InvalidArgument`, etc. surface immediately. Backoff is
+    /// charged on the shared virtual clock, so retry schedules are
+    /// deterministic. Retrying stops early if the breaker latches the tier
+    /// `Offline` mid-loop.
+    pub(crate) fn tier_io<T>(
+        &self,
+        tier: TierId,
+        mut op: impl FnMut() -> VfsResult<T>,
+    ) -> VfsResult<T> {
+        let cfg = self.health.config();
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => {
+                    self.health.record_success(tier);
+                    return Ok(v);
+                }
+                Err(VfsError::Io(e)) => {
+                    MuxStats::add(&self.stats.io_errors, 1);
+                    self.health.record_error(tier);
+                    if attempt >= cfg.io_retries || !self.health.can_read(tier) {
+                        return Err(VfsError::Io(e));
+                    }
+                    attempt += 1;
+                    MuxStats::add(&self.stats.io_retries, 1);
+                    self.health.record_retry(tier);
+                    self.sched.note_retry(tier);
+                    self.charge(cfg.backoff_ns(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The best tier that can accept `need` bytes of new data right now:
+    /// healthier before sicker, then faster class, then most free space.
+    /// `exclude` additionally vetoes one tier (the one being avoided).
+    pub(crate) fn healthiest_writable_tier(
+        &self,
+        need: u64,
+        exclude: Option<TierId>,
+    ) -> VfsResult<TierId> {
+        self.tier_status()
+            .into_iter()
+            .filter(|t| Some(t.id) != exclude && t.is_writable() && t.free_bytes > need)
+            .min_by_key(|t| (t.health, t.class, u64::MAX - t.free_bytes))
+            .map(|t| t.id)
+            .ok_or_else(|| VfsError::Io("no writable tier with space left".into()))
+    }
+
+    /// Reads one full block by any means available: the owning tier (with
+    /// retries) if it is not offline, else the block's replica. Used for
+    /// redirect merges and for evacuating sick tiers.
+    pub(crate) fn read_block_anyhow(
+        &self,
+        file: &MuxFile,
+        tier: TierId,
+        block: u64,
+        page: &mut [u8],
+    ) -> VfsResult<usize> {
+        if self.health.can_read(tier) {
+            let handle = self.tier(tier)?;
+            let nino = self.ensure_native(file, tier)?;
+            match self.tier_io(tier, || handle.fs.read(nino, block * BLOCK, &mut *page)) {
+                Ok(got) => return Ok(got),
+                Err(VfsError::Io(_)) => {} // fall through to the replica
+                Err(e) => return Err(e),
+            }
+        }
+        let rep = file.state.read().replicas.get(block);
+        match rep.filter(|&rt| rt != tier) {
+            Some(rt) => {
+                let rh = self.tier(rt)?;
+                let rino = self.ensure_native(file, rt)?;
+                MuxStats::add(&self.stats.replica_failovers, 1);
+                self.tier_io(rt, || rh.fs.read(rino, block * BLOCK, &mut *page))
+            }
+            None => Err(VfsError::Io(format!(
+                "tier {tier} unreadable and block {block} has no replica"
+            ))),
+        }
+    }
+
+    /// Prepares redirecting an overwrite of `[seg_off, seg_off+seg_len)`
+    /// from sick tier `from` to tier `to`: any partially-covered boundary
+    /// block has its *old* content copied to `to` first, so swinging the
+    /// whole block's BLT entry to `to` never loses the bytes outside the
+    /// user's write.
+    fn merge_boundary_blocks(
+        &self,
+        file: &MuxFile,
+        from: TierId,
+        to: TierId,
+        seg_off: u64,
+        seg_len: u64,
+    ) -> VfsResult<()> {
+        let seg_end = seg_off + seg_len;
+        let b0 = seg_off / BLOCK;
+        let b1 = (seg_end - 1) / BLOCK;
+        let mut partial = Vec::new();
+        if !seg_off.is_multiple_of(BLOCK) {
+            partial.push(b0);
+        }
+        if !seg_end.is_multiple_of(BLOCK) && !partial.contains(&b1) {
+            partial.push(b1);
+        }
+        for block in partial {
+            let mut page = vec![0u8; BLOCK as usize];
+            // Short native reads leave trailing zeros, which is the
+            // correct sparse content.
+            self.read_block_anyhow(file, from, block, &mut page)?;
+            let handle = self.tier(to)?;
+            let nino = self.ensure_native(file, to)?;
+            self.charge(self.opts.cost.dispatch_ns);
+            let wrote = self.tier_io(to, || handle.fs.write(nino, block * BLOCK, &page))?;
+            if wrote != page.len() {
+                return Err(VfsError::Io("short redirect write".into()));
+            }
+        }
+        Ok(())
+    }
+
     pub(crate) fn note_meta_mutation(&self) {
         let n = self.meta_mutations.fetch_add(1, Ordering::Relaxed) + 1;
         if self.opts.snapshot_every > 0 && n.is_multiple_of(self.opts.snapshot_every) {
@@ -324,18 +479,22 @@ impl Mux {
         };
         let mut cur = handle.fs.root_ino();
         for comp in &comps {
-            cur = match handle.fs.lookup(cur, comp) {
+            cur = match self.tier_io(tier, || handle.fs.lookup(cur, comp)) {
                 Ok(a) if a.is_dir() => a.ino,
                 Ok(_) => return Err(VfsError::NotDir),
                 Err(VfsError::NotFound) => {
-                    handle.fs.create(cur, comp, FileType::Directory, 0o755)?.ino
+                    self.tier_io(tier, || handle.fs.create(cur, comp, FileType::Directory, 0o755))?
+                        .ino
                 }
                 Err(e) => return Err(e),
             };
         }
-        let nino = match handle.fs.lookup(cur, &name) {
+        let nino = match self.tier_io(tier, || handle.fs.lookup(cur, &name)) {
             Ok(a) => a.ino,
-            Err(VfsError::NotFound) => handle.fs.create(cur, &name, FileType::Regular, 0o644)?.ino,
+            Err(VfsError::NotFound) => {
+                self.tier_io(tier, || handle.fs.create(cur, &name, FileType::Regular, 0o644))?
+                    .ino
+            }
             Err(e) => return Err(e),
         };
         file.state.write().native.insert(tier, nino);
@@ -849,7 +1008,8 @@ impl FileSystem for Mux {
                 if let Some(c) = &cache {
                     if c.should_cache(handle.config.class) {
                         let mut page = vec![0u8; BLOCK as usize];
-                        if c.lookup(ino, block, &mut page)? {
+                        // The cache is best-effort: a backend error is a miss.
+                        if c.lookup(ino, block, &mut page).unwrap_or(false) {
                             let in_pg = (cur % BLOCK) as usize;
                             dst.copy_from_slice(&page[in_pg..in_pg + dst.len()]);
                             MuxStats::add(&self.stats.cache_hits, 1);
@@ -860,10 +1020,19 @@ impl FileSystem for Mux {
                     }
                 }
                 if !served {
-                    let nino = self.ensure_native(&file, seg.value)?;
-                    self.charge(cost.dispatch_ns);
-                    MuxStats::add(&self.stats.dispatches, 1);
-                    let got = match handle.fs.read(nino, cur, dst) {
+                    let mut primary_nino = None;
+                    let primary = if self.health.can_read(seg.value) {
+                        let nino = self.ensure_native(&file, seg.value)?;
+                        primary_nino = Some(nino);
+                        self.charge(cost.dispatch_ns);
+                        MuxStats::add(&self.stats.dispatches, 1);
+                        self.tier_io(seg.value, || handle.fs.read(nino, cur, &mut *dst))
+                    } else {
+                        // Offline tier: don't dispatch, go straight to the
+                        // replica (or error) below.
+                        Err(VfsError::Io(format!("tier {} is offline", seg.value)))
+                    };
+                    let got = match primary {
                         Ok(got) => got,
                         Err(VfsError::Io(primary_err)) => {
                             // Primary tier failed: fail over to a replica
@@ -874,7 +1043,12 @@ impl FileSystem for Mux {
                                     let rh = self.tier(rt)?;
                                     let rino = self.ensure_native(&file, rt)?;
                                     self.charge(cost.dispatch_ns);
-                                    rh.fs.read(rino, cur, dst)?
+                                    MuxStats::add(&self.stats.dispatches, 1);
+                                    let got =
+                                        self.tier_io(rt, || rh.fs.read(rino, cur, &mut *dst))?;
+                                    MuxStats::add(&self.stats.replica_failovers, 1);
+                                    primary_nino = None; // don't cache-fill off the sick tier
+                                    got
                                 }
                                 _ => return Err(VfsError::Io(primary_err)),
                             }
@@ -885,15 +1059,15 @@ impl FileSystem for Mux {
                     if got < dst.len() {
                         dst[got..].fill(0);
                     }
-                    if let Some(c) = &cache {
+                    if let (Some(nino), Some(c)) = (primary_nino, &cache) {
                         if c.should_cache(handle.config.class) {
                             // Fill the whole block (page-granular cache);
-                            // best-effort — a failing primary (already
-                            // served via replica) must not fail the read.
+                            // best-effort — fill failures must not fail
+                            // the read.
                             let mut page = vec![0u8; BLOCK as usize];
                             if let Ok(got) = handle.fs.read(nino, block * BLOCK, &mut page) {
                                 if got > 0 {
-                                    c.fill(ino, block, &page)?;
+                                    let _ = c.fill(ino, block, &page);
                                 }
                             }
                         }
@@ -936,7 +1110,25 @@ impl FileSystem for Mux {
         let file = self.get_file(ino)?;
         let now = self.now();
         let _io = file.io_lock.read();
-        let plan = self.plan_write(&file, off, data.len() as u64, false)?;
+        let mut plan = self.plan_write(&file, off, data.len() as u64, false)?;
+        // Graceful degradation backstop: segments aimed at a tier the
+        // circuit breaker has fenced (ReadOnly/Offline) — typically
+        // already-mapped blocks the policy cannot re-place — are
+        // redirected to the healthiest tier with room. Boundary blocks
+        // only partially covered by the write have their old content
+        // merged over first, then the BLT swings the whole block.
+        for entry in plan.iter_mut() {
+            let (tier, seg_off, seg_len, fresh) = *entry;
+            if self.health.can_write(tier) {
+                continue;
+            }
+            let to = self.healthiest_writable_tier(seg_len, Some(tier))?;
+            if !fresh {
+                self.merge_boundary_blocks(&file, tier, to, seg_off, seg_len)?;
+            }
+            *entry = (to, seg_off, seg_len, true);
+            MuxStats::add(&self.stats.redirected_writes, 1);
+        }
         let mut split_tiers = std::collections::HashSet::new();
         let mut last_tier = 0;
         for &(tier, seg_off, seg_len, _fresh) in &plan {
@@ -950,7 +1142,7 @@ impl FileSystem for Mux {
                 self.charge(cost.dispatch_ns + extra_per_kib * sub_len.div_ceil(1024));
                 MuxStats::add(&self.stats.dispatches, 1);
                 let src = &data[(sub_off - off) as usize..(sub_off - off + sub_len) as usize];
-                let wrote = handle.fs.write(nino, sub_off, src)?;
+                let wrote = self.tier_io(tier, || handle.fs.write(nino, sub_off, src))?;
                 if wrote != src.len() {
                     return Err(VfsError::Io("short native write".into()));
                 }
@@ -1066,9 +1258,14 @@ impl FileSystem for Mux {
             st.native.iter().map(|(&t, &n)| (t, n)).collect()
         };
         for (tid, nino) in &natives {
+            if !self.health.can_read(*tid) {
+                // Offline tier: nothing reachable to flush; surviving
+                // tiers still synchronize rather than wedging every fsync.
+                continue;
+            }
             self.charge(self.opts.cost.dispatch_ns);
             let handle = self.tier(*tid)?;
-            handle.fs.fsync(*nino)?;
+            self.tier_io(*tid, || handle.fs.fsync(*nino))?;
         }
         // Lazy metadata sync: push collective-inode values to tiers whose
         // native copies went stale when affinity moved.
@@ -1102,7 +1299,10 @@ impl FileSystem for Mux {
     fn sync(&self) -> VfsResult<()> {
         self.charge(self.opts.cost.call_processor_ns);
         for t in self.tiers.read().iter() {
-            t.fs.sync()?;
+            if !self.health.can_read(t.id) {
+                continue; // offline: skip rather than wedge global sync
+            }
+            self.tier_io(t.id, || t.fs.sync())?;
         }
         self.snapshot_metafile()
     }

@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use tvfs::{VfsError, VfsResult};
 
-use crate::file::{clip_ranges, ranges_intersect, MuxFile, MuxIno};
+use crate::file::{clip_ranges, ranges_intersect, subtract_ranges, MuxFile, MuxIno};
 use crate::mux::Mux;
 use crate::policy::{FileView, MigrationPlan};
 use crate::sched::IoRequest;
@@ -52,6 +52,11 @@ pub struct OccStats {
     /// by migration code — the §2.4 "critical path" that OCC minimizes
     /// (user writes stall only while this lock is held).
     pub lock_hold_vns: AtomicU64,
+    /// Migrations aborted by a device fault (cleanly: source authoritative
+    /// for uncommitted blocks, destination debris punched).
+    pub aborts: AtomicU64,
+    /// Aborts that still committed the blocks validated before the fault.
+    pub partial_commits: AtomicU64,
 }
 
 impl OccStats {
@@ -73,6 +78,16 @@ impl OccStats {
     /// Virtual ns migrations spent holding the per-file write lock.
     pub fn lock_hold_vns(&self) -> u64 {
         self.lock_hold_vns.load(Ordering::Relaxed)
+    }
+
+    /// Fault-aborted migrations.
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Aborts that partially committed validated blocks.
+    pub fn partial_commits(&self) -> u64 {
+        self.partial_commits.load(Ordering::Relaxed)
     }
 }
 
@@ -157,10 +172,27 @@ impl Mux {
             };
             for r in self.sched.drain(tier, &profile) {
                 let mut buf = vec![0u8; r.len as usize];
-                let got = src.fs.read(src_ino, r.off, &mut buf)?;
-                // Sparse shorter file: the tail reads as zeros.
-                buf[got..].fill(0);
-                let wrote = dst.fs.write(dst_ino, r.off, &buf)?;
+                let chunk = if self.health.can_read(tier) {
+                    self.tier_io(tier, || src.fs.read(src_ino, r.off, &mut buf[..]))
+                } else {
+                    Err(VfsError::Io(format!("tier {tier} is offline")))
+                };
+                match chunk {
+                    Ok(got) => {
+                        // Sparse shorter file: the tail reads as zeros.
+                        buf[got..].fill(0);
+                    }
+                    Err(VfsError::Io(_)) => {
+                        // Source is failing: salvage block by block — a
+                        // replica can serve blocks the primary cannot,
+                        // which is what lets a sick tier be evacuated.
+                        for (i, page) in buf.chunks_mut(BLOCK as usize).enumerate() {
+                            self.read_block_anyhow(file, tier, r.off / BLOCK + i as u64, page)?;
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+                let wrote = self.tier_io(to, || dst.fs.write(dst_ino, r.off, &buf))?;
                 if wrote != buf.len() {
                     return Err(VfsError::Io("short migration write".into()));
                 }
@@ -170,12 +202,15 @@ impl Mux {
         Ok(copied)
     }
 
-    /// Punches the moved range out of every source file system.
+    /// Punches the moved range out of every source file system. Best
+    /// effort: the Block Lookup Table no longer maps these blocks to the
+    /// sources, so a failed punch (e.g. a dying source device) only leaves
+    /// invisible debris — it must not fail a committed migration.
     fn reclaim_sources(&self, file: &MuxFile, moved: &[(TierId, u64, u64)]) -> VfsResult<()> {
         for &(tier, b0, nb) in moved {
             let handle = self.tier(tier)?;
             if let Some(&nino) = file.state.read().native.get(&tier) {
-                handle.fs.punch_hole(nino, b0 * BLOCK, nb * BLOCK)?;
+                let _ = handle.fs.punch_hole(nino, b0 * BLOCK, nb * BLOCK);
             }
         }
         Ok(())
@@ -196,6 +231,12 @@ impl Mux {
             return Err(VfsError::InvalidArgument(
                 "destination tier is being removed".into(),
             ));
+        }
+        if !self.health.can_write(to) {
+            return Err(VfsError::Io(format!(
+                "destination tier {to} is {}",
+                self.health.state(to).label()
+            )));
         }
         // Anything to do?
         let sources: Vec<(TierId, u64, u64)> = file
@@ -222,7 +263,18 @@ impl Mux {
         // The flag is cleared inside commit paths via end_migration; make
         // sure a failure also clears it.
         file.migrating.store(false, Ordering::Release);
-        let outcome = result?;
+        let outcome = match result {
+            Ok(o) => o,
+            Err(e) => {
+                // Fault-atomic abort: the BLT is authoritative. Any blocks
+                // a partial commit swung to `to` get journaled and their
+                // source copies reclaimed; everything else on `to` is
+                // debris and gets punched. Never lost, never double-owned.
+                OccStats::bump(&self.occ.aborts, 1);
+                self.abort_migration_cleanup(&file, block, n, to, &sources);
+                return Err(e);
+            }
+        };
         // The destination is a (possibly new) participant whose native
         // metadata has never seen the collective inode: queue lazy sync.
         file.state.write().meta.mark_stale(to);
@@ -264,15 +316,62 @@ impl Mux {
                 st.blt.assign(mb, ml, to);
             }
         };
+        // Partially commits a failed migration's salvage: blocks of the
+        // range outside `holes` were copied and validated by earlier
+        // rounds (the loop invariant) and their destination copies are
+        // durable from those rounds' fsyncs — swing just their BLT
+        // entries. Caller holds `io_lock` exclusively.
+        let partial_commit = |file: &MuxFile, holes: &[(u64, u64)]| {
+            let keep = subtract_ranges(block, n, holes);
+            if keep.is_empty() {
+                return;
+            }
+            let mut st = file.state.write();
+            let mut swung = false;
+            for &(kb, kl) in &keep {
+                let mapped: Vec<(u64, u64)> = st
+                    .blt
+                    .plan(kb, kl)
+                    .iter()
+                    .map(|e| (e.start, e.len))
+                    .collect();
+                for (mb, ml) in mapped {
+                    st.blt.assign(mb, ml, to);
+                    swung = true;
+                }
+            }
+            if swung {
+                OccStats::bump(&self.occ.partial_commits, 1);
+            }
+        };
         loop {
             file.begin_migration();
-            for &(b, l) in &remaining {
-                self.copy_range(file, b, l, to)?;
-            }
-            // Make the copies durable on the destination before they can
-            // become visible through the Block Lookup Table.
-            if let Some(&dst_ino) = file.state.read().native.get(&to) {
-                self.tier(to)?.fs.fsync(dst_ino)?;
+            let round: VfsResult<()> = (|| {
+                for &(b, l) in &remaining {
+                    self.copy_range(file, b, l, to)?;
+                }
+                // Make the copies durable on the destination before they
+                // can become visible through the Block Lookup Table.
+                if let Some(&dst_ino) = file.state.read().native.get(&to) {
+                    let dst = self.tier(to)?;
+                    self.tier_io(to, || dst.fs.fsync(dst_ino))?;
+                }
+                Ok(())
+            })();
+            if let Err(e) = round {
+                // Device fault mid-copy: abort this migration cleanly.
+                // Blocks still in `remaining` (or dirtied this round)
+                // stay owned by their sources; everything else validated
+                // in earlier rounds gets committed.
+                let io = file.io_lock.write();
+                let t0 = self.clock.now_ns();
+                let mut holes = remaining.clone();
+                holes.extend(file.peek_dirty());
+                partial_commit(file, &holes);
+                file.end_migration();
+                OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+                drop(io);
+                return Err(e);
             }
             self.charge(cost.occ_check_ns);
             // Validate against the whole migrated range: any write during
@@ -310,17 +409,34 @@ impl Mux {
                 let io = file.io_lock.write();
                 let t0 = self.clock.now_ns();
                 file.begin_migration();
-                for &(b, l) in &remaining {
-                    self.copy_range(file, b, l, to)?;
+                let fb: VfsResult<()> = (|| {
+                    for &(b, l) in &remaining {
+                        self.copy_range(file, b, l, to)?;
+                    }
+                    if let Some(&dst_ino) = file.state.read().native.get(&to) {
+                        let dst = self.tier(to)?;
+                        self.tier_io(to, || dst.fs.fsync(dst_ino))?;
+                    }
+                    Ok(())
+                })();
+                match fb {
+                    Ok(()) => {
+                        commit(file);
+                        file.end_migration();
+                        OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+                        drop(io);
+                        return Ok(MigrationOutcome::LockFallback);
+                    }
+                    Err(e) => {
+                        // Fault under the lock: no writers ran, so only
+                        // `remaining` is unsalvageable.
+                        partial_commit(file, &remaining);
+                        file.end_migration();
+                        OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+                        drop(io);
+                        return Err(e);
+                    }
                 }
-                if let Some(&dst_ino) = file.state.read().native.get(&to) {
-                    self.tier(to)?.fs.fsync(dst_ino)?;
-                }
-                commit(file);
-                file.end_migration();
-                OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
-                drop(io);
-                return Ok(MigrationOutcome::LockFallback);
             }
         }
     }
@@ -356,12 +472,13 @@ impl Mux {
         OccStats::bump(&self.occ.migrations, 1);
         OccStats::bump(&self.occ.fallbacks, 1);
         self.journal_migration_intent(ino, block, n, to)?;
-        {
+        let res = {
             let _io = file.io_lock.write();
             let t0 = self.clock.now_ns();
             let res = self.copy_range(&file, block, n, to).and_then(|c| {
                 if let Some(&dst_ino) = file.state.read().native.get(&to) {
-                    self.tier(to)?.fs.fsync(dst_ino)?;
+                    let dst = self.tier(to)?;
+                    self.tier_io(to, || dst.fs.fsync(dst_ino))?;
                 }
                 Ok(c)
             });
@@ -379,7 +496,14 @@ impl Mux {
                 }
             }
             file.migrating.store(false, Ordering::Release);
-            res?;
+            res
+        };
+        if let Err(e) = res {
+            // All-or-nothing under the lock: the BLT was never touched, so
+            // everything on the destination is debris.
+            OccStats::bump(&self.occ.aborts, 1);
+            self.abort_migration_cleanup(&file, block, n, to, &sources);
+            return Err(e);
         }
         file.state.write().meta.mark_stale(to);
         self.journal_migration_commit(ino, block, n, to)?;
@@ -387,6 +511,70 @@ impl Mux {
         OccStats::bump(&self.occ.blocks_moved, sources.iter().map(|s| s.2).sum());
         self.note_meta_mutation();
         Ok(MigrationOutcome::LockFallback)
+    }
+
+    /// Best-effort cleanup after a fault-aborted migration. The Block
+    /// Lookup Table is authoritative at this point: sub-ranges it maps to
+    /// `to` were (partially) committed — journal them and reclaim their
+    /// source copies; everything else written to `to` during the failed
+    /// copy is invisible debris — punch it. Blocks a concurrent writer
+    /// freshly placed on `to` are mapped to `to`, so they are never
+    /// punched. Secondary errors (e.g. punching a dead device) are
+    /// swallowed: they only leave more invisible debris.
+    fn abort_migration_cleanup(
+        &self,
+        file: &MuxFile,
+        block: u64,
+        n: u64,
+        to: TierId,
+        sources: &[(TierId, u64, u64)],
+    ) {
+        let committed: Vec<(u64, u64)> = file
+            .state
+            .read()
+            .blt
+            .plan(block, n)
+            .iter()
+            .filter(|e| e.value == to)
+            .map(|e| (e.start, e.len))
+            .collect();
+        // 1. Punch destination debris (the range minus committed blocks).
+        let debris = subtract_ranges(block, n, &committed);
+        if !debris.is_empty() {
+            let nino = file.state.read().native.get(&to).copied();
+            if let (Ok(handle), Some(nino)) = (self.tier(to), nino) {
+                for &(db, dl) in &debris {
+                    let _ = handle.fs.punch_hole(nino, db * BLOCK, dl * BLOCK);
+                }
+            }
+        }
+        // 2. Journal the committed sub-ranges (recovery must treat them as
+        //    real data, not intent debris), then reclaim their now-stale
+        //    source copies.
+        for &(cb, cl) in &committed {
+            let _ = self.journal_migration_commit(file.ino, cb, cl, to);
+        }
+        for &(src_tier, sb, sl) in sources {
+            if src_tier == to {
+                continue;
+            }
+            for &(cb, cl) in &committed {
+                let a = cb.max(sb);
+                let b = (cb + cl).min(sb + sl);
+                if a >= b {
+                    continue;
+                }
+                let nino = file.state.read().native.get(&src_tier).copied();
+                if let (Ok(handle), Some(nino)) = (self.tier(src_tier), nino) {
+                    let _ = handle.fs.punch_hole(nino, a * BLOCK, (b - a) * BLOCK);
+                }
+            }
+        }
+        if !committed.is_empty() {
+            file.state.write().meta.mark_stale(to);
+            OccStats::bump(&self.occ.blocks_moved, committed.iter().map(|c| c.1).sum());
+        }
+        self.note_meta_mutation();
     }
 
     /// Replicates `[block, block+n)` onto tier `to` (paper §4: replication
@@ -419,9 +607,10 @@ impl Mux {
                 while off < end {
                     let len = (4u64 << 20).min(end - off);
                     let mut buf = vec![0u8; len as usize];
-                    let got = src.fs.read(src_ino, off, &mut buf)?;
+                    let got =
+                        self.tier_io(seg.value, || src.fs.read(src_ino, off, &mut buf[..]))?;
                     buf[got..].fill(0);
-                    dst.fs.write(dst_ino, off, &buf)?;
+                    self.tier_io(to, || dst.fs.write(dst_ino, off, &buf))?;
                     off += len;
                 }
                 let mut st = file.state.write();
@@ -430,7 +619,7 @@ impl Mux {
             }
             if copied > 0 {
                 let dst = self.tier(to)?;
-                dst.fs.fsync(dst_ino)?;
+                self.tier_io(to, || dst.fs.fsync(dst_ino))?;
             }
             copied
         };
@@ -487,6 +676,50 @@ impl Mux {
             }
         }
         summary
+    }
+
+    /// Drains every block off a (typically sick) tier onto the healthiest
+    /// writable tiers, reusing the OCC migrator — the graceful-degradation
+    /// sweep to run after a circuit breaker trips `ReadOnly`. Unlike
+    /// [`Mux::remove_tier`] the tier stays registered (it may be reset via
+    /// [`crate::HealthRegistry::reset`] and re-admitted later), and
+    /// per-range failures are tallied in the summary instead of aborting
+    /// the sweep — under live faults some ranges may only move on a later
+    /// attempt (or from their replicas).
+    pub fn evacuate_tier(&self, tier: TierId) -> VfsResult<MigrationSummary> {
+        self.tier(tier)?;
+        let mut summary = MigrationSummary::default();
+        let inos: Vec<MuxIno> = self.files.read().keys().copied().collect();
+        for ino in inos {
+            let Ok(file) = self.get_file(ino) else {
+                continue;
+            };
+            let on_tier: Vec<(u64, u64)> = file
+                .state
+                .read()
+                .blt
+                .extents()
+                .iter()
+                .filter(|e| e.value == tier)
+                .map(|e| (e.start, e.len))
+                .collect();
+            for (b, l) in on_tier {
+                summary.planned += 1;
+                let Ok(dest) = self.healthiest_writable_tier(l * BLOCK, Some(tier)) else {
+                    summary.failed += 1;
+                    continue;
+                };
+                match self.migrate_range(ino, b, l, dest) {
+                    Ok(MigrationOutcome::NothingToDo) => {}
+                    Ok(_) => {
+                        summary.executed += 1;
+                        summary.blocks_moved += l;
+                    }
+                    Err(_) => summary.failed += 1,
+                }
+            }
+        }
+        Ok(summary)
     }
 
     /// Removes a tier: drains every block off it, then drops the handle.

@@ -24,6 +24,7 @@ use parking_lot::Mutex;
 use simdev::DeviceClass;
 
 use crate::file::MuxIno;
+use crate::health::TierHealthState;
 use crate::types::TierId;
 
 /// Live information about one tier, given to policies.
@@ -39,6 +40,9 @@ pub struct TierStatus {
     pub free_bytes: u64,
     /// Total capacity in bytes.
     pub total_bytes: u64,
+    /// Circuit-breaker state (see [`crate::health`]). Policies must not
+    /// place new data on tiers that are not [`TierStatus::is_writable`].
+    pub health: TierHealthState,
 }
 
 impl TierStatus {
@@ -48,6 +52,19 @@ impl TierStatus {
             return 1.0;
         }
         1.0 - self.free_bytes as f64 / self.total_bytes as f64
+    }
+
+    /// Whether new data may be placed on this tier.
+    pub fn is_writable(&self) -> bool {
+        matches!(
+            self.health,
+            TierHealthState::Healthy | TierHealthState::Degraded
+        )
+    }
+
+    /// Whether reads may be dispatched to this tier.
+    pub fn is_readable(&self) -> bool {
+        self.health != TierHealthState::Offline
     }
 }
 
@@ -143,7 +160,13 @@ pub trait TieringPolicy: Send + Sync {
 }
 
 fn fastest_with_space(tiers: &[TierStatus], need: u64, watermark: f64) -> TierId {
-    let mut sorted: Vec<&TierStatus> = tiers.iter().collect();
+    // Sick (read-only / offline) tiers are vetoed for new placements; if
+    // every tier is sick, fall back to considering all of them — Mux's
+    // write path makes the final call and will surface the error.
+    let mut sorted: Vec<&TierStatus> = tiers.iter().filter(|t| t.is_writable()).collect();
+    if sorted.is_empty() {
+        sorted = tiers.iter().collect();
+    }
     sorted.sort_by_key(|t| t.class);
     for t in &sorted {
         if t.free_bytes > need && t.utilization() < watermark {
@@ -339,9 +362,9 @@ impl TieringPolicy for TpfsPolicy {
             sorted.get(sorted.len() / 2)
         };
         let preferred = pick.map(|t| t.id).unwrap_or(0);
-        // Spill down if the preferred tier is out of space.
+        // Spill down if the preferred tier is out of space or unhealthy.
         if let Some(t) = ctx.tiers.iter().find(|t| t.id == preferred) {
-            if t.free_bytes <= ctx.len {
+            if t.free_bytes <= ctx.len || !t.is_writable() {
                 return fastest_with_space(ctx.tiers, ctx.len, 0.99);
             }
         }
@@ -397,7 +420,7 @@ impl TieringPolicy for HotColdPolicy {
         let pick = if hot { sorted.first() } else { sorted.last() };
         let preferred = pick.map(|t| t.id).unwrap_or(0);
         if let Some(t) = ctx.tiers.iter().find(|t| t.id == preferred) {
-            if t.free_bytes <= ctx.len {
+            if t.free_bytes <= ctx.len || !t.is_writable() {
                 return fastest_with_space(ctx.tiers, ctx.len, 0.99);
             }
         }
@@ -591,6 +614,7 @@ mod tests {
                 class: DeviceClass::Pmem,
                 free_bytes: 100 * 4096,
                 total_bytes: 1000 * 4096,
+                health: TierHealthState::Healthy,
             },
             TierStatus {
                 id: 1,
@@ -598,6 +622,7 @@ mod tests {
                 class: DeviceClass::Ssd,
                 free_bytes: 10_000 * 4096,
                 total_bytes: 20_000 * 4096,
+                health: TierHealthState::Healthy,
             },
             TierStatus {
                 id: 2,
@@ -605,6 +630,7 @@ mod tests {
                 class: DeviceClass::Hdd,
                 free_bytes: 100_000 * 4096,
                 total_bytes: 100_000 * 4096,
+                health: TierHealthState::Healthy,
             },
         ]
     }
@@ -755,6 +781,26 @@ mod tests {
         assert_eq!(plans[0].to, 2);
         p.unpin(1);
         assert!(p.plan_migrations(&t, &files).is_empty());
+    }
+
+    #[test]
+    fn placement_vetoes_unwritable_tiers() {
+        let mut t = tiers();
+        t[0].free_bytes = 900 * 4096; // PM would normally win
+        t[0].health = TierHealthState::ReadOnly;
+        let lru = LruPolicy::default_watermarks();
+        assert_eq!(lru.place(&ctx(&t, 4096, false)), 1, "LRU skips sick PM");
+        let tpfs = TpfsPolicy::default();
+        assert_ne!(
+            tpfs.place(&ctx(&t, 1024, false)),
+            0,
+            "TPFS small-write preference must yield to health"
+        );
+        // All tiers sick: fall back to *some* answer (Mux surfaces errors).
+        for tier in t.iter_mut() {
+            tier.health = TierHealthState::Offline;
+        }
+        lru.place(&ctx(&t, 4096, false)); // must not panic
     }
 
     #[test]

@@ -250,6 +250,7 @@ mod tests {
                 class: DeviceClass::Pmem,
                 free_bytes: 1 << 20,
                 total_bytes: 1 << 21,
+                health: crate::health::TierHealthState::Healthy,
             },
             TierStatus {
                 id: 20,
@@ -257,6 +258,7 @@ mod tests {
                 class: DeviceClass::Hdd,
                 free_bytes: 1 << 30,
                 total_bytes: 1 << 31,
+                health: crate::health::TierHealthState::Healthy,
             },
         ]
     }

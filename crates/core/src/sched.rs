@@ -32,6 +32,7 @@ pub struct IoRequest {
 #[derive(Debug, Default)]
 pub struct IoScheduler {
     queues: Mutex<HashMap<TierId, Vec<IoRequest>>>,
+    retries: Mutex<HashMap<TierId, u64>>,
 }
 
 impl IoScheduler {
@@ -48,6 +49,22 @@ impl IoScheduler {
     /// Pending requests for a tier.
     pub fn pending(&self, tier: TierId) -> usize {
         self.queues.lock().get(&tier).map_or(0, Vec::len)
+    }
+
+    /// Records one dispatch retry against `tier` (the retry loop re-enters
+    /// the device path, so pacing decisions should see that load).
+    pub fn note_retry(&self, tier: TierId) {
+        *self.retries.lock().entry(tier).or_default() += 1;
+    }
+
+    /// Dispatch retries recorded against a tier.
+    pub fn retries(&self, tier: TierId) -> u64 {
+        self.retries.lock().get(&tier).copied().unwrap_or(0)
+    }
+
+    /// Dispatch retries across all tiers.
+    pub fn total_retries(&self) -> u64 {
+        self.retries.lock().values().sum()
     }
 
     /// Estimated service time of a request on a device (used to order
@@ -168,6 +185,19 @@ mod tests {
         s.drain(0, &nvme_ssd());
         assert_eq!(s.pending(0), 0);
         assert_eq!(s.pending(1), 1);
+    }
+
+    #[test]
+    fn retry_accounting_is_per_tier() {
+        let s = IoScheduler::new();
+        assert_eq!(s.total_retries(), 0);
+        s.note_retry(0);
+        s.note_retry(0);
+        s.note_retry(2);
+        assert_eq!(s.retries(0), 2);
+        assert_eq!(s.retries(1), 0);
+        assert_eq!(s.retries(2), 1);
+        assert_eq!(s.total_retries(), 3);
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub struct MuxStats {
     pub blocks_migrated: AtomicU64,
     /// fsync fan-outs issued.
     pub fsyncs: AtomicU64,
+    /// Native dispatches retried after a transient I/O error.
+    pub io_retries: AtomicU64,
+    /// Native dispatch errors observed (including ones a retry absorbed).
+    pub io_errors: AtomicU64,
+    /// Write segments redirected off an unhealthy tier.
+    pub redirected_writes: AtomicU64,
+    /// Reads served by a replica after the primary tier failed.
+    pub replica_failovers: AtomicU64,
 }
 
 /// Plain snapshot of [`MuxStats`].
@@ -54,6 +62,14 @@ pub struct MuxStatsSnapshot {
     pub blocks_migrated: u64,
     /// fsync fan-outs.
     pub fsyncs: u64,
+    /// Dispatches retried after transient errors.
+    pub io_retries: u64,
+    /// Dispatch errors observed.
+    pub io_errors: u64,
+    /// Write segments redirected off unhealthy tiers.
+    pub redirected_writes: u64,
+    /// Replica-served reads after primary failure.
+    pub replica_failovers: u64,
 }
 
 impl MuxStats {
@@ -76,6 +92,10 @@ impl MuxStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             blocks_migrated: self.blocks_migrated.load(Ordering::Relaxed),
             fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            redirected_writes: self.redirected_writes.load(Ordering::Relaxed),
+            replica_failovers: self.replica_failovers.load(Ordering::Relaxed),
         }
     }
 }
@@ -93,5 +113,19 @@ mod tests {
         assert_eq!(snap.reads, 2);
         assert_eq!(snap.bytes_read, 100);
         assert_eq!(snap.writes, 0);
+    }
+
+    #[test]
+    fn fault_counters_snapshot() {
+        let s = MuxStats::default();
+        MuxStats::add(&s.io_errors, 3);
+        MuxStats::add(&s.io_retries, 2);
+        MuxStats::add(&s.redirected_writes, 1);
+        MuxStats::add(&s.replica_failovers, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.io_errors, 3);
+        assert_eq!(snap.io_retries, 2);
+        assert_eq!(snap.redirected_writes, 1);
+        assert_eq!(snap.replica_failovers, 1);
     }
 }

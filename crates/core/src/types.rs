@@ -76,6 +76,8 @@ pub struct MuxOptions {
     /// Snapshot the Mux metafile automatically every N metadata mutations
     /// (0 = only on `sync`/`fsync`).
     pub snapshot_every: u64,
+    /// Tier health thresholds and the I/O retry/backoff policy.
+    pub health: crate::health::HealthConfig,
 }
 
 impl Default for MuxOptions {
@@ -84,6 +86,7 @@ impl Default for MuxOptions {
             cost: CostModel::default(),
             migration_retries: 3,
             snapshot_every: 0,
+            health: crate::health::HealthConfig::default(),
         }
     }
 }

@@ -1,0 +1,285 @@
+//! Fault-tolerance integration tests: circuit breaker, retry/backoff,
+//! fault-atomic OCC migration aborts, graceful degradation (redirected
+//! writes), and sick-tier evacuation.
+
+use std::sync::Arc;
+
+use mux::{
+    Mux, MuxOptions, PinnedPolicy, TierConfig, TierHealthState, BLOCK,
+};
+use simdev::{Device, DeviceClass, FaultMode, VirtualClock};
+use tvfs::memfs::MemFs;
+use tvfs::{FileSystem, FileType, VfsError, ROOT_INO};
+use workloads::{pattern_at, pattern_check};
+
+/// Tier 0 = NovaFs on a real simulated device (fault-injectable), tier 1 =
+/// MemFs. Placement pinned to tier 0.
+fn rig() -> (Arc<Mux>, VirtualClock, Device, Arc<MemFs>) {
+    let clock = VirtualClock::new();
+    let dev = Device::with_profile(simdev::pmem(), 64 << 20, clock.clone());
+    let nova =
+        Arc::new(novafs::NovaFs::format(dev.clone(), novafs::NovaOptions::default()).unwrap());
+    let mem = Arc::new(MemFs::new("healthy-tier", 1 << 28));
+    let mux = Arc::new(Mux::new(
+        clock.clone(),
+        Arc::new(PinnedPolicy::new(0)),
+        MuxOptions::default(),
+    ));
+    mux.add_tier(
+        TierConfig {
+            name: "faulty".into(),
+            class: DeviceClass::Pmem,
+        },
+        nova as Arc<dyn FileSystem>,
+    );
+    mux.add_tier(
+        TierConfig {
+            name: "healthy".into(),
+            class: DeviceClass::Ssd,
+        },
+        mem.clone() as Arc<dyn FileSystem>,
+    );
+    (mux, clock, dev, mem)
+}
+
+/// The inverse rig: the fault-injectable device backs the *destination*
+/// tier (id 1); the primary (id 0) is a MemFs.
+fn rig_faulty_destination() -> (Arc<Mux>, Device, Arc<MemFs>) {
+    let clock = VirtualClock::new();
+    let dev = Device::with_profile(simdev::pmem(), 64 << 20, clock.clone());
+    let nova =
+        Arc::new(novafs::NovaFs::format(dev.clone(), novafs::NovaOptions::default()).unwrap());
+    let mem = Arc::new(MemFs::new("primary", 1 << 28));
+    let mux = Arc::new(Mux::new(
+        clock,
+        Arc::new(PinnedPolicy::new(0)),
+        MuxOptions::default(),
+    ));
+    mux.add_tier(
+        TierConfig {
+            name: "primary".into(),
+            class: DeviceClass::Pmem,
+        },
+        mem.clone() as Arc<dyn FileSystem>,
+    );
+    mux.add_tier(
+        TierConfig {
+            name: "faulty-dst".into(),
+            class: DeviceClass::Ssd,
+        },
+        nova as Arc<dyn FileSystem>,
+    );
+    (mux, dev, mem)
+}
+
+#[test]
+fn occ_abort_on_failstop_destination_keeps_source_authoritative() {
+    let (mux, dev, _mem) = rig_faulty_destination();
+    let f = mux.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+    let data = pattern_at(0, (16 * BLOCK) as usize);
+    mux.write(f.ino, 0, &data).unwrap();
+    // The destination device dies a few operations into the copy.
+    dev.set_fault_mode(FaultMode::FailStop { remaining_ops: 6 });
+    let err = mux.migrate_range(f.ino, 0, 16, 1);
+    assert!(err.is_err(), "migration onto a dying tier must fail");
+    // The abort was clean: counted, and the source still owns and serves
+    // every block — no loss, no double ownership.
+    assert_eq!(mux.occ_stats().aborts(), 1);
+    let mut buf = vec![0u8; (16 * BLOCK) as usize];
+    mux.read(f.ino, 0, &mut buf).unwrap();
+    assert!(pattern_check(0, &buf), "source data corrupted by the abort");
+    // The breaker saw the destination's errors.
+    let h = mux.tier_health(1);
+    assert!(h.errors > 0, "destination errors must be recorded");
+    assert_ne!(h.state, TierHealthState::Healthy);
+    // A later write is unaffected (it targets the healthy primary).
+    mux.write(f.ino, 0, &pattern_at(7, BLOCK as usize)).unwrap();
+}
+
+#[test]
+fn nospace_abort_punches_destination_debris() {
+    let clock = VirtualClock::new();
+    let prim = Arc::new(MemFs::new("prim", 1 << 28));
+    // Destination too small for the full range: the copy dies on NoSpace
+    // partway through.
+    let tiny = Arc::new(MemFs::new("tiny", 4 * BLOCK));
+    let mux = Mux::new(
+        clock,
+        Arc::new(PinnedPolicy::new(0)),
+        MuxOptions::default(),
+    );
+    mux.add_tier(
+        TierConfig {
+            name: "prim".into(),
+            class: DeviceClass::Pmem,
+        },
+        prim as Arc<dyn FileSystem>,
+    );
+    mux.add_tier(
+        TierConfig {
+            name: "tiny".into(),
+            class: DeviceClass::Ssd,
+        },
+        tiny.clone() as Arc<dyn FileSystem>,
+    );
+    let f = mux.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+    mux.write(f.ino, 0, &pattern_at(0, (16 * BLOCK) as usize))
+        .unwrap();
+    let err = mux.migrate_range(f.ino, 0, 16, 1).unwrap_err();
+    assert!(
+        matches!(err, VfsError::NoSpace),
+        "expected NoSpace, got {err:?}"
+    );
+    assert_eq!(mux.occ_stats().aborts(), 1);
+    // NoSpace is not a device fault: the breaker must not punish the tier.
+    assert_eq!(mux.tier_health(1).state, TierHealthState::Healthy);
+    // Whatever landed on the destination before the failure was punched
+    // back out — the BLT never pointed there.
+    assert_eq!(
+        tiny.lookup(ROOT_INO, "f").unwrap().blocks_bytes,
+        0,
+        "destination debris must be punched on abort"
+    );
+    let mut buf = vec![0u8; (16 * BLOCK) as usize];
+    mux.read(f.ino, 0, &mut buf).unwrap();
+    assert!(pattern_check(0, &buf));
+}
+
+#[test]
+fn intermittent_faults_are_absorbed_by_retry() {
+    let (mux, _clock, dev, _mem) = rig();
+    let f = mux.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+    // Roughly one in 24 device ops fails transiently; bounded retries with
+    // virtual-clock backoff must hide every one of them (deterministic:
+    // the fault pattern is a pure function of the seed).
+    dev.set_fault_mode(FaultMode::Intermittent {
+        period: 24,
+        seed: 42,
+    });
+    for i in 0..32u64 {
+        let data = pattern_at(i, BLOCK as usize);
+        mux.write(f.ino, i * BLOCK, &data)
+            .unwrap_or_else(|e| panic!("write {i} surfaced a transient fault: {e:?}"));
+    }
+    let mut buf = vec![0u8; BLOCK as usize];
+    for i in 0..32u64 {
+        mux.read(f.ino, i * BLOCK, &mut buf)
+            .unwrap_or_else(|e| panic!("read {i} surfaced a transient fault: {e:?}"));
+        assert!(pattern_check(i, &buf));
+    }
+    // The retries are visible in the stats, the scheduler accounting, and
+    // the health counters.
+    let s = mux.stats().snapshot();
+    assert!(s.io_retries > 0, "expected transient faults to be retried");
+    assert!(s.io_errors >= s.io_retries);
+    assert_eq!(s.io_retries, mux.scheduler().total_retries());
+    assert_eq!(mux.tier_health(0).retries, s.io_retries);
+    // The tier never latched: transient noise is not a dead device.
+    assert!(mux.health().can_write(0));
+}
+
+#[test]
+fn circuit_breaker_trips_and_writes_redirect() {
+    let (mux, _clock, dev, mem) = rig();
+    let f = mux.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+    mux.write(f.ino, 0, &pattern_at(0, (4 * BLOCK) as usize))
+        .unwrap();
+    dev.set_fault_mode(FaultMode::FailStop { remaining_ops: 0 });
+    // Each failed dispatch burns 1 + io_retries(3) consecutive errors;
+    // read_only_after=8 means the second failing write trips ReadOnly.
+    let mut failures = 0;
+    let payload = pattern_at(9, BLOCK as usize);
+    loop {
+        match mux.write(f.ino, 0, &payload) {
+            Ok(_) => break, // the breaker tripped and the write redirected
+            Err(_) => {
+                failures += 1;
+                assert!(failures < 16, "breaker never tripped");
+            }
+        }
+    }
+    let status = mux.tier_status();
+    let sick = status.iter().find(|t| t.id == 0).unwrap();
+    assert!(!sick.is_writable(), "tier 0 must be fenced: {:?}", sick.health);
+    assert!(mux.stats().snapshot().redirected_writes > 0);
+    assert!(mux.tier_health(0).trips >= 2, "Degraded then ReadOnly");
+    // The redirected block now lives on (and reads from) the healthy tier.
+    let mut buf = vec![0u8; BLOCK as usize];
+    mux.read(f.ino, 0, &mut buf).unwrap();
+    assert!(pattern_check(9, &buf));
+    assert!(mem.lookup(ROOT_INO, "f").unwrap().blocks_bytes >= BLOCK);
+    // Keep failing reads on still-stranded blocks: the breaker latches
+    // Offline, after which reads stop dispatching to the tier at all.
+    let mut offline_failures = 0;
+    while mux.tier_health(0).state != TierHealthState::Offline {
+        assert!(mux.read(f.ino, 2 * BLOCK, &mut buf).is_err());
+        offline_failures += 1;
+        assert!(offline_failures < 16, "breaker never latched Offline");
+    }
+    // Offline reads fail fast (no replica for block 2) without touching
+    // the device; errors stop accumulating.
+    let errs_before = mux.tier_health(0).errors;
+    assert!(mux.read(f.ino, 2 * BLOCK, &mut buf).is_err());
+    assert_eq!(mux.tier_health(0).errors, errs_before);
+    // New writes to other offsets keep landing on the healthy tier.
+    mux.write(f.ino, 8 * BLOCK, &payload).unwrap();
+}
+
+#[test]
+fn evacuation_drains_fenced_tier_via_occ() {
+    let (mux, _clock, _dev, mem) = rig();
+    let f = mux.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+    mux.write(f.ino, 0, &pattern_at(0, (8 * BLOCK) as usize))
+        .unwrap();
+    // Fence the tier proactively (say, ahead of maintenance): reads still
+    // work, so evacuation can pull the data off through the OCC migrator.
+    mux.health().force_state(0, TierHealthState::ReadOnly);
+    let summary = mux.evacuate_tier(0).unwrap();
+    assert_eq!(summary.failed, 0, "evacuation must fully drain: {summary:?}");
+    assert_eq!(summary.blocks_moved, 8);
+    // All data now lives on the healthy tier and still reads back.
+    assert_eq!(mem.lookup(ROOT_INO, "f").unwrap().blocks_bytes, 8 * BLOCK);
+    let mut buf = vec![0u8; (8 * BLOCK) as usize];
+    mux.read(f.ino, 0, &mut buf).unwrap();
+    assert!(pattern_check(0, &buf));
+    // Nothing is planned on a second sweep.
+    let again = mux.evacuate_tier(0).unwrap();
+    assert_eq!(again.planned, 0);
+    // An operator reset re-admits the tier.
+    mux.health().reset(0);
+    assert_eq!(mux.tier_health(0).state, TierHealthState::Healthy);
+    assert!(mux.tier_status().iter().all(|t| t.is_writable()));
+}
+
+#[test]
+fn migration_refuses_fenced_destination() {
+    let (mux, _clock, _dev, _mem) = rig();
+    let f = mux.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+    mux.write(f.ino, 0, &pattern_at(0, (2 * BLOCK) as usize))
+        .unwrap();
+    mux.health().force_state(1, TierHealthState::ReadOnly);
+    assert!(
+        mux.migrate_range(f.ino, 0, 2, 1).is_err(),
+        "must not migrate onto a fenced tier"
+    );
+    mux.health().reset(1);
+    mux.migrate_range(f.ino, 0, 2, 1).unwrap();
+}
+
+#[test]
+fn tier_status_reports_health_states() {
+    let (mux, _clock, _dev, _mem) = rig();
+    assert!(mux
+        .tier_status()
+        .iter()
+        .all(|t| t.health == TierHealthState::Healthy));
+    mux.health().force_state(0, TierHealthState::Degraded);
+    mux.health().force_state(1, TierHealthState::Offline);
+    let status = mux.tier_status();
+    let t0 = status.iter().find(|t| t.id == 0).unwrap();
+    let t1 = status.iter().find(|t| t.id == 1).unwrap();
+    assert_eq!(t0.health, TierHealthState::Degraded);
+    assert!(t0.is_writable() && t0.is_readable());
+    assert_eq!(t1.health, TierHealthState::Offline);
+    assert!(!t1.is_writable() && !t1.is_readable());
+}

@@ -24,6 +24,16 @@ pub enum FaultMode {
         /// Seed for the deterministic tear points.
         seed: u64,
     },
+    /// Transient errors: on average one in `period` operations fails with
+    /// [`crate::DevError::Io`] and the rest succeed, modelling a flaky
+    /// link/controller that a bounded retry can beat. The failure pattern
+    /// is a deterministic function of `seed`, which evolves per operation.
+    Intermittent {
+        /// Mean operations per failure (must be ≥ 1; 1 = every op fails).
+        period: u64,
+        /// Current PRNG state; advances on every operation.
+        seed: u64,
+    },
 }
 
 impl FaultMode {
@@ -38,6 +48,16 @@ impl FaultMode {
                     *remaining_ops -= 1;
                     false
                 }
+            }
+            FaultMode::Intermittent { period, seed } => {
+                // splitmix64 step: deterministic, uniform enough for a
+                // 1-in-period failure process.
+                *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = *seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                z % (*period).max(1) == 0
             }
             _ => false,
         }
@@ -63,5 +83,48 @@ mod tests {
         assert!(!m.tick_should_fail());
         assert!(m.tick_should_fail());
         assert!(m.tick_should_fail());
+    }
+
+    #[test]
+    fn intermittent_is_deterministic() {
+        let mut a = FaultMode::Intermittent { period: 5, seed: 42 };
+        let mut b = FaultMode::Intermittent { period: 5, seed: 42 };
+        for _ in 0..1000 {
+            assert_eq!(a.tick_should_fail(), b.tick_should_fail());
+        }
+    }
+
+    #[test]
+    fn intermittent_failure_rate_near_one_in_period() {
+        let mut m = FaultMode::Intermittent {
+            period: 10,
+            seed: 7,
+        };
+        let failures = (0..10_000).filter(|_| m.tick_should_fail()).count();
+        // Mean is 1000; accept a generous band around it.
+        assert!(
+            (500..2000).contains(&failures),
+            "failure rate off: {failures}/10000"
+        );
+    }
+
+    #[test]
+    fn intermittent_recovers_between_failures() {
+        // Unlike FailStop, failures must not latch: successes follow failures.
+        let mut m = FaultMode::Intermittent { period: 4, seed: 1 };
+        let outcomes: Vec<bool> = (0..64).map(|_| m.tick_should_fail()).collect();
+        let first_fail = outcomes.iter().position(|&f| f).expect("no failure in 64 ops");
+        assert!(
+            outcomes[first_fail..].iter().any(|&f| !f),
+            "intermittent mode latched into permanent failure"
+        );
+    }
+
+    #[test]
+    fn intermittent_period_one_always_fails() {
+        let mut m = FaultMode::Intermittent { period: 1, seed: 9 };
+        for _ in 0..32 {
+            assert!(m.tick_should_fail());
+        }
     }
 }

@@ -1,0 +1,222 @@
+//! Chaos tests over the full stack: inject device faults into the real
+//! PM/SSD/HDD hierarchy mid-workload and assert the fault-tolerance
+//! machinery holds its invariants — no lost or corrupted data on healthy
+//! tiers, clean migration aborts, circuit-breaker fencing, and redirected
+//! writes.
+//!
+//! The PM tier (novafs) is DAX write-through — every read and write is a
+//! device op — so faulting the PM device exercises the breaker densely.
+//! (xefs/e4fs buffer in a DRAM page cache, which itself absorbs faults.)
+
+use std::sync::Arc;
+
+use mux::{TierHealthState, BLOCK};
+use simdev::FaultMode;
+use tvfs::{FileSystem, FileType, ROOT_INO};
+use workloads::{pattern_at, pattern_check};
+
+fn hierarchy() -> (Arc<mux::Mux>, simdev::VirtualClock, [simdev::Device; 3]) {
+    mux_repro::default_hierarchy(64 << 20, 256 << 20, 1 << 30)
+}
+
+/// The ISSUE acceptance scenario: kill a device mid-migration, watch the
+/// abort stay clean, keep failing the tier until the breaker latches
+/// Offline, and verify writes land on healthy tiers while `tier_status()`
+/// reports the degradation.
+#[test]
+fn failstop_mid_migration_aborts_cleanly_and_tier_is_fenced() {
+    let (mux, _clock, devs) = hierarchy();
+    // `safe.dat` lives on the SSD; `stranded.dat` stays on PM.
+    let f = mux
+        .create(ROOT_INO, "safe.dat", FileType::Regular, 0o644)
+        .unwrap();
+    let len = (32 * BLOCK) as usize;
+    mux.write(f.ino, 0, &pattern_at(0, len)).unwrap();
+    mux.migrate_range(f.ino, 0, 32, 1).unwrap();
+    let g = mux
+        .create(ROOT_INO, "stranded.dat", FileType::Regular, 0o644)
+        .unwrap();
+    mux.write(g.ino, 0, &pattern_at(1, (4 * BLOCK) as usize))
+        .unwrap();
+    mux.fsync(f.ino).unwrap();
+    mux.fsync(g.ino).unwrap();
+
+    // The PM device dies a couple of ops into promoting `safe.dat` back
+    // to it (novafs coalesces an extent into few device ops, so the
+    // budget must be small for the failure to land mid-copy).
+    devs[0].set_fault_mode(FaultMode::FailStop { remaining_ops: 2 });
+    assert!(
+        mux.migrate_range(f.ino, 0, 32, 0).is_err(),
+        "migration onto the dying PM must abort"
+    );
+    assert_eq!(mux.occ_stats().aborts(), 1);
+
+    // Invariant: the abort lost nothing — the SSD copy is still
+    // authoritative and byte-identical.
+    let mut buf = vec![0u8; len];
+    mux.read(f.ino, 0, &mut buf).unwrap();
+    assert!(pattern_check(0, &buf), "data corrupted by aborted migration");
+
+    // Keep failing the tier (reads of PM-resident data) until the breaker
+    // latches Offline.
+    let mut attempts = 0;
+    let mut small = vec![0u8; BLOCK as usize];
+    while mux.tier_health(0).state != TierHealthState::Offline {
+        let _ = mux.read(g.ino, 0, &mut small);
+        attempts += 1;
+        assert!(attempts < 32, "breaker never latched Offline");
+    }
+    let status = mux.tier_status();
+    let pm = status.iter().find(|t| t.id == 0).unwrap();
+    assert_eq!(pm.health, TierHealthState::Offline);
+    assert!(!pm.is_writable() && !pm.is_readable());
+    assert!(status
+        .iter()
+        .filter(|t| t.id != 0)
+        .all(|t| t.health == TierHealthState::Healthy));
+    // Offline reads fail fast without hammering the dead device.
+    let errs = mux.tier_health(0).errors;
+    assert!(mux.read(g.ino, 0, &mut small).is_err());
+    assert_eq!(mux.tier_health(0).errors, errs);
+
+    // Overwriting the stranded file redirects off the fenced tier and
+    // becomes readable again.
+    mux.write(g.ino, 0, &pattern_at(2, (4 * BLOCK) as usize))
+        .unwrap();
+    let mut buf4 = vec![0u8; (4 * BLOCK) as usize];
+    mux.read(g.ino, 0, &mut buf4).unwrap();
+    assert!(pattern_check(2, &buf4));
+    assert!(mux.stats().snapshot().redirected_writes > 0);
+    assert!(
+        mux.file_placement(g.ino)
+            .unwrap()
+            .iter()
+            .all(|(_, _, t)| *t != 0),
+        "redirected blocks must leave the offline tier"
+    );
+
+    // Fresh files avoid the offline tier entirely.
+    let h = mux
+        .create(ROOT_INO, "after.dat", FileType::Regular, 0o644)
+        .unwrap();
+    mux.write(h.ino, 0, &pattern_at(3, (8 * BLOCK) as usize))
+        .unwrap();
+    assert!(mux
+        .file_placement(h.ino)
+        .unwrap()
+        .iter()
+        .all(|(_, _, t)| *t != 0));
+    let mut buf8 = vec![0u8; (8 * BLOCK) as usize];
+    mux.read(h.ino, 0, &mut buf8).unwrap();
+    assert!(pattern_check(3, &buf8));
+
+    // The whole episode is visible in the health counters.
+    let snap = mux.tier_health(0);
+    assert!(snap.errors > 0);
+    assert!(snap.trips >= 3, "Degraded, ReadOnly, Offline: {snap:?}");
+}
+
+/// Transient (intermittent) faults on the PM device during a mixed
+/// write/migrate/read workload are fully absorbed by retry with backoff:
+/// nothing surfaces to callers, data stays intact, retries show in stats.
+#[test]
+fn intermittent_pm_faults_do_not_surface() {
+    let (mux, _clock, devs) = hierarchy();
+    devs[0].set_fault_mode(FaultMode::Intermittent {
+        period: 24,
+        seed: 42,
+    });
+    let f = mux
+        .create(ROOT_INO, "flaky.dat", FileType::Regular, 0o644)
+        .unwrap();
+    let len = (16 * BLOCK) as usize;
+    mux.write(f.ino, 0, &pattern_at(3, len)).unwrap();
+    // Bounce the file down to the SSD and back up to the flaky PM; every
+    // hop reads or writes through the faulty device.
+    let mut buf = vec![0u8; len];
+    mux.read(f.ino, 0, &mut buf).unwrap();
+    assert!(pattern_check(3, &buf));
+    mux.migrate_range(f.ino, 0, 16, 1).unwrap();
+    mux.migrate_range(f.ino, 0, 16, 0).unwrap();
+    mux.read(f.ino, 0, &mut buf).unwrap();
+    assert!(pattern_check(3, &buf));
+    // The noise was real and was retried away; the tier never latched.
+    let s = mux.stats().snapshot();
+    assert!(s.io_retries > 0, "expected retries under intermittent faults");
+    assert!(mux.health().can_write(0) && mux.health().can_read(0));
+}
+
+/// Concurrent writers while a tier dies: threads hammer their own files
+/// as the PM device fail-stops mid-workload; once the breaker trips,
+/// writes redirect and every surviving file reads back exactly what its
+/// writer last wrote.
+#[test]
+fn concurrent_writers_survive_tier_death() {
+    let (mux, _clock, devs) = hierarchy();
+    const THREADS: u64 = 4;
+    const ROUNDS: u64 = 12;
+    let files: Vec<_> = (0..THREADS)
+        .map(|t| {
+            mux.create(ROOT_INO, &format!("t{t}.dat"), FileType::Regular, 0o644)
+                .unwrap()
+                .ino
+        })
+        .collect();
+    // Seed each file (default placement: the PM tier).
+    for (t, &ino) in files.iter().enumerate() {
+        mux.write(ino, 0, &pattern_at(t as u64, (4 * BLOCK) as usize))
+            .unwrap();
+    }
+    let pm = devs[0].clone();
+    let handles: Vec<_> = files
+        .iter()
+        .enumerate()
+        .map(|(t, &ino)| {
+            let mux = mux.clone();
+            let pm = pm.clone();
+            std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    if t == 0 && round == ROUNDS / 2 {
+                        // Half-way in, one thread kills the PM for good.
+                        pm.set_fault_mode(FaultMode::FailStop { remaining_ops: 0 });
+                    }
+                    let seed = t as u64 * 1000 + round;
+                    let data = pattern_at(seed, (4 * BLOCK) as usize);
+                    // Writes may fail while the breaker is still counting
+                    // the tier down; once it trips they must redirect.
+                    if mux.write(ino, 0, &data).is_ok() {
+                        let mut buf = vec![0u8; (4 * BLOCK) as usize];
+                        if mux.read(ino, 0, &mut buf).is_ok() {
+                            assert!(
+                                pattern_check(seed, &buf),
+                                "thread {t} round {round}: stale or torn data"
+                            );
+                        }
+                    }
+                }
+                // Each failed dispatch pushes the breaker toward ReadOnly;
+                // within a few attempts the write must redirect and stick.
+                let fin = pattern_at(t as u64 + 500, (4 * BLOCK) as usize);
+                let mut tries = 0;
+                while mux.write(ino, 0, &fin).is_err() {
+                    tries += 1;
+                    assert!(tries < 8, "thread {t}: write never redirected");
+                }
+                let mut buf = vec![0u8; (4 * BLOCK) as usize];
+                mux.read(ino, 0, &mut buf).unwrap();
+                assert!(
+                    pattern_check(t as u64 + 500, &buf),
+                    "thread {t}: final readback"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // The PM is fenced and the episode is visible in the stats.
+    assert!(!mux.health().can_write(0));
+    let s = mux.stats().snapshot();
+    assert!(s.redirected_writes > 0, "writes must have redirected");
+    assert!(s.io_errors > 0);
+}

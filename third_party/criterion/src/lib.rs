@@ -1,0 +1,270 @@
+//! Offline shim for `criterion`: the macro/group/bencher API over a plain
+//! wall-clock measurement loop. Under `cargo bench` (cargo passes
+//! `--bench`) each benchmark is measured and a `time: … ns/iter` line is
+//! printed; under `cargo test` each benchmark body runs exactly once as a
+//! smoke test, as upstream criterion does.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declared per-iteration volume, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Composite benchmark identifier (`group/function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        run_one(self, &label, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        run_one(self.criterion, &label, throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    /// How many times `iter` should run its routine this call.
+    iterations: u64,
+    /// Accumulated routine time for the call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(c: &Criterion, label: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !c.bench_mode {
+        // cargo test: run the body once as a smoke test.
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        return;
+    }
+    // Warm-up: grow the batch until the warm-up budget is spent.
+    let mut batch = 1u64;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iterations: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if warm_start.elapsed() >= c.warm_up_time {
+            let per_iter = b.elapsed.as_nanos().max(1) / batch.max(1) as u128;
+            // Pick a batch size so one sample is ~measurement_time/sample_size.
+            let target = c.measurement_time.as_nanos() / c.sample_size.max(1) as u128;
+            batch = ((target / per_iter.max(1)) as u64).clamp(1, 1 << 24);
+            break;
+        }
+        batch = (batch * 2).min(1 << 24);
+    }
+    // Measurement: `sample_size` batches, keep the fastest per-iter time.
+    let mut best_ns = u128::MAX;
+    let mut total_ns = 0u128;
+    let mut total_iters = 0u64;
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iterations: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos();
+        best_ns = best_ns.min(ns / batch as u128);
+        total_ns += ns;
+        total_iters += batch;
+    }
+    let mean_ns = total_ns / total_iters.max(1) as u128;
+    let mut line = format!("{label:<48} time: [{best_ns} ns {mean_ns} ns/iter]");
+    if let Some(t) = throughput {
+        let (volume, unit) = match t {
+            Throughput::Bytes(b) | Throughput::BytesDecimal(b) => (b as f64, "MiB/s"),
+            Throughput::Elements(e) => (e as f64, "Kelem/s"),
+        };
+        if mean_ns > 0 {
+            let per_sec = volume * 1e9 / mean_ns as f64;
+            let scaled = match t {
+                Throughput::Bytes(_) | Throughput::BytesDecimal(_) => {
+                    per_sec / (1024.0 * 1024.0)
+                }
+                Throughput::Elements(_) => per_sec / 1000.0,
+            };
+            line += &format!("  thrpt: {scaled:.1} {unit}");
+        }
+    }
+    println!("{line}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!{
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            bench_mode: false,
+            ..Criterion::default()
+        };
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn groups_run_in_test_mode() {
+        let mut c = Criterion {
+            bench_mode: false,
+            ..Criterion::default()
+        };
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_function("a", |b| b.iter(|| runs += 1));
+        g.bench_function(BenchmarkId::new("b", 7), |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 2);
+    }
+}

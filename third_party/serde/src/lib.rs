@@ -1,0 +1,319 @@
+//! Offline shim for `serde`: `Serialize`/`Deserialize` defined directly
+//! over a JSON-like value tree (`__private::Value`). The derive macros in
+//! `serde_derive` and the text layer in `serde_json` both target this
+//! tree, which covers the data-model subset this workspace serializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod __private {
+    use std::fmt;
+
+    /// The in-memory data model everything serializes through.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        U64(u64),
+        I64(i64),
+        F64(f64),
+        Str(String),
+        Seq(Vec<Value>),
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Map lookup by key (first match).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Map(entries) => {
+                    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+
+        pub fn as_map(&self) -> Result<&[(String, Value)], Error> {
+            match self {
+                Value::Map(entries) => Ok(entries),
+                other => Err(Error::new(format!("expected map, got {}", other.kind()))),
+            }
+        }
+
+        pub fn as_str(&self) -> Result<&str, Error> {
+            match self {
+                Value::Str(s) => Ok(s),
+                other => Err(Error::new(format!(
+                    "expected string, got {}",
+                    other.kind()
+                ))),
+            }
+        }
+
+        pub fn as_u64(&self) -> Result<u64, Error> {
+            match *self {
+                Value::U64(v) => Ok(v),
+                Value::I64(v) if v >= 0 => Ok(v as u64),
+                Value::F64(v) if v >= 0.0 && v.fract() == 0.0 => Ok(v as u64),
+                ref other => Err(Error::new(format!(
+                    "expected unsigned integer, got {}",
+                    other.kind()
+                ))),
+            }
+        }
+
+        pub fn as_i64(&self) -> Result<i64, Error> {
+            match *self {
+                Value::I64(v) => Ok(v),
+                Value::U64(v) if v <= i64::MAX as u64 => Ok(v as i64),
+                Value::F64(v) if v.fract() == 0.0 => Ok(v as i64),
+                ref other => Err(Error::new(format!(
+                    "expected integer, got {}",
+                    other.kind()
+                ))),
+            }
+        }
+
+        pub fn as_f64(&self) -> Result<f64, Error> {
+            match *self {
+                Value::F64(v) => Ok(v),
+                Value::U64(v) => Ok(v as f64),
+                Value::I64(v) => Ok(v as f64),
+                ref other => Err(Error::new(format!(
+                    "expected number, got {}",
+                    other.kind()
+                ))),
+            }
+        }
+
+        pub fn as_bool(&self) -> Result<bool, Error> {
+            match *self {
+                Value::Bool(b) => Ok(b),
+                ref other => Err(Error::new(format!(
+                    "expected bool, got {}",
+                    other.kind()
+                ))),
+            }
+        }
+
+        fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+                Value::Str(_) => "string",
+                Value::Seq(_) => "array",
+                Value::Map(_) => "object",
+            }
+        }
+    }
+
+    /// Serialization/deserialization error.
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        pub fn new(msg: impl Into<String>) -> Self {
+            Error { msg: msg.into() }
+        }
+
+        pub fn missing_field(ty: &str, field: &str) -> Self {
+            Error::new(format!("missing field `{field}` for {ty}"))
+        }
+
+        pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+            Error::new(format!("unknown variant `{variant}` for {ty}"))
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+use __private::{Error, Value};
+
+/// A type that can lower itself into the shared value tree.
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from the shared value tree.
+pub trait Deserialize: Sized {
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::new(format!("{} out of range for {}", raw, stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::new(format!("{} out of range for {}", raw, stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::new(format!(
+                "expected array, got {:?}",
+                other
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => Ok((
+                A::deserialize_value(&items[0])?,
+                B::deserialize_value(&items[1])?,
+            )),
+            _ => Err(Error::new("expected 2-element array")),
+        }
+    }
+}

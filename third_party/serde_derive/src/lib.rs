@@ -1,0 +1,462 @@
+//! Offline shim for `serde_derive`: a hand-rolled (no `syn`/`quote`)
+//! derive for the `Serialize`/`Deserialize` traits of the sibling `serde`
+//! shim. Supports the shapes this workspace uses:
+//!
+//! - structs with named fields, field-level `#[serde(default)]`
+//! - unit-only enums (serialized as strings)
+//! - internally tagged enums (`#[serde(tag = "...")]`) with unit and
+//!   struct variants
+//! - container-level `#[serde(rename_all = "snake_case")]`
+//!
+//! Anything outside that subset is a compile error, not silent
+//! misbehaviour.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    rename_all_snake: bool,
+    tag: Option<String>,
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    default: bool,
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    attrs: FieldAttrs,
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>, // None = unit variant
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    attrs: ContainerAttrs,
+    name: String,
+    shape: Shape,
+}
+
+fn snake_case(ident: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in ident.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Parses `#[...]` attribute groups at `tokens[i..]`, returning serde
+/// key/values seen and the index past the attributes.
+fn parse_attrs(
+    tokens: &[TokenTree],
+    mut i: usize,
+) -> (Vec<(String, Option<String>)>, usize) {
+    let mut found = Vec::new();
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            found.extend(parse_serde_args(args.stream()));
+                        }
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (found, i)
+}
+
+/// Parses the inside of `#[serde( ... )]`: comma-separated `key` or
+/// `key = "value"` entries.
+fn parse_serde_args(stream: TokenStream) -> Vec<(String, Option<String>)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => panic!("serde shim: unsupported attribute syntax"),
+        };
+        i += 1;
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Literal(lit)) => {
+                        let s = lit.to_string();
+                        value = Some(s.trim_matches('"').to_string());
+                        i += 1;
+                    }
+                    _ => panic!("serde shim: expected literal after `=`"),
+                }
+            }
+        }
+        out.push((key, value));
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn container_attrs(pairs: &[(String, Option<String>)]) -> ContainerAttrs {
+    let mut attrs = ContainerAttrs::default();
+    for (key, value) in pairs {
+        match key.as_str() {
+            "rename_all" => {
+                if value.as_deref() != Some("snake_case") {
+                    panic!("serde shim: only rename_all = \"snake_case\" is supported");
+                }
+                attrs.rename_all_snake = true;
+            }
+            "tag" => attrs.tag = value.clone(),
+            other => panic!("serde shim: unsupported container attribute `{other}`"),
+        }
+    }
+    attrs
+}
+
+fn field_attrs(pairs: &[(String, Option<String>)]) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    for (key, _) in pairs {
+        match key.as_str() {
+            "default" => attrs.default = true,
+            other => panic!("serde shim: unsupported field attribute `{other}`"),
+        }
+    }
+    attrs
+}
+
+/// Skips `pub`, `pub(...)` at `tokens[i..]`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses named fields from the brace group of a struct or struct variant.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (pairs, next) = parse_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim: expected `:` after field name, got {other}"),
+        }
+        // Collect the type until a comma at angle-bracket depth zero.
+        let mut ty = String::new();
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                _ => {}
+            }
+            match &tokens[i] {
+                TokenTree::Punct(p) => {
+                    ty.push(p.as_char());
+                    if p.spacing() == Spacing::Alone {
+                        ty.push(' ');
+                    }
+                }
+                other => {
+                    ty.push_str(&other.to_string());
+                    ty.push(' ');
+                }
+            }
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // consume the comma
+        }
+        fields.push(Field {
+            name,
+            ty: ty.trim().to_string(),
+            attrs: field_attrs(&pairs),
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_pairs, next) = parse_attrs(&tokens, i);
+        i = next;
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim: expected variant name, got {other}"),
+        };
+        i += 1;
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    fields = Some(parse_fields(g.stream()));
+                    i += 1;
+                }
+                Delimiter::Parenthesis => {
+                    panic!("serde shim: tuple variants are not supported")
+                }
+                _ => {}
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (pairs, next) = parse_attrs(&tokens, 0);
+    let attrs = container_attrs(&pairs);
+    let mut i = skip_vis(&tokens, next);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim: generic types are not supported");
+        }
+    }
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde shim: expected braced body, got {other}"),
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("serde shim: cannot derive for `{other}`"),
+    };
+    Input { attrs, name, shape }
+}
+
+fn variant_label(attrs: &ContainerAttrs, variant: &str) -> String {
+    if attrs.rename_all_snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.shape {
+        Shape::Struct(fields) => {
+            body.push_str(
+                "let mut __m: Vec<(String, ::serde::__private::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                body.push_str(&format!(
+                    "__m.push((String::from(\"{n}\"), ::serde::Serialize::serialize_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("::serde::__private::Value::Map(__m)\n");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let label = variant_label(&input.attrs, &v.name);
+                match (&v.fields, &input.attrs.tag) {
+                    (None, None) => body.push_str(&format!(
+                        "{name}::{v} => ::serde::__private::Value::Str(String::from(\"{label}\")),\n",
+                        v = v.name
+                    )),
+                    (None, Some(tag)) => body.push_str(&format!(
+                        "{name}::{v} => ::serde::__private::Value::Map(vec![(String::from(\"{tag}\"), ::serde::__private::Value::Str(String::from(\"{label}\")))]),\n",
+                        v = v.name
+                    )),
+                    (Some(fields), Some(tag)) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        body.push_str(&format!(
+                            "{name}::{v} {{ {b} }} => {{\n",
+                            v = v.name,
+                            b = binders.join(", ")
+                        ));
+                        body.push_str(&format!(
+                            "let mut __m: Vec<(String, ::serde::__private::Value)> = vec![(String::from(\"{tag}\"), ::serde::__private::Value::Str(String::from(\"{label}\")))];\n"
+                        ));
+                        for f in fields {
+                            body.push_str(&format!(
+                                "__m.push((String::from(\"{n}\"), ::serde::Serialize::serialize_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        body.push_str("::serde::__private::Value::Map(__m)\n},\n");
+                    }
+                    (Some(_), None) => panic!(
+                        "serde shim: struct variants need #[serde(tag = \"...\")]"
+                    ),
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::__private::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_field_read(ty_name: &str, f: &Field, source: &str) -> String {
+    let missing = if f.attrs.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return Err(::serde::__private::Error::missing_field(\"{ty_name}\", \"{n}\"))",
+            n = f.name
+        )
+    };
+    format!(
+        "{n}: match {source}.get(\"{n}\") {{\n\
+         Some(__x) => <{ty} as ::serde::Deserialize>::deserialize_value(__x)?,\n\
+         None => {missing},\n\
+         }},\n",
+        n = f.name,
+        ty = f.ty
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.shape {
+        Shape::Struct(fields) => {
+            body.push_str("__v.as_map()?;\n");
+            body.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                body.push_str(&gen_field_read(name, f, "__v"));
+            }
+            body.push_str("})\n");
+        }
+        Shape::Enum(variants) => match &input.attrs.tag {
+            None => {
+                body.push_str("let __s = __v.as_str()?;\nmatch __s {\n");
+                for v in variants {
+                    if v.fields.is_some() {
+                        panic!("serde shim: struct variants need #[serde(tag = \"...\")]");
+                    }
+                    let label = variant_label(&input.attrs, &v.name);
+                    body.push_str(&format!(
+                        "\"{label}\" => Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+                body.push_str(&format!(
+                    "__other => Err(::serde::__private::Error::unknown_variant(\"{name}\", __other)),\n}}\n"
+                ));
+            }
+            Some(tag) => {
+                body.push_str(&format!(
+                    "let __tag = match __v.get(\"{tag}\") {{\n\
+                     Some(t) => t.as_str()?.to_owned(),\n\
+                     None => return Err(::serde::__private::Error::missing_field(\"{name}\", \"{tag}\")),\n\
+                     }};\n\
+                     match __tag.as_str() {{\n"
+                ));
+                for v in variants {
+                    let label = variant_label(&input.attrs, &v.name);
+                    match &v.fields {
+                        None => body.push_str(&format!(
+                            "\"{label}\" => Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        Some(fields) => {
+                            body.push_str(&format!(
+                                "\"{label}\" => Ok({name}::{v} {{\n",
+                                v = v.name
+                            ));
+                            for f in fields {
+                                body.push_str(&gen_field_read(name, f, "__v"));
+                            }
+                            body.push_str("}),\n");
+                        }
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => Err(::serde::__private::Error::unknown_variant(\"{name}\", __other)),\n}}\n"
+                ));
+            }
+        },
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::__private::Value) -> ::std::result::Result<Self, ::serde::__private::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde shim: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde shim: generated invalid Deserialize impl")
+}
