@@ -1,0 +1,197 @@
+//! `muxstat` — pretty-prints the Mux observability surface.
+//!
+//! ```text
+//! muxstat [--events N] [--from FILE]
+//! ```
+//!
+//! Without arguments, runs a small built-in mixed workload (writes, cached
+//! reads, a successful migration, and a fault-forced migration abort)
+//! against the standard three-tier stack, then dumps every layer of the
+//! observability surface: tier health, `MuxStats` counters, OCC migration
+//! counters, per-(operation × tier) latency percentiles, device busy-time
+//! attribution, and the tail of the trace ring.
+//!
+//! With `--from FILE`, re-renders a `bench_results/latency_breakdown.json`
+//! previously written by `repro --experiment latency` instead of running
+//! anything. See OBSERVABILITY.md for how to read the output.
+
+use std::sync::Arc;
+
+use bench::experiments::{self as ex, LatencyBreakdown};
+use bench::report;
+use bench::testbed::{build_mux_stack_cached, Capacities};
+use mux::{CacheConfig, CacheController, MuxOptions, PinnedPolicy, BLOCK};
+use simdev::{DeviceClass, FaultMode};
+use tvfs::{FileSystem, FileType, ROOT_INO};
+use workloads::pattern_at;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut tail = 48usize;
+    let mut from: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--events" | "-n" => {
+                i += 1;
+                tail = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--events needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--from" | "-f" => {
+                i += 1;
+                from = args.get(i).cloned();
+                if from.is_none() {
+                    eprintln!("--from needs a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: muxstat [--events N] [--from FILE]\n\
+                     \x20 --events N   trace-tail length for the demo run (default 48)\n\
+                     \x20 --from FILE  re-render a latency_breakdown.json instead of running"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if let Some(path) = from {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let parsed: LatencyBreakdown = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e:?}");
+            std::process::exit(1);
+        });
+        println!("== muxstat — re-rendering {path} ==\n");
+        println!("{}", report::render_latency(&parsed));
+        return;
+    }
+    demo(tail);
+}
+
+/// Runs the built-in workload and dumps every observability layer.
+fn demo(tail: usize) {
+    let stack = build_mux_stack_cached(
+        Capacities::default(),
+        Arc::new(PinnedPolicy::new(1)), // data lands on the SSD tier
+        MuxOptions::default(),
+        4 << 20,
+    );
+    // SCM cache: a DAX window at the tail of the PM device, so the SSD
+    // reads below produce cache-lookup/fill/hit traffic.
+    let window = mux::cache::DaxWindow::new(
+        stack.devices[0].clone(),
+        vec![(stack.devices[0].capacity() - (4 << 20), 4 << 20)],
+    );
+    stack.mux.attach_cache(Arc::new(CacheController::new(
+        Box::new(window),
+        CacheConfig {
+            cache_from: DeviceClass::Ssd,
+            ..Default::default()
+        },
+    )));
+    let f = stack
+        .mux
+        .create(ROOT_INO, "demo", FileType::Regular, 0o644)
+        .unwrap();
+    let blocks = 256u64;
+    stack
+        .mux
+        .write(f.ino, 0, &pattern_at(0, (blocks * BLOCK) as usize))
+        .unwrap();
+    stack.mux.fsync(f.ino).unwrap();
+    // Two passes over the first half: the first fills the SCM cache, the
+    // second hits it.
+    let mut buf = vec![0u8; BLOCK as usize];
+    for _ in 0..2 {
+        for b in 0..blocks / 2 {
+            stack.mux.read(f.ino, b * BLOCK, &mut buf).unwrap();
+        }
+    }
+    // A successful OCC migration (SSD → PM)...
+    stack.mux.migrate_range(f.ino, 0, 64, 0).unwrap();
+    // ...and a fault-forced abort: the HDD is dead when the copy starts
+    // (op budget 0 — e4fs's page cache absorbs small writes, so a nonzero
+    // budget could let a short copy slip through without touching the disk).
+    stack.devices[2].set_fault_mode(FaultMode::FailStop { remaining_ops: 0 });
+    let aborted = stack.mux.migrate_range(f.ino, 128, 64, 2);
+    stack.devices[2].set_fault_mode(FaultMode::None);
+    stack.mux.health().reset(2);
+
+    println!("== muxstat — Mux observability snapshot (built-in demo workload) ==\n");
+    println!("Tier health");
+    for t in stack.mux.tier_status() {
+        println!(
+            "  tier {}  {:<10} {:?}  {} / {} MiB free  {}",
+            t.id,
+            t.name,
+            t.class,
+            t.free_bytes >> 20,
+            t.total_bytes >> 20,
+            t.health.label(),
+        );
+    }
+    let s = stack.mux.stats().snapshot();
+    println!("\nMux counters");
+    println!("  reads {}  writes {}  fsyncs {}", s.reads, s.writes, s.fsyncs);
+    println!(
+        "  bytes_read {}  bytes_written {}  dispatches {}",
+        s.bytes_read, s.bytes_written, s.dispatches
+    );
+    println!(
+        "  split_reads {}  split_writes {}  cache_hits {}  cache_misses {}",
+        s.split_reads, s.split_writes, s.cache_hits, s.cache_misses
+    );
+    println!(
+        "  io_errors {}  io_retries {}  redirected_writes {}  replica_failovers {}",
+        s.io_errors, s.io_retries, s.redirected_writes, s.replica_failovers
+    );
+    let (migrations, conflicts, retries, fallbacks, blocks_moved) =
+        stack.mux.occ_stats().snapshot();
+    println!("\nOCC migration");
+    println!(
+        "  migrations {}  blocks_moved {}  conflicts {}  retries {}  fallbacks {}",
+        migrations, blocks_moved, conflicts, retries, fallbacks
+    );
+    println!(
+        "  aborts {}  partial_commits {}  lock_hold {} vns  (forced abort: {})",
+        stack.mux.occ_stats().aborts(),
+        stack.mux.occ_stats().partial_commits(),
+        stack.mux.occ_stats().lock_hold_vns(),
+        if aborted.is_err() { "yes" } else { "no" },
+    );
+    println!("\nPer-tier dispatch latency (ns, virtual time)");
+    print!(
+        "{}",
+        report::latency_table(&ex::latency_rows(&stack.mux.latency_report()))
+    );
+    println!("\nDevice busy-time attribution (virtual ns)");
+    for (dev, label) in stack.devices.iter().zip(["PM", "SSD", "HDD"]) {
+        let d = dev.stats().snapshot();
+        println!(
+            "  {:<4} busy {:>12}  read {:>12}  write {:>12}  flush {:>12}",
+            label, d.busy_ns, d.read_busy_ns, d.write_busy_ns, d.flush_busy_ns
+        );
+    }
+    let events = stack.mux.trace_snapshot();
+    let from = events.len().saturating_sub(tail);
+    println!(
+        "\nTrace ring: {} recorded, {} dropped; last {} events:",
+        stack.mux.trace().recorded(),
+        stack.mux.trace().dropped(),
+        events.len() - from
+    );
+    print!("{}", report::trace_lines(&events[from..]));
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--experiment fig3a|fig3b|read-overhead|write-overhead|
 //!        meta-overhead|ablation-occ|ablation-cache|ablation-policy|
-//!        degraded-mode|all]
+//!        degraded-mode|latency|all]
 //!       [--quick]
 //! ```
 //!
@@ -21,6 +21,7 @@ struct Scale {
     ablation_ops: usize,
     occ_rounds: usize,
     degraded_ops: usize,
+    latency_ops: usize,
 }
 
 const FULL: Scale = Scale {
@@ -31,6 +32,7 @@ const FULL: Scale = Scale {
     ablation_ops: 8_000,
     occ_rounds: 6,
     degraded_ops: 64,
+    latency_ops: 12_000,
 };
 
 const QUICK: Scale = Scale {
@@ -41,6 +43,7 @@ const QUICK: Scale = Scale {
     ablation_ops: 2_000,
     occ_rounds: 2,
     degraded_ops: 16,
+    latency_ops: 2_000,
 };
 
 fn main() {
@@ -60,7 +63,7 @@ fn main() {
                     "usage: repro [--experiment NAME] [--quick]\n\
                      experiments: fig3a fig3b read-overhead write-overhead\n\
                      \x20            meta-overhead ablation-occ ablation-cache\n\
-                     \x20            ablation-policy degraded-mode all"
+                     \x20            ablation-policy degraded-mode latency all"
                 );
                 return;
             }
@@ -117,5 +120,10 @@ fn main() {
         let r = ex::degraded_mode(scale.degraded_ops);
         println!("{}", report::render_degraded(&r));
         let _ = report::write_json("degraded_mode", &r);
+    }
+    if all || experiment == "latency" {
+        let r = ex::latency_breakdown(scale.latency_ops);
+        println!("{}", report::render_latency(&r));
+        let _ = report::write_json("latency_breakdown", &r);
     }
 }

@@ -6,10 +6,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mux::{
-    CacheConfig, CacheController, HotColdPolicy, LruPolicy, MuxOptions, PinnedPolicy,
-    TieringPolicy, BLOCK,
+    CacheConfig, CacheController, HotColdPolicy, LruPolicy, MuxOptions, OpKind, PinnedPolicy,
+    TieringPolicy, TraceEvent, BLOCK, CACHE_TIER,
 };
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use simdev::DeviceClass;
 use strata::StrataOptions;
 use tvfs::{FileSystem, FileType, ROOT_INO};
@@ -219,6 +219,12 @@ pub struct ReadOverheadRow {
     pub mux_ns: f64,
     /// Overhead percentage (paper: +52.4 / +87.3 / +6.6).
     pub overhead_pct: f64,
+    /// Mux steady-state median dispatch latency, ns (warmup excluded).
+    pub mux_p50_ns: u64,
+    /// Mux steady-state p95 dispatch latency, ns.
+    pub mux_p95_ns: u64,
+    /// Mux steady-state p99 dispatch latency, ns.
+    pub mux_p99_ns: u64,
 }
 
 /// Per-tier configuration for the worst-case read experiment (file size
@@ -275,7 +281,7 @@ pub fn read_overhead(ops: usize) -> Vec<ReadOverheadRow> {
             (st.native_clock.now_ns() - t0) as f64 / ops as f64
         };
         // Mux measurement (same workload, same seed).
-        let mux_ns = {
+        let (mux_ns, mux_hist) = {
             let ino = mk(st.mux.as_ref(), "f");
             let mut off = 0u64;
             while off < file_size {
@@ -291,17 +297,29 @@ pub fn read_overhead(ops: usize) -> Vec<ReadOverheadRow> {
             for _ in 0..ops {
                 st.mux.read(ino, gen.next_off(), &mut one).unwrap();
             }
+            // Snapshot the dispatch histogram after warmup so the reported
+            // percentiles cover only the measured steady-state reads.
+            let warm = st.mux.latency().hist(OpKind::Read, 0).snapshot();
             let t0 = st.mux_clock.now_ns();
             for _ in 0..ops {
                 st.mux.read(ino, gen.next_off(), &mut one).unwrap();
             }
-            (st.mux_clock.now_ns() - t0) as f64 / ops as f64
+            let steady = st
+                .mux
+                .latency()
+                .hist(OpKind::Read, 0)
+                .snapshot()
+                .delta_since(&warm);
+            ((st.mux_clock.now_ns() - t0) as f64 / ops as f64, steady)
         };
         rows.push(ReadOverheadRow {
             tier: tier.label().into(),
             native_ns,
             mux_ns,
             overhead_pct: (mux_ns / native_ns - 1.0) * 100.0,
+            mux_p50_ns: mux_hist.p50(),
+            mux_p95_ns: mux_hist.p95(),
+            mux_p99_ns: mux_hist.p99(),
         });
     }
     rows
@@ -843,5 +861,158 @@ pub fn degraded_mode(n_writes: usize) -> DegradedMode {
         ratio: degraded_mbps / healthy_mbps,
         redirected_writes,
         offline_tier: "PM (novafs)".into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Observability — per-tier latency breakdown
+// ---------------------------------------------------------------------
+
+/// Human label for a histogram tier slot in the standard three-tier stack.
+pub fn tier_label(tier: u32) -> String {
+    match tier {
+        0 => "PM (novafs)".into(),
+        1 => "SSD (xefs)".into(),
+        2 => "HDD (e4fs)".into(),
+        CACHE_TIER => "SCM cache".into(),
+        t => format!("tier {t}"),
+    }
+}
+
+/// One (operation kind × tier) histogram summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyRow {
+    /// Operation-kind label (see `OpKind::label`).
+    pub op: String,
+    /// Tier label.
+    pub tier: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Median dispatch latency, ns.
+    pub p50_ns: u64,
+    /// 95th-percentile latency, ns.
+    pub p95_ns: u64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: u64,
+    /// Largest single dispatch, ns (exact).
+    pub max_ns: u64,
+    /// Mean latency, ns.
+    pub mean_ns: u64,
+}
+
+/// One device's busy-time attribution for the run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceBusyRow {
+    /// Device label.
+    pub device: String,
+    /// Total virtual ns the device was busy.
+    pub busy_ns: u64,
+    /// Busy ns attributable to reads.
+    pub read_busy_ns: u64,
+    /// Busy ns attributable to writes.
+    pub write_busy_ns: u64,
+    /// Busy ns attributable to flushes.
+    pub flush_busy_ns: u64,
+}
+
+/// Result of the latency-breakdown run (see OBSERVABILITY.md for the
+/// field-by-field schema).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Every non-empty (operation, tier) histogram.
+    pub rows: Vec<LatencyRow>,
+    /// Device-level service-time attribution.
+    pub devices: Vec<DeviceBusyRow>,
+    /// Trace events recorded (ring capacity permitting).
+    pub trace_recorded: u64,
+    /// Trace events evicted by ring wraparound.
+    pub trace_dropped: u64,
+    /// The newest trace events, oldest first.
+    pub trace_tail: Vec<TraceEvent>,
+}
+
+/// Summarizes a [`mux::LatencyReport`] into labelled rows.
+pub fn latency_rows(report: &mux::LatencyReport) -> Vec<LatencyRow> {
+    report
+        .entries
+        .iter()
+        .map(|e| LatencyRow {
+            op: e.op.label().into(),
+            tier: tier_label(e.tier),
+            count: e.hist.count,
+            p50_ns: e.hist.p50(),
+            p95_ns: e.hist.p95(),
+            p99_ns: e.hist.p99(),
+            max_ns: e.hist.max_ns,
+            mean_ns: e.hist.mean_ns(),
+        })
+        .collect()
+}
+
+/// Runs a mixed read/write workload over a file deliberately spread across
+/// all three tiers, then reports every (operation, tier) latency histogram,
+/// per-device busy-time attribution, and the tail of the trace ring — the
+/// observability-layer headline experiment.
+pub fn latency_breakdown(ops: usize) -> LatencyBreakdown {
+    let stack = crate::testbed::build_mux_stack_cached(
+        Capacities::default(),
+        Arc::new(PinnedPolicy::new(0)),
+        MuxOptions::default(),
+        4 << 20, // small native caches: latencies reflect the devices
+    );
+    let ino = mk(stack.mux.as_ref(), "f");
+    let file_blocks = 768u64;
+    stack
+        .mux
+        .write(ino, 0, &pattern_at(0, (file_blocks * BLOCK) as usize))
+        .unwrap();
+    stack.mux.fsync(ino).unwrap();
+    // Spread the file: first third stays on PM, middle third moves to the
+    // SSD, last third to the HDD — so reads exercise every tier.
+    stack.mux.migrate_range(ino, 256, 256, 1).unwrap();
+    stack.mux.migrate_range(ino, 512, 256, 2).unwrap();
+    let mut gen = UniformRandom::new(file_blocks * BLOCK, BLOCK, BLOCK, 9);
+    let mut buf = vec![0u8; BLOCK as usize];
+    for i in 0..ops {
+        let off = gen.next_off();
+        if i % 4 == 3 {
+            // Overwrites land on whichever tier holds the block, giving
+            // per-tier write histograms too.
+            stack
+                .mux
+                .write(ino, off, &pattern_at(off, BLOCK as usize))
+                .unwrap();
+        } else {
+            stack.mux.read(ino, off, &mut buf).unwrap();
+        }
+        if i % 64 == 63 {
+            stack.mux.fsync(ino).unwrap();
+        }
+    }
+    stack.mux.fsync(ino).unwrap();
+    let labels = ["PM (novafs)", "SSD (xefs)", "HDD (e4fs)"];
+    let devices = stack
+        .devices
+        .iter()
+        .zip(labels)
+        .map(|(d, label)| {
+            let s = d.stats().snapshot();
+            DeviceBusyRow {
+                device: label.into(),
+                busy_ns: s.busy_ns,
+                read_busy_ns: s.read_busy_ns,
+                write_busy_ns: s.write_busy_ns,
+                flush_busy_ns: s.flush_busy_ns,
+            }
+        })
+        .collect();
+    let events = stack.mux.trace_snapshot();
+    let tail_from = events.len().saturating_sub(32);
+    LatencyBreakdown {
+        rows: latency_rows(&stack.mux.latency_report()),
+        devices,
+        trace_recorded: stack.mux.trace().recorded(),
+        trace_dropped: stack.mux.trace().dropped(),
+        trace_tail: events[tail_from..].to_vec(),
     }
 }

@@ -87,14 +87,23 @@ pub fn render_read_overhead(rows: &[ReadOverheadRow]) -> String {
                 format!("{:.0}", r.native_ns),
                 format!("{:.0}", r.mux_ns),
                 format!("+{:.1}%", r.overhead_pct),
+                format!("{}", r.mux_p50_ns),
+                format!("{}", r.mux_p95_ns),
+                format!("{}", r.mux_p99_ns),
             ]
         })
         .collect();
     let mut s = String::from(
         "§3.2 — worst-case read latency (1-byte random reads; avg ns, virtual time)\n",
     );
-    s += &table(&["tier", "native", "Mux", "overhead"], &body);
-    s += "\n  Paper: +52.4% (PM), +87.3% (SSD), +6.6% (HDD).\n";
+    s += &table(
+        &[
+            "tier", "native", "Mux", "overhead", "Mux p50", "Mux p95", "Mux p99",
+        ],
+        &body,
+    );
+    s += "\n  Paper: +52.4% (PM), +87.3% (SSD), +6.6% (HDD).\n\
+          \x20 Percentiles are per-dispatch (steady state, warmup excluded).\n";
     s
 }
 
@@ -212,6 +221,86 @@ pub fn render_degraded(d: &DegradedMode) -> String {
         ],
         &body,
     );
+    s
+}
+
+/// Renders (operation × tier) latency rows as a percentile table.
+pub fn latency_table(rows: &[LatencyRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.op.clone(),
+                r.tier.clone(),
+                r.count.to_string(),
+                r.p50_ns.to_string(),
+                r.p95_ns.to_string(),
+                r.p99_ns.to_string(),
+                r.max_ns.to_string(),
+                r.mean_ns.to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &["op", "tier", "count", "p50", "p95", "p99", "max", "mean"],
+        &body,
+    )
+}
+
+/// Renders trace events as one line per event, oldest first.
+pub fn trace_lines(events: &[mux::TraceEvent]) -> String {
+    let mut s = String::new();
+    for e in events {
+        let tier = if e.tier == mux::CACHE_TIER {
+            "cache".to_string()
+        } else {
+            format!("t{}", e.tier)
+        };
+        let _ = writeln!(
+            s,
+            "  #{:<6} {:>12} ns  {:<5} ino {:<4} [{:>8}..{:>8})  {}",
+            e.seq,
+            e.at_ns,
+            tier,
+            e.ino,
+            e.off,
+            e.off + e.len,
+            e.kind.label(),
+        );
+    }
+    s
+}
+
+/// Renders the observability-layer latency-breakdown experiment.
+pub fn render_latency(b: &LatencyBreakdown) -> String {
+    let mut s = String::from(
+        "Observability — per-tier dispatch latency (ns, virtual time; \
+         log2-bucket percentiles)\n",
+    );
+    s += &latency_table(&b.rows);
+    s += "\nDevice busy-time attribution (virtual ns)\n";
+    let dev_body: Vec<Vec<String>> = b
+        .devices
+        .iter()
+        .map(|d| {
+            vec![
+                d.device.clone(),
+                d.busy_ns.to_string(),
+                d.read_busy_ns.to_string(),
+                d.write_busy_ns.to_string(),
+                d.flush_busy_ns.to_string(),
+            ]
+        })
+        .collect();
+    s += &table(&["device", "busy", "read", "write", "flush"], &dev_body);
+    let _ = writeln!(
+        s,
+        "\nTrace ring: {} events recorded, {} dropped; last {}:",
+        b.trace_recorded,
+        b.trace_dropped,
+        b.trace_tail.len()
+    );
+    s += &trace_lines(&b.trace_tail);
     s
 }
 

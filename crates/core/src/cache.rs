@@ -11,13 +11,16 @@
 //! the tiers); reads from slow tiers fill the cache.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
-use simdev::{Device, DeviceClass};
+use simdev::{Device, DeviceClass, VirtualClock};
 use tvfs::{VfsError, VfsResult};
 
 use crate::file::MuxIno;
+use crate::hist::{LatencyRegistry, OpKind, CACHE_TIER};
 use crate::mglru::Mglru;
+use crate::trace::{TraceBuffer, TraceEventKind};
 use crate::types::BLOCK;
 
 /// Where cache slots physically live.
@@ -118,11 +121,20 @@ struct CacheInner {
     misses: u64,
 }
 
+/// Observability hookup: cache operations record their virtual-time
+/// duration under [`CACHE_TIER`] and emit hit/miss events.
+struct CacheObserver {
+    clock: VirtualClock,
+    lat: Arc<LatencyRegistry>,
+    trace: Arc<TraceBuffer>,
+}
+
 /// The SCM block cache.
 pub struct CacheController {
     backend: Box<dyn CacheBackend>,
     config: CacheConfig,
     inner: Mutex<CacheInner>,
+    observer: Mutex<Option<CacheObserver>>,
 }
 
 impl CacheController {
@@ -144,7 +156,46 @@ impl CacheController {
             }),
             backend,
             config,
+            observer: Mutex::new(None),
         }
+    }
+
+    /// Wires the cache into an observability layer: lookups and fills
+    /// record their latency under [`CACHE_TIER`], and every lookup emits a
+    /// `CacheHit`/`CacheMiss` trace event. Called by `Mux::attach_cache`;
+    /// a standalone controller records nothing.
+    pub fn attach_observer(
+        &self,
+        clock: VirtualClock,
+        lat: Arc<LatencyRegistry>,
+        trace: Arc<TraceBuffer>,
+    ) {
+        *self.observer.lock() = Some(CacheObserver { clock, lat, trace });
+    }
+
+    /// Runs `f`, records its virtual-time duration as `op`, and reports
+    /// the outcome `f` exposes through `event(&result)` as a trace event.
+    fn observed<T>(
+        &self,
+        op: OpKind,
+        ino: MuxIno,
+        block: u64,
+        f: impl FnOnce() -> T,
+        event: impl FnOnce(&T) -> Option<TraceEventKind>,
+    ) -> T {
+        let obs = self.observer.lock();
+        let Some(o) = obs.as_ref() else {
+            drop(obs);
+            return f();
+        };
+        let t0 = o.clock.now_ns();
+        let out = f();
+        o.lat.record(op, CACHE_TIER, o.clock.now_ns() - t0);
+        if let Some(kind) = event(&out) {
+            o.trace
+                .push(o.clock.now_ns(), kind, CACHE_TIER, ino, block * BLOCK, BLOCK);
+        }
+        out
     }
 
     /// Whether data living on a tier of `class` should be cached.
@@ -171,31 +222,47 @@ impl CacheController {
     /// Looks up one block; on a hit, fills `buf` from SCM and returns
     /// `true`.
     pub fn lookup(&self, ino: MuxIno, block: u64, buf: &mut [u8]) -> VfsResult<bool> {
-        let slot = {
-            let mut inner = self.inner.lock();
-            match inner.map.get(&(ino, block)).copied() {
-                Some(s) => {
-                    inner.lru.touch(&(ino, block));
-                    inner.hits += 1;
-                    Some(s)
+        self.observed(
+            OpKind::CacheLookup,
+            ino,
+            block,
+            || {
+                let slot = {
+                    let mut inner = self.inner.lock();
+                    match inner.map.get(&(ino, block)).copied() {
+                        Some(s) => {
+                            inner.lru.touch(&(ino, block));
+                            inner.hits += 1;
+                            Some(s)
+                        }
+                        None => {
+                            inner.misses += 1;
+                            None
+                        }
+                    }
+                };
+                match slot {
+                    Some(s) => {
+                        self.backend.read_slot(s * BLOCK, buf)?;
+                        Ok(true)
+                    }
+                    None => Ok(false),
                 }
-                None => {
-                    inner.misses += 1;
-                    None
-                }
-            }
-        };
-        match slot {
-            Some(s) => {
-                self.backend.read_slot(s * BLOCK, buf)?;
-                Ok(true)
-            }
-            None => Ok(false),
-        }
+            },
+            |res| match res {
+                Ok(true) => Some(TraceEventKind::CacheHit),
+                // A backend error is served as a miss by the read path.
+                Ok(false) | Err(_) => Some(TraceEventKind::CacheMiss),
+            },
+        )
     }
 
     /// Inserts one block's content, evicting if needed.
     pub fn fill(&self, ino: MuxIno, block: u64, data: &[u8]) -> VfsResult<()> {
+        self.observed(OpKind::CacheFill, ino, block, || self.fill_inner(ino, block, data), |_| None)
+    }
+
+    fn fill_inner(&self, ino: MuxIno, block: u64, data: &[u8]) -> VfsResult<()> {
         debug_assert_eq!(data.len() as u64, BLOCK);
         let slot = {
             let mut inner = self.inner.lock();

@@ -29,13 +29,18 @@
 //! fault scenarios stay deterministic.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
+use crate::trace::{TraceBuffer, TraceEventKind};
 use crate::types::TierId;
 
 /// Circuit-breaker state of one tier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub enum TierHealthState {
     /// Full service.
     #[default]
@@ -156,6 +161,7 @@ impl TierHealth {
 pub struct HealthRegistry {
     config: HealthConfig,
     tiers: Mutex<HashMap<TierId, TierHealth>>,
+    tracer: Mutex<Option<(simdev::VirtualClock, Arc<TraceBuffer>)>>,
 }
 
 impl HealthRegistry {
@@ -164,6 +170,28 @@ impl HealthRegistry {
         HealthRegistry {
             config,
             tiers: Mutex::new(HashMap::new()),
+            tracer: Mutex::new(None),
+        }
+    }
+
+    /// Wires the registry to a trace buffer: every breaker state change is
+    /// emitted as a [`TraceEventKind::HealthTransition`] stamped with the
+    /// given clock. Called by `Mux::new`; standalone registries trace
+    /// nothing.
+    pub fn attach_tracer(&self, clock: simdev::VirtualClock, buf: Arc<TraceBuffer>) {
+        *self.tracer.lock() = Some((clock, buf));
+    }
+
+    fn trace_transition(&self, tier: TierId, from: TierHealthState, to: TierHealthState) {
+        if let Some((clock, buf)) = self.tracer.lock().as_ref() {
+            buf.push(
+                clock.now_ns(),
+                TraceEventKind::HealthTransition { from, to },
+                tier,
+                0,
+                0,
+                0,
+            );
         }
     }
 
@@ -198,44 +226,59 @@ impl HealthRegistry {
     /// recovers to `Healthy` once its windowed error rate is back under
     /// the threshold. `ReadOnly`/`Offline` stay latched (reset only).
     pub fn record_success(&self, tier: TierId) {
-        let mut tiers = self.tiers.lock();
-        let h = tiers.entry(tier).or_default();
-        h.successes += 1;
-        h.consecutive_errors = 0;
-        h.push_window(false, self.config.window_ops);
-        if h.state == TierHealthState::Degraded
-            && h.window_rate(self.config.window_ops) < self.config.window_error_rate
+        let mut transition = None;
         {
-            h.state = TierHealthState::Healthy;
+            let mut tiers = self.tiers.lock();
+            let h = tiers.entry(tier).or_default();
+            h.successes += 1;
+            h.consecutive_errors = 0;
+            h.push_window(false, self.config.window_ops);
+            if h.state == TierHealthState::Degraded
+                && h.window_rate(self.config.window_ops) < self.config.window_error_rate
+            {
+                transition = Some((h.state, TierHealthState::Healthy));
+                h.state = TierHealthState::Healthy;
+            }
+        }
+        if let Some((from, to)) = transition {
+            self.trace_transition(tier, from, to);
         }
     }
 
     /// Records a failed dispatch and runs the breaker; returns the
     /// (possibly escalated) state.
     pub fn record_error(&self, tier: TierId) -> TierHealthState {
-        let mut tiers = self.tiers.lock();
-        let h = tiers.entry(tier).or_default();
-        h.errors += 1;
-        h.consecutive_errors += 1;
-        h.push_window(true, self.config.window_ops);
-        let c = h.consecutive_errors;
-        let cfg = &self.config;
-        let mut next = h.state;
-        if c >= cfg.offline_after {
-            next = TierHealthState::Offline;
-        } else if c >= cfg.read_only_after {
-            next = next.max(TierHealthState::ReadOnly);
-        } else if c >= cfg.degraded_after
-            || (h.window_len >= cfg.window_ops.min(64)
-                && h.window_rate(cfg.window_ops) >= cfg.window_error_rate)
-        {
-            next = next.max(TierHealthState::Degraded);
+        let mut transition = None;
+        let state = {
+            let mut tiers = self.tiers.lock();
+            let h = tiers.entry(tier).or_default();
+            h.errors += 1;
+            h.consecutive_errors += 1;
+            h.push_window(true, self.config.window_ops);
+            let c = h.consecutive_errors;
+            let cfg = &self.config;
+            let mut next = h.state;
+            if c >= cfg.offline_after {
+                next = TierHealthState::Offline;
+            } else if c >= cfg.read_only_after {
+                next = next.max(TierHealthState::ReadOnly);
+            } else if c >= cfg.degraded_after
+                || (h.window_len >= cfg.window_ops.min(64)
+                    && h.window_rate(cfg.window_ops) >= cfg.window_error_rate)
+            {
+                next = next.max(TierHealthState::Degraded);
+            }
+            if next > h.state {
+                h.trips += 1;
+                transition = Some((h.state, next));
+                h.state = next;
+            }
+            h.state
+        };
+        if let Some((from, to)) = transition {
+            self.trace_transition(tier, from, to);
         }
-        if next > h.state {
-            h.trips += 1;
-            h.state = next;
-        }
-        h.state
+        state
     }
 
     /// Records one retry issued by the backoff loop.
@@ -246,23 +289,41 @@ impl HealthRegistry {
     /// Operator action: re-admits a tier (clears the breaker and streak;
     /// cumulative counters are kept).
     pub fn reset(&self, tier: TierId) {
-        let mut tiers = self.tiers.lock();
-        let h = tiers.entry(tier).or_default();
-        h.state = TierHealthState::Healthy;
-        h.consecutive_errors = 0;
-        h.window = 0;
-        h.window_len = 0;
+        let mut transition = None;
+        {
+            let mut tiers = self.tiers.lock();
+            let h = tiers.entry(tier).or_default();
+            if h.state != TierHealthState::Healthy {
+                transition = Some((h.state, TierHealthState::Healthy));
+            }
+            h.state = TierHealthState::Healthy;
+            h.consecutive_errors = 0;
+            h.window = 0;
+            h.window_len = 0;
+        }
+        if let Some((from, to)) = transition {
+            self.trace_transition(tier, from, to);
+        }
     }
 
     /// Forces a breaker state (operator action / tests): e.g. proactively
     /// fencing a tier `ReadOnly` before planned maintenance.
     pub fn force_state(&self, tier: TierId, state: TierHealthState) {
-        let mut tiers = self.tiers.lock();
-        let h = tiers.entry(tier).or_default();
-        if state > h.state {
-            h.trips += 1;
+        let mut transition = None;
+        {
+            let mut tiers = self.tiers.lock();
+            let h = tiers.entry(tier).or_default();
+            if state > h.state {
+                h.trips += 1;
+            }
+            if state != h.state {
+                transition = Some((h.state, state));
+            }
+            h.state = state;
         }
-        h.state = state;
+        if let Some((from, to)) = transition {
+            self.trace_transition(tier, from, to);
+        }
     }
 
     /// Counter snapshot for one tier.

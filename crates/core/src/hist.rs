@@ -1,0 +1,471 @@
+//! Fixed-bucket latency histograms (observability).
+//!
+//! Every native dispatch, migration phase, and SCM-cache access records its
+//! virtual-time duration into a [`LatencyHistogram`] selected by
+//! *operation kind × tier* in the [`LatencyRegistry`]. Buckets are log2
+//! (bucket *i* covers `[2^i, 2^(i+1))` nanoseconds), so recording is one
+//! `leading_zeros` plus one relaxed atomic increment — cheap enough to sit
+//! on the hot dispatch path — and snapshots report p50/p95/p99/max without
+//! retaining individual samples.
+//!
+//! # Examples
+//!
+//! ```
+//! use mux::hist::LatencyHistogram;
+//!
+//! let h = LatencyHistogram::new();
+//! for ns in [100, 200, 400, 800, 100_000] {
+//!     h.record(ns);
+//! }
+//! let snap = h.snapshot();
+//! assert_eq!(snap.count, 5);
+//! assert_eq!(snap.max_ns, 100_000);
+//! assert!(snap.p50() >= 200 && snap.p50() < 512);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::TierId;
+
+/// Number of log2 buckets. Bucket 39 covers everything from `2^39` ns
+/// (~9 minutes of virtual time) upward, far beyond any single dispatch.
+pub const HIST_BUCKETS: usize = 40;
+
+/// Pseudo-tier id under which SCM-cache operations are recorded in the
+/// [`LatencyRegistry`] (the cache is shared, not a tier).
+pub const CACHE_TIER: TierId = TierId::MAX;
+
+/// Maximum real tiers tracked per operation kind; tiers beyond this share
+/// the last slot (registries are fixed-size so recording stays lock-free).
+pub const MAX_TIER_SLOTS: usize = 8;
+
+/// The operation kinds latency is attributed to.
+///
+/// `Read`/`Write`/`Fsync`/`Meta` are native dispatches issued on behalf of
+/// user calls, classified at the [`crate::Mux`] dispatch boundary.
+/// `MigrationCopy`/`MigrationCommit` split the OCC synchronizer into its
+/// off-critical-path copy phase and its exclusive commit instant.
+/// `CacheLookup`/`CacheFill` are SCM-cache accesses (recorded under
+/// [`CACHE_TIER`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Data read dispatched to a native file system.
+    Read,
+    /// Data write dispatched to a native file system.
+    Write,
+    /// Durability fan-out (`fsync`/`sync`) dispatched to a native FS.
+    Fsync,
+    /// Namespace/metadata dispatch (lookup, create, setattr, unlink…).
+    Meta,
+    /// OCC migration copy work (reads from sources, writes + fsync to the
+    /// destination) — runs without excluding user I/O.
+    MigrationCopy,
+    /// OCC validate-and-commit critical section (the only part of a
+    /// migration that holds the file's write lock).
+    MigrationCommit,
+    /// SCM cache lookup (hit or miss).
+    CacheLookup,
+    /// SCM cache fill (block insertion, possibly with eviction).
+    CacheFill,
+}
+
+impl OpKind {
+    /// All kinds, registry order.
+    pub const ALL: [OpKind; 8] = [
+        OpKind::Read,
+        OpKind::Write,
+        OpKind::Fsync,
+        OpKind::Meta,
+        OpKind::MigrationCopy,
+        OpKind::MigrationCommit,
+        OpKind::CacheLookup,
+        OpKind::CacheFill,
+    ];
+
+    /// Stable display label (also the JSON encoding).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Fsync => "fsync",
+            OpKind::Meta => "meta",
+            OpKind::MigrationCopy => "migration-copy",
+            OpKind::MigrationCommit => "migration-commit",
+            OpKind::CacheLookup => "cache-lookup",
+            OpKind::CacheFill => "cache-fill",
+        }
+    }
+
+    fn index(&self) -> usize {
+        OpKind::ALL.iter().position(|k| k == self).unwrap_or(0)
+    }
+}
+
+/// Returns the bucket index a duration of `ns` falls into: `0` for 0–1 ns,
+/// otherwise `floor(log2(ns))`, clamped to the last bucket.
+pub fn bucket_index(ns: u64) -> usize {
+    if ns < 2 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive `(low, high)` nanosecond bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    let i = i.min(HIST_BUCKETS - 1);
+    let low = if i == 0 { 0 } else { 1u64 << i };
+    let high = if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    };
+    (low, high)
+}
+
+/// A concurrent log2-bucket histogram of nanosecond durations.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a point-in-time copy.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plain snapshot of a [`LatencyHistogram`]; all percentile math happens
+/// here, off the recording path.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts ([`bucket_bounds`] gives each bucket's
+    /// nanosecond range).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all recorded durations, ns.
+    pub sum_ns: u64,
+    /// Largest recorded duration, ns (exact, not bucketed).
+    pub max_ns: u64,
+}
+
+impl HistSnapshot {
+    /// The `p`-th percentile (`0.0 < p <= 1.0`) as the *upper bound* of the
+    /// bucket the rank falls in — a conservative (never under-reported)
+    /// estimate. The top bucket reports the exact observed maximum.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, high) = bucket_bounds(i);
+                // Never report past the observed maximum.
+                return high.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median (see [`HistSnapshot::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Arithmetic mean, ns (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The samples recorded between `earlier` and `self` (two snapshots of
+    /// the *same* cumulative histogram, `earlier` taken first). Bucket
+    /// counts, `count`, and `sum_ns` are differenced; `max_ns` keeps the
+    /// later snapshot's value, which is an upper bound for the interval (the
+    /// true interval maximum is unrecoverable once folded into a cumulative
+    /// max). Benchmarks use this to report steady-state percentiles that
+    /// exclude warmup samples.
+    pub fn delta_since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+            .map(|(now, was)| now.saturating_sub(*was))
+            .collect();
+        HistSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum_ns: self.sum_ns.saturating_sub(earlier.sum_ns),
+            max_ns: self.max_ns,
+        }
+    }
+}
+
+/// One (operation kind, tier) row of a [`LatencyReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyReportEntry {
+    /// Operation kind.
+    pub op: OpKind,
+    /// Tier the operation was dispatched to ([`CACHE_TIER`] for SCM-cache
+    /// operations).
+    pub tier: TierId,
+    /// The histogram contents.
+    pub hist: HistSnapshot,
+}
+
+/// Snapshot of every non-empty histogram in a [`LatencyRegistry`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Non-empty (op, tier) histograms, registry order.
+    pub entries: Vec<LatencyReportEntry>,
+}
+
+impl LatencyReport {
+    /// Finds the entry for `(op, tier)`, if any samples were recorded.
+    pub fn get(&self, op: OpKind, tier: TierId) -> Option<&HistSnapshot> {
+        self.entries
+            .iter()
+            .find(|e| e.op == op && e.tier == tier)
+            .map(|e| &e.hist)
+    }
+}
+
+/// Lock-free fixed table of latency histograms, one per
+/// (operation kind, tier slot) pair, plus one cache slot per kind.
+#[derive(Debug)]
+pub struct LatencyRegistry {
+    /// `[op][tier_slot]`; slot `MAX_TIER_SLOTS` is the cache pseudo-tier.
+    hists: Vec<LatencyHistogram>,
+}
+
+impl LatencyRegistry {
+    const SLOTS: usize = MAX_TIER_SLOTS + 1;
+
+    /// An empty registry.
+    pub fn new() -> Self {
+        LatencyRegistry {
+            hists: (0..OpKind::ALL.len() * Self::SLOTS)
+                .map(|_| LatencyHistogram::new())
+                .collect(),
+        }
+    }
+
+    fn slot(tier: TierId) -> usize {
+        if tier == CACHE_TIER {
+            MAX_TIER_SLOTS
+        } else {
+            (tier as usize).min(MAX_TIER_SLOTS - 1)
+        }
+    }
+
+    /// The histogram for `(op, tier)`.
+    pub fn hist(&self, op: OpKind, tier: TierId) -> &LatencyHistogram {
+        &self.hists[op.index() * Self::SLOTS + Self::slot(tier)]
+    }
+
+    /// Records one duration against `(op, tier)`.
+    pub fn record(&self, op: OpKind, tier: TierId, ns: u64) {
+        self.hist(op, tier).record(ns);
+    }
+
+    /// Snapshots every histogram that saw at least one sample.
+    pub fn report(&self) -> LatencyReport {
+        let mut entries = Vec::new();
+        for op in OpKind::ALL {
+            for slot in 0..Self::SLOTS {
+                let h = &self.hists[op.index() * Self::SLOTS + slot];
+                if h.count() == 0 {
+                    continue;
+                }
+                let tier = if slot == MAX_TIER_SLOTS {
+                    CACHE_TIER
+                } else {
+                    slot as TierId
+                };
+                entries.push(LatencyReportEntry {
+                    op,
+                    tier,
+                    hist: h.snapshot(),
+                });
+            }
+        }
+        LatencyReport { entries }
+    }
+}
+
+impl Default for LatencyRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        // Bounds invert the index: every bucket's bounds map back to it.
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i.min(HIST_BUCKETS - 1));
+            if hi != u64::MAX {
+                assert_eq!(bucket_index(hi), i);
+                assert_eq!(bucket_index(hi + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 90 samples at ~100 ns (bucket 6: 64..127), 10 at ~100 µs
+        // (bucket 16: 65536..131071).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50(), 127, "median falls in the 64..127 bucket");
+        assert_eq!(s.percentile(0.90), 127, "rank 90 is the last fast one");
+        assert_eq!(s.p95(), 100_000, "tail bucket capped at observed max");
+        assert_eq!(s.p99(), 100_000);
+        assert_eq!(s.max_ns, 100_000, "max is exact");
+        assert_eq!(s.mean_ns(), (90 * 100 + 10 * 100_000) / 100);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean_ns(), 0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_that_sample_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(5000); // bucket 12: 4096..8191
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 5000, "capped at the exact max");
+        assert_eq!(s.p99(), 5000);
+    }
+
+    #[test]
+    fn registry_routes_by_op_and_tier() {
+        let r = LatencyRegistry::new();
+        r.record(OpKind::Read, 0, 10);
+        r.record(OpKind::Read, 1, 20);
+        r.record(OpKind::Write, 0, 30);
+        r.record(OpKind::CacheLookup, CACHE_TIER, 40);
+        let rep = r.report();
+        assert_eq!(rep.entries.len(), 4);
+        assert_eq!(rep.get(OpKind::Read, 0).unwrap().count, 1);
+        assert_eq!(rep.get(OpKind::Read, 1).unwrap().max_ns, 20);
+        assert!(rep.get(OpKind::Fsync, 0).is_none(), "empty hists skipped");
+        assert_eq!(rep.get(OpKind::CacheLookup, CACHE_TIER).unwrap().max_ns, 40);
+    }
+
+    #[test]
+    fn out_of_range_tiers_share_last_slot() {
+        let r = LatencyRegistry::new();
+        r.record(OpKind::Read, 100, 1);
+        r.record(OpKind::Read, 200, 1);
+        let rep = r.report();
+        let e = rep
+            .get(OpKind::Read, (MAX_TIER_SLOTS - 1) as TierId)
+            .unwrap();
+        assert_eq!(e.count, 2, "overflow tiers aggregate in the last slot");
+    }
+
+    #[test]
+    fn delta_since_isolates_an_interval() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(1_000_000); // warmup: 1 ms samples
+        }
+        let warm = h.snapshot();
+        for _ in 0..100 {
+            h.record(100); // steady state: 100 ns samples
+        }
+        let full = h.snapshot();
+        let steady = full.delta_since(&warm);
+        assert_eq!(steady.count, 100);
+        assert_eq!(steady.sum_ns, 100 * 100);
+        // The warmup millisecond samples are gone from the percentiles.
+        assert_eq!(steady.p99(), 127);
+        // Whole-run view still sees both phases.
+        assert_eq!(full.count, 200);
+        assert!(full.p99() >= 1_000_000);
+    }
+}

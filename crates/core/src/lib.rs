@@ -24,13 +24,18 @@
 //!
 //! Plus the §4 discussion items that have concrete implementations here:
 //! the device-profile-driven I/O [`sched`]uler, runtime tier add/remove,
-//! and per-tier fault tolerance ([`health`] — circuit breaker, bounded
-//! retry with backoff, and graceful degradation when a device sickens).
+//! per-tier fault tolerance ([`health`] — circuit breaker, bounded
+//! retry with backoff, and graceful degradation when a device sickens),
+//! and the observability layer ([`trace`] — typed event ring; [`hist`] —
+//! per-op×tier latency histograms; see OBSERVABILITY.md).
+
+#![warn(missing_docs)]
 
 pub mod blt;
 pub mod cache;
 pub mod file;
 pub mod health;
+pub mod hist;
 pub mod meta;
 pub mod mglru;
 mod mux;
@@ -40,14 +45,17 @@ pub mod policy;
 pub mod policy_vm;
 pub mod sched;
 pub mod stats;
+pub mod trace;
 pub mod types;
 
 pub use blt::BlockLookupTable;
 pub use cache::{CacheConfig, CacheController};
 pub use health::{HealthConfig, HealthRegistry, HealthSnapshot, TierHealthState};
+pub use hist::{HistSnapshot, LatencyRegistry, LatencyReport, OpKind, CACHE_TIER};
 pub use meta::{AttrKind, CollectiveInode};
 pub use mux::{Mux, TierHandle};
 pub use occ::{MigrationOutcome, OccStats};
+pub use trace::{TraceBuffer, TraceEvent, TraceEventKind};
 pub use policy::{
     HotColdPolicy, LruPolicy, PinnedPolicy, PlacementCtx, StripingPolicy, TieringPolicy, TpfsPolicy,
 };

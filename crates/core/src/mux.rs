@@ -21,8 +21,10 @@ use tvfs::{
 use crate::cache::CacheController;
 use crate::file::{MuxFile, MuxIno};
 use crate::health::{HealthRegistry, HealthSnapshot};
+use crate::hist::{LatencyRegistry, LatencyReport, OpKind};
 use crate::meta::{AttrKind, CollectiveInode};
 use crate::occ::OccStats;
+use crate::trace::{TraceBuffer, TraceEvent, TraceEventKind};
 use crate::policy::{PlacementCtx, TierStatus, TieringPolicy};
 use crate::sched::IoScheduler;
 use crate::stats::MuxStats;
@@ -164,6 +166,10 @@ pub struct Mux {
     pub(crate) metafile: Mutex<Option<crate::persist::MetafileHandle>>,
     /// Per-tier circuit breaker (see [`crate::health`]).
     pub(crate) health: HealthRegistry,
+    /// Per-op×tier latency histograms (see [`crate::hist`]).
+    pub(crate) lat: Arc<LatencyRegistry>,
+    /// Typed observability event ring (see [`crate::trace`]).
+    pub(crate) trace: Arc<TraceBuffer>,
 }
 
 impl Mux {
@@ -185,6 +191,8 @@ impl Mux {
             },
         );
         let health = HealthRegistry::new(opts.health.clone());
+        let trace = Arc::new(TraceBuffer::new(opts.trace_capacity));
+        health.attach_tracer(clock.clone(), trace.clone());
         Mux {
             opts,
             clock,
@@ -200,6 +208,8 @@ impl Mux {
             meta_mutations: AtomicU64::new(0),
             metafile: Mutex::new(None),
             health,
+            lat: Arc::new(LatencyRegistry::new()),
+            trace,
         }
     }
 
@@ -239,14 +249,39 @@ impl Mux {
         Ok(())
     }
 
-    /// Attaches the SCM cache controller.
+    /// Attaches the SCM cache controller (and wires it into this Mux's
+    /// observability layer: cache hit/miss events and lookup/fill latency
+    /// histograms).
     pub fn attach_cache(&self, cache: Arc<CacheController>) {
+        cache.attach_observer(self.clock.clone(), self.lat.clone(), self.trace.clone());
         *self.cache.write() = Some(cache);
     }
 
     /// Mux-level operation counters.
     pub fn stats(&self) -> &MuxStats {
         &self.stats
+    }
+
+    /// The latency histogram registry (for recording; snapshots come from
+    /// [`Mux::latency_report`]).
+    pub fn latency(&self) -> &LatencyRegistry {
+        &self.lat
+    }
+
+    /// Snapshot of every non-empty latency histogram, one entry per
+    /// (operation kind, tier) pair that saw traffic.
+    pub fn latency_report(&self) -> LatencyReport {
+        self.lat.report()
+    }
+
+    /// The observability event ring.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Copies out the retained trace events, oldest first.
+    pub fn trace_snapshot(&self) -> Vec<TraceEvent> {
+        self.trace.events()
     }
 
     /// OCC synchronizer counters.
@@ -311,6 +346,18 @@ impl Mux {
         self.clock.now_ns()
     }
 
+    /// Emits one trace event stamped with the current virtual time.
+    pub(crate) fn trace_event(
+        &self,
+        kind: TraceEventKind,
+        tier: TierId,
+        ino: u64,
+        off: u64,
+        len: u64,
+    ) {
+        self.trace.push(self.now(), kind, tier, ino, off, len);
+    }
+
     pub(crate) fn get_file(&self, ino: MuxIno) -> VfsResult<Arc<MuxFile>> {
         self.files
             .read()
@@ -340,34 +387,44 @@ impl Mux {
     /// charged on the shared virtual clock, so retry schedules are
     /// deterministic. Retrying stops early if the breaker latches the tier
     /// `Offline` mid-loop.
+    ///
+    /// This is the dispatch boundary: the whole loop's virtual-time
+    /// duration (native service + device time + any backoff) is recorded
+    /// into the `(kind, tier)` latency histogram, and every retry emits a
+    /// [`TraceEventKind::Retry`] event.
     pub(crate) fn tier_io<T>(
         &self,
+        kind: OpKind,
         tier: TierId,
         mut op: impl FnMut() -> VfsResult<T>,
     ) -> VfsResult<T> {
         let cfg = self.health.config();
+        let t0 = self.now();
         let mut attempt = 0u32;
-        loop {
+        let result = loop {
             match op() {
                 Ok(v) => {
                     self.health.record_success(tier);
-                    return Ok(v);
+                    break Ok(v);
                 }
                 Err(VfsError::Io(e)) => {
                     MuxStats::add(&self.stats.io_errors, 1);
                     self.health.record_error(tier);
                     if attempt >= cfg.io_retries || !self.health.can_read(tier) {
-                        return Err(VfsError::Io(e));
+                        break Err(VfsError::Io(e));
                     }
                     attempt += 1;
                     MuxStats::add(&self.stats.io_retries, 1);
                     self.health.record_retry(tier);
                     self.sched.note_retry(tier);
+                    self.trace_event(TraceEventKind::Retry { attempt }, tier, 0, 0, 0);
                     self.charge(cfg.backoff_ns(attempt));
                 }
-                Err(e) => return Err(e),
+                Err(e) => break Err(e),
             }
-        }
+        };
+        self.lat.record(kind, tier, self.now() - t0);
+        result
     }
 
     /// The best tier that can accept `need` bytes of new data right now:
@@ -399,7 +456,9 @@ impl Mux {
         if self.health.can_read(tier) {
             let handle = self.tier(tier)?;
             let nino = self.ensure_native(file, tier)?;
-            match self.tier_io(tier, || handle.fs.read(nino, block * BLOCK, &mut *page)) {
+            match self.tier_io(OpKind::Read, tier, || {
+                handle.fs.read(nino, block * BLOCK, &mut *page)
+            }) {
                 Ok(got) => return Ok(got),
                 Err(VfsError::Io(_)) => {} // fall through to the replica
                 Err(e) => return Err(e),
@@ -411,7 +470,9 @@ impl Mux {
                 let rh = self.tier(rt)?;
                 let rino = self.ensure_native(file, rt)?;
                 MuxStats::add(&self.stats.replica_failovers, 1);
-                self.tier_io(rt, || rh.fs.read(rino, block * BLOCK, &mut *page))
+                self.tier_io(OpKind::Read, rt, || {
+                    rh.fs.read(rino, block * BLOCK, &mut *page)
+                })
             }
             None => Err(VfsError::Io(format!(
                 "tier {tier} unreadable and block {block} has no replica"
@@ -450,7 +511,8 @@ impl Mux {
             let handle = self.tier(to)?;
             let nino = self.ensure_native(file, to)?;
             self.charge(self.opts.cost.dispatch_ns);
-            let wrote = self.tier_io(to, || handle.fs.write(nino, block * BLOCK, &page))?;
+            let wrote =
+                self.tier_io(OpKind::Write, to, || handle.fs.write(nino, block * BLOCK, &page))?;
             if wrote != page.len() {
                 return Err(VfsError::Io("short redirect write".into()));
             }
@@ -479,21 +541,25 @@ impl Mux {
         };
         let mut cur = handle.fs.root_ino();
         for comp in &comps {
-            cur = match self.tier_io(tier, || handle.fs.lookup(cur, comp)) {
+            cur = match self.tier_io(OpKind::Meta, tier, || handle.fs.lookup(cur, comp)) {
                 Ok(a) if a.is_dir() => a.ino,
                 Ok(_) => return Err(VfsError::NotDir),
                 Err(VfsError::NotFound) => {
-                    self.tier_io(tier, || handle.fs.create(cur, comp, FileType::Directory, 0o755))?
-                        .ino
+                    self.tier_io(OpKind::Meta, tier, || {
+                        handle.fs.create(cur, comp, FileType::Directory, 0o755)
+                    })?
+                    .ino
                 }
                 Err(e) => return Err(e),
             };
         }
-        let nino = match self.tier_io(tier, || handle.fs.lookup(cur, &name)) {
+        let nino = match self.tier_io(OpKind::Meta, tier, || handle.fs.lookup(cur, &name)) {
             Ok(a) => a.ino,
             Err(VfsError::NotFound) => {
-                self.tier_io(tier, || handle.fs.create(cur, &name, FileType::Regular, 0o644))?
-                    .ino
+                self.tier_io(OpKind::Meta, tier, || {
+                    handle.fs.create(cur, &name, FileType::Regular, 0o644)
+                })?
+                .ino
             }
             Err(e) => return Err(e),
         };
@@ -1026,7 +1092,16 @@ impl FileSystem for Mux {
                         primary_nino = Some(nino);
                         self.charge(cost.dispatch_ns);
                         MuxStats::add(&self.stats.dispatches, 1);
-                        self.tier_io(seg.value, || handle.fs.read(nino, cur, &mut *dst))
+                        self.trace_event(
+                            TraceEventKind::Dispatch { op: OpKind::Read },
+                            seg.value,
+                            ino,
+                            cur,
+                            dst.len() as u64,
+                        );
+                        self.tier_io(OpKind::Read, seg.value, || {
+                            handle.fs.read(nino, cur, &mut *dst)
+                        })
                     } else {
                         // Offline tier: don't dispatch, go straight to the
                         // replica (or error) below.
@@ -1044,8 +1119,16 @@ impl FileSystem for Mux {
                                     let rino = self.ensure_native(&file, rt)?;
                                     self.charge(cost.dispatch_ns);
                                     MuxStats::add(&self.stats.dispatches, 1);
-                                    let got =
-                                        self.tier_io(rt, || rh.fs.read(rino, cur, &mut *dst))?;
+                                    self.trace_event(
+                                        TraceEventKind::Dispatch { op: OpKind::Read },
+                                        rt,
+                                        ino,
+                                        cur,
+                                        dst.len() as u64,
+                                    );
+                                    let got = self.tier_io(OpKind::Read, rt, || {
+                                        rh.fs.read(rino, cur, &mut *dst)
+                                    })?;
                                     MuxStats::add(&self.stats.replica_failovers, 1);
                                     primary_nino = None; // don't cache-fill off the sick tier
                                     got
@@ -1081,6 +1164,16 @@ impl FileSystem for Mux {
         MuxStats::add(&self.stats.bytes_read, n as u64);
         if split_tiers.len() > 1 {
             MuxStats::add(&self.stats.split_reads, 1);
+            self.trace_event(
+                TraceEventKind::Split {
+                    parts: plan.len() as u32,
+                    write: false,
+                },
+                last_tier.unwrap_or(0),
+                ino,
+                off,
+                n as u64,
+            );
         }
         // Metadata affinity: the tier serving the final block owns atime.
         if let Some(t) = last_tier {
@@ -1128,6 +1221,13 @@ impl FileSystem for Mux {
             }
             *entry = (to, seg_off, seg_len, true);
             MuxStats::add(&self.stats.redirected_writes, 1);
+            self.trace_event(
+                TraceEventKind::Redirect { from: tier },
+                to,
+                ino,
+                seg_off,
+                seg_len,
+            );
         }
         let mut split_tiers = std::collections::HashSet::new();
         let mut last_tier = 0;
@@ -1141,8 +1241,15 @@ impl FileSystem for Mux {
             self.for_each_dispatch(seg_off, seg_len, |sub_off, sub_len| {
                 self.charge(cost.dispatch_ns + extra_per_kib * sub_len.div_ceil(1024));
                 MuxStats::add(&self.stats.dispatches, 1);
+                self.trace_event(
+                    TraceEventKind::Dispatch { op: OpKind::Write },
+                    tier,
+                    ino,
+                    sub_off,
+                    sub_len,
+                );
                 let src = &data[(sub_off - off) as usize..(sub_off - off + sub_len) as usize];
-                let wrote = self.tier_io(tier, || handle.fs.write(nino, sub_off, src))?;
+                let wrote = self.tier_io(OpKind::Write, tier, || handle.fs.write(nino, sub_off, src))?;
                 if wrote != src.len() {
                     return Err(VfsError::Io("short native write".into()));
                 }
@@ -1177,6 +1284,16 @@ impl FileSystem for Mux {
         MuxStats::add(&self.stats.bytes_written, data.len() as u64);
         if split_tiers.len() > 1 {
             MuxStats::add(&self.stats.split_writes, 1);
+            self.trace_event(
+                TraceEventKind::Split {
+                    parts: plan.len() as u32,
+                    write: true,
+                },
+                last_tier,
+                ino,
+                off,
+                data.len() as u64,
+            );
         }
         let policy = self.policy.read().clone();
         policy.on_access(ino, first, last - first + 1, true, now);
@@ -1253,10 +1370,13 @@ impl FileSystem for Mux {
         MuxStats::add(&self.stats.fsyncs, 1);
         // Fan out to every participating file system and synchronize their
         // completion (paper §4).
-        let natives: Vec<(TierId, InodeNo)> = {
+        let mut natives: Vec<(TierId, InodeNo)> = {
             let st = file.state.read();
             st.native.iter().map(|(&t, &n)| (t, n)).collect()
         };
+        // HashMap order would make the fan-out (and virtual-time charges)
+        // run-to-run nondeterministic.
+        natives.sort_unstable();
         for (tid, nino) in &natives {
             if !self.health.can_read(*tid) {
                 // Offline tier: nothing reachable to flush; surviving
@@ -1265,7 +1385,14 @@ impl FileSystem for Mux {
             }
             self.charge(self.opts.cost.dispatch_ns);
             let handle = self.tier(*tid)?;
-            self.tier_io(*tid, || handle.fs.fsync(*nino))?;
+            self.trace_event(
+                TraceEventKind::Dispatch { op: OpKind::Fsync },
+                *tid,
+                ino,
+                0,
+                0,
+            );
+            self.tier_io(OpKind::Fsync, *tid, || handle.fs.fsync(*nino))?;
         }
         // Lazy metadata sync: push collective-inode values to tiers whose
         // native copies went stale when affinity moved.
@@ -1302,7 +1429,7 @@ impl FileSystem for Mux {
             if !self.health.can_read(t.id) {
                 continue; // offline: skip rather than wedge global sync
             }
-            self.tier_io(t.id, || t.fs.sync())?;
+            self.tier_io(OpKind::Fsync, t.id, || t.fs.sync())?;
         }
         self.snapshot_metafile()
     }

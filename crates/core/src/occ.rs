@@ -30,9 +30,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use tvfs::{VfsError, VfsResult};
 
 use crate::file::{clip_ranges, ranges_intersect, subtract_ranges, MuxFile, MuxIno};
+use crate::hist::OpKind;
 use crate::mux::Mux;
 use crate::policy::{FileView, MigrationPlan};
 use crate::sched::IoRequest;
+use crate::trace::TraceEventKind;
 use crate::types::{TierId, BLOCK};
 
 /// Counters for the OCC synchronizer.
@@ -173,7 +175,9 @@ impl Mux {
             for r in self.sched.drain(tier, &profile) {
                 let mut buf = vec![0u8; r.len as usize];
                 let chunk = if self.health.can_read(tier) {
-                    self.tier_io(tier, || src.fs.read(src_ino, r.off, &mut buf[..]))
+                    self.tier_io(OpKind::MigrationCopy, tier, || {
+                        src.fs.read(src_ino, r.off, &mut buf[..])
+                    })
                 } else {
                     Err(VfsError::Io(format!("tier {tier} is offline")))
                 };
@@ -192,7 +196,9 @@ impl Mux {
                     }
                     Err(e) => return Err(e),
                 }
-                let wrote = self.tier_io(to, || dst.fs.write(dst_ino, r.off, &buf))?;
+                let wrote = self.tier_io(OpKind::MigrationCopy, to, || {
+                    dst.fs.write(dst_ino, r.off, &buf)
+                })?;
                 if wrote != buf.len() {
                     return Err(VfsError::Io("short migration write".into()));
                 }
@@ -256,9 +262,17 @@ impl Mux {
             return Err(VfsError::Busy);
         }
         OccStats::bump(&self.occ.migrations, 1);
+        self.trace_event(
+            TraceEventKind::MigrationBegin,
+            to,
+            ino,
+            block * BLOCK,
+            n * BLOCK,
+        );
         // Journal the intent before any copy lands in the destination, so
         // crash recovery can tell migration debris from real data.
         self.journal_migration_intent(ino, block, n, to)?;
+        let partials_before = self.occ.partial_commits();
         let result = self.migrate_locked_out(&file, block, n, to);
         // The flag is cleared inside commit paths via end_migration; make
         // sure a failure also clears it.
@@ -271,6 +285,15 @@ impl Mux {
                 // source copies reclaimed; everything else on `to` is
                 // debris and gets punched. Never lost, never double-owned.
                 OccStats::bump(&self.occ.aborts, 1);
+                self.trace_event(
+                    TraceEventKind::MigrationAbort {
+                        partial: self.occ.partial_commits() > partials_before,
+                    },
+                    to,
+                    ino,
+                    block * BLOCK,
+                    n * BLOCK,
+                );
                 self.abort_migration_cleanup(&file, block, n, to, &sources);
                 return Err(e);
             }
@@ -354,7 +377,7 @@ impl Mux {
                 // can become visible through the Block Lookup Table.
                 if let Some(&dst_ino) = file.state.read().native.get(&to) {
                     let dst = self.tier(to)?;
-                    self.tier_io(to, || dst.fs.fsync(dst_ino))?;
+                    self.tier_io(OpKind::MigrationCopy, to, || dst.fs.fsync(dst_ino))?;
                 }
                 Ok(())
             })();
@@ -370,6 +393,8 @@ impl Mux {
                 partial_commit(file, &holes);
                 file.end_migration();
                 OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+                self.lat
+                    .record(OpKind::MigrationCommit, to, self.clock.now_ns() - t0);
                 drop(io);
                 return Err(e);
             }
@@ -388,14 +413,39 @@ impl Mux {
                     commit(file);
                     file.end_migration();
                     OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+                    self.lat
+                        .record(OpKind::MigrationCommit, to, self.clock.now_ns() - t0);
                     drop(io);
+                    self.trace_event(
+                        TraceEventKind::MigrationValidate { conflicted: false },
+                        to,
+                        file.ino,
+                        block * BLOCK,
+                        n * BLOCK,
+                    );
+                    self.trace_event(
+                        TraceEventKind::MigrationCommit { retries },
+                        to,
+                        file.ino,
+                        block * BLOCK,
+                        n * BLOCK,
+                    );
                     return Ok(MigrationOutcome::Committed { retries });
                 }
                 OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+                self.lat
+                    .record(OpKind::MigrationCommit, to, self.clock.now_ns() - t0);
                 drop(io);
                 // A write slipped in between validate and commit.
             }
             OccStats::bump(&self.occ.conflicts, 1);
+            self.trace_event(
+                TraceEventKind::MigrationValidate { conflicted: true },
+                to,
+                file.ino,
+                block * BLOCK,
+                n * BLOCK,
+            );
             // Retry only the conflicted blocks.
             let dirty = file.end_migration();
             remaining = clip_ranges(&dirty, block, n);
@@ -415,7 +465,7 @@ impl Mux {
                     }
                     if let Some(&dst_ino) = file.state.read().native.get(&to) {
                         let dst = self.tier(to)?;
-                        self.tier_io(to, || dst.fs.fsync(dst_ino))?;
+                        self.tier_io(OpKind::MigrationCopy, to, || dst.fs.fsync(dst_ino))?;
                     }
                     Ok(())
                 })();
@@ -424,7 +474,16 @@ impl Mux {
                         commit(file);
                         file.end_migration();
                         OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+                        self.lat
+                            .record(OpKind::MigrationCommit, to, self.clock.now_ns() - t0);
                         drop(io);
+                        self.trace_event(
+                            TraceEventKind::MigrationCommit { retries },
+                            to,
+                            file.ino,
+                            block * BLOCK,
+                            n * BLOCK,
+                        );
                         return Ok(MigrationOutcome::LockFallback);
                     }
                     Err(e) => {
@@ -433,6 +492,8 @@ impl Mux {
                         partial_commit(file, &remaining);
                         file.end_migration();
                         OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+                        self.lat
+                            .record(OpKind::MigrationCommit, to, self.clock.now_ns() - t0);
                         drop(io);
                         return Err(e);
                     }
@@ -471,6 +532,13 @@ impl Mux {
         }
         OccStats::bump(&self.occ.migrations, 1);
         OccStats::bump(&self.occ.fallbacks, 1);
+        self.trace_event(
+            TraceEventKind::MigrationBegin,
+            to,
+            ino,
+            block * BLOCK,
+            n * BLOCK,
+        );
         self.journal_migration_intent(ino, block, n, to)?;
         let res = {
             let _io = file.io_lock.write();
@@ -478,11 +546,13 @@ impl Mux {
             let res = self.copy_range(&file, block, n, to).and_then(|c| {
                 if let Some(&dst_ino) = file.state.read().native.get(&to) {
                     let dst = self.tier(to)?;
-                    self.tier_io(to, || dst.fs.fsync(dst_ino))?;
+                    self.tier_io(OpKind::MigrationCopy, to, || dst.fs.fsync(dst_ino))?;
                 }
                 Ok(c)
             });
             OccStats::bump(&self.occ.lock_hold_vns, self.clock.now_ns() - t0);
+            self.lat
+                .record(OpKind::MigrationCommit, to, self.clock.now_ns() - t0);
             if res.is_ok() {
                 let mut st = file.state.write();
                 let mapped: Vec<(u64, u64)> = st
@@ -502,10 +572,24 @@ impl Mux {
             // All-or-nothing under the lock: the BLT was never touched, so
             // everything on the destination is debris.
             OccStats::bump(&self.occ.aborts, 1);
+            self.trace_event(
+                TraceEventKind::MigrationAbort { partial: false },
+                to,
+                ino,
+                block * BLOCK,
+                n * BLOCK,
+            );
             self.abort_migration_cleanup(&file, block, n, to, &sources);
             return Err(e);
         }
         file.state.write().meta.mark_stale(to);
+        self.trace_event(
+            TraceEventKind::MigrationCommit { retries: 0 },
+            to,
+            ino,
+            block * BLOCK,
+            n * BLOCK,
+        );
         self.journal_migration_commit(ino, block, n, to)?;
         self.reclaim_sources(&file, &sources)?;
         OccStats::bump(&self.occ.blocks_moved, sources.iter().map(|s| s.2).sum());
@@ -607,10 +691,11 @@ impl Mux {
                 while off < end {
                     let len = (4u64 << 20).min(end - off);
                     let mut buf = vec![0u8; len as usize];
-                    let got =
-                        self.tier_io(seg.value, || src.fs.read(src_ino, off, &mut buf[..]))?;
+                    let got = self.tier_io(OpKind::MigrationCopy, seg.value, || {
+                        src.fs.read(src_ino, off, &mut buf[..])
+                    })?;
                     buf[got..].fill(0);
-                    self.tier_io(to, || dst.fs.write(dst_ino, off, &buf))?;
+                    self.tier_io(OpKind::MigrationCopy, to, || dst.fs.write(dst_ino, off, &buf))?;
                     off += len;
                 }
                 let mut st = file.state.write();
@@ -619,7 +704,7 @@ impl Mux {
             }
             if copied > 0 {
                 let dst = self.tier(to)?;
-                self.tier_io(to, || dst.fs.fsync(dst_ino))?;
+                self.tier_io(OpKind::MigrationCopy, to, || dst.fs.fsync(dst_ino))?;
             }
             copied
         };

@@ -1,0 +1,317 @@
+//! Structured event tracing (observability).
+//!
+//! A [`TraceBuffer`] is a bounded ring of typed [`TraceEvent`]s — dispatch,
+//! split, cache hit/miss, migration phases, retry, redirect, health
+//! transition — each stamped with the [`simdev::VirtualClock`] time, the
+//! tier involved, the inode, and the byte range. Recording is one short
+//! mutex-protected ring write (no allocation after the buffer is warm), so
+//! it can sit on the dispatch path; when the ring is full the oldest events
+//! are overwritten and [`TraceBuffer::recorded`] keeps the true total.
+//!
+//! # Examples
+//!
+//! ```
+//! use mux::trace::{TraceBuffer, TraceEventKind};
+//!
+//! let buf = TraceBuffer::new(128);
+//! buf.push(0, TraceEventKind::CacheMiss, 1, 7, 0, 4096);
+//! let events = buf.events();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].ino, 7);
+//! ```
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::health::TierHealthState;
+use crate::hist::OpKind;
+use crate::types::TierId;
+
+/// Default ring capacity used by [`crate::MuxOptions`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// What happened. Variants carry only the fields the common envelope
+/// ([`TraceEvent`]) does not already hold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum TraceEventKind {
+    /// A native dispatch was issued to the event's tier.
+    Dispatch {
+        /// Operation class of the dispatch.
+        op: OpKind,
+    },
+    /// A user read/write straddled placement boundaries and was split into
+    /// `parts` native dispatches.
+    Split {
+        /// Number of native dispatches the call became.
+        parts: u32,
+        /// `true` for a write, `false` for a read.
+        write: bool,
+    },
+    /// The SCM cache served a block without touching the owning tier.
+    CacheHit,
+    /// The SCM cache did not hold the block; the read fell through to the
+    /// event's tier.
+    CacheMiss,
+    /// An OCC migration of the event's byte range started; the event's tier
+    /// is the destination.
+    MigrationBegin,
+    /// The OCC validate step ran; `conflicted` tells whether concurrent
+    /// writes dirtied the copied range (forcing a retry round).
+    MigrationValidate {
+        /// Whether validation found dirty (conflicting) blocks.
+        conflicted: bool,
+    },
+    /// The migration committed: the BLT now points at the event's tier.
+    MigrationCommit {
+        /// OCC retry rounds that were needed before the commit.
+        retries: u32,
+    },
+    /// The migration was aborted and rolled back.
+    MigrationAbort {
+        /// `true` if validated blocks were still committed (partial
+        /// commit) before the rollback of the remainder.
+        partial: bool,
+    },
+    /// A failed native dispatch is being retried against the same tier.
+    Retry {
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// A write aimed at `from` was redirected to the event's (healthy)
+    /// tier because `from` is read-only or offline.
+    Redirect {
+        /// The unhealthy tier the write was originally placed on.
+        from: TierId,
+    },
+    /// The health circuit breaker moved the event's tier between states.
+    HealthTransition {
+        /// State before the transition.
+        from: TierHealthState,
+        /// State after the transition.
+        to: TierHealthState,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable short label for rendering (`dispatch`, `migration_commit`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEventKind::Dispatch { .. } => "dispatch",
+            TraceEventKind::Split { .. } => "split",
+            TraceEventKind::CacheHit => "cache_hit",
+            TraceEventKind::CacheMiss => "cache_miss",
+            TraceEventKind::MigrationBegin => "migration_begin",
+            TraceEventKind::MigrationValidate { .. } => "migration_validate",
+            TraceEventKind::MigrationCommit { .. } => "migration_commit",
+            TraceEventKind::MigrationAbort { .. } => "migration_abort",
+            TraceEventKind::Retry { .. } => "retry",
+            TraceEventKind::Redirect { .. } => "redirect",
+            TraceEventKind::HealthTransition { .. } => "health_transition",
+        }
+    }
+}
+
+/// One traced event: the common envelope plus the kind-specific payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Monotone sequence number (never reset by ring wraparound).
+    pub seq: u64,
+    /// Virtual-clock timestamp, ns.
+    pub at_ns: u64,
+    /// Tier the event concerns ([`crate::hist::CACHE_TIER`] when none).
+    pub tier: TierId,
+    /// Inode involved (0 when not file-specific).
+    pub ino: u64,
+    /// Byte offset of the affected range.
+    pub off: u64,
+    /// Byte length of the affected range (0 when not range-specific).
+    pub len: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+struct TraceState {
+    ring: Vec<TraceEvent>,
+    /// Index of the slot the next event goes into.
+    next: usize,
+    /// Total events ever pushed.
+    seq: u64,
+}
+
+/// Bounded, thread-safe ring buffer of [`TraceEvent`]s.
+///
+/// A capacity of 0 disables tracing entirely: [`TraceBuffer::push`]
+/// becomes a no-op and nothing is retained.
+pub struct TraceBuffer {
+    cap: usize,
+    state: Mutex<TraceState>,
+}
+
+impl TraceBuffer {
+    /// A ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            cap: capacity,
+            state: Mutex::new(TraceState {
+                ring: Vec::with_capacity(capacity.min(1024)),
+                next: 0,
+                seq: 0,
+            }),
+        }
+    }
+
+    /// Whether events are being retained (capacity > 0).
+    pub fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Appends one event stamped at `at_ns`, overwriting the oldest event
+    /// if the ring is full. No-op when disabled.
+    pub fn push(
+        &self,
+        at_ns: u64,
+        kind: TraceEventKind,
+        tier: TierId,
+        ino: u64,
+        off: u64,
+        len: u64,
+    ) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        let seq = st.seq;
+        st.seq += 1;
+        let ev = TraceEvent {
+            seq,
+            at_ns,
+            tier,
+            ino,
+            off,
+            len,
+            kind,
+        };
+        if st.ring.len() < self.cap {
+            st.ring.push(ev);
+            st.next = st.ring.len() % self.cap;
+        } else {
+            let slot = st.next;
+            st.ring[slot] = ev;
+            st.next = (slot + 1) % self.cap;
+        }
+    }
+
+    /// Total events ever recorded (including those the ring has dropped).
+    pub fn recorded(&self) -> u64 {
+        self.state.lock().seq
+    }
+
+    /// Events dropped by wraparound so far.
+    pub fn dropped(&self) -> u64 {
+        let st = self.state.lock();
+        st.seq - st.ring.len() as u64
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let st = self.state.lock();
+        let mut out = Vec::with_capacity(st.ring.len());
+        if st.ring.len() == self.cap && self.cap > 0 {
+            out.extend_from_slice(&st.ring[st.next..]);
+            out.extend_from_slice(&st.ring[..st.next]);
+        } else {
+            out.extend_from_slice(&st.ring);
+        }
+        out
+    }
+
+    /// Discards retained events (sequence numbering continues).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.ring.clear();
+        st.next = 0;
+    }
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("TraceBuffer")
+            .field("cap", &self.cap)
+            .field("retained", &st.ring.len())
+            .field("seq", &st.seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(buf: &TraceBuffer, i: u64) {
+        buf.push(i * 10, TraceEventKind::CacheHit, 0, i, 0, 4096);
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let buf = TraceBuffer::new(4);
+        for i in 0..6 {
+            ev(&buf, i);
+        }
+        assert_eq!(buf.recorded(), 6);
+        assert_eq!(buf.dropped(), 2);
+        let events = buf.events();
+        assert_eq!(events.len(), 4);
+        // Oldest-first, and the two oldest (ino 0, 1) are gone.
+        let inos: Vec<u64> = events.iter().map(|e| e.ino).collect();
+        assert_eq!(inos, vec![2, 3, 4, 5]);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5], "seq survives wraparound");
+    }
+
+    #[test]
+    fn partial_ring_returns_in_order() {
+        let buf = TraceBuffer::new(8);
+        for i in 0..3 {
+            ev(&buf, i);
+        }
+        let events = buf.events();
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn zero_capacity_disables_tracing() {
+        let buf = TraceBuffer::new(0);
+        ev(&buf, 1);
+        assert!(!buf.enabled());
+        assert_eq!(buf.recorded(), 0);
+        assert!(buf.events().is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotone() {
+        let buf = TraceBuffer::new(4);
+        ev(&buf, 0);
+        ev(&buf, 1);
+        buf.clear();
+        assert!(buf.events().is_empty());
+        ev(&buf, 2);
+        assert_eq!(buf.events()[0].seq, 2);
+    }
+
+    #[test]
+    fn exact_capacity_fill_then_wrap() {
+        let buf = TraceBuffer::new(3);
+        for i in 0..3 {
+            ev(&buf, i);
+        }
+        assert_eq!(buf.dropped(), 0);
+        let inos: Vec<u64> = buf.events().iter().map(|e| e.ino).collect();
+        assert_eq!(inos, vec![0, 1, 2]);
+        ev(&buf, 3);
+        let inos: Vec<u64> = buf.events().iter().map(|e| e.ino).collect();
+        assert_eq!(inos, vec![1, 2, 3]);
+    }
+}

@@ -78,6 +78,10 @@ pub struct MuxOptions {
     pub snapshot_every: u64,
     /// Tier health thresholds and the I/O retry/backoff policy.
     pub health: crate::health::HealthConfig,
+    /// Capacity of the observability event ring
+    /// ([`crate::trace::TraceBuffer`]); 0 disables event tracing. Latency
+    /// histograms are always on (they are fixed-size and lock-free).
+    pub trace_capacity: usize,
 }
 
 impl Default for MuxOptions {
@@ -87,6 +91,7 @@ impl Default for MuxOptions {
             migration_retries: 3,
             snapshot_every: 0,
             health: crate::health::HealthConfig::default(),
+            trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
         }
     }
 }

@@ -22,6 +22,13 @@ pub struct DeviceStats {
     pub seeks: AtomicU64,
     /// Total virtual nanoseconds this device was busy.
     pub busy_ns: AtomicU64,
+    /// Busy nanoseconds attributable to reads (service-time attribution;
+    /// `read_busy_ns + write_busy_ns + flush_busy_ns == busy_ns`).
+    pub read_busy_ns: AtomicU64,
+    /// Busy nanoseconds attributable to writes.
+    pub write_busy_ns: AtomicU64,
+    /// Busy nanoseconds attributable to flushes.
+    pub flush_busy_ns: AtomicU64,
 }
 
 /// A plain-old-data copy of [`DeviceStats`] at one instant.
@@ -41,6 +48,12 @@ pub struct StatsSnapshot {
     pub seeks: u64,
     /// Total virtual nanoseconds busy.
     pub busy_ns: u64,
+    /// Busy nanoseconds attributable to reads.
+    pub read_busy_ns: u64,
+    /// Busy nanoseconds attributable to writes.
+    pub write_busy_ns: u64,
+    /// Busy nanoseconds attributable to flushes.
+    pub flush_busy_ns: u64,
 }
 
 impl DeviceStats {
@@ -49,6 +62,7 @@ impl DeviceStats {
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+        self.read_busy_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Records a write of `bytes` taking `ns` of device time.
@@ -56,12 +70,14 @@ impl DeviceStats {
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+        self.write_busy_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Records a flush taking `ns`.
     pub fn on_flush(&self, ns: u64) {
         self.flushes.fetch_add(1, Ordering::Relaxed);
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+        self.flush_busy_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Records one seek.
@@ -79,6 +95,9 @@ impl DeviceStats {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             seeks: self.seeks.load(Ordering::Relaxed),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            read_busy_ns: self.read_busy_ns.load(Ordering::Relaxed),
+            write_busy_ns: self.write_busy_ns.load(Ordering::Relaxed),
+            flush_busy_ns: self.flush_busy_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -91,6 +110,9 @@ impl DeviceStats {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.seeks.store(0, Ordering::Relaxed);
         self.busy_ns.store(0, Ordering::Relaxed);
+        self.read_busy_ns.store(0, Ordering::Relaxed);
+        self.write_busy_ns.store(0, Ordering::Relaxed);
+        self.flush_busy_ns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -114,6 +136,14 @@ mod tests {
         assert_eq!(snap.flushes, 1);
         assert_eq!(snap.seeks, 1);
         assert_eq!(snap.busy_ns, 38);
+        assert_eq!(snap.read_busy_ns, 15);
+        assert_eq!(snap.write_busy_ns, 20);
+        assert_eq!(snap.flush_busy_ns, 3);
+        assert_eq!(
+            snap.read_busy_ns + snap.write_busy_ns + snap.flush_busy_ns,
+            snap.busy_ns,
+            "per-op attribution partitions total busy time"
+        );
     }
 
     #[test]

@@ -232,7 +232,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds for [`vec`], inclusive.
+    /// Length bounds for [`vec()`], inclusive.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
