@@ -34,13 +34,10 @@ fn main() {
         match args[i].as_str() {
             "--events" | "-n" => {
                 i += 1;
-                tail = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--events needs a number");
-                        std::process::exit(2);
-                    });
+                tail = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--events needs a number");
+                    std::process::exit(2);
+                });
             }
             "--from" | "-f" => {
                 i += 1;
@@ -145,7 +142,10 @@ fn demo(tail: usize) {
     }
     let s = stack.mux.stats().snapshot();
     println!("\nMux counters");
-    println!("  reads {}  writes {}  fsyncs {}", s.reads, s.writes, s.fsyncs);
+    println!(
+        "  reads {}  writes {}  fsyncs {}",
+        s.reads, s.writes, s.fsyncs
+    );
     println!(
         "  bytes_read {}  bytes_written {}  dispatches {}",
         s.bytes_read, s.bytes_written, s.dispatches

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--experiment fig3a|fig3b|read-overhead|write-overhead|
 //!        meta-overhead|ablation-occ|ablation-cache|ablation-policy|
-//!        degraded-mode|latency|all]
+//!        degraded-mode|latency|scaling|all]
 //!       [--quick]
 //! ```
 //!
@@ -22,6 +22,7 @@ struct Scale {
     occ_rounds: usize,
     degraded_ops: usize,
     latency_ops: usize,
+    scaling_ops: u64,
 }
 
 const FULL: Scale = Scale {
@@ -33,6 +34,7 @@ const FULL: Scale = Scale {
     occ_rounds: 6,
     degraded_ops: 64,
     latency_ops: 12_000,
+    scaling_ops: 2_000,
 };
 
 const QUICK: Scale = Scale {
@@ -44,6 +46,7 @@ const QUICK: Scale = Scale {
     occ_rounds: 2,
     degraded_ops: 16,
     latency_ops: 2_000,
+    scaling_ops: 250,
 };
 
 fn main() {
@@ -63,7 +66,7 @@ fn main() {
                     "usage: repro [--experiment NAME] [--quick]\n\
                      experiments: fig3a fig3b read-overhead write-overhead\n\
                      \x20            meta-overhead ablation-occ ablation-cache\n\
-                     \x20            ablation-policy degraded-mode latency all"
+                     \x20            ablation-policy degraded-mode latency scaling all"
                 );
                 return;
             }
@@ -125,5 +128,10 @@ fn main() {
         let r = ex::latency_breakdown(scale.latency_ops);
         println!("{}", report::render_latency(&r));
         let _ = report::write_json("latency_breakdown", &r);
+    }
+    if all || experiment == "scaling" {
+        let r = ex::scaling(scale.scaling_ops);
+        println!("{}", report::render_scaling(&r));
+        let _ = report::write_json("scaling", &r);
     }
 }

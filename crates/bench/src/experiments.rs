@@ -483,7 +483,7 @@ pub fn ablation_occ(rounds: usize) -> OccAblation {
             let stop = Arc::clone(&stop);
             let ops = Arc::clone(&ops);
             let max_stall = Arc::clone(&max_stall);
-            std::thread::spawn(move || {
+            std::thread::spawn(move || -> Result<(), tvfs::VfsError> {
                 let mut i = 0u64;
                 let page = vec![7u8; BLOCK as usize];
                 // Rewrite a hot *subset* (first 64 blocks): the realistic
@@ -491,16 +491,20 @@ pub fn ablation_occ(rounds: usize) -> OccAblation {
                 // locking stalls the writer for the entire file.
                 while !stop.load(Ordering::Relaxed) {
                     let t0 = std::time::Instant::now();
-                    mux.write(ino, (i % 64) * BLOCK, &page).unwrap();
+                    mux.write(ino, (i % 64) * BLOCK, &page)?;
                     let dt = t0.elapsed().as_nanos() as u64;
                     max_stall.fetch_max(dt, Ordering::Relaxed);
                     ops.fetch_add(1, Ordering::Relaxed);
                     i += 1;
                 }
+                Ok(())
             })
         };
         let mut during = 0u64;
         for r in 0..rounds {
+            if writer.is_finished() {
+                break; // writer died mid-run; the join below surfaces why
+            }
             let to = if r % 2 == 0 { 1 } else { 2 };
             let before = ops.load(Ordering::Relaxed);
             if locked {
@@ -514,7 +518,13 @@ pub fn ablation_occ(rounds: usize) -> OccAblation {
             during += ops.load(Ordering::Relaxed) - before;
         }
         stop.store(true, Ordering::Relaxed);
-        writer.join().unwrap();
+        // Worker failures must fail the experiment, not vanish: a panic is
+        // re-raised on this thread, an I/O error becomes one.
+        match writer.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!("concurrent writer failed: {e:?}"),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
         (
             max_stall.load(Ordering::Relaxed),
             during,
@@ -1015,4 +1025,118 @@ pub fn latency_breakdown(ops: usize) -> LatencyBreakdown {
         trace_dropped: stack.mux.trace().dropped(),
         trace_tail: events[tail_from..].to_vec(),
     }
+}
+
+// ---------------------------------------------------------------------
+// Scaling — the multi-threaded engine over the sharded Mux core
+// ---------------------------------------------------------------------
+
+/// One (stack config, workload mix, thread count) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingCell {
+    /// Stack under test: `tiered` (PM+SSD+HDD Mux) or `pm-mux` (Mux over
+    /// a single PM tier — pure software-path scaling).
+    pub config: String,
+    /// Workload mix label (`read-heavy` = 95% uniform reads, `mixed` =
+    /// 50/50 zipfian).
+    pub mix: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Operations completed across workers.
+    pub total_ops: u64,
+    /// MiB moved across workers.
+    pub total_mib: f64,
+    /// Modeled parallel elapsed time (max worker charge), ms.
+    pub elapsed_model_ms: f64,
+    /// Aggregate throughput on the modeled N-core machine, MiB/s.
+    pub throughput_mib_s: f64,
+    /// Throughput relative to this config+mix's single-thread cell.
+    pub speedup_vs_1t: f64,
+    /// Pattern-verification failures (must be 0).
+    pub verify_failures: u64,
+}
+
+/// Thread-scaling sweep: the workload engine at 1→16 workers against two
+/// stack configurations and two mixes. Time is the per-thread virtual
+/// ledger model (see `workloads::engine`): each worker's charges count as
+/// its own core's busy time, so aggregate throughput on ideal hardware is
+/// `total bytes / max worker time`. Lost scaling therefore measures real
+/// serialization in the Mux software path (shared locks), which is what
+/// the sharded maps are meant to eliminate.
+pub fn scaling(ops_per_thread: u64) -> Vec<ScalingCell> {
+    use workloads::{run_engine, EngineConfig};
+    const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+    let mixes: [(&str, f64, f64); 2] = [("read-heavy", 0.95, 0.0), ("mixed", 0.5, 0.9)];
+    let mut cells = Vec::new();
+    for config in ["tiered", "pm-mux"] {
+        for (mix, read_fraction, zipf_theta) in mixes {
+            for threads in THREADS {
+                // Fresh stack per cell: no cross-cell cache or placement
+                // state, so cells are independently reproducible.
+                let fs: Arc<dyn FileSystem> = match config {
+                    "tiered" => {
+                        build_mux_stack(
+                            Capacities::default(),
+                            Arc::new(LruPolicy::default_watermarks()),
+                            MuxOptions::default(),
+                        )
+                        .mux
+                    }
+                    _ => {
+                        build_single_tier(
+                            Tier::Pm,
+                            512 << 20,
+                            64 << 20,
+                            Arc::new(PinnedPolicy::new(0)),
+                            MuxOptions::default(),
+                        )
+                        .mux
+                    }
+                };
+                let rep = run_engine(
+                    fs.as_ref(),
+                    &EngineConfig {
+                        threads,
+                        ops_per_thread,
+                        read_fraction,
+                        op_size: 4096,
+                        region_bytes: 4 << 20,
+                        zipf_theta,
+                        seed: 42,
+                        shared_file: false,
+                        verify: true,
+                    },
+                )
+                .expect("engine run failed");
+                cells.push(ScalingCell {
+                    config: config.into(),
+                    mix: mix.into(),
+                    threads,
+                    total_ops: rep.total_ops,
+                    total_mib: rep.total_bytes as f64 / (1 << 20) as f64,
+                    elapsed_model_ms: rep.elapsed_model_ns as f64 / 1e6,
+                    throughput_mib_s: rep.throughput_mib_s(),
+                    speedup_vs_1t: 0.0, // filled below
+                    verify_failures: rep.verify_failures(),
+                });
+            }
+        }
+    }
+    // Normalize each (config, mix) group by its single-thread cell.
+    let singles: Vec<(String, String, f64)> = cells
+        .iter()
+        .filter(|c| c.threads == 1)
+        .map(|c| (c.config.clone(), c.mix.clone(), c.throughput_mib_s))
+        .collect();
+    for c in cells.iter_mut() {
+        if let Some((_, _, base)) = singles
+            .iter()
+            .find(|(cfg, mix, _)| *cfg == c.config && *mix == c.mix)
+        {
+            if *base > 0.0 {
+                c.speedup_vs_1t = c.throughput_mib_s / base;
+            }
+        }
+    }
+    cells
 }

@@ -304,6 +304,38 @@ pub fn render_latency(b: &LatencyBreakdown) -> String {
     s
 }
 
+/// Renders the thread-scaling sweep.
+pub fn render_scaling(cells: &[ScalingCell]) -> String {
+    let mut s = String::from("Scaling — multi-threaded engine, modeled N-core throughput\n");
+    let body: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.config.clone(),
+                c.mix.clone(),
+                c.threads.to_string(),
+                c.total_ops.to_string(),
+                format!("{:.1}", c.throughput_mib_s),
+                format!("{:.2}x", c.speedup_vs_1t),
+                c.verify_failures.to_string(),
+            ]
+        })
+        .collect();
+    s += &table(
+        &[
+            "config",
+            "mix",
+            "threads",
+            "ops",
+            "MiB/s",
+            "speedup",
+            "verify_fail",
+        ],
+        &body,
+    );
+    s
+}
+
 /// Writes any serializable result as JSON next to the binary.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
     std::fs::create_dir_all("bench_results")?;

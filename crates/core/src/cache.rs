@@ -192,8 +192,14 @@ impl CacheController {
         let out = f();
         o.lat.record(op, CACHE_TIER, o.clock.now_ns() - t0);
         if let Some(kind) = event(&out) {
-            o.trace
-                .push(o.clock.now_ns(), kind, CACHE_TIER, ino, block * BLOCK, BLOCK);
+            o.trace.push(
+                o.clock.now_ns(),
+                kind,
+                CACHE_TIER,
+                ino,
+                block * BLOCK,
+                BLOCK,
+            );
         }
         out
     }
@@ -259,7 +265,13 @@ impl CacheController {
 
     /// Inserts one block's content, evicting if needed.
     pub fn fill(&self, ino: MuxIno, block: u64, data: &[u8]) -> VfsResult<()> {
-        self.observed(OpKind::CacheFill, ino, block, || self.fill_inner(ino, block, data), |_| None)
+        self.observed(
+            OpKind::CacheFill,
+            ino,
+            block,
+            || self.fill_inner(ino, block, data),
+            |_| None,
+        )
     }
 
     fn fill_inner(&self, ino: MuxIno, block: u64, data: &[u8]) -> VfsResult<()> {

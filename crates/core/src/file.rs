@@ -247,7 +247,10 @@ mod tests {
         // Holes outside the window are ignored.
         assert_eq!(subtract_ranges(5, 3, &[(100, 4)]), vec![(5, 3)]);
         // Overlapping holes merge before subtraction.
-        assert_eq!(subtract_ranges(0, 10, &[(2, 3), (4, 2)]), vec![(0, 2), (6, 4)]);
+        assert_eq!(
+            subtract_ranges(0, 10, &[(2, 3), (4, 2)]),
+            vec![(0, 2), (6, 4)]
+        );
     }
 
     #[test]

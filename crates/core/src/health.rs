@@ -38,9 +38,7 @@ use crate::trace::{TraceBuffer, TraceEventKind};
 use crate::types::TierId;
 
 /// Circuit-breaker state of one tier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub enum TierHealthState {
     /// Full service.
     #[default]

@@ -44,6 +44,7 @@ pub mod persist;
 pub mod policy;
 pub mod policy_vm;
 pub mod sched;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 pub mod types;
@@ -55,10 +56,11 @@ pub use hist::{HistSnapshot, LatencyRegistry, LatencyReport, OpKind, CACHE_TIER}
 pub use meta::{AttrKind, CollectiveInode};
 pub use mux::{Mux, TierHandle};
 pub use occ::{MigrationOutcome, OccStats};
-pub use trace::{TraceBuffer, TraceEvent, TraceEventKind};
 pub use policy::{
     HotColdPolicy, LruPolicy, PinnedPolicy, PlacementCtx, StripingPolicy, TieringPolicy, TpfsPolicy,
 };
 pub use policy_vm::{PolicyProgram, VmOp, VmPolicy};
+pub use shard::{RemoveIf, ShardedMap};
 pub use stats::MuxStats;
+pub use trace::{TraceBuffer, TraceEvent, TraceEventKind};
 pub use types::{CostModel, MuxOptions, TierConfig, TierId, BLOCK};

@@ -6,8 +6,14 @@
 //! dispatched to the native file systems *through the same trait*, and the
 //! results are merged into one response. All file metadata is answered
 //! from the collective inode — `getattr` never fans out.
+//!
+//! Concurrency (see DESIGN.md "Concurrency model"): the file table and the
+//! namespace are [`ShardedMap`]s keyed by inode, so operations on distinct
+//! files never contend on a Mux-global lock. Per-file ordering is the
+//! business of [`MuxFile`]'s `io_lock`/OCC machinery; counters, histograms
+//! and the trace ring are atomic.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -24,11 +30,16 @@ use crate::health::{HealthRegistry, HealthSnapshot};
 use crate::hist::{LatencyRegistry, LatencyReport, OpKind};
 use crate::meta::{AttrKind, CollectiveInode};
 use crate::occ::OccStats;
-use crate::trace::{TraceBuffer, TraceEvent, TraceEventKind};
 use crate::policy::{PlacementCtx, TierStatus, TieringPolicy};
 use crate::sched::IoScheduler;
+use crate::shard::{RemoveIf, ShardedMap};
 use crate::stats::MuxStats;
+use crate::trace::{TraceBuffer, TraceEvent, TraceEventKind};
 use crate::types::{MuxOptions, TierConfig, TierId, BLOCK};
+
+/// Bound on owner-change retries in the read path: how many times one
+/// block read chases a concurrent migration commit before giving up.
+const READ_REVALIDATE_HOPS: u32 = 4;
 
 /// A registered tier: a native file system plus its description.
 pub struct TierHandle {
@@ -78,12 +89,19 @@ pub struct MuxDir {
 
 /// The uniform namespace (paper §2.1): Mux's own directory tree, mirrored
 /// lazily into the native file systems as files materialize on tiers.
+///
+/// Both tables are sharded by inode, so namespace operations on unrelated
+/// directories/files run fully in parallel. Multi-node mutations (create,
+/// unlink, rename) are sequences of single-shard steps ordered so that an
+/// entry visible in a parent always points at a node that exists —
+/// node-first on insert, link-first on removal (transient [`VfsError::Stale`]
+/// during an unlink is the one documented exception).
 #[derive(Default)]
 pub struct Namespace {
     /// Directory nodes by Mux ino.
-    pub dirs: HashMap<MuxIno, MuxDir>,
+    pub dirs: ShardedMap<MuxIno, MuxDir>,
     /// File ino → (parent dir, name).
-    pub file_loc: HashMap<MuxIno, (MuxIno, String)>,
+    pub file_loc: ShardedMap<MuxIno, (MuxIno, String)>,
 }
 
 impl Namespace {
@@ -92,9 +110,12 @@ impl Namespace {
         let mut cur = dir;
         let mut hops = 0;
         while cur != ROOT_INO {
-            let d = self.dirs.get(&cur).ok_or(VfsError::Stale)?;
-            comps.push(d.name.clone());
-            cur = d.parent;
+            let (parent, name) = self
+                .dirs
+                .view(&cur, |d| (d.parent, d.name.clone()))
+                .ok_or(VfsError::Stale)?;
+            comps.push(name);
+            cur = parent;
             hops += 1;
             if hops > 4096 {
                 return Err(VfsError::Io("namespace cycle".into()));
@@ -102,6 +123,14 @@ impl Namespace {
         }
         comps.reverse();
         Ok(comps)
+    }
+
+    /// The entry `name` in directory `parent`: `Err(NotFound)` if the
+    /// parent does not exist, `Ok(None)` if the name is absent.
+    fn entry(&self, parent: MuxIno, name: &str) -> VfsResult<Option<NsEntry>> {
+        self.dirs
+            .view(&parent, |d| d.entries.get(name).copied())
+            .ok_or(VfsError::NotFound)
     }
 }
 
@@ -153,8 +182,8 @@ pub struct Mux {
     pub(crate) clock: VirtualClock,
     pub(crate) policy: RwLock<Arc<dyn TieringPolicy>>,
     pub(crate) tiers: RwLock<Vec<Arc<TierHandle>>>,
-    pub(crate) ns: RwLock<Namespace>,
-    pub(crate) files: RwLock<HashMap<MuxIno, Arc<MuxFile>>>,
+    pub(crate) ns: Namespace,
+    pub(crate) files: ShardedMap<MuxIno, Arc<MuxFile>>,
     pub(crate) next_ino: AtomicU64,
     pub(crate) stats: MuxStats,
     pub(crate) occ: OccStats,
@@ -176,7 +205,7 @@ impl Mux {
     /// Creates an empty Mux with the given policy. Register tiers with
     /// [`Mux::add_tier`] before use.
     pub fn new(clock: VirtualClock, policy: Arc<dyn TieringPolicy>, opts: MuxOptions) -> Self {
-        let mut ns = Namespace::default();
+        let ns = Namespace::default();
         ns.dirs.insert(
             ROOT_INO,
             MuxDir {
@@ -198,8 +227,8 @@ impl Mux {
             clock,
             policy: RwLock::new(policy),
             tiers: RwLock::new(Vec::new()),
-            ns: RwLock::new(ns),
-            files: RwLock::new(HashMap::new()),
+            ns,
+            files: ShardedMap::new(),
             next_ino: AtomicU64::new(ROOT_INO + 1),
             stats: MuxStats::default(),
             occ: OccStats::default(),
@@ -359,11 +388,7 @@ impl Mux {
     }
 
     pub(crate) fn get_file(&self, ino: MuxIno) -> VfsResult<Arc<MuxFile>> {
-        self.files
-            .read()
-            .get(&ino)
-            .cloned()
-            .ok_or(VfsError::NotFound)
+        self.files.get(&ino).ok_or(VfsError::NotFound)
     }
 
     /// A file's block placement as `(block, n_blocks, tier)` extents in
@@ -511,8 +536,9 @@ impl Mux {
             let handle = self.tier(to)?;
             let nino = self.ensure_native(file, to)?;
             self.charge(self.opts.cost.dispatch_ns);
-            let wrote =
-                self.tier_io(OpKind::Write, to, || handle.fs.write(nino, block * BLOCK, &page))?;
+            let wrote = self.tier_io(OpKind::Write, to, || {
+                handle.fs.write(nino, block * BLOCK, &page)
+            })?;
             if wrote != page.len() {
                 return Err(VfsError::Io("short redirect write".into()));
             }
@@ -527,6 +553,35 @@ impl Mux {
         }
     }
 
+    /// Looks up `name` in the native directory `parent`, creating it if
+    /// absent. Two threads materializing the same path race benignly: the
+    /// loser's create returns [`VfsError::Exists`] and loops back to the
+    /// lookup, so both observe the same native inode.
+    fn native_lookup_or_create(
+        &self,
+        tier: TierId,
+        handle: &TierHandle,
+        parent: InodeNo,
+        name: &str,
+        kind: FileType,
+        mode: u32,
+    ) -> VfsResult<FileAttr> {
+        loop {
+            match self.tier_io(OpKind::Meta, tier, || handle.fs.lookup(parent, name)) {
+                Ok(a) => return Ok(a),
+                Err(VfsError::NotFound) => {}
+                Err(e) => return Err(e),
+            }
+            match self.tier_io(OpKind::Meta, tier, || {
+                handle.fs.create(parent, name, kind, mode)
+            }) {
+                Ok(a) => return Ok(a),
+                Err(VfsError::Exists) => continue, // lost the create race
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Materializes the file on `tier` (creating parent directories and a
     /// sparse file as needed) and returns the native inode.
     pub(crate) fn ensure_native(&self, file: &MuxFile, tier: TierId) -> VfsResult<InodeNo> {
@@ -535,34 +590,21 @@ impl Mux {
         }
         let handle = self.tier(tier)?;
         let (comps, name) = {
-            let ns = self.ns.read();
-            let &(parent, ref name) = ns.file_loc.get(&file.ino).ok_or(VfsError::Stale)?;
-            (ns.path_components(parent)?, name.clone())
+            let (parent, name) = self.ns.file_loc.get(&file.ino).ok_or(VfsError::Stale)?;
+            (self.ns.path_components(parent)?, name)
         };
         let mut cur = handle.fs.root_ino();
         for comp in &comps {
-            cur = match self.tier_io(OpKind::Meta, tier, || handle.fs.lookup(cur, comp)) {
-                Ok(a) if a.is_dir() => a.ino,
-                Ok(_) => return Err(VfsError::NotDir),
-                Err(VfsError::NotFound) => {
-                    self.tier_io(OpKind::Meta, tier, || {
-                        handle.fs.create(cur, comp, FileType::Directory, 0o755)
-                    })?
-                    .ino
-                }
-                Err(e) => return Err(e),
-            };
-        }
-        let nino = match self.tier_io(OpKind::Meta, tier, || handle.fs.lookup(cur, &name)) {
-            Ok(a) => a.ino,
-            Err(VfsError::NotFound) => {
-                self.tier_io(OpKind::Meta, tier, || {
-                    handle.fs.create(cur, &name, FileType::Regular, 0o644)
-                })?
-                .ino
+            let a =
+                self.native_lookup_or_create(tier, &handle, cur, comp, FileType::Directory, 0o755)?;
+            if !a.is_dir() {
+                return Err(VfsError::NotDir);
             }
-            Err(e) => return Err(e),
-        };
+            cur = a.ino;
+        }
+        let nino = self
+            .native_lookup_or_create(tier, &handle, cur, &name, FileType::Regular, 0o644)?
+            .ino;
         file.state.write().native.insert(tier, nino);
         Ok(nino)
     }
@@ -660,26 +702,21 @@ impl FileSystem for Mux {
 
     fn lookup(&self, parent: InodeNo, name: &str) -> VfsResult<FileAttr> {
         self.charge(self.opts.cost.call_processor_ns);
-        let ns = self.ns.read();
-        let dir = ns.dirs.get(&parent).ok_or(VfsError::NotFound)?;
-        match dir.entries.get(name) {
-            Some(NsEntry::Dir(i)) => ns.dirs.get(i).map(|d| d.attr).ok_or(VfsError::Stale),
-            Some(NsEntry::File(i)) => {
-                let files = self.files.read();
-                files
-                    .get(i)
-                    .map(|f| f.state.read().meta.attr)
-                    .ok_or(VfsError::Stale)
-            }
-            None => Err(VfsError::NotFound),
+        let entry = self.ns.entry(parent, name)?.ok_or(VfsError::NotFound)?;
+        match entry {
+            NsEntry::Dir(i) => self.ns.dirs.view(&i, |d| d.attr).ok_or(VfsError::Stale),
+            NsEntry::File(i) => self
+                .files
+                .view(&i, |f| f.state.read().meta.attr)
+                .ok_or(VfsError::Stale),
         }
     }
 
     fn getattr(&self, ino: InodeNo) -> VfsResult<FileAttr> {
         self.charge(self.opts.cost.call_processor_ns);
         // Served entirely from the collective inode — no native calls.
-        if let Some(d) = self.ns.read().dirs.get(&ino) {
-            return Ok(d.attr);
+        if let Some(a) = self.ns.dirs.view(&ino, |d| d.attr) {
+            return Ok(a);
         }
         Ok(self.get_file(ino)?.state.read().meta.attr)
     }
@@ -687,7 +724,7 @@ impl FileSystem for Mux {
     fn setattr(&self, ino: InodeNo, set: &SetAttr) -> VfsResult<FileAttr> {
         self.charge(self.opts.cost.call_processor_ns + self.opts.cost.meta_update_ns);
         let now = self.now();
-        if let Some(d) = self.ns.write().dirs.get_mut(&ino) {
+        let dir_result = self.ns.dirs.update(&ino, |d| {
             if set.size.is_some() {
                 return Err(VfsError::IsDir);
             }
@@ -701,7 +738,10 @@ impl FileSystem for Mux {
                 d.attr.gid = g;
             }
             d.attr.ctime_ns = now;
-            return Ok(d.attr);
+            Ok(d.attr)
+        });
+        if let Some(res) = dir_result {
+            return res;
         }
         let file = self.get_file(ino)?;
         let _io = file.io_lock.write(); // exclude concurrent writes
@@ -779,56 +819,87 @@ impl FileSystem for Mux {
         self.charge(self.opts.cost.call_processor_ns + self.opts.cost.meta_update_ns);
         let now = self.now();
         let ino = self.next_ino.fetch_add(1, Ordering::Relaxed);
-        {
-            let mut ns = self.ns.write();
-            let dir = ns.dirs.get_mut(&parent).ok_or(VfsError::NotFound)?;
-            if dir.entries.contains_key(name) {
-                return Err(VfsError::Exists);
-            }
-            match kind {
-                FileType::Directory => {
+        let attr = FileAttr::new(ino, kind, mode, now);
+        // Node-first, link-second: the new node becomes reachable only
+        // once the parent's shard lock has atomically checked the name
+        // and inserted the entry, so a concurrent lookup never finds an
+        // entry whose node is missing. On a lost name race the node is
+        // unwound and `Exists` surfaces, exactly as under the old global
+        // namespace lock.
+        match kind {
+            FileType::Directory => {
+                let mut dattr = attr;
+                dattr.nlink = 2;
+                self.ns.dirs.insert(
+                    ino,
+                    MuxDir {
+                        parent,
+                        name: name.to_string(),
+                        entries: BTreeMap::new(),
+                        attr: dattr,
+                    },
+                );
+                let linked = self.ns.dirs.update(&parent, |dir| {
+                    if dir.entries.contains_key(name) {
+                        return Err(VfsError::Exists);
+                    }
                     dir.entries.insert(name.to_string(), NsEntry::Dir(ino));
                     dir.attr.nlink += 1;
-                    let mut attr = FileAttr::new(ino, FileType::Directory, mode, now);
-                    attr.nlink = 2;
-                    ns.dirs.insert(
-                        ino,
-                        MuxDir {
-                            parent,
-                            name: name.to_string(),
-                            entries: BTreeMap::new(),
-                            attr,
-                        },
-                    );
-                }
-                FileType::Regular => {
-                    dir.entries.insert(name.to_string(), NsEntry::File(ino));
-                    ns.file_loc.insert(ino, (parent, name.to_string()));
+                    Ok(())
+                });
+                match linked {
+                    Some(Ok(())) => {}
+                    Some(Err(e)) => {
+                        self.ns.dirs.remove(&ino);
+                        return Err(e);
+                    }
+                    None => {
+                        self.ns.dirs.remove(&ino);
+                        return Err(VfsError::NotFound);
+                    }
                 }
             }
-        }
-        let attr = FileAttr::new(ino, kind, mode, now);
-        if kind == FileType::Regular {
-            // The host file system (initial affinity owner for all
-            // metadata, §2.3) is whatever the policy would pick for the
-            // first byte.
-            let tier_status = self.tier_status();
-            let host = if tier_status.is_empty() {
-                0
-            } else {
-                let policy = self.policy.read().clone();
-                policy.place(&PlacementCtx {
-                    ino,
-                    off: 0,
-                    len: 0,
-                    file_size: 0,
-                    is_append: true,
-                    sync: false,
-                    tiers: &tier_status,
-                })
-            };
-            let file = Arc::new(MuxFile::new(ino, CollectiveInode::new(attr, host)));
-            self.files.write().insert(ino, file);
+            FileType::Regular => {
+                // The host file system (initial affinity owner for all
+                // metadata, §2.3) is whatever the policy would pick for the
+                // first byte.
+                let tier_status = self.tier_status();
+                let host = if tier_status.is_empty() {
+                    0
+                } else {
+                    let policy = self.policy.read().clone();
+                    policy.place(&PlacementCtx {
+                        ino,
+                        off: 0,
+                        len: 0,
+                        file_size: 0,
+                        is_append: true,
+                        sync: false,
+                        tiers: &tier_status,
+                    })
+                };
+                let file = Arc::new(MuxFile::new(ino, CollectiveInode::new(attr, host)));
+                self.files.insert(ino, file);
+                self.ns.file_loc.insert(ino, (parent, name.to_string()));
+                let linked = self.ns.dirs.update(&parent, |dir| {
+                    if dir.entries.contains_key(name) {
+                        return Err(VfsError::Exists);
+                    }
+                    dir.entries.insert(name.to_string(), NsEntry::File(ino));
+                    Ok(())
+                });
+                match linked {
+                    Some(Ok(())) => {}
+                    other => {
+                        self.ns.file_loc.remove(&ino);
+                        self.files.remove(&ino);
+                        return Err(match other {
+                            Some(Err(e)) => e,
+                            _ => VfsError::NotFound,
+                        });
+                    }
+                }
+            }
         }
         self.note_meta_mutation();
         let mut out = attr;
@@ -840,27 +911,21 @@ impl FileSystem for Mux {
 
     fn unlink(&self, parent: InodeNo, name: &str) -> VfsResult<()> {
         self.charge(self.opts.cost.call_processor_ns + self.opts.cost.meta_update_ns);
-        let entry = {
-            let ns = self.ns.read();
-            let dir = ns.dirs.get(&parent).ok_or(VfsError::NotFound)?;
-            *dir.entries.get(name).ok_or(VfsError::NotFound)?
-        };
+        let entry = self.ns.entry(parent, name)?.ok_or(VfsError::NotFound)?;
         match entry {
             NsEntry::Dir(ino) => {
-                let mut ns = self.ns.write();
-                let empty = ns
-                    .dirs
-                    .get(&ino)
-                    .map(|d| d.entries.is_empty())
-                    .ok_or(VfsError::Stale)?;
-                if !empty {
-                    return Err(VfsError::NotEmpty);
+                // Detach the node atomically with the emptiness check, so
+                // a concurrent create inside the dying directory either
+                // happens-before (vetoing the removal) or fails NotFound.
+                match self.ns.dirs.remove_if(&ino, |d| d.entries.is_empty()) {
+                    RemoveIf::Removed(_) => {}
+                    RemoveIf::Vetoed => return Err(VfsError::NotEmpty),
+                    RemoveIf::Missing => return Err(VfsError::Stale),
                 }
-                ns.dirs.remove(&ino);
-                if let Some(p) = ns.dirs.get_mut(&parent) {
+                self.ns.dirs.update(&parent, |p| {
                     p.entries.remove(name);
                     p.attr.nlink = p.attr.nlink.saturating_sub(1);
-                }
+                });
                 // Native mirrors of the directory are garbage-collected
                 // lazily; empty dirs on tiers are harmless.
             }
@@ -877,9 +942,8 @@ impl FileSystem for Mux {
                     let handle = self.tier(tid)?;
                     // Resolve the native parent by path and unlink there.
                     let (comps, fname) = {
-                        let ns = self.ns.read();
-                        let &(p, ref n) = ns.file_loc.get(&ino).ok_or(VfsError::Stale)?;
-                        (ns.path_components(p)?, n.clone())
+                        let (p, n) = self.ns.file_loc.get(&ino).ok_or(VfsError::Stale)?;
+                        (self.ns.path_components(p)?, n)
                     };
                     let mut cur = handle.fs.root_ino();
                     let mut ok = true;
@@ -902,13 +966,13 @@ impl FileSystem for Mux {
                 if let Some(cache) = self.cache.read().clone() {
                     cache.invalidate_file(ino);
                 }
-                let mut ns = self.ns.write();
-                if let Some(p) = ns.dirs.get_mut(&parent) {
+                // Link-first removal: once the entry leaves the parent, new
+                // lookups fail NotFound; the node tables are cleaned after.
+                self.ns.dirs.update(&parent, |p| {
                     p.entries.remove(name);
-                }
-                ns.file_loc.remove(&ino);
-                drop(ns);
-                self.files.write().remove(&ino);
+                });
+                self.ns.file_loc.remove(&ino);
+                self.files.remove(&ino);
             }
         }
         self.note_meta_mutation();
@@ -923,24 +987,23 @@ impl FileSystem for Mux {
         new_name: &str,
     ) -> VfsResult<()> {
         self.charge(self.opts.cost.call_processor_ns + self.opts.cost.meta_update_ns);
-        let entry = {
-            let ns = self.ns.read();
-            let dir = ns.dirs.get(&parent).ok_or(VfsError::NotFound)?;
-            *dir.entries.get(name).ok_or(VfsError::NotFound)?
-        };
+        let entry = self.ns.entry(parent, name)?.ok_or(VfsError::NotFound)?;
         // Replace target if it exists.
-        let existing = {
-            let ns = self.ns.read();
-            let ndir = ns.dirs.get(&new_parent).ok_or(VfsError::NotFound)?;
-            ndir.entries.get(new_name).copied()
-        };
+        let existing = self
+            .ns
+            .dirs
+            .view(&new_parent, |d| d.entries.get(new_name).copied())
+            .ok_or(VfsError::NotFound)?;
         match existing {
             Some(NsEntry::Dir(d)) => {
-                let ns = self.ns.read();
-                if ns.dirs.get(&d).is_some_and(|dd| !dd.entries.is_empty()) {
+                if self
+                    .ns
+                    .dirs
+                    .view(&d, |dd| !dd.entries.is_empty())
+                    .unwrap_or(false)
+                {
                     return Err(VfsError::NotEmpty);
                 }
-                drop(ns);
                 self.unlink(new_parent, new_name)?;
             }
             Some(NsEntry::File(f)) if NsEntry::File(f) != entry => {
@@ -960,11 +1023,10 @@ impl FileSystem for Mux {
                 self.charge(self.opts.cost.dispatch_ns);
                 let handle = self.tier(tid)?;
                 let (old_comps, old_name) = {
-                    let ns = self.ns.read();
-                    let &(p, ref n) = ns.file_loc.get(&ino).ok_or(VfsError::Stale)?;
-                    (ns.path_components(p)?, n.clone())
+                    let (p, n) = self.ns.file_loc.get(&ino).ok_or(VfsError::Stale)?;
+                    (self.ns.path_components(p)?, n)
                 };
-                let new_comps = self.ns.read().path_components(new_parent)?;
+                let new_comps = self.ns.path_components(new_parent)?;
                 // Resolve old parent.
                 let mut cur = handle.fs.root_ino();
                 let mut found = true;
@@ -1001,43 +1063,64 @@ impl FileSystem for Mux {
                 }
             }
         }
-        let mut ns = self.ns.write();
-        let dir = ns.dirs.get_mut(&parent).ok_or(VfsError::NotFound)?;
-        dir.entries.remove(name);
-        let ndir = ns.dirs.get_mut(&new_parent).ok_or(VfsError::NotFound)?;
-        ndir.entries.insert(new_name.to_string(), entry);
-        match entry {
+        // Unlink-then-relink across two shard steps. The entry is briefly
+        // in neither directory; a racing lookup during that window sees
+        // NotFound (documented rename anomaly — never double-visibility).
+        let taken = self
+            .ns
+            .dirs
+            .update(&parent, |d| d.entries.remove(name))
+            .ok_or(VfsError::NotFound)?
+            .ok_or(VfsError::NotFound)?;
+        let inserted = self
+            .ns
+            .dirs
+            .update(&new_parent, |d| {
+                d.entries.insert(new_name.to_string(), taken);
+            })
+            .is_some();
+        if !inserted {
+            // New parent vanished mid-rename: restore the old link.
+            self.ns.dirs.update(&parent, |d| {
+                d.entries.insert(name.to_string(), taken);
+            });
+            return Err(VfsError::NotFound);
+        }
+        match taken {
             NsEntry::File(ino) => {
-                ns.file_loc.insert(ino, (new_parent, new_name.to_string()));
+                self.ns
+                    .file_loc
+                    .insert(ino, (new_parent, new_name.to_string()));
             }
             NsEntry::Dir(d) => {
-                if let Some(dd) = ns.dirs.get_mut(&d) {
+                self.ns.dirs.update(&d, |dd| {
                     dd.parent = new_parent;
                     dd.name = new_name.to_string();
-                }
+                });
             }
         }
-        drop(ns);
         self.note_meta_mutation();
         Ok(())
     }
 
     fn readdir(&self, ino: InodeNo) -> VfsResult<Vec<DirEntry>> {
         self.charge(self.opts.cost.call_processor_ns);
-        let ns = self.ns.read();
-        let dir = ns.dirs.get(&ino).ok_or(VfsError::NotFound)?;
-        Ok(dir
-            .entries
-            .iter()
-            .map(|(name, e)| DirEntry {
-                name: name.clone(),
-                ino: e.ino(),
-                kind: match e {
-                    NsEntry::Dir(_) => FileType::Directory,
-                    NsEntry::File(_) => FileType::Regular,
-                },
+        self.ns
+            .dirs
+            .view(&ino, |dir| {
+                dir.entries
+                    .iter()
+                    .map(|(name, e)| DirEntry {
+                        name: name.clone(),
+                        ino: e.ino(),
+                        kind: match e {
+                            NsEntry::Dir(_) => FileType::Directory,
+                            NsEntry::File(_) => FileType::Regular,
+                        },
+                    })
+                    .collect()
             })
-            .collect())
+            .ok_or(VfsError::NotFound)
     }
 
     fn read(&self, ino: InodeNo, off: u64, buf: &mut [u8]) -> VfsResult<usize> {
@@ -1086,74 +1169,101 @@ impl FileSystem for Mux {
                     }
                 }
                 if !served {
-                    let mut primary_nino = None;
-                    let primary = if self.health.can_read(seg.value) {
-                        let nino = self.ensure_native(&file, seg.value)?;
-                        primary_nino = Some(nino);
-                        self.charge(cost.dispatch_ns);
-                        MuxStats::add(&self.stats.dispatches, 1);
-                        self.trace_event(
-                            TraceEventKind::Dispatch { op: OpKind::Read },
-                            seg.value,
-                            ino,
-                            cur,
-                            dst.len() as u64,
-                        );
-                        self.tier_io(OpKind::Read, seg.value, || {
-                            handle.fs.read(nino, cur, &mut *dst)
-                        })
-                    } else {
-                        // Offline tier: don't dispatch, go straight to the
-                        // replica (or error) below.
-                        Err(VfsError::Io(format!("tier {} is offline", seg.value)))
-                    };
-                    let got = match primary {
-                        Ok(got) => got,
-                        Err(VfsError::Io(primary_err)) => {
-                            // Primary tier failed: fail over to a replica
-                            // if this block has one (§4 replication).
-                            let rep = file.state.read().replicas.get(block);
-                            match rep {
-                                Some(rt) if rt != seg.value => {
-                                    let rh = self.tier(rt)?;
-                                    let rino = self.ensure_native(&file, rt)?;
-                                    self.charge(cost.dispatch_ns);
-                                    MuxStats::add(&self.stats.dispatches, 1);
-                                    self.trace_event(
-                                        TraceEventKind::Dispatch { op: OpKind::Read },
-                                        rt,
-                                        ino,
-                                        cur,
-                                        dst.len() as u64,
-                                    );
-                                    let got = self.tier_io(OpKind::Read, rt, || {
-                                        rh.fs.read(rino, cur, &mut *dst)
-                                    })?;
-                                    MuxStats::add(&self.stats.replica_failovers, 1);
-                                    primary_nino = None; // don't cache-fill off the sick tier
-                                    got
-                                }
-                                _ => return Err(VfsError::Io(primary_err)),
-                            }
-                        }
-                        Err(e) => return Err(e),
-                    };
-                    // Native sparse size may be shorter: the rest is zeros.
-                    if got < dst.len() {
-                        dst[got..].fill(0);
-                    }
-                    if let (Some(nino), Some(c)) = (primary_nino, &cache) {
-                        if c.should_cache(handle.config.class) {
-                            // Fill the whole block (page-granular cache);
-                            // best-effort — fill failures must not fail
-                            // the read.
-                            let mut page = vec![0u8; BLOCK as usize];
-                            if let Ok(got) = handle.fs.read(nino, block * BLOCK, &mut page) {
-                                if got > 0 {
-                                    let _ = c.fill(ino, block, &page);
+                    // An OCC migration may commit (swinging the BLT) and
+                    // punch the source while this dispatch is in flight.
+                    // The commit protocol orders BLT-swing before punch,
+                    // so re-checking the owner *after* the read makes the
+                    // torn case detectable: chase the new owner, bounded
+                    // by READ_REVALIDATE_HOPS.
+                    let mut read_tier = seg.value;
+                    let mut hops = 0u32;
+                    loop {
+                        let rhandle = self.tier(read_tier)?;
+                        let mut primary_nino = None;
+                        let primary = if self.health.can_read(read_tier) {
+                            let nino = self.ensure_native(&file, read_tier)?;
+                            primary_nino = Some(nino);
+                            self.charge(cost.dispatch_ns);
+                            MuxStats::add(&self.stats.dispatches, 1);
+                            self.trace_event(
+                                TraceEventKind::Dispatch { op: OpKind::Read },
+                                read_tier,
+                                ino,
+                                cur,
+                                dst.len() as u64,
+                            );
+                            self.tier_io(OpKind::Read, read_tier, || {
+                                rhandle.fs.read(nino, cur, &mut *dst)
+                            })
+                        } else {
+                            // Offline tier: don't dispatch, go straight to
+                            // the replica (or error) below.
+                            Err(VfsError::Io(format!("tier {read_tier} is offline")))
+                        };
+                        let got = match primary {
+                            Ok(got) => got,
+                            Err(VfsError::Io(primary_err)) => {
+                                // Primary tier failed: fail over to a replica
+                                // if this block has one (§4 replication).
+                                let rep = file.state.read().replicas.get(block);
+                                match rep {
+                                    Some(rt) if rt != read_tier => {
+                                        let rh = self.tier(rt)?;
+                                        let rino = self.ensure_native(&file, rt)?;
+                                        self.charge(cost.dispatch_ns);
+                                        MuxStats::add(&self.stats.dispatches, 1);
+                                        self.trace_event(
+                                            TraceEventKind::Dispatch { op: OpKind::Read },
+                                            rt,
+                                            ino,
+                                            cur,
+                                            dst.len() as u64,
+                                        );
+                                        let got = self.tier_io(OpKind::Read, rt, || {
+                                            rh.fs.read(rino, cur, &mut *dst)
+                                        })?;
+                                        MuxStats::add(&self.stats.replica_failovers, 1);
+                                        primary_nino = None; // don't cache-fill off the sick tier
+                                        got
+                                    }
+                                    _ => return Err(VfsError::Io(primary_err)),
                                 }
                             }
+                            Err(e) => return Err(e),
+                        };
+                        // Native sparse size may be shorter: the rest is zeros.
+                        if got < dst.len() {
+                            dst[got..].fill(0);
                         }
+                        let owner_now = file.state.read().blt.tier_of(block);
+                        if let Some(t) = owner_now {
+                            if t != read_tier && hops < READ_REVALIDATE_HOPS {
+                                hops += 1;
+                                read_tier = t;
+                                MuxStats::add(&self.stats.read_revalidations, 1);
+                                continue;
+                            }
+                        }
+                        if let (Some(nino), Some(c)) = (primary_nino, &cache) {
+                            if c.should_cache(rhandle.config.class) {
+                                // Fill the whole block (page-granular cache);
+                                // best-effort — fill failures must not fail
+                                // the read.
+                                let mut page = vec![0u8; BLOCK as usize];
+                                if let Ok(pg) = rhandle.fs.read(nino, block * BLOCK, &mut page) {
+                                    // Publish only if the block still lives
+                                    // where it was read from — a commit+punch
+                                    // between the read and here would cache
+                                    // stale zeros otherwise.
+                                    if pg > 0
+                                        && file.state.read().blt.tier_of(block) == Some(read_tier)
+                                    {
+                                        let _ = c.fill(ino, block, &page);
+                                    }
+                                }
+                            }
+                        }
+                        break;
                     }
                 }
                 cur = block_end;
@@ -1249,7 +1359,8 @@ impl FileSystem for Mux {
                     sub_len,
                 );
                 let src = &data[(sub_off - off) as usize..(sub_off - off + sub_len) as usize];
-                let wrote = self.tier_io(OpKind::Write, tier, || handle.fs.write(nino, sub_off, src))?;
+                let wrote =
+                    self.tier_io(OpKind::Write, tier, || handle.fs.write(nino, sub_off, src))?;
                 if wrote != src.len() {
                     return Err(VfsError::Io("short native write".into()));
                 }
@@ -1362,7 +1473,7 @@ impl FileSystem for Mux {
 
     fn fsync(&self, ino: InodeNo) -> VfsResult<()> {
         self.charge(self.opts.cost.call_processor_ns);
-        if self.ns.read().dirs.contains_key(&ino) {
+        if self.ns.dirs.contains(&ino) {
             // Directory fsync: persist the Mux metafile.
             return self.snapshot_metafile();
         }
@@ -1448,7 +1559,7 @@ impl FileSystem for Mux {
         Ok(StatFs {
             total_bytes: total,
             free_bytes: free,
-            inodes: self.files.read().len() as u64,
+            inodes: self.files.len() as u64,
             block_size: BLOCK as u32,
         })
     }

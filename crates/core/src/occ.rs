@@ -695,7 +695,9 @@ impl Mux {
                         src.fs.read(src_ino, off, &mut buf[..])
                     })?;
                     buf[got..].fill(0);
-                    self.tier_io(OpKind::MigrationCopy, to, || dst.fs.write(dst_ino, off, &buf))?;
+                    self.tier_io(OpKind::MigrationCopy, to, || {
+                        dst.fs.write(dst_ino, off, &buf)
+                    })?;
                     off += len;
                 }
                 let mut st = file.state.write();
@@ -726,24 +728,22 @@ impl Mux {
     /// executes them.
     pub fn run_policy_migrations(&self) -> MigrationSummary {
         let tiers = self.tier_status();
-        let files: Vec<FileView> = {
-            let files = self.files.read();
-            files
-                .values()
-                .map(|f| {
-                    let st = f.state.read();
-                    FileView {
-                        ino: f.ino,
-                        extents: st
-                            .blt
-                            .extents()
-                            .iter()
-                            .map(|e| (e.start, e.len, e.value))
-                            .collect(),
-                    }
-                })
-                .collect()
-        };
+        let mut files: Vec<FileView> = Vec::new();
+        self.files.for_each(|_, f| {
+            let st = f.state.read();
+            files.push(FileView {
+                ino: f.ino,
+                extents: st
+                    .blt
+                    .extents()
+                    .iter()
+                    .map(|e| (e.start, e.len, e.value))
+                    .collect(),
+            });
+        });
+        // Shard iteration order is hash-dependent; sort so policy plans
+        // (and the virtual-time costs of executing them) are deterministic.
+        files.sort_unstable_by_key(|f| f.ino);
         let policy = self.policy.read().clone();
         let plans: Vec<MigrationPlan> = policy.plan_migrations(&tiers, &files);
         let mut summary = MigrationSummary {
@@ -774,7 +774,8 @@ impl Mux {
     pub fn evacuate_tier(&self, tier: TierId) -> VfsResult<MigrationSummary> {
         self.tier(tier)?;
         let mut summary = MigrationSummary::default();
-        let inos: Vec<MuxIno> = self.files.read().keys().copied().collect();
+        let mut inos: Vec<MuxIno> = self.files.keys();
+        inos.sort_unstable();
         for ino in inos {
             let Ok(file) = self.get_file(ino) else {
                 continue;
@@ -818,7 +819,8 @@ impl Mux {
             handle.draining.store(false, Ordering::Release);
             return Err(VfsError::Busy);
         }
-        let inos: Vec<MuxIno> = self.files.read().keys().copied().collect();
+        let mut inos: Vec<MuxIno> = self.files.keys();
+        inos.sort_unstable();
         for ino in inos {
             let file = match self.get_file(ino) {
                 Ok(f) => f,

@@ -175,27 +175,34 @@ impl Mux {
         b.put_u64_le(SNAP_MAGIC);
         b.put_u64_le(self.next_ino.load(Ordering::Relaxed));
         {
-            let ns = self.ns.read();
-            let dirs: Vec<(&MuxIno, &MuxDir)> = ns.dirs.iter().collect();
+            // Collect then sort: shard iteration order is hash-dependent,
+            // and the snapshot encoding should be byte-stable.
+            let mut dirs: Vec<(MuxIno, MuxIno, String, u32)> = Vec::new();
+            self.ns
+                .dirs
+                .for_each(|&ino, d| dirs.push((ino, d.parent, d.name.clone(), d.attr.mode)));
+            dirs.sort_unstable_by_key(|e| e.0);
             b.put_u32_le(dirs.len() as u32);
-            for (&ino, d) in dirs {
+            for (ino, parent, name, mode) in dirs {
                 b.put_u64_le(ino);
-                b.put_u64_le(d.parent);
-                b.put_u16_le(d.name.len() as u16);
-                b.extend_from_slice(d.name.as_bytes());
-                b.put_u32_le(d.attr.mode);
+                b.put_u64_le(parent);
+                b.put_u16_le(name.len() as u16);
+                b.extend_from_slice(name.as_bytes());
+                b.put_u32_le(mode);
             }
         }
         {
-            let files = self.files.read();
-            let ns = self.ns.read();
+            let mut files: Vec<(MuxIno, Arc<MuxFile>)> = Vec::new();
+            self.files
+                .for_each(|&ino, f| files.push((ino, Arc::clone(f))));
+            files.sort_unstable_by_key(|e| e.0);
             b.put_u32_le(files.len() as u32);
-            for (&ino, f) in files.iter() {
+            for (ino, f) in files {
                 let st = f.state.read();
-                let (parent, name) = ns
+                let (parent, name) = self
+                    .ns
                     .file_loc
                     .get(&ino)
-                    .cloned()
                     .unwrap_or((ROOT_INO, format!(".orphan-{ino}")));
                 b.put_u64_le(ino);
                 b.put_u64_le(parent);
@@ -213,8 +220,11 @@ impl Mux {
                 for o in st.meta.owners() {
                     b.put_u32_le(o);
                 }
-                b.put_u32_le(st.native.len() as u32);
-                for (&t, &nino) in &st.native {
+                let mut native: Vec<(TierId, InodeNo)> =
+                    st.native.iter().map(|(&t, &n)| (t, n)).collect();
+                native.sort_unstable();
+                b.put_u32_le(native.len() as u32);
+                for (t, nino) in native {
                     b.put_u32_le(t);
                     b.put_u64_le(nino);
                 }
@@ -263,33 +273,30 @@ impl Mux {
             let mode = r.get_u32_le();
             dir_meta.push((ino, parent, name, mode));
         }
-        {
-            let mut ns = self.ns.write();
-            for (ino, parent, name, mode) in &dir_meta {
-                if *ino == ROOT_INO {
-                    continue;
-                }
-                let mut attr = FileAttr::new(*ino, FileType::Directory, *mode, 0);
-                attr.nlink = 2;
-                ns.dirs.insert(
-                    *ino,
-                    MuxDir {
-                        parent: *parent,
-                        name: name.clone(),
-                        entries: BTreeMap::new(),
-                        attr,
-                    },
-                );
+        for (ino, parent, name, mode) in &dir_meta {
+            if *ino == ROOT_INO {
+                continue;
             }
-            // Wire children into parents.
-            for (ino, parent, name, _) in &dir_meta {
-                if *ino == ROOT_INO {
-                    continue;
-                }
-                if let Some(p) = ns.dirs.get_mut(parent) {
-                    p.entries.insert(name.clone(), NsEntry::Dir(*ino));
-                }
+            let mut attr = FileAttr::new(*ino, FileType::Directory, *mode, 0);
+            attr.nlink = 2;
+            self.ns.dirs.insert(
+                *ino,
+                MuxDir {
+                    parent: *parent,
+                    name: name.clone(),
+                    entries: BTreeMap::new(),
+                    attr,
+                },
+            );
+        }
+        // Wire children into parents.
+        for (ino, parent, name, _) in &dir_meta {
+            if *ino == ROOT_INO {
+                continue;
             }
+            self.ns.dirs.update(parent, |p| {
+                p.entries.insert(name.clone(), NsEntry::Dir(*ino));
+            });
         }
         let n_files = r.get_u32_le() as usize;
         for _ in 0..n_files {
@@ -335,14 +342,11 @@ impl Mux {
                     st.replicas.insert(e.start, e.len, e.value);
                 }
             }
-            {
-                let mut ns = self.ns.write();
-                if let Some(p) = ns.dirs.get_mut(&parent) {
-                    p.entries.insert(name.clone(), NsEntry::File(ino));
-                }
-                ns.file_loc.insert(ino, (parent, name));
-            }
-            self.files.write().insert(ino, Arc::new(file));
+            self.ns.dirs.update(&parent, |p| {
+                p.entries.insert(name.clone(), NsEntry::File(ino));
+            });
+            self.ns.file_loc.insert(ino, (parent, name));
+            self.files.insert(ino, Arc::new(file));
         }
         Ok(())
     }
@@ -479,7 +483,8 @@ impl Mux {
     /// adopt blocks missing from BLTs (e.g. writes that never reached a
     /// snapshot).
     pub fn adopt_all_blocks(&self) -> VfsResult<()> {
-        let inos: Vec<MuxIno> = self.files.read().keys().copied().collect();
+        let mut inos: Vec<MuxIno> = self.files.keys();
+        inos.sort_unstable();
         for ino in inos {
             self.adopt_blocks(ino)?;
         }
@@ -499,12 +504,11 @@ impl Mux {
             }
             match e.kind {
                 FileType::Directory => {
-                    let child_mux = {
-                        let ns = self.ns.read();
-                        ns.dirs
-                            .get(&mux_dir)
-                            .and_then(|d| d.entries.get(&e.name).copied())
-                    };
+                    let child_mux = self
+                        .ns
+                        .dirs
+                        .view(&mux_dir, |d| d.entries.get(&e.name).copied())
+                        .flatten();
                     let child_mux = match child_mux {
                         Some(NsEntry::Dir(d)) => d,
                         Some(NsEntry::File(_)) => continue, // type conflict: skip
@@ -516,12 +520,11 @@ impl Mux {
                     self.adopt_dir(tier, e.ino, child_mux)?;
                 }
                 FileType::Regular => {
-                    let existing = {
-                        let ns = self.ns.read();
-                        ns.dirs
-                            .get(&mux_dir)
-                            .and_then(|d| d.entries.get(&e.name).copied())
-                    };
+                    let existing = self
+                        .ns
+                        .dirs
+                        .view(&mux_dir, |d| d.entries.get(&e.name).copied())
+                        .flatten();
                     let mux_ino = match existing {
                         Some(NsEntry::File(f)) => f,
                         Some(NsEntry::Dir(_)) => continue,

@@ -1,0 +1,282 @@
+//! Sharded lock maps — the concurrency backbone of the Mux core.
+//!
+//! A [`ShardedMap`] spreads a `HashMap` over a fixed power-of-two number
+//! of independently locked shards, selected by key hash. Operations on
+//! keys that land in different shards never contend, so the per-file and
+//! namespace tables scale with the number of worker threads instead of
+//! serializing behind one global `RwLock`.
+//!
+//! Lock ordering rule (see DESIGN.md "Concurrency model"): **at most one
+//! shard lock is held at a time**. Every API takes a single key and a
+//! closure; multi-key operations (link a child into a parent, rename)
+//! are sequences of single-shard steps whose intermediate states are
+//! documented at the call sites. Never call back into the same map from
+//! inside a closure — that can self-deadlock on a shard.
+//!
+//! # Examples
+//!
+//! ```
+//! use mux::shard::ShardedMap;
+//!
+//! let m: ShardedMap<u64, String> = ShardedMap::new();
+//! m.insert(7, "hello".to_string());
+//! assert_eq!(m.view(&7, |s| s.len()), Some(5));
+//! m.update(&7, |s| s.push('!'));
+//! assert_eq!(m.get(&7), Some("hello!".to_string()));
+//! assert_eq!(m.len(), 1);
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use parking_lot::RwLock;
+
+/// Default shard count: comfortably above the worker-thread counts the
+/// scaling experiment drives (1–16), so hash collisions between hot keys
+/// are rare.
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// Outcome of [`ShardedMap::remove_if`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RemoveIf<V> {
+    /// The predicate held and the value was removed.
+    Removed(V),
+    /// The key exists but the predicate vetoed the removal.
+    Vetoed,
+    /// The key was not present.
+    Missing,
+}
+
+/// A concurrent map sharded into independently locked `HashMap`s.
+///
+/// Reads on a key take that key's shard lock shared; mutations take it
+/// exclusively. Distinct keys hash to distinct shards with high
+/// probability, so threads operating on different files proceed in
+/// parallel.
+pub struct ShardedMap<K, V> {
+    shards: Box<[RwLock<HashMap<K, V>>]>,
+    mask: u64,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// A map with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A map with at least `n` shards (rounded up to a power of two).
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1).next_power_of_two();
+        let shards: Vec<RwLock<HashMap<K, V>>> =
+            (0..n).map(|_| RwLock::new(HashMap::new())).collect();
+        ShardedMap {
+            shards: shards.into_boxed_slice(),
+            mask: n as u64 - 1,
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() & self.mask) as usize]
+    }
+
+    /// Runs `f` on the value under the shard's read lock. `None` if the
+    /// key is absent.
+    pub fn view<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.shard(key).read().get(key).map(f)
+    }
+
+    /// Runs `f` on the value under the shard's write lock. `None` if the
+    /// key is absent.
+    pub fn update<R>(&self, key: &K, f: impl FnOnce(&mut V) -> R) -> Option<R> {
+        self.shard(key).write().get_mut(key).map(f)
+    }
+
+    /// Inserts, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard(&key).write().insert(key, value)
+    }
+
+    /// Removes, returning the value if it was present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard(key).write().remove(key)
+    }
+
+    /// Removes the value only if `pred` holds, atomically under the
+    /// shard's write lock (e.g. "remove this directory if it is empty").
+    pub fn remove_if(&self, key: &K, pred: impl FnOnce(&V) -> bool) -> RemoveIf<V> {
+        let mut shard = self.shard(key).write();
+        match shard.get(key) {
+            None => RemoveIf::Missing,
+            Some(v) if !pred(v) => RemoveIf::Vetoed,
+            Some(_) => match shard.remove(key) {
+                Some(v) => RemoveIf::Removed(v),
+                None => RemoveIf::Missing,
+            },
+        }
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard(key).read().contains_key(key)
+    }
+
+    /// Total entries (sums shard sizes; a point-in-time figure under
+    /// concurrent mutation).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Visits every entry, one shard lock at a time. NOT a consistent
+    /// snapshot under concurrent mutation: an entry moved between shards
+    /// cannot exist, but entries inserted or removed mid-walk may or may
+    /// not be seen.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for shard in self.shards.iter() {
+            for (k, v) in shard.read().iter() {
+                f(k, v);
+            }
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> ShardedMap<K, V> {
+    /// All keys, one shard at a time (same caveat as [`ShardedMap::for_each`]).
+    pub fn keys(&self) -> Vec<K> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.read().keys().cloned());
+        }
+        out
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
+    /// Clones the value out (cheap when `V` is an `Arc`).
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).read().get(key).cloned()
+    }
+}
+
+impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq, V> std::fmt::Debug for ShardedMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMap")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_ops() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(1, 11), Some(10));
+        assert_eq!(m.get(&1), Some(11));
+        assert_eq!(m.view(&1, |v| *v * 2), Some(22));
+        assert_eq!(m.update(&1, |v| *v += 1), Some(()));
+        assert_eq!(m.get(&1), Some(12));
+        assert_eq!(m.remove(&1), Some(12));
+        assert_eq!(m.get(&1), None);
+        assert_eq!(m.view(&1, |v| *v), None);
+        assert_eq!(m.update(&1, |_| ()), None);
+    }
+
+    #[test]
+    fn remove_if_semantics() {
+        let m: ShardedMap<u64, Vec<u64>> = ShardedMap::new();
+        m.insert(1, vec![9]);
+        assert_eq!(m.remove_if(&1, |v| v.is_empty()), RemoveIf::Vetoed);
+        assert!(m.contains(&1));
+        m.update(&1, |v| v.clear());
+        assert_eq!(m.remove_if(&1, |v| v.is_empty()), RemoveIf::Removed(vec![]));
+        assert_eq!(m.remove_if(&1, |v| v.is_empty()), RemoveIf::Missing);
+    }
+
+    #[test]
+    fn len_and_iteration_cover_all_shards() {
+        let m: ShardedMap<u64, u64> = ShardedMap::with_shards(8);
+        for i in 0..1000 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.keys().len(), 1000);
+        let mut sum = 0u64;
+        m.for_each(|_, v| sum += v);
+        assert_eq!(sum, (0..1000u64).map(|i| i * 3).sum());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedMap::<u64, ()>::with_shards(5).shard_count(), 8);
+        assert_eq!(ShardedMap::<u64, ()>::with_shards(0).shard_count(), 1);
+        assert_eq!(ShardedMap::<u64, ()>::with_shards(64).shard_count(), 64);
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_threads() {
+        let m: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        m.insert(t * 1000 + i, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 8 * 500);
+    }
+
+    #[test]
+    fn concurrent_update_no_lost_increments() {
+        let m: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new());
+        for k in 0..4u64 {
+            m.insert(k, 0);
+        }
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        m.update(&((t + i) % 4), |v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut total = 0;
+        m.for_each(|_, v| total += v);
+        assert_eq!(total, 8000, "updates under the shard lock never race");
+    }
+}

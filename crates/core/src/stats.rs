@@ -35,6 +35,9 @@ pub struct MuxStats {
     pub redirected_writes: AtomicU64,
     /// Reads served by a replica after the primary tier failed.
     pub replica_failovers: AtomicU64,
+    /// Block reads re-dispatched because a concurrent migration commit
+    /// moved the block while the read was in flight.
+    pub read_revalidations: AtomicU64,
 }
 
 /// Plain snapshot of [`MuxStats`].
@@ -70,6 +73,8 @@ pub struct MuxStatsSnapshot {
     pub redirected_writes: u64,
     /// Replica-served reads after primary failure.
     pub replica_failovers: u64,
+    /// Block reads re-dispatched after a racing migration commit.
+    pub read_revalidations: u64,
 }
 
 impl MuxStats {
@@ -96,6 +101,7 @@ impl MuxStats {
             io_errors: self.io_errors.load(Ordering::Relaxed),
             redirected_writes: self.redirected_writes.load(Ordering::Relaxed),
             replica_failovers: self.replica_failovers.load(Ordering::Relaxed),
+            read_revalidations: self.read_revalidations.load(Ordering::Relaxed),
         }
     }
 }

@@ -3,10 +3,11 @@
 //! A [`TraceBuffer`] is a bounded ring of typed [`TraceEvent`]s — dispatch,
 //! split, cache hit/miss, migration phases, retry, redirect, health
 //! transition — each stamped with the [`simdev::VirtualClock`] time, the
-//! tier involved, the inode, and the byte range. Recording is one short
-//! mutex-protected ring write (no allocation after the buffer is warm), so
-//! it can sit on the dispatch path; when the ring is full the oldest events
-//! are overwritten and [`TraceBuffer::recorded`] keeps the true total.
+//! tier involved, the inode, and the byte range. Recording is one atomic
+//! sequence claim plus one short per-slot lock (no global lock, no
+//! allocation after the buffer is warm), so concurrent dispatch threads
+//! trace without contending; when the ring is full the oldest events are
+//! overwritten and [`TraceBuffer::recorded`] keeps the true total.
 //!
 //! # Examples
 //!
@@ -19,6 +20,8 @@
 //! assert_eq!(events.len(), 1);
 //! assert_eq!(events[0].ino, 7);
 //! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -131,33 +134,37 @@ pub struct TraceEvent {
     pub kind: TraceEventKind,
 }
 
-struct TraceState {
-    ring: Vec<TraceEvent>,
-    /// Index of the slot the next event goes into.
-    next: usize,
-    /// Total events ever pushed.
-    seq: u64,
-}
-
 /// Bounded, thread-safe ring buffer of [`TraceEvent`]s.
 ///
 /// A capacity of 0 disables tracing entirely: [`TraceBuffer::push`]
 /// becomes a no-op and nothing is retained.
+///
+/// Concurrency: a push claims its sequence number with one atomic
+/// `fetch_add` and then writes `slot = seq % capacity` under that slot's
+/// own mutex — two pushes contend only when they land on the same slot.
+/// A slot is only overwritten by a *newer* sequence number, so a slow
+/// thread that claimed seq `n` cannot clobber a faster thread's `n +
+/// capacity` after the fact. [`TraceBuffer::clear`] advances an atomic
+/// floor instead of touching the slots; readers ignore events below it.
 pub struct TraceBuffer {
     cap: usize,
-    state: Mutex<TraceState>,
+    /// Next sequence number to hand out == total events ever pushed.
+    seq: AtomicU64,
+    /// Events with `seq <` this are considered cleared.
+    floor: AtomicU64,
+    slots: Box<[Mutex<Option<TraceEvent>>]>,
 }
 
 impl TraceBuffer {
     /// A ring holding at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
+        let slots: Vec<Mutex<Option<TraceEvent>>> =
+            (0..capacity).map(|_| Mutex::new(None)).collect();
         TraceBuffer {
             cap: capacity,
-            state: Mutex::new(TraceState {
-                ring: Vec::with_capacity(capacity.min(1024)),
-                next: 0,
-                seq: 0,
-            }),
+            seq: AtomicU64::new(0),
+            floor: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
         }
     }
 
@@ -180,9 +187,7 @@ impl TraceBuffer {
         if self.cap == 0 {
             return;
         }
-        let mut st = self.state.lock();
-        let seq = st.seq;
-        st.seq += 1;
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let ev = TraceEvent {
             seq,
             at_ns,
@@ -192,55 +197,54 @@ impl TraceBuffer {
             len,
             kind,
         };
-        if st.ring.len() < self.cap {
-            st.ring.push(ev);
-            st.next = st.ring.len() % self.cap;
-        } else {
-            let slot = st.next;
-            st.ring[slot] = ev;
-            st.next = (slot + 1) % self.cap;
+        let mut slot = self.slots[(seq % self.cap as u64) as usize].lock();
+        match &*slot {
+            Some(old) if old.seq > seq => {} // a newer wrap already landed here
+            _ => *slot = Some(ev),
         }
     }
 
     /// Total events ever recorded (including those the ring has dropped).
     pub fn recorded(&self) -> u64 {
-        self.state.lock().seq
+        self.seq.load(Ordering::Relaxed)
     }
 
-    /// Events dropped by wraparound so far.
+    /// Events dropped by wraparound so far (cleared events don't count as
+    /// dropped — they were discarded on purpose).
     pub fn dropped(&self) -> u64 {
-        let st = self.state.lock();
-        st.seq - st.ring.len() as u64
+        let seq = self.seq.load(Ordering::Relaxed);
+        let pushed_since_floor = seq - self.floor.load(Ordering::Relaxed).min(seq);
+        pushed_since_floor - pushed_since_floor.min(self.cap as u64)
     }
 
     /// Copies out the retained events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let st = self.state.lock();
-        let mut out = Vec::with_capacity(st.ring.len());
-        if st.ring.len() == self.cap && self.cap > 0 {
-            out.extend_from_slice(&st.ring[st.next..]);
-            out.extend_from_slice(&st.ring[..st.next]);
-        } else {
-            out.extend_from_slice(&st.ring);
-        }
+        let floor = self.floor.load(Ordering::Relaxed);
+        let mut out: Vec<TraceEvent> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().clone())
+            .filter(|e| e.seq >= floor)
+            .collect();
+        out.sort_unstable_by_key(|e| e.seq);
         out
     }
 
     /// Discards retained events (sequence numbering continues).
     pub fn clear(&self) {
-        let mut st = self.state.lock();
-        st.ring.clear();
-        st.next = 0;
+        // Raise the floor to the current sequence; slots stay as they are
+        // and readers filter them out.
+        let seq = self.seq.load(Ordering::Relaxed);
+        self.floor.fetch_max(seq, Ordering::Relaxed);
     }
 }
 
 impl std::fmt::Debug for TraceBuffer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.state.lock();
         f.debug_struct("TraceBuffer")
             .field("cap", &self.cap)
-            .field("retained", &st.ring.len())
-            .field("seq", &st.seq)
+            .field("retained", &self.events().len())
+            .field("seq", &self.seq.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -299,6 +303,32 @@ mod tests {
         assert!(buf.events().is_empty());
         ev(&buf, 2);
         assert_eq!(buf.events()[0].seq, 2);
+    }
+
+    #[test]
+    fn concurrent_pushes_keep_unique_monotone_seqs() {
+        use std::sync::Arc;
+        let buf = Arc::new(TraceBuffer::new(256));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let buf = Arc::clone(&buf);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        buf.push(i, TraceEventKind::CacheMiss, 0, t, 0, 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(buf.recorded(), 1600);
+        assert_eq!(buf.dropped(), 1600 - 256);
+        let events = buf.events();
+        assert_eq!(events.len(), 256);
+        // Strictly increasing seqs — no slot holds a stale wrap.
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(events.iter().all(|e| e.seq >= 1600 - 256));
     }
 
     #[test]

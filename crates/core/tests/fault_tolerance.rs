@@ -4,9 +4,7 @@
 
 use std::sync::Arc;
 
-use mux::{
-    Mux, MuxOptions, PinnedPolicy, TierConfig, TierHealthState, BLOCK,
-};
+use mux::{Mux, MuxOptions, PinnedPolicy, TierConfig, TierHealthState, BLOCK};
 use simdev::{Device, DeviceClass, FaultMode, VirtualClock};
 use tvfs::memfs::MemFs;
 use tvfs::{FileSystem, FileType, VfsError, ROOT_INO};
@@ -103,11 +101,7 @@ fn nospace_abort_punches_destination_debris() {
     // Destination too small for the full range: the copy dies on NoSpace
     // partway through.
     let tiny = Arc::new(MemFs::new("tiny", 4 * BLOCK));
-    let mux = Mux::new(
-        clock,
-        Arc::new(PinnedPolicy::new(0)),
-        MuxOptions::default(),
-    );
+    let mux = Mux::new(clock, Arc::new(PinnedPolicy::new(0)), MuxOptions::default());
     mux.add_tier(
         TierConfig {
             name: "prim".into(),
@@ -200,7 +194,11 @@ fn circuit_breaker_trips_and_writes_redirect() {
     }
     let status = mux.tier_status();
     let sick = status.iter().find(|t| t.id == 0).unwrap();
-    assert!(!sick.is_writable(), "tier 0 must be fenced: {:?}", sick.health);
+    assert!(
+        !sick.is_writable(),
+        "tier 0 must be fenced: {:?}",
+        sick.health
+    );
     assert!(mux.stats().snapshot().redirected_writes > 0);
     assert!(mux.tier_health(0).trips >= 2, "Degraded then ReadOnly");
     // The redirected block now lives on (and reads from) the healthy tier.
@@ -235,7 +233,10 @@ fn evacuation_drains_fenced_tier_via_occ() {
     // work, so evacuation can pull the data off through the OCC migrator.
     mux.health().force_state(0, TierHealthState::ReadOnly);
     let summary = mux.evacuate_tier(0).unwrap();
-    assert_eq!(summary.failed, 0, "evacuation must fully drain: {summary:?}");
+    assert_eq!(
+        summary.failed, 0,
+        "evacuation must fully drain: {summary:?}"
+    );
     assert_eq!(summary.blocks_moved, 8);
     // All data now lives on the healthy tier and still reads back.
     assert_eq!(mem.lookup(ROOT_INO, "f").unwrap().blocks_bytes, 8 * BLOCK);

@@ -139,6 +139,60 @@ proptest! {
     }
 
     #[test]
+    fn concurrent_writes_plus_migration_are_serializable(
+        plans in proptest::collection::vec(
+            proptest::collection::vec((0..16u64, 1..255u8), 1..12),
+            2..5,
+        ),
+        mig in (0..(REGION / BLOCK), 1..16u64, 0..3u32),
+    ) {
+        // Each thread owns a disjoint block set (blocks ≡ t mod T), so
+        // the final content is determined by per-thread program order
+        // alone: whatever the interleaving, the outcome must equal the
+        // serial execution thread 0, then 1, … (any serial order gives
+        // the same bytes). One migration runs concurrently and must be
+        // invisible.
+        let mux = build_mux();
+        let f = mux.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+        let threads = plans.len() as u64;
+        let barrier = std::sync::Barrier::new(plans.len() + 1);
+        std::thread::scope(|s| {
+            for (t, plan) in plans.iter().enumerate() {
+                let mux = Arc::clone(&mux);
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for &(slot, fill) in plan {
+                        let block = slot * threads + t as u64;
+                        let buf = vec![fill; BLOCK as usize];
+                        mux.write(f.ino, block * BLOCK, &buf).unwrap();
+                    }
+                });
+            }
+            let mux = Arc::clone(&mux);
+            let barrier = &barrier;
+            let (block, n, to) = mig;
+            s.spawn(move || {
+                barrier.wait();
+                mux.migrate_range(f.ino, block, n, to).unwrap();
+            });
+        });
+        // Serial replay into a flat model.
+        let mut model = Model::new();
+        for (t, plan) in plans.iter().enumerate() {
+            for &(slot, fill) in plan {
+                let block = slot * threads + t as u64;
+                model.write(block * BLOCK, &vec![fill; BLOCK as usize]);
+            }
+        }
+        prop_assert_eq!(mux.getattr(f.ino).unwrap().size, model.size);
+        let mut buf = vec![0u8; model.size as usize];
+        let n_read = mux.read(f.ino, 0, &mut buf).unwrap();
+        prop_assert_eq!(n_read as u64, model.size);
+        prop_assert_eq!(&buf[..], &model.data[..model.size as usize]);
+    }
+
+    #[test]
     fn bytemap_roundtrip_is_identity(
         extents in proptest::collection::vec((0..512u64, 1..32u64, 0..4u32), 0..24)
     ) {

@@ -1,7 +1,17 @@
 //! The virtual clock all simulated components charge time against.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+thread_local! {
+    /// Virtual nanoseconds charged by *this* thread via any clock's
+    /// [`VirtualClock::advance`]. The global clock sums all threads; this
+    /// ledger lets a multi-threaded harness recover each worker's own
+    /// service-time total and model N independent cores (wall-clock on
+    /// ideal hardware = max over workers, not the global sum).
+    static CHARGED_NS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// A monotonically advancing virtual clock measured in nanoseconds.
 ///
@@ -30,9 +40,26 @@ impl VirtualClock {
         self.now_ns.load(Ordering::Relaxed)
     }
 
-    /// Advances the clock by `ns` and returns the new time.
+    /// Advances the clock by `ns` and returns the new time. The charge is
+    /// also recorded in the calling thread's ledger (see
+    /// [`VirtualClock::thread_charged_ns`]).
     pub fn advance(&self, ns: u64) -> u64 {
+        CHARGED_NS.with(|c| c.set(c.get() + ns));
         self.now_ns.fetch_add(ns, Ordering::Relaxed) + ns
+    }
+
+    /// Total virtual nanoseconds the calling thread has charged (against
+    /// any clock) since the last [`VirtualClock::take_thread_charged_ns`].
+    pub fn thread_charged_ns() -> u64 {
+        CHARGED_NS.with(|c| c.get())
+    }
+
+    /// Returns and resets the calling thread's charge ledger. Workload
+    /// engines call this at worker start and read
+    /// [`VirtualClock::thread_charged_ns`] at the end to get that worker's
+    /// service-time total in isolation.
+    pub fn take_thread_charged_ns() -> u64 {
+        CHARGED_NS.with(|c| c.replace(0))
     }
 
     /// Measures the virtual time elapsed while `f` runs.
@@ -93,6 +120,26 @@ mod tests {
         c.advance(99);
         c.reset();
         assert_eq!(c.now_ns(), 0);
+    }
+
+    #[test]
+    fn thread_ledger_tracks_per_thread_charges() {
+        let c = VirtualClock::new();
+        VirtualClock::take_thread_charged_ns();
+        c.advance(30);
+        let c2 = c.clone();
+        let other = std::thread::spawn(move || {
+            VirtualClock::take_thread_charged_ns();
+            c2.advance(70);
+            VirtualClock::thread_charged_ns()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 70, "spawned thread sees only its own charges");
+        assert_eq!(VirtualClock::thread_charged_ns(), 30);
+        assert_eq!(c.now_ns(), 100, "global clock sums all threads");
+        assert_eq!(VirtualClock::take_thread_charged_ns(), 30);
+        assert_eq!(VirtualClock::thread_charged_ns(), 0);
     }
 
     #[test]

@@ -87,8 +87,14 @@ mod tests {
 
     #[test]
     fn intermittent_is_deterministic() {
-        let mut a = FaultMode::Intermittent { period: 5, seed: 42 };
-        let mut b = FaultMode::Intermittent { period: 5, seed: 42 };
+        let mut a = FaultMode::Intermittent {
+            period: 5,
+            seed: 42,
+        };
+        let mut b = FaultMode::Intermittent {
+            period: 5,
+            seed: 42,
+        };
         for _ in 0..1000 {
             assert_eq!(a.tick_should_fail(), b.tick_should_fail());
         }
@@ -113,7 +119,10 @@ mod tests {
         // Unlike FailStop, failures must not latch: successes follow failures.
         let mut m = FaultMode::Intermittent { period: 4, seed: 1 };
         let outcomes: Vec<bool> = (0..64).map(|_| m.tick_should_fail()).collect();
-        let first_fail = outcomes.iter().position(|&f| f).expect("no failure in 64 ops");
+        let first_fail = outcomes
+            .iter()
+            .position(|&f| f)
+            .expect("no failure in 64 ops");
         assert!(
             outcomes[first_fail..].iter().any(|&f| !f),
             "intermittent mode latched into permanent failure"

@@ -1,0 +1,342 @@
+//! The multi-threaded workload engine.
+//!
+//! [`run_engine`] drives N worker threads against any [`FileSystem`] —
+//! Mux, a single native tier, or the Strata baseline — with a barrier
+//! start, per-thread RNG seeds, and a configurable read/write mix over a
+//! uniform or zipfian offset distribution.
+//!
+//! # Time model
+//!
+//! All costs are virtual ([`simdev::VirtualClock`]): the global clock sums
+//! every thread's charges, so it measures *total service time*, not
+//! wall-clock on parallel hardware. The engine therefore recovers each
+//! worker's own charges from the clock's per-thread ledger
+//! ([`VirtualClock::thread_charged_ns`]) and models ideal N-core hardware:
+//!
+//! * `elapsed_model_ns` = **max** over workers' charged time (the slowest
+//!   core bounds the run),
+//! * `serial_model_ns` = **sum** over workers (what one core would take).
+//!
+//! Aggregate throughput is `total_bytes / elapsed_model_ns`. Lock waits
+//! charge nothing, so contention shows up as *lost scaling* (workers
+//! performing fewer ops per charged nanosecond would need more rounds),
+//! not as modeled stall time — which is exactly the quantity the sharded
+//! mux locking is supposed to improve.
+//!
+//! # Content invariant
+//!
+//! Every write (including the prefill) stores [`crate::pattern_at`]
+//! bytes, so file content is the same no matter which writes won a race.
+//! Reads verify against the pattern; any torn read, lost update, or
+//! misplaced block surfaces as a `verify_failures` count — making the
+//! engine double as a concurrency checker.
+
+use std::sync::Barrier;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simdev::VirtualClock;
+use tvfs::{FileSystem, FileType, InodeNo, VfsError, VfsResult, ROOT_INO};
+
+use crate::{pattern_at, pattern_check, Zipfian};
+
+/// Configuration for one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Operations each worker performs.
+    pub ops_per_thread: u64,
+    /// Fraction of operations that are reads (1.0 = read-only).
+    pub read_fraction: f64,
+    /// Bytes per operation (also the offset alignment).
+    pub op_size: u64,
+    /// Bytes of file region each worker targets.
+    pub region_bytes: u64,
+    /// Zipfian skew over op-slots; 0.0 selects uniform.
+    pub zipf_theta: f64,
+    /// Base RNG seed; worker `t` derives `seed + t`.
+    pub seed: u64,
+    /// All workers share one file (true) or get private files (false).
+    /// Shared mode exercises per-file synchronization; private mode
+    /// isolates map/namespace sharding.
+    pub shared_file: bool,
+    /// Verify every read against the deterministic pattern.
+    pub verify: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 1,
+            ops_per_thread: 1024,
+            read_fraction: 0.95,
+            op_size: 4096,
+            region_bytes: 4 << 20,
+            zipf_theta: 0.0,
+            seed: 42,
+            shared_file: false,
+            verify: true,
+        }
+    }
+}
+
+/// One worker's tally.
+#[derive(Debug, Clone)]
+pub struct ThreadReport {
+    /// Worker index.
+    pub thread: usize,
+    /// Read operations performed.
+    pub reads: u64,
+    /// Write operations performed.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Virtual ns this worker charged (its service-time total).
+    pub charged_ns: u64,
+    /// Reads whose content failed pattern verification.
+    pub verify_failures: u64,
+}
+
+/// Aggregated engine result.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-worker tallies, in worker order.
+    pub per_thread: Vec<ThreadReport>,
+    /// Total operations across workers.
+    pub total_ops: u64,
+    /// Total bytes moved (read + written).
+    pub total_bytes: u64,
+    /// Modeled parallel elapsed time: max worker charge (ideal N cores).
+    pub elapsed_model_ns: u64,
+    /// Modeled serial elapsed time: sum of worker charges (one core).
+    pub serial_model_ns: u64,
+}
+
+impl EngineReport {
+    /// Aggregate throughput on the modeled N-core machine, MiB/s.
+    pub fn throughput_mib_s(&self) -> f64 {
+        if self.elapsed_model_ns == 0 {
+            return 0.0;
+        }
+        (self.total_bytes as f64 / (1 << 20) as f64) / (self.elapsed_model_ns as f64 / 1e9)
+    }
+
+    /// Speedup over running the same total work on one modeled core.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        if self.elapsed_model_ns == 0 {
+            return 0.0;
+        }
+        self.serial_model_ns as f64 / self.elapsed_model_ns as f64
+    }
+
+    /// Total verification failures across workers (0 on a correct run).
+    pub fn verify_failures(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.verify_failures).sum()
+    }
+}
+
+fn prefill(fs: &dyn FileSystem, ino: InodeNo, bytes: u64) -> VfsResult<()> {
+    const CHUNK: u64 = 1 << 20;
+    let mut off = 0;
+    while off < bytes {
+        let n = CHUNK.min(bytes - off);
+        let data = pattern_at(off, n as usize);
+        let wrote = fs.write(ino, off, &data)?;
+        if wrote != data.len() {
+            return Err(VfsError::Io("short prefill write".into()));
+        }
+        off += n;
+    }
+    Ok(())
+}
+
+/// Runs the engine against `fs` and returns the aggregated report.
+///
+/// Worker files (`engine.dat` or `engine-<t>.dat` under the root) are
+/// created and prefilled with pattern bytes before any worker starts, so
+/// read-heavy mixes never touch unmapped blocks. Workers start together
+/// on a barrier. A worker panic is re-raised on the calling thread; a
+/// worker I/O error aborts the run with that error.
+pub fn run_engine(fs: &dyn FileSystem, cfg: &EngineConfig) -> VfsResult<EngineReport> {
+    assert!(cfg.threads >= 1, "engine needs at least one worker");
+    assert!(
+        cfg.op_size > 0 && cfg.region_bytes >= cfg.op_size,
+        "region must hold at least one op"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.read_fraction),
+        "read_fraction must be a probability"
+    );
+    // Create + prefill worker files before the race starts.
+    let mut inos: Vec<InodeNo> = Vec::with_capacity(cfg.threads);
+    let n_files = if cfg.shared_file { 1 } else { cfg.threads };
+    for t in 0..n_files {
+        let name = if cfg.shared_file {
+            "engine.dat".to_string()
+        } else {
+            format!("engine-{t}.dat")
+        };
+        let ino = match fs.create(ROOT_INO, &name, FileType::Regular, 0o644) {
+            Ok(a) => a.ino,
+            Err(VfsError::Exists) => fs.lookup(ROOT_INO, &name)?.ino,
+            Err(e) => return Err(e),
+        };
+        prefill(fs, ino, cfg.region_bytes)?;
+        inos.push(ino);
+    }
+    let slots = cfg.region_bytes / cfg.op_size;
+    let barrier = Barrier::new(cfg.threads);
+    let reports: Vec<VfsResult<ThreadReport>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let barrier = &barrier;
+                let inos = &inos;
+                scope.spawn(move || -> VfsResult<ThreadReport> {
+                    let ino = inos[t % inos.len()];
+                    let mut rng = StdRng::seed_from_u64(cfg.seed + t as u64);
+                    let mut zipf = (cfg.zipf_theta > 0.0)
+                        .then(|| Zipfian::new(slots, cfg.zipf_theta, cfg.seed ^ t as u64));
+                    let mut buf = vec![0u8; cfg.op_size as usize];
+                    let mut rep = ThreadReport {
+                        thread: t,
+                        reads: 0,
+                        writes: 0,
+                        bytes_read: 0,
+                        bytes_written: 0,
+                        charged_ns: 0,
+                        verify_failures: 0,
+                    };
+                    barrier.wait();
+                    VirtualClock::take_thread_charged_ns();
+                    for _ in 0..cfg.ops_per_thread {
+                        let slot = match &mut zipf {
+                            Some(z) => z.next_item(),
+                            None => rng.gen_range(0..slots),
+                        };
+                        let off = slot * cfg.op_size;
+                        if rng.gen::<f64>() < cfg.read_fraction {
+                            let got = fs.read(ino, off, &mut buf)?;
+                            if cfg.verify && !pattern_check(off, &buf[..got]) {
+                                rep.verify_failures += 1;
+                            }
+                            rep.reads += 1;
+                            rep.bytes_read += got as u64;
+                        } else {
+                            let data = pattern_at(off, cfg.op_size as usize);
+                            let wrote = fs.write(ino, off, &data)?;
+                            rep.writes += 1;
+                            rep.bytes_written += wrote as u64;
+                        }
+                    }
+                    rep.charged_ns = VirtualClock::thread_charged_ns();
+                    Ok(rep)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut per_thread = Vec::with_capacity(cfg.threads);
+    for r in reports {
+        per_thread.push(r?);
+    }
+    let elapsed_model_ns = per_thread.iter().map(|t| t.charged_ns).max().unwrap_or(0);
+    let serial_model_ns = per_thread.iter().map(|t| t.charged_ns).sum();
+    Ok(EngineReport {
+        total_ops: per_thread.iter().map(|t| t.reads + t.writes).sum(),
+        total_bytes: per_thread
+            .iter()
+            .map(|t| t.bytes_read + t.bytes_written)
+            .sum(),
+        elapsed_model_ns,
+        serial_model_ns,
+        per_thread,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvfs::memfs::MemFs;
+
+    fn cfg(threads: usize) -> EngineConfig {
+        EngineConfig {
+            threads,
+            ops_per_thread: 200,
+            region_bytes: 1 << 20,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_thread_run_verifies_and_counts() {
+        let fs = MemFs::new("m", 64 << 20);
+        let rep = run_engine(&fs, &cfg(1)).unwrap();
+        assert_eq!(rep.total_ops, 200);
+        assert_eq!(rep.verify_failures(), 0);
+        assert_eq!(rep.per_thread.len(), 1);
+        assert!(rep.total_bytes > 0);
+    }
+
+    #[test]
+    fn multi_thread_private_files_all_workers_report() {
+        let fs = MemFs::new("m", 64 << 20);
+        let rep = run_engine(&fs, &cfg(4)).unwrap();
+        assert_eq!(rep.per_thread.len(), 4);
+        assert_eq!(rep.total_ops, 4 * 200);
+        assert_eq!(rep.verify_failures(), 0);
+        assert!(rep.elapsed_model_ns <= rep.serial_model_ns);
+    }
+
+    #[test]
+    fn shared_file_mixed_workload_holds_pattern_invariant() {
+        let fs = MemFs::new("m", 64 << 20);
+        let rep = run_engine(
+            &fs,
+            &EngineConfig {
+                threads: 4,
+                read_fraction: 0.5,
+                shared_file: true,
+                zipf_theta: 0.9,
+                ..cfg(4)
+            },
+        )
+        .unwrap();
+        // Writers all store the same deterministic pattern, so even racing
+        // reads must verify.
+        assert_eq!(rep.verify_failures(), 0);
+        let reads: u64 = rep.per_thread.iter().map(|t| t.reads).sum();
+        let writes: u64 = rep.per_thread.iter().map(|t| t.writes).sum();
+        assert!(reads > 0 && writes > 0);
+    }
+
+    #[test]
+    fn reruns_reuse_existing_files() {
+        let fs = MemFs::new("m", 64 << 20);
+        run_engine(&fs, &cfg(2)).unwrap();
+        // Second run hits VfsError::Exists internally and proceeds.
+        let rep = run_engine(&fs, &cfg(2)).unwrap();
+        assert_eq!(rep.verify_failures(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let fs = MemFs::new("m", 64 << 20);
+            let rep = run_engine(&fs, &cfg(3)).unwrap();
+            (
+                rep.total_bytes,
+                rep.per_thread.iter().map(|t| t.reads).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -12,6 +12,10 @@
 //!   bounded zipf).
 //! * [`HotCold`] — a two-class file population for policy comparison.
 
+pub mod engine;
+
+pub use engine::{run_engine, EngineConfig, EngineReport, ThreadReport};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

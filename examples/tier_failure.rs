@@ -44,9 +44,7 @@ fn main() {
     while mux.write(f.ino, 0, &payload).is_err() {
         failures += 1;
     }
-    println!(
-        "  write succeeded after {failures} failed attempt(s) — redirected off PM"
-    );
+    println!("  write succeeded after {failures} failed attempt(s) — redirected off PM");
     for t in mux.tier_status() {
         println!(
             "  tier {} ({:<8}) health={:<8} writable={}",

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""CI regression gate over the thread-scaling sweep.
+
+Usage: check_bench.py <current scaling.json> <baseline.json>
+
+Fails (exit 1) if:
+  * single-thread throughput for any (config, mix) present in the
+    baseline regressed by more than REGRESSION_TOLERANCE, or
+  * the read-heavy mix no longer reaches MIN_SPEEDUP_8T aggregate
+    speedup at 8 threads, or
+  * any cell reports verify failures.
+
+Throughput is virtual-time (deterministic), so the gate is safe on
+shared CI runners: a failure means the code got slower, not the machine.
+"""
+
+import json
+import sys
+
+REGRESSION_TOLERANCE = 0.15  # fail if >15% below baseline
+MIN_SPEEDUP_8T = 3.0  # acceptance floor for read-heavy @ 8 threads
+
+
+def key(cell):
+    return (cell["config"], cell["mix"], cell["threads"])
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = {key(c): c for c in json.load(f)}
+    with open(sys.argv[2]) as f:
+        baseline = {key(c): c for c in json.load(f)}
+
+    failures = []
+
+    for k, base in sorted(baseline.items()):
+        if k[2] != 1:
+            continue  # the gate pins single-thread cost; scaling below
+        cur = current.get(k)
+        if cur is None:
+            failures.append(f"{k}: missing from current results")
+            continue
+        floor = base["throughput_mib_s"] * (1.0 - REGRESSION_TOLERANCE)
+        if cur["throughput_mib_s"] < floor:
+            failures.append(
+                f"{k}: {cur['throughput_mib_s']:.1f} MiB/s < "
+                f"{floor:.1f} (baseline {base['throughput_mib_s']:.1f} "
+                f"- {REGRESSION_TOLERANCE:.0%})"
+            )
+        else:
+            print(
+                f"ok {k}: {cur['throughput_mib_s']:.1f} MiB/s "
+                f"(baseline {base['throughput_mib_s']:.1f})"
+            )
+
+    for k, cur in sorted(current.items()):
+        if cur.get("verify_failures", 0):
+            failures.append(f"{k}: {cur['verify_failures']} verify failures")
+
+    for (config, mix, threads), cur in sorted(current.items()):
+        if mix == "read-heavy" and threads == 8:
+            if cur["speedup_vs_1t"] < MIN_SPEEDUP_8T:
+                failures.append(
+                    f"({config}, {mix}, 8t): speedup "
+                    f"{cur['speedup_vs_1t']:.2f}x < {MIN_SPEEDUP_8T}x"
+                )
+            else:
+                print(
+                    f"ok ({config}, {mix}, 8t): "
+                    f"{cur['speedup_vs_1t']:.2f}x speedup"
+                )
+
+    if failures:
+        print("\nBENCH GATE FAILED:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

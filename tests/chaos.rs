@@ -55,7 +55,10 @@ fn failstop_mid_migration_aborts_cleanly_and_tier_is_fenced() {
     // authoritative and byte-identical.
     let mut buf = vec![0u8; len];
     mux.read(f.ino, 0, &mut buf).unwrap();
-    assert!(pattern_check(0, &buf), "data corrupted by aborted migration");
+    assert!(
+        pattern_check(0, &buf),
+        "data corrupted by aborted migration"
+    );
 
     // Keep failing the tier (reads of PM-resident data) until the breaker
     // latches Offline.
@@ -142,7 +145,10 @@ fn intermittent_pm_faults_do_not_surface() {
     assert!(pattern_check(3, &buf));
     // The noise was real and was retried away; the tier never latched.
     let s = mux.stats().snapshot();
-    assert!(s.io_retries > 0, "expected retries under intermittent faults");
+    assert!(
+        s.io_retries > 0,
+        "expected retries under intermittent faults"
+    );
     assert!(mux.health().can_write(0) && mux.health().can_read(0));
 }
 

@@ -201,9 +201,7 @@ where
         if mean_ns > 0 {
             let per_sec = volume * 1e9 / mean_ns as f64;
             let scaled = match t {
-                Throughput::Bytes(_) | Throughput::BytesDecimal(_) => {
-                    per_sec / (1024.0 * 1024.0)
-                }
+                Throughput::Bytes(_) | Throughput::BytesDecimal(_) => per_sec / (1024.0 * 1024.0),
                 Throughput::Elements(_) => per_sec / 1000.0,
             };
             line += &format!("  thrpt: {scaled:.1} {unit}");

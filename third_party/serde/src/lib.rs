@@ -25,9 +25,7 @@ pub mod __private {
         /// Map lookup by key (first match).
         pub fn get(&self, key: &str) -> Option<&Value> {
             match self {
-                Value::Map(entries) => {
-                    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-                }
+                Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
                 _ => None,
             }
         }
@@ -42,10 +40,7 @@ pub mod __private {
         pub fn as_str(&self) -> Result<&str, Error> {
             match self {
                 Value::Str(s) => Ok(s),
-                other => Err(Error::new(format!(
-                    "expected string, got {}",
-                    other.kind()
-                ))),
+                other => Err(Error::new(format!("expected string, got {}", other.kind()))),
             }
         }
 
@@ -78,20 +73,14 @@ pub mod __private {
                 Value::F64(v) => Ok(v),
                 Value::U64(v) => Ok(v as f64),
                 Value::I64(v) => Ok(v as f64),
-                ref other => Err(Error::new(format!(
-                    "expected number, got {}",
-                    other.kind()
-                ))),
+                ref other => Err(Error::new(format!("expected number, got {}", other.kind()))),
             }
         }
 
         pub fn as_bool(&self) -> Result<bool, Error> {
             match *self {
                 Value::Bool(b) => Ok(b),
-                ref other => Err(Error::new(format!(
-                    "expected bool, got {}",
-                    other.kind()
-                ))),
+                ref other => Err(Error::new(format!("expected bool, got {}", other.kind()))),
             }
         }
 
@@ -250,10 +239,7 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn deserialize_value(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
-            other => Err(Error::new(format!(
-                "expected array, got {:?}",
-                other
-            ))),
+            other => Err(Error::new(format!("expected array, got {:?}", other))),
         }
     }
 }

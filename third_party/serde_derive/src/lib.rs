@@ -63,10 +63,7 @@ fn snake_case(ident: &str) -> String {
 
 /// Parses `#[...]` attribute groups at `tokens[i..]`, returning serde
 /// key/values seen and the index past the attributes.
-fn parse_attrs(
-    tokens: &[TokenTree],
-    mut i: usize,
-) -> (Vec<(String, Option<String>)>, usize) {
+fn parse_attrs(tokens: &[TokenTree], mut i: usize) -> (Vec<(String, Option<String>)>, usize) {
     let mut found = Vec::new();
     while i + 1 < tokens.len() {
         match (&tokens[i], &tokens[i + 1]) {
@@ -301,9 +298,7 @@ fn gen_serialize(input: &Input) -> String {
     let mut body = String::new();
     match &input.shape {
         Shape::Struct(fields) => {
-            body.push_str(
-                "let mut __m: Vec<(String, ::serde::__private::Value)> = Vec::new();\n",
-            );
+            body.push_str("let mut __m: Vec<(String, ::serde::__private::Value)> = Vec::new();\n");
             for f in fields {
                 body.push_str(&format!(
                     "__m.push((String::from(\"{n}\"), ::serde::Serialize::serialize_value(&self.{n})));\n",
@@ -397,10 +392,7 @@ fn gen_deserialize(input: &Input) -> String {
                         panic!("serde shim: struct variants need #[serde(tag = \"...\")]");
                     }
                     let label = variant_label(&input.attrs, &v.name);
-                    body.push_str(&format!(
-                        "\"{label}\" => Ok({name}::{v}),\n",
-                        v = v.name
-                    ));
+                    body.push_str(&format!("\"{label}\" => Ok({name}::{v}),\n", v = v.name));
                 }
                 body.push_str(&format!(
                     "__other => Err(::serde::__private::Error::unknown_variant(\"{name}\", __other)),\n}}\n"
@@ -417,10 +409,9 @@ fn gen_deserialize(input: &Input) -> String {
                 for v in variants {
                     let label = variant_label(&input.attrs, &v.name);
                     match &v.fields {
-                        None => body.push_str(&format!(
-                            "\"{label}\" => Ok({name}::{v}),\n",
-                            v = v.name
-                        )),
+                        None => {
+                            body.push_str(&format!("\"{label}\" => Ok({name}::{v}),\n", v = v.name))
+                        }
                         Some(fields) => {
                             body.push_str(&format!(
                                 "\"{label}\" => Ok({name}::{v} {{\n",
