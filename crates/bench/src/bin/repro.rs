@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--experiment fig3a|fig3b|read-overhead|write-overhead|
 //!        meta-overhead|ablation-occ|ablation-cache|ablation-policy|
-//!        degraded-mode|latency|scaling|all]
+//!        degraded-mode|latency|scaling|crash|all]
 //!       [--quick]
 //! ```
 //!
@@ -23,6 +23,7 @@ struct Scale {
     degraded_ops: usize,
     latency_ops: usize,
     scaling_ops: u64,
+    crash_torn_pass: bool,
 }
 
 const FULL: Scale = Scale {
@@ -35,6 +36,7 @@ const FULL: Scale = Scale {
     degraded_ops: 64,
     latency_ops: 12_000,
     scaling_ops: 2_000,
+    crash_torn_pass: true,
 };
 
 const QUICK: Scale = Scale {
@@ -47,6 +49,7 @@ const QUICK: Scale = Scale {
     degraded_ops: 16,
     latency_ops: 2_000,
     scaling_ops: 250,
+    crash_torn_pass: false,
 };
 
 fn main() {
@@ -66,7 +69,7 @@ fn main() {
                     "usage: repro [--experiment NAME] [--quick]\n\
                      experiments: fig3a fig3b read-overhead write-overhead\n\
                      \x20            meta-overhead ablation-occ ablation-cache\n\
-                     \x20            ablation-policy degraded-mode latency scaling all"
+                     \x20            ablation-policy degraded-mode latency scaling crash all"
                 );
                 return;
             }
@@ -133,5 +136,11 @@ fn main() {
         let r = ex::scaling(scale.scaling_ops);
         println!("{}", report::render_scaling(&r));
         let _ = report::write_json("scaling", &r);
+    }
+    if all || experiment == "crash" {
+        // --quick skips the torn-write pass (half the points).
+        let r = ex::crash_matrix(scale.crash_torn_pass);
+        println!("{}", report::render_crash(&r));
+        let _ = report::write_json("crash_matrix", &r);
     }
 }

@@ -1140,3 +1140,68 @@ pub fn scaling(ops_per_thread: u64) -> Vec<ScalingCell> {
     }
     cells
 }
+
+// ---------------------------------------------------------------------
+// Crash matrix — deterministic crash-point enumeration (DESIGN.md,
+// "Crash consistency")
+// ---------------------------------------------------------------------
+
+/// Runs the full crash-point matrix: every standard scenario of
+/// `mux::crashtest`, over every mutating device operation, against a
+/// novafs (pmem) + xefs (nvme ssd) stack with the metafile on tier 0.
+/// `torn_pass` additionally repeats every point with torn trailing
+/// writes (512-byte-aligned surviving prefix).
+pub fn crash_matrix(torn_pass: bool) -> mux::CrashMatrix {
+    use mux::crashtest::TierDef;
+    let cap = 2048 * BLOCK;
+    let tiers = vec![
+        TierDef {
+            config: mux::TierConfig {
+                name: "pmem".into(),
+                class: DeviceClass::Pmem,
+            },
+            profile: simdev::pmem(),
+            capacity: cap,
+            format: |dev| {
+                Ok(
+                    Arc::new(novafs::NovaFs::format(dev, novafs::NovaOptions::default())?)
+                        as Arc<dyn FileSystem>,
+                )
+            },
+            mount: |dev| {
+                Ok(
+                    Arc::new(novafs::NovaFs::mount(dev, novafs::NovaOptions::default())?)
+                        as Arc<dyn FileSystem>,
+                )
+            },
+        },
+        TierDef {
+            config: mux::TierConfig {
+                name: "ssd".into(),
+                class: DeviceClass::Ssd,
+            },
+            profile: simdev::nvme_ssd(),
+            capacity: cap,
+            format: |dev| {
+                Ok(Arc::new(xefs::XeFs::format(
+                    dev,
+                    xefs::XeOptions {
+                        journal_blocks: 256,
+                        ..xefs::XeOptions::default()
+                    },
+                )?) as Arc<dyn FileSystem>)
+            },
+            mount: |dev| {
+                Ok(Arc::new(xefs::XeFs::mount(
+                    dev,
+                    xefs::XeOptions {
+                        journal_blocks: 256,
+                        ..xefs::XeOptions::default()
+                    },
+                )?) as Arc<dyn FileSystem>)
+            },
+        },
+    ];
+    mux::crashtest::run_matrix(&tiers, 0, &mux::crashtest::standard_scenarios(), torn_pass)
+        .expect("crash matrix probe runs must succeed")
+}

@@ -343,3 +343,40 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
     std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
     Ok(())
 }
+
+/// Renders the crash matrix: one row per scenario × tear mode.
+pub fn render_crash(m: &mux::CrashMatrix) -> String {
+    let body: Vec<Vec<String>> = m
+        .scenarios
+        .iter()
+        .map(|s| {
+            vec![
+                s.scenario.clone(),
+                s.mode.clone(),
+                s.crash_points.to_string(),
+                s.recovered.to_string(),
+                s.failures.len().to_string(),
+            ]
+        })
+        .collect();
+    let mut s = String::from("Crash consistency — exhaustive crash-point enumeration\n");
+    s += &table(
+        &["scenario", "mode", "points", "recovered", "failed"],
+        &body,
+    );
+    let _ = writeln!(
+        s,
+        "  total: {} points, {} recovered, {} violated, {} panicked",
+        m.total_points, m.recovered, m.violated, m.panicked
+    );
+    for sc in &m.scenarios {
+        for f in sc.failures.iter().take(3) {
+            let _ = writeln!(
+                s,
+                "  FAIL {}[{}] k={} {}: {}",
+                sc.scenario, sc.mode, f.k, f.kind, f.detail
+            );
+        }
+    }
+    s
+}

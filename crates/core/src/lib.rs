@@ -33,6 +33,7 @@
 
 pub mod blt;
 pub mod cache;
+pub mod crashtest;
 pub mod file;
 pub mod health;
 pub mod hist;
@@ -51,6 +52,7 @@ pub mod types;
 
 pub use blt::BlockLookupTable;
 pub use cache::{CacheConfig, CacheController};
+pub use crashtest::{run_matrix, standard_scenarios, CrashMatrix, Scenario, TierDef};
 pub use health::{HealthConfig, HealthRegistry, HealthSnapshot, TierHealthState};
 pub use hist::{HistSnapshot, LatencyRegistry, LatencyReport, OpKind, CACHE_TIER};
 pub use meta::{AttrKind, CollectiveInode};

@@ -6,9 +6,13 @@
 //! choice (conventionally the fastest): a **snapshot** of the namespace,
 //! Block Lookup Tables (byte-array encoding), affinity tables and native
 //! handles; and an **intent journal** for in-flight migrations. The
-//! snapshot is rewritten on `fsync`/`sync`; intents are appended (and
-//! fsync'd) around each migration so recovery can tell half-copied
-//! migration debris from real data.
+//! snapshot is rewritten on `fsync`/`sync` — atomically, by writing a
+//! sibling file and renaming it over the old snapshot, so a crash always
+//! leaves either the old or the new snapshot intact; intents are appended
+//! (and fsync'd) around each migration so recovery can tell half-copied
+//! migration debris from real data. Every intent record carries a CRC so
+//! a torn append is recognized and discarded instead of being replayed as
+//! garbage.
 //!
 //! Recovery composes three sources, in order:
 //!
@@ -22,12 +26,18 @@
 //!    extents. Unsynced writes thus survive as well as the native file
 //!    system preserved them; conflicting adoptions resolve by native
 //!    mtime.
+//!
+//! Nothing read back from a device is trusted: snapshot decoding validates
+//! every count and length against the remaining buffer and returns
+//! [`VfsError::Corrupt`] instead of panicking, native handles recorded in
+//! the snapshot are revalidated against the tiers before use, and a
+//! journal whose tail fails CRC is truncated back to its valid prefix.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use bytes::{Buf, BufMut};
+use bytes::BufMut;
 use simdev::VirtualClock;
 use tvfs::{FileAttr, FileSystem, FileType, InodeNo, SetAttr, VfsError, VfsResult, ROOT_INO};
 
@@ -40,11 +50,31 @@ use crate::types::{MuxOptions, TierConfig, TierId, BLOCK};
 
 const SNAP_MAGIC: u64 = 0x4d55_584d_4554_4132; // "MUXMETA2"
 const SNAPSHOT_NAME: &str = ".mux.snapshot";
+/// Sibling the snapshot is staged in before the atomic rename.
+const SNAPSHOT_TMP_NAME: &str = ".mux.snapshot.new";
 const INTENTS_NAME: &str = ".mux.intents";
 
 const INTENT_BEGIN: u8 = 1;
 const INTENT_COMMIT: u8 = 2;
-const INTENT_RECORD: usize = 1 + 8 + 8 + 8 + 4;
+/// kind + ino + block + n + to + crc32 over the preceding bytes.
+const INTENT_RECORD: usize = 1 + 8 + 8 + 8 + 4 + 4;
+
+fn corrupt(what: &str) -> VfsError {
+    VfsError::Corrupt(what.into())
+}
+
+/// CRC-32 (IEEE, reflected) — guards intent records against torn appends.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Where the metafile lives.
 pub struct MetafileHandle {
@@ -71,11 +101,20 @@ impl Intent {
         b[9..17].copy_from_slice(&self.block.to_le_bytes());
         b[17..25].copy_from_slice(&self.n.to_le_bytes());
         b[25..29].copy_from_slice(&self.to.to_le_bytes());
+        let crc = crc32(&b[..29]);
+        b[29..33].copy_from_slice(&crc.to_le_bytes());
         b
     }
 
+    /// Decodes one record. `None` means the bytes at this position are not
+    /// a whole, intact record — a short read, a torn append or garbage —
+    /// and the journal's valid prefix ends here.
     fn decode(raw: &[u8]) -> Option<Intent> {
         if raw.len() < INTENT_RECORD || (raw[0] != INTENT_BEGIN && raw[0] != INTENT_COMMIT) {
+            return None;
+        }
+        let crc = u32::from_le_bytes(raw[29..33].try_into().ok()?);
+        if crc != crc32(&raw[..29]) {
             return None;
         }
         Some(Intent {
@@ -88,12 +127,184 @@ impl Intent {
     }
 }
 
+/// A bounds-checked little-endian reader over untrusted bytes.
+struct Cur<'a> {
+    r: &'a [u8],
+}
+
+impl<'a> Cur<'a> {
+    fn new(r: &'a [u8]) -> Self {
+        Self { r }
+    }
+
+    fn remaining(&self) -> usize {
+        self.r.len()
+    }
+
+    fn take(&mut self, n: usize) -> VfsResult<&'a [u8]> {
+        if self.r.len() < n {
+            return Err(corrupt("truncated snapshot"));
+        }
+        let (head, tail) = self.r.split_at(n);
+        self.r = tail;
+        Ok(head)
+    }
+
+    fn u64(&mut self) -> VfsResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> VfsResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u16(&mut self) -> VfsResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn name(&mut self) -> VfsResult<String> {
+        let nlen = self.u16()? as usize;
+        String::from_utf8(self.take(nlen)?.to_vec()).map_err(|_| corrupt("non-UTF-8 name"))
+    }
+}
+
+/// Fully decoded, validated snapshot — built before any Mux state is
+/// touched, so a corrupt snapshot never leaves a half-loaded namespace.
+struct SnapshotImage {
+    next_ino: u64,
+    dirs: Vec<SnapDir>,
+    files: Vec<SnapFile>,
+}
+
+struct SnapDir {
+    ino: MuxIno,
+    parent: MuxIno,
+    name: String,
+    mode: u32,
+}
+
+struct SnapFile {
+    ino: MuxIno,
+    parent: MuxIno,
+    name: String,
+    attr: FileAttr,
+    owners: [TierId; 4],
+    native: Vec<(TierId, InodeNo)>,
+    blt: BlockLookupTable,
+    replicas: BlockLookupTable,
+}
+
+/// Smallest possible encodings, used to sanity-check count fields before
+/// trusting them (a corrupt count can otherwise demand absurd allocations).
+const MIN_DIR_RECORD: usize = 8 + 8 + 2 + 4;
+const MIN_FILE_RECORD: usize = 8 + 8 + 2 + 8 * 5 + 4 * 3 + 4 * 4 + 4 + 4 + 4;
+
+fn decode_snapshot(raw: &[u8]) -> VfsResult<SnapshotImage> {
+    let mut c = Cur::new(raw);
+    if c.u64()? != SNAP_MAGIC {
+        return Err(corrupt("bad snapshot magic"));
+    }
+    let next_ino = c.u64()?;
+    let mut seen: HashSet<MuxIno> = HashSet::new();
+
+    let n_dirs = c.u32()? as usize;
+    if n_dirs > c.remaining() / MIN_DIR_RECORD {
+        return Err(corrupt("dir count exceeds snapshot size"));
+    }
+    let mut dirs = Vec::with_capacity(n_dirs);
+    for _ in 0..n_dirs {
+        let ino = c.u64()?;
+        let parent = c.u64()?;
+        let name = c.name()?;
+        let mode = c.u32()?;
+        if ino != ROOT_INO && !seen.insert(ino) {
+            return Err(corrupt("duplicate inode in snapshot"));
+        }
+        dirs.push(SnapDir {
+            ino,
+            parent,
+            name,
+            mode,
+        });
+    }
+
+    let n_files = c.u32()? as usize;
+    if n_files > c.remaining() / MIN_FILE_RECORD {
+        return Err(corrupt("file count exceeds snapshot size"));
+    }
+    let mut files = Vec::with_capacity(n_files);
+    for _ in 0..n_files {
+        let ino = c.u64()?;
+        let parent = c.u64()?;
+        let name = c.name()?;
+        if ino == ROOT_INO || !seen.insert(ino) {
+            return Err(corrupt("duplicate inode in snapshot"));
+        }
+        let mut attr = FileAttr::new(ino, FileType::Regular, 0o644, 0);
+        attr.size = c.u64()?;
+        attr.blocks_bytes = c.u64()?;
+        attr.atime_ns = c.u64()?;
+        attr.mtime_ns = c.u64()?;
+        attr.ctime_ns = c.u64()?;
+        attr.mode = c.u32()?;
+        attr.uid = c.u32()?;
+        attr.gid = c.u32()?;
+        let owners = [c.u32()?, c.u32()?, c.u32()?, c.u32()?];
+        let n_native = c.u32()? as usize;
+        if n_native > c.remaining() / 12 {
+            return Err(corrupt("native count exceeds snapshot size"));
+        }
+        let mut native = Vec::with_capacity(n_native);
+        for _ in 0..n_native {
+            let t = c.u32()?;
+            let nino = c.u64()?;
+            native.push((t, nino));
+        }
+        let blen = c.u32()? as usize;
+        let blt = BlockLookupTable::decode_bytemap(c.take(blen)?);
+        let rlen = c.u32()? as usize;
+        let replicas = BlockLookupTable::decode_bytemap(c.take(rlen)?);
+        files.push(SnapFile {
+            ino,
+            parent,
+            name,
+            attr,
+            owners,
+            native,
+            blt,
+            replicas,
+        });
+    }
+    Ok(SnapshotImage {
+        next_ino,
+        dirs,
+        files,
+    })
+}
+
 fn find_or_create(fs: &dyn FileSystem, name: &str) -> VfsResult<InodeNo> {
     match fs.lookup(ROOT_INO, name) {
         Ok(a) => Ok(a.ino),
         Err(VfsError::NotFound) => Ok(fs.create(ROOT_INO, name, FileType::Regular, 0o600)?.ino),
+        Err(VfsError::Stale) => {
+            // A crash between the dentry append and the inode write left a
+            // dangling name; reclaim it rather than failing recovery.
+            fs.unlink(ROOT_INO, name)?;
+            Ok(fs.create(ROOT_INO, name, FileType::Regular, 0o600)?.ino)
+        }
         Err(e) => Err(e),
     }
+}
+
+/// Reads a metafile in full; `None` if it is absent or empty.
+fn read_meta_file(fs: &dyn FileSystem, name: &str) -> Option<(InodeNo, Vec<u8>)> {
+    let attr = fs.lookup(ROOT_INO, name).ok()?;
+    if attr.size == 0 {
+        return None;
+    }
+    let mut raw = vec![0u8; attr.size as usize];
+    fs.read(attr.ino, 0, &mut raw).ok()?;
+    Some((attr.ino, raw))
 }
 
 impl Mux {
@@ -134,7 +345,10 @@ impl Mux {
     }
 
     /// Appends a migration-commit record.
-    pub(crate) fn journal_migration_commit(
+    ///
+    /// Public for crash-injection tests; normal callers go through
+    /// [`Mux::migrate_range`], which journals automatically.
+    pub fn journal_migration_commit(
         &self,
         ino: MuxIno,
         block: u64,
@@ -166,6 +380,12 @@ impl Mux {
 
     /// Serializes the full Mux state into the snapshot file and truncates
     /// the intent journal (everything journaled is now in the snapshot).
+    ///
+    /// The rewrite is atomic: the new snapshot is staged in a sibling
+    /// file, fsync'd, and renamed over the old one, so a crash at any
+    /// point leaves a complete snapshot (old or new) on the device. The
+    /// journal is truncated only after the rename is durable — replaying
+    /// a stale journal against the new snapshot is idempotent.
     pub fn snapshot_metafile(&self) -> VfsResult<()> {
         let mut guard = self.metafile.lock();
         let Some(handle) = guard.as_mut() else {
@@ -196,14 +416,29 @@ impl Mux {
             self.files
                 .for_each(|&ino, f| files.push((ino, Arc::clone(f))));
             files.sort_unstable_by_key(|e| e.0);
+            // Fallback names for files missing from the namespace must not
+            // collide with real root entries (or each other).
+            let mut taken: BTreeSet<String> = self
+                .ns
+                .dirs
+                .view(&ROOT_INO, |d| d.entries.keys().cloned().collect())
+                .unwrap_or_default();
             b.put_u32_le(files.len() as u32);
             for (ino, f) in files {
                 let st = f.state.read();
-                let (parent, name) = self
-                    .ns
-                    .file_loc
-                    .get(&ino)
-                    .unwrap_or((ROOT_INO, format!(".orphan-{ino}")));
+                let (parent, name) = match self.ns.file_loc.get(&ino) {
+                    Some(loc) => loc,
+                    None => {
+                        let mut cand = format!(".orphan-{ino}");
+                        let mut k = 0u32;
+                        while taken.contains(&cand) {
+                            k += 1;
+                            cand = format!(".orphan-{ino}.{k}");
+                        }
+                        taken.insert(cand.clone());
+                        (ROOT_INO, cand)
+                    }
+                };
                 b.put_u64_le(ino);
                 b.put_u64_le(parent);
                 b.put_u16_le(name.len() as u16);
@@ -241,11 +476,17 @@ impl Mux {
                 b.extend_from_slice(&repmap);
             }
         }
+        // Stage, persist, then atomically swing the name.
+        let tmp_ino = find_or_create(handle.fs.as_ref(), SNAPSHOT_TMP_NAME)?;
+        handle.fs.setattr(tmp_ino, &SetAttr::truncate(0))?;
+        handle.fs.write(tmp_ino, 0, &b)?;
+        handle.fs.fsync(tmp_ino)?;
         handle
             .fs
-            .setattr(handle.snapshot_ino, &SetAttr::truncate(0))?;
-        handle.fs.write(handle.snapshot_ino, 0, &b)?;
-        handle.fs.fsync(handle.snapshot_ino)?;
+            .rename(ROOT_INO, SNAPSHOT_TMP_NAME, ROOT_INO, SNAPSHOT_NAME)?;
+        // Make the rename itself durable before dropping the journal.
+        handle.fs.fsync(tmp_ino)?;
+        handle.snapshot_ino = tmp_ino;
         handle
             .fs
             .setattr(handle.intents_ino, &SetAttr::truncate(0))?;
@@ -254,101 +495,144 @@ impl Mux {
         Ok(())
     }
 
-    /// Loads a snapshot blob into this (empty) Mux.
-    fn load_snapshot(&self, raw: &[u8]) -> VfsResult<()> {
-        let mut r = raw;
-        if r.len() < 20 || r.get_u64_le() != SNAP_MAGIC {
-            return Err(VfsError::Io("bad mux snapshot".into()));
-        }
-        self.next_ino.store(r.get_u64_le(), Ordering::Relaxed);
-        let n_dirs = r.get_u32_le() as usize;
-        let mut dir_meta: Vec<(MuxIno, MuxIno, String, u32)> = Vec::with_capacity(n_dirs);
-        for _ in 0..n_dirs {
-            let ino = r.get_u64_le();
-            let parent = r.get_u64_le();
-            let nlen = r.get_u16_le() as usize;
-            let name = String::from_utf8(r[..nlen].to_vec())
-                .map_err(|_| VfsError::Io("bad name".into()))?;
-            r.advance(nlen);
-            let mode = r.get_u32_le();
-            dir_meta.push((ino, parent, name, mode));
-        }
-        for (ino, parent, name, mode) in &dir_meta {
-            if *ino == ROOT_INO {
+    /// Applies a decoded snapshot to this (empty) Mux. Structural repairs
+    /// — unknown parents, colliding names — reattach under the root with a
+    /// disambiguated name rather than dropping state.
+    fn apply_snapshot(&self, img: SnapshotImage) {
+        let mut max_ino = ROOT_INO;
+        let known_dirs: HashSet<MuxIno> = img
+            .dirs
+            .iter()
+            .map(|d| d.ino)
+            .chain(std::iter::once(ROOT_INO))
+            .collect();
+        for d in &img.dirs {
+            if d.ino == ROOT_INO {
                 continue;
             }
-            let mut attr = FileAttr::new(*ino, FileType::Directory, *mode, 0);
+            max_ino = max_ino.max(d.ino);
+            let mut attr = FileAttr::new(d.ino, FileType::Directory, d.mode, 0);
             attr.nlink = 2;
             self.ns.dirs.insert(
-                *ino,
+                d.ino,
                 MuxDir {
-                    parent: *parent,
-                    name: name.clone(),
+                    parent: d.parent,
+                    name: d.name.clone(),
                     entries: BTreeMap::new(),
                     attr,
                 },
             );
         }
         // Wire children into parents.
-        for (ino, parent, name, _) in &dir_meta {
-            if *ino == ROOT_INO {
+        for d in &img.dirs {
+            if d.ino == ROOT_INO {
                 continue;
             }
-            self.ns.dirs.update(parent, |p| {
-                p.entries.insert(name.clone(), NsEntry::Dir(*ino));
+            let parent = if known_dirs.contains(&d.parent) && d.parent != d.ino {
+                d.parent
+            } else {
+                ROOT_INO
+            };
+            let name = self.free_name(parent, &d.name);
+            self.ns.dirs.update(&parent, |p| {
+                p.entries.insert(name.clone(), NsEntry::Dir(d.ino));
             });
+            if name != d.name || parent != d.parent {
+                self.ns.dirs.update(&d.ino, |dd| {
+                    dd.name = name.clone();
+                    dd.parent = parent;
+                });
+            }
         }
-        let n_files = r.get_u32_le() as usize;
-        for _ in 0..n_files {
-            let ino = r.get_u64_le();
-            let parent = r.get_u64_le();
-            let nlen = r.get_u16_le() as usize;
-            let name = String::from_utf8(r[..nlen].to_vec())
-                .map_err(|_| VfsError::Io("bad name".into()))?;
-            r.advance(nlen);
-            let mut attr = FileAttr::new(ino, FileType::Regular, 0o644, 0);
-            attr.size = r.get_u64_le();
-            attr.blocks_bytes = r.get_u64_le();
-            attr.atime_ns = r.get_u64_le();
-            attr.mtime_ns = r.get_u64_le();
-            attr.ctime_ns = r.get_u64_le();
-            attr.mode = r.get_u32_le();
-            attr.uid = r.get_u32_le();
-            attr.gid = r.get_u32_le();
-            let owners = [
-                r.get_u32_le(),
-                r.get_u32_le(),
-                r.get_u32_le(),
-                r.get_u32_le(),
-            ];
-            let mut meta = CollectiveInode::new(attr, owners[0]);
-            meta.set_owners(owners);
-            let file = MuxFile::new(ino, meta);
-            let n_native = r.get_u32_le() as usize;
+        for f in img.files {
+            max_ino = max_ino.max(f.ino);
+            let mut meta = CollectiveInode::new(f.attr, f.owners[0]);
+            meta.set_owners(f.owners);
+            let file = MuxFile::new(f.ino, meta);
             {
                 let mut st = file.state.write();
-                for _ in 0..n_native {
-                    let t = r.get_u32_le();
-                    let nino = r.get_u64_le();
+                for (t, nino) in f.native {
                     st.native.insert(t, nino);
                 }
-                let blen = r.get_u32_le() as usize;
-                st.blt = BlockLookupTable::decode_bytemap(&r[..blen]);
-                r.advance(blen);
-                let rlen = r.get_u32_le() as usize;
-                let rep = BlockLookupTable::decode_bytemap(&r[..rlen]);
-                r.advance(rlen);
-                for e in rep.extents() {
+                st.blt = f.blt;
+                for e in f.replicas.extents() {
                     st.replicas.insert(e.start, e.len, e.value);
                 }
             }
+            let parent = if known_dirs.contains(&f.parent) {
+                f.parent
+            } else {
+                ROOT_INO
+            };
+            let name = self.free_name(parent, &f.name);
             self.ns.dirs.update(&parent, |p| {
-                p.entries.insert(name.clone(), NsEntry::File(ino));
+                p.entries.insert(name.clone(), NsEntry::File(f.ino));
             });
-            self.ns.file_loc.insert(ino, (parent, name));
-            self.files.insert(ino, Arc::new(file));
+            self.ns.file_loc.insert(f.ino, (parent, name));
+            self.files.insert(f.ino, Arc::new(file));
         }
-        Ok(())
+        // Never hand out inode numbers the snapshot already uses, even if
+        // its recorded next_ino is stale or corrupt.
+        self.next_ino
+            .store(img.next_ino.max(max_ino + 1), Ordering::Relaxed);
+    }
+
+    /// First free name in `parent` starting from `base` (appends `.1`,
+    /// `.2`, … on collision).
+    fn free_name(&self, parent: MuxIno, base: &str) -> String {
+        let taken = |n: &str| {
+            self.ns
+                .dirs
+                .view(&parent, |p| p.entries.contains_key(n))
+                .unwrap_or(false)
+        };
+        if !taken(base) {
+            return base.to_string();
+        }
+        let mut k = 1u64;
+        loop {
+            let cand = format!("{base}.{k}");
+            if !taken(&cand) {
+                return cand;
+            }
+            k += 1;
+        }
+    }
+
+    /// Drops native handles the tiers no longer back (a natively-durable
+    /// unlink the snapshot predates, or a tier id the snapshot invented)
+    /// and clears BLT/replica extents that point at tiers without a copy.
+    fn validate_native_handles(&self) {
+        let mut inos: Vec<MuxIno> = self.files.keys();
+        inos.sort_unstable();
+        for ino in inos {
+            let Ok(file) = self.get_file(ino) else {
+                continue;
+            };
+            let mut st = file.state.write();
+            let natives: Vec<(TierId, InodeNo)> = st.native.iter().map(|(&t, &n)| (t, n)).collect();
+            for (t, nino) in natives {
+                let alive = self.tier(t).ok().is_some_and(
+                    |h| matches!(h.fs.getattr(nino), Ok(a) if a.kind == FileType::Regular),
+                );
+                if !alive {
+                    st.native.remove(&t);
+                }
+            }
+            let exts = st.blt.extents();
+            for e in exts {
+                if !st.native.contains_key(&e.value) {
+                    st.blt.clear(e.start, e.len);
+                }
+            }
+            let reps: Vec<_> = st.replicas.iter().collect();
+            for e in reps {
+                if !st.native.contains_key(&e.value) {
+                    st.replicas.remove(e.start, e.len);
+                }
+            }
+            st.meta.attr.blocks_bytes = st.blt.mapped_blocks() * BLOCK;
+        }
     }
 
     /// Recovers a Mux over existing tiers: loads the snapshot + intent
@@ -365,93 +649,156 @@ impl Mux {
         for (cfg, fs) in tiers {
             mux.add_tier(cfg, fs);
         }
-        // 1. Snapshot.
         let handle = mux.tier(metafile_tier)?;
-        let mut intents: Vec<Intent> = Vec::new();
-        if let Ok(attr) = handle.fs.lookup(ROOT_INO, SNAPSHOT_NAME) {
-            if attr.size > 0 {
-                let mut raw = vec![0u8; attr.size as usize];
-                handle.fs.read(attr.ino, 0, &mut raw)?;
-                mux.load_snapshot(&raw)?;
-            }
-            // 2. Intent journal.
-            if let Ok(iattr) = handle.fs.lookup(ROOT_INO, INTENTS_NAME) {
-                let mut raw = vec![0u8; iattr.size as usize];
-                handle.fs.read(iattr.ino, 0, &mut raw)?;
-                let mut off = 0;
-                while let Some(i) = Intent::decode(&raw[off.min(raw.len())..]) {
-                    intents.push(i);
-                    off += INTENT_RECORD;
+        // 1. Snapshot. The primary is authoritative; if it is corrupt (or
+        // absent) a complete staged sibling — a crash in the middle of the
+        // atomic rewrite — is used instead.
+        match read_meta_file(handle.fs.as_ref(), SNAPSHOT_NAME) {
+            Some((_, raw)) => match decode_snapshot(&raw) {
+                Ok(img) => mux.apply_snapshot(img),
+                Err(e) => {
+                    match read_meta_file(handle.fs.as_ref(), SNAPSHOT_TMP_NAME)
+                        .and_then(|(_, raw)| decode_snapshot(&raw).ok())
+                    {
+                        Some(img) => mux.apply_snapshot(img),
+                        None => return Err(e),
+                    }
+                }
+            },
+            None => {
+                if let Some(img) = read_meta_file(handle.fs.as_ref(), SNAPSHOT_TMP_NAME)
+                    .and_then(|(_, raw)| decode_snapshot(&raw).ok())
+                {
+                    mux.apply_snapshot(img);
                 }
             }
         }
+        // A leftover staged snapshot is now either adopted or stale.
+        let _ = handle.fs.unlink(ROOT_INO, SNAPSHOT_TMP_NAME);
+        // 2. Intent journal: replay the valid prefix; a record that fails
+        // CRC (torn append) or parses as garbage ends the journal, and the
+        // file is truncated back so future appends never interleave with
+        // debris.
+        let mut intents: Vec<Intent> = Vec::new();
+        if let Some((ino, raw)) = read_meta_file(handle.fs.as_ref(), INTENTS_NAME) {
+            let mut off = 0usize;
+            while off + INTENT_RECORD <= raw.len() {
+                match Intent::decode(&raw[off..]) {
+                    Some(i) => {
+                        intents.push(i);
+                        off += INTENT_RECORD;
+                    }
+                    None => break,
+                }
+            }
+            if (off as u64) < raw.len() as u64 {
+                handle.fs.setattr(ino, &SetAttr::truncate(off as u64))?;
+                handle.fs.fsync(ino)?;
+            }
+        }
+        // Snapshot-recorded native handles may predate natively-durable
+        // unlinks; drop the dead ones before walking the tiers.
+        mux.validate_native_handles();
         // Register native handles and merge namespaces first, so intent
         // processing can reach destination files the snapshot predates.
         mux.reconcile_namespaces()?;
         // Apply intents: committed migrations re-apply their BLT move;
         // uncommitted ones leave debris in the destination to punch.
-        for (idx, intent) in intents.iter().enumerate() {
-            if intent.kind != INTENT_BEGIN {
-                continue;
-            }
-            let committed = intents[idx + 1..].iter().any(|c| {
-                c.kind == INTENT_COMMIT
-                    && c.ino == intent.ino
-                    && c.block == intent.block
-                    && c.n == intent.n
-                    && c.to == intent.to
-            });
+        for intent in intents.iter().filter(|i| i.kind == INTENT_BEGIN) {
             let Ok(file) = mux.get_file(intent.ino) else {
                 continue;
             };
-            if committed {
-                let mut st = file.state.write();
-                let mapped: Vec<(u64, u64)> = st
-                    .blt
-                    .plan(intent.block, intent.n)
-                    .iter()
-                    .map(|e| (e.start, e.len))
-                    .collect();
-                for (b, l) in mapped {
-                    st.blt.assign(b, l, intent.to);
+            let begin_end = intent.block + intent.n;
+            // Union of committed sub-ranges for this (ino, to), clipped to
+            // the begin range. An aborted migration commits the sub-ranges
+            // whose sources it already reclaimed, so exact-match against
+            // the begin record would treat them as debris and punch real
+            // data; duplicate COMMIT records simply collapse in the union.
+            let mut segs: Vec<(u64, u64)> = intents
+                .iter()
+                .filter(|c| c.kind == INTENT_COMMIT && c.ino == intent.ino && c.to == intent.to)
+                .filter_map(|c| {
+                    let s = c.block.max(intent.block);
+                    let e = (c.block + c.n).min(begin_end);
+                    (s < e).then_some((s, e))
+                })
+                .collect();
+            segs.sort_unstable();
+            let mut committed: Vec<(u64, u64)> = Vec::new();
+            for (s, e) in segs {
+                match committed.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => committed.push((s, e)),
                 }
-            } else {
-                // Debris: punch the copied-but-never-committed range out
-                // of the destination, unless the BLT already maps those
-                // blocks there.
+            }
+            // Re-apply the committed moves.
+            {
+                let mut st = file.state.write();
+                for &(s, e) in &committed {
+                    let mapped: Vec<(u64, u64)> = st
+                        .blt
+                        .plan(s, e - s)
+                        .iter()
+                        .map(|x| (x.start, x.len))
+                        .collect();
+                    for (b, l) in mapped {
+                        if st.native.contains_key(&intent.to) {
+                            st.blt.assign(b, l, intent.to);
+                        }
+                    }
+                }
+            }
+            // Debris: punch the copied-but-never-committed remainder out
+            // of the destination, unless the BLT already maps those blocks
+            // there. Punches are best-effort — a missing destination file
+            // means there is no debris to resurrect.
+            let (native, owned_by_dest) = {
                 let st = file.state.read();
-                let owned_by_dest: Vec<(u64, u64)> = st
+                let owned: Vec<(u64, u64)> = st
                     .blt
                     .plan(intent.block, intent.n)
                     .iter()
                     .filter(|e| e.value == intent.to)
                     .map(|e| (e.start, e.len))
                     .collect();
-                let native = st.native.get(&intent.to).copied();
-                drop(st);
-                if let Some(nino) = native {
-                    let dst = mux.tier(intent.to)?;
-                    // Punch everything in the intent range except what the
-                    // BLT legitimately assigns to this tier.
-                    let mut cur = intent.block;
-                    let end = intent.block + intent.n;
-                    let mut owned = owned_by_dest.into_iter().peekable();
-                    while cur < end {
-                        let next_owned = owned.peek().copied();
-                        match next_owned {
-                            Some((s, l)) if s <= cur => {
-                                cur = s + l;
-                                owned.next();
-                            }
-                            Some((s, _)) => {
-                                dst.fs.punch_hole(nino, cur * BLOCK, (s - cur) * BLOCK)?;
-                                cur = s;
-                            }
-                            None => {
-                                dst.fs.punch_hole(nino, cur * BLOCK, (end - cur) * BLOCK)?;
-                                cur = end;
-                            }
-                        }
+                (st.native.get(&intent.to).copied(), owned)
+            };
+            let Some(nino) = native else {
+                continue;
+            };
+            let Ok(dst) = mux.tier(intent.to) else {
+                continue;
+            };
+            let mut protected: Vec<(u64, u64)> = committed
+                .iter()
+                .map(|&(s, e)| (s, e))
+                .chain(owned_by_dest.iter().map(|&(s, l)| (s, s + l)))
+                .collect();
+            protected.sort_unstable();
+            let mut keep: Vec<(u64, u64)> = Vec::new();
+            for (s, e) in protected {
+                match keep.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => keep.push((s, e)),
+                }
+            }
+            let mut cur = intent.block;
+            let mut keep_it = keep.into_iter().peekable();
+            while cur < begin_end {
+                match keep_it.peek().copied() {
+                    Some((s, e)) if s <= cur => {
+                        cur = cur.max(e);
+                        keep_it.next();
+                    }
+                    Some((s, _)) => {
+                        let _ = dst.fs.punch_hole(nino, cur * BLOCK, (s - cur) * BLOCK);
+                        cur = s;
+                    }
+                    None => {
+                        let _ = dst
+                            .fs
+                            .punch_hole(nino, cur * BLOCK, (begin_end - cur) * BLOCK);
+                        cur = begin_end;
                     }
                 }
             }
@@ -472,9 +819,24 @@ impl Mux {
     /// Namespace half of reconciliation: walk every tier's directory
     /// tree, adopt unknown files/dirs and register native inode handles.
     pub fn reconcile_namespaces(&self) -> VfsResult<()> {
+        // A native inode already backing a Mux file must not be adopted a
+        // second time under another name (e.g. a rename the metafile saw
+        // but the tier's own journal did not, or vice versa) — that would
+        // alias one native file behind two Mux files.
+        let mut claimed: HashMap<(TierId, InodeNo), MuxIno> = HashMap::new();
+        self.files.for_each(|&ino, f| {
+            for (&t, &n) in f.state.read().native.iter() {
+                claimed.insert((t, n), ino);
+            }
+        });
         let tiers: Vec<_> = self.tiers.read().iter().cloned().collect();
         for handle in &tiers {
-            self.adopt_dir(handle.as_ref(), handle.fs.root_ino(), ROOT_INO)?;
+            self.adopt_dir(
+                handle.as_ref(),
+                handle.fs.root_ino(),
+                ROOT_INO,
+                &mut claimed,
+            )?;
         }
         Ok(())
     }
@@ -496,10 +858,11 @@ impl Mux {
         tier: &crate::mux::TierHandle,
         native_dir: InodeNo,
         mux_dir: MuxIno,
+        claimed: &mut HashMap<(TierId, InodeNo), MuxIno>,
     ) -> VfsResult<()> {
         let entries = tier.fs.readdir(native_dir)?;
         for e in entries {
-            if e.name == SNAPSHOT_NAME || e.name == INTENTS_NAME {
+            if e.name == SNAPSHOT_NAME || e.name == INTENTS_NAME || e.name == SNAPSHOT_TMP_NAME {
                 continue;
             }
             match e.kind {
@@ -517,21 +880,41 @@ impl Mux {
                             attr.ino
                         }
                     };
-                    self.adopt_dir(tier, e.ino, child_mux)?;
+                    self.adopt_dir(tier, e.ino, child_mux, claimed)?;
                 }
                 FileType::Regular => {
+                    // Stat before adopting: a dangling dentry (half-durable
+                    // create the native fsck missed) must not abort the
+                    // whole recovery, and must not spawn an empty Mux file.
+                    let Ok(nattr) = tier.fs.getattr(e.ino) else {
+                        continue;
+                    };
+                    let claimant = claimed.get(&(tier.id, e.ino)).copied();
                     let existing = self
                         .ns
                         .dirs
                         .view(&mux_dir, |d| d.entries.get(&e.name).copied())
                         .flatten();
                     let mux_ino = match existing {
-                        Some(NsEntry::File(f)) => f,
+                        Some(NsEntry::File(f)) => {
+                            if claimant.is_some_and(|c| c != f) {
+                                continue; // aliased under another file: skip
+                            }
+                            f
+                        }
                         Some(NsEntry::Dir(_)) => continue,
-                        None => self.create(mux_dir, &e.name, FileType::Regular, 0o644)?.ino,
+                        None => {
+                            if claimant.is_some() {
+                                // Known inode under an unexpected name (a
+                                // half-durable rename); the metafile's name
+                                // wins, so don't adopt a second identity.
+                                continue;
+                            }
+                            self.create(mux_dir, &e.name, FileType::Regular, 0o644)?.ino
+                        }
                     };
+                    claimed.insert((tier.id, e.ino), mux_ino);
                     let file = self.get_file(mux_ino)?;
-                    let nattr = tier.fs.getattr(e.ino)?;
                     let mut st = file.state.write();
                     st.native.insert(tier.id, e.ino);
                     // Union semantics: logical size/mtime are the max over
@@ -565,7 +948,9 @@ impl Mux {
         // unmapped blocks are adopted, the latest writer wins conflicts.
         let mut with_mtime: Vec<(u64, TierId, InodeNo)> = Vec::new();
         for (t, nino) in natives {
-            let handle = self.tier(t)?;
+            let Ok(handle) = self.tier(t) else {
+                continue;
+            };
             let m = handle.fs.getattr(nino).map(|a| a.mtime_ns).unwrap_or(0);
             with_mtime.push((m, t, nino));
         }
@@ -574,7 +959,10 @@ impl Mux {
         for (_m, t, nino) in with_mtime {
             let handle = self.tier(t)?;
             let mut off = 0u64;
-            while let Some((start, len)) = handle.fs.next_data(nino, off)? {
+            // A handle can still go stale between validation and the probe
+            // (it never does single-threaded, but stay panic-free): treat
+            // probe errors as "no more extents".
+            while let Some((start, len)) = handle.fs.next_data(nino, off).unwrap_or(None) {
                 let b0 = start / BLOCK;
                 let b1 = (start + len).div_ceil(BLOCK);
                 let mut st = file.state.write();
@@ -600,5 +988,106 @@ impl Mux {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PinnedPolicy;
+    use simdev::DeviceClass;
+    use tvfs::memfs::MemFs;
+
+    fn two_tier_mux() -> Mux {
+        let mux = Mux::new(
+            VirtualClock::new(),
+            Arc::new(PinnedPolicy::new(0)),
+            MuxOptions::default(),
+        );
+        mux.add_tier(
+            TierConfig {
+                name: "a".into(),
+                class: DeviceClass::Pmem,
+            },
+            Arc::new(MemFs::new("a", 1 << 26)) as Arc<dyn FileSystem>,
+        );
+        mux.add_tier(
+            TierConfig {
+                name: "b".into(),
+                class: DeviceClass::Ssd,
+            },
+            Arc::new(MemFs::new("b", 1 << 26)) as Arc<dyn FileSystem>,
+        );
+        mux.enable_metafile(0).unwrap();
+        mux
+    }
+
+    #[test]
+    fn intent_roundtrip_and_torn_rejection() {
+        let i = Intent {
+            kind: INTENT_BEGIN,
+            ino: 42,
+            block: 7,
+            n: 3,
+            to: 1,
+        };
+        let raw = i.encode();
+        assert_eq!(raw.len(), INTENT_RECORD);
+        let back = Intent::decode(&raw).expect("valid record");
+        assert_eq!(back.ino, 42);
+        // A torn suffix or a flipped byte must both fail the CRC.
+        assert!(Intent::decode(&raw[..INTENT_RECORD - 1]).is_none());
+        let mut bad = raw;
+        bad[3] ^= 0x40;
+        assert!(Intent::decode(&bad).is_none());
+    }
+
+    #[test]
+    fn orphan_fallback_name_disambiguates_on_collision() {
+        let mux = two_tier_mux();
+        let f = mux.create(ROOT_INO, "g", FileType::Regular, 0o644).unwrap();
+        // Squat on the fallback name the orphan would otherwise get.
+        let squat = format!(".orphan-{}", f.ino);
+        mux.create(ROOT_INO, &squat, FileType::Regular, 0o644)
+            .unwrap();
+        // Detach "g" from the namespace, leaving it only in the file
+        // table — the situation the fallback naming exists for (e.g. a
+        // hidden file with no directory entry).
+        mux.ns.file_loc.remove(&f.ino);
+        mux.ns.dirs.update(&ROOT_INO, |d| {
+            d.entries.remove("g");
+        });
+        mux.snapshot_metafile().unwrap();
+        let handle = mux.tier(0).unwrap();
+        let (_, raw) = read_meta_file(handle.fs.as_ref(), SNAPSHOT_NAME).expect("snapshot");
+        let img = decode_snapshot(&raw).expect("decodes");
+        let names: Vec<&str> = img.files.iter().map(|x| x.name.as_str()).collect();
+        assert!(
+            names.contains(&format!("{squat}.1").as_str()),
+            "expected disambiguated orphan name, got {names:?}"
+        );
+        // No two files may share a (parent, name) pair.
+        let mut pairs: Vec<(MuxIno, &str)> = img
+            .files
+            .iter()
+            .map(|x| (x.parent, x.name.as_str()))
+            .collect();
+        let before = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(before, pairs.len(), "colliding names in snapshot");
+    }
+
+    #[test]
+    fn snapshot_rewrite_is_staged_and_renamed() {
+        let mux = two_tier_mux();
+        mux.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
+        mux.snapshot_metafile().unwrap();
+        let handle = mux.tier(0).unwrap();
+        // After a completed rewrite the staged sibling is gone and the
+        // primary decodes.
+        assert!(handle.fs.lookup(ROOT_INO, SNAPSHOT_TMP_NAME).is_err());
+        let (_, raw) = read_meta_file(handle.fs.as_ref(), SNAPSHOT_NAME).expect("snapshot");
+        decode_snapshot(&raw).expect("valid snapshot");
     }
 }

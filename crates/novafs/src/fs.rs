@@ -147,6 +147,29 @@ impl NovaFs {
         };
         {
             let mut inner = fs.inner.lock();
+            // Prune dangling dentries — the mirror-image crash window: the
+            // parent's dentry append persisted but the child's slot write
+            // did not, leaving a name that ESTALEs on every lookup forever.
+            let dirs: Vec<InodeNo> = inner.inodes.keys().copied().collect();
+            for dino in dirs {
+                let dead: Vec<String> = inner.inodes[&dino]
+                    .dentries
+                    .iter()
+                    .filter(|&(_, &(child, _))| !inner.inodes.contains_key(&child))
+                    .map(|(n, _)| n.clone())
+                    .collect();
+                for name in dead {
+                    let del = LogEntry::DentryDel { name };
+                    let mut dummy = PageAllocator::new(0, 0);
+                    Self::apply_entry(
+                        inner.inodes.get_mut(&dino).expect("listed"),
+                        &del,
+                        &mut dummy,
+                        false,
+                    );
+                    fs.append_log(&mut inner, dino, &[del])?;
+                }
+            }
             for ino in orphans {
                 fs.destroy_inode(&mut inner, ino)?;
             }
@@ -631,8 +654,11 @@ impl FileSystem for NovaFs {
             false,
         );
         self.append_log(&mut inner, parent, &[del])?;
-        // Dentry removal is the commit point; now reclaim the child.
-        self.destroy_inode(&mut inner, child)?;
+        // Dentry removal is the commit point; now reclaim the child (which
+        // a dangling dentry — a half-durable create — never had).
+        if inner.inodes.contains_key(&child) {
+            self.destroy_inode(&mut inner, child)?;
+        }
         if inner.inodes[&parent].wants_cleaning() {
             self.clean_log(&mut inner, parent)?;
         }

@@ -1,0 +1,155 @@
+//! Deterministic crash-point injection shared across a set of devices.
+//!
+//! A [`CrashPlan`] models whole-machine power loss at a precise point in the
+//! device-operation stream. Every *mutating* device operation (`write`,
+//! `flush`, `flush_range`) on a device carrying the plan increments a shared
+//! counter; the operation that brings the counter to the plan's crash point
+//! `k` "loses power":
+//!
+//! - the tripping device immediately rolls back its volatile write cache to
+//!   the last-flushed image (exactly what [`crate::Device::crash`] does),
+//! - if the tripping operation is a write and the plan has a
+//!   [torn-tail](CrashPlan::with_torn_tail) configured, a deterministic
+//!   prefix of that write — aligned to the configured sector boundary —
+//!   still lands durably, modeling a torn sector write,
+//! - the tripping operation and every subsequent read/write on any device
+//!   sharing the plan fails with a "simulated power loss" I/O error, and
+//!   subsequent flushes silently persist nothing.
+//!
+//! Because the plan is shared (cloned) across all devices of a stack, power
+//! is lost machine-wide at one instant, and because the counter advances
+//! only with device operations — never wall-clock time — replaying the same
+//! workload with the same plan is fully deterministic. A *probe* run with a
+//! plan whose crash point is unreachably large counts the total number of
+//! mutating operations (`ops_seen`), which a harness then enumerates as
+//! crash points `k = 1..=N`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Torn-write configuration for the operation that trips the crash.
+#[derive(Debug, Clone, Copy)]
+pub struct TornTail {
+    /// Sector boundary (bytes) the surviving prefix is aligned to. Must be
+    /// non-zero; `1` allows arbitrary byte tears.
+    pub boundary: u64,
+    /// Seed for the deterministic choice of how much of the final write
+    /// survives.
+    pub seed: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Mutating operations observed so far across all carrying devices.
+    counted: u64,
+    /// Power has been lost.
+    tripped: bool,
+}
+
+#[derive(Debug)]
+struct Core {
+    crash_at: u64,
+    tear: Option<TornTail>,
+    state: Mutex<State>,
+}
+
+/// A shared crash point: "lose power on the `k`-th mutating device
+/// operation". Clone the plan onto every device of a stack (via
+/// [`crate::Device::set_crash_plan`]) so they fail together.
+#[derive(Debug, Clone)]
+pub struct CrashPlan {
+    core: Arc<Core>,
+}
+
+/// What a device should do for the current mutating operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PlanVerdict {
+    /// Before the crash point: run normally.
+    Run,
+    /// This operation trips the crash. For a write of length `len`, carries
+    /// the number of leading bytes that still persist (the torn tail);
+    /// `0` for non-write operations or plans without tearing.
+    Trip { keep: u64 },
+    /// After the crash point: power is off.
+    Off,
+}
+
+impl CrashPlan {
+    /// A plan that loses power on the `crash_at`-th mutating operation
+    /// (1-based). `crash_at == 0` never trips, like [`CrashPlan::probe`].
+    pub fn new(crash_at: u64) -> Self {
+        Self::build(crash_at, None)
+    }
+
+    /// Like [`CrashPlan::new`], but the write that trips the crash keeps a
+    /// deterministic, `boundary`-aligned prefix (a torn sector write).
+    pub fn with_torn_tail(crash_at: u64, boundary: u64, seed: u64) -> Self {
+        assert!(boundary > 0, "torn-tail boundary must be non-zero");
+        Self::build(crash_at, Some(TornTail { boundary, seed }))
+    }
+
+    /// A plan that never trips, used to count a workload's mutating
+    /// operations via [`CrashPlan::ops_seen`].
+    pub fn probe() -> Self {
+        Self::build(u64::MAX, None)
+    }
+
+    fn build(crash_at: u64, tear: Option<TornTail>) -> Self {
+        Self {
+            core: Arc::new(Core {
+                crash_at,
+                tear,
+                state: Mutex::new(State {
+                    counted: 0,
+                    tripped: false,
+                }),
+            }),
+        }
+    }
+
+    /// Mutating operations observed so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.core.state.lock().counted
+    }
+
+    /// Whether the crash point has been reached.
+    pub fn tripped(&self) -> bool {
+        self.core.state.lock().tripped
+    }
+
+    /// Whether reads should fail (power is off). Reads do not advance the
+    /// operation counter.
+    pub(crate) fn power_off(&self) -> bool {
+        self.core.state.lock().tripped
+    }
+
+    /// Accounts one mutating operation and says what the device should do.
+    /// `write_len` is `Some(len)` for writes, `None` for flushes.
+    pub(crate) fn tick_mutation(&self, write_len: Option<u64>) -> PlanVerdict {
+        let mut st = self.core.state.lock();
+        if st.tripped {
+            return PlanVerdict::Off;
+        }
+        st.counted += 1;
+        if st.counted != self.core.crash_at {
+            return PlanVerdict::Run;
+        }
+        st.tripped = true;
+        let keep = match (write_len, self.core.tear) {
+            (Some(len), Some(t)) => {
+                // Deterministic pick among the boundary-aligned prefixes of
+                // [0, len], like Device::crash does per undo record.
+                let units = len / t.boundary + 1;
+                let h = t
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(self.core.crash_at)
+                    .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                ((h % units) * t.boundary).min(len)
+            }
+            _ => 0,
+        };
+        PlanVerdict::Trip { keep }
+    }
+}

@@ -7,7 +7,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::{DeviceProfile, DeviceStats, FaultMode, VirtualClock, SIM_PAGE};
+use crate::crashplan::PlanVerdict;
+use crate::{CrashPlan, DeviceProfile, DeviceStats, FaultMode, VirtualClock, SIM_PAGE};
 
 /// Errors a device can return.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +59,8 @@ struct Inner {
     fault: FaultMode,
     /// Undo records for unflushed writes, oldest first.
     undo: Vec<UndoRecord>,
+    /// Machine-wide crash point this device participates in, if any.
+    plan: Option<CrashPlan>,
 }
 
 struct UndoRecord {
@@ -110,6 +113,7 @@ impl Device {
                     last_end: 0,
                     fault: FaultMode::None,
                     undo: Vec::new(),
+                    plan: None,
                 }),
             }),
         }
@@ -152,6 +156,13 @@ impl Device {
         self.shared.inner.lock().fault = mode;
     }
 
+    /// Attaches (or with `None`, detaches) a [`CrashPlan`]. Clone the same
+    /// plan onto every device of a stack so a crash point takes all of them
+    /// down at the same instant; detaching models powering back on.
+    pub fn set_crash_plan(&self, plan: Option<CrashPlan>) {
+        self.shared.inner.lock().plan = plan;
+    }
+
     fn check_bounds(&self, off: u64, len: u64) -> Result<(), DevError> {
         if off
             .checked_add(len)
@@ -171,6 +182,9 @@ impl Device {
     pub fn read(&self, off: u64, buf: &mut [u8]) -> Result<u64, DevError> {
         self.check_bounds(off, buf.len() as u64)?;
         let mut inner = self.shared.inner.lock();
+        if inner.plan.as_ref().is_some_and(|p| p.power_off()) {
+            return Err(DevError::Io("simulated power loss".into()));
+        }
         if inner.fault.tick_should_fail() {
             return Err(DevError::Io("injected fail-stop".into()));
         }
@@ -194,6 +208,23 @@ impl Device {
     pub fn write(&self, off: u64, data: &[u8]) -> Result<u64, DevError> {
         self.check_bounds(off, data.len() as u64)?;
         let mut inner = self.shared.inner.lock();
+        if let Some(plan) = inner.plan.clone() {
+            match plan.tick_mutation(Some(data.len() as u64)) {
+                PlanVerdict::Run => {}
+                PlanVerdict::Trip { keep } => {
+                    // Power loss mid-write: the write cache is lost, but a
+                    // deterministic sector-aligned prefix of this very write
+                    // may still land (torn write). Apply it after rollback
+                    // and without an undo record — it is durable.
+                    Self::rollback(&mut inner, None);
+                    if keep > 0 {
+                        Self::copy_in(&mut inner.pages, off, &data[..keep as usize]);
+                    }
+                    return Err(DevError::Io("simulated power loss".into()));
+                }
+                PlanVerdict::Off => return Err(DevError::Io("simulated power loss".into())),
+            }
+        }
         if inner.fault.tick_should_fail() {
             return Err(DevError::Io("injected fail-stop".into()));
         }
@@ -218,6 +249,16 @@ impl Device {
     /// Persists all cached writes (a full persistence barrier).
     pub fn flush(&self) -> u64 {
         let mut inner = self.shared.inner.lock();
+        if let Some(plan) = inner.plan.clone() {
+            match plan.tick_mutation(None) {
+                PlanVerdict::Run => {}
+                PlanVerdict::Trip { .. } => {
+                    Self::rollback(&mut inner, None);
+                    return 0;
+                }
+                PlanVerdict::Off => return 0,
+            }
+        }
         inner.undo.clear();
         drop(inner);
         let ns = self.shared.profile.flush_ns;
@@ -230,6 +271,16 @@ impl Device {
     /// CLFLUSH path on byte-addressable devices.
     pub fn flush_range(&self, off: u64, len: u64) -> u64 {
         let mut inner = self.shared.inner.lock();
+        if let Some(plan) = inner.plan.clone() {
+            match plan.tick_mutation(None) {
+                PlanVerdict::Run => {}
+                PlanVerdict::Trip { .. } => {
+                    Self::rollback(&mut inner, None);
+                    return 0;
+                }
+                PlanVerdict::Off => return 0,
+            }
+        }
         inner
             .undo
             .retain(|r| r.off + r.old.len() as u64 <= off || r.off >= off + len);
@@ -250,7 +301,13 @@ impl Device {
             FaultMode::TornWrites { seed } => Some(seed),
             _ => None,
         };
-        // Undo newest-first so overlapping writes restore correctly.
+        Self::rollback(&mut inner, torn_seed);
+    }
+
+    /// Restores the last-flushed image: rolls back every undo record
+    /// (newest first so overlapping writes restore correctly), optionally
+    /// keeping a deterministic torn prefix of each unflushed write.
+    fn rollback(inner: &mut Inner, torn_seed: Option<u64>) {
         let undo = std::mem::take(&mut inner.undo);
         for (i, rec) in undo.iter().enumerate().rev() {
             let keep = match torn_seed {
@@ -489,6 +546,97 @@ mod tests {
         d.read(0, &mut b).unwrap();
         assert_eq!(&b, b"stay");
         assert_eq!(d.unflushed_writes(), 0);
+    }
+
+    #[test]
+    fn crash_plan_probe_counts_mutations_only() {
+        let d = pm_dev();
+        let plan = CrashPlan::probe();
+        d.set_crash_plan(Some(plan.clone()));
+        d.write(0, b"a").unwrap();
+        let mut b = [0u8; 1];
+        d.read(0, &mut b).unwrap(); // reads don't count
+        d.flush();
+        d.flush_range(0, 1);
+        assert_eq!(plan.ops_seen(), 3);
+        assert!(!plan.tripped());
+    }
+
+    #[test]
+    fn crash_plan_trips_at_k_and_loses_unflushed() {
+        let d = pm_dev();
+        d.write(0, b"durable").unwrap();
+        d.flush();
+        // Ops so far don't count: the plan attaches now.
+        let plan = CrashPlan::new(2);
+        d.set_crash_plan(Some(plan.clone()));
+        d.write(0, b"ephemr1").unwrap(); // op 1: lands, unflushed
+        let err = d.write(0, b"ephemr2").unwrap_err(); // op 2: trips
+        assert!(matches!(err, DevError::Io(_)));
+        assert!(plan.tripped());
+        // Power is off: everything fails, flush persists nothing.
+        assert!(d.write(100, b"x").is_err());
+        let mut b = [0u8; 7];
+        assert!(d.read(0, &mut b).is_err());
+        assert_eq!(d.flush(), 0);
+        // Power back on: the flushed image survived, the rest rolled back.
+        d.set_crash_plan(None);
+        d.read(0, &mut b).unwrap();
+        assert_eq!(&b, b"durable");
+    }
+
+    #[test]
+    fn crash_plan_is_shared_across_devices() {
+        let clock = VirtualClock::new();
+        let d1 = Device::with_profile(pmem(), 1 << 20, clock.clone());
+        let d2 = Device::with_profile(pmem(), 1 << 20, clock);
+        let plan = CrashPlan::new(2);
+        d1.set_crash_plan(Some(plan.clone()));
+        d2.set_crash_plan(Some(plan));
+        d1.write(0, b"x").unwrap(); // op 1 on d1
+        assert!(d2.write(0, b"y").is_err()); // op 2 on d2 trips both
+        assert!(d1.write(4, b"z").is_err()); // d1 is dead too
+    }
+
+    #[test]
+    fn crash_plan_flush_at_trip_persists_nothing() {
+        let d = pm_dev();
+        d.write(0, b"old").unwrap();
+        d.flush();
+        let plan = CrashPlan::new(2);
+        d.set_crash_plan(Some(plan));
+        d.write(0, b"new").unwrap(); // op 1
+        assert_eq!(d.flush(), 0); // op 2: power dies during the barrier
+        d.set_crash_plan(None);
+        let mut b = [0u8; 3];
+        d.read(0, &mut b).unwrap();
+        assert_eq!(&b, b"old");
+        assert_eq!(d.unflushed_writes(), 0);
+    }
+
+    #[test]
+    fn crash_plan_torn_tail_keeps_aligned_prefix() {
+        // Scan seeds until one yields a strictly partial tear, proving the
+        // prefix mechanism works and stays boundary-aligned.
+        let mut saw_partial = false;
+        for seed in 0..32 {
+            let d = pm_dev();
+            d.write(0, &[b'o'; 1024]).unwrap();
+            d.flush();
+            let plan = CrashPlan::with_torn_tail(1, 256, seed);
+            d.set_crash_plan(Some(plan));
+            assert!(d.write(0, &[b'n'; 1024]).is_err());
+            d.set_crash_plan(None);
+            let mut b = [0u8; 1024];
+            d.read(0, &mut b).unwrap();
+            let keep = b.iter().take_while(|&&c| c == b'n').count();
+            assert_eq!(keep % 256, 0, "tear not sector-aligned: {keep}");
+            assert!(b[keep..].iter().all(|&c| c == b'o'));
+            if keep > 0 && keep < 1024 {
+                saw_partial = true;
+            }
+        }
+        assert!(saw_partial, "no seed produced a partial tear");
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //! crates' recovery paths are exercised against genuinely lost writes.
 
 mod clock;
+mod crashplan;
 mod device;
 mod fault;
 mod profile;
 mod stats;
 
 pub use clock::VirtualClock;
+pub use crashplan::{CrashPlan, TornTail};
 pub use device::{DevError, Device, DeviceConfig};
 pub use fault::FaultMode;
 pub use profile::{cxl_ssd, hdd, nvme_ssd, pmem, DeviceClass, DeviceProfile};

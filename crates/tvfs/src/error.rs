@@ -35,6 +35,9 @@ pub enum VfsError {
     Io(String),
     /// `ESTALE` — inode vanished beneath the caller (races with unlink).
     Stale,
+    /// `EUCLEAN` — persistent structure failed validation (truncated or
+    /// corrupt on-device metadata), with context.
+    Corrupt(String),
 }
 
 impl fmt::Display for VfsError {
@@ -53,6 +56,7 @@ impl fmt::Display for VfsError {
             VfsError::NotSupported => write!(f, "operation not supported"),
             VfsError::Io(msg) => write!(f, "I/O error: {msg}"),
             VfsError::Stale => write!(f, "stale file handle"),
+            VfsError::Corrupt(msg) => write!(f, "structure needs cleaning: {msg}"),
         }
     }
 }

@@ -107,6 +107,16 @@ impl XeFs {
             journal_blocks: opts.journal_blocks,
             n_ags: opts.n_ags as u32,
         };
+        // The device must fit the superblock, the journal, and at least
+        // one data block; otherwise first_data_block() points past the
+        // end and every free-space computation underflows.
+        if sb.capacity / BLOCK <= sb.first_data_block() {
+            return Err(VfsError::InvalidArgument(format!(
+                "device too small: {} blocks, layout needs > {}",
+                sb.capacity / BLOCK,
+                sb.first_data_block()
+            )));
+        }
         dev.write(0, &sb.encode())?;
         let mut journal = Journal::new(sb.journal_off(), sb.journal_len());
         // Root directory in the initial checkpoint.
@@ -179,6 +189,16 @@ impl XeFs {
         }
         if inodes.is_empty() {
             return Err(VfsError::Io("xefs journal has no valid checkpoint".into()));
+        }
+        // Prune dangling dentries: a replayed directory may reference a
+        // child whose own record fell past the valid journal prefix; such
+        // a name would ESTALE on every lookup forever. The prune is
+        // in-memory only — the next metadata commit persists it.
+        let live: BTreeSet<InodeNo> = inodes.keys().copied().collect();
+        for inode in inodes.values_mut() {
+            inode
+                .dentries
+                .retain(|_, &mut (child, _)| live.contains(&child));
         }
         let mut alloc = AgAllocator::new(
             sb.first_data_block(),
@@ -859,7 +879,7 @@ impl FileSystem for XeFs {
 
     fn statfs(&self) -> VfsResult<StatFs> {
         let inner = self.inner.lock();
-        let total = (self.sb.capacity / BLOCK - self.sb.first_data_block()) * BLOCK;
+        let total = (self.sb.capacity / BLOCK).saturating_sub(self.sb.first_data_block()) * BLOCK;
         Ok(StatFs {
             total_bytes: total,
             free_bytes: inner.alloc.free_blocks() * BLOCK

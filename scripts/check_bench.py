@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
-"""CI regression gate over the thread-scaling sweep.
+"""CI regression gates over deterministic bench results.
 
-Usage: check_bench.py <current scaling.json> <baseline.json>
+Usage:
+  check_bench.py <current scaling.json> <baseline.json>
+  check_bench.py --crash <current crash_matrix.json> <baseline crash_matrix.json>
 
-Fails (exit 1) if:
+Scaling mode fails (exit 1) if:
   * single-thread throughput for any (config, mix) present in the
     baseline regressed by more than REGRESSION_TOLERANCE, or
   * the read-heavy mix no longer reaches MIN_SPEEDUP_8T aggregate
     speedup at 8 threads, or
   * any cell reports verify failures.
 
-Throughput is virtual-time (deterministic), so the gate is safe on
-shared CI runners: a failure means the code got slower, not the machine.
+Crash mode fails (exit 1) if:
+  * any crash point present and recovered in the baseline now fails
+    (a "recovered" -> "violated"/"panic" regression), or
+  * the current matrix has any failure at all (the suite's contract is
+    zero violations and zero panics), or
+  * coverage shrank below MIN_CRASH_POINTS enumerated points.
+
+All numbers are virtual-time (deterministic), so the gates are safe on
+shared CI runners: a failure means the code got worse, not the machine.
 """
 
 import json
@@ -19,6 +28,62 @@ import sys
 
 REGRESSION_TOLERANCE = 0.15  # fail if >15% below baseline
 MIN_SPEEDUP_8T = 3.0  # acceptance floor for read-heavy @ 8 threads
+MIN_CRASH_POINTS = 500  # acceptance floor for crash-matrix coverage
+
+
+def crash_gate(current_path, baseline_path):
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    def failed_points(matrix):
+        out = {}
+        for sc in matrix["scenarios"]:
+            k = (sc["scenario"], sc["mode"])
+            out[k] = {p["k"]: p for p in sc["failures"]}
+        return out
+
+    base_failed = failed_points(baseline)
+    cur_failed = failed_points(current)
+
+    # Regressions: a point the baseline recovered must keep recovering.
+    for key, fails in sorted(cur_failed.items()):
+        base = base_failed.get(key, {})
+        for k, p in sorted(fails.items()):
+            if k not in base:
+                failures.append(
+                    f"{key[0]}[{key[1]}] k={k}: recovered -> "
+                    f"{p['kind']} ({p['detail']})"
+                )
+
+    # Contract: the committed matrix is all-green; any failure is a bug.
+    if current["violated"] or current["panicked"]:
+        failures.append(
+            f"matrix not clean: {current['violated']} violated, "
+            f"{current['panicked']} panicked"
+        )
+
+    if current["total_points"] < MIN_CRASH_POINTS:
+        failures.append(
+            f"coverage shrank: {current['total_points']} points "
+            f"< {MIN_CRASH_POINTS}"
+        )
+    else:
+        print(
+            f"ok coverage: {current['total_points']} points, "
+            f"{current['recovered']} recovered"
+        )
+
+    if failures:
+        print("\nCRASH GATE FAILED:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("crash gate passed")
+    return 0
 
 
 def key(cell):
@@ -26,6 +91,8 @@ def key(cell):
 
 
 def main():
+    if len(sys.argv) == 4 and sys.argv[1] == "--crash":
+        return crash_gate(sys.argv[2], sys.argv[3])
     if len(sys.argv) != 3:
         print(__doc__)
         return 2
