@@ -24,6 +24,10 @@ struct Scale {
     latency_ops: usize,
     scaling_ops: u64,
     crash_torn_pass: bool,
+    autotier_files: u64,
+    autotier_file_blocks: u64,
+    autotier_epochs: usize,
+    autotier_ops: usize,
 }
 
 const FULL: Scale = Scale {
@@ -37,6 +41,10 @@ const FULL: Scale = Scale {
     latency_ops: 12_000,
     scaling_ops: 2_000,
     crash_torn_pass: true,
+    autotier_files: 160,
+    autotier_file_blocks: 32,
+    autotier_epochs: 12,
+    autotier_ops: 4_000,
 };
 
 const QUICK: Scale = Scale {
@@ -50,6 +58,10 @@ const QUICK: Scale = Scale {
     latency_ops: 2_000,
     scaling_ops: 250,
     crash_torn_pass: false,
+    autotier_files: 80,
+    autotier_file_blocks: 16,
+    autotier_epochs: 8,
+    autotier_ops: 1_000,
 };
 
 fn main() {
@@ -69,7 +81,8 @@ fn main() {
                     "usage: repro [--experiment NAME] [--quick]\n\
                      experiments: fig3a fig3b read-overhead write-overhead\n\
                      \x20            meta-overhead ablation-occ ablation-cache\n\
-                     \x20            ablation-policy degraded-mode latency scaling crash all"
+                     \x20            ablation-policy degraded-mode latency scaling crash\n\
+                     \x20            autotier all"
                 );
                 return;
             }
@@ -136,6 +149,16 @@ fn main() {
         let r = ex::scaling(scale.scaling_ops);
         println!("{}", report::render_scaling(&r));
         let _ = report::write_json("scaling", &r);
+    }
+    if all || experiment == "autotier" {
+        let r = ex::autotier(
+            scale.autotier_files,
+            scale.autotier_file_blocks,
+            scale.autotier_epochs,
+            scale.autotier_ops,
+        );
+        println!("{}", report::render_autotier(&r));
+        let _ = report::write_json("autotier", &r);
     }
     if all || experiment == "crash" {
         // --quick skips the torn-write pass (half the points).

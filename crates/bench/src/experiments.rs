@@ -1205,3 +1205,186 @@ pub fn crash_matrix(torn_pass: bool) -> mux::CrashMatrix {
     mux::crashtest::run_matrix(&tiers, 0, &mux::crashtest::standard_scenarios(), torn_pass)
         .expect("crash matrix probe runs must succeed")
 }
+
+// ---------------------------------------------------------------------
+// Autotier — convergence of the autonomous tiering engine
+// ---------------------------------------------------------------------
+
+/// One side (daemon on / daemon off) of the autotier experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutotierRun {
+    /// Fraction of hot-set blocks resident on PM or SSD at the end.
+    pub convergence: f64,
+    /// Steady-state read p50 (final measurement phase), ns.
+    pub read_p50_ns: u64,
+    /// Steady-state read p95 (final measurement phase), ns.
+    pub read_p95_ns: u64,
+    /// Foreground read throughput over every workload batch, MB/s
+    /// (migration ticks excluded — they run between batches).
+    pub fg_mbps: f64,
+    /// Blocks the engine promoted.
+    pub auto_promotions: u64,
+    /// Blocks the engine demoted.
+    pub auto_demotions: u64,
+    /// Bytes the rate limiter deferred.
+    pub throttled_bytes: u64,
+    /// Planner vetoes.
+    pub planner_vetoes: u64,
+}
+
+/// Result of the autotier convergence experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutotierResult {
+    /// Files in the working set.
+    pub files: u64,
+    /// Blocks per file.
+    pub file_blocks: u64,
+    /// Hot-set size (top decile of the zipfian popularity ranking).
+    pub hot_files: u64,
+    /// Workload epochs run before the measurement phase.
+    pub epochs: usize,
+    /// With the engine ticking every epoch.
+    pub daemon_on: AutotierRun,
+    /// Same workload, engine disabled.
+    pub daemon_off: AutotierRun,
+    /// Foreground throughput ratio, daemon-on / daemon-off.
+    pub fg_ratio: f64,
+    /// Whether the hot set converged (≥ 90 % of its blocks off the HDD).
+    pub converged: bool,
+}
+
+fn autotier_one(
+    daemon: bool,
+    files: u64,
+    file_blocks: u64,
+    epochs: usize,
+    ops: usize,
+) -> AutotierRun {
+    let mut opts = MuxOptions::default();
+    opts.autotier.enabled = daemon;
+    // Everything starts on the HDD tier (a placement preference, not a
+    // pin — the engine is free to move the data).
+    let stack = crate::testbed::build_mux_stack_cached(
+        Capacities {
+            pm: 64 << 20,
+            ssd: 512 << 20,
+            hdd: 4 << 30,
+        },
+        Arc::new(PinnedPolicy::new(2)),
+        opts,
+        256 << 10, // tiny native caches: tier residency dominates latency
+    );
+    let epoch_ns = mux::AutotierConfig::default().epoch_ns;
+    let mut inos = Vec::new();
+    for i in 0..files {
+        let ino = mk(stack.mux.as_ref(), &format!("f{i}"));
+        stack
+            .mux
+            .write(ino, 0, &vec![i as u8; (file_blocks * BLOCK) as usize])
+            .unwrap();
+        stack.mux.fsync(ino).unwrap();
+        inos.push(ino);
+    }
+    // The zipfian hot set is the top decile by popularity rank (item 0 is
+    // the most popular).
+    let mut gen = Zipfian::new(files, 0.99, 7);
+    let mut buf = vec![0u8; BLOCK as usize];
+    let mut step = 0u64;
+    let next = |g: &mut Zipfian, step: &mut u64| {
+        *step += 1;
+        let f = g.next_item();
+        (f, (f * 7 + *step * 13) % file_blocks)
+    };
+    let mut fg_bytes = 0u64;
+    let mut fg_ns = 0u64;
+    for _ in 0..epochs {
+        let t0 = stack.clock.now_ns();
+        for _ in 0..ops {
+            let (f, b) = next(&mut gen, &mut step);
+            stack
+                .mux
+                .read(inos[f as usize], b * BLOCK, &mut buf)
+                .unwrap();
+        }
+        fg_ns += stack.clock.now_ns() - t0;
+        fg_bytes += ops as u64 * BLOCK;
+        // Background time passes between batches; the engine (when
+        // enabled) plans and migrates here, off the foreground path.
+        stack.clock.advance(epoch_ns);
+        stack.mux.maintenance_tick();
+    }
+    // Steady-state per-op latency distribution (no ticks: placement is
+    // whatever the engine converged to).
+    let mut lat: Vec<u64> = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let (f, b) = next(&mut gen, &mut step);
+        let t0 = stack.clock.now_ns();
+        stack
+            .mux
+            .read(inos[f as usize], b * BLOCK, &mut buf)
+            .unwrap();
+        lat.push(stack.clock.now_ns() - t0);
+    }
+    lat.sort_unstable();
+    let pct = |p: f64| lat[(((lat.len() - 1) as f64) * p) as usize];
+
+    // Convergence: hot-set blocks resident off the HDD class.
+    let hdd_tiers: Vec<u32> = stack
+        .mux
+        .tier_status()
+        .into_iter()
+        .filter(|t| t.class == DeviceClass::Hdd)
+        .map(|t| t.id)
+        .collect();
+    let hot_files = (files / 10).max(1);
+    let mut hot_blocks = 0u64;
+    let mut hot_fast = 0u64;
+    for f in 0..hot_files {
+        for (_, n, tid) in stack.mux.file_placement(inos[f as usize]).unwrap() {
+            hot_blocks += n;
+            if !hdd_tiers.contains(&tid) {
+                hot_fast += n;
+            }
+        }
+    }
+    let stats = stack.mux.stats().snapshot();
+    AutotierRun {
+        convergence: if hot_blocks == 0 {
+            0.0
+        } else {
+            hot_fast as f64 / hot_blocks as f64
+        },
+        read_p50_ns: pct(0.50),
+        read_p95_ns: pct(0.95),
+        fg_mbps: mbps(fg_bytes, fg_ns),
+        auto_promotions: stats.auto_promotions,
+        auto_demotions: stats.auto_demotions,
+        throttled_bytes: stats.throttled_bytes,
+        planner_vetoes: stats.planner_vetoes,
+    }
+}
+
+/// The autotier convergence experiment: a zipfian hot-set workload whose
+/// data starts entirely on the HDD tier. With the engine ticking, the hot
+/// set must migrate up (≥ 90 % of its blocks off the HDD) and steady-state
+/// read latency must beat a daemon-off run of the same workload, while
+/// foreground throughput stays within 20 %.
+pub fn autotier(files: u64, file_blocks: u64, epochs: usize, ops: usize) -> AutotierResult {
+    let on = autotier_one(true, files, file_blocks, epochs, ops);
+    let off = autotier_one(false, files, file_blocks, epochs, ops);
+    let fg_ratio = if off.fg_mbps > 0.0 {
+        on.fg_mbps / off.fg_mbps
+    } else {
+        1.0
+    };
+    AutotierResult {
+        files,
+        file_blocks,
+        hot_files: (files / 10).max(1),
+        epochs,
+        converged: on.convergence >= 0.9,
+        fg_ratio,
+        daemon_on: on,
+        daemon_off: off,
+    }
+}

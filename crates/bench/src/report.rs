@@ -336,6 +336,47 @@ pub fn render_scaling(cells: &[ScalingCell]) -> String {
     s
 }
 
+/// Renders the autotier convergence experiment.
+pub fn render_autotier(r: &AutotierResult) -> String {
+    let mut s = format!(
+        "Autotier — zipfian hot set ({} of {} files) starting on HDD, {} epochs\n",
+        r.hot_files, r.files, r.epochs
+    );
+    let row = |name: &str, run: &crate::experiments::AutotierRun| {
+        vec![
+            name.to_string(),
+            format!("{:.1}%", run.convergence * 100.0),
+            format!("{}", run.read_p50_ns),
+            format!("{}", run.read_p95_ns),
+            format!("{:.1}", run.fg_mbps),
+            run.auto_promotions.to_string(),
+            run.auto_demotions.to_string(),
+            run.throttled_bytes.to_string(),
+            run.planner_vetoes.to_string(),
+        ]
+    };
+    s += &table(
+        &[
+            "daemon",
+            "hot on fast",
+            "read p50 ns",
+            "read p95 ns",
+            "fg MB/s",
+            "promoted",
+            "demoted",
+            "throttled B",
+            "vetoes",
+        ],
+        &[row("on", &r.daemon_on), row("off", &r.daemon_off)],
+    );
+    let _ = writeln!(
+        s,
+        "  converged: {} (target >= 90% of hot-set blocks off HDD); fg throughput ratio on/off: {:.2}",
+        r.converged, r.fg_ratio
+    );
+    s
+}
+
 /// Writes any serializable result as JSON next to the binary.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
     std::fs::create_dir_all("bench_results")?;

@@ -1,0 +1,774 @@
+//! The autonomous background tiering engine.
+//!
+//! Everything the paper keeps at the Mux layer — placement, migration,
+//! pluggable policies — only matters if something actually *moves* the
+//! data. This module is that something: an epoch-based scan → plan →
+//! migrate loop (the defining component of a tiering system in the
+//! tiered-storage literature) built from three parts:
+//!
+//! 1. **Heat accounting** ([`HeatMap`]) — per-inode read/write counters
+//!    with exponential decay, unified with an [`Mglru`] recency ladder so
+//!    one heat source serves both frequency ("how often") and recency
+//!    ("how recently") signals. Mux feeds it from the dispatch seam on
+//!    every user read and write; migration copies do not self-heat.
+//! 2. **Planner** ([`plan_epoch`]) — a *pure function* from tier
+//!    occupancy, file layouts, heat scores and pin state to a bounded
+//!    batch of promotion/demotion [`MigrationPlan`]s. Purity is the
+//!    point: the planner invariants (never a pinned file, never an
+//!    unhealthy or over-watermark destination, never more than the epoch
+//!    byte budget) are property-tested directly, with no Mux in the loop.
+//! 3. **Executor** (driven by [`crate::Mux::maintenance_tick`]) — a
+//!    [`TokenBucket`] byte-rate limiter on the virtual clock drains the
+//!    plan queue through the OCC migration path, backs off when a
+//!    migration loses an OCC race ([`tvfs::VfsError::Busy`]), and yields
+//!    to foreground I/O when the background queue depth or the recent
+//!    foreground read p95 exceeds the configured thresholds.
+//!
+//! The whole loop is virtual-clock driven and runs only inside
+//! `maintenance_tick`, so it stays deterministic and crash-enumerable:
+//! the crash matrix can cut power at every device operation of an epoch.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::file::MuxIno;
+use crate::health::TierHealthState;
+use crate::mglru::Mglru;
+use crate::policy::{FileView, MigrationPlan, TierStatus};
+use crate::types::{TierId, BLOCK};
+
+/// Configuration of the autotier engine (one per [`crate::Mux`], in
+/// [`crate::MuxOptions::autotier`]).
+#[derive(Debug, Clone)]
+pub struct AutotierConfig {
+    /// Master switch; when `false`, [`crate::Mux::maintenance_tick`] is a
+    /// no-op.
+    pub enabled: bool,
+    /// Epoch length in virtual ns: the planner runs at most once per
+    /// epoch; ticks in between only drain the executor queue.
+    pub epoch_ns: u64,
+    /// Demote until a tier's projected utilization falls below this.
+    pub low_watermark: f64,
+    /// Plan demotions off a tier above this utilization, and never plan a
+    /// move that would push the *destination* above it.
+    pub high_watermark: f64,
+    /// Upper bound on bytes planned per epoch.
+    pub max_bytes_per_epoch: u64,
+    /// Upper bound on plans emitted per epoch.
+    pub max_plans_per_epoch: usize,
+    /// Token-bucket refill rate for executed migration bytes, per virtual
+    /// second.
+    pub rate_bytes_per_sec: u64,
+    /// Token-bucket capacity (burst size) in bytes.
+    pub burst_bytes: u64,
+    /// Heat score at or above which a file is promoted toward the fastest
+    /// healthy tier.
+    pub hot_threshold: f64,
+    /// Heat score at or below which a file sinks toward the slowest
+    /// healthy tier.
+    pub cold_threshold: f64,
+    /// Multiplicative per-epoch decay of heat scores, in `(0, 1]`.
+    pub decay: f64,
+    /// Executor yields when any tier's background queue depth exceeds
+    /// this.
+    pub yield_queue_depth: usize,
+    /// Executor yields when the foreground read p95 since the previous
+    /// tick exceeds this (0 disables the latency check).
+    pub yield_read_p95_ns: u64,
+    /// Generations in the recency ladder.
+    pub recency_generations: u64,
+}
+
+impl Default for AutotierConfig {
+    fn default() -> Self {
+        AutotierConfig {
+            enabled: true,
+            epoch_ns: 100_000_000, // 100 ms of virtual time
+            low_watermark: 0.70,
+            high_watermark: 0.90,
+            max_bytes_per_epoch: 32 << 20,
+            max_plans_per_epoch: 128,
+            rate_bytes_per_sec: 256 << 20,
+            burst_bytes: 8 << 20,
+            hot_threshold: 4.0,
+            cold_threshold: 0.5,
+            decay: 0.5,
+            yield_queue_depth: 4,
+            yield_read_p95_ns: 50_000_000, // well above a healthy HDD p95
+            recency_generations: 4,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heat accounting
+// ---------------------------------------------------------------------
+
+/// Per-inode access heat: exponentially-decayed read/write frequency
+/// unified with an [`Mglru`] recency ladder.
+///
+/// The frequency term follows [`crate::HotColdPolicy`]'s scoring (each
+/// access adds `1 + 0.1·log2(blocks)`, writes count double); the recency
+/// term scales it by the file's MGLRU generation so a file with a large
+/// historical score that has gone quiet cools faster than decay alone
+/// would manage.
+#[derive(Debug)]
+pub struct HeatMap {
+    inner: Mutex<HeatInner>,
+}
+
+#[derive(Debug)]
+struct HeatInner {
+    freq: HashMap<MuxIno, f64>,
+    recency: Mglru<MuxIno>,
+}
+
+impl HeatMap {
+    /// An empty heat map with `generations` recency generations.
+    pub fn new(generations: u64) -> Self {
+        HeatMap {
+            inner: Mutex::new(HeatInner {
+                freq: HashMap::new(),
+                // Age every 64 promotions so a sustained hot set opens new
+                // generations and quiet files fall behind.
+                recency: Mglru::new(generations, 64),
+            }),
+        }
+    }
+
+    /// Records one user access of `n_blocks` blocks.
+    pub fn record(&self, ino: MuxIno, n_blocks: u64, is_write: bool) {
+        let mut inner = self.inner.lock();
+        let weight = if is_write { 2.0 } else { 1.0 };
+        let add = weight * (1.0 + (n_blocks as f64).log2().max(0.0) * 0.1);
+        *inner.freq.entry(ino).or_insert(0.0) += add;
+        if inner.recency.generation(&ino).is_some() {
+            inner.recency.touch(&ino);
+        } else {
+            inner.recency.insert(ino);
+        }
+    }
+
+    /// Forgets a file (unlink).
+    pub fn forget(&self, ino: MuxIno) {
+        let mut inner = self.inner.lock();
+        inner.freq.remove(&ino);
+        inner.recency.remove(&ino);
+    }
+
+    /// Applies one epoch of exponential decay and drops entries that have
+    /// cooled to noise.
+    pub fn decay(&self, factor: f64) {
+        let mut inner = self.inner.lock();
+        let mut dead = Vec::new();
+        for (&ino, v) in inner.freq.iter_mut() {
+            *v *= factor;
+            if *v < 1e-3 {
+                dead.push(ino);
+            }
+        }
+        for ino in dead {
+            inner.freq.remove(&ino);
+            inner.recency.remove(&ino);
+        }
+    }
+
+    /// Current unified score of one file.
+    pub fn score(&self, ino: MuxIno) -> f64 {
+        let inner = self.inner.lock();
+        score_of(&inner, ino)
+    }
+
+    /// Snapshot of every tracked file's unified score.
+    pub fn scores(&self) -> HashMap<MuxIno, f64> {
+        let inner = self.inner.lock();
+        inner
+            .freq
+            .keys()
+            .map(|&ino| (ino, score_of(&inner, ino)))
+            .collect()
+    }
+}
+
+fn score_of(inner: &HeatInner, ino: MuxIno) -> f64 {
+    let freq = inner.freq.get(&ino).copied().unwrap_or(0.0);
+    if freq == 0.0 {
+        return 0.0;
+    }
+    // Recency scaling: youngest generation keeps the full frequency
+    // score; each older generation halves it; untracked files (evicted
+    // from the ladder) keep a floor so a huge score cannot hide.
+    match inner.recency.generation(&ino) {
+        Some(g) => {
+            let inner_max = inner.recency.max_generation();
+            let age = inner_max.saturating_sub(g);
+            freq * 0.5f64.powi(age.min(8) as i32)
+        }
+        None => freq * 0.25,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------
+
+/// One epoch's output: ordered plans (each tagged with its direction) and
+/// the number of vetoed candidate moves.
+#[derive(Debug, Clone, Default)]
+pub struct EpochPlan {
+    /// Plans in execution order; `true` tags a promotion (toward a faster
+    /// device class), `false` a demotion.
+    pub plans: Vec<(MigrationPlan, bool)>,
+    /// Candidate moves dropped: pinned file, no healthy under-watermark
+    /// destination, or exhausted epoch budget.
+    pub vetoes: u64,
+}
+
+/// Speed rank of a device class (0 = fastest).
+fn class_rank(c: simdev::DeviceClass) -> usize {
+    crate::mux::class_index(c)
+}
+
+struct PlanCtx<'a> {
+    cfg: &'a AutotierConfig,
+    /// Tiers sorted fastest class first.
+    sorted: Vec<&'a TierStatus>,
+    /// Projected free bytes per tier, accounting for already-planned moves.
+    free: HashMap<TierId, u64>,
+    budget_bytes: u64,
+    plans: Vec<(MigrationPlan, bool)>,
+    vetoes: u64,
+}
+
+impl PlanCtx<'_> {
+    fn rank(&self, id: TierId) -> Option<usize> {
+        self.sorted.iter().position(|t| t.id == id)
+    }
+
+    /// Bytes that can land on `t` before its projected utilization would
+    /// exceed the high watermark. `None` for unhealthy destinations: the
+    /// autotier never plans onto a tier that is Degraded, ReadOnly or
+    /// Offline — unlike foreground writes, background moves have no
+    /// urgency, so even a Degraded tier is off limits.
+    fn headroom(&self, t: &TierStatus) -> Option<u64> {
+        if t.health != TierHealthState::Healthy {
+            return None;
+        }
+        let free = self.free.get(&t.id).copied().unwrap_or(t.free_bytes);
+        let reserve = ((1.0 - self.cfg.high_watermark) * t.total_bytes as f64) as u64;
+        Some(free.saturating_sub(reserve))
+    }
+
+    /// Emits a plan for up to `n` blocks of `(ino, block..)` into `to`,
+    /// clipped to the epoch budget and the destination headroom. Returns
+    /// the blocks actually planned.
+    fn emit(&mut self, ino: MuxIno, block: u64, n: u64, to: &TierStatus, promote: bool) -> u64 {
+        if self.plans.len() >= self.cfg.max_plans_per_epoch || self.budget_bytes < BLOCK {
+            self.vetoes += 1;
+            return 0;
+        }
+        let Some(headroom) = self.headroom(to) else {
+            self.vetoes += 1;
+            return 0;
+        };
+        let max_blocks = (headroom / BLOCK).min(self.budget_bytes / BLOCK).min(n);
+        if max_blocks == 0 {
+            self.vetoes += 1;
+            return 0;
+        }
+        let bytes = max_blocks * BLOCK;
+        self.budget_bytes -= bytes;
+        *self.free.entry(to.id).or_insert(to.free_bytes) -= bytes;
+        self.plans.push((
+            MigrationPlan {
+                ino,
+                block,
+                n_blocks: max_blocks,
+                to: to.id,
+            },
+            promote,
+        ));
+        max_blocks
+    }
+}
+
+/// Plans one epoch of promotions and demotions. Pure: everything the
+/// decision depends on is in the arguments.
+///
+/// Guarantees (property-tested in `tests/autotier_prop.rs`):
+///
+/// * no plan touches a file for which `pinned` returns `true`;
+/// * every plan's destination is [`TierHealthState::Healthy`] and stays at
+///   or below the high watermark even after all planned bytes land;
+/// * planned bytes never exceed `cfg.max_bytes_per_epoch`, and the number
+///   of plans never exceeds `cfg.max_plans_per_epoch`.
+pub fn plan_epoch(
+    cfg: &AutotierConfig,
+    tiers: &[TierStatus],
+    files: &[FileView],
+    scores: &HashMap<MuxIno, f64>,
+    pinned: &dyn Fn(MuxIno) -> bool,
+) -> EpochPlan {
+    let mut sorted: Vec<&TierStatus> = tiers.iter().collect();
+    sorted.sort_by_key(|t| (class_rank(t.class), t.id));
+    if sorted.len() < 2 {
+        return EpochPlan::default();
+    }
+    let mut cx = PlanCtx {
+        cfg,
+        free: HashMap::new(),
+        budget_bytes: cfg.max_bytes_per_epoch,
+        plans: Vec::new(),
+        vetoes: 0,
+        sorted,
+    };
+
+    // --- Promotions: hottest files first, toward the fastest healthy
+    // tier with watermark headroom. ---
+    let mut hot: Vec<&FileView> = files
+        .iter()
+        .filter(|f| scores.get(&f.ino).copied().unwrap_or(0.0) >= cfg.hot_threshold)
+        .collect();
+    hot.sort_by(|a, b| {
+        let sa = scores.get(&a.ino).copied().unwrap_or(0.0);
+        let sb = scores.get(&b.ino).copied().unwrap_or(0.0);
+        sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for f in hot {
+        if pinned(f.ino) {
+            cx.vetoes += 1;
+            continue;
+        }
+        for &(block, n, tid) in &f.extents {
+            let Some(cur_rank) = cx.rank(tid) else {
+                continue;
+            };
+            // Fastest healthy destination strictly above the current tier.
+            let dest = (0..cur_rank)
+                .map(|i| cx.sorted[i])
+                .find(|t| cx.headroom(t).map(|h| h >= BLOCK).unwrap_or(false));
+            match dest {
+                Some(d) => {
+                    let d = *cx.sorted.iter().find(|t| t.id == d.id).unwrap();
+                    cx.emit(f.ino, block, n, d, true);
+                }
+                None if cur_rank > 0 => cx.vetoes += 1,
+                None => {}
+            }
+        }
+    }
+
+    // --- Pressure demotions: over-watermark tiers shed their coldest
+    // resident files to the next slower healthy tier. ---
+    for i in 0..cx.sorted.len() {
+        let t = cx.sorted[i];
+        let free = cx.free.get(&t.id).copied().unwrap_or(t.free_bytes);
+        let util = if t.total_bytes == 0 {
+            1.0
+        } else {
+            1.0 - free as f64 / t.total_bytes as f64
+        };
+        if util <= cfg.high_watermark {
+            continue;
+        }
+        let mut need_bytes = ((util - cfg.low_watermark) * t.total_bytes as f64) as u64;
+        let mut residents: Vec<&FileView> = files
+            .iter()
+            .filter(|f| f.extents.iter().any(|&(_, _, tid)| tid == t.id))
+            .collect();
+        residents.sort_by(|a, b| {
+            let sa = scores.get(&a.ino).copied().unwrap_or(0.0);
+            let sb = scores.get(&b.ino).copied().unwrap_or(0.0);
+            sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for f in residents {
+            if need_bytes == 0 {
+                break;
+            }
+            if pinned(f.ino) {
+                cx.vetoes += 1;
+                continue;
+            }
+            for &(block, n, tid) in &f.extents {
+                if tid != t.id || need_bytes == 0 {
+                    continue;
+                }
+                let dest = (i + 1..cx.sorted.len())
+                    .map(|j| cx.sorted[j])
+                    .find(|d| cx.headroom(d).map(|h| h >= BLOCK).unwrap_or(false));
+                let Some(d) = dest else {
+                    cx.vetoes += 1;
+                    continue;
+                };
+                let moved = cx.emit(f.ino, block, n, d, false);
+                need_bytes = need_bytes.saturating_sub(moved * BLOCK);
+                if moved == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- Cold demotions: files that cooled to the floor sink to the
+    // slowest healthy tier, keeping fast capacity for the working set. ---
+    for f in files {
+        let s = scores.get(&f.ino).copied().unwrap_or(0.0);
+        if s > cfg.cold_threshold {
+            continue;
+        }
+        let slowest_rank = cx.sorted.len() - 1;
+        let has_fast_blocks = f
+            .extents
+            .iter()
+            .any(|&(_, _, tid)| cx.rank(tid).map(|r| r < slowest_rank).unwrap_or(false));
+        if !has_fast_blocks {
+            continue;
+        }
+        if pinned(f.ino) {
+            cx.vetoes += 1;
+            continue;
+        }
+        for &(block, n, tid) in &f.extents {
+            let Some(cur_rank) = cx.rank(tid) else {
+                continue;
+            };
+            if cur_rank >= slowest_rank {
+                continue;
+            }
+            // Slowest healthy destination below the current tier.
+            let dest = (cur_rank + 1..cx.sorted.len())
+                .rev()
+                .map(|j| cx.sorted[j])
+                .find(|d| cx.headroom(d).map(|h| h >= BLOCK).unwrap_or(false));
+            let Some(d) = dest else {
+                cx.vetoes += 1;
+                continue;
+            };
+            cx.emit(f.ino, block, n, d, false);
+        }
+    }
+
+    EpochPlan {
+        plans: cx.plans,
+        vetoes: cx.vetoes,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token bucket
+// ---------------------------------------------------------------------
+
+/// A byte-rate limiter on the virtual clock: the executor takes tokens
+/// for every migrated byte and stalls (leaving plans queued) when the
+/// bucket runs dry.
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate_bytes_per_sec: u64,
+    capacity: u64,
+    tokens: u64,
+    last_refill_ns: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket refilling at `rate_bytes_per_sec`, holding at most
+    /// `capacity` bytes of burst.
+    pub fn new(rate_bytes_per_sec: u64, capacity: u64) -> Self {
+        TokenBucket {
+            rate_bytes_per_sec,
+            capacity,
+            tokens: capacity,
+            last_refill_ns: 0,
+        }
+    }
+
+    fn refill(&mut self, now_ns: u64) {
+        let dt = now_ns.saturating_sub(self.last_refill_ns);
+        self.last_refill_ns = self.last_refill_ns.max(now_ns);
+        let add = (dt as u128 * self.rate_bytes_per_sec as u128 / 1_000_000_000) as u64;
+        self.tokens = (self.tokens.saturating_add(add)).min(self.capacity);
+    }
+
+    /// Takes `bytes` tokens if available at `now_ns`; `false` leaves the
+    /// bucket untouched (beyond the refill).
+    pub fn try_take(&mut self, bytes: u64, now_ns: u64) -> bool {
+        self.refill(now_ns);
+        // Oversized requests (> capacity) are granted once the bucket is
+        // full — they could never succeed otherwise.
+        let need = bytes.min(self.capacity);
+        if self.tokens >= need {
+            self.tokens -= need;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after refilling at `now_ns`).
+    pub fn available(&mut self, now_ns: u64) -> u64 {
+        self.refill(now_ns);
+        self.tokens
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine state (owned by Mux)
+// ---------------------------------------------------------------------
+
+/// What one [`crate::Mux::maintenance_tick`] did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochReport {
+    /// Epoch counter after this tick.
+    pub epoch: u64,
+    /// Whether the planner ran (the epoch interval had elapsed).
+    pub planned_epoch: bool,
+    /// Plans the planner emitted this tick.
+    pub planned: usize,
+    /// Plans the executor completed this tick.
+    pub executed: usize,
+    /// Blocks the executor moved this tick.
+    pub blocks_moved: u64,
+    /// Bytes deferred by the rate limiter this tick.
+    pub throttled_bytes: u64,
+    /// Candidate moves the planner vetoed this tick.
+    pub vetoes: u64,
+    /// Plans that failed to execute (and were dropped).
+    pub failed: usize,
+    /// Whether the executor yielded to foreground I/O.
+    pub yielded: bool,
+    /// Plans still queued after this tick.
+    pub queued: usize,
+}
+
+/// Mutable engine state behind one lock; [`crate::Mux`] owns exactly one.
+#[derive(Debug)]
+pub struct Engine {
+    /// The shared heat source.
+    pub heat: HeatMap,
+    pub(crate) state: Mutex<EngineState>,
+}
+
+#[derive(Debug)]
+pub(crate) struct EngineState {
+    pub(crate) epoch: u64,
+    pub(crate) last_plan_ns: Option<u64>,
+    /// Blocks moved during the current epoch (reported at epoch end).
+    pub(crate) epoch_moved: u64,
+    pub(crate) queue: std::collections::VecDeque<(MigrationPlan, bool)>,
+    pub(crate) bucket: TokenBucket,
+    /// Per-tier foreground-read histogram snapshots at the previous tick
+    /// (for recent-p95 deltas).
+    pub(crate) last_read_hist: Vec<Option<crate::hist::HistSnapshot>>,
+}
+
+impl Engine {
+    /// A fresh engine for `cfg`.
+    pub fn new(cfg: &AutotierConfig) -> Self {
+        Engine {
+            heat: HeatMap::new(cfg.recency_generations),
+            state: Mutex::new(EngineState {
+                epoch: 0,
+                last_plan_ns: None,
+                epoch_moved: 0,
+                queue: std::collections::VecDeque::new(),
+                bucket: TokenBucket::new(cfg.rate_bytes_per_sec, cfg.burst_bytes),
+                last_read_hist: Vec::new(),
+            }),
+        }
+    }
+
+    /// Plans waiting for the executor.
+    pub fn queued(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Epochs started so far.
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdev::DeviceClass;
+
+    fn tier(id: TierId, class: DeviceClass, free: u64, total: u64) -> TierStatus {
+        TierStatus {
+            id,
+            name: format!("t{id}"),
+            class,
+            free_bytes: free,
+            total_bytes: total,
+            health: TierHealthState::Healthy,
+        }
+    }
+
+    fn tiers() -> Vec<TierStatus> {
+        vec![
+            tier(0, DeviceClass::Pmem, 800 * BLOCK, 1000 * BLOCK),
+            tier(1, DeviceClass::Ssd, 9000 * BLOCK, 10_000 * BLOCK),
+            tier(2, DeviceClass::Hdd, 100_000 * BLOCK, 100_000 * BLOCK),
+        ]
+    }
+
+    fn fv(ino: MuxIno, extents: Vec<(u64, u64, TierId)>) -> FileView {
+        FileView { ino, extents }
+    }
+
+    #[test]
+    fn heat_records_decays_and_forgets() {
+        let h = HeatMap::new(4);
+        h.record(1, 8, false);
+        h.record(1, 8, false);
+        let hot = h.score(1);
+        assert!(hot > 2.0, "two 8-block reads score > 2, got {hot}");
+        h.decay(0.5);
+        assert!(h.score(1) < hot);
+        // Decay to noise drops the entry entirely.
+        for _ in 0..32 {
+            h.decay(0.5);
+        }
+        assert_eq!(h.score(1), 0.0);
+        assert!(h.scores().is_empty());
+    }
+
+    #[test]
+    fn writes_heat_twice_as_fast_as_reads() {
+        let h = HeatMap::new(4);
+        h.record(1, 1, false);
+        h.record(2, 1, true);
+        assert!(h.score(2) > h.score(1));
+    }
+
+    #[test]
+    fn planner_promotes_hot_files_upward() {
+        let cfg = AutotierConfig::default();
+        let t = tiers();
+        let files = vec![fv(7, vec![(0, 16, 2)])];
+        let mut scores = HashMap::new();
+        scores.insert(7u64, 10.0);
+        let out = plan_epoch(&cfg, &t, &files, &scores, &|_| false);
+        assert_eq!(out.plans.len(), 1);
+        let (p, promote) = &out.plans[0];
+        assert!(promote);
+        assert_eq!(p.ino, 7);
+        assert_eq!(p.to, 0, "fastest healthy tier wins");
+    }
+
+    #[test]
+    fn planner_skips_pinned_files() {
+        let cfg = AutotierConfig::default();
+        let t = tiers();
+        let files = vec![fv(7, vec![(0, 16, 2)])];
+        let mut scores = HashMap::new();
+        scores.insert(7u64, 10.0);
+        let out = plan_epoch(&cfg, &t, &files, &scores, &|ino| ino == 7);
+        assert!(out.plans.is_empty());
+        assert!(out.vetoes >= 1);
+    }
+
+    #[test]
+    fn planner_vetoes_unhealthy_destinations() {
+        let cfg = AutotierConfig::default();
+        let mut t = tiers();
+        t[0].health = TierHealthState::Degraded; // even Degraded is off limits
+        let files = vec![fv(7, vec![(0, 16, 2)])];
+        let mut scores = HashMap::new();
+        scores.insert(7u64, 10.0);
+        let out = plan_epoch(&cfg, &t, &files, &scores, &|_| false);
+        // The promotion falls through to the SSD tier (still healthy).
+        assert_eq!(out.plans.len(), 1);
+        assert_eq!(out.plans[0].0.to, 1);
+        // With both fast tiers sick there is nowhere to go.
+        t[1].health = TierHealthState::ReadOnly;
+        let out = plan_epoch(&cfg, &t, &files, &scores, &|_| false);
+        assert!(out.plans.is_empty());
+        assert!(out.vetoes >= 1);
+    }
+
+    #[test]
+    fn planner_respects_destination_watermark() {
+        let cfg = AutotierConfig::default();
+        let mut t = tiers();
+        // PM has 5% free: already above the 90% high watermark.
+        t[0].free_bytes = 50 * BLOCK;
+        // SSD at exactly the watermark: 10% free.
+        t[1].free_bytes = 1000 * BLOCK;
+        let files = vec![fv(7, vec![(0, 16, 2)])];
+        let mut scores = HashMap::new();
+        scores.insert(7u64, 10.0);
+        let out = plan_epoch(&cfg, &t, &files, &scores, &|_| false);
+        assert!(
+            out.plans.is_empty(),
+            "no destination has watermark headroom: {:?}",
+            out.plans
+        );
+    }
+
+    #[test]
+    fn planner_demotes_under_pressure_coldest_first() {
+        let cfg = AutotierConfig::default();
+        let mut t = tiers();
+        t[0].free_bytes = 20 * BLOCK; // PM 98% full
+        let files = vec![fv(1, vec![(0, 64, 0)]), fv(2, vec![(0, 64, 0)])];
+        let mut scores = HashMap::new();
+        scores.insert(1u64, 0.6); // cool-ish (above cold floor, below hot)
+        scores.insert(2u64, 20.0); // hot: also re-promoted? already on 0, no
+        let out = plan_epoch(&cfg, &t, &files, &scores, &|_| false);
+        let demotions: Vec<_> = out.plans.iter().filter(|(_, p)| !*p).collect();
+        assert!(!demotions.is_empty());
+        assert_eq!(demotions[0].0.ino, 1, "coldest resident demotes first");
+        assert_eq!(demotions[0].0.to, 1, "next slower tier");
+    }
+
+    #[test]
+    fn planner_sinks_cold_files_to_slowest() {
+        let cfg = AutotierConfig::default();
+        let t = tiers();
+        let files = vec![fv(3, vec![(0, 8, 0)])];
+        let scores = HashMap::new(); // never accessed → cold
+        let out = plan_epoch(&cfg, &t, &files, &scores, &|_| false);
+        assert_eq!(out.plans.len(), 1);
+        let (p, promote) = &out.plans[0];
+        assert!(!promote);
+        assert_eq!(p.to, 2);
+    }
+
+    #[test]
+    fn planner_honours_byte_budget() {
+        let cfg = AutotierConfig {
+            max_bytes_per_epoch: 10 * BLOCK,
+            ..AutotierConfig::default()
+        };
+        let t = tiers();
+        let files = vec![fv(7, vec![(0, 64, 2)])];
+        let mut scores = HashMap::new();
+        scores.insert(7u64, 10.0);
+        let out = plan_epoch(&cfg, &t, &files, &scores, &|_| false);
+        let total: u64 = out.plans.iter().map(|(p, _)| p.n_blocks).sum();
+        assert!(total <= 10, "planned {total} blocks over a 10-block budget");
+    }
+
+    #[test]
+    fn token_bucket_paces_bytes() {
+        let mut b = TokenBucket::new(1_000_000, 1000); // 1 MB/s, 1000-byte burst
+        assert!(b.try_take(1000, 0));
+        assert!(!b.try_take(1, 0), "bucket empty");
+        // 500 µs refills 500 bytes.
+        assert!(!b.try_take(1000, 500_000));
+        assert!(b.try_take(500, 500_000));
+        // Never exceeds capacity.
+        assert_eq!(b.available(10_000_000_000), 1000);
+    }
+
+    #[test]
+    fn oversized_requests_pass_on_a_full_bucket() {
+        let mut b = TokenBucket::new(1000, 100);
+        assert!(
+            b.try_take(10_000, 0),
+            "full bucket admits oversized request"
+        );
+        assert!(!b.try_take(10_000, 0));
+    }
+}

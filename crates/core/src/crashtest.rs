@@ -677,9 +677,44 @@ fn snapshot_run(cx: &Ctx<'_>, o: &mut Oracle) -> VfsResult<()> {
     Ok(())
 }
 
+fn autotier_epoch_setup(cx: &Ctx<'_>, o: &mut Oracle) -> VfsResult<()> {
+    setup_one_file(cx, o, "at", 11, 6)
+}
+
+fn autotier_epoch_run(cx: &Ctx<'_>, o: &mut Oracle) -> VfsResult<()> {
+    // Power cut at any device operation of an autotier epoch must leave
+    // placement consistent: the engine drives the same OCC migration and
+    // journal machinery as a manual `migrate_range`, so an epoch is just a
+    // planned batch. Plans are enqueued explicitly (instead of waiting for
+    // the file to cool) so the epoch's device-op sequence is deterministic.
+    let a = cx.mux.lookup(ROOT_INO, "at")?;
+    cx.mux.autotier_enqueue(crate::policy::MigrationPlan {
+        ino: a.ino,
+        block: 0,
+        n_blocks: 3,
+        to: 1,
+    })?;
+    cx.mux.autotier_enqueue(crate::policy::MigrationPlan {
+        ino: a.ino,
+        block: 3,
+        n_blocks: 3,
+        to: 1,
+    })?;
+    cx.mux.maintenance_tick();
+    cx.mux.fsync(a.ino)?;
+    o.fsync("at");
+    // A second epoch boundary: the planner closes the first epoch and the
+    // metafile snapshot lands, all under the same crash enumeration.
+    cx.devices[0].clock().advance(cx.mux.opts.autotier.epoch_ns);
+    cx.mux.maintenance_tick();
+    cx.mux.sync()?;
+    o.sync_all();
+    Ok(())
+}
+
 /// The standard workload set: create/write/fsync, rename, unlink,
-/// migration begin→commit, migration abort, and repeated snapshot
-/// rewrites.
+/// migration begin→commit, migration abort, repeated snapshot rewrites,
+/// and an autotier epoch (planned batch of background migrations).
 pub fn standard_scenarios() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -711,6 +746,11 @@ pub fn standard_scenarios() -> Vec<Scenario> {
             name: "snapshot_rewrite",
             setup: snapshot_setup,
             run: snapshot_run,
+        },
+        Scenario {
+            name: "autotier_epoch",
+            setup: autotier_epoch_setup,
+            run: autotier_epoch_run,
         },
     ]
 }

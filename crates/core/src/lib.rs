@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autotier;
 pub mod blt;
 pub mod cache;
 pub mod crashtest;
@@ -50,6 +51,7 @@ pub mod stats;
 pub mod trace;
 pub mod types;
 
+pub use autotier::{AutotierConfig, EpochReport};
 pub use blt::BlockLookupTable;
 pub use cache::{CacheConfig, CacheController};
 pub use crashtest::{run_matrix, standard_scenarios, CrashMatrix, Scenario, TierDef};

@@ -70,6 +70,13 @@ impl<K: Hash + Eq + Clone> Mglru<K> {
         self.stamp_of.is_empty()
     }
 
+    /// Youngest generation currently open. Generation numbers grow
+    /// monotonically, so `max_generation() - generation(k)` is a key's age
+    /// in generations.
+    pub fn max_generation(&self) -> u64 {
+        self.max_gen
+    }
+
     /// Generation a key's live node sits in (tests/diagnostics). Linear in
     /// queue size; not for hot paths.
     pub fn generation(&self, k: &K) -> Option<u64> {

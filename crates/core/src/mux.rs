@@ -24,12 +24,16 @@ use tvfs::{
     ROOT_INO,
 };
 
+use crate::autotier::EpochReport;
 use crate::cache::CacheController;
 use crate::file::{MuxFile, MuxIno};
 use crate::health::{HealthRegistry, HealthSnapshot};
+use crate::hist::CACHE_TIER;
 use crate::hist::{LatencyRegistry, LatencyReport, OpKind};
 use crate::meta::{AttrKind, CollectiveInode};
+use crate::occ::MigrationOutcome;
 use crate::occ::OccStats;
+use crate::policy::MigrationPlan;
 use crate::policy::{PlacementCtx, TierStatus, TieringPolicy};
 use crate::sched::IoScheduler;
 use crate::shard::{RemoveIf, ShardedMap};
@@ -199,6 +203,9 @@ pub struct Mux {
     pub(crate) lat: Arc<LatencyRegistry>,
     /// Typed observability event ring (see [`crate::trace`]).
     pub(crate) trace: Arc<TraceBuffer>,
+    /// The autonomous background tiering engine (see [`crate::autotier`]),
+    /// driven by [`Mux::maintenance_tick`].
+    pub(crate) autotier: crate::autotier::Engine,
 }
 
 impl Mux {
@@ -222,6 +229,7 @@ impl Mux {
         let health = HealthRegistry::new(opts.health.clone());
         let trace = Arc::new(TraceBuffer::new(opts.trace_capacity));
         health.attach_tracer(clock.clone(), trace.clone());
+        let autotier = crate::autotier::Engine::new(&opts.autotier);
         Mux {
             opts,
             clock,
@@ -239,6 +247,7 @@ impl Mux {
             health,
             lat: Arc::new(LatencyRegistry::new()),
             trace,
+            autotier,
         }
     }
 
@@ -403,6 +412,187 @@ impl Mux {
             .into_iter()
             .map(|e| (e.start, e.len, e.value))
             .collect())
+    }
+
+    /// The autotier engine (heat map and queue inspection).
+    pub fn autotier(&self) -> &crate::autotier::Engine {
+        &self.autotier
+    }
+
+    /// Enqueues one migration for the autotier executor, as if the planner
+    /// had emitted it — the direction (promotion vs demotion) is derived
+    /// from the destination's device class versus the range's current
+    /// placement. Used by tests and crash scenarios that need a
+    /// deterministic plan; normal operation lets
+    /// [`Mux::maintenance_tick`]'s planner fill the queue.
+    pub fn autotier_enqueue(&self, plan: MigrationPlan) -> VfsResult<()> {
+        let dest_rank = class_index(self.tier(plan.to)?.config.class);
+        let cur_rank = self
+            .file_placement(plan.ino)?
+            .iter()
+            .find(|&&(start, len, _)| {
+                start < plan.block + plan.n_blocks && start + len > plan.block
+            })
+            .map(|&(_, _, tid)| self.tier(tid).map(|t| class_index(t.config.class)))
+            .transpose()?
+            .unwrap_or(dest_rank);
+        let promote = dest_rank < cur_rank;
+        self.autotier.state.lock().queue.push_back((plan, promote));
+        Ok(())
+    }
+
+    /// One deterministic turn of the autotier engine (see
+    /// [`crate::autotier`]). Call it from the workload loop on the virtual
+    /// clock — there is no hidden background thread, so every migration the
+    /// engine performs is attributable to a tick and enumerable by the
+    /// crash matrix.
+    ///
+    /// Each tick: (1) if an epoch boundary has passed, close the previous
+    /// epoch, run the planner over current tier occupancy, file placement
+    /// and heat scores, and decay the heat map; (2) check the
+    /// yield-to-foreground conditions (background queue depth, recent
+    /// foreground read p95); (3) unless yielding, drain queued plans
+    /// through the OCC migration path under the token-bucket byte-rate
+    /// limit, backing off to the next tick when a migration loses an OCC
+    /// race ([`VfsError::Busy`]).
+    pub fn maintenance_tick(&self) -> EpochReport {
+        let cfg = &self.opts.autotier;
+        if !cfg.enabled {
+            return EpochReport::default();
+        }
+        let mut report = EpochReport::default();
+        let mut state = self.autotier.state.lock();
+
+        // (1) Planner, at most once per epoch.
+        let now = self.now();
+        let due = match state.last_plan_ns {
+            None => true,
+            Some(t) => now.saturating_sub(t) >= cfg.epoch_ns,
+        };
+        if due {
+            if state.epoch > 0 {
+                self.trace_event(
+                    TraceEventKind::EpochEnd {
+                        epoch: state.epoch,
+                        moved: state.epoch_moved,
+                    },
+                    CACHE_TIER,
+                    0,
+                    0,
+                    0,
+                );
+            }
+            state.epoch += 1;
+            state.epoch_moved = 0;
+            state.last_plan_ns = Some(now);
+            report.planned_epoch = true;
+            self.trace_event(
+                TraceEventKind::EpochStart { epoch: state.epoch },
+                CACHE_TIER,
+                0,
+                0,
+                0,
+            );
+            let tiers = self.tier_status();
+            let files = self.file_views();
+            let scores = self.autotier.heat.scores();
+            let policy = self.policy.read().clone();
+            let plan = crate::autotier::plan_epoch(cfg, &tiers, &files, &scores, &|ino| {
+                policy.is_pinned(ino)
+            });
+            self.autotier.heat.decay(cfg.decay);
+            report.vetoes = plan.vetoes;
+            MuxStats::add(&self.stats.planner_vetoes, plan.vetoes);
+            report.planned = plan.plans.len();
+            for (p, promote) in &plan.plans {
+                self.trace_event(
+                    TraceEventKind::PlanEmitted { promote: *promote },
+                    p.to,
+                    p.ino,
+                    p.block * BLOCK,
+                    p.n_blocks * BLOCK,
+                );
+            }
+            state.queue.extend(plan.plans);
+        }
+        report.epoch = state.epoch;
+
+        // (2) Yield to foreground I/O: if any tier's background queue is
+        // deep, or the foreground read p95 since the previous tick is past
+        // the threshold, leave the queue for a calmer tick.
+        let n_tiers = self.tiers.read().len();
+        let queue_depth = (0..n_tiers as TierId)
+            .map(|t| self.sched.pending(t))
+            .max()
+            .unwrap_or(0);
+        let mut worst_p95 = 0u64;
+        let mut snaps = Vec::with_capacity(n_tiers);
+        for t in 0..n_tiers {
+            let snap = self.lat.hist(OpKind::Read, t as TierId).snapshot();
+            if let Some(prev) = state.last_read_hist.get(t).and_then(|s| s.as_ref()) {
+                worst_p95 = worst_p95.max(snap.delta_since(prev).p95());
+            }
+            snaps.push(Some(snap));
+        }
+        state.last_read_hist = snaps;
+        if !state.queue.is_empty()
+            && (queue_depth > cfg.yield_queue_depth
+                || (cfg.yield_read_p95_ns > 0 && worst_p95 > cfg.yield_read_p95_ns))
+        {
+            report.yielded = true;
+            report.queued = state.queue.len();
+            self.trace_event(
+                TraceEventKind::MigrationSkipped {
+                    queue_depth: queue_depth as u64,
+                },
+                CACHE_TIER,
+                0,
+                0,
+                0,
+            );
+            return report;
+        }
+
+        // (3) Executor: drain under the byte-rate limit.
+        while let Some((p, promote)) = state.queue.front().cloned() {
+            let bytes = p.n_blocks * BLOCK;
+            if !state.bucket.try_take(bytes, self.now()) {
+                MuxStats::add(&self.stats.throttled_bytes, bytes);
+                report.throttled_bytes += bytes;
+                self.trace_event(
+                    TraceEventKind::MigrationThrottled,
+                    p.to,
+                    p.ino,
+                    p.block * BLOCK,
+                    bytes,
+                );
+                break;
+            }
+            state.queue.pop_front();
+            match self.migrate_range(p.ino, p.block, p.n_blocks, p.to) {
+                Ok(MigrationOutcome::NothingToDo) => report.executed += 1,
+                Ok(_) => {
+                    report.executed += 1;
+                    report.blocks_moved += p.n_blocks;
+                    state.epoch_moved += p.n_blocks;
+                    let counter = if promote {
+                        &self.stats.auto_promotions
+                    } else {
+                        &self.stats.auto_demotions
+                    };
+                    MuxStats::add(counter, p.n_blocks);
+                }
+                Err(VfsError::Busy) => {
+                    // A foreground writer holds the migration flag; retrying
+                    // now would spin. Requeue and back off to the next tick.
+                    state.queue.push_back((p, promote));
+                    break;
+                }
+                Err(_) => report.failed += 1,
+            }
+        }
+        report.queued = state.queue.len();
+        report
     }
 
     /// Runs one native-tier dispatch through the bounded
@@ -973,6 +1163,7 @@ impl FileSystem for Mux {
                 });
                 self.ns.file_loc.remove(&ino);
                 self.files.remove(&ino);
+                self.autotier.heat.forget(ino);
             }
         }
         self.note_meta_mutation();
@@ -1292,6 +1483,7 @@ impl FileSystem for Mux {
             drop(st);
             let policy = self.policy.read().clone();
             policy.on_access(ino, first, last - first + 1, false, now);
+            self.autotier.heat.record(ino, last - first + 1, false);
             let fastest = self
                 .tier_status()
                 .into_iter()
@@ -1408,6 +1600,7 @@ impl FileSystem for Mux {
         }
         let policy = self.policy.read().clone();
         policy.on_access(ino, first, last - first + 1, true, now);
+        self.autotier.heat.record(ino, last - first + 1, true);
         Ok(data.len())
     }
 

@@ -172,7 +172,10 @@ impl Mux {
                 simdev::DeviceClass::CxlSsd => simdev::cxl_ssd(),
                 simdev::DeviceClass::Pmem => simdev::pmem(),
             };
-            for r in self.sched.drain(tier, &profile) {
+            // Drain only this file's requests: concurrent migrations of
+            // other files share the per-tier queue, and stealing their
+            // requests would leave their copies short (committed holes).
+            for r in self.sched.drain_for(tier, &profile, file.ino) {
                 let mut buf = vec![0u8; r.len as usize];
                 let chunk = if self.health.can_read(tier) {
                     self.tier_io(OpKind::MigrationCopy, tier, || {
@@ -724,10 +727,10 @@ impl Mux {
         self.migrate_range(ino, 0, end, to)
     }
 
-    /// One policy-driven migration pass: asks the policy for plans and
-    /// executes them.
-    pub fn run_policy_migrations(&self) -> MigrationSummary {
-        let tiers = self.tier_status();
+    /// Snapshot of every file's block placement, sorted by inode — the
+    /// shared input of [`Mux::run_policy_migrations`] and the autotier
+    /// planner ([`crate::Mux::maintenance_tick`]).
+    pub(crate) fn file_views(&self) -> Vec<FileView> {
         let mut files: Vec<FileView> = Vec::new();
         self.files.for_each(|_, f| {
             let st = f.state.read();
@@ -744,6 +747,14 @@ impl Mux {
         // Shard iteration order is hash-dependent; sort so policy plans
         // (and the virtual-time costs of executing them) are deterministic.
         files.sort_unstable_by_key(|f| f.ino);
+        files
+    }
+
+    /// One policy-driven migration pass: asks the policy for plans and
+    /// executes them.
+    pub fn run_policy_migrations(&self) -> MigrationSummary {
+        let tiers = self.tier_status();
+        let files = self.file_views();
         let policy = self.policy.read().clone();
         let plans: Vec<MigrationPlan> = policy.plan_migrations(&tiers, &files);
         let mut summary = MigrationSummary {

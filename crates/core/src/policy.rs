@@ -157,6 +157,13 @@ pub trait TieringPolicy: Send + Sync {
     fn plan_migrations(&self, _tiers: &[TierStatus], _files: &[FileView]) -> Vec<MigrationPlan> {
         Vec::new()
     }
+
+    /// Whether a file is pinned to its current placement. The autotier
+    /// engine ([`crate::autotier`]) never plans moves for pinned files.
+    /// Defaults to `false`; [`PinnedPolicy`] overrides it.
+    fn is_pinned(&self, _ino: MuxIno) -> bool {
+        false
+    }
 }
 
 fn fastest_with_space(tiers: &[TierStatus], need: u64, watermark: f64) -> TierId {
@@ -534,6 +541,13 @@ impl TieringPolicy for PinnedPolicy {
         }
         plans
     }
+
+    fn is_pinned(&self, ino: MuxIno) -> bool {
+        // Only explicit pins count: a `default_tier` placement is a
+        // preference, not a pin, so the autotier engine may still move
+        // unpinned files.
+        self.pins.lock().contains_key(&ino)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -771,7 +785,9 @@ mod tests {
         let t = tiers();
         let p = PinnedPolicy::new(1);
         assert_eq!(p.place(&ctx(&t, 1, false)), 1);
+        assert!(!p.is_pinned(1), "default placement is not a pin");
         p.pin(1, 2);
+        assert!(p.is_pinned(1));
         assert_eq!(p.place(&ctx(&t, 1, false)), 2);
         let files = vec![FileView {
             ino: 1,

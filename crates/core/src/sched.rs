@@ -81,30 +81,65 @@ impl IoScheduler {
     /// seek-bound devices get an elevator sweep with adjacent-request
     /// merging; others get FIFO with merging.
     pub fn drain(&self, tier: TierId, profile: &DeviceProfile) -> Vec<IoRequest> {
-        let mut reqs = self.queues.lock().remove(&tier).unwrap_or_default();
-        if reqs.is_empty() {
-            return reqs;
-        }
-        if profile.seek_ns > 0 {
-            // Elevator: one ascending sweep minimizes seeks.
-            reqs.sort_by_key(|r| (r.write, r.off));
-        }
-        // Merge adjacent same-direction, same-file requests.
-        let mut merged: Vec<IoRequest> = Vec::with_capacity(reqs.len());
-        for r in reqs {
-            match merged.last_mut() {
-                Some(last)
-                    if last.write == r.write
-                        && last.ino == r.ino
-                        && last.off + last.len == r.off =>
-                {
-                    last.len += r.len;
-                }
-                _ => merged.push(r),
-            }
-        }
-        merged
+        let reqs = self.queues.lock().remove(&tier).unwrap_or_default();
+        order(reqs, profile)
     }
+
+    /// Drains only the queued requests belonging to file `ino`, leaving
+    /// every other file's requests queued. Per-file background streams
+    /// (migration copies are serialized per file by `MuxFile::migrating`)
+    /// must use this instead of [`IoScheduler::drain`]: a whole-queue
+    /// drain would steal requests a concurrent migration of a *different*
+    /// file just submitted for the same source tier, leaving that
+    /// migration to copy nothing and commit holes.
+    pub fn drain_for(&self, tier: TierId, profile: &DeviceProfile, ino: u64) -> Vec<IoRequest> {
+        let mut queues = self.queues.lock();
+        let mine = match queues.get_mut(&tier) {
+            Some(q) => {
+                let mut mine = Vec::new();
+                q.retain(|r| {
+                    if r.ino == ino {
+                        mine.push(r.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if q.is_empty() {
+                    queues.remove(&tier);
+                }
+                mine
+            }
+            None => Vec::new(),
+        };
+        drop(queues);
+        order(mine, profile)
+    }
+}
+
+/// Orders a drained batch for one device: elevator sweep on seek-bound
+/// devices, then adjacent same-direction same-file merging.
+fn order(mut reqs: Vec<IoRequest>, profile: &DeviceProfile) -> Vec<IoRequest> {
+    if reqs.is_empty() {
+        return reqs;
+    }
+    if profile.seek_ns > 0 {
+        // Elevator: one ascending sweep minimizes seeks.
+        reqs.sort_by_key(|r| (r.write, r.off));
+    }
+    // Merge adjacent same-direction, same-file requests.
+    let mut merged: Vec<IoRequest> = Vec::with_capacity(reqs.len());
+    for r in reqs {
+        match merged.last_mut() {
+            Some(last)
+                if last.write == r.write && last.ino == r.ino && last.off + last.len == r.off =>
+            {
+                last.len += r.len;
+            }
+            _ => merged.push(r),
+        }
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -198,6 +233,32 @@ mod tests {
         assert_eq!(s.retries(1), 0);
         assert_eq!(s.retries(2), 1);
         assert_eq!(s.total_retries(), 3);
+    }
+
+    #[test]
+    fn drain_for_leaves_other_files_queued() {
+        let s = IoScheduler::new();
+        s.submit(0, req(1, 0, 4096, false));
+        s.submit(0, req(2, 4096, 4096, false));
+        s.submit(0, req(1, 4096, 4096, false));
+        let out = s.drain_for(0, &nvme_ssd(), 1);
+        assert_eq!(out.len(), 1, "ino 1's adjacent requests merge");
+        assert_eq!(out[0], req(1, 0, 8192, false));
+        // Ino 2's request is untouched and still pending.
+        assert_eq!(s.pending(0), 1);
+        let rest = s.drain_for(0, &nvme_ssd(), 2);
+        assert_eq!(rest, vec![req(2, 4096, 4096, false)]);
+        assert_eq!(s.pending(0), 0);
+    }
+
+    #[test]
+    fn drain_for_elevator_orders_like_drain() {
+        let s = IoScheduler::new();
+        s.submit(0, req(7, 9000, 100, false));
+        s.submit(0, req(7, 100, 100, false));
+        let out = s.drain_for(0, &hdd(), 7);
+        let offs: Vec<u64> = out.iter().map(|r| r.off).collect();
+        assert_eq!(offs, vec![100, 9000]);
     }
 
     #[test]

@@ -38,6 +38,15 @@ pub struct MuxStats {
     /// Block reads re-dispatched because a concurrent migration commit
     /// moved the block while the read was in flight.
     pub read_revalidations: AtomicU64,
+    /// Blocks the autotier engine promoted toward a faster tier.
+    pub auto_promotions: AtomicU64,
+    /// Blocks the autotier engine demoted toward a slower tier.
+    pub auto_demotions: AtomicU64,
+    /// Migration bytes the autotier rate limiter deferred to a later tick.
+    pub throttled_bytes: AtomicU64,
+    /// Candidate moves the autotier planner dropped (pinned file, unhealthy
+    /// or over-watermark destination, or exhausted epoch budget).
+    pub planner_vetoes: AtomicU64,
 }
 
 /// Plain snapshot of [`MuxStats`].
@@ -75,6 +84,14 @@ pub struct MuxStatsSnapshot {
     pub replica_failovers: u64,
     /// Block reads re-dispatched after a racing migration commit.
     pub read_revalidations: u64,
+    /// Blocks auto-promoted toward a faster tier.
+    pub auto_promotions: u64,
+    /// Blocks auto-demoted toward a slower tier.
+    pub auto_demotions: u64,
+    /// Migration bytes deferred by the autotier rate limiter.
+    pub throttled_bytes: u64,
+    /// Candidate moves the autotier planner vetoed.
+    pub planner_vetoes: u64,
 }
 
 impl MuxStats {
@@ -102,6 +119,10 @@ impl MuxStats {
             redirected_writes: self.redirected_writes.load(Ordering::Relaxed),
             replica_failovers: self.replica_failovers.load(Ordering::Relaxed),
             read_revalidations: self.read_revalidations.load(Ordering::Relaxed),
+            auto_promotions: self.auto_promotions.load(Ordering::Relaxed),
+            auto_demotions: self.auto_demotions.load(Ordering::Relaxed),
+            throttled_bytes: self.throttled_bytes.load(Ordering::Relaxed),
+            planner_vetoes: self.planner_vetoes.load(Ordering::Relaxed),
         }
     }
 }
@@ -133,5 +154,19 @@ mod tests {
         assert_eq!(snap.io_retries, 2);
         assert_eq!(snap.redirected_writes, 1);
         assert_eq!(snap.replica_failovers, 1);
+    }
+
+    #[test]
+    fn autotier_counters_snapshot() {
+        let s = MuxStats::default();
+        MuxStats::add(&s.auto_promotions, 5);
+        MuxStats::add(&s.auto_demotions, 4);
+        MuxStats::add(&s.throttled_bytes, 1 << 20);
+        MuxStats::add(&s.planner_vetoes, 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.auto_promotions, 5);
+        assert_eq!(snap.auto_demotions, 4);
+        assert_eq!(snap.throttled_bytes, 1 << 20);
+        assert_eq!(snap.planner_vetoes, 2);
     }
 }

@@ -94,6 +94,35 @@ pub enum TraceEventKind {
         /// State after the transition.
         to: TierHealthState,
     },
+    /// An autotier epoch began: the planner is about to run.
+    EpochStart {
+        /// Monotone epoch number.
+        epoch: u64,
+    },
+    /// An autotier epoch's executor pass finished.
+    EpochEnd {
+        /// Monotone epoch number.
+        epoch: u64,
+        /// Blocks the executor moved during this tick.
+        moved: u64,
+    },
+    /// The autotier planner emitted a migration plan for the event's byte
+    /// range; the event's tier is the destination.
+    PlanEmitted {
+        /// `true` for a promotion (toward a faster class), `false` for a
+        /// demotion.
+        promote: bool,
+    },
+    /// The autotier rate limiter ran out of tokens; the event's byte range
+    /// stays queued for a later tick.
+    MigrationThrottled,
+    /// The autotier executor yielded to foreground I/O this tick (queue
+    /// depth or recent read latency above the configured thresholds).
+    MigrationSkipped {
+        /// Background requests pending on the busiest tier when the
+        /// executor yielded.
+        queue_depth: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -111,6 +140,11 @@ impl TraceEventKind {
             TraceEventKind::Retry { .. } => "retry",
             TraceEventKind::Redirect { .. } => "redirect",
             TraceEventKind::HealthTransition { .. } => "health_transition",
+            TraceEventKind::EpochStart { .. } => "epoch_start",
+            TraceEventKind::EpochEnd { .. } => "epoch_end",
+            TraceEventKind::PlanEmitted { .. } => "plan_emitted",
+            TraceEventKind::MigrationThrottled => "migration_throttled",
+            TraceEventKind::MigrationSkipped { .. } => "migration_skipped",
         }
     }
 }

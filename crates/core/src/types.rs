@@ -82,6 +82,9 @@ pub struct MuxOptions {
     /// ([`crate::trace::TraceBuffer`]); 0 disables event tracing. Latency
     /// histograms are always on (they are fixed-size and lock-free).
     pub trace_capacity: usize,
+    /// The autonomous background tiering engine ([`crate::autotier`]),
+    /// driven by [`crate::Mux::maintenance_tick`].
+    pub autotier: crate::autotier::AutotierConfig,
 }
 
 impl Default for MuxOptions {
@@ -92,6 +95,7 @@ impl Default for MuxOptions {
             snapshot_every: 0,
             health: crate::health::HealthConfig::default(),
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
+            autotier: crate::autotier::AutotierConfig::default(),
         }
     }
 }

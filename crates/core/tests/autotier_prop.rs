@@ -1,0 +1,323 @@
+//! Property tests of the autotier planner's invariants, plus end-to-end
+//! tests of [`Mux::maintenance_tick`].
+//!
+//! The planner ([`mux::autotier::plan_epoch`]) is a pure function, so its
+//! contract is tested directly over arbitrary tier occupancy, file
+//! layouts, heat scores and pin sets: no epoch may plan a pinned file,
+//! target an unhealthy or over-watermark tier, or exceed the per-epoch
+//! byte budget.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mux::autotier::{plan_epoch, AutotierConfig};
+use mux::policy::{FileView, TierStatus};
+use mux::{Mux, MuxOptions, PinnedPolicy, TierConfig, TierHealthState, TierId, BLOCK};
+use simdev::{DeviceClass, VirtualClock};
+use tvfs::memfs::MemFs;
+use tvfs::{FileSystem, FileType, ROOT_INO};
+
+// ---------------------------------------------------------------------
+// Raw generators (the vendored proptest shim has no prop_compose /
+// prop_flat_map, so tiers and files are generated as integer tuples and
+// assembled in plain code)
+// ---------------------------------------------------------------------
+
+/// (class pick, health pick, total blocks, free percent) per tier.
+type RawTier = (u8, u8, u64, u64);
+/// (extents as (block, n_blocks, tier pick), score in centi-units, pin pick).
+type RawFile = (Vec<(u64, u64, u32)>, u64, u8);
+
+fn raw_tiers() -> impl Strategy<Value = Vec<RawTier>> {
+    vec((0..4u8, 0..7u8, 64..4096u64, 0..=100u64), 2..=4)
+}
+
+fn raw_files() -> impl Strategy<Value = Vec<RawFile>> {
+    vec(
+        (
+            vec((0..512u64, 1..64u64, 0..64u32), 1..4),
+            0..3200u64,
+            0..5u8,
+        ),
+        1..=12,
+    )
+}
+
+fn build_tiers(raw: &[RawTier]) -> Vec<TierStatus> {
+    raw.iter()
+        .enumerate()
+        .map(|(id, &(class, health, total_blocks, free_pct))| {
+            let class = match class {
+                0 => DeviceClass::Pmem,
+                1 => DeviceClass::CxlSsd,
+                2 => DeviceClass::Ssd,
+                _ => DeviceClass::Hdd,
+            };
+            // Healthy-biased: the interesting plans need somewhere to go.
+            let health = match health {
+                0..=3 => TierHealthState::Healthy,
+                4 => TierHealthState::Degraded,
+                5 => TierHealthState::ReadOnly,
+                _ => TierHealthState::Offline,
+            };
+            let total = total_blocks * BLOCK;
+            TierStatus {
+                id: id as TierId,
+                name: format!("t{id}"),
+                class,
+                free_bytes: (total_blocks * free_pct / 100) * BLOCK,
+                total_bytes: total,
+                health,
+            }
+        })
+        .collect()
+}
+
+/// Returns (files, scores, pinned inos).
+fn build_files(
+    raw: &[RawFile],
+    n_tiers: usize,
+) -> (Vec<FileView>, HashMap<u64, f64>, HashSet<u64>) {
+    let mut files = Vec::new();
+    let mut scores = HashMap::new();
+    let mut pins = HashSet::new();
+    for (i, (extents, score, pin)) in raw.iter().enumerate() {
+        let ino = i as u64 + 1;
+        files.push(FileView {
+            ino,
+            extents: extents
+                .iter()
+                .map(|&(b, n, t)| (b, n, t % n_tiers as u32))
+                .collect(),
+        });
+        scores.insert(ino, *score as f64 / 100.0);
+        if *pin == 0 {
+            pins.insert(ino);
+        }
+    }
+    (files, scores, pins)
+}
+
+// ---------------------------------------------------------------------
+// Planner invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn planner_invariants_hold(
+        rt in raw_tiers(),
+        rf in raw_files(),
+        budget_blocks in 1..=64u64,
+        max_plans in 1..=32usize,
+    ) {
+        let cfg = AutotierConfig {
+            max_bytes_per_epoch: budget_blocks * BLOCK,
+            max_plans_per_epoch: max_plans,
+            ..AutotierConfig::default()
+        };
+        let tiers = build_tiers(&rt);
+        let (files, scores, pins) = build_files(&rf, tiers.len());
+
+        let out = plan_epoch(&cfg, &tiers, &files, &scores, &|ino| pins.contains(&ino));
+
+        // Plan count and byte budget are bounded.
+        prop_assert!(out.plans.len() <= cfg.max_plans_per_epoch);
+        let total_bytes: u64 = out.plans.iter().map(|(p, _)| p.n_blocks * BLOCK).sum();
+        prop_assert!(
+            total_bytes <= cfg.max_bytes_per_epoch,
+            "planned {} bytes over a {} budget",
+            total_bytes,
+            cfg.max_bytes_per_epoch
+        );
+
+        // No plan touches a pinned file, and every plan moves >= 1 block.
+        for (p, _) in &out.plans {
+            prop_assert!(!pins.contains(&p.ino), "planned pinned ino {}", p.ino);
+            prop_assert!(p.n_blocks > 0);
+        }
+
+        // Destinations are healthy and stay at/below the high watermark
+        // even after *all* planned bytes land.
+        let mut incoming: HashMap<TierId, u64> = HashMap::new();
+        for (p, _) in &out.plans {
+            *incoming.entry(p.to).or_insert(0) += p.n_blocks * BLOCK;
+        }
+        for (&tid, &bytes) in &incoming {
+            let t = tiers.iter().find(|t| t.id == tid);
+            prop_assert!(t.is_some(), "plan targets unknown tier {}", tid);
+            let t = t.unwrap();
+            prop_assert_eq!(
+                t.health,
+                TierHealthState::Healthy,
+                "plan targets {:?} tier {}",
+                t.health,
+                tid
+            );
+            let free_after = t.free_bytes.saturating_sub(bytes);
+            let util_after = if t.total_bytes == 0 {
+                1.0
+            } else {
+                1.0 - free_after as f64 / t.total_bytes as f64
+            };
+            prop_assert!(
+                util_after <= cfg.high_watermark + 1e-9,
+                "tier {} would reach {} utilization (> {})",
+                tid,
+                util_after,
+                cfg.high_watermark
+            );
+        }
+    }
+
+    #[test]
+    fn planner_is_deterministic(rt in raw_tiers(), rf in raw_files()) {
+        let cfg = AutotierConfig::default();
+        let tiers = build_tiers(&rt);
+        let (files, scores, _) = build_files(&rf, tiers.len());
+        let a = plan_epoch(&cfg, &tiers, &files, &scores, &|_| false);
+        let b = plan_epoch(&cfg, &tiers, &files, &scores, &|_| false);
+        prop_assert_eq!(a.plans, b.plans);
+        prop_assert_eq!(a.vetoes, b.vetoes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: maintenance_tick moves a hot file up
+// ---------------------------------------------------------------------
+
+fn build_stack() -> (VirtualClock, Arc<Mux>) {
+    let clock = VirtualClock::new();
+    // Place new files on the slow tier; the pins map stays empty so the
+    // autotier is free to move them.
+    let mux = Arc::new(Mux::new(
+        clock.clone(),
+        Arc::new(PinnedPolicy::new(2)),
+        MuxOptions::default(),
+    ));
+    for (name, class) in [
+        ("pm", DeviceClass::Pmem),
+        ("ssd", DeviceClass::Ssd),
+        ("hdd", DeviceClass::Hdd),
+    ] {
+        mux.add_tier(
+            TierConfig {
+                name: name.into(),
+                class,
+            },
+            Arc::new(MemFs::new(name, 1 << 30)),
+        );
+    }
+    (clock, mux)
+}
+
+fn tier_class_of(mux: &Mux, tier: TierId) -> DeviceClass {
+    mux.tier_status()
+        .into_iter()
+        .find(|t| t.id == tier)
+        .unwrap()
+        .class
+}
+
+#[test]
+fn maintenance_tick_promotes_the_hot_file() {
+    let (clock, mux) = build_stack();
+    let hot = mux
+        .create(ROOT_INO, "hot", FileType::Regular, 0o644)
+        .unwrap()
+        .ino;
+    let cold = mux
+        .create(ROOT_INO, "cold", FileType::Regular, 0o644)
+        .unwrap()
+        .ino;
+    let payload = vec![7u8; 16 * BLOCK as usize];
+    mux.write(hot, 0, &payload).unwrap();
+    mux.write(cold, 0, &payload).unwrap();
+    assert!(mux
+        .file_placement(hot)
+        .unwrap()
+        .iter()
+        .all(|&(_, _, t)| t == 2));
+
+    // Heat the hot file well past the promotion threshold; the cold file
+    // stays untouched (it is already on the slowest tier, so no demotion
+    // is planned for it either).
+    let mut buf = vec![0u8; BLOCK as usize];
+    for _ in 0..32 {
+        mux.read(hot, 0, &mut buf).unwrap();
+    }
+
+    let mut promoted_blocks = 0;
+    for _ in 0..16 {
+        clock.advance(AutotierConfig::default().epoch_ns);
+        let r = mux.maintenance_tick();
+        promoted_blocks += r.blocks_moved;
+        let done = mux
+            .file_placement(hot)
+            .unwrap()
+            .iter()
+            .all(|&(_, _, t)| tier_class_of(&mux, t) != DeviceClass::Hdd);
+        if done {
+            break;
+        }
+    }
+    assert!(promoted_blocks > 0, "autotier never moved anything");
+    assert!(
+        mux.file_placement(hot)
+            .unwrap()
+            .iter()
+            .all(|&(_, _, t)| tier_class_of(&mux, t) != DeviceClass::Hdd),
+        "hot file still on HDD: {:?}",
+        mux.file_placement(hot).unwrap()
+    );
+    // The untouched file stays where it was placed.
+    assert!(mux
+        .file_placement(cold)
+        .unwrap()
+        .iter()
+        .all(|&(_, _, t)| t == 2));
+    let stats = mux.stats().snapshot();
+    assert!(stats.auto_promotions > 0);
+}
+
+#[test]
+fn disabled_engine_never_moves_data() {
+    let clock = VirtualClock::new();
+    let mut opts = MuxOptions::default();
+    opts.autotier.enabled = false;
+    let mux = Arc::new(Mux::new(
+        clock.clone(),
+        Arc::new(PinnedPolicy::new(1)),
+        opts,
+    ));
+    for (name, class) in [("pm", DeviceClass::Pmem), ("hdd", DeviceClass::Hdd)] {
+        mux.add_tier(
+            TierConfig {
+                name: name.into(),
+                class,
+            },
+            Arc::new(MemFs::new(name, 1 << 30)),
+        );
+    }
+    let ino = mux
+        .create(ROOT_INO, "f", FileType::Regular, 0o644)
+        .unwrap()
+        .ino;
+    mux.write(ino, 0, &vec![1u8; 8 * BLOCK as usize]).unwrap();
+    let mut buf = vec![0u8; BLOCK as usize];
+    for _ in 0..64 {
+        mux.read(ino, 0, &mut buf).unwrap();
+    }
+    clock.advance(1_000_000_000);
+    let r = mux.maintenance_tick();
+    assert_eq!(r, mux::EpochReport::default());
+    assert!(mux
+        .file_placement(ino)
+        .unwrap()
+        .iter()
+        .all(|&(_, _, t)| t == 1));
+}

@@ -4,6 +4,7 @@
 Usage:
   check_bench.py <current scaling.json> <baseline.json>
   check_bench.py --crash <current crash_matrix.json> <baseline crash_matrix.json>
+  check_bench.py --autotier <current autotier.json> <baseline autotier.json>
 
 Scaling mode fails (exit 1) if:
   * single-thread throughput for any (config, mix) present in the
@@ -19,6 +20,16 @@ Crash mode fails (exit 1) if:
     zero violations and zero panics), or
   * coverage shrank below MIN_CRASH_POINTS enumerated points.
 
+Autotier mode fails (exit 1) if:
+  * the hot set did not converge onto the fast tiers
+    (>= AUTOTIER_MIN_CONVERGENCE of hot-set blocks off HDD), or
+  * steady-state read p50 with the daemon on is not better than the
+    daemon-off run of the same workload, or
+  * foreground throughput with the daemon on fell below
+    AUTOTIER_MIN_FG_RATIO of the daemon-off run, or
+  * convergence or the foreground ratio regressed by more than
+    REGRESSION_TOLERANCE against the committed baseline.
+
 All numbers are virtual-time (deterministic), so the gates are safe on
 shared CI runners: a failure means the code got worse, not the machine.
 """
@@ -29,6 +40,8 @@ import sys
 REGRESSION_TOLERANCE = 0.15  # fail if >15% below baseline
 MIN_SPEEDUP_8T = 3.0  # acceptance floor for read-heavy @ 8 threads
 MIN_CRASH_POINTS = 500  # acceptance floor for crash-matrix coverage
+AUTOTIER_MIN_CONVERGENCE = 0.9  # hot-set blocks that must leave the HDD
+AUTOTIER_MIN_FG_RATIO = 0.8  # daemon-on / daemon-off foreground floor
 
 
 def crash_gate(current_path, baseline_path):
@@ -86,6 +99,64 @@ def crash_gate(current_path, baseline_path):
     return 0
 
 
+def autotier_gate(current_path, baseline_path):
+    with open(current_path) as f:
+        cur = json.load(f)
+    with open(baseline_path) as f:
+        base = json.load(f)
+
+    failures = []
+    on, off = cur["daemon_on"], cur["daemon_off"]
+
+    if on["convergence"] < AUTOTIER_MIN_CONVERGENCE:
+        failures.append(
+            f"hot set did not converge: {on['convergence']:.2%} "
+            f"< {AUTOTIER_MIN_CONVERGENCE:.0%} of blocks off HDD"
+        )
+    else:
+        print(f"ok convergence: {on['convergence']:.2%} of hot blocks off HDD")
+
+    if on["read_p50_ns"] >= off["read_p50_ns"]:
+        failures.append(
+            f"daemon-on read p50 ({on['read_p50_ns']} ns) not better "
+            f"than daemon-off ({off['read_p50_ns']} ns)"
+        )
+    else:
+        print(
+            f"ok read p50: {on['read_p50_ns']} ns on vs "
+            f"{off['read_p50_ns']} ns off"
+        )
+
+    if cur["fg_ratio"] < AUTOTIER_MIN_FG_RATIO:
+        failures.append(
+            f"foreground throughput ratio {cur['fg_ratio']:.2f} "
+            f"< {AUTOTIER_MIN_FG_RATIO}"
+        )
+    else:
+        print(f"ok foreground ratio on/off: {cur['fg_ratio']:.2f}")
+
+    # Regressions against the committed baseline.
+    base_conv = base["daemon_on"]["convergence"]
+    if on["convergence"] < base_conv * (1.0 - REGRESSION_TOLERANCE):
+        failures.append(
+            f"convergence regressed: {on['convergence']:.2%} vs "
+            f"baseline {base_conv:.2%}"
+        )
+    if cur["fg_ratio"] < base["fg_ratio"] * (1.0 - REGRESSION_TOLERANCE):
+        failures.append(
+            f"foreground ratio regressed: {cur['fg_ratio']:.2f} vs "
+            f"baseline {base['fg_ratio']:.2f}"
+        )
+
+    if failures:
+        print("\nAUTOTIER GATE FAILED:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("autotier gate passed")
+    return 0
+
+
 def key(cell):
     return (cell["config"], cell["mix"], cell["threads"])
 
@@ -93,6 +164,8 @@ def key(cell):
 def main():
     if len(sys.argv) == 4 and sys.argv[1] == "--crash":
         return crash_gate(sys.argv[2], sys.argv[3])
+    if len(sys.argv) == 4 and sys.argv[1] == "--autotier":
+        return autotier_gate(sys.argv[2], sys.argv[3])
     if len(sys.argv) != 3:
         print(__doc__)
         return 2
