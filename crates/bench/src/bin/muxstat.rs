@@ -12,12 +12,12 @@
 //! attribution, and the tail of the trace ring.
 //!
 //! With `--from FILE`, re-renders a `bench_results/latency_breakdown.json`
-//! previously written by `repro --experiment latency` instead of running
-//! anything. See OBSERVABILITY.md for how to read the output.
+//! or `bench_results/integrity.json` previously written by `repro` instead
+//! of running anything. See OBSERVABILITY.md for how to read the output.
 
 use std::sync::Arc;
 
-use bench::experiments::{self as ex, LatencyBreakdown};
+use bench::experiments::{self as ex, IntegrityResult, LatencyBreakdown};
 use bench::report;
 use bench::testbed::{build_mux_stack_cached, Capacities};
 use mux::{CacheConfig, CacheController, MuxOptions, PinnedPolicy, BLOCK};
@@ -51,7 +51,8 @@ fn main() {
                 println!(
                     "usage: muxstat [--events N] [--from FILE]\n\
                      \x20 --events N   trace-tail length for the demo run (default 48)\n\
-                     \x20 --from FILE  re-render a latency_breakdown.json instead of running"
+                     \x20 --from FILE  re-render a latency_breakdown.json or\n\
+                     \x20              integrity.json instead of running"
                 );
                 return;
             }
@@ -67,12 +68,18 @@ fn main() {
             eprintln!("cannot read {path}: {e}");
             std::process::exit(1);
         });
-        let parsed: LatencyBreakdown = serde_json::from_str(&text).unwrap_or_else(|e| {
-            eprintln!("cannot parse {path}: {e:?}");
+        // The file is whichever result shape parses: a latency breakdown
+        // or an integrity run.
+        if let Ok(parsed) = serde_json::from_str::<LatencyBreakdown>(&text) {
+            println!("== muxstat — re-rendering {path} ==\n");
+            println!("{}", report::render_latency(&parsed));
+        } else if let Ok(parsed) = serde_json::from_str::<IntegrityResult>(&text) {
+            println!("== muxstat — re-rendering {path} ==\n");
+            println!("{}", report::render_integrity(&parsed));
+        } else {
+            eprintln!("cannot parse {path} as latency_breakdown.json or integrity.json");
             std::process::exit(1);
-        });
-        println!("== muxstat — re-rendering {path} ==\n");
-        println!("{}", report::render_latency(&parsed));
+        }
         return;
     }
     demo(tail);
@@ -126,6 +133,20 @@ fn demo(tail: usize) {
     let aborted = stack.mux.migrate_range(f.ino, 128, 64, 2);
     stack.devices[2].set_fault_mode(FaultMode::None);
     stack.mux.health().reset(2);
+    // Silent corruption: replicate a few of the PM-resident blocks onto
+    // the SSD, then rot the PM device (novafs has no page cache, so every
+    // read actually touches the rotting media). Reads over the replicated
+    // blocks detect + repair; one unreplicated read ends in quarantine.
+    // A full scrub pass closes the segment.
+    stack.mux.replicate_range(f.ino, 32, 8, 1).unwrap();
+    stack.devices[0].set_fault_mode(FaultMode::BitRot { period: 1, seed: 7 });
+    for b in 32..36u64 {
+        stack.mux.read(f.ino, b * BLOCK, &mut buf).unwrap();
+    }
+    let _ = stack.mux.read(f.ino, 44 * BLOCK, &mut buf); // no replica: quarantined
+    stack.devices[0].set_fault_mode(FaultMode::None);
+    stack.mux.scrub_everything();
+    stack.mux.health().reset(0);
 
     println!("== muxstat — Mux observability snapshot (built-in demo workload) ==\n");
     println!("Tier health");
@@ -157,6 +178,15 @@ fn demo(tail: usize) {
     println!(
         "  io_errors {}  io_retries {}  redirected_writes {}  replica_failovers {}",
         s.io_errors, s.io_retries, s.redirected_writes, s.replica_failovers
+    );
+    println!("\nIntegrity");
+    println!(
+        "  corruptions_detected {}  corruptions_repaired {}  blocks_quarantined {}",
+        s.corruptions_detected, s.corruptions_repaired, s.blocks_quarantined
+    );
+    println!(
+        "  checksums_dropped {}  scrub_passes {}  scrub_blocks_verified {}",
+        s.checksums_dropped, s.scrub_passes, s.scrub_blocks_verified
     );
     let (migrations, conflicts, retries, fallbacks, blocks_moved) =
         stack.mux.occ_stats().snapshot();
@@ -194,4 +224,26 @@ fn demo(tail: usize) {
         events.len() - from
     );
     print!("{}", report::trace_lines(&events[from..]));
+    // The corruption/scrub story, pulled out of the general tail so it
+    // survives being drowned in cache and dispatch traffic.
+    let integrity: Vec<mux::TraceEvent> = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                mux::TraceEventKind::CorruptionDetected { .. }
+                    | mux::TraceEventKind::CorruptionRepaired { .. }
+                    | mux::TraceEventKind::BlockQuarantined
+                    | mux::TraceEventKind::ScrubPass { .. }
+            )
+        })
+        .cloned()
+        .collect();
+    let ifrom = integrity.len().saturating_sub(tail);
+    println!(
+        "\nIntegrity events ({} in the ring; last {}):",
+        integrity.len(),
+        integrity.len() - ifrom
+    );
+    print!("{}", report::trace_lines(&integrity[ifrom..]));
 }

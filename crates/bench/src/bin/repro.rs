@@ -28,6 +28,11 @@ struct Scale {
     autotier_file_blocks: u64,
     autotier_epochs: usize,
     autotier_ops: usize,
+    integrity_storm_blocks: u64,
+    integrity_files: u64,
+    integrity_file_blocks: u64,
+    integrity_epochs: usize,
+    integrity_ops: usize,
 }
 
 const FULL: Scale = Scale {
@@ -45,6 +50,13 @@ const FULL: Scale = Scale {
     autotier_file_blocks: 32,
     autotier_epochs: 12,
     autotier_ops: 4_000,
+    integrity_storm_blocks: 256,
+    // Sized so the paced scrubber (32 blocks/tick) completes at least one
+    // full pass over files * file_blocks blocks within the epoch budget.
+    integrity_files: 32,
+    integrity_file_blocks: 16,
+    integrity_epochs: 20,
+    integrity_ops: 2_000,
 };
 
 const QUICK: Scale = Scale {
@@ -62,6 +74,11 @@ const QUICK: Scale = Scale {
     autotier_file_blocks: 16,
     autotier_epochs: 8,
     autotier_ops: 1_000,
+    integrity_storm_blocks: 64,
+    integrity_files: 12,
+    integrity_file_blocks: 8,
+    integrity_epochs: 6,
+    integrity_ops: 500,
 };
 
 fn main() {
@@ -82,7 +99,7 @@ fn main() {
                      experiments: fig3a fig3b read-overhead write-overhead\n\
                      \x20            meta-overhead ablation-occ ablation-cache\n\
                      \x20            ablation-policy degraded-mode latency scaling crash\n\
-                     \x20            autotier all"
+                     \x20            autotier integrity all"
                 );
                 return;
             }
@@ -159,6 +176,17 @@ fn main() {
         );
         println!("{}", report::render_autotier(&r));
         let _ = report::write_json("autotier", &r);
+    }
+    if all || experiment == "integrity" {
+        let r = ex::integrity(
+            scale.integrity_storm_blocks,
+            scale.integrity_files,
+            scale.integrity_file_blocks,
+            scale.integrity_epochs,
+            scale.integrity_ops,
+        );
+        println!("{}", report::render_integrity(&r));
+        let _ = report::write_json("integrity", &r);
     }
     if all || experiment == "crash" {
         // --quick skips the torn-write pass (half the points).

@@ -1388,3 +1388,223 @@ pub fn autotier(files: u64, file_blocks: u64, epochs: usize, ops: usize) -> Auto
         daemon_off: off,
     }
 }
+
+// ---------------------------------------------------------------------
+// Integrity — silent-corruption storm and scrubber overhead
+// ---------------------------------------------------------------------
+
+/// One bit-rot storm: every primary device read rots a bit, and the mux
+/// must detect every rotten block and either repair it (replica present)
+/// or refuse to serve it (no replica) — never return corrupt bytes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntegrityStorm {
+    /// Blocks in the victim file (all on the rotting tier).
+    pub blocks: u64,
+    /// Foreground reads issued during the storm (one per block).
+    pub reads: u64,
+    /// Corruption events the fault layer actually injected at the device.
+    pub rotted_reads: u64,
+    /// Checksum mismatches the mux detected.
+    pub detected: u64,
+    /// Blocks repaired (replica rewrite over the rotten primary).
+    pub repaired: u64,
+    /// Blocks quarantined (no healthy copy existed).
+    pub quarantined: u64,
+    /// Bytes that reached the caller differing from what was written.
+    /// The whole experiment exists to keep this at zero.
+    pub corrupt_bytes_served: u64,
+    /// detected / blocks — 1.0 means no rotten block slipped through.
+    pub detection_rate: f64,
+    /// repaired / detected — 1.0 when every detection had a healthy copy.
+    pub repair_rate: f64,
+}
+
+/// Result of the end-to-end integrity experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntegrityResult {
+    /// Storm with a replica on the stable tier: detect + repair, callers
+    /// never see an error.
+    pub replicated: IntegrityStorm,
+    /// Storm without a replica: detect + quarantine, callers get
+    /// `Corrupt` instead of rotten bytes.
+    pub unreplicated: IntegrityStorm,
+    /// Foreground read p50 with the background scrubber disabled, ns.
+    pub scrub_off_p50_ns: u64,
+    /// Foreground read p95 with the background scrubber disabled, ns.
+    pub scrub_off_p95_ns: u64,
+    /// Foreground read p50 with the scrubber patrolling every tick, ns.
+    pub scrub_on_p50_ns: u64,
+    /// Foreground read p95 with the scrubber patrolling every tick, ns.
+    pub scrub_on_p95_ns: u64,
+    /// scrub-on p95 / scrub-off p95 — the scrubber's foreground tax.
+    pub scrub_p95_ratio: f64,
+    /// Full passes the paced scrubber completed during the overhead run.
+    pub scrub_passes: u64,
+    /// Blocks the scrubber verified during the overhead run.
+    pub scrub_blocks_verified: u64,
+}
+
+fn integrity_storm(replicated: bool, blocks: u64, seed: u64) -> IntegrityStorm {
+    let mut opts = MuxOptions::default();
+    // This half of the experiment measures detection/repair accounting,
+    // not fencing (the chaos suite covers the breaker): push the health
+    // thresholds out of reach so the tier stays writable mid-storm and
+    // the denominators stay exact.
+    opts.autotier.enabled = false;
+    opts.health.degraded_after = 1_000_000;
+    opts.health.read_only_after = 1_000_000;
+    opts.health.offline_after = 1_000_000;
+    opts.health.window_error_rate = 2.0;
+    let stack = crate::testbed::build_mux_stack_cached(
+        Capacities {
+            pm: 64 << 20,
+            ssd: 512 << 20,
+            hdd: 4 << 30,
+        },
+        Arc::new(PinnedPolicy::new(0)), // victim data lands on the PM tier
+        opts,
+        256 << 10,
+    );
+    let ino = mk(stack.mux.as_ref(), "victim");
+    stack
+        .mux
+        .write(ino, 0, &pattern_at(0, (blocks * BLOCK) as usize))
+        .unwrap();
+    stack.mux.fsync(ino).unwrap();
+    if replicated {
+        assert_eq!(
+            stack.mux.replicate_range(ino, 0, blocks, 1).unwrap(),
+            blocks
+        );
+    }
+    // The storm: every device read of the primary copy flips a stored
+    // bit. Period 1 means each of the `blocks` foreground reads below is
+    // guaranteed to hit rot, so detection_rate has an exact denominator.
+    stack.devices[0].set_fault_mode(simdev::FaultMode::BitRot { period: 1, seed });
+    let mut buf = vec![0u8; BLOCK as usize];
+    let mut corrupt_bytes_served = 0u64;
+    let mut reads = 0u64;
+    for b in 0..blocks {
+        reads += 1;
+        if stack.mux.read(ino, b * BLOCK, &mut buf).is_ok() {
+            let want = pattern_at(b * BLOCK, BLOCK as usize);
+            corrupt_bytes_served +=
+                buf.iter().zip(want.iter()).filter(|(a, b)| a != b).count() as u64;
+        }
+    }
+    stack.devices[0].set_fault_mode(simdev::FaultMode::None);
+    let s = stack.mux.stats().snapshot();
+    let rotted_reads = stack.devices[0].stats().snapshot().corruptions;
+    IntegrityStorm {
+        blocks,
+        reads,
+        rotted_reads,
+        detected: s.corruptions_detected,
+        repaired: s.corruptions_repaired,
+        quarantined: s.blocks_quarantined,
+        corrupt_bytes_served,
+        detection_rate: s.corruptions_detected as f64 / blocks as f64,
+        repair_rate: if s.corruptions_detected == 0 {
+            0.0
+        } else {
+            s.corruptions_repaired as f64 / s.corruptions_detected as f64
+        },
+    }
+}
+
+fn scrub_overhead_run(
+    scrub_on: bool,
+    files: u64,
+    file_blocks: u64,
+    epochs: usize,
+    ops: usize,
+) -> (u64, u64, u64, u64) {
+    let mut opts = MuxOptions::default();
+    // Isolate the scrubber: no tiering engine, placement is static.
+    opts.autotier.enabled = false;
+    opts.integrity.scrub_enabled = scrub_on;
+    let stack = crate::testbed::build_mux_stack_cached(
+        Capacities {
+            pm: 64 << 20,
+            ssd: 512 << 20,
+            hdd: 4 << 30,
+        },
+        Arc::new(PinnedPolicy::new(1)),
+        opts,
+        256 << 10,
+    );
+    let mut inos = Vec::new();
+    for i in 0..files {
+        let ino = mk(stack.mux.as_ref(), &format!("f{i}"));
+        stack
+            .mux
+            .write(ino, 0, &pattern_at(0, (file_blocks * BLOCK) as usize))
+            .unwrap();
+        stack.mux.fsync(ino).unwrap();
+        inos.push(ino);
+    }
+    let epoch_ns = mux::AutotierConfig::default().epoch_ns;
+    let mut gen = Zipfian::new(files, 0.99, 11);
+    let mut buf = vec![0u8; BLOCK as usize];
+    let mut step = 0u64;
+    let mut lat: Vec<u64> = Vec::with_capacity(epochs * ops);
+    for _ in 0..epochs {
+        for _ in 0..ops {
+            step += 1;
+            let f = gen.next_item();
+            let b = (f * 7 + step * 13) % file_blocks;
+            let t0 = stack.clock.now_ns();
+            stack
+                .mux
+                .read(inos[f as usize], b * BLOCK, &mut buf)
+                .unwrap();
+            lat.push(stack.clock.now_ns() - t0);
+        }
+        // The scrubber patrols here, between workload batches, paced by
+        // its token bucket.
+        stack.clock.advance(epoch_ns);
+        stack.mux.maintenance_tick();
+    }
+    lat.sort_unstable();
+    let pct = |p: f64| lat[(((lat.len() - 1) as f64) * p) as usize];
+    let s = stack.mux.stats().snapshot();
+    (
+        pct(0.50),
+        pct(0.95),
+        s.scrub_passes,
+        s.scrub_blocks_verified,
+    )
+}
+
+/// The end-to-end integrity experiment. Two bit-rot storms (with and
+/// without a replica) establish that every rotten block is detected and
+/// either repaired or quarantined — zero corrupt bytes served — and a
+/// scrub on/off A-B run bounds the scrubber's foreground read tax.
+pub fn integrity(
+    storm_blocks: u64,
+    files: u64,
+    file_blocks: u64,
+    epochs: usize,
+    ops: usize,
+) -> IntegrityResult {
+    let replicated = integrity_storm(true, storm_blocks, 41);
+    let unreplicated = integrity_storm(false, storm_blocks, 43);
+    let (off_p50, off_p95, _, _) = scrub_overhead_run(false, files, file_blocks, epochs, ops);
+    let (on_p50, on_p95, passes, verified) =
+        scrub_overhead_run(true, files, file_blocks, epochs, ops);
+    IntegrityResult {
+        replicated,
+        unreplicated,
+        scrub_off_p50_ns: off_p50,
+        scrub_off_p95_ns: off_p95,
+        scrub_on_p50_ns: on_p50,
+        scrub_on_p95_ns: on_p95,
+        scrub_p95_ratio: if off_p95 == 0 {
+            1.0
+        } else {
+            on_p95 as f64 / off_p95 as f64
+        },
+        scrub_passes: passes,
+        scrub_blocks_verified: verified,
+    }
+}

@@ -377,6 +377,60 @@ pub fn render_autotier(r: &AutotierResult) -> String {
     s
 }
 
+/// Renders the integrity experiment: two bit-rot storms plus the scrub
+/// on/off overhead pair.
+pub fn render_integrity(r: &IntegrityResult) -> String {
+    let mut s = format!(
+        "Integrity — bit-rot storm over {} blocks (every primary read rots)\n",
+        r.replicated.blocks
+    );
+    let row = |name: &str, st: &crate::experiments::IntegrityStorm| {
+        vec![
+            name.to_string(),
+            st.reads.to_string(),
+            st.rotted_reads.to_string(),
+            st.detected.to_string(),
+            st.repaired.to_string(),
+            st.quarantined.to_string(),
+            st.corrupt_bytes_served.to_string(),
+            format!("{:.0}%", st.detection_rate * 100.0),
+            format!("{:.0}%", st.repair_rate * 100.0),
+        ]
+    };
+    s += &table(
+        &[
+            "storm",
+            "reads",
+            "rotted",
+            "detected",
+            "repaired",
+            "quarantined",
+            "corrupt B served",
+            "detect",
+            "repair",
+        ],
+        &[
+            row("replicated", &r.replicated),
+            row("unreplicated", &r.unreplicated),
+        ],
+    );
+    let _ = writeln!(
+        s,
+        "  scrubber tax: fg read p50 {} -> {} ns, p95 {} -> {} ns (ratio {:.3}, budget 1.25)",
+        r.scrub_off_p50_ns,
+        r.scrub_on_p50_ns,
+        r.scrub_off_p95_ns,
+        r.scrub_on_p95_ns,
+        r.scrub_p95_ratio
+    );
+    let _ = writeln!(
+        s,
+        "  scrub passes: {} ({} blocks verified in the background)",
+        r.scrub_passes, r.scrub_blocks_verified
+    );
+    s
+}
+
 /// Writes any serializable result as JSON next to the binary.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
     std::fs::create_dir_all("bench_results")?;

@@ -538,6 +538,9 @@ pub struct EpochReport {
     pub yielded: bool,
     /// Plans still queued after this tick.
     pub queued: usize,
+    /// Blocks the background scrubber verified this tick (see
+    /// [`crate::integrity`]).
+    pub scrubbed: u64,
 }
 
 /// Mutable engine state behind one lock; [`crate::Mux`] owns exactly one.

@@ -712,9 +712,43 @@ fn autotier_epoch_run(cx: &Ctx<'_>, o: &mut Oracle) -> VfsResult<()> {
     Ok(())
 }
 
+fn checksummed_setup(cx: &Ctx<'_>, o: &mut Oracle) -> VfsResult<()> {
+    // Four synced blocks whose checksums land in the metafile snapshot;
+    // recovery reloads them as *untrusted*, and every post-crash read in
+    // `Oracle::verify` runs them through the verification path.
+    setup_one_file(cx, o, "ck", 12, 4)?;
+    cx.mux.sync()?;
+    o.sync_all();
+    Ok(())
+}
+
+fn checksummed_run(cx: &Ctx<'_>, o: &mut Oracle) -> VfsResult<()> {
+    let a = cx.mux.lookup(ROOT_INO, "ck")?;
+    // Aligned overwrite: the checksum is recomputed from the write buffer.
+    let d = pat_buf(21, 0, BK);
+    o.write("ck", 0, &d);
+    cx.mux.write(a.ino, 0, &d)?;
+    cx.mux.fsync(a.ino)?;
+    o.fsync("ck");
+    // Unaligned overwrite straddling a block boundary: both boundary
+    // blocks drop their checksums and are re-read back from the device.
+    let d2 = pat_buf(22, BK + 512, BK);
+    o.write("ck", BK + 512, &d2);
+    cx.mux.write(a.ino, (BK + 512) as u64, &d2)?;
+    cx.mux.fsync(a.ino)?;
+    o.fsync("ck");
+    // A full scrub pass re-verifies (and re-trusts) every block, so the
+    // following snapshot persists a complete checksum set.
+    cx.mux.scrub_everything();
+    cx.mux.sync()?;
+    o.sync_all();
+    Ok(())
+}
+
 /// The standard workload set: create/write/fsync, rename, unlink,
 /// migration begin→commit, migration abort, repeated snapshot rewrites,
-/// and an autotier epoch (planned batch of background migrations).
+/// an autotier epoch (planned batch of background migrations), and a
+/// checksummed write/scrub/snapshot cycle.
 pub fn standard_scenarios() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -751,6 +785,11 @@ pub fn standard_scenarios() -> Vec<Scenario> {
             name: "autotier_epoch",
             setup: autotier_epoch_setup,
             run: autotier_epoch_run,
+        },
+        Scenario {
+            name: "checksummed_io",
+            setup: checksummed_setup,
+            run: checksummed_run,
         },
     ]
 }

@@ -56,6 +56,9 @@ pub struct FileState {
     /// across devices"). Replicas are read-only failover copies; writes
     /// invalidate them.
     pub replicas: tvfs::RangeMap<TierId>,
+    /// Per-block CRC-32C checksums + quarantine (see [`crate::integrity`]).
+    /// Keyed by file block, not tier, so migration carries them for free.
+    pub checksums: crate::integrity::ChecksumTable,
 }
 
 impl MuxFile {
@@ -68,6 +71,7 @@ impl MuxFile {
                 meta,
                 native: HashMap::new(),
                 replicas: tvfs::RangeMap::new(),
+                checksums: crate::integrity::ChecksumTable::new(),
             }),
             version: AtomicU64::new(0),
             migrating: AtomicBool::new(false),

@@ -116,6 +116,10 @@ pub struct HealthSnapshot {
     pub consecutive_errors: u32,
     /// Total I/O errors observed (including retried ones).
     pub errors: u64,
+    /// Total silent-corruption strikes (trusted checksum mismatches) —
+    /// these drive the breaker exactly like I/O errors: a device that lies
+    /// is at least as sick as one that fails loudly.
+    pub corruptions: u64,
     /// Total successful dispatches.
     pub successes: u64,
     /// Total retries issued by the backoff loop.
@@ -128,11 +132,17 @@ pub struct HealthSnapshot {
 struct TierHealth {
     state: TierHealthState,
     consecutive_errors: u32,
+    /// Consecutive trusted-checksum mismatches. Unlike `consecutive_errors`
+    /// this is NOT cleared by dispatch successes — an acked read says
+    /// nothing about whether the bytes were right — only by a read that
+    /// *verified clean* ([`HealthRegistry::record_verified`]).
+    consecutive_corruptions: u32,
     /// Rolling outcome window: bit i of `window` = error (1) / success (0);
     /// `window_len` ≤ `config.window_ops` (≤ 64) entries are valid.
     window: u64,
     window_len: u32,
     errors: u64,
+    corruptions: u64,
     successes: u64,
     retries: u64,
     trips: u64,
@@ -246,14 +256,30 @@ impl HealthRegistry {
     /// Records a failed dispatch and runs the breaker; returns the
     /// (possibly escalated) state.
     pub fn record_error(&self, tier: TierId) -> TierHealthState {
+        self.record_bad(tier, false)
+    }
+
+    /// Records a silent-corruption strike (a *trusted* checksum mismatch,
+    /// see [`crate::integrity`]) and runs the breaker with the same
+    /// thresholds as loud I/O errors: repeated corruption fences the tier.
+    pub fn record_corruption(&self, tier: TierId) -> TierHealthState {
+        self.record_bad(tier, true)
+    }
+
+    fn record_bad(&self, tier: TierId, corruption: bool) -> TierHealthState {
         let mut transition = None;
         let state = {
             let mut tiers = self.tiers.lock();
             let h = tiers.entry(tier).or_default();
-            h.errors += 1;
+            if corruption {
+                h.corruptions += 1;
+                h.consecutive_corruptions += 1;
+            } else {
+                h.errors += 1;
+            }
             h.consecutive_errors += 1;
             h.push_window(true, self.config.window_ops);
-            let c = h.consecutive_errors;
+            let c = h.consecutive_errors.max(h.consecutive_corruptions);
             let cfg = &self.config;
             let mut next = h.state;
             if c >= cfg.offline_after {
@@ -284,6 +310,18 @@ impl HealthRegistry {
         self.tiers.lock().entry(tier).or_default().retries += 1;
     }
 
+    /// Records a read whose content verified clean against a *trusted*
+    /// checksum: clears the corruption streak. Dispatch successes
+    /// deliberately do not — interleaving acked-but-unverified reads must
+    /// not launder a device that keeps serving rotten bytes.
+    pub fn record_verified(&self, tier: TierId) {
+        self.tiers
+            .lock()
+            .entry(tier)
+            .or_default()
+            .consecutive_corruptions = 0;
+    }
+
     /// Operator action: re-admits a tier (clears the breaker and streak;
     /// cumulative counters are kept).
     pub fn reset(&self, tier: TierId) {
@@ -296,6 +334,7 @@ impl HealthRegistry {
             }
             h.state = TierHealthState::Healthy;
             h.consecutive_errors = 0;
+            h.consecutive_corruptions = 0;
             h.window = 0;
             h.window_len = 0;
         }
@@ -332,6 +371,7 @@ impl HealthRegistry {
             state: h.map(|t| t.state).unwrap_or_default(),
             consecutive_errors: h.map(|t| t.consecutive_errors).unwrap_or(0),
             errors: h.map(|t| t.errors).unwrap_or(0),
+            corruptions: h.map(|t| t.corruptions).unwrap_or(0),
             successes: h.map(|t| t.successes).unwrap_or(0),
             retries: h.map(|t| t.retries).unwrap_or(0),
             trips: h.map(|t| t.trips).unwrap_or(0),
@@ -453,6 +493,46 @@ mod tests {
         assert_eq!(cfg.backoff_ns(3), 4000);
         assert_eq!(cfg.backoff_ns(4), 6000, "capped");
         assert_eq!(cfg.backoff_ns(60), 6000, "shift-safe far past the cap");
+    }
+
+    #[test]
+    fn corruption_strikes_escalate_like_io_errors() {
+        let r = reg();
+        assert_eq!(r.record_corruption(0), TierHealthState::Degraded);
+        r.record_corruption(0);
+        assert_eq!(r.record_corruption(0), TierHealthState::ReadOnly);
+        r.record_corruption(0);
+        assert_eq!(r.record_corruption(0), TierHealthState::Offline);
+        let s = r.snapshot(0);
+        assert_eq!(s.corruptions, 5);
+        assert_eq!(s.errors, 0, "corruptions are counted separately");
+        // Mixed strikes share one streak: errors and corruption compound.
+        let r = reg();
+        r.record_error(1);
+        r.record_corruption(1);
+        assert_eq!(r.record_error(1), TierHealthState::ReadOnly);
+    }
+
+    #[test]
+    fn dispatch_successes_do_not_launder_a_corruption_streak() {
+        let r = reg();
+        // Corrupt reads are acked by the device, so each one records a
+        // dispatch success first — the corruption streak must survive that.
+        r.record_corruption(0);
+        r.record_success(0);
+        r.record_corruption(0);
+        r.record_success(0);
+        assert_eq!(r.record_corruption(0), TierHealthState::ReadOnly);
+        // Only a verified-clean read clears the streak.
+        let r = reg();
+        r.record_corruption(0);
+        r.record_success(0);
+        r.record_corruption(0);
+        r.record_success(0);
+        r.record_verified(0);
+        r.record_success(0);
+        assert_eq!(r.record_corruption(0), TierHealthState::Degraded);
+        assert_eq!(r.snapshot(0).corruptions, 3);
     }
 
     #[test]

@@ -69,11 +69,15 @@ pub enum OpKind {
     CacheLookup,
     /// SCM cache fill (block insertion, possibly with eviction).
     CacheFill,
+    /// Background scrubber verification read. Kept out of `Read` so scrub
+    /// traffic never skews foreground latency percentiles (the autotier
+    /// yield heuristic and the integrity gate both watch foreground p95).
+    Scrub,
 }
 
 impl OpKind {
     /// All kinds, registry order.
-    pub const ALL: [OpKind; 8] = [
+    pub const ALL: [OpKind; 9] = [
         OpKind::Read,
         OpKind::Write,
         OpKind::Fsync,
@@ -82,6 +86,7 @@ impl OpKind {
         OpKind::MigrationCommit,
         OpKind::CacheLookup,
         OpKind::CacheFill,
+        OpKind::Scrub,
     ];
 
     /// Stable display label (also the JSON encoding).
@@ -95,6 +100,7 @@ impl OpKind {
             OpKind::MigrationCommit => "migration-commit",
             OpKind::CacheLookup => "cache-lookup",
             OpKind::CacheFill => "cache-fill",
+            OpKind::Scrub => "scrub",
         }
     }
 

@@ -38,6 +38,7 @@ pub mod crashtest;
 pub mod file;
 pub mod health;
 pub mod hist;
+pub mod integrity;
 pub mod meta;
 pub mod mglru;
 mod mux;
@@ -57,6 +58,7 @@ pub use cache::{CacheConfig, CacheController};
 pub use crashtest::{run_matrix, standard_scenarios, CrashMatrix, Scenario, TierDef};
 pub use health::{HealthConfig, HealthRegistry, HealthSnapshot, TierHealthState};
 pub use hist::{HistSnapshot, LatencyRegistry, LatencyReport, OpKind, CACHE_TIER};
+pub use integrity::{crc32c, ChecksumTable, IntegrityConfig, VerifyOutcome};
 pub use meta::{AttrKind, CollectiveInode};
 pub use mux::{Mux, TierHandle};
 pub use occ::{MigrationOutcome, OccStats};

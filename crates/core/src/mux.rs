@@ -206,6 +206,9 @@ pub struct Mux {
     /// The autonomous background tiering engine (see [`crate::autotier`]),
     /// driven by [`Mux::maintenance_tick`].
     pub(crate) autotier: crate::autotier::Engine,
+    /// Background scrubber cursor + pacing (see [`crate::integrity`]),
+    /// also driven by [`Mux::maintenance_tick`].
+    pub(crate) scrub: Mutex<crate::integrity::ScrubState>,
 }
 
 impl Mux {
@@ -230,6 +233,7 @@ impl Mux {
         let trace = Arc::new(TraceBuffer::new(opts.trace_capacity));
         health.attach_tracer(clock.clone(), trace.clone());
         let autotier = crate::autotier::Engine::new(&opts.autotier);
+        let scrub = Mutex::new(crate::integrity::ScrubState::new(&opts.integrity));
         Mux {
             opts,
             clock,
@@ -248,6 +252,7 @@ impl Mux {
             lat: Arc::new(LatencyRegistry::new()),
             trace,
             autotier,
+            scrub,
         }
     }
 
@@ -454,13 +459,37 @@ impl Mux {
     /// foreground read p95); (3) unless yielding, drain queued plans
     /// through the OCC migration path under the token-bucket byte-rate
     /// limit, backing off to the next tick when a migration loses an OCC
-    /// race ([`VfsError::Busy`]).
+    /// race ([`VfsError::Busy`]); (4) advance the integrity scrubber
+    /// ([`crate::integrity`]) under its own token bucket — the scrubber
+    /// shares the yield decision, so a busy foreground pauses both
+    /// background consumers. Steps (1)–(3) run only when autotier is
+    /// enabled; the scrubber runs whenever checksums are on.
     pub fn maintenance_tick(&self) -> EpochReport {
         let cfg = &self.opts.autotier;
-        if !cfg.enabled {
-            return EpochReport::default();
-        }
         let mut report = EpochReport::default();
+        let mut fg_busy = false;
+        if cfg.enabled {
+            self.autotier_tick(&mut report, &mut fg_busy);
+        } else {
+            // Still sense foreground pressure so the scrubber yields too.
+            let n_tiers = self.tiers.read().len();
+            let queue_depth = (0..n_tiers as TierId)
+                .map(|t| self.sched.pending(t))
+                .max()
+                .unwrap_or(0);
+            fg_busy = queue_depth > cfg.yield_queue_depth;
+        }
+        // (4) Scrubber.
+        if !fg_busy {
+            report.scrubbed = self.scrub_tick();
+        }
+        report
+    }
+
+    /// Steps (1)–(3) of [`Mux::maintenance_tick`]; sets `fg_busy` when the
+    /// yield-to-foreground conditions hold.
+    fn autotier_tick(&self, report: &mut EpochReport, fg_busy: &mut bool) {
+        let cfg = &self.opts.autotier;
         let mut state = self.autotier.state.lock();
 
         // (1) Planner, at most once per epoch.
@@ -535,12 +564,10 @@ impl Mux {
             snaps.push(Some(snap));
         }
         state.last_read_hist = snaps;
-        if !state.queue.is_empty()
-            && (queue_depth > cfg.yield_queue_depth
-                || (cfg.yield_read_p95_ns > 0 && worst_p95 > cfg.yield_read_p95_ns))
-        {
+        *fg_busy = queue_depth > cfg.yield_queue_depth
+            || (cfg.yield_read_p95_ns > 0 && worst_p95 > cfg.yield_read_p95_ns);
+        if !state.queue.is_empty() && *fg_busy {
             report.yielded = true;
-            report.queued = state.queue.len();
             self.trace_event(
                 TraceEventKind::MigrationSkipped {
                     queue_depth: queue_depth as u64,
@@ -550,11 +577,13 @@ impl Mux {
                 0,
                 0,
             );
-            return report;
         }
 
         // (3) Executor: drain under the byte-rate limit.
-        while let Some((p, promote)) = state.queue.front().cloned() {
+        while !report.yielded {
+            let Some((p, promote)) = state.queue.front().cloned() else {
+                break;
+            };
             let bytes = p.n_blocks * BLOCK;
             if !state.bucket.try_take(bytes, self.now()) {
                 MuxStats::add(&self.stats.throttled_bytes, bytes);
@@ -592,7 +621,6 @@ impl Mux {
             }
         }
         report.queued = state.queue.len();
-        report
     }
 
     /// Runs one native-tier dispatch through the bounded
@@ -693,6 +721,359 @@ impl Mux {
                 "tier {tier} unreadable and block {block} has no replica"
             ))),
         }
+    }
+
+    /// The native file system backing a tier. The bench's fault-injection
+    /// harness uses this to touch blocks *beneath* Mux — device faults
+    /// tick per native access, so corrupting exactly N stored blocks
+    /// requires going around the dispatch layer.
+    pub fn tier_fs(&self, tier: TierId) -> VfsResult<Arc<dyn FileSystem>> {
+        Ok(self.tier(tier)?.fs.clone())
+    }
+
+    /// Where one file block physically lives right now: the owning tier
+    /// and the file's native inode there (materializing the file on that
+    /// tier if needed). Errors if the block is unmapped.
+    pub fn native_location(&self, ino: MuxIno, block: u64) -> VfsResult<(TierId, InodeNo)> {
+        let file = self.get_file(ino)?;
+        let tier = file
+            .state
+            .read()
+            .blt
+            .tier_of(block)
+            .ok_or_else(|| VfsError::InvalidArgument(format!("block {block} is unmapped")))?;
+        let nino = self.ensure_native(&file, tier)?;
+        Ok((tier, nino))
+    }
+
+    /// Verifies a full-block `page` against the file's checksum table and,
+    /// on a trusted mismatch, runs the repair chain (see
+    /// [`crate::integrity`]):
+    ///
+    /// 1. count + trace the detection and strike `tier`'s breaker;
+    /// 2. bounded re-read of the same tier — transfer-path flukes settle
+    ///    back to the expected checksum;
+    /// 3. a replica on another tier, *itself verified* against the
+    ///    expected checksum before it is trusted — served to the caller
+    ///    and rewritten over the rotten primary copy;
+    /// 4. no healthy copy anywhere: quarantine the block and fail with a
+    ///    located [`VfsError::Corrupt`], so not one corrupt byte reaches
+    ///    the caller.
+    ///
+    /// On success `page` holds verified content.
+    pub(crate) fn verify_and_repair(
+        &self,
+        file: &MuxFile,
+        tier: TierId,
+        block: u64,
+        page: &mut [u8],
+    ) -> VfsResult<()> {
+        use crate::integrity::{crc32c, VerifyOutcome};
+        if !self.opts.integrity.checksums {
+            return Ok(());
+        }
+        let actual = crc32c(page);
+        let expected = match file.state.write().checksums.verify(block, actual) {
+            VerifyOutcome::Unknown => return Ok(()),
+            VerifyOutcome::Match => {
+                self.health.record_verified(tier);
+                return Ok(());
+            }
+            VerifyOutcome::Dropped => {
+                MuxStats::add(&self.stats.checksums_dropped, 1);
+                return Ok(());
+            }
+            VerifyOutcome::Mismatch { expected, .. } => expected,
+        };
+        // Trusted mismatch: the device acked this read and served wrong
+        // bytes. Count it, trace it, strike the breaker.
+        MuxStats::add(&self.stats.corruptions_detected, 1);
+        self.trace_event(
+            TraceEventKind::CorruptionDetected { expected, actual },
+            tier,
+            file.ino,
+            block * BLOCK,
+            BLOCK,
+        );
+        self.health.record_corruption(tier);
+        // (2) Bounded re-read of the primary.
+        if self.health.can_read(tier) {
+            if let (Ok(handle), Ok(nino)) = (self.tier(tier), self.ensure_native(file, tier)) {
+                for _ in 0..self.opts.integrity.reread_retries {
+                    let mut fresh = vec![0u8; BLOCK as usize];
+                    let reread = self.tier_io(OpKind::Scrub, tier, || {
+                        handle.fs.read(nino, block * BLOCK, &mut fresh)
+                    });
+                    if reread.is_err() {
+                        break;
+                    }
+                    if crc32c(&fresh) == expected {
+                        page.copy_from_slice(&fresh);
+                        file.state.write().checksums.unquarantine(block);
+                        MuxStats::add(&self.stats.corruptions_repaired, 1);
+                        self.trace_event(
+                            TraceEventKind::CorruptionRepaired {
+                                from_replica: false,
+                            },
+                            tier,
+                            file.ino,
+                            block * BLOCK,
+                            BLOCK,
+                        );
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        // (3) A verified replica.
+        let rep = file
+            .state
+            .read()
+            .replicas
+            .get(block)
+            .filter(|&rt| rt != tier);
+        if let Some(rt) = rep {
+            if self.health.can_read(rt) {
+                if let (Ok(rh), Ok(rino)) = (self.tier(rt), self.ensure_native(file, rt)) {
+                    let mut fresh = vec![0u8; BLOCK as usize];
+                    let rread = self.tier_io(OpKind::Scrub, rt, || {
+                        rh.fs.read(rino, block * BLOCK, &mut fresh)
+                    });
+                    if rread.is_ok() && crc32c(&fresh) == expected {
+                        page.copy_from_slice(&fresh);
+                        // Scrub the rot off the primary, best-effort: the
+                        // content is already safe in the caller's hands.
+                        if self.health.can_write(tier) {
+                            if let (Ok(handle), Ok(nino)) =
+                                (self.tier(tier), self.ensure_native(file, tier))
+                            {
+                                let _ = self.tier_io(OpKind::Write, tier, || {
+                                    handle.fs.write(nino, block * BLOCK, &fresh)
+                                });
+                            }
+                        }
+                        file.state.write().checksums.unquarantine(block);
+                        MuxStats::add(&self.stats.corruptions_repaired, 1);
+                        self.trace_event(
+                            TraceEventKind::CorruptionRepaired { from_replica: true },
+                            rt,
+                            file.ino,
+                            block * BLOCK,
+                            BLOCK,
+                        );
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        // (4) Unrepairable: fence the block from callers.
+        if file.state.write().checksums.quarantine(block) {
+            MuxStats::add(&self.stats.blocks_quarantined, 1);
+            self.trace_event(
+                TraceEventKind::BlockQuarantined,
+                tier,
+                file.ino,
+                block * BLOCK,
+                BLOCK,
+            );
+        }
+        Err(VfsError::corrupt_at(
+            format!(
+                "block {block} failed CRC-32C verification \
+                 (expected {expected:#010x}, got {actual:#010x}) and no healthy copy exists"
+            ),
+            tier,
+            file.ino,
+            block * BLOCK,
+        ))
+    }
+
+    /// Re-checksums one block by reading it back from its owning tier —
+    /// the write path uses this for boundary blocks that merged new bytes
+    /// with old content it never saw. A read-back that fails, races a
+    /// write, or races a migration leaves the block unchecksummed rather
+    /// than wrongly checksummed.
+    fn readback_checksum(&self, file: &MuxFile, block: u64) {
+        let Some(tier) = file.state.read().blt.tier_of(block) else {
+            return;
+        };
+        if !self.health.can_read(tier) {
+            return;
+        }
+        let (Ok(handle), Ok(nino)) = (self.tier(tier), self.ensure_native(file, tier)) else {
+            return;
+        };
+        let v0 = file.version_now();
+        let mut page = vec![0u8; BLOCK as usize];
+        if self
+            .tier_io(OpKind::Scrub, tier, || {
+                handle.fs.read(nino, block * BLOCK, &mut page)
+            })
+            .is_err()
+        {
+            return;
+        }
+        let mut st = file.state.write();
+        if file.version_now() == v0 && st.blt.tier_of(block) == Some(tier) {
+            st.checksums.record(block, crate::integrity::crc32c(&page));
+        } else {
+            st.checksums.invalidate(block);
+        }
+    }
+
+    /// Reads and verifies one checksummed block where it currently lives.
+    /// Returns `true` when the block verified (clean or repaired); `false`
+    /// when it was skipped (unmapped, unreadable tier, racing write or
+    /// migration) or quarantined.
+    fn scrub_block(&self, file: &MuxFile, block: u64) -> bool {
+        let Some(tier) = file.state.read().blt.tier_of(block) else {
+            return false;
+        };
+        if !self.health.can_read(tier) {
+            return false;
+        }
+        let (Ok(handle), Ok(nino)) = (self.tier(tier), self.ensure_native(file, tier)) else {
+            return false;
+        };
+        let v0 = file.version_now();
+        let mut page = vec![0u8; BLOCK as usize];
+        if self
+            .tier_io(OpKind::Scrub, tier, || {
+                handle.fs.read(nino, block * BLOCK, &mut page)
+            })
+            .is_err()
+        {
+            return false;
+        }
+        // A write or migration racing the scrub read makes any mismatch
+        // meaningless; those paths keep the table consistent themselves.
+        if file.version_now() != v0 || file.state.read().blt.tier_of(block) != Some(tier) {
+            return false;
+        }
+        self.verify_and_repair(file, tier, block, &mut page).is_ok()
+    }
+
+    /// One paced scrubber step (stage (4) of [`Mux::maintenance_tick`]):
+    /// walks checksummed blocks in deterministic `(ino, block)` order under
+    /// the token bucket and per-tick block budget, verifying and repairing
+    /// each. Emits a [`TraceEventKind::ScrubPass`] every time the cursor
+    /// wraps past the last inode. Returns blocks verified this tick.
+    fn scrub_tick(&self) -> u64 {
+        let icfg = &self.opts.integrity;
+        if !icfg.checksums || !icfg.scrub_enabled {
+            return 0;
+        }
+        let mut scrub = self.scrub.lock();
+        let mut inos = self.files.keys();
+        if inos.is_empty() {
+            return 0;
+        }
+        inos.sort_unstable();
+        let (cur_ino, cur_block) = scrub.cursor.unwrap_or((0, 0));
+        let mut idx = inos.partition_point(|&i| i < cur_ino);
+        let mut next_block = if inos.get(idx) == Some(&cur_ino) {
+            cur_block
+        } else {
+            0
+        };
+        let mut verified = 0u64;
+        let mut budget = icfg.scrub_blocks_per_tick;
+        let mut saw_entries = false;
+        let mut wrapped = false;
+        'walk: loop {
+            if idx >= inos.len() {
+                wrapped = true;
+                scrub.cursor = None;
+                break;
+            }
+            if let Some(file) = self.files.get(&inos[idx]) {
+                let entries = file.state.read().checksums.entries();
+                saw_entries |= !entries.is_empty();
+                for (block, _) in entries {
+                    if block < next_block {
+                        continue;
+                    }
+                    if budget == 0 || !scrub.bucket.try_take(BLOCK, self.now()) {
+                        scrub.cursor = Some((inos[idx], block));
+                        break 'walk;
+                    }
+                    budget -= 1;
+                    if self.scrub_block(&file, block) {
+                        verified += 1;
+                    }
+                }
+            }
+            idx += 1;
+            next_block = 0;
+        }
+        scrub.pass_verified += verified;
+        if wrapped && (saw_entries || scrub.pass_verified > 0) {
+            scrub.passes += 1;
+            let pass = scrub.passes;
+            let total = scrub.pass_verified;
+            scrub.pass_verified = 0;
+            MuxStats::add(&self.stats.scrub_passes, 1);
+            self.trace_event(
+                TraceEventKind::ScrubPass {
+                    pass,
+                    verified: total,
+                },
+                CACHE_TIER,
+                0,
+                0,
+                0,
+            );
+        }
+        MuxStats::add(&self.stats.scrub_blocks_verified, verified);
+        verified
+    }
+
+    /// Verifies every checksummed block of every file once, ignoring the
+    /// scrubber's pacing — tests and the `integrity` experiment use this
+    /// for a deterministic full pass without driving maintenance ticks.
+    /// Counts as a completed pass (cursor reset, `scrub_passes` bumped,
+    /// `scrub_pass` trace event). Returns the number of blocks verified.
+    pub fn scrub_everything(&self) -> u64 {
+        if !self.opts.integrity.checksums {
+            return 0;
+        }
+        let mut inos = self.files.keys();
+        inos.sort_unstable();
+        let mut verified = 0u64;
+        for ino in inos {
+            let Some(file) = self.files.get(&ino) else {
+                continue;
+            };
+            let entries = file.state.read().checksums.entries();
+            for (block, _) in entries {
+                if self.scrub_block(&file, block) {
+                    verified += 1;
+                }
+            }
+        }
+        MuxStats::add(&self.stats.scrub_blocks_verified, verified);
+        // A forced full walk is still a completed pass: reset the paced
+        // cursor (everything it would visit was just visited) and account
+        // for it exactly like a wrap.
+        let mut scrub = self.scrub.lock();
+        scrub.cursor = None;
+        let total = scrub.pass_verified + verified;
+        scrub.pass_verified = 0;
+        scrub.passes += 1;
+        let pass = scrub.passes;
+        drop(scrub);
+        MuxStats::add(&self.stats.scrub_passes, 1);
+        self.trace_event(
+            TraceEventKind::ScrubPass {
+                pass,
+                verified: total,
+            },
+            CACHE_TIER,
+            0,
+            0,
+            0,
+        );
+        verified
     }
 
     /// Prepares redirecting an overwrite of `[seg_off, seg_off+seg_len)`
@@ -959,6 +1340,13 @@ impl FileSystem for Mux {
                 let end = st.blt.end();
                 if end > first_dead {
                     st.blt.clear(first_dead, end - first_dead);
+                }
+                // Dead blocks lose their checksums, and the boundary block
+                // changed stored content (natives zero the cut tail), so
+                // its old checksum no longer applies either.
+                st.checksums.clear_range(first_dead, u64::MAX - first_dead);
+                if !new_size.is_multiple_of(BLOCK) {
+                    st.checksums.invalidate(new_size / BLOCK);
                 }
                 st.meta.attr.size = new_size;
                 st.meta.attr.mtime_ns = now;
@@ -1350,10 +1738,27 @@ impl FileSystem for Mux {
                         let mut page = vec![0u8; BLOCK as usize];
                         // The cache is best-effort: a backend error is a miss.
                         if c.lookup(ino, block, &mut page).unwrap_or(false) {
-                            let in_pg = (cur % BLOCK) as usize;
-                            dst.copy_from_slice(&page[in_pg..in_pg + dst.len()]);
-                            MuxStats::add(&self.stats.cache_hits, 1);
-                            served = true;
+                            // The cache device can rot too: a hit whose
+                            // content no longer matches a trusted checksum
+                            // is dropped and re-fetched from the owning
+                            // tier (which verifies and repairs) — no strike,
+                            // since a racing write is indistinguishable
+                            // from rot here.
+                            let clean = !self.opts.integrity.checksums || {
+                                let st = file.state.read();
+                                !st.checksums.is_trusted(block)
+                                    || st.checksums.get(block)
+                                        == Some(crate::integrity::crc32c(&page))
+                            };
+                            if clean {
+                                let in_pg = (cur % BLOCK) as usize;
+                                dst.copy_from_slice(&page[in_pg..in_pg + dst.len()]);
+                                MuxStats::add(&self.stats.cache_hits, 1);
+                                served = true;
+                            } else {
+                                c.invalidate(ino, block, 1);
+                                MuxStats::add(&self.stats.cache_misses, 1);
+                            }
                         } else {
                             MuxStats::add(&self.stats.cache_misses, 1);
                         }
@@ -1366,11 +1771,19 @@ impl FileSystem for Mux {
                     // so re-checking the owner *after* the read makes the
                     // torn case detectable: chase the new owner, bounded
                     // by READ_REVALIDATE_HOPS.
+                    //
+                    // Reads go through a full-block scratch page so the
+                    // content can be CRC-verified (and repaired) before a
+                    // single byte is copied toward the caller; the verified
+                    // page then feeds the SCM cache fill for free.
                     let mut read_tier = seg.value;
                     let mut hops = 0u32;
                     loop {
                         let rhandle = self.tier(read_tier)?;
                         let mut primary_nino = None;
+                        let mut served_tier = read_tier;
+                        let v0 = file.version_now();
+                        let mut page = vec![0u8; BLOCK as usize];
                         let primary = if self.health.can_read(read_tier) {
                             let nino = self.ensure_native(&file, read_tier)?;
                             primary_nino = Some(nino);
@@ -1384,7 +1797,7 @@ impl FileSystem for Mux {
                                 dst.len() as u64,
                             );
                             self.tier_io(OpKind::Read, read_tier, || {
-                                rhandle.fs.read(nino, cur, &mut *dst)
+                                rhandle.fs.read(nino, block * BLOCK, &mut page)
                             })
                         } else {
                             // Offline tier: don't dispatch, go straight to
@@ -1411,10 +1824,11 @@ impl FileSystem for Mux {
                                             dst.len() as u64,
                                         );
                                         let got = self.tier_io(OpKind::Read, rt, || {
-                                            rh.fs.read(rino, cur, &mut *dst)
+                                            rh.fs.read(rino, block * BLOCK, &mut page)
                                         })?;
                                         MuxStats::add(&self.stats.replica_failovers, 1);
                                         primary_nino = None; // don't cache-fill off the sick tier
+                                        served_tier = rt;
                                         got
                                     }
                                     _ => return Err(VfsError::Io(primary_err)),
@@ -1422,10 +1836,6 @@ impl FileSystem for Mux {
                             }
                             Err(e) => return Err(e),
                         };
-                        // Native sparse size may be shorter: the rest is zeros.
-                        if got < dst.len() {
-                            dst[got..].fill(0);
-                        }
                         let owner_now = file.state.read().blt.tier_of(block);
                         if let Some(t) = owner_now {
                             if t != read_tier && hops < READ_REVALIDATE_HOPS {
@@ -1435,23 +1845,29 @@ impl FileSystem for Mux {
                                 continue;
                             }
                         }
-                        if let (Some(nino), Some(c)) = (primary_nino, &cache) {
-                            if c.should_cache(rhandle.config.class) {
-                                // Fill the whole block (page-granular cache);
-                                // best-effort — fill failures must not fail
-                                // the read.
-                                let mut page = vec![0u8; BLOCK as usize];
-                                if let Ok(pg) = rhandle.fs.read(nino, block * BLOCK, &mut page) {
-                                    // Publish only if the block still lives
-                                    // where it was read from — a commit+punch
-                                    // between the read and here would cache
-                                    // stale zeros otherwise.
-                                    if pg > 0
-                                        && file.state.read().blt.tier_of(block) == Some(read_tier)
-                                    {
-                                        let _ = c.fill(ino, block, &page);
-                                    }
-                                }
+                        // Verify before serving — but only when the block
+                        // demonstrably still lives where it was read from
+                        // and no write landed mid-read; either race makes a
+                        // mismatch meaningless (the write and migration
+                        // paths keep the table consistent on their own).
+                        if owner_now == Some(read_tier) && file.version_now() == v0 {
+                            self.verify_and_repair(&file, served_tier, block, &mut page)?;
+                        }
+                        // The page is zero-filled past a short native read,
+                        // which is the correct sparse content.
+                        let in_pg = (cur % BLOCK) as usize;
+                        dst.copy_from_slice(&page[in_pg..in_pg + dst.len()]);
+                        if let (Some(_), Some(c)) = (primary_nino, &cache) {
+                            // Publish the verified page (page-granular
+                            // cache), best-effort — fill failures must not
+                            // fail the read. Only if the block still lives
+                            // where it was read from: a commit+punch since
+                            // the read would cache stale zeros otherwise.
+                            if c.should_cache(rhandle.config.class)
+                                && got > 0
+                                && file.state.read().blt.tier_of(block) == Some(read_tier)
+                            {
+                                let _ = c.fill(ino, block, &page);
                             }
                         }
                         break;
@@ -1505,6 +1921,7 @@ impl FileSystem for Mux {
         let file = self.get_file(ino)?;
         let now = self.now();
         let _io = file.io_lock.read();
+        let old_size = file.state.read().meta.attr.size;
         let mut plan = self.plan_write(&file, off, data.len() as u64, false)?;
         // Graceful degradation backstop: segments aimed at a tier the
         // circuit breaker has fenced (ReadOnly/Offline) — typically
@@ -1562,6 +1979,8 @@ impl FileSystem for Mux {
         // Bookkeeping: BLT for fresh placements, affinity, version.
         let first = off / BLOCK;
         let last = (off + data.len() as u64 - 1) / BLOCK;
+        let end = off + data.len() as u64;
+        let mut readback: Vec<u64> = Vec::new();
         {
             let mut st = file.state.write();
             for &(tier, seg_off, seg_len, fresh) in &plan {
@@ -1571,12 +1990,38 @@ impl FileSystem for Mux {
                     st.blt.assign(b0, b1 - b0 + 1, tier);
                 }
             }
-            st.meta.on_write(last_tier, off + data.len() as u64, now);
+            st.meta.on_write(last_tier, end, now);
             st.meta.attr.blocks_bytes = st.blt.mapped_blocks() * BLOCK;
             // Overwritten blocks invalidate their replicas (§4): the
             // replica is a point-in-time durability copy, never a stale
             // read source.
             st.replicas.remove(first, last - first + 1);
+            // Checksum maintenance (see [`crate::integrity`]): a block
+            // whose entire stored content is determined by this write —
+            // covered from its start, and either covered to its end or
+            // running past the old EOF (so the stored tail is sparse
+            // zeros) — is checksummed straight from the user buffer.
+            // Boundary blocks that merged with old bytes are read back
+            // below, outside the lock.
+            if self.opts.integrity.checksums {
+                for b in first..=last {
+                    let bs = b * BLOCK;
+                    let be = bs + BLOCK;
+                    if bs >= off && (be <= end || end >= old_size) {
+                        let mut page = [0u8; BLOCK as usize];
+                        let s = (bs - off) as usize;
+                        let e = (end.min(be) - off) as usize;
+                        page[..e - s].copy_from_slice(&data[s..e]);
+                        st.checksums.record(b, crate::integrity::crc32c(&page));
+                    } else {
+                        st.checksums.invalidate(b);
+                        readback.push(b);
+                    }
+                }
+            }
+        }
+        for b in readback {
+            self.readback_checksum(&file, b);
         }
         self.charge(cost.meta_update_ns + cost.merge_ns);
         file.note_write(first, last - first + 1);
@@ -1626,14 +2071,25 @@ impl FileSystem for Mux {
             self.charge(self.opts.cost.dispatch_ns);
             handle.fs.punch_hole(nino, seg_start, seg_end - seg_start)?;
         }
-        // Whole blocks leave the BLT.
+        // Whole blocks leave the BLT (and the checksum table); punched
+        // boundary blocks keep their mapping but changed stored content,
+        // so their checksums are dropped rather than left to mismatch.
         let first_full = off.div_ceil(BLOCK);
         let last_full = end / BLOCK;
+        {
+            let mut st = file.state.write();
+            if last_full > first_full {
+                st.blt.clear(first_full, last_full - first_full);
+                st.checksums.clear_range(first_full, last_full - first_full);
+            }
+            if !off.is_multiple_of(BLOCK) {
+                st.checksums.invalidate(off / BLOCK);
+            }
+            if !end.is_multiple_of(BLOCK) && end / BLOCK != off / BLOCK {
+                st.checksums.invalidate(end / BLOCK);
+            }
+        }
         if last_full > first_full {
-            file.state
-                .write()
-                .blt
-                .clear(first_full, last_full - first_full);
             if let Some(cache) = self.cache.read().clone() {
                 cache.invalidate(ino, first_full, last_full - first_full);
             }

@@ -698,6 +698,41 @@ impl Mux {
                         src.fs.read(src_ino, off, &mut buf[..])
                     })?;
                     buf[got..].fill(0);
+                    // The replica is the repair source for the read path and
+                    // the scrubber — replicating silently-rotted source data
+                    // would defeat both. Verify every trusted block before it
+                    // is copied, and abort the job on a mismatch rather than
+                    // propagate bad bytes.
+                    if self.opts.integrity.checksums {
+                        for b in off / BLOCK..(off + len) / BLOCK {
+                            let s = ((b - off / BLOCK) * BLOCK) as usize;
+                            let actual = crate::integrity::crc32c(&buf[s..s + BLOCK as usize]);
+                            let outcome = file.state.write().checksums.verify(b, actual);
+                            if let crate::integrity::VerifyOutcome::Mismatch { expected, actual } =
+                                outcome
+                            {
+                                crate::stats::MuxStats::add(&self.stats.corruptions_detected, 1);
+                                self.trace_event(
+                                    TraceEventKind::CorruptionDetected { expected, actual },
+                                    seg.value,
+                                    file.ino,
+                                    b * BLOCK,
+                                    BLOCK,
+                                );
+                                self.health.record_corruption(seg.value);
+                                return Err(VfsError::corrupt_at(
+                                    format!(
+                                        "refusing to replicate block {b}: source copy on \
+                                         tier {} failed CRC-32C verification",
+                                        seg.value
+                                    ),
+                                    seg.value,
+                                    file.ino,
+                                    b * BLOCK,
+                                ));
+                            }
+                        }
+                    }
                     self.tier_io(OpKind::MigrationCopy, to, || {
                         dst.fs.write(dst_ino, off, &buf)
                     })?;

@@ -48,7 +48,7 @@ use crate::mux::{Mux, MuxDir, NsEntry};
 use crate::policy::TieringPolicy;
 use crate::types::{MuxOptions, TierConfig, TierId, BLOCK};
 
-const SNAP_MAGIC: u64 = 0x4d55_584d_4554_4132; // "MUXMETA2"
+const SNAP_MAGIC: u64 = 0x4d55_584d_4554_4133; // "MUXMETA3"
 const SNAPSHOT_NAME: &str = ".mux.snapshot";
 /// Sibling the snapshot is staged in before the atomic rename.
 const SNAPSHOT_TMP_NAME: &str = ".mux.snapshot.new";
@@ -60,7 +60,7 @@ const INTENT_COMMIT: u8 = 2;
 const INTENT_RECORD: usize = 1 + 8 + 8 + 8 + 4 + 4;
 
 fn corrupt(what: &str) -> VfsError {
-    VfsError::Corrupt(what.into())
+    VfsError::corrupt(what)
 }
 
 /// CRC-32 (IEEE, reflected) — guards intent records against torn appends.
@@ -192,12 +192,17 @@ struct SnapFile {
     native: Vec<(TierId, InodeNo)>,
     blt: BlockLookupTable,
     replicas: BlockLookupTable,
+    /// Per-block CRC-32C values, loaded as *untrusted* (see
+    /// [`crate::integrity`]): a crash window between a native write landing
+    /// and the snapshot recording its checksum would otherwise turn honest
+    /// recovered data into false corruption reports.
+    checksums: Vec<(u64, u32)>,
 }
 
 /// Smallest possible encodings, used to sanity-check count fields before
 /// trusting them (a corrupt count can otherwise demand absurd allocations).
 const MIN_DIR_RECORD: usize = 8 + 8 + 2 + 4;
-const MIN_FILE_RECORD: usize = 8 + 8 + 2 + 8 * 5 + 4 * 3 + 4 * 4 + 4 + 4 + 4;
+const MIN_FILE_RECORD: usize = 8 + 8 + 2 + 8 * 5 + 4 * 3 + 4 * 4 + 4 + 4 + 4 + 4;
 
 fn decode_snapshot(raw: &[u8]) -> VfsResult<SnapshotImage> {
     let mut c = Cur::new(raw);
@@ -264,6 +269,16 @@ fn decode_snapshot(raw: &[u8]) -> VfsResult<SnapshotImage> {
         let blt = BlockLookupTable::decode_bytemap(c.take(blen)?);
         let rlen = c.u32()? as usize;
         let replicas = BlockLookupTable::decode_bytemap(c.take(rlen)?);
+        let n_ck = c.u32()? as usize;
+        if n_ck > c.remaining() / 12 {
+            return Err(corrupt("checksum count exceeds snapshot size"));
+        }
+        let mut checksums = Vec::with_capacity(n_ck);
+        for _ in 0..n_ck {
+            let block = c.u64()?;
+            let crc = c.u32()?;
+            checksums.push((block, crc));
+        }
         files.push(SnapFile {
             ino,
             parent,
@@ -273,6 +288,7 @@ fn decode_snapshot(raw: &[u8]) -> VfsResult<SnapshotImage> {
             native,
             blt,
             replicas,
+            checksums,
         });
     }
     Ok(SnapshotImage {
@@ -474,6 +490,15 @@ impl Mux {
                 let repmap = rep_blt.encode_bytemap();
                 b.put_u32_le(repmap.len() as u32);
                 b.extend_from_slice(&repmap);
+                // Block checksums: (block, crc) pairs, already sorted by
+                // block. Quarantine state is deliberately not persisted — a
+                // remount re-verifies from scratch.
+                let checksums = st.checksums.entries();
+                b.put_u32_le(checksums.len() as u32);
+                for (block, crc) in checksums {
+                    b.put_u64_le(block);
+                    b.put_u32_le(crc);
+                }
             }
         }
         // Stage, persist, then atomically swing the name.
@@ -558,6 +583,7 @@ impl Mux {
                 for e in f.replicas.extents() {
                     st.replicas.insert(e.start, e.len, e.value);
                 }
+                st.checksums.load_untrusted(f.checksums);
             }
             let parent = if known_dirs.contains(&f.parent) {
                 f.parent
@@ -631,6 +657,15 @@ impl Mux {
                     st.replicas.remove(e.start, e.len);
                 }
             }
+            // Checksums for blocks the BLT no longer maps are meaningless
+            // (the block may be re-adopted later with different content).
+            let mapped: HashSet<u64> = st
+                .blt
+                .extents()
+                .iter()
+                .flat_map(|e| e.start..e.start + e.len)
+                .collect();
+            st.checksums.retain_blocks(|b| mapped.contains(&b));
             st.meta.attr.blocks_bytes = st.blt.mapped_blocks() * BLOCK;
         }
     }

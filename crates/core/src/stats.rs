@@ -47,6 +47,21 @@ pub struct MuxStats {
     /// Candidate moves the autotier planner dropped (pinned file, unhealthy
     /// or over-watermark destination, or exhausted epoch budget).
     pub planner_vetoes: AtomicU64,
+    /// Trusted block-checksum mismatches detected (read path or scrubber).
+    pub corruptions_detected: AtomicU64,
+    /// Corrupt blocks restored (re-read settled, or rewritten from a
+    /// verified replica).
+    pub corruptions_repaired: AtomicU64,
+    /// Corrupt blocks with no healthy copy anywhere, fenced off from
+    /// callers until they are overwritten.
+    pub blocks_quarantined: AtomicU64,
+    /// Untrusted (snapshot-loaded) checksums dropped on first mismatch —
+    /// post-crash ambiguity, not corruption (see [`crate::integrity`]).
+    pub checksums_dropped: AtomicU64,
+    /// Completed background scrub passes over the whole namespace.
+    pub scrub_passes: AtomicU64,
+    /// Blocks the background scrubber has read and verified.
+    pub scrub_blocks_verified: AtomicU64,
 }
 
 /// Plain snapshot of [`MuxStats`].
@@ -92,6 +107,18 @@ pub struct MuxStatsSnapshot {
     pub throttled_bytes: u64,
     /// Candidate moves the autotier planner vetoed.
     pub planner_vetoes: u64,
+    /// Trusted checksum mismatches detected.
+    pub corruptions_detected: u64,
+    /// Corrupt blocks repaired (re-read or replica).
+    pub corruptions_repaired: u64,
+    /// Corrupt blocks quarantined (no healthy copy).
+    pub blocks_quarantined: u64,
+    /// Untrusted snapshot checksums dropped on mismatch.
+    pub checksums_dropped: u64,
+    /// Completed scrub passes.
+    pub scrub_passes: u64,
+    /// Blocks verified by the scrubber.
+    pub scrub_blocks_verified: u64,
 }
 
 impl MuxStats {
@@ -123,6 +150,12 @@ impl MuxStats {
             auto_demotions: self.auto_demotions.load(Ordering::Relaxed),
             throttled_bytes: self.throttled_bytes.load(Ordering::Relaxed),
             planner_vetoes: self.planner_vetoes.load(Ordering::Relaxed),
+            corruptions_detected: self.corruptions_detected.load(Ordering::Relaxed),
+            corruptions_repaired: self.corruptions_repaired.load(Ordering::Relaxed),
+            blocks_quarantined: self.blocks_quarantined.load(Ordering::Relaxed),
+            checksums_dropped: self.checksums_dropped.load(Ordering::Relaxed),
+            scrub_passes: self.scrub_passes.load(Ordering::Relaxed),
+            scrub_blocks_verified: self.scrub_blocks_verified.load(Ordering::Relaxed),
         }
     }
 }
@@ -168,5 +201,23 @@ mod tests {
         assert_eq!(snap.auto_demotions, 4);
         assert_eq!(snap.throttled_bytes, 1 << 20);
         assert_eq!(snap.planner_vetoes, 2);
+    }
+
+    #[test]
+    fn integrity_counters_snapshot() {
+        let s = MuxStats::default();
+        MuxStats::add(&s.corruptions_detected, 4);
+        MuxStats::add(&s.corruptions_repaired, 3);
+        MuxStats::add(&s.blocks_quarantined, 1);
+        MuxStats::add(&s.checksums_dropped, 2);
+        MuxStats::add(&s.scrub_passes, 5);
+        MuxStats::add(&s.scrub_blocks_verified, 640);
+        let snap = s.snapshot();
+        assert_eq!(snap.corruptions_detected, 4);
+        assert_eq!(snap.corruptions_repaired, 3);
+        assert_eq!(snap.blocks_quarantined, 1);
+        assert_eq!(snap.checksums_dropped, 2);
+        assert_eq!(snap.scrub_passes, 5);
+        assert_eq!(snap.scrub_blocks_verified, 640);
     }
 }

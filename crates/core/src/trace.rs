@@ -123,6 +123,32 @@ pub enum TraceEventKind {
         /// executor yielded.
         queue_depth: u64,
     },
+    /// A trusted block checksum failed verification on the event's tier;
+    /// the event's byte range is the affected block.
+    CorruptionDetected {
+        /// The checksum the block was expected to carry.
+        expected: u32,
+        /// The checksum the served bytes actually had.
+        actual: u32,
+    },
+    /// A corrupt block was restored; the event's tier is where the good
+    /// copy came from.
+    CorruptionRepaired {
+        /// `true` when a verified replica supplied the bytes (and the
+        /// primary was rewritten); `false` when a bounded re-read of the
+        /// primary settled to the expected checksum.
+        from_replica: bool,
+    },
+    /// A corrupt block had no healthy copy anywhere and was quarantined:
+    /// reads fail with [`tvfs::VfsError::Corrupt`] until it is rewritten.
+    BlockQuarantined,
+    /// The background scrubber finished one full pass over the namespace.
+    ScrubPass {
+        /// Monotone pass number (1-based).
+        pass: u64,
+        /// Blocks verified during this pass.
+        verified: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -145,6 +171,10 @@ impl TraceEventKind {
             TraceEventKind::PlanEmitted { .. } => "plan_emitted",
             TraceEventKind::MigrationThrottled => "migration_throttled",
             TraceEventKind::MigrationSkipped { .. } => "migration_skipped",
+            TraceEventKind::CorruptionDetected { .. } => "corruption_detected",
+            TraceEventKind::CorruptionRepaired { .. } => "corruption_repaired",
+            TraceEventKind::BlockQuarantined => "block_quarantined",
+            TraceEventKind::ScrubPass { .. } => "scrub_pass",
         }
     }
 }

@@ -85,6 +85,9 @@ pub struct MuxOptions {
     /// The autonomous background tiering engine ([`crate::autotier`]),
     /// driven by [`crate::Mux::maintenance_tick`].
     pub autotier: crate::autotier::AutotierConfig,
+    /// End-to-end data integrity: block checksums, read-path repair and
+    /// the background scrubber ([`crate::integrity`]).
+    pub integrity: crate::integrity::IntegrityConfig,
 }
 
 impl Default for MuxOptions {
@@ -96,6 +99,7 @@ impl Default for MuxOptions {
             health: crate::health::HealthConfig::default(),
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
             autotier: crate::autotier::AutotierConfig::default(),
+            integrity: crate::integrity::IntegrityConfig::default(),
         }
     }
 }

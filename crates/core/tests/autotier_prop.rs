@@ -314,7 +314,14 @@ fn disabled_engine_never_moves_data() {
     }
     clock.advance(1_000_000_000);
     let r = mux.maintenance_tick();
-    assert_eq!(r, mux::EpochReport::default());
+    // No planning or movement — but the scrubber still runs (it is
+    // independent of the tiering engine) and verifies the 8 blocks.
+    assert!(!r.planned_epoch);
+    assert_eq!(r.planned, 0);
+    assert_eq!(r.executed, 0);
+    assert_eq!(r.blocks_moved, 0);
+    assert_eq!(r.queued, 0);
+    assert!(r.scrubbed > 0);
     assert!(mux
         .file_placement(ino)
         .unwrap()

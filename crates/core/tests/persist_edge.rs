@@ -232,7 +232,7 @@ fn truncated_snapshot_never_panics_and_reports_corruption() {
             }
             Err(e) => {
                 assert!(
-                    matches!(e, tvfs::VfsError::Corrupt(_)),
+                    matches!(e, tvfs::VfsError::Corrupt { .. }),
                     "cut={cut}: unexpected error class {e}"
                 );
             }
@@ -344,7 +344,7 @@ mod corrupt_snapshot_fuzz {
                     prop_assert!(buf.iter().all(|&x| x == 7));
                 }
                 Err(e) => prop_assert!(
-                    matches!(e, tvfs::VfsError::Corrupt(_)),
+                    matches!(e, tvfs::VfsError::Corrupt { .. }),
                     "unexpected error class: {e}"
                 ),
             }

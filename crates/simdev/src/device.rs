@@ -193,6 +193,17 @@ impl Device {
             self.shared.stats.on_seek();
         }
         let ns = p.read_cost(off, buf.len() as u64, inner.last_end);
+        // Bit rot fires before the data leaves the device: a single stored
+        // bit inside the range being read flips — persistently, with no
+        // undo record (media decay is durable) — and the corrupted bytes
+        // are served as if nothing happened.
+        if let Some((delta, mask)) = inner.fault.tick_bit_rot(buf.len() as u64) {
+            let mut byte = [0u8; 1];
+            Self::copy_out(&inner.pages, off + delta, &mut byte);
+            byte[0] ^= mask;
+            Self::copy_in(&mut inner.pages, off + delta, &byte);
+            self.shared.stats.on_corruption();
+        }
         Self::copy_out(&inner.pages, off, buf);
         inner.last_end = off + buf.len() as u64;
         drop(inner);
@@ -233,12 +244,32 @@ impl Device {
             self.shared.stats.on_seek();
         }
         let ns = p.write_cost(off, data.len() as u64, inner.last_end);
-        if self.shared.track_durability {
-            let mut old = vec![0u8; data.len()];
-            Self::copy_out(&inner.pages, off, &mut old);
-            inner.undo.push(UndoRecord { off, old });
+        // Silent write corruption: a lost write is acknowledged but never
+        // stored; a misdirected write is stored whole at the wrong
+        // page-aligned offset (with normal durability semantics there),
+        // leaving the intended range untouched. Neither returns an error.
+        let lost = matches!(inner.fault, FaultMode::LostWrite);
+        let landing = if lost {
+            None
+        } else {
+            Some(
+                inner
+                    .fault
+                    .tick_misdirect(off, data.len() as u64, self.shared.capacity)
+                    .unwrap_or(off),
+            )
+        };
+        if lost || landing != Some(off) {
+            self.shared.stats.on_corruption();
         }
-        Self::copy_in(&mut inner.pages, off, data);
+        if let Some(at) = landing {
+            if self.shared.track_durability {
+                let mut old = vec![0u8; data.len()];
+                Self::copy_out(&inner.pages, at, &mut old);
+                inner.undo.push(UndoRecord { off: at, old });
+            }
+            Self::copy_in(&mut inner.pages, at, data);
+        }
         inner.last_end = off + data.len() as u64;
         drop(inner);
         self.shared.clock.advance(ns);
@@ -637,6 +668,124 @@ mod tests {
             }
         }
         assert!(saw_partial, "no seed produced a partial tear");
+    }
+
+    #[test]
+    fn bit_rot_flips_one_stored_bit_and_persists() {
+        let d = pm_dev();
+        let data = [0xAAu8; 512];
+        d.write(0, &data).unwrap();
+        d.flush();
+        d.set_fault_mode(FaultMode::BitRot { period: 1, seed: 9 });
+        let mut got = [0u8; 512];
+        d.read(0, &mut got).unwrap(); // no error: the device lies
+        let flipped: u32 = got
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit rots per firing read");
+        // The rot is in the store, not the transfer: a healthy re-read
+        // sees the same corrupted image, and so does a post-crash read
+        // (the flip is durable media decay, not an unflushed write).
+        d.set_fault_mode(FaultMode::None);
+        let mut again = [0u8; 512];
+        d.read(0, &mut again).unwrap();
+        assert_eq!(got, again);
+        d.crash();
+        d.read(0, &mut again).unwrap();
+        assert_eq!(got, again);
+        assert_eq!(d.stats().snapshot().corruptions, 1);
+    }
+
+    #[test]
+    fn bit_rot_same_seed_same_damage() {
+        let mk = || {
+            let d = pm_dev();
+            d.write(0, &[0x55u8; 4096]).unwrap();
+            d.flush();
+            d.set_fault_mode(FaultMode::BitRot {
+                period: 2,
+                seed: 77,
+            });
+            let mut b = vec![0u8; 4096];
+            for _ in 0..8 {
+                d.read(0, &mut b).unwrap();
+            }
+            b
+        };
+        assert_eq!(mk(), mk(), "identical seeds must rot identically");
+    }
+
+    #[test]
+    fn lost_write_acks_but_persists_nothing() {
+        let d = pm_dev();
+        d.write(0, b"original").unwrap();
+        d.flush();
+        d.set_fault_mode(FaultMode::LostWrite);
+        let ns = d.write(0, b"vanished").unwrap();
+        assert!(ns > 0, "the lie still charges service time");
+        assert_eq!(d.unflushed_writes(), 0, "nothing reached the write cache");
+        let mut b = [0u8; 8];
+        d.read(0, &mut b).unwrap();
+        assert_eq!(&b, b"original");
+        assert_eq!(d.stats().snapshot().corruptions, 1);
+    }
+
+    #[test]
+    fn misdirected_write_lands_whole_on_a_wrong_page() {
+        let d = pm_dev();
+        d.write(0, &[1u8; 4096]).unwrap();
+        d.flush();
+        d.set_fault_mode(FaultMode::MisdirectedWrite { seed: 13 });
+        d.write(0, &[2u8; 4096]).unwrap();
+        d.set_fault_mode(FaultMode::None);
+        // The intended page silently kept its old content...
+        let mut b = vec![0u8; 4096];
+        d.read(0, &mut b).unwrap();
+        assert!(b.iter().all(|&x| x == 1), "intended range must be stale");
+        // ...and the payload landed whole on some other page.
+        let cap = d.capacity();
+        let found = (1..cap / SIM_PAGE as u64).any(|p| {
+            let mut q = vec![0u8; 4096];
+            d.read(p * SIM_PAGE as u64, &mut q).unwrap();
+            q.iter().all(|&x| x == 2)
+        });
+        assert!(found, "misdirected payload not found anywhere");
+        assert_eq!(d.stats().snapshot().corruptions, 1);
+    }
+
+    #[test]
+    fn misdirected_write_respects_crash_semantics() {
+        // The stray landing obeys the same volatility rules as any write:
+        // unflushed, it rolls back on crash.
+        let d = pm_dev();
+        d.flush();
+        d.set_fault_mode(FaultMode::MisdirectedWrite { seed: 13 });
+        d.write(0, &[2u8; 4096]).unwrap();
+        d.set_fault_mode(FaultMode::None);
+        assert_eq!(d.unflushed_writes(), 1);
+        d.crash();
+        let cap = d.capacity();
+        for p in 0..cap / SIM_PAGE as u64 {
+            let mut q = vec![0u8; 4096];
+            d.read(p * SIM_PAGE as u64, &mut q).unwrap();
+            assert!(q.iter().all(|&x| x == 0), "stray write survived the crash");
+        }
+    }
+
+    #[test]
+    fn silent_write_modes_still_count_as_crash_plan_mutations() {
+        // A lost or misdirected write is still a command the device
+        // received: crash enumeration must count it.
+        let d = pm_dev();
+        let plan = CrashPlan::probe();
+        d.set_crash_plan(Some(plan.clone()));
+        d.set_fault_mode(FaultMode::LostWrite);
+        d.write(0, b"a").unwrap();
+        d.set_fault_mode(FaultMode::MisdirectedWrite { seed: 1 });
+        d.write(0, b"b").unwrap();
+        assert_eq!(plan.ops_seen(), 2);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 /// Set via [`crate::Device::set_fault_mode`]. `FailStop` exercises error
 /// handling in the file systems; `TornWrites` makes [`crate::Device::crash`]
 /// persist only a prefix of each unflushed write, exercising recovery code
-/// against partially persisted state.
+/// against partially persisted state. The three *silent* modes — `BitRot`,
+/// `LostWrite`, `MisdirectedWrite` — never return an error: the device lies,
+/// which is exactly what end-to-end checksums exist to catch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FaultMode {
     /// Healthy device.
@@ -34,6 +36,38 @@ pub enum FaultMode {
         /// Current PRNG state; advances on every operation.
         seed: u64,
     },
+    /// Silent bit rot: roughly one in `period` *reads* flips a single
+    /// deterministically chosen bit of the **stored** data inside the range
+    /// being read, then serves the corrupted bytes as if nothing happened.
+    /// The flip is media decay, not a transfer error: it persists across
+    /// further reads, [`crate::Device::flush`] and [`crate::Device::crash`].
+    BitRot {
+        /// Mean reads per flipped bit (must be ≥ 1; 1 = every read rots).
+        period: u64,
+        /// Current PRNG state; advances on every read.
+        seed: u64,
+    },
+    /// Lost writes: every write is acknowledged (and charged virtual time)
+    /// but nothing reaches the store — the classic firmware dropped-write
+    /// bug. Reads and flushes behave normally and report no error.
+    LostWrite,
+    /// Misdirected writes: each write persists at a deterministic wrong
+    /// page-aligned offset derived from `seed`, clobbering an innocent
+    /// bystander while the intended range silently keeps its old content.
+    MisdirectedWrite {
+        /// Current PRNG state; advances on every write.
+        seed: u64,
+    },
+}
+
+/// One splitmix64 step: advances `seed` in place and returns the mixed
+/// output — deterministic, uniform enough for 1-in-period fault processes.
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl FaultMode {
@@ -50,17 +84,56 @@ impl FaultMode {
                 }
             }
             FaultMode::Intermittent { period, seed } => {
-                // splitmix64 step: deterministic, uniform enough for a
-                // 1-in-period failure process.
-                *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let mut z = *seed;
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                z ^= z >> 31;
-                z % (*period).max(1) == 0
+                let z = splitmix64(seed);
+                z.is_multiple_of((*period).max(1))
             }
             _ => false,
         }
+    }
+
+    /// Under [`FaultMode::BitRot`], decides whether this read (of `len`
+    /// bytes) rots a bit, and if so where: `Some((byte_offset, bit_mask))`
+    /// with `byte_offset < len`. Advances the PRNG on every read.
+    pub(crate) fn tick_bit_rot(&mut self, len: u64) -> Option<(u64, u8)> {
+        let FaultMode::BitRot { period, seed } = self else {
+            return None;
+        };
+        if len == 0 {
+            return None;
+        }
+        let fire = splitmix64(seed).is_multiple_of((*period).max(1));
+        if !fire {
+            return None;
+        }
+        // A second step decorrelates the flip position from the firing
+        // decision (the low bits of one output decide both otherwise).
+        let z = splitmix64(seed);
+        Some((z % len, 1u8 << ((z >> 32) & 7)))
+    }
+
+    /// Under [`FaultMode::MisdirectedWrite`], picks the wrong page-aligned
+    /// landing offset for a write of `len` bytes intended for `off` on a
+    /// device of `capacity` bytes. `None` means the write lands where it
+    /// should (mode inactive, or no other page fits it).
+    pub(crate) fn tick_misdirect(&mut self, off: u64, len: u64, capacity: u64) -> Option<u64> {
+        let FaultMode::MisdirectedWrite { seed } = self else {
+            return None;
+        };
+        let page = crate::SIM_PAGE as u64;
+        if len > capacity {
+            return None;
+        }
+        // Page-aligned slots where the whole write still fits.
+        let slots = (capacity - len) / page + 1;
+        if slots < 2 {
+            return None;
+        }
+        let intended = off / page;
+        let mut slot = splitmix64(seed) % slots;
+        if slot == intended {
+            slot = (slot + 1) % slots;
+        }
+        Some(slot * page)
     }
 }
 
@@ -135,5 +208,84 @@ mod tests {
         for _ in 0..32 {
             assert!(m.tick_should_fail());
         }
+    }
+
+    #[test]
+    fn silent_modes_never_report_errors() {
+        for mut m in [
+            FaultMode::BitRot { period: 1, seed: 3 },
+            FaultMode::LostWrite,
+            FaultMode::MisdirectedWrite { seed: 3 },
+        ] {
+            for _ in 0..64 {
+                assert!(!m.tick_should_fail(), "{m:?} must stay silent");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_rot_is_deterministic_and_in_range() {
+        let mut a = FaultMode::BitRot { period: 3, seed: 7 };
+        let mut b = FaultMode::BitRot { period: 3, seed: 7 };
+        let mut fired = 0;
+        for _ in 0..1000 {
+            let ra = a.tick_bit_rot(4096);
+            assert_eq!(ra, b.tick_bit_rot(4096));
+            if let Some((off, mask)) = ra {
+                fired += 1;
+                assert!(off < 4096);
+                assert_eq!(mask.count_ones(), 1, "exactly one bit flips");
+            }
+        }
+        // Mean is ~333; accept a generous band.
+        assert!((150..650).contains(&fired), "rot rate off: {fired}/1000");
+    }
+
+    #[test]
+    fn bit_rot_different_seeds_diverge() {
+        let mut a = FaultMode::BitRot { period: 1, seed: 1 };
+        let mut b = FaultMode::BitRot { period: 1, seed: 2 };
+        let hits_a: Vec<_> = (0..32).map(|_| a.tick_bit_rot(1 << 20)).collect();
+        let hits_b: Vec<_> = (0..32).map(|_| b.tick_bit_rot(1 << 20)).collect();
+        assert_ne!(hits_a, hits_b);
+    }
+
+    #[test]
+    fn bit_rot_period_one_rots_every_read_and_zero_len_never() {
+        let mut m = FaultMode::BitRot { period: 1, seed: 5 };
+        for _ in 0..16 {
+            assert!(m.tick_bit_rot(64).is_some());
+        }
+        assert!(m.tick_bit_rot(0).is_none());
+    }
+
+    #[test]
+    fn misdirect_is_deterministic_aligned_and_never_intended() {
+        let cap = 64 * crate::SIM_PAGE as u64;
+        let mut a = FaultMode::MisdirectedWrite { seed: 11 };
+        let mut b = FaultMode::MisdirectedWrite { seed: 11 };
+        for i in 0..200u64 {
+            let off = (i % 32) * crate::SIM_PAGE as u64;
+            let wrong = a.tick_misdirect(off, 512, cap);
+            assert_eq!(wrong, b.tick_misdirect(off, 512, cap));
+            let w = wrong.expect("always misdirects when another page fits");
+            assert_eq!(w % crate::SIM_PAGE as u64, 0, "landing not page-aligned");
+            assert_ne!(
+                w / crate::SIM_PAGE as u64,
+                off / crate::SIM_PAGE as u64,
+                "landed on the intended page"
+            );
+            assert!(w + 512 <= cap);
+        }
+    }
+
+    #[test]
+    fn misdirect_declines_when_no_other_page_fits() {
+        let page = crate::SIM_PAGE as u64;
+        let mut m = FaultMode::MisdirectedWrite { seed: 1 };
+        // Single-page device: nowhere else to land.
+        assert_eq!(m.tick_misdirect(0, 512, page), None);
+        // Write longer than the device: decline rather than overflow.
+        assert_eq!(m.tick_misdirect(0, 3 * page, 2 * page), None);
     }
 }

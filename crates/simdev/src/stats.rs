@@ -20,6 +20,11 @@ pub struct DeviceStats {
     pub bytes_written: AtomicU64,
     /// Seeks charged by the HDD model.
     pub seeks: AtomicU64,
+    /// Silent corruptions injected by the fault layer: bits rotted, writes
+    /// lost, writes misdirected. The caller saw no error for any of these —
+    /// this counter is the ground truth integrity checkers are measured
+    /// against.
+    pub corruptions: AtomicU64,
     /// Total virtual nanoseconds this device was busy.
     pub busy_ns: AtomicU64,
     /// Busy nanoseconds attributable to reads (service-time attribution;
@@ -46,6 +51,8 @@ pub struct StatsSnapshot {
     pub bytes_written: u64,
     /// Seeks charged by the HDD model.
     pub seeks: u64,
+    /// Silent corruptions injected by the fault layer.
+    pub corruptions: u64,
     /// Total virtual nanoseconds busy.
     pub busy_ns: u64,
     /// Busy nanoseconds attributable to reads.
@@ -85,6 +92,11 @@ impl DeviceStats {
         self.seeks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one silently injected corruption (rot / lost / misdirect).
+    pub fn on_corruption(&self) {
+        self.corruptions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -94,6 +106,7 @@ impl DeviceStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             seeks: self.seeks.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
             read_busy_ns: self.read_busy_ns.load(Ordering::Relaxed),
             write_busy_ns: self.write_busy_ns.load(Ordering::Relaxed),
@@ -109,6 +122,7 @@ impl DeviceStats {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.seeks.store(0, Ordering::Relaxed);
+        self.corruptions.store(0, Ordering::Relaxed);
         self.busy_ns.store(0, Ordering::Relaxed);
         self.read_busy_ns.store(0, Ordering::Relaxed);
         self.write_busy_ns.store(0, Ordering::Relaxed);

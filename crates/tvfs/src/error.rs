@@ -35,9 +35,44 @@ pub enum VfsError {
     Io(String),
     /// `ESTALE` — inode vanished beneath the caller (races with unlink).
     Stale,
-    /// `EUCLEAN` — persistent structure failed validation (truncated or
-    /// corrupt on-device metadata), with context.
-    Corrupt(String),
+    /// `EUCLEAN` — persistent data or metadata failed validation, with
+    /// structured context so callers (and operators) can tell *where* the
+    /// corruption sits. Metadata decode failures carry only `msg`; block
+    /// checksum mismatches fill in the tier, inode and byte offset.
+    Corrupt {
+        /// Human-readable description of what failed validation.
+        msg: String,
+        /// Tier the corrupt bytes live on, when known.
+        tier: Option<u32>,
+        /// Inode of the affected file, when known.
+        ino: Option<u64>,
+        /// Byte offset of the corrupt block within the file, when known.
+        offset: Option<u64>,
+    },
+}
+
+impl VfsError {
+    /// A [`VfsError::Corrupt`] with no location context (metadata decode
+    /// failures, where "which file" is the question being answered).
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        VfsError::Corrupt {
+            msg: msg.into(),
+            tier: None,
+            ino: None,
+            offset: None,
+        }
+    }
+
+    /// A [`VfsError::Corrupt`] pinned to a (tier, inode, byte-offset)
+    /// location — the block-checksum-mismatch shape.
+    pub fn corrupt_at(msg: impl Into<String>, tier: u32, ino: u64, offset: u64) -> Self {
+        VfsError::Corrupt {
+            msg: msg.into(),
+            tier: Some(tier),
+            ino: Some(ino),
+            offset: Some(offset),
+        }
+    }
 }
 
 impl fmt::Display for VfsError {
@@ -56,7 +91,25 @@ impl fmt::Display for VfsError {
             VfsError::NotSupported => write!(f, "operation not supported"),
             VfsError::Io(msg) => write!(f, "I/O error: {msg}"),
             VfsError::Stale => write!(f, "stale file handle"),
-            VfsError::Corrupt(msg) => write!(f, "structure needs cleaning: {msg}"),
+            VfsError::Corrupt {
+                msg,
+                tier,
+                ino,
+                offset,
+            } => {
+                write!(f, "structure needs cleaning: {msg}")?;
+                if let Some(t) = tier {
+                    write!(f, " [tier {t}")?;
+                    if let Some(i) = ino {
+                        write!(f, ", ino {i}")?;
+                    }
+                    if let Some(o) = offset {
+                        write!(f, ", byte {o}")?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -82,6 +135,17 @@ mod tests {
         assert!(VfsError::Io("disk died".into())
             .to_string()
             .contains("disk died"));
+    }
+
+    #[test]
+    fn corrupt_context_renders_when_present() {
+        let bare = VfsError::corrupt("bad magic");
+        assert_eq!(bare.to_string(), "structure needs cleaning: bad magic");
+        let located = VfsError::corrupt_at("checksum mismatch", 2, 42, 8192);
+        let s = located.to_string();
+        assert!(s.contains("tier 2"), "{s}");
+        assert!(s.contains("ino 42"), "{s}");
+        assert!(s.contains("byte 8192"), "{s}");
     }
 
     #[test]

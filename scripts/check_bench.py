@@ -5,6 +5,7 @@ Usage:
   check_bench.py <current scaling.json> <baseline.json>
   check_bench.py --crash <current crash_matrix.json> <baseline crash_matrix.json>
   check_bench.py --autotier <current autotier.json> <baseline autotier.json>
+  check_bench.py --integrity <current integrity.json> <baseline integrity.json>
 
 Scaling mode fails (exit 1) if:
   * single-thread throughput for any (config, mix) present in the
@@ -30,6 +31,15 @@ Autotier mode fails (exit 1) if:
   * convergence or the foreground ratio regressed by more than
     REGRESSION_TOLERANCE against the committed baseline.
 
+Integrity mode fails (exit 1) if:
+  * either bit-rot storm detected less than 100% of rotten blocks, or
+  * the replicated storm repaired less than 100% of what it detected, or
+  * any corrupt byte reached a caller in either storm, or
+  * the unreplicated storm left any undetected block unquarantined, or
+  * the scrubber's foreground read-p95 tax exceeds SCRUB_P95_BUDGET
+    (or regressed by more than REGRESSION_TOLERANCE vs the baseline), or
+  * the paced scrubber completed no full pass during the overhead run.
+
 All numbers are virtual-time (deterministic), so the gates are safe on
 shared CI runners: a failure means the code got worse, not the machine.
 """
@@ -42,6 +52,7 @@ MIN_SPEEDUP_8T = 3.0  # acceptance floor for read-heavy @ 8 threads
 MIN_CRASH_POINTS = 500  # acceptance floor for crash-matrix coverage
 AUTOTIER_MIN_CONVERGENCE = 0.9  # hot-set blocks that must leave the HDD
 AUTOTIER_MIN_FG_RATIO = 0.8  # daemon-on / daemon-off foreground floor
+SCRUB_P95_BUDGET = 1.25  # scrub-on / scrub-off foreground read p95 ceiling
 
 
 def crash_gate(current_path, baseline_path):
@@ -157,6 +168,80 @@ def autotier_gate(current_path, baseline_path):
     return 0
 
 
+def integrity_gate(current_path, baseline_path):
+    with open(current_path) as f:
+        cur = json.load(f)
+    with open(baseline_path) as f:
+        base = json.load(f)
+
+    failures = []
+
+    for name in ("replicated", "unreplicated"):
+        st = cur[name]
+        if st["detection_rate"] < 1.0:
+            failures.append(
+                f"{name}: detected {st['detected']} of {st['blocks']} "
+                f"rotten blocks ({st['detection_rate']:.2%})"
+            )
+        else:
+            print(f"ok {name}: 100% of {st['blocks']} rotten blocks detected")
+        if st["corrupt_bytes_served"]:
+            failures.append(
+                f"{name}: {st['corrupt_bytes_served']} corrupt bytes "
+                f"reached a caller"
+            )
+        else:
+            print(f"ok {name}: zero corrupt bytes served")
+
+    rep = cur["replicated"]
+    if rep["repair_rate"] < 1.0 or rep["quarantined"]:
+        failures.append(
+            f"replicated: repaired {rep['repaired']} of {rep['detected']} "
+            f"detections, {rep['quarantined']} quarantined (want 100%, 0)"
+        )
+    else:
+        print(f"ok replicated: all {rep['repaired']} detections repaired")
+
+    unrep = cur["unreplicated"]
+    if unrep["quarantined"] != unrep["blocks"]:
+        failures.append(
+            f"unreplicated: {unrep['quarantined']} of {unrep['blocks']} "
+            f"blocks quarantined (every unrepairable block must be)"
+        )
+    else:
+        print(f"ok unreplicated: all {unrep['quarantined']} blocks quarantined")
+
+    ratio = cur["scrub_p95_ratio"]
+    if ratio > SCRUB_P95_BUDGET:
+        failures.append(
+            f"scrub foreground tax: p95 ratio {ratio:.3f} > "
+            f"{SCRUB_P95_BUDGET} budget"
+        )
+    elif ratio > base["scrub_p95_ratio"] * (1.0 + REGRESSION_TOLERANCE):
+        failures.append(
+            f"scrub foreground tax regressed: p95 ratio {ratio:.3f} vs "
+            f"baseline {base['scrub_p95_ratio']:.3f}"
+        )
+    else:
+        print(f"ok scrub tax: fg read p95 ratio {ratio:.3f} (budget {SCRUB_P95_BUDGET})")
+
+    if cur["scrub_passes"] < 1:
+        failures.append("paced scrubber completed no full pass")
+    else:
+        print(
+            f"ok scrubber: {cur['scrub_passes']} passes, "
+            f"{cur['scrub_blocks_verified']} blocks verified"
+        )
+
+    if failures:
+        print("\nINTEGRITY GATE FAILED:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("integrity gate passed")
+    return 0
+
+
 def key(cell):
     return (cell["config"], cell["mix"], cell["threads"])
 
@@ -166,6 +251,8 @@ def main():
         return crash_gate(sys.argv[2], sys.argv[3])
     if len(sys.argv) == 4 and sys.argv[1] == "--autotier":
         return autotier_gate(sys.argv[2], sys.argv[3])
+    if len(sys.argv) == 4 and sys.argv[1] == "--integrity":
+        return integrity_gate(sys.argv[2], sys.argv[3])
     if len(sys.argv) != 3:
         print(__doc__)
         return 2
