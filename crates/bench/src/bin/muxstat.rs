@@ -179,6 +179,10 @@ fn demo(tail: usize) {
         "  io_errors {}  io_retries {}  redirected_writes {}  replica_failovers {}",
         s.io_errors, s.io_retries, s.redirected_writes, s.replica_failovers
     );
+    println!(
+        "  fastpath_hits {}  fastpath_fallbacks {}  fastpath_invalidations {}",
+        s.fastpath_hits, s.fastpath_fallbacks, s.fastpath_invalidations
+    );
     println!("\nIntegrity");
     println!(
         "  corruptions_detected {}  corruptions_repaired {}  blocks_quarantined {}",

@@ -110,6 +110,9 @@ fn main() {
         }
         i += 1;
     }
+    // Accept `read_overhead` as well as `read-overhead` — the JSON files
+    // under bench_results/ use underscores, and people type what they see.
+    let experiment = experiment.replace('_', "-");
     let all = experiment == "all";
     println!("== Mux reproduction harness (virtual-time results) ==\n");
     if all || experiment == "fig3a" {

@@ -90,6 +90,8 @@ pub fn render_read_overhead(rows: &[ReadOverheadRow]) -> String {
                 format!("{}", r.mux_p50_ns),
                 format!("{}", r.mux_p95_ns),
                 format!("{}", r.mux_p99_ns),
+                format!("{}", r.dispatch_p50_ns),
+                format!("{:.1}%", r.fastpath_hit_pct),
             ]
         })
         .collect();
@@ -98,12 +100,15 @@ pub fn render_read_overhead(rows: &[ReadOverheadRow]) -> String {
     );
     s += &table(
         &[
-            "tier", "native", "Mux", "overhead", "Mux p50", "Mux p95", "Mux p99",
+            "tier", "native", "Mux", "overhead", "Mux p50", "Mux p95", "Mux p99", "disp p50",
+            "fp hit",
         ],
         &body,
     );
     s += "\n  Paper: +52.4% (PM), +87.3% (SSD), +6.6% (HDD).\n\
-          \x20 Percentiles are per-dispatch (steady state, warmup excluded).\n";
+          \x20 Mux percentiles are end-to-end (mux-read kind, steady state, warmup\n\
+          \x20 excluded); `disp p50` is the native-callee dispatch inside the slow\n\
+          \x20 path, and `fp hit` the steady-state fast-path hit rate.\n";
     s
 }
 

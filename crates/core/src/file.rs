@@ -41,6 +41,23 @@ pub struct MuxFile {
     pub dirty_during_migration: Mutex<Vec<(u64, u64)>>,
     /// Writers shared / migration-commit exclusive.
     pub io_lock: RwLock<()>,
+    /// Writes currently between their first native dispatch and their
+    /// checksum bookkeeping. While non-zero, a CRC mismatch on this file
+    /// is not evidence of rot — the reader may hold new bytes against the
+    /// old checksum (or vice versa) — so the verify path serves the page
+    /// instead of striking. See [`MuxFile::write_window`].
+    pub writes_in_flight: AtomicU64,
+}
+
+/// RAII guard for [`MuxFile::writes_in_flight`]: decrements on drop, so
+/// every error path out of the write closes the window (a leaked window
+/// would silently disable corruption detection for the file forever).
+pub struct WriteWindow<'a>(&'a MuxFile);
+
+impl Drop for WriteWindow<'_> {
+    fn drop(&mut self) {
+        self.0.writes_in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// The lockable portion of a file's bookkeeping.
@@ -77,7 +94,19 @@ impl MuxFile {
             migrating: AtomicBool::new(false),
             dirty_during_migration: Mutex::new(Vec::new()),
             io_lock: RwLock::new(()),
+            writes_in_flight: AtomicU64::new(0),
         }
+    }
+
+    /// Opens a write window: the span from a mutation's first native
+    /// dispatch to its checksum bookkeeping, during which the stored data
+    /// and the stored checksum may legitimately disagree. The verify path
+    /// treats a mismatch observed while any window is open as a racing
+    /// write, not corruption (`SeqCst` on both sides so a verifier that
+    /// reads zero is guaranteed to see the closed write's new checksum).
+    pub fn write_window(&self) -> WriteWindow<'_> {
+        self.writes_in_flight.fetch_add(1, Ordering::SeqCst);
+        WriteWindow(self)
     }
 
     /// Called by the write path after its native dispatch, while still

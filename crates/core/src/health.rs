@@ -29,6 +29,7 @@
 //! fault scenarios stay deterministic.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -170,6 +171,11 @@ pub struct HealthRegistry {
     config: HealthConfig,
     tiers: Mutex<HashMap<TierId, TierHealth>>,
     tracer: Mutex<Option<(simdev::VirtualClock, Arc<TraceBuffer>)>>,
+    /// Bumped on every breaker state transition (any tier, any direction).
+    /// The read fast path ([`crate::fastpath`]) stamps cache entries with
+    /// this value, so a tier fence invalidates every cached mapping at
+    /// once without walking the cache.
+    generation: AtomicU64,
 }
 
 impl HealthRegistry {
@@ -179,7 +185,16 @@ impl HealthRegistry {
             config,
             tiers: Mutex::new(HashMap::new()),
             tracer: Mutex::new(None),
+            generation: AtomicU64::new(0),
         }
+    }
+
+    /// Monotone counter of breaker state transitions across all tiers.
+    /// Any change — escalation, recovery, reset, forced state — moves it,
+    /// making "has tier health changed since I looked?" a single atomic
+    /// load for lock-free readers.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Wires the registry to a trace buffer: every breaker state change is
@@ -190,7 +205,11 @@ impl HealthRegistry {
         *self.tracer.lock() = Some((clock, buf));
     }
 
-    fn trace_transition(&self, tier: TierId, from: TierHealthState, to: TierHealthState) {
+    /// Publishes a breaker transition: bumps the generation (invalidating
+    /// all fast-path cache entries stamped with the old value) and traces
+    /// the change when a tracer is attached.
+    fn note_transition(&self, tier: TierId, from: TierHealthState, to: TierHealthState) {
+        self.generation.fetch_add(1, Ordering::Release);
         if let Some((clock, buf)) = self.tracer.lock().as_ref() {
             buf.push(
                 clock.now_ns(),
@@ -249,7 +268,7 @@ impl HealthRegistry {
             }
         }
         if let Some((from, to)) = transition {
-            self.trace_transition(tier, from, to);
+            self.note_transition(tier, from, to);
         }
     }
 
@@ -300,7 +319,7 @@ impl HealthRegistry {
             h.state
         };
         if let Some((from, to)) = transition {
-            self.trace_transition(tier, from, to);
+            self.note_transition(tier, from, to);
         }
         state
     }
@@ -339,7 +358,7 @@ impl HealthRegistry {
             h.window_len = 0;
         }
         if let Some((from, to)) = transition {
-            self.trace_transition(tier, from, to);
+            self.note_transition(tier, from, to);
         }
     }
 
@@ -359,7 +378,7 @@ impl HealthRegistry {
             h.state = state;
         }
         if let Some((from, to)) = transition {
-            self.trace_transition(tier, from, to);
+            self.note_transition(tier, from, to);
         }
     }
 

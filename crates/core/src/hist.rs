@@ -73,11 +73,20 @@ pub enum OpKind {
     /// traffic never skews foreground latency percentiles (the autotier
     /// yield heuristic and the integrity gate both watch foreground p95).
     Scrub,
+    /// End-to-end user read through `Mux`'s `FileSystem::read`, recorded under
+    /// the serving tier regardless of which path served it. This is what
+    /// callers experience; `Read` is narrower — one native dispatch inside
+    /// the slow path (it excludes Mux's own crossing costs and is never
+    /// recorded by fast-path hits, which dispatch no native sub-request
+    /// through the retry machinery). Foreground-latency consumers (the
+    /// autotier yield heuristic, the bench percentile gates) watch this
+    /// kind.
+    MuxRead,
 }
 
 impl OpKind {
     /// All kinds, registry order.
-    pub const ALL: [OpKind; 9] = [
+    pub const ALL: [OpKind; 10] = [
         OpKind::Read,
         OpKind::Write,
         OpKind::Fsync,
@@ -87,6 +96,7 @@ impl OpKind {
         OpKind::CacheLookup,
         OpKind::CacheFill,
         OpKind::Scrub,
+        OpKind::MuxRead,
     ];
 
     /// Stable display label (also the JSON encoding).
@@ -101,6 +111,7 @@ impl OpKind {
             OpKind::CacheLookup => "cache-lookup",
             OpKind::CacheFill => "cache-fill",
             OpKind::Scrub => "scrub",
+            OpKind::MuxRead => "mux-read",
         }
     }
 

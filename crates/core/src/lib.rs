@@ -27,7 +27,9 @@
 //! per-tier fault tolerance ([`health`] — circuit breaker, bounded
 //! retry with backoff, and graceful degradation when a device sickens),
 //! and the observability layer ([`trace`] — typed event ring; [`hist`] —
-//! per-op×tier latency histograms; see OBSERVABILITY.md).
+//! per-op×tier latency histograms; see OBSERVABILITY.md). The read hot
+//! path bypasses the dispatch machinery entirely through [`fastpath`] — a
+//! lock-free seqlock mapping cache (see PERFORMANCE.md).
 
 #![warn(missing_docs)]
 
@@ -35,6 +37,7 @@ pub mod autotier;
 pub mod blt;
 pub mod cache;
 pub mod crashtest;
+pub mod fastpath;
 pub mod file;
 pub mod health;
 pub mod hist;
@@ -56,6 +59,7 @@ pub use autotier::{AutotierConfig, EpochReport};
 pub use blt::BlockLookupTable;
 pub use cache::{CacheConfig, CacheController};
 pub use crashtest::{run_matrix, standard_scenarios, CrashMatrix, Scenario, TierDef};
+pub use fastpath::FastPath;
 pub use health::{HealthConfig, HealthRegistry, HealthSnapshot, TierHealthState};
 pub use hist::{HistSnapshot, LatencyRegistry, LatencyReport, OpKind, CACHE_TIER};
 pub use integrity::{crc32c, ChecksumTable, IntegrityConfig, VerifyOutcome};
@@ -69,4 +73,4 @@ pub use policy_vm::{PolicyProgram, VmOp, VmPolicy};
 pub use shard::{RemoveIf, ShardedMap};
 pub use stats::MuxStats;
 pub use trace::{TraceBuffer, TraceEvent, TraceEventKind};
-pub use types::{CostModel, MuxOptions, TierConfig, TierId, BLOCK};
+pub use types::{CostModel, FastPathConfig, MuxOptions, TierConfig, TierId, BLOCK};

@@ -209,6 +209,9 @@ pub struct Mux {
     /// Background scrubber cursor + pacing (see [`crate::integrity`]),
     /// also driven by [`Mux::maintenance_tick`].
     pub(crate) scrub: Mutex<crate::integrity::ScrubState>,
+    /// Lock-free read fast path: seqlock cache of resolved block → tier
+    /// mappings (see [`crate::fastpath`] and PERFORMANCE.md).
+    pub(crate) fastpath: crate::fastpath::FastPath,
 }
 
 impl Mux {
@@ -234,6 +237,7 @@ impl Mux {
         health.attach_tracer(clock.clone(), trace.clone());
         let autotier = crate::autotier::Engine::new(&opts.autotier);
         let scrub = Mutex::new(crate::integrity::ScrubState::new(&opts.integrity));
+        let fastpath = crate::fastpath::FastPath::new(opts.fastpath.slots);
         Mux {
             opts,
             clock,
@@ -253,6 +257,7 @@ impl Mux {
             trace,
             autotier,
             scrub,
+            fastpath,
         }
     }
 
@@ -269,6 +274,9 @@ impl Mux {
             draining: AtomicBool::new(false),
             timestamp_granularity_ns: AtomicU64::new(1),
         }));
+        // The tier table changed shape: retire every cached fast-path
+        // mapping at once rather than reasoning about which survive.
+        self.fastpath_epoch_bump();
         id
     }
 
@@ -405,6 +413,166 @@ impl Mux {
         self.files.get(&ino).ok_or(VfsError::NotFound)
     }
 
+    /// Publishes a whole-file invalidation into the fast-path cache.
+    /// Every mutation that can change a file's block → (tier, native ino)
+    /// mapping or its content identity calls this (or the block-ranged
+    /// variant) *after* the authoritative state changed — truncate,
+    /// `punch_hole`, unlink, OCC migration commit/abort, quarantine.
+    pub(crate) fn fastpath_invalidate_file(&self, ino: MuxIno) {
+        if self.fastpath.invalidate_file(ino) > 0 {
+            MuxStats::add(&self.stats.fastpath_invalidations, 1);
+        }
+    }
+
+    /// Block-ranged fast-path invalidation (the write path: only the
+    /// written blocks change, the rest of the file's mappings stay hot).
+    /// Ranges wider than the cache degrade to the whole-file sweep, which
+    /// is bounded by the cache size instead of the range.
+    pub(crate) fn fastpath_invalidate_blocks(&self, ino: MuxIno, first: u64, nblocks: u64) {
+        if nblocks as usize > self.fastpath.capacity() {
+            self.fastpath_invalidate_file(ino);
+            return;
+        }
+        if self.fastpath.invalidate_blocks(ino, first, nblocks) > 0 {
+            MuxStats::add(&self.stats.fastpath_invalidations, 1);
+        }
+    }
+
+    /// Global fast-path invalidation: bump the epoch so every cached
+    /// mapping goes stale at once (tier add/remove, crash recovery).
+    pub(crate) fn fastpath_epoch_bump(&self) {
+        self.fastpath.bump_epoch();
+        MuxStats::add(&self.stats.fastpath_invalidations, 1);
+    }
+
+    /// Drains deferred fast-path hit bookkeeping into the heat map, the
+    /// tiering policy and per-file access times, and emits one batched
+    /// [`TraceEventKind::FastPathBatch`] event. Called from
+    /// [`Mux::maintenance_tick`] (before the planner, so heat is current)
+    /// and opportunistically from the read path every
+    /// [`crate::FastPathConfig::flush_every`] hits.
+    pub(crate) fn fastpath_flush(&self) {
+        let drained = self.fastpath.take_pending();
+        if drained.is_empty() {
+            return;
+        }
+        let now = self.now();
+        let policy = self.policy.read().clone();
+        let mut total = 0u64;
+        for (ino, block, tier, hits) in drained {
+            total += hits;
+            self.autotier.heat.record(ino, hits, false);
+            policy.on_access(ino, block, hits, false, now);
+            if let Some(file) = self.files.get(&ino) {
+                file.state.write().meta.on_read(tier, now);
+            }
+        }
+        self.trace_event(
+            TraceEventKind::FastPathBatch { hits: total },
+            CACHE_TIER,
+            0,
+            0,
+            0,
+        );
+    }
+
+    /// Attempts to serve a read entirely from the lock-free fast path.
+    /// `Some((bytes, tier))` on a hit; `None` sends the caller to the
+    /// dispatch path (and counts a fallback). Never returns an error:
+    /// retries, failover, repair and strikes are dispatch-path business.
+    fn fastpath_read(&self, ino: MuxIno, off: u64, buf: &mut [u8]) -> Option<(usize, TierId)> {
+        let r = self.try_fastpath_read(ino, off, buf);
+        if r.is_none() {
+            MuxStats::add(&self.stats.fastpath_fallbacks, 1);
+        }
+        r
+    }
+
+    fn try_fastpath_read(&self, ino: MuxIno, off: u64, buf: &mut [u8]) -> Option<(usize, TierId)> {
+        let len = buf.len() as u64;
+        let block = off / BLOCK;
+        // One block only: splits, short reads at EOF and holes past the
+        // cached size are dispatch-path shapes.
+        if off.checked_add(len - 1)? / BLOCK != block {
+            return None;
+        }
+        let (e, slot) = self.fastpath.lookup(ino, block)?;
+        if e.epoch != self.fastpath.epoch() || e.gen != self.health.generation() {
+            return None; // tier set or tier health moved since insert
+        }
+        if off + len > e.size {
+            // `size` is a conservative lower bound (appends only grow it,
+            // truncate invalidates the file): reads past it fall back,
+            // which can only cost speed, never correctness.
+            return None;
+        }
+        let handle = self.tier(e.tier).ok()?;
+        self.charge(self.opts.cost.fastpath_ns);
+        let byte_addressable = matches!(
+            handle.config.class,
+            simdev::DeviceClass::Pmem | simdev::DeviceClass::CxlSsd
+        );
+        if off.is_multiple_of(BLOCK) && len == BLOCK || !byte_addressable {
+            // Whole-block scratch read: on page-cached tiers it costs the
+            // same as the sub-range, and it makes the content
+            // CRC-verifiable before a byte reaches the caller.
+            let mut page = vec![0u8; BLOCK as usize];
+            handle.fs.read(e.nino, block * BLOCK, &mut page).ok()?;
+            if e.verified && crate::integrity::crc32c(&page) != e.crc {
+                // Rot, or a write racing this read — indistinguishable
+                // from here, and striking on ambiguity would fence healthy
+                // tiers. Drop the mapping; the dispatch path re-reads,
+                // verifies against the live checksum and repairs/strikes
+                // with full context.
+                self.fastpath.invalidate(ino, block);
+                MuxStats::add(&self.stats.fastpath_invalidations, 1);
+                return None;
+            }
+            if !self.fastpath_still_valid(&slot, &e) {
+                return None;
+            }
+            let in_pg = (off % BLOCK) as usize;
+            buf.copy_from_slice(&page[in_pg..in_pg + buf.len()]);
+        } else {
+            // Sub-block read on a byte-addressable (DAX-class) tier: copy
+            // exactly the requested bytes. Per-read CRC is deliberately
+            // skipped here — verifying would mean reading the whole block
+            // and forfeiting byte-addressability, the very overhead this
+            // path exists to kill. The background scrubber patrols these
+            // blocks instead (PERFORMANCE.md, "What the fast path gives
+            // up").
+            buf.fill(0); // sparse tails read as zeros
+            handle.fs.read(e.nino, off, buf).ok()?;
+            if !self.fastpath_still_valid(&slot, &e) {
+                // The bytes may be torn mid-write; the dispatch path
+                // overwrites `buf` from scratch, so nothing stale leaks.
+                return None;
+            }
+        }
+        let pending = self.fastpath.note_hit(&slot);
+        MuxStats::add(&self.stats.fastpath_hits, 1);
+        MuxStats::add(&self.stats.reads, 1);
+        MuxStats::add(&self.stats.bytes_read, len);
+        if pending >= self.opts.fastpath.flush_every {
+            self.fastpath_flush();
+        }
+        Some((buf.len(), e.tier))
+    }
+
+    /// The post-read half of the fast-path protocol: the slot must be
+    /// byte-identical to the lookup and both global tokens unmoved,
+    /// proving no invalidation was published while the native read was in
+    /// flight.
+    fn fastpath_still_valid(
+        &self,
+        slot: &crate::fastpath::SlotRef,
+        e: &crate::fastpath::Entry,
+    ) -> bool {
+        self.fastpath.revalidate(slot)
+            && self.fastpath.epoch() == e.epoch
+            && self.health.generation() == e.gen
+    }
+
     /// A file's block placement as `(block, n_blocks, tier)` extents in
     /// file order — where the data actually lives after placement,
     /// migration, or fault-driven redirection.
@@ -468,6 +636,9 @@ impl Mux {
         let cfg = &self.opts.autotier;
         let mut report = EpochReport::default();
         let mut fg_busy = false;
+        // (0) Fold deferred fast-path hit bookkeeping into the heat map
+        // first, so the planner below sees current access frequencies.
+        self.fastpath_flush();
         if cfg.enabled {
             self.autotier_tick(&mut report, &mut fg_busy);
         } else {
@@ -557,7 +728,10 @@ impl Mux {
         let mut worst_p95 = 0u64;
         let mut snaps = Vec::with_capacity(n_tiers);
         for t in 0..n_tiers {
-            let snap = self.lat.hist(OpKind::Read, t as TierId).snapshot();
+            // End-to-end user reads (MuxRead): fast-path hits never record
+            // an OpKind::Read dispatch, so watching Read here would go
+            // blind exactly when the foreground is busiest.
+            let snap = self.lat.hist(OpKind::MuxRead, t as TierId).snapshot();
             if let Some(prev) = state.last_read_hist.get(t).and_then(|s| s.as_ref()) {
                 worst_p95 = worst_p95.max(snap.delta_since(prev).p95());
             }
@@ -761,12 +935,17 @@ impl Mux {
     ///    the caller.
     ///
     /// On success `page` holds verified content.
+    ///
+    /// `read_version` is the caller's [`MuxFile::version_now`] snapshot
+    /// from before it read `page`, when it has one: a mismatch whose
+    /// window contains a completed write is a race, not rot.
     pub(crate) fn verify_and_repair(
         &self,
         file: &MuxFile,
         tier: TierId,
         block: u64,
         page: &mut [u8],
+        read_version: Option<u64>,
     ) -> VfsResult<()> {
         use crate::integrity::{crc32c, VerifyOutcome};
         if !self.opts.integrity.checksums {
@@ -785,6 +964,19 @@ impl Mux {
             }
             VerifyOutcome::Mismatch { expected, .. } => expected,
         };
+        // A mismatch is only evidence of rot if no user write could have
+        // swapped the block under us. The write path dispatches its
+        // native data before it records the new checksum, so a read
+        // overlapping that window legitimately holds new bytes against
+        // the old checksum — or, if the write completed between our
+        // version check and here, old bytes against the new one. Either
+        // copy is real data: serve the page as-is and leave re-verifying
+        // to the scrubber once the dust settles.
+        if file.writes_in_flight.load(Ordering::SeqCst) != 0
+            || read_version.is_some_and(|v| file.version_now() != v)
+        {
+            return Ok(());
+        }
         // Trusted mismatch: the device acked this read and served wrong
         // bytes. Count it, trace it, strike the breaker.
         MuxStats::add(&self.stats.corruptions_detected, 1);
@@ -868,6 +1060,8 @@ impl Mux {
         }
         // (4) Unrepairable: fence the block from callers.
         if file.state.write().checksums.quarantine(block) {
+            // A quarantined block must never be served by the fast path.
+            self.fastpath_invalidate_blocks(file.ino, block, 1);
             MuxStats::add(&self.stats.blocks_quarantined, 1);
             self.trace_event(
                 TraceEventKind::BlockQuarantined,
@@ -950,7 +1144,8 @@ impl Mux {
         if file.version_now() != v0 || file.state.read().blt.tier_of(block) != Some(tier) {
             return false;
         }
-        self.verify_and_repair(file, tier, block, &mut page).is_ok()
+        self.verify_and_repair(file, tier, block, &mut page, Some(v0))
+            .is_ok()
     }
 
     /// One paced scrubber step (stage (4) of [`Mux::maintenance_tick`]):
@@ -1316,6 +1511,9 @@ impl FileSystem for Mux {
         }
         let file = self.get_file(ino)?;
         let _io = file.io_lock.write(); // exclude concurrent writes
+                                        // Truncate zeroes native tails before it clears their checksums —
+                                        // same data/checksum skew as a write, same window.
+        let _ww = file.write_window();
         if let Some(new_size) = set.size {
             let old_size = file.state.read().meta.attr.size;
             if new_size < old_size {
@@ -1354,6 +1552,11 @@ impl FileSystem for Mux {
                 if let Some(cache) = self.cache.read().clone() {
                     cache.invalidate(ino, first_dead, u64::MAX / BLOCK - first_dead);
                 }
+                // Shrinking breaks the fast path's size-lower-bound
+                // invariant (growth never does): drop every block the
+                // file could have cached — all of them sit below the old
+                // size, because every shrink path invalidates.
+                self.fastpath_invalidate_blocks(ino, 0, old_size.div_ceil(BLOCK));
             } else {
                 file.state.write().meta.attr.size = new_size;
             }
@@ -1544,6 +1747,13 @@ impl FileSystem for Mux {
                 if let Some(cache) = self.cache.read().clone() {
                     cache.invalidate_file(ino);
                 }
+                // Native inodes can be reused after the fan-out above: a
+                // stale fast-path mapping could hand another file's bytes
+                // to a racing reader. Retire the file's cached blocks
+                // (all below the current size — shrink paths invalidate)
+                // before the node disappears.
+                let nb = file.state.read().meta.attr.size.div_ceil(BLOCK);
+                self.fastpath_invalidate_blocks(ino, 0, nb);
                 // Link-first removal: once the entry leaves the parent, new
                 // lookups fail NotFound; the node tables are cleaned after.
                 self.ns.dirs.update(&parent, |p| {
@@ -1703,7 +1913,25 @@ impl FileSystem for Mux {
     }
 
     fn read(&self, ino: InodeNo, off: u64, buf: &mut [u8]) -> VfsResult<usize> {
+        let t0 = self.now();
+        // Fast path first: a cached, still-valid block → tier mapping
+        // serves the read with no shard lock, no BLT walk and no retry
+        // machinery (see crate::fastpath and PERFORMANCE.md). Anything
+        // surprising falls through to the dispatch path below.
+        if self.opts.fastpath.enabled && !buf.is_empty() {
+            if let Some((n, tier)) = self.fastpath_read(ino, off, buf) {
+                self.lat
+                    .record(OpKind::MuxRead, tier, self.now().saturating_sub(t0));
+                return Ok(n);
+            }
+        }
         let cost = &self.opts.cost;
+        // Sampled before the BLT resolves anything: a mapping inserted
+        // below is stamped with these values, so any epoch bump or health
+        // transition that races this read invalidates the entry instead
+        // of racing it.
+        let fp_epoch = self.fastpath.epoch();
+        let fp_gen = self.health.generation();
         self.charge(cost.call_processor_ns + cost.blt_lookup_ns + cost.occ_check_ns);
         let file = self.get_file(ino)?;
         let now = self.now();
@@ -1851,7 +2079,7 @@ impl FileSystem for Mux {
                         // mismatch meaningless (the write and migration
                         // paths keep the table consistent on their own).
                         if owner_now == Some(read_tier) && file.version_now() == v0 {
-                            self.verify_and_repair(&file, served_tier, block, &mut page)?;
+                            self.verify_and_repair(&file, served_tier, block, &mut page, Some(v0))?;
                         }
                         // The page is zero-filled past a short native read,
                         // which is the correct sparse content.
@@ -1868,6 +2096,63 @@ impl FileSystem for Mux {
                                 && file.state.read().blt.tier_of(block) == Some(read_tier)
                             {
                                 let _ = c.fill(ino, block, &page);
+                            }
+                        }
+                        // Publish the resolved mapping to the lock-free
+                        // fast path: only off the primary (replica-served
+                        // reads must keep feeding the breaker through the
+                        // dispatch path), only from a Healthy non-HDD tier
+                        // (HDD seeks dwarf the dispatch tax, and a cold
+                        // tier should keep heat-visible dispatches), and
+                        // never for a tier the SCM cache fronts (a
+                        // fast-path hit would bypass the cache and starve
+                        // it).
+                        if self.opts.fastpath.enabled
+                            && primary_nino.is_some()
+                            && owner_now == Some(read_tier)
+                            && file.version_now() == v0
+                            && self.health.state(read_tier)
+                                == crate::health::TierHealthState::Healthy
+                            && rhandle.config.class != simdev::DeviceClass::Hdd
+                            && !cache
+                                .as_ref()
+                                .is_some_and(|c| c.should_cache(rhandle.config.class))
+                        {
+                            let (fsize, crc, crc_verified) = {
+                                let st = file.state.read();
+                                let trusted =
+                                    self.opts.integrity.checksums && st.checksums.is_trusted(block);
+                                (
+                                    st.meta.attr.size,
+                                    if trusted {
+                                        st.checksums.get(block).unwrap_or(0)
+                                    } else {
+                                        0
+                                    },
+                                    trusted,
+                                )
+                            };
+                            self.fastpath.insert(
+                                ino,
+                                block,
+                                read_tier,
+                                primary_nino.unwrap_or(0),
+                                fsize,
+                                crc,
+                                crc_verified,
+                                fp_epoch,
+                                fp_gen,
+                            );
+                            // Close the insert-after-invalidate race: a
+                            // migration that committed while this insert
+                            // was in flight may have already swept the
+                            // slot. The BLT swings before the sweep runs,
+                            // so re-checking owner + version here catches
+                            // it; on mismatch, self-invalidate.
+                            if file.state.read().blt.tier_of(block) != Some(read_tier)
+                                || file.version_now() != v0
+                            {
+                                self.fastpath.invalidate(ino, block);
                             }
                         }
                         break;
@@ -1909,6 +2194,11 @@ impl FileSystem for Mux {
                 policy.on_tier_read(ino, t, false, now);
             }
         }
+        self.lat.record(
+            OpKind::MuxRead,
+            last_tier.unwrap_or(CACHE_TIER),
+            self.now().saturating_sub(t0),
+        );
         Ok(n)
     }
 
@@ -1921,6 +2211,10 @@ impl FileSystem for Mux {
         let file = self.get_file(ino)?;
         let now = self.now();
         let _io = file.io_lock.read();
+        // Open the write window before the first native dispatch: until
+        // the checksum bookkeeping below lands, stored data and stored
+        // checksums may disagree, and the verify path must know that.
+        let _ww = file.write_window();
         let old_size = file.state.read().meta.attr.size;
         let mut plan = self.plan_write(&file, off, data.len() as u64, false)?;
         // Graceful degradation backstop: segments aimed at a tier the
@@ -2028,6 +2322,7 @@ impl FileSystem for Mux {
         if let Some(cache) = self.cache.read().clone() {
             cache.invalidate(ino, first, last - first + 1);
         }
+        self.fastpath_invalidate_blocks(ino, first, last - first + 1);
         MuxStats::add(&self.stats.writes, 1);
         MuxStats::add(&self.stats.bytes_written, data.len() as u64);
         if split_tiers.len() > 1 {
@@ -2095,6 +2390,7 @@ impl FileSystem for Mux {
             }
         }
         file.note_write(first, end.div_ceil(BLOCK) - first);
+        self.fastpath_invalidate_blocks(ino, first, end.div_ceil(BLOCK) - first);
         self.note_meta_mutation();
         Ok(())
     }

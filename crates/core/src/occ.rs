@@ -341,6 +341,14 @@ impl Mux {
             for (mb, ml) in mapped {
                 st.blt.assign(mb, ml, to);
             }
+            drop(st);
+            // Publish into the fast path *after* the BLT swing and
+            // *before* reclaim punches the sources: a fast read that
+            // raced the swing fails its post-read slot recheck, and no
+            // stale mapping survives into the punch window. Only the
+            // migrated range changed owner; the rest of the file's
+            // mappings stay hot.
+            self.fastpath_invalidate_blocks(file.ino, block, n);
         };
         // Partially commits a failed migration's salvage: blocks of the
         // range outside `holes` were copied and validated by earlier
@@ -366,8 +374,10 @@ impl Mux {
                     swung = true;
                 }
             }
+            drop(st);
             if swung {
                 OccStats::bump(&self.occ.partial_commits, 1);
+                self.fastpath_invalidate_blocks(file.ino, block, n);
             }
         };
         loop {
@@ -567,6 +577,10 @@ impl Mux {
                 for (mb, ml) in mapped {
                     st.blt.assign(mb, ml, to);
                 }
+                drop(st);
+                // Same ordering as the OCC commit: swing, then publish,
+                // then (after return) reclaim the sources.
+                self.fastpath_invalidate_blocks(file.ino, block, n);
             }
             file.migrating.store(false, Ordering::Release);
             res
@@ -616,6 +630,10 @@ impl Mux {
         to: TierId,
         sources: &[(TierId, u64, u64)],
     ) {
+        // The BLT may have partially swung before the abort: retire the
+        // range's fast-path mappings before any punch below can expose a
+        // stale (tier, native ino) pair to a lock-free reader.
+        self.fastpath_invalidate_blocks(file.ino, block, n);
         let committed: Vec<(u64, u64)> = file
             .state
             .read()
@@ -908,6 +926,10 @@ impl Mux {
             // Forget the native handle on the drained tier.
             file.state.write().native.remove(&tier);
         }
+        // Every fast-path mapping referencing the drained tier's native
+        // inodes is now dead; the migrations above invalidated per file,
+        // but an epoch bump retires any straggler wholesale.
+        self.fastpath_epoch_bump();
         // Keep the slot (ids are indexes) but mark it permanently drained.
         Ok(())
     }

@@ -841,6 +841,11 @@ impl Mux {
         // 3. Adopt blocks the BLTs do not cover (unsnapshotted writes).
         mux.adopt_all_blocks()?;
         mux.enable_metafile(metafile_tier)?;
+        // The fast-path cache of this fresh Mux is empty, but recovery is
+        // an invalidation *source* in the epoch scheme: bump so any
+        // mapping published while replay was still mutating state (e.g. a
+        // read issued mid-recovery by an embedding test) is retired.
+        mux.fastpath_epoch_bump();
         Ok(mux)
     }
 

@@ -62,6 +62,18 @@ pub struct MuxStats {
     pub scrub_passes: AtomicU64,
     /// Blocks the background scrubber has read and verified.
     pub scrub_blocks_verified: AtomicU64,
+    /// Reads served entirely by the lock-free fast path
+    /// ([`crate::fastpath`]): no shard lock, no BLT walk, no retry
+    /// machinery.
+    pub fastpath_hits: AtomicU64,
+    /// Fast-path attempts that fell back to the dispatch path (cache
+    /// miss, stale epoch/health generation, seqlock race, CRC mismatch,
+    /// or multi-block / out-of-bounds request shape).
+    pub fastpath_fallbacks: AtomicU64,
+    /// Invalidations published into the fast-path cache (per-block and
+    /// per-file sweeps from writes/truncate/unlink/migrations/quarantine,
+    /// plus global epoch bumps from tier add/remove and recovery).
+    pub fastpath_invalidations: AtomicU64,
 }
 
 /// Plain snapshot of [`MuxStats`].
@@ -119,6 +131,12 @@ pub struct MuxStatsSnapshot {
     pub scrub_passes: u64,
     /// Blocks verified by the scrubber.
     pub scrub_blocks_verified: u64,
+    /// Reads served entirely by the lock-free fast path.
+    pub fastpath_hits: u64,
+    /// Fast-path attempts that fell back to the dispatch path.
+    pub fastpath_fallbacks: u64,
+    /// Invalidations published into the fast-path cache.
+    pub fastpath_invalidations: u64,
 }
 
 impl MuxStats {
@@ -156,6 +174,9 @@ impl MuxStats {
             checksums_dropped: self.checksums_dropped.load(Ordering::Relaxed),
             scrub_passes: self.scrub_passes.load(Ordering::Relaxed),
             scrub_blocks_verified: self.scrub_blocks_verified.load(Ordering::Relaxed),
+            fastpath_hits: self.fastpath_hits.load(Ordering::Relaxed),
+            fastpath_fallbacks: self.fastpath_fallbacks.load(Ordering::Relaxed),
+            fastpath_invalidations: self.fastpath_invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -219,5 +240,17 @@ mod tests {
         assert_eq!(snap.checksums_dropped, 2);
         assert_eq!(snap.scrub_passes, 5);
         assert_eq!(snap.scrub_blocks_verified, 640);
+    }
+
+    #[test]
+    fn fastpath_counters_snapshot() {
+        let s = MuxStats::default();
+        MuxStats::add(&s.fastpath_hits, 100);
+        MuxStats::add(&s.fastpath_fallbacks, 7);
+        MuxStats::add(&s.fastpath_invalidations, 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.fastpath_hits, 100);
+        assert_eq!(snap.fastpath_fallbacks, 7);
+        assert_eq!(snap.fastpath_invalidations, 3);
     }
 }

@@ -149,6 +149,15 @@ pub enum TraceEventKind {
         /// Blocks verified during this pass.
         verified: u64,
     },
+    /// Deferred fast-path bookkeeping was flushed: this many fast-path
+    /// read hits were folded into the heat map, tiering policy and access
+    /// times since the previous flush. Fast-path hits emit no per-read
+    /// `dispatch` event — this batch record is their trace footprint (see
+    /// [`crate::fastpath`]).
+    FastPathBatch {
+        /// Fast-path hits drained in this flush.
+        hits: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -175,6 +184,7 @@ impl TraceEventKind {
             TraceEventKind::CorruptionRepaired { .. } => "corruption_repaired",
             TraceEventKind::BlockQuarantined => "block_quarantined",
             TraceEventKind::ScrubPass { .. } => "scrub_pass",
+            TraceEventKind::FastPathBatch { .. } => "fast_path_batch",
         }
     }
 }

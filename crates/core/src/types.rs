@@ -40,6 +40,12 @@ pub struct CostModel {
     /// split (this is what makes Mux's write overhead grow on slow devices
     /// — §3.2 measures 1.6 %→3.5 % from PM to HDD).
     pub max_dispatch_bytes: u64,
+    /// Entire Mux software cost of a fast-path read hit: one seqlock
+    /// cache probe plus the post-read revalidation (see
+    /// [`crate::fastpath`] and PERFORMANCE.md). Replaces the
+    /// `call_processor + blt_lookup + occ_check + dispatch + merge`
+    /// stack (660 ns at the defaults) when the fast path hits.
+    pub fastpath_ns: u64,
     /// Additional *write-path* crossing cost in ns per KiB dispatched,
     /// indexed by [`simdev::DeviceClass`] order (PM, CXL-SSD, SSD, HDD).
     /// Models the per-segment work Mux re-enters in the native stack —
@@ -60,7 +66,33 @@ impl Default for CostModel {
             meta_update_ns: 100,
             occ_check_ns: 60,
             max_dispatch_bytes: 512 * 1024,
+            fastpath_ns: 40,
             write_dispatch_extra_ns_per_kib: [2, 4, 11, 150],
+        }
+    }
+}
+
+/// Configuration for the lock-free read fast path ([`crate::fastpath`]).
+#[derive(Debug, Clone)]
+pub struct FastPathConfig {
+    /// Master switch. Off, every read takes the full dispatch path.
+    pub enabled: bool,
+    /// Mapping-cache capacity in slots (rounded up to a power of two;
+    /// 4-way set-associative). At 80 bytes per slot the default costs
+    /// 5 MiB and covers a 256 MiB hot set of 4 KiB blocks.
+    pub slots: usize,
+    /// Flush deferred hit bookkeeping (heat map, policy, atime, trace)
+    /// after this many fast-path hits, in addition to the flush at every
+    /// [`crate::Mux::maintenance_tick`].
+    pub flush_every: u64,
+}
+
+impl Default for FastPathConfig {
+    fn default() -> Self {
+        FastPathConfig {
+            enabled: true,
+            slots: 1 << 16,
+            flush_every: 256,
         }
     }
 }
@@ -88,6 +120,8 @@ pub struct MuxOptions {
     /// End-to-end data integrity: block checksums, read-path repair and
     /// the background scrubber ([`crate::integrity`]).
     pub integrity: crate::integrity::IntegrityConfig,
+    /// The lock-free read fast path ([`crate::fastpath`]).
+    pub fastpath: FastPathConfig,
 }
 
 impl Default for MuxOptions {
@@ -100,6 +134,7 @@ impl Default for MuxOptions {
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
             autotier: crate::autotier::AutotierConfig::default(),
             integrity: crate::integrity::IntegrityConfig::default(),
+            fastpath: FastPathConfig::default(),
         }
     }
 }
@@ -114,5 +149,18 @@ mod tests {
         assert!(o.cost.max_dispatch_bytes >= BLOCK);
         assert!(o.migration_retries > 0);
         assert_eq!(o.cost.max_dispatch_bytes % BLOCK, 0);
+        assert!(o.fastpath.enabled);
+        assert!(o.fastpath.slots >= 4);
+        assert!(o.fastpath.flush_every > 0);
+        // The fast path must actually be faster than the dispatch stack
+        // it replaces, or the whole exercise is pointless.
+        assert!(
+            o.cost.fastpath_ns
+                < o.cost.call_processor_ns
+                    + o.cost.blt_lookup_ns
+                    + o.cost.occ_check_ns
+                    + o.cost.dispatch_ns
+                    + o.cost.merge_ns
+        );
     }
 }

@@ -172,8 +172,11 @@ fn namespace_churn_with_concurrent_readdir_stays_consistent() {
             });
         }
         // Reader: readdir + lookup every visible entry, tolerating the
-        // documented transient (an entry unlinked between the two calls),
-        // until every churner has finished.
+        // documented transients (an entry unlinked between the two calls,
+        // or unlinked and re-created under the same name — churners reuse
+        // their five names, and inos are a never-reused bump counter, so
+        // a re-created name resolves to a strictly newer ino), until
+        // every churner has finished.
         let mux = Arc::clone(&mux);
         let stop = &stop;
         let done = &done;
@@ -181,7 +184,14 @@ fn namespace_churn_with_concurrent_readdir_stays_consistent() {
             while !stop.load(Ordering::Relaxed) {
                 for e in mux.readdir(ROOT_INO).unwrap() {
                     match mux.lookup(ROOT_INO, &e.name) {
-                        Ok(a) => assert_eq!(a.ino, e.ino),
+                        Ok(a) => assert!(
+                            a.ino >= e.ino,
+                            "lookup went back in time: {} resolved to ino {} \
+                             after readdir saw {}",
+                            e.name,
+                            a.ino,
+                            e.ino
+                        ),
                         Err(VfsError::NotFound) | Err(VfsError::Stale) => {}
                         Err(other) => panic!("lookup failed: {other:?}"),
                     }
@@ -355,4 +365,119 @@ fn evacuation_races_writers_without_losing_blocks() {
             assert!(pattern_check(off, &buf), "ino {ino} block {b} corrupt");
         }
     }
+}
+
+#[test]
+fn fastpath_readers_racing_migration_commits_and_tier_fences_stay_correct() {
+    // The lock-free fast path serves reads from a seqlock cache that OCC
+    // commits invalidate per-block and tier fences invalidate wholesale
+    // (health generation). Hammer both invalidation sources under real
+    // reader fire: every read must return the written pattern whether it
+    // was served by the fast path or fell back to the dispatch path.
+    let mux = rig(Arc::new(PinnedPolicy::new(0)));
+    let blocks = 64u64;
+    let ino = mux
+        .create(ROOT_INO, "hot", FileType::Regular, 0o644)
+        .unwrap()
+        .ino;
+    for b in 0..blocks {
+        let off = b * BLOCK;
+        mux.write(ino, off, &pattern_at(off, BLOCK as usize))
+            .unwrap();
+    }
+    // Populate the fast path: a second sequential read of every block
+    // hits the entries the first pass inserted.
+    let mut buf = vec![0u8; BLOCK as usize];
+    for pass in 0..2 {
+        for b in 0..blocks {
+            let off = b * BLOCK;
+            assert_eq!(mux.read(ino, off, &mut buf).unwrap(), BLOCK as usize);
+            assert!(pattern_check(off, &buf), "warm pass {pass} block {b}");
+        }
+    }
+    let before = mux.stats().snapshot();
+    assert!(
+        before.fastpath_hits > 0,
+        "warmup produced no fast-path hits"
+    );
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Four readers hammer the file; content never changes, so every
+        // read must verify regardless of which path served it.
+        for t in 0..4u64 {
+            let mux = Arc::clone(&mux);
+            let stop = &stop;
+            s.spawn(move || {
+                let mut i = t;
+                let mut buf = vec![0u8; BLOCK as usize];
+                while !stop.load(Ordering::Relaxed) {
+                    let b = (i * 13 + t) % blocks;
+                    let off = b * BLOCK;
+                    let got = mux.read(ino, off, &mut buf).unwrap();
+                    assert_eq!(got, BLOCK as usize);
+                    assert!(
+                        pattern_check(off, &buf),
+                        "reader {t} saw torn/stale block {b}"
+                    );
+                    i += 1;
+                }
+            });
+        }
+        // Fencer: bounce tier health Healthy <-> ReadOnly while commits
+        // land. Each transition bumps the health generation, so every
+        // cached entry published before the fence dies at once.
+        {
+            let mux = Arc::clone(&mux);
+            let stop = &stop;
+            s.spawn(move || {
+                let mut flip = false;
+                while !stop.load(Ordering::Relaxed) {
+                    let state = if flip {
+                        mux::TierHealthState::ReadOnly
+                    } else {
+                        mux::TierHealthState::Healthy
+                    };
+                    // Fence tier 2 (HDD): never the read-serving tier, so
+                    // reads keep succeeding while the generation churns.
+                    mux.health().force_state(2, state);
+                    flip = !flip;
+                    std::thread::yield_now();
+                }
+                mux.health().force_state(2, mux::TierHealthState::Healthy);
+            });
+        }
+        // Migrator: bounce the whole file between PM and SSD under fire.
+        // Every OCC commit swings the BLT and invalidates the migrated
+        // blocks' fast-path entries.
+        for round in 0..12 {
+            let to = [1u32, 0][round % 2];
+            mux.migrate_range(ino, 0, blocks, to).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let (migs, _c, _r, _f, moved) = mux.occ_stats().snapshot();
+    assert_eq!(migs, 12);
+    assert_eq!(moved, 12 * blocks, "every round moved every block");
+    // The final migration round killed every cached entry. One more read
+    // pass therefore either misses (fallback now) or hits an entry that a
+    // racing reader re-inserted via the dispatch path (its miss was a
+    // fallback already) — so fallbacks must have grown either way, no
+    // matter how the scheduler starved the reader threads.
+    for b in 0..blocks {
+        let off = b * BLOCK;
+        assert_eq!(mux.read(ino, off, &mut buf).unwrap(), BLOCK as usize);
+        assert!(pattern_check(off, &buf), "post-race block {b} corrupt");
+    }
+    let after = mux.stats().snapshot();
+    // Commits and fences must have published invalidations, and reads
+    // must have taken the fallback path (entries die under them) — both
+    // without a single wrong byte.
+    assert!(
+        after.fastpath_invalidations > before.fastpath_invalidations,
+        "migration commits published no fast-path invalidations"
+    );
+    assert!(
+        after.fastpath_fallbacks > before.fastpath_fallbacks,
+        "no read ever fell back while entries were being invalidated"
+    );
 }

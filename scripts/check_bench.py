@@ -6,6 +6,7 @@ Usage:
   check_bench.py --crash <current crash_matrix.json> <baseline crash_matrix.json>
   check_bench.py --autotier <current autotier.json> <baseline autotier.json>
   check_bench.py --integrity <current integrity.json> <baseline integrity.json>
+  check_bench.py --read-overhead <current read_overhead.json> <baseline read_overhead.json>
 
 Scaling mode fails (exit 1) if:
   * single-thread throughput for any (config, mix) present in the
@@ -40,6 +41,13 @@ Integrity mode fails (exit 1) if:
     (or regressed by more than REGRESSION_TOLERANCE vs the baseline), or
   * the paced scrubber completed no full pass during the overhead run.
 
+Read-overhead mode fails (exit 1) if:
+  * Mux read overhead over native exceeds READ_OVERHEAD_BUDGET_PCT on
+    the PM or SSD tier (the fast-path acceptance target), or
+  * overhead on any tier regressed by more than
+    READ_OVERHEAD_SLACK_PCT percentage points against the committed
+    baseline (catches the HDD tier, which has no percentage budget).
+
 All numbers are virtual-time (deterministic), so the gates are safe on
 shared CI runners: a failure means the code got worse, not the machine.
 """
@@ -53,6 +61,8 @@ MIN_CRASH_POINTS = 500  # acceptance floor for crash-matrix coverage
 AUTOTIER_MIN_CONVERGENCE = 0.9  # hot-set blocks that must leave the HDD
 AUTOTIER_MIN_FG_RATIO = 0.8  # daemon-on / daemon-off foreground floor
 SCRUB_P95_BUDGET = 1.25  # scrub-on / scrub-off foreground read p95 ceiling
+READ_OVERHEAD_BUDGET_PCT = 10.0  # Mux-over-native ceiling on PM and SSD reads
+READ_OVERHEAD_SLACK_PCT = 2.0  # percentage points of drift allowed vs baseline
 
 
 def crash_gate(current_path, baseline_path):
@@ -242,6 +252,63 @@ def integrity_gate(current_path, baseline_path):
     return 0
 
 
+def read_overhead_gate(current_path, baseline_path):
+    with open(current_path) as f:
+        cur = {r["tier"]: r for r in json.load(f)}
+    with open(baseline_path) as f:
+        base = {r["tier"]: r for r in json.load(f)}
+
+    failures = []
+
+    # Absolute budget: the fast path must hold PM and SSD under 10%.
+    for tier in ("PM (novafs)", "SSD (xefs)"):
+        r = cur.get(tier)
+        if r is None:
+            failures.append(f"{tier}: missing from current results")
+            continue
+        if r["overhead_pct"] > READ_OVERHEAD_BUDGET_PCT:
+            failures.append(
+                f"{tier}: Mux overhead {r['overhead_pct']:.1f}% > "
+                f"{READ_OVERHEAD_BUDGET_PCT}% budget "
+                f"(native {r['native_ns']:.0f} ns, mux {r['mux_ns']:.0f} ns, "
+                f"fast-path hit {r.get('fastpath_hit_pct', 0.0):.1f}%)"
+            )
+        else:
+            print(
+                f"ok {tier}: overhead {r['overhead_pct']:.1f}% "
+                f"(budget {READ_OVERHEAD_BUDGET_PCT}%, fast-path hit "
+                f"{r.get('fastpath_hit_pct', 0.0):.1f}%)"
+            )
+
+    # Drift against the committed baseline, all tiers (covers the HDD,
+    # which has no absolute budget).
+    for tier, b in sorted(base.items()):
+        r = cur.get(tier)
+        if r is None:
+            failures.append(f"{tier}: missing from current results")
+            continue
+        ceiling = b["overhead_pct"] + READ_OVERHEAD_SLACK_PCT
+        if r["overhead_pct"] > ceiling:
+            failures.append(
+                f"{tier}: overhead regressed to {r['overhead_pct']:.1f}% "
+                f"(baseline {b['overhead_pct']:.1f}% + "
+                f"{READ_OVERHEAD_SLACK_PCT} pp slack)"
+            )
+        else:
+            print(
+                f"ok {tier}: overhead {r['overhead_pct']:.1f}% vs "
+                f"baseline {b['overhead_pct']:.1f}%"
+            )
+
+    if failures:
+        print("\nREAD-OVERHEAD GATE FAILED:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("read-overhead gate passed")
+    return 0
+
+
 def key(cell):
     return (cell["config"], cell["mix"], cell["threads"])
 
@@ -253,6 +320,8 @@ def main():
         return autotier_gate(sys.argv[2], sys.argv[3])
     if len(sys.argv) == 4 and sys.argv[1] == "--integrity":
         return integrity_gate(sys.argv[2], sys.argv[3])
+    if len(sys.argv) == 4 and sys.argv[1] == "--read-overhead":
+        return read_overhead_gate(sys.argv[2], sys.argv[3])
     if len(sys.argv) != 3:
         print(__doc__)
         return 2
