@@ -183,6 +183,10 @@ fn demo(tail: usize) {
         "  fastpath_hits {}  fastpath_fallbacks {}  fastpath_invalidations {}",
         s.fastpath_hits, s.fastpath_fallbacks, s.fastpath_invalidations
     );
+    println!(
+        "  mirrors_created {}  mirrors_retired {}  mirror_reads_fast {}  lazy_resyncs {}",
+        s.mirrors_created, s.mirrors_retired, s.mirror_reads_fast, s.lazy_resyncs
+    );
     println!("\nIntegrity");
     println!(
         "  corruptions_detected {}  corruptions_repaired {}  blocks_quarantined {}",

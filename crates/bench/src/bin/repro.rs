@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--experiment fig3a|fig3b|read-overhead|write-overhead|
 //!        meta-overhead|ablation-occ|ablation-cache|ablation-policy|
-//!        degraded-mode|latency|scaling|crash|all]
+//!        degraded-mode|latency|scaling|autotier|mirror|integrity|
+//!        crash|all]
 //!       [--quick]
 //! ```
 //!
@@ -28,6 +29,10 @@ struct Scale {
     autotier_file_blocks: u64,
     autotier_epochs: usize,
     autotier_ops: usize,
+    mirror_files: u64,
+    mirror_file_blocks: u64,
+    mirror_epochs: usize,
+    mirror_ops: usize,
     integrity_storm_blocks: u64,
     integrity_files: u64,
     integrity_file_blocks: u64,
@@ -50,6 +55,10 @@ const FULL: Scale = Scale {
     autotier_file_blocks: 32,
     autotier_epochs: 12,
     autotier_ops: 4_000,
+    mirror_files: 48,
+    mirror_file_blocks: 64,
+    mirror_epochs: 8,
+    mirror_ops: 2_000,
     integrity_storm_blocks: 256,
     // Sized so the paced scrubber (32 blocks/tick) completes at least one
     // full pass over files * file_blocks blocks within the epoch budget.
@@ -74,6 +83,13 @@ const QUICK: Scale = Scale {
     autotier_file_blocks: 16,
     autotier_epochs: 8,
     autotier_ops: 1_000,
+    // The working set must stay larger than the PM primary band (see
+    // `mirror_one`) or the single-copy baseline promotes everything and
+    // the contrast vanishes — quick mode trims epochs and ops only.
+    mirror_files: 48,
+    mirror_file_blocks: 64,
+    mirror_epochs: 6,
+    mirror_ops: 800,
     integrity_storm_blocks: 64,
     integrity_files: 12,
     integrity_file_blocks: 8,
@@ -99,7 +115,7 @@ fn main() {
                      experiments: fig3a fig3b read-overhead write-overhead\n\
                      \x20            meta-overhead ablation-occ ablation-cache\n\
                      \x20            ablation-policy degraded-mode latency scaling crash\n\
-                     \x20            autotier integrity all"
+                     \x20            autotier mirror integrity all"
                 );
                 return;
             }
@@ -179,6 +195,16 @@ fn main() {
         );
         println!("{}", report::render_autotier(&r));
         let _ = report::write_json("autotier", &r);
+    }
+    if all || experiment == "mirror" {
+        let r = ex::mirror(
+            scale.mirror_files,
+            scale.mirror_file_blocks,
+            scale.mirror_epochs,
+            scale.mirror_ops,
+        );
+        println!("{}", report::render_mirror(&r));
+        let _ = report::write_json("mirror", &r);
     }
     if all || experiment == "integrity" {
         let r = ex::integrity(

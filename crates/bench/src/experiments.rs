@@ -1433,6 +1433,242 @@ pub fn autotier(files: u64, file_blocks: u64, epochs: usize, ops: usize) -> Auto
 }
 
 // ---------------------------------------------------------------------
+// Mirror — replicas as first-class placement (DESIGN.md, "Mirror
+// placement")
+// ---------------------------------------------------------------------
+
+/// One arm (mirroring on / mirroring off) of the mirror experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MirrorRun {
+    /// Steady-state read p50 (measurement phase, no ticks), ns.
+    pub read_p50_ns: u64,
+    /// Steady-state read p99 (measurement phase, no ticks), ns.
+    pub read_p99_ns: u64,
+    /// Read throughput over the measurement phase, MB/s.
+    pub healthy_mbps: f64,
+    /// Goodput after the PM tier is fenced: bytes of reads that still
+    /// succeed per second of model time, MB/s.
+    pub degraded_mbps: f64,
+    /// Reads that succeeded after the fence.
+    pub degraded_reads_ok: u64,
+    /// Reads that failed after the fence (sole copy behind the fence).
+    pub degraded_reads_err: u64,
+    /// Blocks whose *primary* ended on the PM tier.
+    pub pm_primary_blocks: u64,
+    /// Blocks with a *replica* on the PM tier.
+    pub pm_replica_blocks: u64,
+    /// Replica blocks created by the engine.
+    pub mirrors_created: u64,
+    /// Replica blocks retired by the engine.
+    pub mirrors_retired: u64,
+    /// Reads served from a replica faster than the primary.
+    pub mirror_reads_fast: u64,
+    /// Stale replica blocks re-synced after write absorption.
+    pub lazy_resyncs: u64,
+}
+
+/// Result of the mirror placement experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MirrorResult {
+    /// Files in the working set.
+    pub files: u64,
+    /// Blocks per file.
+    pub file_blocks: u64,
+    /// Workload epochs run before the measurement phase.
+    pub epochs: usize,
+    /// With `mirror_enabled = true`.
+    pub mirrored: MirrorRun,
+    /// Same workload, mirroring disabled (single-copy placement).
+    pub baseline: MirrorRun,
+    /// Read p99 ratio, mirrored / baseline (< 1.0 is a win).
+    pub p99_ratio: f64,
+    /// Degraded goodput ratio, mirrored / baseline (> 1.0 is a win).
+    pub degraded_ratio: f64,
+    /// Whether the mirrored arm's read p99 beat the single-copy baseline.
+    pub p99_improved: bool,
+    /// Whether the mirrored arm's fenced-PM goodput beat the baseline.
+    pub degraded_improved: bool,
+}
+
+fn mirror_one(mirrors: bool, files: u64, file_blocks: u64, epochs: usize, ops: usize) -> MirrorRun {
+    let mut opts = MuxOptions::default();
+    opts.autotier.enabled = true;
+    opts.autotier.mirror_enabled = mirrors;
+    // The PM tier is deliberately tiny relative to the working set, and
+    // the watermarks are split: primaries may occupy it only up to the
+    // (lowered) high watermark — migration headroom is expensive to
+    // reclaim — while replicas may pack it nearly full, because retiring
+    // a replica is an instant hole punch. That asymmetry is the whole
+    // point of mirror placement: the same scarce fast tier serves more
+    // of the read traffic when its contents are evictable copies.
+    opts.autotier.high_watermark = 0.5;
+    opts.autotier.mirror_watermark = 0.95;
+    // Every file in the (uniformly swept) working set must count as hot.
+    opts.autotier.hot_threshold = 1.0;
+    let stack = crate::testbed::build_mux_stack_cached(
+        Capacities {
+            pm: 16 << 20,
+            ssd: 512 << 20,
+            hdd: 4 << 30,
+        },
+        // Data starts on the SSD tier (a preference, not a pin).
+        Arc::new(PinnedPolicy::new(1)),
+        opts,
+        256 << 10, // tiny native caches: tier residency dominates latency
+    );
+    let epoch_ns = mux::AutotierConfig::default().epoch_ns;
+    let mut inos = Vec::new();
+    for i in 0..files {
+        let ino = mk(stack.mux.as_ref(), &format!("m{i}"));
+        stack
+            .mux
+            .write(ino, 0, &vec![i as u8; (file_blocks * BLOCK) as usize])
+            .unwrap();
+        stack.mux.fsync(ino).unwrap();
+        inos.push(ino);
+    }
+    let mut gen = Zipfian::new(files, 0.99, 11);
+    let mut buf = vec![0u8; BLOCK as usize];
+    let mut step = 0u64;
+    let next = |g: &mut Zipfian, step: &mut u64| {
+        *step += 1;
+        let f = g.next_item();
+        (f, (f * 7 + *step * 13) % file_blocks)
+    };
+    // Convergence epochs: a full sweep keeps every file read-heavy and
+    // hot (so the planner sees the whole set as mirror candidates), and
+    // a zipfian tail concentrates the popularity ranking.
+    for _ in 0..epochs {
+        for (i, &ino) in inos.iter().enumerate() {
+            stack
+                .mux
+                .read(ino, ((i as u64 * 3 + step) % file_blocks) * BLOCK, &mut buf)
+                .unwrap();
+        }
+        for _ in 0..ops {
+            let (f, b) = next(&mut gen, &mut step);
+            stack
+                .mux
+                .read(inos[f as usize], b * BLOCK, &mut buf)
+                .unwrap();
+        }
+        stack.clock.advance(epoch_ns);
+        stack.mux.maintenance_tick();
+    }
+    // Measurement phase: steady-state read latency, no ticks.
+    let mut lat: Vec<u64> = Vec::with_capacity(ops);
+    let t0 = stack.clock.now_ns();
+    for _ in 0..ops {
+        let (f, b) = next(&mut gen, &mut step);
+        let o0 = stack.clock.now_ns();
+        stack
+            .mux
+            .read(inos[f as usize], b * BLOCK, &mut buf)
+            .unwrap();
+        lat.push(stack.clock.now_ns() - o0);
+    }
+    let healthy_ns = stack.clock.now_ns() - t0;
+    lat.sort_unstable();
+    let pct = |p: f64| lat[(((lat.len() - 1) as f64) * p) as usize];
+
+    // Final placement census before the fence.
+    let pm_tiers: Vec<u32> = stack
+        .mux
+        .tier_status()
+        .into_iter()
+        .filter(|t| t.class == DeviceClass::Pmem)
+        .map(|t| t.id)
+        .collect();
+    let mut pm_primary_blocks = 0u64;
+    let mut pm_replica_blocks = 0u64;
+    for &ino in &inos {
+        for (_, n, tid) in stack.mux.file_placement(ino).unwrap() {
+            if pm_tiers.contains(&tid) {
+                pm_primary_blocks += n;
+            }
+        }
+        for (_, n, tid) in stack.mux.file_replicas(ino).unwrap() {
+            if pm_tiers.contains(&tid) {
+                pm_replica_blocks += n;
+            }
+        }
+    }
+
+    // Degraded phase: fence the PM tier and measure read goodput. A
+    // mirrored stack falls back to the (slower, but intact) primaries;
+    // a single-copy stack loses every block it promoted onto PM. Reads
+    // that hit the fence fail fast in dispatch without any device I/O,
+    // so a raw bytes-over-time rate would be blind to availability —
+    // the phase is therefore a closed loop with a fixed client-side gap
+    // per request, and goodput counts only the bytes actually served.
+    const THINK_NS: u64 = 2_000;
+    stack
+        .mux
+        .health()
+        .force_state(0, mux::TierHealthState::Offline);
+    let mut ok = 0u64;
+    let mut err = 0u64;
+    let d0 = stack.clock.now_ns();
+    for _ in 0..ops {
+        let (f, b) = next(&mut gen, &mut step);
+        match stack.mux.read(inos[f as usize], b * BLOCK, &mut buf) {
+            Ok(_) => ok += 1,
+            Err(_) => err += 1,
+        }
+        stack.clock.advance(THINK_NS);
+    }
+    let degraded_ns = stack.clock.now_ns() - d0;
+    let stats = stack.mux.stats().snapshot();
+    MirrorRun {
+        read_p50_ns: pct(0.50),
+        read_p99_ns: pct(0.99),
+        healthy_mbps: mbps(ops as u64 * BLOCK, healthy_ns),
+        degraded_mbps: mbps(ok * BLOCK, degraded_ns),
+        degraded_reads_ok: ok,
+        degraded_reads_err: err,
+        pm_primary_blocks,
+        pm_replica_blocks,
+        mirrors_created: stats.mirrors_created,
+        mirrors_retired: stats.mirrors_retired,
+        mirror_reads_fast: stats.mirror_reads_fast,
+        lazy_resyncs: stats.lazy_resyncs,
+    }
+}
+
+/// The mirror placement experiment: a read-heavy zipfian working set that
+/// starts on the SSD tier, with a PM tier too small to promote everything
+/// into. With mirroring on, the engine keeps primaries on the SSD and
+/// packs the PM with evictable replicas, so steady-state read p99 must
+/// beat the single-copy baseline — and after the PM tier is fenced, read
+/// goodput must also beat the baseline, because every fenced replica
+/// still has a live primary underneath it.
+pub fn mirror(files: u64, file_blocks: u64, epochs: usize, ops: usize) -> MirrorResult {
+    let on = mirror_one(true, files, file_blocks, epochs, ops);
+    let off = mirror_one(false, files, file_blocks, epochs, ops);
+    let p99_ratio = if off.read_p99_ns > 0 {
+        on.read_p99_ns as f64 / off.read_p99_ns as f64
+    } else {
+        1.0
+    };
+    let degraded_ratio = if off.degraded_mbps > 0.0 {
+        on.degraded_mbps / off.degraded_mbps
+    } else {
+        f64::INFINITY
+    };
+    MirrorResult {
+        files,
+        file_blocks,
+        epochs,
+        p99_ratio,
+        degraded_ratio,
+        p99_improved: on.read_p99_ns < off.read_p99_ns,
+        degraded_improved: on.degraded_mbps > off.degraded_mbps,
+        mirrored: on,
+        baseline: off,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Integrity — silent-corruption storm and scrubber overhead
 // ---------------------------------------------------------------------
 

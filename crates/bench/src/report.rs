@@ -382,6 +382,52 @@ pub fn render_autotier(r: &AutotierResult) -> String {
     s
 }
 
+/// Renders the mirror placement experiment.
+pub fn render_mirror(r: &MirrorResult) -> String {
+    let mut s = format!(
+        "Mirror — read-heavy zipfian set ({} files x {} blocks) on SSD, scarce PM, {} epochs\n",
+        r.files, r.file_blocks, r.epochs
+    );
+    let row = |name: &str, run: &crate::experiments::MirrorRun| {
+        vec![
+            name.to_string(),
+            format!("{}", run.read_p50_ns),
+            format!("{}", run.read_p99_ns),
+            format!("{:.1}", run.healthy_mbps),
+            format!("{:.1}", run.degraded_mbps),
+            format!("{}/{}", run.degraded_reads_ok, run.degraded_reads_err),
+            run.pm_primary_blocks.to_string(),
+            run.pm_replica_blocks.to_string(),
+            run.mirror_reads_fast.to_string(),
+        ]
+    };
+    s += &table(
+        &[
+            "arm",
+            "read p50 ns",
+            "read p99 ns",
+            "healthy MB/s",
+            "fenced MB/s",
+            "fenced ok/err",
+            "PM primaries",
+            "PM replicas",
+            "replica reads",
+        ],
+        &[row("mirrored", &r.mirrored), row("baseline", &r.baseline)],
+    );
+    let _ = writeln!(
+        s,
+        "  mirrors created/retired: {}/{}; lazy resyncs: {}",
+        r.mirrored.mirrors_created, r.mirrored.mirrors_retired, r.mirrored.lazy_resyncs
+    );
+    let _ = writeln!(
+        s,
+        "  read p99 ratio mirrored/baseline: {:.2} (improved: {}); fenced-PM goodput ratio: {:.2} (improved: {})",
+        r.p99_ratio, r.p99_improved, r.degraded_ratio, r.degraded_improved
+    );
+    s
+}
+
 /// Renders the integrity experiment: two bit-rot storms plus the scrub
 /// on/off overhead pair.
 pub fn render_integrity(r: &IntegrityResult) -> String {

@@ -21,8 +21,9 @@
 //! - a file is reachable under exactly one name, even across unsynced
 //!   renames (no aliasing of one native file behind two Mux files),
 //! - a synced unlink stays unlinked,
-//! - no block is owned by two tiers and every owned block has a native
-//!   participant backing it (see [`Oracle::verify`]).
+//! - no block is owned by two tiers, every owned block has a native
+//!   participant backing it, and every recorded replica is a complete,
+//!   byte-identical spare of its primary (see [`Oracle::verify`]).
 //!
 //! Scenarios whose guarantees are weaker (an *unsynced* unlink, say) are
 //! checked only for the invariants that do hold: recovery works and
@@ -260,8 +261,12 @@ fn read_all(mux: &Mux, ino: InodeNo, size: u64) -> VfsResult<Vec<u8>> {
 }
 
 /// Invariants independent of any workload: a native inode backs at most
-/// one Mux file, BLT extents never overlap, and every extent's owner
-/// tier actually participates in the file.
+/// one Mux file, BLT extents never overlap, every extent's owner tier
+/// actually participates in the file, and every recorded replica is a
+/// complete, byte-identical spare of its primary copy (a mirror commits
+/// only after a durable CRC-verified copy, and a retirement journals
+/// before the first punch — so a crash may lose a whole replica but
+/// never leave a torn or shadowing one).
 fn structural_check(mux: &Mux) -> Result<(), String> {
     let mut files: Vec<(u64, Arc<crate::file::MuxFile>)> = Vec::new();
     mux.files.for_each(|&i, f| files.push((i, Arc::clone(f))));
@@ -295,8 +300,63 @@ fn structural_check(mux: &Mux) -> Result<(), String> {
                 ));
             }
         }
+        for e in st.replicas.iter() {
+            let Some(&rep_nino) = st.native.get(&e.value) else {
+                return Err(format!(
+                    "file {ino}: replica extent at block {} on tier {} with no \
+                     native participant",
+                    e.start, e.value
+                ));
+            };
+            for b in e.start..e.start + e.len {
+                let Some(owner) = st.blt.tier_of(b) else {
+                    return Err(format!(
+                        "file {ino}: replica of block {b} which no tier owns"
+                    ));
+                };
+                if owner == e.value {
+                    return Err(format!(
+                        "file {ino}: block {b} replica shadows its own primary \
+                         on tier {owner}"
+                    ));
+                }
+                let pri_nino = *st.native.get(&owner).expect("checked by BLT walk");
+                let pri = native_block(mux, owner, pri_nino, b)
+                    .map_err(|e| format!("file {ino}: primary of block {b}: {e}"))?;
+                let rep = native_block(mux, e.value, rep_nino, b)
+                    .map_err(|e| format!("file {ino}: replica of block {b}: {e}"))?;
+                if pri != rep {
+                    return Err(format!(
+                        "file {ino}: replica of block {b} on tier {} diverges \
+                         from its primary on tier {owner}",
+                        e.value
+                    ));
+                }
+            }
+        }
     }
     Ok(())
+}
+
+/// Reads one block of a native file directly from its tier, bypassing the
+/// Mux dispatch path (which would itself pick between the copies under
+/// comparison). Short reads past EOF are zero-filled, matching how the
+/// mirror copy pads its source buffer.
+fn native_block(mux: &Mux, tier: TierId, nino: InodeNo, block: u64) -> Result<Vec<u8>, String> {
+    let handle = mux.tier(tier).map_err(|e| e.to_string())?;
+    let mut buf = vec![0u8; BLOCK as usize];
+    let mut done = 0usize;
+    while done < buf.len() {
+        match handle
+            .fs
+            .read(nino, block * BLOCK + done as u64, &mut buf[done..])
+        {
+            Ok(0) => break,
+            Ok(n) => done += n,
+            Err(e) => return Err(format!("tier {tier} read failed: {e}")),
+        }
+    }
+    Ok(buf)
 }
 
 /// Outcome counts plus per-point failures for one scenario × tear mode.
@@ -712,6 +772,68 @@ fn autotier_epoch_run(cx: &Ctx<'_>, o: &mut Oracle) -> VfsResult<()> {
     Ok(())
 }
 
+fn autotier_mirror_setup(cx: &Ctx<'_>, o: &mut Oracle) -> VfsResult<()> {
+    setup_one_file(cx, o, "mr", 14, 6)?;
+    // Heat the file well past the hot threshold with pure reads: the
+    // run's maintenance ticks close epochs, and a cold file would be
+    // demoted by the planner mid-scenario — absorbing the very replica
+    // whose lifecycle this scenario crash-enumerates. A hot, read-heavy
+    // file with a rank-0 primary gets no planner actions at all, so the
+    // explicitly enqueued Mirror/Unmirror are the only replica machinery
+    // in play and the device-op sequence stays deterministic.
+    let a = cx.mux.lookup(ROOT_INO, "mr")?;
+    let mut buf = vec![0u8; 6 * BK];
+    for _ in 0..32 {
+        cx.mux.read(a.ino, 0, &mut buf)?;
+    }
+    Ok(())
+}
+
+fn autotier_mirror_run(cx: &Ctx<'_>, o: &mut Oracle) -> VfsResult<()> {
+    // The replica lifecycle under power cuts. Creation must be
+    // all-or-nothing: at every crash point the recovered replica map
+    // either names no extra copy or names a complete, byte-identical one
+    // (`structural_check` compares the native images directly). Both
+    // actions are enqueued explicitly — the same queue the epoch planner
+    // feeds — so the device-op sequence is deterministic.
+    let a = cx.mux.lookup(ROOT_INO, "mr")?;
+    cx.mux
+        .autotier_enqueue_action(crate::autotier::EpochAction::Mirror(
+            crate::policy::MigrationPlan {
+                ino: a.ino,
+                block: 0,
+                n_blocks: 3,
+                to: 1,
+            },
+        ));
+    cx.mux.maintenance_tick();
+    cx.mux.sync()?;
+    o.sync_all();
+    // Writes beside a live replica: the snapshot carrying the replica map
+    // and the ordinary data path must not disturb each other.
+    let d = pat_buf(24, 4 * BK, 2 * BK);
+    o.write("mr", 4 * BK, &d);
+    cx.mux.write(a.ino, (4 * BK) as u64, &d)?;
+    cx.mux.fsync(a.ino)?;
+    o.fsync("mr");
+    // Retirement journals before the first punch, so recovery retires the
+    // snapshot's stale entries too instead of resurrecting a half-punched
+    // copy.
+    cx.mux
+        .autotier_enqueue_action(crate::autotier::EpochAction::Unmirror(
+            crate::policy::MigrationPlan {
+                ino: a.ino,
+                block: 0,
+                n_blocks: 3,
+                to: 1,
+            },
+        ));
+    cx.mux.maintenance_tick();
+    cx.mux.sync()?;
+    o.sync_all();
+    Ok(())
+}
+
 fn checksummed_setup(cx: &Ctx<'_>, o: &mut Oracle) -> VfsResult<()> {
     // Four synced blocks whose checksums land in the metafile snapshot;
     // recovery reloads them as *untrusted*, and every post-crash read in
@@ -747,8 +869,8 @@ fn checksummed_run(cx: &Ctx<'_>, o: &mut Oracle) -> VfsResult<()> {
 
 /// The standard workload set: create/write/fsync, rename, unlink,
 /// migration begin→commit, migration abort, repeated snapshot rewrites,
-/// an autotier epoch (planned batch of background migrations), and a
-/// checksummed write/scrub/snapshot cycle.
+/// an autotier epoch (planned batch of background migrations), a mirror
+/// create→retire cycle, and a checksummed write/scrub/snapshot cycle.
 pub fn standard_scenarios() -> Vec<Scenario> {
     vec![
         Scenario {
@@ -785,6 +907,11 @@ pub fn standard_scenarios() -> Vec<Scenario> {
             name: "autotier_epoch",
             setup: autotier_epoch_setup,
             run: autotier_epoch_run,
+        },
+        Scenario {
+            name: "autotier_mirror",
+            setup: autotier_mirror_setup,
+            run: autotier_mirror_run,
         },
         Scenario {
             name: "checksummed_io",

@@ -344,6 +344,29 @@ impl FastPath {
         n
     }
 
+    /// Multi-residency invalidation: drops entries of `ino` in
+    /// `[first, first + nblocks)` only where the cached mapping points at
+    /// `tier`. Retiring one residency of a mirrored block must not evict
+    /// the other copy's hot mapping (e.g. an unmirror on the slow tier
+    /// leaves the fast primary's entries serving).
+    pub fn invalidate_blocks_tier(&self, ino: u64, first: u64, nblocks: u64, tier: TierId) -> u64 {
+        let mut n = 0;
+        for b in first..first.saturating_add(nblocks) {
+            let base = self.set_of(ino, b);
+            for w in 0..WAYS {
+                if let Some((e, _)) = self.read_slot(base + w) {
+                    if e.ino == ino && e.block == b && e.tier == tier {
+                        if self.invalidate_idx(base + w) {
+                            n += 1;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        n
+    }
+
     /// Hits accumulated since the last [`FastPath::take_pending`].
     pub fn pending(&self) -> u64 {
         self.pending.load(Ordering::Relaxed)
@@ -452,6 +475,29 @@ mod tests {
         assert!(f.lookup(9, 2).is_none());
         assert!(f.lookup(9, 4).is_none());
         assert!(f.lookup(9, 5).is_some());
+    }
+
+    #[test]
+    fn invalidate_blocks_tier_spares_the_other_residency() {
+        let f = fp();
+        // Blocks 0..4 cached on tier 0, blocks 4..8 cached on tier 1.
+        for b in 0..4 {
+            f.insert(9, b, 0, 1, 1 << 20, 0, false, f.epoch(), 0);
+        }
+        for b in 4..8 {
+            f.insert(9, b, 1, 2, 1 << 20, 0, false, f.epoch(), 0);
+        }
+        // Retiring tier 1's residency of the whole range only kills the
+        // tier-1 mappings; tier 0's stay hot.
+        assert_eq!(f.invalidate_blocks_tier(9, 0, 8, 1), 4);
+        for b in 0..4 {
+            assert!(f.lookup(9, b).is_some(), "tier-0 mapping evicted");
+        }
+        for b in 4..8 {
+            assert!(f.lookup(9, b).is_none(), "tier-1 mapping survived");
+        }
+        // A second sweep finds nothing.
+        assert_eq!(f.invalidate_blocks_tier(9, 0, 8, 1), 0);
     }
 
     #[test]

@@ -70,9 +70,15 @@ pub struct FileState {
     pub native: HashMap<TierId, InodeNo>,
     /// Block → replica tier (paper §4: "a much stronger crash consistency
     /// guarantee can be designed … by the opportunity for data replication
-    /// across devices"). Replicas are read-only failover copies; writes
-    /// invalidate them.
+    /// across devices"). A replica is a full checksummed second copy; the
+    /// read path serves whichever copy is fastest and healthy.
     pub replicas: tvfs::RangeMap<TierId>,
+    /// Block → tier owed a replica copy: ranges whose mirror was dropped by
+    /// a write (the write was absorbed on the fast copy) and will be
+    /// re-established lazily by `maintenance_tick`. Transient — not
+    /// persisted; a crash simply forgets the debt and the planner re-plans
+    /// the mirror next epoch.
+    pub resync_pending: tvfs::RangeMap<TierId>,
     /// Per-block CRC-32C checksums + quarantine (see [`crate::integrity`]).
     /// Keyed by file block, not tier, so migration carries them for free.
     pub checksums: crate::integrity::ChecksumTable,
@@ -88,6 +94,7 @@ impl MuxFile {
                 meta,
                 native: HashMap::new(),
                 replicas: tvfs::RangeMap::new(),
+                resync_pending: tvfs::RangeMap::new(),
                 checksums: crate::integrity::ChecksumTable::new(),
             }),
             version: AtomicU64::new(0),

@@ -55,7 +55,7 @@ pub mod stats;
 pub mod trace;
 pub mod types;
 
-pub use autotier::{AutotierConfig, EpochReport};
+pub use autotier::{AutotierConfig, EpochAction, EpochPlan, EpochReport};
 pub use blt::BlockLookupTable;
 pub use cache::{CacheConfig, CacheController};
 pub use crashtest::{run_matrix, standard_scenarios, CrashMatrix, Scenario, TierDef};

@@ -24,7 +24,7 @@ use tvfs::{
     ROOT_INO,
 };
 
-use crate::autotier::EpochReport;
+use crate::autotier::{EpochAction, EpochReport};
 use crate::cache::CacheController;
 use crate::file::{MuxFile, MuxIno};
 use crate::health::{HealthRegistry, HealthSnapshot};
@@ -438,6 +438,31 @@ impl Mux {
         }
     }
 
+    /// Tier-filtered block-ranged invalidation: retires only mappings
+    /// that point at `tier`, so dropping one residency of a mirrored
+    /// block never evicts the other copy's hot entry. The unmirror path
+    /// calls this *before* punching a replica — a lock-free reader must
+    /// never hold a mapping onto reclaimed bytes.
+    pub(crate) fn fastpath_invalidate_blocks_tier(
+        &self,
+        ino: MuxIno,
+        first: u64,
+        nblocks: u64,
+        tier: TierId,
+    ) {
+        if nblocks as usize > self.fastpath.capacity() {
+            self.fastpath_invalidate_file(ino);
+            return;
+        }
+        if self
+            .fastpath
+            .invalidate_blocks_tier(ino, first, nblocks, tier)
+            > 0
+        {
+            MuxStats::add(&self.stats.fastpath_invalidations, 1);
+        }
+    }
+
     /// Global fast-path invalidation: bump the epoch so every cached
     /// mapping goes stale at once (tier add/remove, crash recovery).
     pub(crate) fn fastpath_epoch_bump(&self) {
@@ -587,6 +612,19 @@ impl Mux {
             .collect())
     }
 
+    /// A file's replica placement as `(block, n_blocks, tier)` extents in
+    /// file order — the extra full copies beyond [`Mux::file_placement`]
+    /// that the mirror machinery maintains.
+    pub fn file_replicas(&self, ino: MuxIno) -> VfsResult<Vec<(u64, u64, TierId)>> {
+        let file = self.get_file(ino)?;
+        let state = file.state.read();
+        Ok(state
+            .replicas
+            .iter()
+            .map(|e| (e.start, e.len, e.value))
+            .collect())
+    }
+
     /// The autotier engine (heat map and queue inspection).
     pub fn autotier(&self) -> &crate::autotier::Engine {
         &self.autotier
@@ -610,8 +648,19 @@ impl Mux {
             .transpose()?
             .unwrap_or(dest_rank);
         let promote = dest_rank < cur_rank;
-        self.autotier.state.lock().queue.push_back((plan, promote));
+        self.autotier
+            .state
+            .lock()
+            .queue
+            .push_back(EpochAction::Migrate { plan, promote });
         Ok(())
+    }
+
+    /// Enqueues an arbitrary epoch action — mirror and unmirror included —
+    /// for the autotier executor, bypassing the planner. The crash matrix
+    /// uses this to drive the replica lifecycle deterministically.
+    pub fn autotier_enqueue_action(&self, action: EpochAction) {
+        self.autotier.state.lock().queue.push_back(action);
     }
 
     /// One deterministic turn of the autotier engine (see
@@ -641,6 +690,12 @@ impl Mux {
         self.fastpath_flush();
         if cfg.enabled {
             self.autotier_tick(&mut report, &mut fg_busy);
+            // (3½) Lazy resync: writes absorbed on the fast copy leave the
+            // slower ex-replica owing a fresh copy; repay the debt in the
+            // background, bounded per tick, unless the foreground is busy.
+            if !fg_busy {
+                report.resynced = self.resync_tick();
+            }
         } else {
             // Still sense foreground pressure so the scrubber yields too.
             let n_tiers = self.tiers.read().len();
@@ -696,24 +751,28 @@ impl Mux {
             let tiers = self.tier_status();
             let files = self.file_views();
             let scores = self.autotier.heat.scores();
+            let read_frac = self.autotier.heat.read_fractions();
             let policy = self.policy.read().clone();
-            let plan = crate::autotier::plan_epoch(cfg, &tiers, &files, &scores, &|ino| {
-                policy.is_pinned(ino)
-            });
+            let plan =
+                crate::autotier::plan_epoch(cfg, &tiers, &files, &scores, &read_frac, &|ino| {
+                    policy.is_pinned(ino)
+                });
             self.autotier.heat.decay(cfg.decay);
             report.vetoes = plan.vetoes;
             MuxStats::add(&self.stats.planner_vetoes, plan.vetoes);
-            report.planned = plan.plans.len();
-            for (p, promote) in &plan.plans {
-                self.trace_event(
-                    TraceEventKind::PlanEmitted { promote: *promote },
-                    p.to,
-                    p.ino,
-                    p.block * BLOCK,
-                    p.n_blocks * BLOCK,
-                );
+            report.planned = plan.actions.len();
+            for action in &plan.actions {
+                if let Some((p, promote)) = action.migrate() {
+                    self.trace_event(
+                        TraceEventKind::PlanEmitted { promote },
+                        p.to,
+                        p.ino,
+                        p.block * BLOCK,
+                        p.n_blocks * BLOCK,
+                    );
+                }
             }
-            state.queue.extend(plan.plans);
+            state.queue.extend(plan.actions);
         }
         report.epoch = state.epoch;
 
@@ -753,13 +812,21 @@ impl Mux {
             );
         }
 
-        // (3) Executor: drain under the byte-rate limit.
+        // (3) Executor: drain under the byte-rate limit. Migrations and
+        // mirror copies both move bytes and pay the token bucket; an
+        // unmirror is an instant hole punch that frees space, so it runs
+        // for free (throttling reclamation would be self-defeating under
+        // watermark pressure).
         while !report.yielded {
-            let Some((p, promote)) = state.queue.front().cloned() else {
+            let Some(action) = state.queue.front().cloned() else {
                 break;
             };
+            let p = match &action {
+                EpochAction::Migrate { plan, .. } => plan.clone(),
+                EpochAction::Mirror(p) | EpochAction::Unmirror(p) => p.clone(),
+            };
             let bytes = p.n_blocks * BLOCK;
-            if !state.bucket.try_take(bytes, self.now()) {
+            if action.unmirror().is_none() && !state.bucket.try_take(bytes, self.now()) {
                 MuxStats::add(&self.stats.throttled_bytes, bytes);
                 report.throttled_bytes += bytes;
                 self.trace_event(
@@ -772,29 +839,132 @@ impl Mux {
                 break;
             }
             state.queue.pop_front();
-            match self.migrate_range(p.ino, p.block, p.n_blocks, p.to) {
-                Ok(MigrationOutcome::NothingToDo) => report.executed += 1,
-                Ok(_) => {
-                    report.executed += 1;
-                    report.blocks_moved += p.n_blocks;
-                    state.epoch_moved += p.n_blocks;
-                    let counter = if promote {
-                        &self.stats.auto_promotions
-                    } else {
-                        &self.stats.auto_demotions
-                    };
-                    MuxStats::add(counter, p.n_blocks);
+            match action {
+                EpochAction::Migrate { plan: p, promote } => {
+                    match self.migrate_range(p.ino, p.block, p.n_blocks, p.to) {
+                        Ok(MigrationOutcome::NothingToDo) => report.executed += 1,
+                        Ok(_) => {
+                            report.executed += 1;
+                            report.blocks_moved += p.n_blocks;
+                            state.epoch_moved += p.n_blocks;
+                            let counter = if promote {
+                                &self.stats.auto_promotions
+                            } else {
+                                &self.stats.auto_demotions
+                            };
+                            MuxStats::add(counter, p.n_blocks);
+                        }
+                        Err(VfsError::Busy) => {
+                            // A foreground writer holds the migration flag;
+                            // retrying now would spin. Requeue and back off
+                            // to the next tick.
+                            state
+                                .queue
+                                .push_back(EpochAction::Migrate { plan: p, promote });
+                            break;
+                        }
+                        Err(_) => report.failed += 1,
+                    }
                 }
-                Err(VfsError::Busy) => {
-                    // A foreground writer holds the migration flag; retrying
-                    // now would spin. Requeue and back off to the next tick.
-                    state.queue.push_back((p, promote));
-                    break;
+                EpochAction::Mirror(p) => {
+                    match self.mirror_range(p.ino, p.block, p.n_blocks, p.to) {
+                        Ok(n) => {
+                            report.executed += 1;
+                            report.mirrored += n;
+                            state.epoch_moved += n;
+                        }
+                        Err(VfsError::Busy) => {
+                            state.queue.push_back(EpochAction::Mirror(p));
+                            break;
+                        }
+                        Err(_) => report.failed += 1,
+                    }
                 }
-                Err(_) => report.failed += 1,
+                EpochAction::Unmirror(p) => {
+                    match self.unmirror_range(p.ino, p.block, p.n_blocks, p.to) {
+                        Ok(n) => {
+                            report.executed += 1;
+                            report.unmirrored += n;
+                        }
+                        Err(VfsError::Busy) => {
+                            state.queue.push_back(EpochAction::Unmirror(p));
+                            break;
+                        }
+                        Err(_) => report.failed += 1,
+                    }
+                }
             }
         }
         report.queued = state.queue.len();
+    }
+
+    /// One paced lazy-resync step (stage (3½) of
+    /// [`Mux::maintenance_tick`]): walks files in deterministic inode
+    /// order and re-mirrors ranges parked in `resync_pending` — replica
+    /// copies a write invalidated (or a role swap displaced) — through the
+    /// full fault-atomic [`Mux::mirror_range`] protocol, bounded by
+    /// `resync_bytes_per_tick`. The debt map is transient: a crash simply
+    /// forgets it and the planner re-plans the mirror next epoch. Returns
+    /// replica blocks re-established this tick.
+    fn resync_tick(&self) -> u64 {
+        let cfg = &self.opts.autotier;
+        if !cfg.mirror_enabled || cfg.resync_bytes_per_tick == 0 {
+            return 0;
+        }
+        let mut budget_blocks = cfg.resync_bytes_per_tick / BLOCK;
+        let mut resynced = 0u64;
+        let mut inos = self.files.keys();
+        inos.sort_unstable();
+        'files: for ino in inos {
+            let Some(file) = self.files.get(&ino) else {
+                continue;
+            };
+            loop {
+                if budget_blocks == 0 {
+                    break 'files;
+                }
+                let Some((start, len, to)) = file
+                    .state
+                    .read()
+                    .resync_pending
+                    .iter()
+                    .next()
+                    .map(|e| (e.start, e.len.min(budget_blocks), e.value))
+                else {
+                    break;
+                };
+                // Retire the debt before copying: if the copy fails the
+                // planner re-plans, and a write racing this resync
+                // re-parks its own range rather than fighting over one.
+                file.state.write().resync_pending.remove(start, len);
+                if !self.health.can_write(to) {
+                    continue; // sick destination: drop, replan later
+                }
+                match self.mirror_range(ino, start, len, to) {
+                    Ok(n) => {
+                        budget_blocks = budget_blocks.saturating_sub(len);
+                        if n > 0 {
+                            resynced += n;
+                            MuxStats::add(&self.stats.lazy_resyncs, 1);
+                            self.trace_event(
+                                TraceEventKind::LazyResync,
+                                to,
+                                ino,
+                                start * BLOCK,
+                                len * BLOCK,
+                            );
+                        }
+                    }
+                    Err(VfsError::Busy) => {
+                        // A migration holds the flag: re-park and move on.
+                        file.state.write().resync_pending.insert(start, len, to);
+                        break;
+                    }
+                    Err(_) => {} // dropped; the planner re-plans if still hot
+                }
+            }
+        }
+        resynced
     }
 
     /// Runs one native-tier dispatch through the bounded
@@ -2004,9 +2174,39 @@ impl FileSystem for Mux {
                     // content can be CRC-verified (and repaired) before a
                     // single byte is copied toward the caller; the verified
                     // page then feeds the SCM cache fill for free.
-                    let mut read_tier = seg.value;
+                    // The BLT owner this read validates against; a chase
+                    // after a concurrent migration commit updates it.
+                    let mut expect = seg.value;
                     let mut hops = 0u32;
                     loop {
+                        // Mirror-aware source selection (§4, replicas as
+                        // first-class placement): a block whose Healthy
+                        // replica sits on a strictly faster device class
+                        // is served from the replica. A merely sick (but
+                        // readable) primary still serves — it must keep
+                        // feeding the breaker and the repair chain — and
+                        // an offline primary fails over in the error path
+                        // below.
+                        let mut read_tier = expect;
+                        if let Some(rt) = file
+                            .state
+                            .read()
+                            .replicas
+                            .get(block)
+                            .filter(|&rt| rt != expect)
+                        {
+                            if self.health.state(rt) == crate::health::TierHealthState::Healthy
+                                && class_index(self.tier(rt)?.config.class)
+                                    < class_index(self.tier(expect)?.config.class)
+                            {
+                                read_tier = rt;
+                                if self.health.state(expect)
+                                    == crate::health::TierHealthState::Healthy
+                                {
+                                    MuxStats::add(&self.stats.mirror_reads_fast, 1);
+                                }
+                            }
+                        }
                         let rhandle = self.tier(read_tier)?;
                         let mut primary_nino = None;
                         let mut served_tier = read_tier;
@@ -2035,9 +2235,15 @@ impl FileSystem for Mux {
                         let got = match primary {
                             Ok(got) => got,
                             Err(VfsError::Io(primary_err)) => {
-                                // Primary tier failed: fail over to a replica
-                                // if this block has one (§4 replication).
-                                let rep = file.state.read().replicas.get(block);
+                                // The chosen copy failed: fail over to the
+                                // block's other copy — the replica when the
+                                // primary was serving, the primary when a
+                                // replica was (§4 replication).
+                                let rep = if read_tier == expect {
+                                    file.state.read().replicas.get(block)
+                                } else {
+                                    Some(expect).filter(|&t| self.health.can_read(t))
+                                };
                                 match rep {
                                     Some(rt) if rt != read_tier => {
                                         let rh = self.tier(rt)?;
@@ -2066,9 +2272,9 @@ impl FileSystem for Mux {
                         };
                         let owner_now = file.state.read().blt.tier_of(block);
                         if let Some(t) = owner_now {
-                            if t != read_tier && hops < READ_REVALIDATE_HOPS {
+                            if t != expect && hops < READ_REVALIDATE_HOPS {
                                 hops += 1;
-                                read_tier = t;
+                                expect = t;
                                 MuxStats::add(&self.stats.read_revalidations, 1);
                                 continue;
                             }
@@ -2078,7 +2284,7 @@ impl FileSystem for Mux {
                         // and no write landed mid-read; either race makes a
                         // mismatch meaningless (the write and migration
                         // paths keep the table consistent on their own).
-                        if owner_now == Some(read_tier) && file.version_now() == v0 {
+                        if owner_now == Some(expect) && file.version_now() == v0 {
                             self.verify_and_repair(&file, served_tier, block, &mut page, Some(v0))?;
                         }
                         // The page is zero-filled past a short native read,
@@ -2093,15 +2299,16 @@ impl FileSystem for Mux {
                             // the read would cache stale zeros otherwise.
                             if c.should_cache(rhandle.config.class)
                                 && got > 0
-                                && file.state.read().blt.tier_of(block) == Some(read_tier)
+                                && file.state.read().blt.tier_of(block) == Some(expect)
                             {
                                 let _ = c.fill(ino, block, &page);
                             }
                         }
                         // Publish the resolved mapping to the lock-free
-                        // fast path: only off the primary (replica-served
-                        // reads must keep feeding the breaker through the
-                        // dispatch path), only from a Healthy non-HDD tier
+                        // fast path: only off a deliberately chosen copy —
+                        // primary or fast replica; sick-tier failovers must
+                        // keep feeding the breaker through the dispatch
+                        // path — only from a Healthy non-HDD tier
                         // (HDD seeks dwarf the dispatch tax, and a cold
                         // tier should keep heat-visible dispatches), and
                         // never for a tier the SCM cache fronts (a
@@ -2109,7 +2316,7 @@ impl FileSystem for Mux {
                         // it).
                         if self.opts.fastpath.enabled
                             && primary_nino.is_some()
-                            && owner_now == Some(read_tier)
+                            && owner_now == Some(expect)
                             && file.version_now() == v0
                             && self.health.state(read_tier)
                                 == crate::health::TierHealthState::Healthy
@@ -2149,7 +2356,7 @@ impl FileSystem for Mux {
                             // slot. The BLT swings before the sweep runs,
                             // so re-checking owner + version here catches
                             // it; on mismatch, self-invalidate.
-                            if file.state.read().blt.tier_of(block) != Some(read_tier)
+                            if file.state.read().blt.tier_of(block) != Some(expect)
                                 || file.version_now() != v0
                             {
                                 self.fastpath.invalidate(ino, block);
@@ -2217,6 +2424,64 @@ impl FileSystem for Mux {
         let _ww = file.write_window();
         let old_size = file.state.read().meta.attr.size;
         let mut plan = self.plan_write(&file, off, data.len() as u64, false)?;
+        // Write absorption on the fast copy (§4, mirrors): a written range
+        // whose replica sits on a strictly faster Healthy tier — or whose
+        // primary the breaker has fenced — swings the primary role to the
+        // replica *before* dispatch. The write then lands once, on the
+        // fast device, and the slower ex-primary is re-mirrored lazily by
+        // the maintenance tick instead of being rewritten synchronously.
+        // The role change is journaled as an unmirror first: recovery must
+        // never resurrect the written-over copy as a replica.
+        if self.opts.autotier.mirror_enabled && !file.migrating.load(Ordering::Acquire) {
+            for entry in plan.iter_mut() {
+                let (tier, seg_off, seg_len, fresh) = *entry;
+                if fresh {
+                    continue;
+                }
+                let b0 = seg_off / BLOCK;
+                let nb = (seg_off + seg_len - 1) / BLOCK - b0 + 1;
+                let rep = {
+                    let st = file.state.read();
+                    match st.replicas.overlapping(b0, nb).as_slice() {
+                        // Swap only when one replica covers the whole
+                        // segment: partial coverage would tear the block
+                        // range across owners mid-write.
+                        [e] if e.start <= b0 && e.start + e.len >= b0 + nb => Some(e.value),
+                        _ => None,
+                    }
+                };
+                let Some(rt) = rep else {
+                    continue;
+                };
+                if rt == tier || self.health.state(rt) != crate::health::TierHealthState::Healthy {
+                    continue;
+                }
+                let faster = class_index(self.tier(rt)?.config.class)
+                    < class_index(self.tier(tier)?.config.class);
+                if !faster && self.health.can_write(tier) {
+                    continue;
+                }
+                self.journal_unmirror(ino, b0, nb, rt)?;
+                {
+                    let mut st = file.state.write();
+                    st.replicas.remove(b0, nb);
+                    st.blt.assign(b0, nb, rt);
+                    st.resync_pending.insert(b0, nb, tier);
+                }
+                // The owner changed under any cached mapping for these
+                // blocks; both residencies are about to diverge anyway.
+                self.fastpath_invalidate_blocks(ino, b0, nb);
+                MuxStats::add(&self.stats.mirrors_retired, nb);
+                self.trace_event(
+                    TraceEventKind::MirrorRetired,
+                    rt,
+                    ino,
+                    b0 * BLOCK,
+                    nb * BLOCK,
+                );
+                *entry = (rt, seg_off, seg_len, false);
+            }
+        }
         // Graceful degradation backstop: segments aimed at a tier the
         // circuit breaker has fenced (ReadOnly/Offline) — typically
         // already-mapped blocks the policy cannot re-place — are
@@ -2275,6 +2540,23 @@ impl FileSystem for Mux {
         let last = (off + data.len() as u64 - 1) / BLOCK;
         let end = off + data.len() as u64;
         let mut readback: Vec<u64> = Vec::new();
+        // Overwritten blocks invalidate their replicas (§4): the write
+        // landed on the primary only, so every overlapped replica range is
+        // now stale. Journal the invalidation *before* dropping the
+        // entries — recovery replaying against an older snapshot must not
+        // resurrect a divergent copy — and park the ranges in
+        // `resync_pending` so the maintenance tick re-mirrors them lazily.
+        let stale_reps: Vec<(u64, u64, TierId)> = {
+            let st = file.state.read();
+            st.replicas
+                .overlapping(first, last - first + 1)
+                .into_iter()
+                .map(|e| (e.start, e.len, e.value))
+                .collect()
+        };
+        for &(s, l, rt) in &stale_reps {
+            self.journal_unmirror(ino, s, l, rt)?;
+        }
         {
             let mut st = file.state.write();
             for &(tier, seg_off, seg_len, fresh) in &plan {
@@ -2286,10 +2568,10 @@ impl FileSystem for Mux {
             }
             st.meta.on_write(last_tier, end, now);
             st.meta.attr.blocks_bytes = st.blt.mapped_blocks() * BLOCK;
-            // Overwritten blocks invalidate their replicas (§4): the
-            // replica is a point-in-time durability copy, never a stale
-            // read source.
-            st.replicas.remove(first, last - first + 1);
+            for &(s, l, rt) in &stale_reps {
+                st.replicas.remove(s, l);
+                st.resync_pending.insert(s, l, rt);
+            }
             // Checksum maintenance (see [`crate::integrity`]): a block
             // whose entire stored content is determined by this write —
             // covered from its start, and either covered to its end or

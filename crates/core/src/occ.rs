@@ -107,6 +107,39 @@ pub enum MigrationOutcome {
     LockFallback,
 }
 
+/// Drops replica entries of `[block, block+n)` recorded on `to`: the
+/// caller just swung (or replayed) the range's Block Lookup Table
+/// ownership onto `to`, so any replica there is now the primary's own
+/// tier shadowing itself. The bytes stay — they *are* the primary copy —
+/// only the aliasing map entries go. Returns the number of absorbed
+/// blocks. Must run under the same state write lock as the BLT swing so
+/// no reader observes the shadowed window.
+pub(crate) fn absorb_shadowed_replicas(
+    st: &mut crate::file::FileState,
+    block: u64,
+    n: u64,
+    to: TierId,
+) -> u64 {
+    // Clip to the swung window: the extent may extend past it, and the
+    // part outside is still a valid replica of an elsewhere-primary.
+    let shadowed: Vec<(u64, u64)> = st
+        .replicas
+        .overlapping(block, n)
+        .iter()
+        .filter(|e| e.value == to)
+        .map(|e| {
+            let s = e.start.max(block);
+            (s, (e.start + e.len).min(block + n) - s)
+        })
+        .collect();
+    let mut absorbed = 0;
+    for (s, l) in shadowed {
+        st.replicas.remove(s, l);
+        absorbed += l;
+    }
+    absorbed
+}
+
 /// Result of one policy-driven migration pass.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MigrationSummary {
@@ -341,7 +374,11 @@ impl Mux {
             for (mb, ml) in mapped {
                 st.blt.assign(mb, ml, to);
             }
+            let absorbed = absorb_shadowed_replicas(&mut st, block, n, to);
             drop(st);
+            if absorbed > 0 {
+                crate::stats::MuxStats::add(&self.stats.mirrors_retired, absorbed);
+            }
             // Publish into the fast path *after* the BLT swing and
             // *before* reclaim punches the sources: a fast read that
             // raced the swing fails its post-read slot recheck, and no
@@ -362,6 +399,7 @@ impl Mux {
             }
             let mut st = file.state.write();
             let mut swung = false;
+            let mut absorbed = 0;
             for &(kb, kl) in &keep {
                 let mapped: Vec<(u64, u64)> = st
                     .blt
@@ -373,8 +411,12 @@ impl Mux {
                     st.blt.assign(mb, ml, to);
                     swung = true;
                 }
+                absorbed += absorb_shadowed_replicas(&mut st, kb, kl, to);
             }
             drop(st);
+            if absorbed > 0 {
+                crate::stats::MuxStats::add(&self.stats.mirrors_retired, absorbed);
+            }
             if swung {
                 OccStats::bump(&self.occ.partial_commits, 1);
                 self.fastpath_invalidate_blocks(file.ino, block, n);
@@ -577,7 +619,11 @@ impl Mux {
                 for (mb, ml) in mapped {
                     st.blt.assign(mb, ml, to);
                 }
+                let absorbed = absorb_shadowed_replicas(&mut st, block, n, to);
                 drop(st);
+                if absorbed > 0 {
+                    crate::stats::MuxStats::add(&self.stats.mirrors_retired, absorbed);
+                }
                 // Same ordering as the OCC commit: swing, then publish,
                 // then (after return) reclaim the sources.
                 self.fastpath_invalidate_blocks(file.ino, block, n);
@@ -682,92 +728,273 @@ impl Mux {
         self.note_meta_mutation();
     }
 
-    /// Replicates `[block, block+n)` onto tier `to` (paper §4: replication
-    /// across devices for stronger crash consistency). The Block Lookup
-    /// Table is unchanged — the primary copy keeps serving I/O — but the
-    /// replica is recorded and used as a read-failover source when the
-    /// primary errors, and preferred by recovery when the primary tier
-    /// lost data. Writes to a replicated range invalidate the replica.
-    pub fn replicate_range(&self, ino: MuxIno, block: u64, n: u64, to: TierId) -> VfsResult<u64> {
+    /// Mirrors `[block, block+n)` onto tier `to` — the MOST-style deliberate
+    /// placement primitive (and still the paper-§4 replication seam). The
+    /// Block Lookup Table is unchanged — the primary copy keeps serving
+    /// writes — but the replica is recorded and the read path serves
+    /// whichever healthy copy is fastest. Fault-atomic: the intent is
+    /// journaled before any byte lands on `to`, the replica-map entries are
+    /// inserted only after the destination fsync (a snapshot that names a
+    /// replica therefore promises a complete durable copy), and the commit
+    /// is journaled last — a crash at any point leaves either zero or one
+    /// fully-checksummed extra copy, never torn debris (recovery punches
+    /// uncommitted mirror bytes). Returns the number of blocks copied.
+    pub fn mirror_range(&self, ino: MuxIno, block: u64, n: u64, to: TierId) -> VfsResult<u64> {
         let file = self.get_file(ino)?;
-        self.tier(to)?;
-        // Exclude writers for the copy: replicas must match the primary at
-        // the instant they are recorded (simple and safe; replication is a
-        // background durability job, not a hot path).
-        let _io = file.io_lock.write();
-        let copied = {
-            // Copy only blocks not already living on `to`.
-            let plan = file.state.read().blt.plan(block, n);
-            let mut copied = 0u64;
-            let dst = self.tier(to)?;
-            let dst_ino = self.ensure_native(&file, to)?;
-            for seg in plan {
-                if seg.value == to {
-                    continue;
-                }
-                let src = self.tier(seg.value)?;
-                let src_ino = self.ensure_native(&file, seg.value)?;
-                let mut off = seg.start * BLOCK;
-                let end = (seg.start + seg.len) * BLOCK;
-                while off < end {
-                    let len = (4u64 << 20).min(end - off);
-                    let mut buf = vec![0u8; len as usize];
-                    let got = self.tier_io(OpKind::MigrationCopy, seg.value, || {
-                        src.fs.read(src_ino, off, &mut buf[..])
-                    })?;
-                    buf[got..].fill(0);
-                    // The replica is the repair source for the read path and
-                    // the scrubber — replicating silently-rotted source data
-                    // would defeat both. Verify every trusted block before it
-                    // is copied, and abort the job on a mismatch rather than
-                    // propagate bad bytes.
-                    if self.opts.integrity.checksums {
-                        for b in off / BLOCK..(off + len) / BLOCK {
-                            let s = ((b - off / BLOCK) * BLOCK) as usize;
-                            let actual = crate::integrity::crc32c(&buf[s..s + BLOCK as usize]);
-                            let outcome = file.state.write().checksums.verify(b, actual);
-                            if let crate::integrity::VerifyOutcome::Mismatch { expected, actual } =
-                                outcome
-                            {
-                                crate::stats::MuxStats::add(&self.stats.corruptions_detected, 1);
-                                self.trace_event(
-                                    TraceEventKind::CorruptionDetected { expected, actual },
-                                    seg.value,
-                                    file.ino,
-                                    b * BLOCK,
-                                    BLOCK,
-                                );
-                                self.health.record_corruption(seg.value);
-                                return Err(VfsError::corrupt_at(
-                                    format!(
-                                        "refusing to replicate block {b}: source copy on \
-                                         tier {} failed CRC-32C verification",
-                                        seg.value
-                                    ),
-                                    seg.value,
-                                    file.ino,
-                                    b * BLOCK,
-                                ));
-                            }
-                        }
-                    }
-                    self.tier_io(OpKind::MigrationCopy, to, || {
-                        dst.fs.write(dst_ino, off, &buf)
-                    })?;
-                    off += len;
-                }
-                let mut st = file.state.write();
-                st.replicas.insert(seg.start, seg.len, to);
-                copied += seg.len;
+        let dst = self.tier(to)?;
+        if dst.draining.load(Ordering::Acquire) {
+            return Err(VfsError::InvalidArgument(
+                "mirror destination tier is being removed".into(),
+            ));
+        }
+        if !self.health.can_write(to) {
+            return Err(VfsError::Io(format!(
+                "mirror destination tier {to} is {}",
+                self.health.state(to).label()
+            )));
+        }
+        // Mutual exclusion with migrations of the same file: a BLT swing
+        // mid-copy could leave the replica shadowing its own primary.
+        if file.migrating.swap(true, Ordering::AcqRel) {
+            return Err(VfsError::Busy);
+        }
+        // Journal before any byte can land on the destination, so crash
+        // recovery can tell mirror debris from real data.
+        let result = self
+            .journal_mirror_intent(ino, block, n, to)
+            .and_then(|()| self.mirror_copy(&file, block, n, to));
+        file.migrating.store(false, Ordering::Release);
+        let copied = match result {
+            Ok(c) => c,
+            Err(e) => {
+                self.unwind_mirror_debris(&file, block, n, to);
+                return Err(e);
             }
-            if copied > 0 {
-                let dst = self.tier(to)?;
-                self.tier_io(OpKind::MigrationCopy, to, || dst.fs.fsync(dst_ino))?;
-            }
-            copied
         };
+        if copied > 0 {
+            // Re-resolve the range: fast-path readers should reconsider
+            // which copy is fastest now that a second one exists.
+            self.fastpath_invalidate_blocks(ino, block, n);
+            crate::stats::MuxStats::add(&self.stats.mirrors_created, copied);
+        }
+        self.journal_mirror_commit(ino, block, n, to)?;
         self.note_meta_mutation();
         Ok(copied)
+    }
+
+    /// The copy body of [`Mux::mirror_range`]: excludes writers for the
+    /// duration (mirroring is a paced background job, not a hot path),
+    /// copies every block of the range that has no copy on `to` yet,
+    /// CRC-verifies the source bytes, fsyncs the destination, and only then
+    /// records the replica extents.
+    fn mirror_copy(&self, file: &MuxFile, block: u64, n: u64, to: TierId) -> VfsResult<u64> {
+        let _io = file.io_lock.write();
+        // Blocks that already have a copy on `to` — as primary or as an
+        // already-recorded replica — are skipped (and never punched by the
+        // error path).
+        let todo: Vec<(u64, u64, TierId)> = {
+            let st = file.state.read();
+            let covered: Vec<(u64, u64)> = st
+                .replicas
+                .overlapping(block, n)
+                .iter()
+                .filter(|e| e.value == to)
+                .map(|e| (e.start, e.len))
+                .collect();
+            let mut todo = Vec::new();
+            for (s, l) in subtract_ranges(block, n, &covered) {
+                for seg in st.blt.plan(s, l) {
+                    if seg.value != to {
+                        todo.push((seg.start, seg.len, seg.value));
+                    }
+                }
+            }
+            todo
+        };
+        if todo.is_empty() {
+            return Ok(0);
+        }
+        let dst = self.tier(to)?;
+        let dst_ino = self.ensure_native(file, to)?;
+        let mut copied = 0u64;
+        for &(s0, l0, src_tier) in &todo {
+            let src = self.tier(src_tier)?;
+            let src_ino = self.ensure_native(file, src_tier)?;
+            let mut off = s0 * BLOCK;
+            let end = (s0 + l0) * BLOCK;
+            while off < end {
+                let len = (4u64 << 20).min(end - off);
+                let mut buf = vec![0u8; len as usize];
+                let got = self.tier_io(OpKind::MigrationCopy, src_tier, || {
+                    src.fs.read(src_ino, off, &mut buf[..])
+                })?;
+                buf[got..].fill(0);
+                // The replica is the repair source for the read path and
+                // the scrubber — mirroring silently-rotted source data
+                // would defeat both. Verify every trusted block before it
+                // is copied, and abort the job on a mismatch rather than
+                // propagate bad bytes.
+                if self.opts.integrity.checksums {
+                    for b in off / BLOCK..(off + len) / BLOCK {
+                        let s = ((b - off / BLOCK) * BLOCK) as usize;
+                        let actual = crate::integrity::crc32c(&buf[s..s + BLOCK as usize]);
+                        let outcome = file.state.write().checksums.verify(b, actual);
+                        if let crate::integrity::VerifyOutcome::Mismatch { expected, actual } =
+                            outcome
+                        {
+                            crate::stats::MuxStats::add(&self.stats.corruptions_detected, 1);
+                            self.trace_event(
+                                TraceEventKind::CorruptionDetected { expected, actual },
+                                src_tier,
+                                file.ino,
+                                b * BLOCK,
+                                BLOCK,
+                            );
+                            self.health.record_corruption(src_tier);
+                            return Err(VfsError::corrupt_at(
+                                format!(
+                                    "refusing to mirror block {b}: source copy on \
+                                     tier {src_tier} failed CRC-32C verification"
+                                ),
+                                src_tier,
+                                file.ino,
+                                b * BLOCK,
+                            ));
+                        }
+                    }
+                }
+                self.tier_io(OpKind::MigrationCopy, to, || {
+                    dst.fs.write(dst_ino, off, &buf)
+                })?;
+                off += len;
+            }
+            copied += l0;
+        }
+        // Durable before visible: the replica map may be snapshotted the
+        // instant it is updated, and a snapshot that names a replica
+        // promises a complete on-device copy.
+        self.tier_io(OpKind::MigrationCopy, to, || dst.fs.fsync(dst_ino))?;
+        {
+            let mut st = file.state.write();
+            for &(s0, l0, _) in &todo {
+                st.replicas.insert(s0, l0, to);
+            }
+        }
+        for &(s0, l0, src_tier) in &todo {
+            self.trace_event(
+                TraceEventKind::MirrorCreated { primary: src_tier },
+                to,
+                file.ino,
+                s0 * BLOCK,
+                l0 * BLOCK,
+            );
+        }
+        Ok(copied)
+    }
+
+    /// Best-effort cleanup after a failed mirror copy: punch everything the
+    /// copy may have written to `to` — the range minus blocks the BLT maps
+    /// to `to` and minus previously-committed replica extents (nothing from
+    /// the failed attempt was recorded, so every recorded extent predates
+    /// it). Secondary errors are swallowed: they only leave invisible
+    /// debris that recovery or a later mirror overwrites.
+    fn unwind_mirror_debris(&self, file: &MuxFile, block: u64, n: u64, to: TierId) {
+        let (keep, nino) = {
+            let st = file.state.read();
+            let mut keep: Vec<(u64, u64)> = st
+                .blt
+                .plan(block, n)
+                .iter()
+                .filter(|s| s.value == to)
+                .map(|s| (s.start, s.len))
+                .collect();
+            keep.extend(
+                st.replicas
+                    .overlapping(block, n)
+                    .iter()
+                    .filter(|e| e.value == to)
+                    .map(|e| (e.start, e.len)),
+            );
+            (keep, st.native.get(&to).copied())
+        };
+        if let (Ok(handle), Some(nino)) = (self.tier(to), nino) {
+            for (db, dl) in subtract_ranges(block, n, &keep) {
+                let _ = handle.fs.punch_hole(nino, db * BLOCK, dl * BLOCK);
+            }
+        }
+    }
+
+    /// Retires the replicas of `[block, block+n)` that live on tier `to`:
+    /// journals the retirement (recovery replays against the last
+    /// snapshot's replica map, which may still record them), removes the
+    /// replica extents, punches the backing blocks the BLT does not own,
+    /// and invalidates the range's fast-path mappings on `to` only — the
+    /// primary's stay hot. Returns the number of replica blocks retired.
+    pub fn unmirror_range(&self, ino: MuxIno, block: u64, n: u64, to: TierId) -> VfsResult<u64> {
+        let file = self.get_file(ino)?;
+        let victims: Vec<(u64, u64)> = file
+            .state
+            .read()
+            .replicas
+            .overlapping(block, n)
+            .iter()
+            .filter(|e| e.value == to)
+            .map(|e| (e.start, e.len))
+            .collect();
+        if victims.is_empty() {
+            return Ok(0);
+        }
+        // Journal before any state change: a crash after the punch below
+        // must not resurrect the replica entry from the older snapshot.
+        self.journal_unmirror(ino, block, n, to)?;
+        {
+            let mut st = file.state.write();
+            for &(s, l) in &victims {
+                st.replicas.remove(s, l);
+            }
+        }
+        // Tier-filtered invalidation *before* the punch: a lock-free reader
+        // must never hold a mapping onto bytes the punch is reclaiming.
+        self.fastpath_invalidate_blocks_tier(ino, block, n, to);
+        let (owned, nino) = {
+            let st = file.state.read();
+            let owned: Vec<(u64, u64)> = st
+                .blt
+                .plan(block, n)
+                .iter()
+                .filter(|s| s.value == to)
+                .map(|s| (s.start, s.len))
+                .collect();
+            (owned, st.native.get(&to).copied())
+        };
+        if let (Ok(handle), Some(nino)) = (self.tier(to), nino) {
+            for &(vb, vl) in &victims {
+                for (db, dl) in subtract_ranges(vb, vl, &owned) {
+                    let _ = handle.fs.punch_hole(nino, db * BLOCK, dl * BLOCK);
+                }
+            }
+        }
+        let retired: u64 = victims.iter().map(|v| v.1).sum();
+        crate::stats::MuxStats::add(&self.stats.mirrors_retired, retired);
+        for &(vb, vl) in &victims {
+            self.trace_event(
+                TraceEventKind::MirrorRetired,
+                to,
+                ino,
+                vb * BLOCK,
+                vl * BLOCK,
+            );
+        }
+        self.note_meta_mutation();
+        Ok(retired)
+    }
+
+    /// Replicates `[block, block+n)` onto tier `to` (paper §4: replication
+    /// across devices for stronger crash consistency). Alias of
+    /// [`Mux::mirror_range`], kept for the repair and chaos callers that
+    /// predate deliberate mirror placement.
+    pub fn replicate_range(&self, ino: MuxIno, block: u64, n: u64, to: TierId) -> VfsResult<u64> {
+        self.mirror_range(ino, block, n, to)
     }
 
     /// Migrates an entire file to `to`.
@@ -792,6 +1019,11 @@ impl Mux {
                 extents: st
                     .blt
                     .extents()
+                    .iter()
+                    .map(|e| (e.start, e.len, e.value))
+                    .collect(),
+                replicas: st
+                    .replicas
                     .iter()
                     .map(|e| (e.start, e.len, e.value))
                     .collect(),

@@ -56,6 +56,13 @@ const INTENTS_NAME: &str = ".mux.intents";
 
 const INTENT_BEGIN: u8 = 1;
 const INTENT_COMMIT: u8 = 2;
+/// A mirror copy onto `to` is about to start (replica debris possible).
+const MIRROR_BEGIN: u8 = 3;
+/// The mirror copy onto `to` is durable and its replica entries recorded.
+const MIRROR_COMMIT: u8 = 4;
+/// The replicas of the range on `to` were retired (entries dropped,
+/// backing blocks punched).
+const UNMIRROR: u8 = 5;
 /// kind + ino + block + n + to + crc32 over the preceding bytes.
 const INTENT_RECORD: usize = 1 + 8 + 8 + 8 + 4 + 4;
 
@@ -110,7 +117,12 @@ impl Intent {
     /// a whole, intact record — a short read, a torn append or garbage —
     /// and the journal's valid prefix ends here.
     fn decode(raw: &[u8]) -> Option<Intent> {
-        if raw.len() < INTENT_RECORD || (raw[0] != INTENT_BEGIN && raw[0] != INTENT_COMMIT) {
+        if raw.len() < INTENT_RECORD
+            || !matches!(
+                raw[0],
+                INTENT_BEGIN | INTENT_COMMIT | MIRROR_BEGIN | MIRROR_COMMIT | UNMIRROR
+            )
+        {
             return None;
         }
         let crc = u32::from_le_bytes(raw[29..33].try_into().ok()?);
@@ -373,6 +385,58 @@ impl Mux {
     ) -> VfsResult<()> {
         self.append_intent(Intent {
             kind: INTENT_COMMIT,
+            ino,
+            block,
+            n,
+            to,
+        })
+    }
+
+    /// Appends a mirror-begin intent (fsync'd before any replica byte can
+    /// land on the destination).
+    ///
+    /// Public for crash-injection tests; normal callers go through
+    /// [`Mux::mirror_range`], which journals automatically.
+    pub fn journal_mirror_intent(
+        &self,
+        ino: MuxIno,
+        block: u64,
+        n: u64,
+        to: TierId,
+    ) -> VfsResult<()> {
+        self.append_intent(Intent {
+            kind: MIRROR_BEGIN,
+            ino,
+            block,
+            n,
+            to,
+        })
+    }
+
+    /// Appends a mirror-commit record: the replica copy is durable on the
+    /// destination and its replica-map entries are recorded.
+    pub fn journal_mirror_commit(
+        &self,
+        ino: MuxIno,
+        block: u64,
+        n: u64,
+        to: TierId,
+    ) -> VfsResult<()> {
+        self.append_intent(Intent {
+            kind: MIRROR_COMMIT,
+            ino,
+            block,
+            n,
+            to,
+        })
+    }
+
+    /// Appends a replica-retirement record, so recovery — which starts from
+    /// a snapshot that may still name the replica — retires it too instead
+    /// of resurrecting a stale (possibly diverged) copy.
+    pub fn journal_unmirror(&self, ino: MuxIno, block: u64, n: u64, to: TierId) -> VfsResult<()> {
+        self.append_intent(Intent {
+            kind: UNMIRROR,
             ino,
             block,
             n,
@@ -737,9 +801,24 @@ impl Mux {
         // Register native handles and merge namespaces first, so intent
         // processing can reach destination files the snapshot predates.
         mux.reconcile_namespaces()?;
-        // Apply intents: committed migrations re-apply their BLT move;
-        // uncommitted ones leave debris in the destination to punch.
-        for intent in intents.iter().filter(|i| i.kind == INTENT_BEGIN) {
+        // Apply intents in journal order: committed migrations re-apply
+        // their BLT move, uncommitted ones leave debris in the destination
+        // to punch; committed mirrors re-insert their replica entries,
+        // uncommitted mirror bytes are punched; unmirrors drop replica
+        // entries the snapshot may still name.
+        for (idx, intent) in intents.iter().enumerate() {
+            match intent.kind {
+                MIRROR_BEGIN => {
+                    mux.replay_mirror_begin(&intents, intent);
+                    continue;
+                }
+                UNMIRROR => {
+                    mux.replay_unmirror(&intents[idx + 1..], intent);
+                    continue;
+                }
+                INTENT_BEGIN => {}
+                _ => continue,
+            }
             let Ok(file) = mux.get_file(intent.ino) else {
                 continue;
             };
@@ -766,7 +845,10 @@ impl Mux {
                     _ => committed.push((s, e)),
                 }
             }
-            // Re-apply the committed moves.
+            // Re-apply the committed moves. Replica entries recorded on
+            // the destination (snapshot or earlier mirror records) are
+            // absorbed along with the swing, exactly as the live commit
+            // does — the new primary must not be shadowed by itself.
             {
                 let mut st = file.state.write();
                 for &(s, e) in &committed {
@@ -781,6 +863,9 @@ impl Mux {
                             st.blt.assign(b, l, intent.to);
                         }
                     }
+                    if st.native.contains_key(&intent.to) {
+                        crate::occ::absorb_shadowed_replicas(&mut st, s, e - s, intent.to);
+                    }
                 }
             }
             // Debris: punch the copied-but-never-committed remainder out
@@ -789,13 +874,23 @@ impl Mux {
             // means there is no debris to resurrect.
             let (native, owned_by_dest) = {
                 let st = file.state.read();
-                let owned: Vec<(u64, u64)> = st
+                let mut owned: Vec<(u64, u64)> = st
                     .blt
                     .plan(intent.block, intent.n)
                     .iter()
                     .filter(|e| e.value == intent.to)
                     .map(|e| (e.start, e.len))
                     .collect();
+                // Replica extents on the destination are real durable data
+                // too (e.g. a promotion aimed at the tier that already
+                // mirrors the range) — never punch them as debris.
+                owned.extend(
+                    st.replicas
+                        .overlapping(intent.block, intent.n)
+                        .iter()
+                        .filter(|e| e.value == intent.to)
+                        .map(|e| (e.start, e.len)),
+                );
                 (st.native.get(&intent.to).copied(), owned)
             };
             let Some(nino) = native else {
@@ -847,6 +942,121 @@ impl Mux {
         // read issued mid-recovery by an embedding test) is retired.
         mux.fastpath_epoch_bump();
         Ok(mux)
+    }
+
+    /// Replays one `MIRROR_BEGIN` record: committed sub-ranges (union of
+    /// the journal's `MIRROR_COMMIT` records for the same file and tier)
+    /// get their replica entries re-inserted — the commit record promises
+    /// the copy was fsync'd first — and the uncommitted remainder on the
+    /// destination is debris to punch. The punch spares blocks the BLT
+    /// maps to the destination, replica extents recorded elsewhere
+    /// (snapshot or earlier records), and every committed mirror range in
+    /// the journal, so a retry after a failed attempt never loses data.
+    fn replay_mirror_begin(&self, intents: &[Intent], begin: &Intent) {
+        let Ok(file) = self.get_file(begin.ino) else {
+            return;
+        };
+        let begin_end = begin.block + begin.n;
+        let commits: Vec<(u64, u64)> = intents
+            .iter()
+            .filter(|c| c.kind == MIRROR_COMMIT && c.ino == begin.ino && c.to == begin.to)
+            .filter_map(|c| {
+                let s = c.block.max(begin.block);
+                let e = (c.block + c.n).min(begin_end);
+                (s < e).then_some((s, e - s))
+            })
+            .collect();
+        {
+            let mut st = file.state.write();
+            if st.native.contains_key(&begin.to) {
+                for &(s, l) in &commits {
+                    st.replicas.insert(s, l, begin.to);
+                }
+            }
+        }
+        let (nino, keep) = {
+            let st = file.state.read();
+            let mut keep: Vec<(u64, u64)> = st
+                .blt
+                .plan(begin.block, begin.n)
+                .iter()
+                .filter(|e| e.value == begin.to)
+                .map(|e| (e.start, e.len))
+                .collect();
+            keep.extend(
+                st.replicas
+                    .overlapping(begin.block, begin.n)
+                    .iter()
+                    .filter(|e| e.value == begin.to)
+                    .map(|e| (e.start, e.len)),
+            );
+            keep.extend(commits.iter().copied());
+            (st.native.get(&begin.to).copied(), keep)
+        };
+        let Some(nino) = nino else {
+            return;
+        };
+        let Ok(dst) = self.tier(begin.to) else {
+            return;
+        };
+        for (db, dl) in crate::file::subtract_ranges(begin.block, begin.n, &keep) {
+            let _ = dst.fs.punch_hole(nino, db * BLOCK, dl * BLOCK);
+        }
+    }
+
+    /// Replays one `UNMIRROR` record: drop the range's replica entries on
+    /// the tier (the snapshot may predate the retirement) and punch the
+    /// backing blocks. The punch spares blocks the BLT maps to the tier
+    /// and any range a *later* mirror commit re-established there (lazy
+    /// resync — its durable copy must survive this replay).
+    fn replay_unmirror(&self, later: &[Intent], un: &Intent) {
+        let Ok(file) = self.get_file(un.ino) else {
+            return;
+        };
+        let un_end = un.block + un.n;
+        {
+            let mut st = file.state.write();
+            let victims: Vec<(u64, u64)> = st
+                .replicas
+                .overlapping(un.block, un.n)
+                .iter()
+                .filter(|e| e.value == un.to)
+                .map(|e| (e.start, e.len))
+                .collect();
+            for (s, l) in victims {
+                st.replicas.remove(s, l);
+            }
+        }
+        let (nino, mut keep) = {
+            let st = file.state.read();
+            let keep: Vec<(u64, u64)> = st
+                .blt
+                .plan(un.block, un.n)
+                .iter()
+                .filter(|e| e.value == un.to)
+                .map(|e| (e.start, e.len))
+                .collect();
+            (st.native.get(&un.to).copied(), keep)
+        };
+        keep.extend(
+            later
+                .iter()
+                .filter(|c| c.kind == MIRROR_COMMIT && c.ino == un.ino && c.to == un.to)
+                .filter_map(|c| {
+                    let s = c.block.max(un.block);
+                    let e = (c.block + c.n).min(un_end);
+                    (s < e).then_some((s, e - s))
+                }),
+        );
+        let Some(nino) = nino else {
+            return;
+        };
+        let Ok(dst) = self.tier(un.to) else {
+            return;
+        };
+        for (db, dl) in crate::file::subtract_ranges(un.block, un.n, &keep) {
+            let _ = dst.fs.punch_hole(nino, db * BLOCK, dl * BLOCK);
+        }
     }
 
     /// Walks every tier's namespace, adopting files and blocks Mux does
@@ -1080,6 +1290,15 @@ mod tests {
         let mut bad = raw;
         bad[3] ^= 0x40;
         assert!(Intent::decode(&bad).is_none());
+        // Every mirror record kind round-trips; an unknown kind is rejected
+        // even with a valid CRC (it ends the journal's valid prefix).
+        for kind in [MIRROR_BEGIN, MIRROR_COMMIT, UNMIRROR] {
+            let m = Intent { kind, ..i };
+            let back = Intent::decode(&m.encode()).expect("mirror record decodes");
+            assert_eq!(back, m);
+        }
+        let unknown = Intent { kind: 9, ..i };
+        assert!(Intent::decode(&unknown.encode()).is_none());
     }
 
     #[test]

@@ -94,6 +94,9 @@ pub struct FileView {
     pub ino: MuxIno,
     /// `(block, n_blocks, tier)` extents.
     pub extents: Vec<(u64, u64, TierId)>,
+    /// `(block, n_blocks, tier)` replica (mirror) ranges — extra read-only
+    /// copies beyond the primary extents above.
+    pub replicas: Vec<(u64, u64, TierId)>,
 }
 
 /// A migration the policy wants executed.
@@ -683,10 +686,12 @@ mod tests {
             FileView {
                 ino: 1,
                 extents: vec![(0, 50, 0)],
+                replicas: Vec::new(),
             },
             FileView {
                 ino: 2,
                 extents: vec![(0, 50, 0)],
+                replicas: Vec::new(),
             },
         ];
         let plans = p.plan_migrations(&t, &files);
@@ -705,6 +710,7 @@ mod tests {
         let files = vec![FileView {
             ino: 5,
             extents: vec![(0, 4, 2)],
+            replicas: Vec::new(),
         }];
         let plans = p.plan_migrations(&t, &files);
         assert_eq!(
@@ -755,10 +761,12 @@ mod tests {
             FileView {
                 ino: 7,
                 extents: vec![(0, 4, 2)],
+                replicas: Vec::new(),
             },
             FileView {
                 ino: 8,
                 extents: vec![(0, 4, 0)],
+                replicas: Vec::new(),
             },
         ];
         let plans = p.plan_migrations(&t, &files);
@@ -792,6 +800,7 @@ mod tests {
         let files = vec![FileView {
             ino: 1,
             extents: vec![(0, 4, 0)],
+            replicas: Vec::new(),
         }];
         let plans = p.plan_migrations(&t, &files);
         assert_eq!(plans[0].to, 2);

@@ -74,6 +74,19 @@ pub struct MuxStats {
     /// per-file sweeps from writes/truncate/unlink/migrations/quarantine,
     /// plus global epoch bumps from tier add/remove and recovery).
     pub fastpath_invalidations: AtomicU64,
+    /// Blocks mirrored onto a second tier by deliberate placement
+    /// (autotier `Mirror` actions and `Mux::replicate_range`).
+    pub mirrors_created: AtomicU64,
+    /// Replica blocks retired (heat decay, watermark pressure, demotion
+    /// prep, or a write absorbing the range on the fast copy).
+    pub mirrors_retired: AtomicU64,
+    /// Block reads served by a replica that is *faster* than the healthy
+    /// primary — the mirror payoff counter (distinct from
+    /// `replica_failovers`, which counts degraded-mode rescues).
+    pub mirror_reads_fast: AtomicU64,
+    /// Blocks re-replicated by the lazy resync pass in `maintenance_tick`
+    /// after a write was absorbed on the fast copy.
+    pub lazy_resyncs: AtomicU64,
 }
 
 /// Plain snapshot of [`MuxStats`].
@@ -137,6 +150,14 @@ pub struct MuxStatsSnapshot {
     pub fastpath_fallbacks: u64,
     /// Invalidations published into the fast-path cache.
     pub fastpath_invalidations: u64,
+    /// Blocks mirrored onto a second tier by deliberate placement.
+    pub mirrors_created: u64,
+    /// Replica blocks retired.
+    pub mirrors_retired: u64,
+    /// Block reads served by a replica faster than the healthy primary.
+    pub mirror_reads_fast: u64,
+    /// Blocks re-replicated by the lazy resync pass.
+    pub lazy_resyncs: u64,
 }
 
 impl MuxStats {
@@ -177,6 +198,10 @@ impl MuxStats {
             fastpath_hits: self.fastpath_hits.load(Ordering::Relaxed),
             fastpath_fallbacks: self.fastpath_fallbacks.load(Ordering::Relaxed),
             fastpath_invalidations: self.fastpath_invalidations.load(Ordering::Relaxed),
+            mirrors_created: self.mirrors_created.load(Ordering::Relaxed),
+            mirrors_retired: self.mirrors_retired.load(Ordering::Relaxed),
+            mirror_reads_fast: self.mirror_reads_fast.load(Ordering::Relaxed),
+            lazy_resyncs: self.lazy_resyncs.load(Ordering::Relaxed),
         }
     }
 }
@@ -240,6 +265,20 @@ mod tests {
         assert_eq!(snap.checksums_dropped, 2);
         assert_eq!(snap.scrub_passes, 5);
         assert_eq!(snap.scrub_blocks_verified, 640);
+    }
+
+    #[test]
+    fn mirror_counters_snapshot() {
+        let s = MuxStats::default();
+        MuxStats::add(&s.mirrors_created, 16);
+        MuxStats::add(&s.mirrors_retired, 8);
+        MuxStats::add(&s.mirror_reads_fast, 1000);
+        MuxStats::add(&s.lazy_resyncs, 4);
+        let snap = s.snapshot();
+        assert_eq!(snap.mirrors_created, 16);
+        assert_eq!(snap.mirrors_retired, 8);
+        assert_eq!(snap.mirror_reads_fast, 1000);
+        assert_eq!(snap.lazy_resyncs, 4);
     }
 
     #[test]

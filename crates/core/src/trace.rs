@@ -158,6 +158,19 @@ pub enum TraceEventKind {
         /// Fast-path hits drained in this flush.
         hits: u64,
     },
+    /// A mirror of the event's byte range was created on the event's tier
+    /// (the primary copy is unchanged and keeps serving writes).
+    MirrorCreated {
+        /// Tier holding the primary copy of the range.
+        primary: TierId,
+    },
+    /// The replica of the event's byte range on the event's tier was
+    /// retired (heat decay, watermark pressure, demotion prep, or a write
+    /// absorbed on the fast copy).
+    MirrorRetired,
+    /// The lazy resync pass re-mirrored the event's byte range onto the
+    /// event's tier after a write was absorbed on the fast copy.
+    LazyResync,
 }
 
 impl TraceEventKind {
@@ -185,6 +198,9 @@ impl TraceEventKind {
             TraceEventKind::BlockQuarantined => "block_quarantined",
             TraceEventKind::ScrubPass { .. } => "scrub_pass",
             TraceEventKind::FastPathBatch { .. } => "fast_path_batch",
+            TraceEventKind::MirrorCreated { .. } => "mirror_created",
+            TraceEventKind::MirrorRetired => "mirror_retired",
+            TraceEventKind::LazyResync => "lazy_resync",
         }
     }
 }

@@ -3,9 +3,11 @@
 //!
 //! The planner ([`mux::autotier::plan_epoch`]) is a pure function, so its
 //! contract is tested directly over arbitrary tier occupancy, file
-//! layouts, heat scores and pin sets: no epoch may plan a pinned file,
-//! target an unhealthy or over-watermark tier, or exceed the per-epoch
-//! byte budget.
+//! layouts, replica placements, heat scores, read fractions and pin
+//! sets: no epoch may migrate or mirror a pinned file, target an
+//! unhealthy tier, exceed the migration or mirror byte budgets, push a
+//! destination past its watermark, or demote a range whose replica it
+//! has not retired first.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -13,7 +15,7 @@ use std::sync::Arc;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use mux::autotier::{plan_epoch, AutotierConfig};
+use mux::autotier::{plan_epoch, AutotierConfig, EpochAction};
 use mux::policy::{FileView, TierStatus};
 use mux::{Mux, MuxOptions, PinnedPolicy, TierConfig, TierHealthState, TierId, BLOCK};
 use simdev::{DeviceClass, VirtualClock};
@@ -28,8 +30,9 @@ use tvfs::{FileSystem, FileType, ROOT_INO};
 
 /// (class pick, health pick, total blocks, free percent) per tier.
 type RawTier = (u8, u8, u64, u64);
-/// (extents as (block, n_blocks, tier pick), score in centi-units, pin pick).
-type RawFile = (Vec<(u64, u64, u32)>, u64, u8);
+/// (extents as (block, n_blocks, tier pick), score in centi-units,
+/// pin/read-fraction pick, replicas as (block, n_blocks, tier pick)).
+type RawFile = (Vec<(u64, u64, u32)>, u64, u8, Vec<(u64, u64, u32)>);
 
 fn raw_tiers() -> impl Strategy<Value = Vec<RawTier>> {
     vec((0..4u8, 0..7u8, 64..4096u64, 0..=100u64), 2..=4)
@@ -40,7 +43,8 @@ fn raw_files() -> impl Strategy<Value = Vec<RawFile>> {
         (
             vec((0..512u64, 1..64u64, 0..64u32), 1..4),
             0..3200u64,
-            0..5u8,
+            0..15u8,
+            vec((0..512u64, 1..64u64, 0..64u32), 0..3),
         ),
         1..=12,
     )
@@ -76,29 +80,57 @@ fn build_tiers(raw: &[RawTier]) -> Vec<TierStatus> {
         .collect()
 }
 
-/// Returns (files, scores, pinned inos).
+/// Returns (files, scores, read fractions, pinned inos).
+#[allow(clippy::type_complexity)]
 fn build_files(
     raw: &[RawFile],
     n_tiers: usize,
-) -> (Vec<FileView>, HashMap<u64, f64>, HashSet<u64>) {
+) -> (
+    Vec<FileView>,
+    HashMap<u64, f64>,
+    HashMap<u64, f64>,
+    HashSet<u64>,
+) {
     let mut files = Vec::new();
     let mut scores = HashMap::new();
+    let mut read_frac = HashMap::new();
     let mut pins = HashSet::new();
-    for (i, (extents, score, pin)) in raw.iter().enumerate() {
+    // Raw extents are arbitrary and may overlap; a real BLT (and the
+    // replica RangeMap) holds one owner per block, so lay each list out
+    // disjointly — the raw block pick becomes an inter-extent gap.
+    let disjoint = |raw: &[(u64, u64, u32)]| {
+        let mut cursor = 0u64;
+        let mut out = Vec::new();
+        for &(b, n, t) in raw {
+            let start = cursor + b % 32;
+            out.push((start, n, t % n_tiers as u32));
+            cursor = start + n;
+        }
+        out
+    };
+    for (i, (extents, score, pick, replicas)) in raw.iter().enumerate() {
         let ino = i as u64 + 1;
         files.push(FileView {
             ino,
-            extents: extents
-                .iter()
-                .map(|&(b, n, t)| (b, n, t % n_tiers as u32))
-                .collect(),
+            extents: disjoint(extents),
+            replicas: disjoint(replicas),
         });
         scores.insert(ino, *score as f64 / 100.0);
-        if *pin == 0 {
+        // One byte drives two independent axes: pick % 3 == 0 pins the
+        // file, pick / 3 in 0..=4 spreads read fractions over
+        // {0, ¼, ½, ¾, 1} — covering pinned × read-heavy combinations.
+        read_frac.insert(ino, (*pick / 3) as f64 / 4.0);
+        if *pick % 3 == 0 {
             pins.insert(ino);
         }
     }
-    (files, scores, pins)
+    (files, scores, read_frac, pins)
+}
+
+/// The byte reserve a tier must keep free to stay at or below `mark`
+/// utilization — the planner's own truncating arithmetic, replayed.
+fn reserve(t: &TierStatus, mark: f64) -> u64 {
+    ((1.0 - mark) * t.total_bytes as f64) as u64
 }
 
 // ---------------------------------------------------------------------
@@ -113,64 +145,169 @@ proptest! {
         rt in raw_tiers(),
         rf in raw_files(),
         budget_blocks in 1..=64u64,
+        mirror_budget_blocks in 1..=64u64,
         max_plans in 1..=32usize,
     ) {
         let cfg = AutotierConfig {
             max_bytes_per_epoch: budget_blocks * BLOCK,
+            mirror_bytes_per_epoch: mirror_budget_blocks * BLOCK,
             max_plans_per_epoch: max_plans,
             ..AutotierConfig::default()
         };
         let tiers = build_tiers(&rt);
-        let (files, scores, pins) = build_files(&rf, tiers.len());
+        let (files, scores, read_frac, pins) = build_files(&rf, tiers.len());
 
-        let out = plan_epoch(&cfg, &tiers, &files, &scores, &|ino| pins.contains(&ino));
+        let out = plan_epoch(&cfg, &tiers, &files, &scores, &read_frac, &|ino| {
+            pins.contains(&ino)
+        });
 
-        // Plan count and byte budget are bounded.
-        prop_assert!(out.plans.len() <= cfg.max_plans_per_epoch);
-        let total_bytes: u64 = out.plans.iter().map(|(p, _)| p.n_blocks * BLOCK).sum();
+        // Copy-move count (migrations + mirrors) and both byte budgets
+        // are bounded; unmirrors are free hole punches and uncounted.
+        let copies = out
+            .actions
+            .iter()
+            .filter(|a| a.unmirror().is_none())
+            .count();
+        prop_assert!(copies <= cfg.max_plans_per_epoch);
+        let migrate_bytes: u64 = out
+            .actions
+            .iter()
+            .filter_map(|a| a.migrate())
+            .map(|(p, _)| p.n_blocks * BLOCK)
+            .sum();
         prop_assert!(
-            total_bytes <= cfg.max_bytes_per_epoch,
-            "planned {} bytes over a {} budget",
-            total_bytes,
+            migrate_bytes <= cfg.max_bytes_per_epoch,
+            "migrated {} bytes over a {} budget",
+            migrate_bytes,
             cfg.max_bytes_per_epoch
         );
+        let mirror_bytes: u64 = out
+            .actions
+            .iter()
+            .filter_map(|a| a.mirror())
+            .map(|p| p.n_blocks * BLOCK)
+            .sum();
+        prop_assert!(
+            mirror_bytes <= cfg.mirror_bytes_per_epoch,
+            "mirrored {} bytes over a {} budget",
+            mirror_bytes,
+            cfg.mirror_bytes_per_epoch
+        );
 
-        // No plan touches a pinned file, and every plan moves >= 1 block.
-        for (p, _) in &out.plans {
-            prop_assert!(!pins.contains(&p.ino), "planned pinned ino {}", p.ino);
-            prop_assert!(p.n_blocks > 0);
-        }
-
-        // Destinations are healthy and stay at/below the high watermark
-        // even after *all* planned bytes land.
-        let mut incoming: HashMap<TierId, u64> = HashMap::new();
-        for (p, _) in &out.plans {
-            *incoming.entry(p.to).or_insert(0) += p.n_blocks * BLOCK;
-        }
-        for (&tid, &bytes) in &incoming {
-            let t = tiers.iter().find(|t| t.id == tid);
-            prop_assert!(t.is_some(), "plan targets unknown tier {}", tid);
-            let t = t.unwrap();
-            prop_assert_eq!(
-                t.health,
-                TierHealthState::Healthy,
-                "plan targets {:?} tier {}",
-                t.health,
-                tid
-            );
-            let free_after = t.free_bytes.saturating_sub(bytes);
-            let util_after = if t.total_bytes == 0 {
-                1.0
-            } else {
-                1.0 - free_after as f64 / t.total_bytes as f64
+        // No migration or mirror touches a pinned file, every action
+        // covers >= 1 block, and every copy destination is Healthy.
+        for a in &out.actions {
+            let (p, is_copy) = match a {
+                EpochAction::Migrate { plan, .. } => (plan, true),
+                EpochAction::Mirror(p) => (p, true),
+                EpochAction::Unmirror(p) => (p, false),
             };
-            prop_assert!(
-                util_after <= cfg.high_watermark + 1e-9,
-                "tier {} would reach {} utilization (> {})",
-                tid,
-                util_after,
-                cfg.high_watermark
-            );
+            prop_assert!(p.n_blocks > 0);
+            if is_copy {
+                prop_assert!(!pins.contains(&p.ino), "planned pinned ino {}", p.ino);
+                let t = tiers.iter().find(|t| t.id == p.to);
+                prop_assert!(t.is_some(), "plan targets unknown tier {}", p.to);
+                prop_assert_eq!(
+                    t.unwrap().health,
+                    TierHealthState::Healthy,
+                    "copy targets {:?} tier {}",
+                    t.unwrap().health,
+                    p.to
+                );
+            }
+        }
+
+        // Mirrors land on a tier that does not already own the range: a
+        // replica of a block colocated with its primary protects nothing.
+        for a in &out.actions {
+            let Some(p) = a.mirror() else { continue };
+            let f = files.iter().find(|f| f.ino == p.ino).unwrap();
+            for &(eb, en, et) in &f.extents {
+                let overlap = eb < p.block + p.n_blocks && eb + en > p.block;
+                prop_assert!(
+                    !(overlap && et == p.to),
+                    "mirror of ino {} blocks [{}, {}) onto its own primary tier {}",
+                    p.ino,
+                    p.block,
+                    p.block + p.n_blocks,
+                    p.to
+                );
+            }
+        }
+
+        // Watermarks, replayed action by action with the planner's own
+        // accounting (copies debit the destination, unmirrors credit it):
+        // after every migration the destination sits at or below the high
+        // watermark, after every mirror at or below the mirror watermark.
+        let mut free: HashMap<TierId, u64> =
+            tiers.iter().map(|t| (t.id, t.free_bytes)).collect();
+        for a in &out.actions {
+            match a {
+                EpochAction::Migrate { plan: p, .. } => {
+                    let t = tiers.iter().find(|t| t.id == p.to).unwrap();
+                    let f = free.get_mut(&p.to).unwrap();
+                    *f = f.saturating_sub(p.n_blocks * BLOCK);
+                    prop_assert!(
+                        *f >= reserve(t, cfg.high_watermark),
+                        "migration pushes tier {} past the high watermark",
+                        p.to
+                    );
+                }
+                EpochAction::Mirror(p) => {
+                    let t = tiers.iter().find(|t| t.id == p.to).unwrap();
+                    let f = free.get_mut(&p.to).unwrap();
+                    *f = f.saturating_sub(p.n_blocks * BLOCK);
+                    prop_assert!(
+                        *f >= reserve(t, cfg.mirror_watermark),
+                        "mirror pushes tier {} past the mirror watermark",
+                        p.to
+                    );
+                }
+                EpochAction::Unmirror(p) => {
+                    if let Some(f) = free.get_mut(&p.to) {
+                        *f = f.saturating_add(p.n_blocks * BLOCK);
+                    }
+                }
+            }
+        }
+
+        // Unmirror-before-demote: a demotion of a range whose input view
+        // holds a replica is preceded by unmirrors covering the overlap —
+        // the fast copy never outlives the demoted primary.
+        for (i, a) in out.actions.iter().enumerate() {
+            let Some((p, promote)) = a.migrate() else { continue };
+            if promote {
+                continue;
+            }
+            let f = files.iter().find(|f| f.ino == p.ino).unwrap();
+            for &(rb, rn, rtier) in &f.replicas {
+                let lo = rb.max(p.block);
+                let hi = (rb + rn).min(p.block + p.n_blocks);
+                if lo >= hi {
+                    continue;
+                }
+                // Every overlapped replica block must be retired earlier
+                // in the action list.
+                let mut covered: Vec<(u64, u64)> = Vec::new();
+                for b in out.actions[..i].iter() {
+                    if let Some(u) = b.unmirror() {
+                        if u.ino == p.ino && u.to == rtier {
+                            covered.push((u.block, u.n_blocks));
+                        }
+                    }
+                }
+                for blk in lo..hi {
+                    prop_assert!(
+                        covered.iter().any(|&(s, l)| s <= blk && blk < s + l),
+                        "ino {} block {} demoted to tier {} while its replica \
+                         on tier {} was not first unmirrored",
+                        p.ino,
+                        blk,
+                        p.to,
+                        rtier
+                    );
+                }
+            }
         }
     }
 
@@ -178,10 +315,10 @@ proptest! {
     fn planner_is_deterministic(rt in raw_tiers(), rf in raw_files()) {
         let cfg = AutotierConfig::default();
         let tiers = build_tiers(&rt);
-        let (files, scores, _) = build_files(&rf, tiers.len());
-        let a = plan_epoch(&cfg, &tiers, &files, &scores, &|_| false);
-        let b = plan_epoch(&cfg, &tiers, &files, &scores, &|_| false);
-        prop_assert_eq!(a.plans, b.plans);
+        let (files, scores, read_frac, _) = build_files(&rf, tiers.len());
+        let a = plan_epoch(&cfg, &tiers, &files, &scores, &read_frac, &|_| false);
+        let b = plan_epoch(&cfg, &tiers, &files, &scores, &read_frac, &|_| false);
+        prop_assert_eq!(a.actions, b.actions);
         prop_assert_eq!(a.vetoes, b.vetoes);
     }
 }
@@ -245,10 +382,12 @@ fn maintenance_tick_promotes_the_hot_file() {
 
     // Heat the hot file well past the promotion threshold; the cold file
     // stays untouched (it is already on the slowest tier, so no demotion
-    // is planned for it either).
+    // is planned for it either). Writes keep the read fraction below the
+    // mirror threshold so this stays a pure promotion scenario.
     let mut buf = vec![0u8; BLOCK as usize];
     for _ in 0..32 {
         mux.read(hot, 0, &mut buf).unwrap();
+        mux.write(hot, 0, &buf).unwrap();
     }
 
     let mut promoted_blocks = 0;
@@ -282,6 +421,55 @@ fn maintenance_tick_promotes_the_hot_file() {
         .all(|&(_, _, t)| t == 2));
     let stats = mux.stats().snapshot();
     assert!(stats.auto_promotions > 0);
+}
+
+#[test]
+fn maintenance_tick_mirrors_the_read_heavy_file() {
+    let (clock, mux) = build_stack();
+    let ino = mux
+        .create(ROOT_INO, "readheavy", FileType::Regular, 0o644)
+        .unwrap()
+        .ino;
+    mux.write(ino, 0, &vec![3u8; 8 * BLOCK as usize]).unwrap();
+    assert!(mux
+        .file_placement(ino)
+        .unwrap()
+        .iter()
+        .all(|&(_, _, t)| t == 2));
+
+    // A pure-read workload: heat rises with read fraction 1.0, so the
+    // planner mirrors onto a fast tier instead of promoting the primary
+    // onto the very fastest class.
+    let mut buf = vec![0u8; BLOCK as usize];
+    for pass in 0..24 {
+        for b in 0..8u64 {
+            mux.read(ino, b * BLOCK, &mut buf).unwrap();
+        }
+        if pass % 4 == 3 {
+            clock.advance(AutotierConfig::default().epoch_ns);
+            mux.maintenance_tick();
+        }
+    }
+    for _ in 0..8 {
+        clock.advance(AutotierConfig::default().epoch_ns);
+        mux.maintenance_tick();
+        if !mux.file_replicas(ino).unwrap().is_empty() {
+            break;
+        }
+    }
+    let reps = mux.file_replicas(ino).unwrap();
+    assert!(
+        !reps.is_empty(),
+        "read-heavy file never gained a replica: {:?}",
+        mux.file_placement(ino).unwrap()
+    );
+    // The replica sits on a strictly faster class than the primary.
+    let primary_class = tier_class_of(&mux, mux.file_placement(ino).unwrap()[0].2);
+    for &(_, _, rt) in &reps {
+        assert!(tier_class_of(&mux, rt) < primary_class);
+    }
+    let stats = mux.stats().snapshot();
+    assert!(stats.mirrors_created > 0);
 }
 
 #[test]

@@ -7,6 +7,14 @@ Usage:
   check_bench.py --autotier <current autotier.json> <baseline autotier.json>
   check_bench.py --integrity <current integrity.json> <baseline integrity.json>
   check_bench.py --read-overhead <current read_overhead.json> <baseline read_overhead.json>
+  check_bench.py --mirror <current mirror.json> <baseline mirror.json>
+  check_bench.py --all [baseline-ref]
+
+`--all` runs every gate in one process against freshly regenerated
+results under bench_results/, taking each baseline from the committed
+copy at `baseline-ref` (default HEAD) via `git show`, and prints a
+per-gate summary table. Any missing result or baseline file is a hard
+failure — a gate that cannot read its inputs must never pass silently.
 
 Scaling mode fails (exit 1) if:
   * single-thread throughput for any (config, mix) present in the
@@ -48,12 +56,24 @@ Read-overhead mode fails (exit 1) if:
     READ_OVERHEAD_SLACK_PCT percentage points against the committed
     baseline (catches the HDD tier, which has no percentage budget).
 
+Mirror mode fails (exit 1) if:
+  * the mirrored arm created no replicas on the fast tier, or
+  * mirrored read p99 is not under MIRROR_MAX_P99_RATIO of the
+    single-copy arm's p99, or
+  * fenced-PM goodput with mirrors is not at least
+    MIRROR_MIN_DEGRADED_RATIO times the single-copy arm's, or
+  * either ratio regressed by more than REGRESSION_TOLERANCE against
+    the committed baseline.
+
 All numbers are virtual-time (deterministic), so the gates are safe on
 shared CI runners: a failure means the code got worse, not the machine.
 """
 
 import json
+import os
+import subprocess
 import sys
+import tempfile
 
 REGRESSION_TOLERANCE = 0.15  # fail if >15% below baseline
 MIN_SPEEDUP_8T = 3.0  # acceptance floor for read-heavy @ 8 threads
@@ -63,13 +83,55 @@ AUTOTIER_MIN_FG_RATIO = 0.8  # daemon-on / daemon-off foreground floor
 SCRUB_P95_BUDGET = 1.25  # scrub-on / scrub-off foreground read p95 ceiling
 READ_OVERHEAD_BUDGET_PCT = 10.0  # Mux-over-native ceiling on PM and SSD reads
 READ_OVERHEAD_SLACK_PCT = 2.0  # percentage points of drift allowed vs baseline
+MIRROR_MAX_P99_RATIO = 0.9  # mirrored read p99 must beat single-copy by >=10%
+MIRROR_MIN_DEGRADED_RATIO = 1.2  # fenced-PM goodput must beat single-copy by >=20%
+
+
+class GateInputError(Exception):
+    """A gate's input file is missing or unreadable — always a hard failure."""
+
+
+def load_json(path):
+    """Loads a result file; an absent file is a hard failure, never a skip.
+
+    (An earlier version of this script let a missing bench_results file
+    slide through as exit 0, which silently disabled the gate.)
+    """
+    if not os.path.exists(path):
+        raise GateInputError(
+            f"MISSING RESULT FILE: {path} — regenerate it with "
+            f"`cargo run --release -p bench --bin repro` (or restore the "
+            f"committed baseline); a gate without inputs must not pass"
+        )
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise GateInputError(f"UNREADABLE RESULT FILE: {path}: {e}") from e
+
+
+def git_baseline(name, ref):
+    """Extracts `bench_results/<name>.json` at `ref` into a temp file."""
+    res = subprocess.run(
+        ["git", "show", f"{ref}:bench_results/{name}.json"],
+        capture_output=True,
+        text=True,
+    )
+    if res.returncode != 0:
+        raise GateInputError(
+            f"MISSING BASELINE: bench_results/{name}.json not found at "
+            f"{ref} ({res.stderr.strip()}); commit a baseline before "
+            f"gating against it"
+        )
+    fd, path = tempfile.mkstemp(prefix=f"{name}_baseline_", suffix=".json")
+    with os.fdopen(fd, "w") as f:
+        f.write(res.stdout)
+    return path
 
 
 def crash_gate(current_path, baseline_path):
-    with open(current_path) as f:
-        current = json.load(f)
-    with open(baseline_path) as f:
-        baseline = json.load(f)
+    current = load_json(current_path)
+    baseline = load_json(baseline_path)
 
     failures = []
 
@@ -84,12 +146,12 @@ def crash_gate(current_path, baseline_path):
     cur_failed = failed_points(current)
 
     # Regressions: a point the baseline recovered must keep recovering.
-    for key, fails in sorted(cur_failed.items()):
-        base = base_failed.get(key, {})
+    for key_, fails in sorted(cur_failed.items()):
+        base = base_failed.get(key_, {})
         for k, p in sorted(fails.items()):
             if k not in base:
                 failures.append(
-                    f"{key[0]}[{key[1]}] k={k}: recovered -> "
+                    f"{key_[0]}[{key_[1]}] k={k}: recovered -> "
                     f"{p['kind']} ({p['detail']})"
                 )
 
@@ -121,10 +183,8 @@ def crash_gate(current_path, baseline_path):
 
 
 def autotier_gate(current_path, baseline_path):
-    with open(current_path) as f:
-        cur = json.load(f)
-    with open(baseline_path) as f:
-        base = json.load(f)
+    cur = load_json(current_path)
+    base = load_json(baseline_path)
 
     failures = []
     on, off = cur["daemon_on"], cur["daemon_off"]
@@ -179,10 +239,8 @@ def autotier_gate(current_path, baseline_path):
 
 
 def integrity_gate(current_path, baseline_path):
-    with open(current_path) as f:
-        cur = json.load(f)
-    with open(baseline_path) as f:
-        base = json.load(f)
+    cur = load_json(current_path)
+    base = load_json(baseline_path)
 
     failures = []
 
@@ -253,10 +311,8 @@ def integrity_gate(current_path, baseline_path):
 
 
 def read_overhead_gate(current_path, baseline_path):
-    with open(current_path) as f:
-        cur = {r["tier"]: r for r in json.load(f)}
-    with open(baseline_path) as f:
-        base = {r["tier"]: r for r in json.load(f)}
+    cur = {r["tier"]: r for r in load_json(current_path)}
+    base = {r["tier"]: r for r in load_json(baseline_path)}
 
     failures = []
 
@@ -309,26 +365,83 @@ def read_overhead_gate(current_path, baseline_path):
     return 0
 
 
+def mirror_gate(current_path, baseline_path):
+    cur = load_json(current_path)
+    base = load_json(baseline_path)
+
+    failures = []
+    on = cur["mirrored"]
+
+    if not on["mirrors_created"] or not on["pm_replica_blocks"]:
+        failures.append(
+            f"no replica placement: {on['mirrors_created']} mirrors "
+            f"created, {on['pm_replica_blocks']} replica blocks on PM"
+        )
+    else:
+        print(
+            f"ok placement: {on['pm_replica_blocks']} replica blocks on PM "
+            f"({on['mirrors_created']} created, "
+            f"{on['mirror_reads_fast']} reads served from replicas)"
+        )
+
+    # Absolute margins: mirrors must clearly beat single-copy placement,
+    # healthy and fenced.
+    if cur["p99_ratio"] > MIRROR_MAX_P99_RATIO:
+        failures.append(
+            f"read p99 ratio mirrored/single-copy {cur['p99_ratio']:.2f} > "
+            f"{MIRROR_MAX_P99_RATIO} ceiling "
+            f"({on['read_p99_ns']} ns vs {cur['baseline']['read_p99_ns']} ns)"
+        )
+    else:
+        print(
+            f"ok read p99: {on['read_p99_ns']} ns mirrored vs "
+            f"{cur['baseline']['read_p99_ns']} ns single-copy "
+            f"(ratio {cur['p99_ratio']:.2f}, ceiling {MIRROR_MAX_P99_RATIO})"
+        )
+
+    if cur["degraded_ratio"] < MIRROR_MIN_DEGRADED_RATIO:
+        failures.append(
+            f"fenced-PM goodput ratio mirrored/single-copy "
+            f"{cur['degraded_ratio']:.2f} < {MIRROR_MIN_DEGRADED_RATIO} floor "
+            f"({on['degraded_reads_ok']} ok reads vs "
+            f"{cur['baseline']['degraded_reads_ok']})"
+        )
+    else:
+        print(
+            f"ok fenced-PM goodput: {on['degraded_mbps']:.1f} MB/s mirrored "
+            f"vs {cur['baseline']['degraded_mbps']:.1f} MB/s single-copy "
+            f"(ratio {cur['degraded_ratio']:.2f}, "
+            f"floor {MIRROR_MIN_DEGRADED_RATIO})"
+        )
+
+    # Regressions against the committed baseline run.
+    if cur["p99_ratio"] > base["p99_ratio"] * (1.0 + REGRESSION_TOLERANCE):
+        failures.append(
+            f"read p99 ratio regressed: {cur['p99_ratio']:.2f} vs "
+            f"baseline {base['p99_ratio']:.2f}"
+        )
+    if cur["degraded_ratio"] < base["degraded_ratio"] * (1.0 - REGRESSION_TOLERANCE):
+        failures.append(
+            f"fenced-PM goodput ratio regressed: {cur['degraded_ratio']:.2f} "
+            f"vs baseline {base['degraded_ratio']:.2f}"
+        )
+
+    if failures:
+        print("\nMIRROR GATE FAILED:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("mirror gate passed")
+    return 0
+
+
 def key(cell):
     return (cell["config"], cell["mix"], cell["threads"])
 
 
-def main():
-    if len(sys.argv) == 4 and sys.argv[1] == "--crash":
-        return crash_gate(sys.argv[2], sys.argv[3])
-    if len(sys.argv) == 4 and sys.argv[1] == "--autotier":
-        return autotier_gate(sys.argv[2], sys.argv[3])
-    if len(sys.argv) == 4 and sys.argv[1] == "--integrity":
-        return integrity_gate(sys.argv[2], sys.argv[3])
-    if len(sys.argv) == 4 and sys.argv[1] == "--read-overhead":
-        return read_overhead_gate(sys.argv[2], sys.argv[3])
-    if len(sys.argv) != 3:
-        print(__doc__)
-        return 2
-    with open(sys.argv[1]) as f:
-        current = {key(c): c for c in json.load(f)}
-    with open(sys.argv[2]) as f:
-        baseline = {key(c): c for c in json.load(f)}
+def scaling_gate(current_path, baseline_path):
+    current = {key(c): c for c in load_json(current_path)}
+    baseline = {key(c): c for c in load_json(baseline_path)}
 
     failures = []
 
@@ -376,6 +489,78 @@ def main():
         return 1
     print("\nbench gate passed")
     return 0
+
+
+# (gate name, gate function, current result file, committed baseline name)
+ALL_GATES = [
+    ("scaling", scaling_gate, "bench_results/scaling.json", "baseline"),
+    ("crash", crash_gate, "bench_results/crash_matrix.json", "crash_matrix"),
+    ("autotier", autotier_gate, "bench_results/autotier.json", "autotier"),
+    ("integrity", integrity_gate, "bench_results/integrity.json", "integrity"),
+    (
+        "read-overhead",
+        read_overhead_gate,
+        "bench_results/read_overhead.json",
+        "read_overhead",
+    ),
+    ("mirror", mirror_gate, "bench_results/mirror.json", "mirror"),
+]
+
+
+def all_gates(ref):
+    """Runs every gate, printing a per-gate summary table at the end.
+
+    A gate whose inputs are missing is reported as FAIL (missing input)
+    and the run keeps going, so one summary covers the whole suite.
+    """
+    outcomes = []
+    for name, fn, cur_path, base_name in ALL_GATES:
+        print(f"\n=== {name} gate ===")
+        try:
+            rc = fn(cur_path, git_baseline(base_name, ref))
+            outcomes.append((name, "PASS" if rc == 0 else "FAIL"))
+        except GateInputError as e:
+            print(e)
+            outcomes.append((name, "FAIL (missing input)"))
+
+    width = max(len(n) for n, _ in outcomes)
+    print("\n=== gate summary ===")
+    print(f"  {'gate':<{width}}  result")
+    print(f"  {'-' * width}  ------")
+    for name, outcome in outcomes:
+        print(f"  {name:<{width}}  {outcome}")
+
+    failed = [n for n, o in outcomes if o != "PASS"]
+    if failed:
+        print(f"\n{len(failed)} of {len(outcomes)} gates failed: " + ", ".join(failed))
+        return 1
+    print(f"\nall {len(outcomes)} gates passed")
+    return 0
+
+
+MODES = {
+    "--crash": crash_gate,
+    "--autotier": autotier_gate,
+    "--integrity": integrity_gate,
+    "--read-overhead": read_overhead_gate,
+    "--mirror": mirror_gate,
+}
+
+
+def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--all":
+        ref = sys.argv[2] if len(sys.argv) == 3 else "HEAD"
+        return all_gates(ref)
+    try:
+        if len(sys.argv) == 4 and sys.argv[1] in MODES:
+            return MODES[sys.argv[1]](sys.argv[2], sys.argv[3])
+        if len(sys.argv) == 3:
+            return scaling_gate(sys.argv[1], sys.argv[2])
+    except GateInputError as e:
+        print(e)
+        return 2
+    print(__doc__)
+    return 2
 
 
 if __name__ == "__main__":
