@@ -117,13 +117,16 @@ fn demo(tail: usize) {
         .unwrap();
     stack.mux.fsync(f.ino).unwrap();
     // Two passes over the first half: the first fills the SCM cache, the
-    // second hits it.
+    // second hits it. Each pass runs as a different tenant so the
+    // per-tenant attribution surface below has something to show.
     let mut buf = vec![0u8; BLOCK as usize];
-    for _ in 0..2 {
+    for tenant in [1u32, 2] {
+        mux::set_thread_tenant(tenant);
         for b in 0..blocks / 2 {
             stack.mux.read(f.ino, b * BLOCK, &mut buf).unwrap();
         }
     }
+    mux::set_thread_tenant(0);
     // A successful OCC migration (SSD → PM)...
     stack.mux.migrate_range(f.ino, 0, 64, 0).unwrap();
     // ...and a fault-forced abort: the HDD is dead when the copy starts
@@ -210,6 +213,30 @@ fn demo(tail: usize) {
         stack.mux.occ_stats().lock_hold_vns(),
         if aborted.is_err() { "yes" } else { "no" },
     );
+    println!("\nQoS / multi-tenant");
+    println!(
+        "  qos_deferrals {}  qos_sheds {}  qos_plan_exclusions {}  qos_tenant_throttled_bytes {}",
+        s.qos_deferrals, s.qos_sheds, s.qos_plan_exclusions, s.qos_tenant_throttled_bytes
+    );
+    for t in 0..mux::MAX_TENANTS {
+        if s.tenant_reads[t] > 0 || s.tenant_writes[t] > 0 {
+            println!(
+                "  tenant {t}  reads {}  writes {}",
+                s.tenant_reads[t], s.tenant_writes[t]
+            );
+        }
+    }
+    let tenants = stack.mux.tenant_latency_report();
+    for e in &tenants.entries {
+        println!(
+            "  tenant {} {:<9} p50 {:>8} ns  p99 {:>8} ns  ({} samples)",
+            e.tenant,
+            format!("{:?}", e.op),
+            e.hist.p50(),
+            e.hist.p99(),
+            e.hist.count
+        );
+    }
     println!("\nPer-tier dispatch latency (ns, virtual time)");
     print!(
         "{}",

@@ -4,7 +4,7 @@
 //! repro [--experiment fig3a|fig3b|read-overhead|write-overhead|
 //!        meta-overhead|ablation-occ|ablation-cache|ablation-policy|
 //!        degraded-mode|latency|scaling|autotier|mirror|integrity|
-//!        crash|all]
+//!        qos|crash|all]
 //!       [--quick]
 //! ```
 //!
@@ -38,6 +38,10 @@ struct Scale {
     integrity_file_blocks: u64,
     integrity_epochs: usize,
     integrity_ops: usize,
+    qos_victim_files: u64,
+    qos_file_blocks: u64,
+    qos_epochs: usize,
+    qos_ops: usize,
 }
 
 const FULL: Scale = Scale {
@@ -66,6 +70,10 @@ const FULL: Scale = Scale {
     integrity_file_blocks: 16,
     integrity_epochs: 20,
     integrity_ops: 2_000,
+    qos_victim_files: 10,
+    qos_file_blocks: 128,
+    qos_epochs: 12,
+    qos_ops: 200,
 };
 
 const QUICK: Scale = Scale {
@@ -95,6 +103,13 @@ const QUICK: Scale = Scale {
     integrity_file_blocks: 8,
     integrity_epochs: 6,
     integrity_ops: 500,
+    // The victim set must stay PM-sized and the antagonist (2× files at
+    // 2× blocks) larger than the PM tier, or the contrast vanishes —
+    // quick mode trims epochs and ops only.
+    qos_victim_files: 10,
+    qos_file_blocks: 128,
+    qos_epochs: 8,
+    qos_ops: 100,
 };
 
 fn main() {
@@ -115,7 +130,7 @@ fn main() {
                      experiments: fig3a fig3b read-overhead write-overhead\n\
                      \x20            meta-overhead ablation-occ ablation-cache\n\
                      \x20            ablation-policy degraded-mode latency scaling crash\n\
-                     \x20            autotier mirror integrity all"
+                     \x20            autotier mirror integrity qos all"
                 );
                 return;
             }
@@ -216,6 +231,16 @@ fn main() {
         );
         println!("{}", report::render_integrity(&r));
         let _ = report::write_json("integrity", &r);
+    }
+    if all || experiment == "qos" {
+        let r = ex::qos(
+            scale.qos_victim_files,
+            scale.qos_file_blocks,
+            scale.qos_epochs,
+            scale.qos_ops,
+        );
+        println!("{}", report::render_qos(&r));
+        let _ = report::write_json("qos", &r);
     }
     if all || experiment == "crash" {
         // --quick skips the torn-write pass (half the points).

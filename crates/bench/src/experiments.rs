@@ -1148,6 +1148,7 @@ pub fn scaling(ops_per_thread: u64) -> Vec<ScalingCell> {
                         seed: 42,
                         shared_file: false,
                         verify: true,
+                        tenant_mixes: Vec::new(),
                     },
                 )
                 .expect("engine run failed");
@@ -1885,5 +1886,296 @@ pub fn integrity(
         },
         scrub_passes: passes,
         scrub_blocks_verified: verified,
+    }
+}
+
+// ---------------------------------------------------------------------
+// QoS — multi-tenant antagonist isolation (DESIGN.md, "Multi-tenant
+// QoS")
+// ---------------------------------------------------------------------
+
+/// One arm of the QoS antagonist experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QosRun {
+    /// Victim read p50 over the measurement phase (exact latencies), ns.
+    pub victim_read_p50_ns: u64,
+    /// Victim read p99 over the measurement phase (exact latencies), ns.
+    pub victim_read_p99_ns: u64,
+    /// Antagonist read p50 (0 in the antagonist-free arm), ns.
+    pub antagonist_read_p50_ns: u64,
+    /// Antagonist read p99 (0 in the antagonist-free arm), ns.
+    pub antagonist_read_p99_ns: u64,
+    /// Victim blocks resident on the PM class after convergence.
+    pub victim_pm_blocks: u64,
+    /// Total victim blocks.
+    pub victim_blocks: u64,
+    /// Tenants excluded from epoch plans while over fair share.
+    pub qos_plan_exclusions: u64,
+    /// Background actions deferred by admission control.
+    pub qos_deferrals: u64,
+    /// Background actions shed by admission control.
+    pub qos_sheds: u64,
+    /// Background bytes dropped by per-tenant pacing.
+    pub qos_tenant_throttled_bytes: u64,
+    /// Victim MuxRead p99 from the per-tenant histogram (log2-bucketed,
+    /// informational — the gates use the exact vectors above).
+    pub victim_hist_p99_ns: u64,
+    /// Antagonist MuxRead p99 from the per-tenant histogram.
+    pub antagonist_hist_p99_ns: u64,
+}
+
+/// Result of the multi-tenant QoS experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QosResult {
+    /// Files in the victim's working set.
+    pub victim_files: u64,
+    /// Blocks per victim file.
+    pub file_blocks: u64,
+    /// Files in the antagonist's working set.
+    pub ant_files: u64,
+    /// Blocks per antagonist file.
+    pub ant_file_blocks: u64,
+    /// Warm-up epochs before the measurement phase.
+    pub epochs: usize,
+    /// Victim reads per epoch (the antagonist issues 4×).
+    pub ops: usize,
+    /// Victim alone on the stack — the interference-free baseline.
+    pub alone: QosRun,
+    /// Victim + antagonist, QoS disabled.
+    pub unfenced: QosRun,
+    /// Victim + antagonist, QoS enabled.
+    pub qos: QosRun,
+    /// unfenced victim p99 / alone victim p99 — how badly an unfenced
+    /// antagonist starves the victim.
+    pub unfenced_blowup: f64,
+    /// qos victim p99 / alone victim p99 — what the victim pays with
+    /// QoS on (the gate requires ≤ 2×).
+    pub qos_blowup: f64,
+    /// Whether QoS held the victim within 2× of the alone baseline.
+    pub qos_protected: bool,
+    /// Whether the unfenced arm shows material starvation (≥ 3×).
+    pub unfenced_starved: bool,
+}
+
+/// Victim tenant id in the QoS experiment.
+const QOS_VICTIM: u32 = 1;
+/// Antagonist tenant id in the QoS experiment.
+const QOS_ANTAGONIST: u32 = 2;
+
+fn qos_one(
+    contended: bool,
+    qos_on: bool,
+    victim_files: u64,
+    file_blocks: u64,
+    epochs: usize,
+    ops: usize,
+) -> QosRun {
+    let ant_files = victim_files * 2;
+    let ant_file_blocks = file_blocks * 2;
+    let mut opts = MuxOptions::default();
+    opts.autotier.enabled = true;
+    // Single-copy placement: both tenants are read-heavy, and replicas
+    // would let the PM tier serve them both — the experiment is about
+    // who gets the scarce *primary* promotions.
+    opts.autotier.mirror_enabled = false;
+    // A small per-epoch budget makes promotion bandwidth itself a
+    // contended resource: the hot antagonist consumes every epoch's
+    // budget and headroom unless admission fences it.
+    opts.autotier.max_bytes_per_epoch = 4 << 20;
+    opts.qos.enabled = qos_on;
+    // PM counts as contended well before the planner's high watermark,
+    // so fair-share fencing kicks in while there is still headroom left
+    // to hand to the under-served tenant.
+    opts.qos.admit_utilization = 0.45;
+    // Fairness memory must span the run: the antagonist's HDD reads
+    // advance virtual time by seconds per epoch, and with the default
+    // 1 s half-life its early land grab would decay off the ledger
+    // before the victim was ever served — leaving the victim's fresh
+    // crumbs looking like the over-share party.
+    opts.qos.share_half_life_ns = 60_000_000_000;
+    let stack = crate::testbed::build_mux_stack_cached(
+        Capacities {
+            pm: 16 << 20,
+            ssd: 512 << 20,
+            hdd: 4 << 30,
+        },
+        // Data starts on the SSD tier (a preference, not a pin).
+        Arc::new(PinnedPolicy::new(1)),
+        opts,
+        256 << 10, // tiny native caches: tier residency dominates latency
+    );
+    let epoch_ns = mux::AutotierConfig::default().epoch_ns;
+    // Victim: a PM-sized working set on the SSD, hoping to be promoted.
+    mux::set_thread_tenant(QOS_VICTIM);
+    let mut victims = Vec::new();
+    for i in 0..victim_files {
+        let ino = mk(stack.mux.as_ref(), &format!("v{i}"));
+        stack
+            .mux
+            .write(ino, 0, &vec![i as u8; (file_blocks * BLOCK) as usize])
+            .unwrap();
+        stack.mux.fsync(ino).unwrap();
+        victims.push(ino);
+    }
+    // Antagonist: a hotter, larger working set demoted to the HDD, from
+    // where every read hammers the slow tier and begs for promotion.
+    let mut ants = Vec::new();
+    if contended {
+        mux::set_thread_tenant(QOS_ANTAGONIST);
+        for i in 0..ant_files {
+            let ino = mk(stack.mux.as_ref(), &format!("a{i}"));
+            stack
+                .mux
+                .write(ino, 0, &vec![!i as u8; (ant_file_blocks * BLOCK) as usize])
+                .unwrap();
+            stack.mux.fsync(ino).unwrap();
+            stack.mux.migrate_range(ino, 0, ant_file_blocks, 2).unwrap();
+            ants.push(ino);
+        }
+    }
+    // Warm epochs: deterministic round-robin sweeps keep per-file heat
+    // uniform within each tenant, with the antagonist clearly hotter
+    // per file (4× the ops over 2× the files), so hottest-first
+    // planning always prefers it when nothing fences it.
+    let mut vstep = 0u64;
+    let mut astep = 0u64;
+    let mut buf = vec![0u8; BLOCK as usize];
+    for _ in 0..epochs {
+        mux::set_thread_tenant(QOS_VICTIM);
+        for _ in 0..ops {
+            let f = victims[(vstep % victim_files) as usize];
+            stack
+                .mux
+                .read(f, (vstep * 13 % file_blocks) * BLOCK, &mut buf)
+                .unwrap();
+            vstep += 1;
+        }
+        if contended {
+            mux::set_thread_tenant(QOS_ANTAGONIST);
+            for _ in 0..ops * 4 {
+                let f = ants[(astep % ant_files) as usize];
+                stack
+                    .mux
+                    .read(f, (astep * 13 % ant_file_blocks) * BLOCK, &mut buf)
+                    .unwrap();
+                astep += 1;
+            }
+        }
+        stack.clock.advance(epoch_ns);
+        stack.mux.maintenance_tick();
+    }
+    // Measurement phase: exact per-read latencies, no ticks (placement
+    // is whatever each arm converged to). The per-tenant histograms are
+    // recorded too, but their log2 buckets quantize p99 to a bucket
+    // upper bound — the gates need these exact vectors.
+    mux::set_thread_tenant(QOS_VICTIM);
+    let mut vlat: Vec<u64> = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let f = victims[(vstep % victim_files) as usize];
+        let t0 = stack.clock.now_ns();
+        stack
+            .mux
+            .read(f, (vstep * 13 % file_blocks) * BLOCK, &mut buf)
+            .unwrap();
+        vlat.push(stack.clock.now_ns() - t0);
+        vstep += 1;
+    }
+    let mut alat: Vec<u64> = Vec::new();
+    if contended {
+        mux::set_thread_tenant(QOS_ANTAGONIST);
+        for _ in 0..ops {
+            let f = ants[(astep % ant_files) as usize];
+            let t0 = stack.clock.now_ns();
+            stack
+                .mux
+                .read(f, (astep * 13 % ant_file_blocks) * BLOCK, &mut buf)
+                .unwrap();
+            alat.push(stack.clock.now_ns() - t0);
+            astep += 1;
+        }
+    }
+    mux::set_thread_tenant(0);
+    vlat.sort_unstable();
+    alat.sort_unstable();
+    let pct = |lat: &[u64], p: f64| {
+        if lat.is_empty() {
+            0
+        } else {
+            lat[(((lat.len() - 1) as f64) * p) as usize]
+        }
+    };
+    // Placement census: how much of the victim made it onto PM.
+    let pm_tiers: Vec<u32> = stack
+        .mux
+        .tier_status()
+        .into_iter()
+        .filter(|t| t.class == DeviceClass::Pmem)
+        .map(|t| t.id)
+        .collect();
+    let mut victim_pm_blocks = 0u64;
+    let mut victim_blocks = 0u64;
+    for &ino in &victims {
+        for (_, n, tid) in stack.mux.file_placement(ino).unwrap() {
+            victim_blocks += n;
+            if pm_tiers.contains(&tid) {
+                victim_pm_blocks += n;
+            }
+        }
+    }
+    let stats = stack.mux.stats().snapshot();
+    let tenants = stack.mux.tenant_latency_report();
+    let hist_p99 = |tenant: u32| tenants.get(OpKind::MuxRead, tenant).map_or(0, |h| h.p99());
+    QosRun {
+        victim_read_p50_ns: pct(&vlat, 0.50),
+        victim_read_p99_ns: pct(&vlat, 0.99),
+        antagonist_read_p50_ns: pct(&alat, 0.50),
+        antagonist_read_p99_ns: pct(&alat, 0.99),
+        victim_pm_blocks,
+        victim_blocks,
+        qos_plan_exclusions: stats.qos_plan_exclusions,
+        qos_deferrals: stats.qos_deferrals,
+        qos_sheds: stats.qos_sheds,
+        qos_tenant_throttled_bytes: stats.qos_tenant_throttled_bytes,
+        victim_hist_p99_ns: hist_p99(QOS_VICTIM),
+        antagonist_hist_p99_ns: hist_p99(QOS_ANTAGONIST),
+    }
+}
+
+/// The multi-tenant QoS experiment: a PM-sized victim working set on
+/// the SSD vs a hotter, larger antagonist hammering the HDD, competing
+/// for the same scarce PM promotions. Three arms on fresh stacks:
+/// victim alone (baseline), contended with QoS disabled (the antagonist
+/// monopolizes promotion headroom and the victim never reaches PM), and
+/// contended with QoS enabled (plan-time fair-share fencing plus
+/// admission control hand the headroom back). The gate requires the
+/// QoS arm's victim p99 within 2× of the baseline while the unfenced
+/// arm blows up by at least 3×.
+pub fn qos(victim_files: u64, file_blocks: u64, epochs: usize, ops: usize) -> QosResult {
+    let alone = qos_one(false, true, victim_files, file_blocks, epochs, ops);
+    let unfenced = qos_one(true, false, victim_files, file_blocks, epochs, ops);
+    let fenced = qos_one(true, true, victim_files, file_blocks, epochs, ops);
+    let blowup = |run: &QosRun| {
+        if alone.victim_read_p99_ns == 0 {
+            1.0
+        } else {
+            run.victim_read_p99_ns as f64 / alone.victim_read_p99_ns as f64
+        }
+    };
+    let unfenced_blowup = blowup(&unfenced);
+    let qos_blowup = blowup(&fenced);
+    QosResult {
+        victim_files,
+        file_blocks,
+        ant_files: victim_files * 2,
+        ant_file_blocks: file_blocks * 2,
+        epochs,
+        ops,
+        unfenced_blowup,
+        qos_blowup,
+        qos_protected: qos_blowup <= 2.0,
+        unfenced_starved: unfenced_blowup >= 3.0,
+        alone,
+        unfenced,
+        qos: fenced,
     }
 }

@@ -482,6 +482,47 @@ pub fn render_integrity(r: &IntegrityResult) -> String {
     s
 }
 
+/// Renders the multi-tenant QoS antagonist experiment: one row per arm.
+pub fn render_qos(r: &QosResult) -> String {
+    let mut s = format!(
+        "QoS — PM-reader victim ({} files x {} blocks) vs HDD antagonist ({} files x {} blocks), {} epochs\n",
+        r.victim_files, r.file_blocks, r.ant_files, r.ant_file_blocks, r.epochs
+    );
+    let row = |name: &str, run: &crate::experiments::QosRun| {
+        vec![
+            name.to_string(),
+            run.victim_read_p50_ns.to_string(),
+            run.victim_read_p99_ns.to_string(),
+            run.antagonist_read_p99_ns.to_string(),
+            format!("{}/{}", run.victim_pm_blocks, run.victim_blocks),
+            run.qos_plan_exclusions.to_string(),
+            format!("{}/{}", run.qos_deferrals, run.qos_sheds),
+        ]
+    };
+    s += &table(
+        &[
+            "arm",
+            "victim p50 ns",
+            "victim p99 ns",
+            "antag p99 ns",
+            "victim PM blocks",
+            "plan excl",
+            "defer/shed",
+        ],
+        &[
+            row("alone", &r.alone),
+            row("unfenced", &r.unfenced),
+            row("qos", &r.qos),
+        ],
+    );
+    let _ = writeln!(
+        s,
+        "  victim p99 blowup vs alone: unfenced {:.2}x (starved: {}), qos {:.2}x (protected: {}, budget 2.0)",
+        r.unfenced_blowup, r.unfenced_starved, r.qos_blowup, r.qos_protected
+    );
+    s
+}
+
 /// Writes any serializable result as JSON next to the binary.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
     std::fs::create_dir_all("bench_results")?;

@@ -781,57 +781,9 @@ pub fn plan_epoch(
 // Token bucket
 // ---------------------------------------------------------------------
 
-/// A byte-rate limiter on the virtual clock: the executor takes tokens
-/// for every migrated byte and stalls (leaving plans queued) when the
-/// bucket runs dry.
-#[derive(Debug)]
-pub struct TokenBucket {
-    rate_bytes_per_sec: u64,
-    capacity: u64,
-    tokens: u64,
-    last_refill_ns: u64,
-}
-
-impl TokenBucket {
-    /// A full bucket refilling at `rate_bytes_per_sec`, holding at most
-    /// `capacity` bytes of burst.
-    pub fn new(rate_bytes_per_sec: u64, capacity: u64) -> Self {
-        TokenBucket {
-            rate_bytes_per_sec,
-            capacity,
-            tokens: capacity,
-            last_refill_ns: 0,
-        }
-    }
-
-    fn refill(&mut self, now_ns: u64) {
-        let dt = now_ns.saturating_sub(self.last_refill_ns);
-        self.last_refill_ns = self.last_refill_ns.max(now_ns);
-        let add = (dt as u128 * self.rate_bytes_per_sec as u128 / 1_000_000_000) as u64;
-        self.tokens = (self.tokens.saturating_add(add)).min(self.capacity);
-    }
-
-    /// Takes `bytes` tokens if available at `now_ns`; `false` leaves the
-    /// bucket untouched (beyond the refill).
-    pub fn try_take(&mut self, bytes: u64, now_ns: u64) -> bool {
-        self.refill(now_ns);
-        // Oversized requests (> capacity) are granted once the bucket is
-        // full — they could never succeed otherwise.
-        let need = bytes.min(self.capacity);
-        if self.tokens >= need {
-            self.tokens -= need;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Tokens currently available (after refilling at `now_ns`).
-    pub fn available(&mut self, now_ns: u64) -> u64 {
-        self.refill(now_ns);
-        self.tokens
-    }
-}
+// The bucket now lives at the scheduler seam (it also paces per-tenant
+// background streams there); re-exported here for its original users.
+pub use crate::sched::TokenBucket;
 
 // ---------------------------------------------------------------------
 // Engine state (owned by Mux)

@@ -15,14 +15,14 @@
 //!   write.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock};
 use tvfs::InodeNo;
 
 use crate::blt::BlockLookupTable;
 use crate::meta::CollectiveInode;
-use crate::types::TierId;
+use crate::types::{TenantId, TierId};
 
 /// Mux's own inode number type (independent of native inos).
 pub type MuxIno = u64;
@@ -47,6 +47,10 @@ pub struct MuxFile {
     /// old checksum (or vice versa) — so the verify path serves the page
     /// instead of striking. See [`MuxFile::write_window`].
     pub writes_in_flight: AtomicU64,
+    /// Tenant that created the file; background work (migrations,
+    /// mirrors) on the file is charged to it. Runtime-only — not
+    /// persisted in the metafile, so remounted files belong to tenant 0.
+    tenant: AtomicU32,
 }
 
 /// RAII guard for [`MuxFile::writes_in_flight`]: decrements on drop, so
@@ -102,7 +106,19 @@ impl MuxFile {
             dirty_during_migration: Mutex::new(Vec::new()),
             io_lock: RwLock::new(()),
             writes_in_flight: AtomicU64::new(0),
+            tenant: AtomicU32::new(0),
         }
+    }
+
+    /// Tenant the file's background work is charged to.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant.load(Ordering::Relaxed)
+    }
+
+    /// Stamps the owning tenant (called once at create with the creating
+    /// thread's tag).
+    pub fn set_tenant(&self, tenant: TenantId) {
+        self.tenant.store(tenant, Ordering::Relaxed);
     }
 
     /// Opens a write window: the span from a mutation's first native

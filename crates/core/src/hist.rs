@@ -27,7 +27,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
-use crate::types::TierId;
+use crate::sched::tenant_slot;
+use crate::types::{TenantId, TierId, MAX_TENANTS};
 
 /// Number of log2 buckets. Bucket 39 covers everything from `2^39` ns
 /// (~9 minutes of virtual time) upward, far beyond any single dispatch.
@@ -305,12 +306,46 @@ impl LatencyReport {
     }
 }
 
+/// One (operation kind, tenant) row of a [`TenantLatencyReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantLatencyEntry {
+    /// Operation kind.
+    pub op: OpKind,
+    /// Tenant slot the samples were attributed to (see
+    /// [`crate::sched::tenant_slot`]).
+    pub tenant: TenantId,
+    /// The histogram contents.
+    pub hist: HistSnapshot,
+}
+
+/// Snapshot of every non-empty per-tenant histogram in a
+/// [`LatencyRegistry`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TenantLatencyReport {
+    /// Non-empty (op, tenant) histograms, registry order.
+    pub entries: Vec<TenantLatencyEntry>,
+}
+
+impl TenantLatencyReport {
+    /// Finds the entry for `(op, tenant)`, if any samples were recorded.
+    pub fn get(&self, op: OpKind, tenant: TenantId) -> Option<&HistSnapshot> {
+        self.entries
+            .iter()
+            .find(|e| e.op == op && e.tenant == tenant)
+            .map(|e| &e.hist)
+    }
+}
+
 /// Lock-free fixed table of latency histograms, one per
-/// (operation kind, tier slot) pair, plus one cache slot per kind.
+/// (operation kind, tier slot) pair, plus one cache slot per kind, and a
+/// parallel per-(operation kind, tenant slot) table for multi-tenant
+/// attribution.
 #[derive(Debug)]
 pub struct LatencyRegistry {
     /// `[op][tier_slot]`; slot `MAX_TIER_SLOTS` is the cache pseudo-tier.
     hists: Vec<LatencyHistogram>,
+    /// `[op][tenant_slot]`.
+    tenant_hists: Vec<LatencyHistogram>,
 }
 
 impl LatencyRegistry {
@@ -320,6 +355,9 @@ impl LatencyRegistry {
     pub fn new() -> Self {
         LatencyRegistry {
             hists: (0..OpKind::ALL.len() * Self::SLOTS)
+                .map(|_| LatencyHistogram::new())
+                .collect(),
+            tenant_hists: (0..OpKind::ALL.len() * MAX_TENANTS)
                 .map(|_| LatencyHistogram::new())
                 .collect(),
         }
@@ -341,6 +379,35 @@ impl LatencyRegistry {
     /// Records one duration against `(op, tier)`.
     pub fn record(&self, op: OpKind, tier: TierId, ns: u64) {
         self.hist(op, tier).record(ns);
+    }
+
+    /// The per-tenant histogram for `(op, tenant)`.
+    pub fn tenant_hist(&self, op: OpKind, tenant: TenantId) -> &LatencyHistogram {
+        &self.tenant_hists[op.index() * MAX_TENANTS + tenant_slot(tenant)]
+    }
+
+    /// Records one duration against `(op, tenant)`.
+    pub fn record_tenant(&self, op: OpKind, tenant: TenantId, ns: u64) {
+        self.tenant_hist(op, tenant).record(ns);
+    }
+
+    /// Snapshots every per-tenant histogram that saw at least one sample.
+    pub fn tenant_report(&self) -> TenantLatencyReport {
+        let mut entries = Vec::new();
+        for op in OpKind::ALL {
+            for slot in 0..MAX_TENANTS {
+                let h = &self.tenant_hists[op.index() * MAX_TENANTS + slot];
+                if h.count() == 0 {
+                    continue;
+                }
+                entries.push(TenantLatencyEntry {
+                    op,
+                    tenant: slot as TenantId,
+                    hist: h.snapshot(),
+                });
+            }
+        }
+        TenantLatencyReport { entries }
     }
 
     /// Snapshots every histogram that saw at least one sample.
@@ -463,6 +530,26 @@ mod tests {
             .get(OpKind::Read, (MAX_TIER_SLOTS - 1) as TierId)
             .unwrap();
         assert_eq!(e.count, 2, "overflow tiers aggregate in the last slot");
+    }
+
+    #[test]
+    fn tenant_registry_routes_and_clamps() {
+        let r = LatencyRegistry::new();
+        r.record_tenant(OpKind::MuxRead, 0, 10);
+        r.record_tenant(OpKind::MuxRead, 1, 20);
+        r.record_tenant(OpKind::MuxRead, 99, 30); // clamps to the last slot
+        let rep = r.tenant_report();
+        assert_eq!(rep.entries.len(), 3);
+        assert_eq!(rep.get(OpKind::MuxRead, 0).unwrap().count, 1);
+        assert_eq!(rep.get(OpKind::MuxRead, 1).unwrap().max_ns, 20);
+        assert_eq!(
+            rep.get(OpKind::MuxRead, (MAX_TENANTS - 1) as TenantId)
+                .unwrap()
+                .max_ns,
+            30,
+            "overflow tenants aggregate in the last slot"
+        );
+        assert!(rep.get(OpKind::Write, 0).is_none(), "empty hists skipped");
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub use cache::{CacheConfig, CacheController};
 pub use crashtest::{run_matrix, standard_scenarios, CrashMatrix, Scenario, TierDef};
 pub use fastpath::FastPath;
 pub use health::{HealthConfig, HealthRegistry, HealthSnapshot, TierHealthState};
-pub use hist::{HistSnapshot, LatencyRegistry, LatencyReport, OpKind, CACHE_TIER};
+pub use hist::{
+    HistSnapshot, LatencyRegistry, LatencyReport, OpKind, TenantLatencyReport, CACHE_TIER,
+};
 pub use integrity::{crc32c, ChecksumTable, IntegrityConfig, VerifyOutcome};
 pub use meta::{AttrKind, CollectiveInode};
 pub use mux::{Mux, TierHandle};
@@ -70,7 +72,10 @@ pub use policy::{
     HotColdPolicy, LruPolicy, PinnedPolicy, PlacementCtx, StripingPolicy, TieringPolicy, TpfsPolicy,
 };
 pub use policy_vm::{PolicyProgram, VmOp, VmPolicy};
+pub use sched::{set_thread_tenant, thread_tenant, Admission, IoScheduler, QosConfig, TokenBucket};
 pub use shard::{RemoveIf, ShardedMap};
 pub use stats::MuxStats;
 pub use trace::{TraceBuffer, TraceEvent, TraceEventKind};
-pub use types::{CostModel, FastPathConfig, MuxOptions, TierConfig, TierId, BLOCK};
+pub use types::{
+    CostModel, FastPathConfig, MuxOptions, TenantId, TierConfig, TierId, BLOCK, MAX_TENANTS,
+};

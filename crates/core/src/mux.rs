@@ -35,11 +35,11 @@ use crate::occ::MigrationOutcome;
 use crate::occ::OccStats;
 use crate::policy::MigrationPlan;
 use crate::policy::{PlacementCtx, TierStatus, TieringPolicy};
-use crate::sched::IoScheduler;
+use crate::sched::{thread_tenant, Admission, IoScheduler};
 use crate::shard::{RemoveIf, ShardedMap};
 use crate::stats::MuxStats;
 use crate::trace::{TraceBuffer, TraceEvent, TraceEventKind};
-use crate::types::{MuxOptions, TierConfig, TierId, BLOCK};
+use crate::types::{MuxOptions, TenantId, TierConfig, TierId, BLOCK};
 
 /// Bound on owner-change retries in the read path: how many times one
 /// block read chases a concurrent migration commit before giving up.
@@ -238,6 +238,7 @@ impl Mux {
         let autotier = crate::autotier::Engine::new(&opts.autotier);
         let scrub = Mutex::new(crate::integrity::ScrubState::new(&opts.integrity));
         let fastpath = crate::fastpath::FastPath::new(opts.fastpath.slots);
+        let sched = IoScheduler::with_config(opts.qos.clone());
         Mux {
             opts,
             clock,
@@ -249,7 +250,7 @@ impl Mux {
             stats: MuxStats::default(),
             occ: OccStats::default(),
             cache: RwLock::new(None),
-            sched: IoScheduler::new(),
+            sched,
             meta_mutations: AtomicU64::new(0),
             metafile: Mutex::new(None),
             health,
@@ -325,6 +326,17 @@ impl Mux {
         self.lat.report()
     }
 
+    /// Snapshot of every non-empty per-tenant latency histogram.
+    pub fn tenant_latency_report(&self) -> crate::hist::TenantLatencyReport {
+        self.lat.tenant_report()
+    }
+
+    /// Tenant a file's background work is charged to (0 for unknown
+    /// files).
+    pub fn file_tenant(&self, ino: MuxIno) -> TenantId {
+        self.files.get(&ino).map_or(0, |f| f.tenant())
+    }
+
     /// The observability event ring.
     pub fn trace(&self) -> &TraceBuffer {
         &self.trace
@@ -379,6 +391,19 @@ impl Mux {
                 }
             })
             .collect()
+    }
+
+    /// Fraction of a tier's capacity in use right now (0.0 when the tier
+    /// is unknown or reports no capacity). QoS admission reads this per
+    /// action so within-tick bursts are visible immediately.
+    pub(crate) fn tier_utilization(&self, tier: TierId) -> f64 {
+        match self.tier(tier) {
+            Ok(t) => match t.fs.statfs() {
+                Ok(st) if st.total_bytes > 0 => 1.0 - st.free_bytes as f64 / st.total_bytes as f64,
+                _ => 0.0,
+            },
+            Err(_) => 0.0,
+        }
     }
 
     pub(crate) fn tier(&self, id: TierId) -> VfsResult<Arc<TierHandle>> {
@@ -578,6 +603,7 @@ impl Mux {
         MuxStats::add(&self.stats.fastpath_hits, 1);
         MuxStats::add(&self.stats.reads, 1);
         MuxStats::add(&self.stats.bytes_read, len);
+        MuxStats::add_tenant(&self.stats.tenant_reads, thread_tenant(), 1);
         if pending >= self.opts.fastpath.flush_every {
             self.fastpath_flush();
         }
@@ -753,9 +779,56 @@ impl Mux {
             let scores = self.autotier.heat.scores();
             let read_frac = self.autotier.heat.read_fractions();
             let policy = self.policy.read().clone();
+            // QoS plan-time fencing: plan_epoch hands all headroom to the
+            // hottest files, so a hot antagonist tenant would consume
+            // every epoch's budget and starve colder tenants forever.
+            // When any tier is at or past the admission threshold, tenants
+            // over their fair share of recent background bytes there are
+            // excluded from this epoch's plan (via the pinned predicate),
+            // leaving the headroom to under-share tenants.
+            let mut blocked_tenants: Vec<TenantId> = Vec::new();
+            let mut file_tenant: BTreeMap<MuxIno, TenantId> = BTreeMap::new();
+            if self.sched.config().enabled {
+                self.files.for_each(|_, f| {
+                    file_tenant.insert(f.ino, f.tenant());
+                });
+                let mut tenants: Vec<TenantId> = file_tenant.values().copied().collect();
+                tenants.sort_unstable();
+                tenants.dedup();
+                for t in &tiers {
+                    if t.total_bytes == 0 {
+                        continue;
+                    }
+                    let util = 1.0 - t.free_bytes as f64 / t.total_bytes as f64;
+                    if util < self.sched.config().admit_utilization {
+                        continue;
+                    }
+                    for &tn in &tenants {
+                        // Judged against every tenant that owns files —
+                        // not just the ledger-active set — so a first
+                        // mover that filled the tier before anyone else
+                        // was served still counts as over its share.
+                        if !blocked_tenants.contains(&tn)
+                            && self.sched.over_fair_share_among(t.id, tn, &tenants, now)
+                        {
+                            blocked_tenants.push(tn);
+                        }
+                    }
+                }
+                if !blocked_tenants.is_empty() {
+                    let excluded = file_tenant
+                        .values()
+                        .filter(|tn| blocked_tenants.contains(tn))
+                        .count() as u64;
+                    MuxStats::add(&self.stats.qos_plan_exclusions, excluded);
+                }
+            }
             let plan =
                 crate::autotier::plan_epoch(cfg, &tiers, &files, &scores, &read_frac, &|ino| {
                     policy.is_pinned(ino)
+                        || file_tenant
+                            .get(&ino)
+                            .is_some_and(|tn| blocked_tenants.contains(tn))
                 });
             self.autotier.heat.decay(cfg.decay);
             report.vetoes = plan.vetoes;
@@ -826,6 +899,71 @@ impl Mux {
                 EpochAction::Mirror(p) | EpochAction::Unmirror(p) => p.clone(),
             };
             let bytes = p.n_blocks * BLOCK;
+            let tenant = self.files.get(&p.ino).map_or(0, |f| f.tenant());
+            // QoS admission for actions that consume space on a
+            // destination tier (promotions and mirror copies). The tier's
+            // occupancy is re-read per action, so a burst admitted
+            // earlier in this same tick is visible to the next decision.
+            // Defer and Shed both *drop* the action — the planner
+            // re-plans survivors next epoch (same precedent as the lazy
+            // resync pass) — so a fenced tenant's backlog cannot pile up
+            // in the queue and head-of-line-block other tenants.
+            let consumes_space = matches!(
+                &action,
+                EpochAction::Migrate { promote: true, .. } | EpochAction::Mirror(_)
+            );
+            if consumes_space {
+                match self.sched.admit_background(
+                    p.to,
+                    tenant,
+                    bytes,
+                    self.tier_utilization(p.to),
+                    self.now(),
+                ) {
+                    Admission::Admit => {}
+                    Admission::Defer => {
+                        state.queue.pop_front();
+                        MuxStats::add(&self.stats.qos_deferrals, 1);
+                        self.trace_event(
+                            TraceEventKind::QosDeferred { tenant },
+                            p.to,
+                            p.ino,
+                            p.block * BLOCK,
+                            bytes,
+                        );
+                        continue;
+                    }
+                    Admission::Shed => {
+                        state.queue.pop_front();
+                        MuxStats::add(&self.stats.qos_sheds, 1);
+                        self.trace_event(
+                            TraceEventKind::QosShed { tenant },
+                            p.to,
+                            p.ino,
+                            p.block * BLOCK,
+                            bytes,
+                        );
+                        continue;
+                    }
+                }
+            }
+            // Per-tenant pacing: a tenant whose private bucket is dry
+            // drops its action (re-planned next epoch) instead of
+            // breaking the loop, so it cannot stall other tenants queued
+            // behind it the way the shared bucket below does.
+            if action.unmirror().is_none() && !self.sched.tenant_try_take(tenant, bytes, self.now())
+            {
+                state.queue.pop_front();
+                MuxStats::add(&self.stats.qos_tenant_throttled_bytes, bytes);
+                self.trace_event(
+                    TraceEventKind::QosThrottled { tenant },
+                    p.to,
+                    p.ino,
+                    p.block * BLOCK,
+                    bytes,
+                );
+                continue;
+            }
             if action.unmirror().is_none() && !state.bucket.try_take(bytes, self.now()) {
                 MuxStats::add(&self.stats.throttled_bytes, bytes);
                 report.throttled_bytes += bytes;
@@ -1003,7 +1141,7 @@ impl Mux {
                     attempt += 1;
                     MuxStats::add(&self.stats.io_retries, 1);
                     self.health.record_retry(tier);
-                    self.sched.note_retry(tier);
+                    self.sched.note_retry(tier, self.now());
                     self.trace_event(TraceEventKind::Retry { attempt }, tier, 0, 0, 0);
                     self.charge(cfg.backoff_ns(attempt));
                 }
@@ -1830,6 +1968,10 @@ impl FileSystem for Mux {
                     })
                 };
                 let file = Arc::new(MuxFile::new(ino, CollectiveInode::new(attr, host)));
+                // Stamp the creating thread's tenant: all background work
+                // on this file is charged to it (runtime-only; remounted
+                // files default to tenant 0).
+                file.set_tenant(thread_tenant());
                 self.files.insert(ino, file);
                 self.ns.file_loc.insert(ino, (parent, name.to_string()));
                 let linked = self.ns.dirs.update(&parent, |dir| {
@@ -2090,8 +2232,9 @@ impl FileSystem for Mux {
         // surprising falls through to the dispatch path below.
         if self.opts.fastpath.enabled && !buf.is_empty() {
             if let Some((n, tier)) = self.fastpath_read(ino, off, buf) {
-                self.lat
-                    .record(OpKind::MuxRead, tier, self.now().saturating_sub(t0));
+                let dt = self.now().saturating_sub(t0);
+                self.lat.record(OpKind::MuxRead, tier, dt);
+                self.lat.record_tenant(OpKind::MuxRead, thread_tenant(), dt);
                 return Ok(n);
             }
         }
@@ -2371,6 +2514,7 @@ impl FileSystem for Mux {
         self.charge(cost.merge_ns);
         MuxStats::add(&self.stats.reads, 1);
         MuxStats::add(&self.stats.bytes_read, n as u64);
+        MuxStats::add_tenant(&self.stats.tenant_reads, thread_tenant(), 1);
         if split_tiers.len() > 1 {
             MuxStats::add(&self.stats.split_reads, 1);
             self.trace_event(
@@ -2401,11 +2545,10 @@ impl FileSystem for Mux {
                 policy.on_tier_read(ino, t, false, now);
             }
         }
-        self.lat.record(
-            OpKind::MuxRead,
-            last_tier.unwrap_or(CACHE_TIER),
-            self.now().saturating_sub(t0),
-        );
+        let dt = self.now().saturating_sub(t0);
+        self.lat
+            .record(OpKind::MuxRead, last_tier.unwrap_or(CACHE_TIER), dt);
+        self.lat.record_tenant(OpKind::MuxRead, thread_tenant(), dt);
         Ok(n)
     }
 
@@ -2607,6 +2750,7 @@ impl FileSystem for Mux {
         self.fastpath_invalidate_blocks(ino, first, last - first + 1);
         MuxStats::add(&self.stats.writes, 1);
         MuxStats::add(&self.stats.bytes_written, data.len() as u64);
+        MuxStats::add_tenant(&self.stats.tenant_writes, thread_tenant(), 1);
         if split_tiers.len() > 1 {
             MuxStats::add(&self.stats.split_writes, 1);
             self.trace_event(

@@ -182,6 +182,7 @@ impl Mux {
                     off,
                     len,
                     write: false,
+                    tenant: file.tenant(),
                 };
                 match by_tier.iter_mut().find(|(t, _)| *t == seg.value) {
                     Some((_, v)) => v.push(req),

@@ -2,6 +2,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::sched::tenant_slot;
+use crate::types::{TenantId, MAX_TENANTS};
+
 /// Counters exposed by [`crate::Mux::stats`].
 #[derive(Debug, Default)]
 pub struct MuxStats {
@@ -87,6 +90,23 @@ pub struct MuxStats {
     /// Blocks re-replicated by the lazy resync pass in `maintenance_tick`
     /// after a write was absorbed on the fast copy.
     pub lazy_resyncs: AtomicU64,
+    /// Background actions QoS admission deferred (dropped for this epoch;
+    /// the planner re-plans them) because the destination tier was
+    /// saturated and the tenant over its fair share.
+    pub qos_deferrals: AtomicU64,
+    /// Background actions QoS admission shed outright (destination tier
+    /// critically full for an over-share tenant).
+    pub qos_sheds: AtomicU64,
+    /// Background bytes deferred by a per-tenant rate bucket.
+    pub qos_tenant_throttled_bytes: AtomicU64,
+    /// Candidate files the planner skipped because their tenant was
+    /// plan-blocked (over fair share on a saturated destination tier).
+    pub qos_plan_exclusions: AtomicU64,
+    /// User read operations per tenant slot (see
+    /// [`crate::sched::tenant_slot`]).
+    pub tenant_reads: [AtomicU64; MAX_TENANTS],
+    /// User write operations per tenant slot.
+    pub tenant_writes: [AtomicU64; MAX_TENANTS],
 }
 
 /// Plain snapshot of [`MuxStats`].
@@ -158,12 +178,29 @@ pub struct MuxStatsSnapshot {
     pub mirror_reads_fast: u64,
     /// Blocks re-replicated by the lazy resync pass.
     pub lazy_resyncs: u64,
+    /// Background actions QoS admission deferred.
+    pub qos_deferrals: u64,
+    /// Background actions QoS admission shed outright.
+    pub qos_sheds: u64,
+    /// Background bytes deferred by a per-tenant rate bucket.
+    pub qos_tenant_throttled_bytes: u64,
+    /// Planner candidates skipped because their tenant was plan-blocked.
+    pub qos_plan_exclusions: u64,
+    /// User read operations per tenant slot.
+    pub tenant_reads: [u64; MAX_TENANTS],
+    /// User write operations per tenant slot.
+    pub tenant_writes: [u64; MAX_TENANTS],
 }
 
 impl MuxStats {
     /// Adds `n` to a counter.
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a per-tenant counter array at `tenant`'s slot.
+    pub fn add_tenant(counters: &[AtomicU64; MAX_TENANTS], tenant: TenantId, n: u64) {
+        counters[tenant_slot(tenant)].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Takes a snapshot.
@@ -202,6 +239,12 @@ impl MuxStats {
             mirrors_retired: self.mirrors_retired.load(Ordering::Relaxed),
             mirror_reads_fast: self.mirror_reads_fast.load(Ordering::Relaxed),
             lazy_resyncs: self.lazy_resyncs.load(Ordering::Relaxed),
+            qos_deferrals: self.qos_deferrals.load(Ordering::Relaxed),
+            qos_sheds: self.qos_sheds.load(Ordering::Relaxed),
+            qos_tenant_throttled_bytes: self.qos_tenant_throttled_bytes.load(Ordering::Relaxed),
+            qos_plan_exclusions: self.qos_plan_exclusions.load(Ordering::Relaxed),
+            tenant_reads: std::array::from_fn(|i| self.tenant_reads[i].load(Ordering::Relaxed)),
+            tenant_writes: std::array::from_fn(|i| self.tenant_writes[i].load(Ordering::Relaxed)),
         }
     }
 }
@@ -279,6 +322,27 @@ mod tests {
         assert_eq!(snap.mirrors_retired, 8);
         assert_eq!(snap.mirror_reads_fast, 1000);
         assert_eq!(snap.lazy_resyncs, 4);
+    }
+
+    #[test]
+    fn qos_counters_snapshot() {
+        let s = MuxStats::default();
+        MuxStats::add(&s.qos_deferrals, 3);
+        MuxStats::add(&s.qos_sheds, 1);
+        MuxStats::add(&s.qos_tenant_throttled_bytes, 4096);
+        MuxStats::add(&s.qos_plan_exclusions, 7);
+        MuxStats::add_tenant(&s.tenant_reads, 1, 10);
+        MuxStats::add_tenant(&s.tenant_writes, 1, 5);
+        MuxStats::add_tenant(&s.tenant_reads, 99, 2); // clamps to last slot
+        let snap = s.snapshot();
+        assert_eq!(snap.qos_deferrals, 3);
+        assert_eq!(snap.qos_sheds, 1);
+        assert_eq!(snap.qos_tenant_throttled_bytes, 4096);
+        assert_eq!(snap.qos_plan_exclusions, 7);
+        assert_eq!(snap.tenant_reads[1], 10);
+        assert_eq!(snap.tenant_writes[1], 5);
+        assert_eq!(snap.tenant_reads[MAX_TENANTS - 1], 2);
+        assert_eq!(snap.tenant_reads[0], 0);
     }
 
     #[test]

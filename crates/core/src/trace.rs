@@ -171,6 +171,25 @@ pub enum TraceEventKind {
     /// The lazy resync pass re-mirrored the event's byte range onto the
     /// event's tier after a write was absorbed on the fast copy.
     LazyResync,
+    /// QoS admission deferred a background action for the event's byte
+    /// range (destination tier saturated, tenant over fair share); the
+    /// planner re-plans it next epoch.
+    QosDeferred {
+        /// Tenant whose action was deferred.
+        tenant: u32,
+    },
+    /// QoS admission shed a background action outright (destination tier
+    /// critically full for an over-share tenant).
+    QosShed {
+        /// Tenant whose action was shed.
+        tenant: u32,
+    },
+    /// A per-tenant rate bucket ran dry; the event's byte range stays
+    /// un-executed until the planner re-plans it.
+    QosThrottled {
+        /// Tenant whose bucket ran dry.
+        tenant: u32,
+    },
 }
 
 impl TraceEventKind {
@@ -201,6 +220,9 @@ impl TraceEventKind {
             TraceEventKind::MirrorCreated { .. } => "mirror_created",
             TraceEventKind::MirrorRetired => "mirror_retired",
             TraceEventKind::LazyResync => "lazy_resync",
+            TraceEventKind::QosDeferred { .. } => "qos_deferred",
+            TraceEventKind::QosShed { .. } => "qos_shed",
+            TraceEventKind::QosThrottled { .. } => "qos_throttled",
         }
     }
 }

@@ -9,6 +9,16 @@ pub const BLOCK: u64 = 4096;
 /// Identifier of a registered tier (index into Mux's tier table).
 pub type TierId = u32;
 
+/// Identifier of a tenant (a workload sharing the Mux instance). Tenant 0
+/// is the default for untagged traffic; ids at or above [`MAX_TENANTS`]
+/// share the last accounting slot.
+pub type TenantId = u32;
+
+/// Number of distinct tenant accounting slots (histograms, stats
+/// counters). Fixed so the per-tenant observability tables stay
+/// lock-free and allocation-free, like the per-tier ones.
+pub const MAX_TENANTS: usize = 8;
+
 /// Static description of a tier at registration time.
 #[derive(Debug, Clone)]
 pub struct TierConfig {
@@ -122,6 +132,10 @@ pub struct MuxOptions {
     pub integrity: crate::integrity::IntegrityConfig,
     /// The lock-free read fast path ([`crate::fastpath`]).
     pub fastpath: FastPathConfig,
+    /// Multi-tenant QoS at the I/O scheduler seam ([`crate::sched`]):
+    /// weighted fair queues, per-tenant rate limits, and background
+    /// admission control.
+    pub qos: crate::sched::QosConfig,
 }
 
 impl Default for MuxOptions {
@@ -135,6 +149,7 @@ impl Default for MuxOptions {
             autotier: crate::autotier::AutotierConfig::default(),
             integrity: crate::integrity::IntegrityConfig::default(),
             fastpath: FastPathConfig::default(),
+            qos: crate::sched::QosConfig::default(),
         }
     }
 }

@@ -481,3 +481,135 @@ fn fastpath_readers_racing_migration_commits_and_tier_fences_stay_correct() {
         "no read ever fell back while entries were being invalidated"
     );
 }
+
+#[test]
+fn racing_tenant_streams_drain_fairly_without_cross_tenant_theft() {
+    // Two tenants submit their background streams concurrently while a
+    // whole-queue drainer (maintenance) and an ino-scoped drainer (a
+    // migration copy stream) race them. The scheduler owes three things:
+    // conservation (every submitted request drained exactly once),
+    // isolation (drain_for never hands one file's stream another file's —
+    // i.e. another tenant's — requests), and weighted-fair interleaving
+    // within every mixed batch.
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    use mux::sched::IoRequest;
+    use mux::IoScheduler;
+    use simdev::hdd;
+
+    let sched = Arc::new(IoScheduler::new());
+    let per_tenant = 256u64;
+    // Stride-2 offsets are never adjacent, so request merging cannot fold
+    // two submissions into one and every request stays individually
+    // observable on the drain side.
+    let stride = 2 * BLOCK;
+    let submitted = per_tenant * 2;
+    let taken = AtomicU64::new(0);
+    let barrier = Barrier::new(4);
+    let mixed = Mutex::new(Vec::<Vec<IoRequest>>::new());
+    let scoped = Mutex::new(Vec::<Vec<IoRequest>>::new());
+    std::thread::scope(|s| {
+        for tenant in [1u32, 2] {
+            let sched = Arc::clone(&sched);
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..per_tenant {
+                    sched.submit(
+                        0,
+                        IoRequest {
+                            ino: tenant as u64,
+                            off: i * stride,
+                            len: BLOCK,
+                            write: false,
+                            tenant,
+                        },
+                    );
+                }
+            });
+        }
+        // Scoped drainer: tenant 1's per-file migration stream.
+        {
+            let sched = Arc::clone(&sched);
+            let barrier = &barrier;
+            let scoped = &scoped;
+            let taken = &taken;
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..64 {
+                    let batch = sched.drain_for(0, &hdd(), 1);
+                    if !batch.is_empty() {
+                        taken.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        scoped.lock().unwrap().push(batch);
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Whole-queue drainer (the maintenance tick) until conservation.
+        barrier.wait();
+        while taken.load(Ordering::Relaxed) < submitted {
+            let batch = sched.drain(0, &hdd());
+            if batch.is_empty() {
+                std::thread::yield_now();
+                continue;
+            }
+            taken.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            mixed.lock().unwrap().push(batch);
+        }
+    });
+    assert_eq!(sched.pending(0), 0);
+    // No cross-tenant theft: the ino-scoped stream saw only its own file.
+    for batch in scoped.lock().unwrap().iter() {
+        for r in batch {
+            assert_eq!((r.ino, r.tenant), (1, 1), "drain_for leaked {r:?}");
+        }
+    }
+    // Conservation: every (tenant, off) drained exactly once, none lost.
+    let mut seen = HashSet::new();
+    for batch in mixed
+        .lock()
+        .unwrap()
+        .iter()
+        .chain(scoped.lock().unwrap().iter())
+    {
+        for r in batch {
+            assert!(seen.insert((r.tenant, r.off)), "duplicate drain of {r:?}");
+        }
+    }
+    assert_eq!(seen.len() as u64, submitted);
+    for tenant in [1u32, 2] {
+        for i in 0..per_tenant {
+            assert!(seen.contains(&(tenant, i * stride)), "lost request");
+        }
+    }
+    // Fairness: equal weights and equal request sizes mean every mixed
+    // batch interleaves the two tenants one-for-one until the smaller
+    // stream runs out — the first 2*min(a, b) slots hold min(a, b) each.
+    let mut saw_mixed_batch = false;
+    for batch in mixed.lock().unwrap().iter() {
+        let a = batch.iter().filter(|r| r.tenant == 1).count();
+        let b = batch.len() - a;
+        let m = a.min(b);
+        if m == 0 {
+            continue;
+        }
+        saw_mixed_batch = true;
+        let head_a = batch[..2 * m].iter().filter(|r| r.tenant == 1).count();
+        assert_eq!(
+            head_a,
+            m,
+            "unfair prefix: {head_a}/{m} tenant-1 slots in a {}-request batch",
+            batch.len()
+        );
+    }
+    // With two racing submitters the whole-queue drainer essentially
+    // always catches both streams queued at least once; if a pathological
+    // schedule ever drained them strictly separately, fairness was simply
+    // never exercised (not violated), so don't fail on it — but do keep
+    // the signal visible under --nocapture.
+    if !saw_mixed_batch {
+        eprintln!("note: no mixed batch observed; fairness not exercised this run");
+    }
+}

@@ -33,12 +33,27 @@
 
 use std::sync::Barrier;
 
+use mux::TenantId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simdev::VirtualClock;
 use tvfs::{FileSystem, FileType, InodeNo, VfsError, VfsResult, ROOT_INO};
 
 use crate::{pattern_at, pattern_check, Zipfian};
+
+/// Per-tenant operation mix for multi-tenant engine runs: workers
+/// assigned this mix tag their thread with the tenant id
+/// ([`mux::set_thread_tenant`]) and override the run-wide read fraction
+/// and op size.
+#[derive(Debug, Clone)]
+pub struct TenantMix {
+    /// Tenant id the worker's operations are attributed to.
+    pub tenant: TenantId,
+    /// Fraction of this tenant's operations that are reads.
+    pub read_fraction: f64,
+    /// Bytes per operation for this tenant (also offset alignment).
+    pub op_size: u64,
+}
 
 /// Configuration for one engine run.
 #[derive(Debug, Clone)]
@@ -63,6 +78,10 @@ pub struct EngineConfig {
     pub shared_file: bool,
     /// Verify every read against the deterministic pattern.
     pub verify: bool,
+    /// Per-tenant op mixes. Empty = single-tenant legacy mode (every
+    /// worker is tenant 0 with the run-wide mix); otherwise worker `t`
+    /// runs `tenant_mixes[t % len]`.
+    pub tenant_mixes: Vec<TenantMix>,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +96,7 @@ impl Default for EngineConfig {
             seed: 42,
             shared_file: false,
             verify: true,
+            tenant_mixes: Vec::new(),
         }
     }
 }
@@ -86,6 +106,8 @@ impl Default for EngineConfig {
 pub struct ThreadReport {
     /// Worker index.
     pub thread: usize,
+    /// Tenant the worker ran as (0 in single-tenant mode).
+    pub tenant: TenantId,
     /// Read operations performed.
     pub reads: u64,
     /// Write operations performed.
@@ -136,6 +158,22 @@ impl EngineReport {
     pub fn verify_failures(&self) -> u64 {
         self.per_thread.iter().map(|t| t.verify_failures).sum()
     }
+
+    /// Per-tenant `(tenant, reads, writes)` totals, ascending by tenant.
+    pub fn per_tenant_ops(&self) -> Vec<(TenantId, u64, u64)> {
+        let mut out: Vec<(TenantId, u64, u64)> = Vec::new();
+        for t in &self.per_thread {
+            match out.iter_mut().find(|(tn, _, _)| *tn == t.tenant) {
+                Some((_, r, w)) => {
+                    *r += t.reads;
+                    *w += t.writes;
+                }
+                None => out.push((t.tenant, t.reads, t.writes)),
+            }
+        }
+        out.sort_unstable_by_key(|(tn, _, _)| *tn);
+        out
+    }
 }
 
 fn prefill(fs: &dyn FileSystem, ino: InodeNo, bytes: u64) -> VfsResult<()> {
@@ -170,6 +208,16 @@ pub fn run_engine(fs: &dyn FileSystem, cfg: &EngineConfig) -> VfsResult<EngineRe
         (0.0..=1.0).contains(&cfg.read_fraction),
         "read_fraction must be a probability"
     );
+    for m in &cfg.tenant_mixes {
+        assert!(
+            (0.0..=1.0).contains(&m.read_fraction),
+            "tenant read_fraction must be a probability"
+        );
+        assert!(
+            m.op_size > 0 && cfg.region_bytes >= m.op_size,
+            "region must hold at least one tenant op"
+        );
+    }
     // Create + prefill worker files before the race starts.
     let mut inos: Vec<InodeNo> = Vec::with_capacity(cfg.threads);
     let n_files = if cfg.shared_file { 1 } else { cfg.threads };
@@ -187,7 +235,6 @@ pub fn run_engine(fs: &dyn FileSystem, cfg: &EngineConfig) -> VfsResult<EngineRe
         prefill(fs, ino, cfg.region_bytes)?;
         inos.push(ino);
     }
-    let slots = cfg.region_bytes / cfg.op_size;
     let barrier = Barrier::new(cfg.threads);
     let reports: Vec<VfsResult<ThreadReport>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.threads)
@@ -196,12 +243,23 @@ pub fn run_engine(fs: &dyn FileSystem, cfg: &EngineConfig) -> VfsResult<EngineRe
                 let inos = &inos;
                 scope.spawn(move || -> VfsResult<ThreadReport> {
                     let ino = inos[t % inos.len()];
+                    // Multi-tenant mode: worker t runs mix t % len and
+                    // tags its thread so Mux attributes its operations.
+                    let mix = (!cfg.tenant_mixes.is_empty())
+                        .then(|| cfg.tenant_mixes[t % cfg.tenant_mixes.len()].clone());
+                    let (tenant, read_fraction, op_size) = match &mix {
+                        Some(m) => (m.tenant, m.read_fraction, m.op_size),
+                        None => (0, cfg.read_fraction, cfg.op_size),
+                    };
+                    mux::set_thread_tenant(tenant);
+                    let slots = cfg.region_bytes / op_size;
                     let mut rng = StdRng::seed_from_u64(cfg.seed + t as u64);
                     let mut zipf = (cfg.zipf_theta > 0.0)
                         .then(|| Zipfian::new(slots, cfg.zipf_theta, cfg.seed ^ t as u64));
-                    let mut buf = vec![0u8; cfg.op_size as usize];
+                    let mut buf = vec![0u8; op_size as usize];
                     let mut rep = ThreadReport {
                         thread: t,
+                        tenant,
                         reads: 0,
                         writes: 0,
                         bytes_read: 0,
@@ -216,8 +274,8 @@ pub fn run_engine(fs: &dyn FileSystem, cfg: &EngineConfig) -> VfsResult<EngineRe
                             Some(z) => z.next_item(),
                             None => rng.gen_range(0..slots),
                         };
-                        let off = slot * cfg.op_size;
-                        if rng.gen::<f64>() < cfg.read_fraction {
+                        let off = slot * op_size;
+                        if rng.gen::<f64>() < read_fraction {
                             let got = fs.read(ino, off, &mut buf)?;
                             if cfg.verify && !pattern_check(off, &buf[..got]) {
                                 rep.verify_failures += 1;
@@ -225,7 +283,7 @@ pub fn run_engine(fs: &dyn FileSystem, cfg: &EngineConfig) -> VfsResult<EngineRe
                             rep.reads += 1;
                             rep.bytes_read += got as u64;
                         } else {
-                            let data = pattern_at(off, cfg.op_size as usize);
+                            let data = pattern_at(off, op_size as usize);
                             let wrote = fs.write(ino, off, &data)?;
                             rep.writes += 1;
                             rep.bytes_written += wrote as u64;
@@ -338,5 +396,37 @@ mod tests {
             )
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn tenant_mixes_assign_workers_round_robin() {
+        let fs = MemFs::new("m", 64 << 20);
+        let rep = run_engine(
+            &fs,
+            &EngineConfig {
+                tenant_mixes: vec![
+                    TenantMix {
+                        tenant: 1,
+                        read_fraction: 1.0,
+                        op_size: 4096,
+                    },
+                    TenantMix {
+                        tenant: 2,
+                        read_fraction: 0.0,
+                        op_size: 8192,
+                    },
+                ],
+                ..cfg(4)
+            },
+        )
+        .unwrap();
+        let tenants: Vec<_> = rep.per_thread.iter().map(|t| t.tenant).collect();
+        assert_eq!(tenants, vec![1, 2, 1, 2]);
+        let per_tenant = rep.per_tenant_ops();
+        assert_eq!(per_tenant.len(), 2);
+        // Tenant 1 is read-only, tenant 2 write-only, each via 2 workers.
+        assert_eq!(per_tenant[0], (1, 2 * 200, 0));
+        assert_eq!(per_tenant[1], (2, 0, 2 * 200));
+        assert_eq!(rep.verify_failures(), 0);
     }
 }

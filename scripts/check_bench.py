@@ -8,6 +8,7 @@ Usage:
   check_bench.py --integrity <current integrity.json> <baseline integrity.json>
   check_bench.py --read-overhead <current read_overhead.json> <baseline read_overhead.json>
   check_bench.py --mirror <current mirror.json> <baseline mirror.json>
+  check_bench.py --qos <current qos.json> <baseline qos.json>
   check_bench.py --all [baseline-ref]
 
 `--all` runs every gate in one process against freshly regenerated
@@ -65,6 +66,21 @@ Mirror mode fails (exit 1) if:
   * either ratio regressed by more than REGRESSION_TOLERANCE against
     the committed baseline.
 
+QoS mode fails (exit 1) if:
+  * the QoS arm's victim read p99 exceeds QOS_MAX_BLOWUP times the
+    antagonist-free baseline arm (isolation must hold), or
+  * the unfenced arm's blowup is below QOS_MIN_UNFENCED_BLOWUP (the
+    antagonist must demonstrably starve an unfenced victim, or the
+    experiment is not exercising anything), or
+  * the QoS arm did not promote >= QOS_MIN_VICTIM_PM of the victim's
+    blocks onto PM, or the unfenced arm promoted more than
+    QOS_MAX_UNFENCED_VICTIM_PM of them (placement must corroborate the
+    latency story), or
+  * plan-time fair-share fencing never engaged in the QoS arm
+    (qos_plan_exclusions == 0), or
+  * either blowup regressed by more than REGRESSION_TOLERANCE against
+    the committed baseline.
+
 All numbers are virtual-time (deterministic), so the gates are safe on
 shared CI runners: a failure means the code got worse, not the machine.
 """
@@ -85,6 +101,10 @@ READ_OVERHEAD_BUDGET_PCT = 10.0  # Mux-over-native ceiling on PM and SSD reads
 READ_OVERHEAD_SLACK_PCT = 2.0  # percentage points of drift allowed vs baseline
 MIRROR_MAX_P99_RATIO = 0.9  # mirrored read p99 must beat single-copy by >=10%
 MIRROR_MIN_DEGRADED_RATIO = 1.2  # fenced-PM goodput must beat single-copy by >=20%
+QOS_MAX_BLOWUP = 2.0  # victim p99 with QoS on, relative to antagonist-free
+QOS_MIN_UNFENCED_BLOWUP = 3.0  # unfenced starvation must be material
+QOS_MIN_VICTIM_PM = 0.9  # QoS arm: victim blocks that must reach PM
+QOS_MAX_UNFENCED_VICTIM_PM = 0.1  # unfenced arm: victim blocks allowed on PM
 
 
 class GateInputError(Exception):
@@ -435,6 +455,94 @@ def mirror_gate(current_path, baseline_path):
     return 0
 
 
+def qos_gate(current_path, baseline_path):
+    cur = load_json(current_path)
+    base = load_json(baseline_path)
+
+    failures = []
+    qos, unfenced = cur["qos"], cur["unfenced"]
+
+    if cur["qos_blowup"] > QOS_MAX_BLOWUP:
+        failures.append(
+            f"victim not isolated: QoS-arm p99 blowup {cur['qos_blowup']:.2f}x "
+            f"> {QOS_MAX_BLOWUP}x budget ({qos['victim_read_p99_ns']} ns vs "
+            f"{cur['alone']['victim_read_p99_ns']} ns alone)"
+        )
+    else:
+        print(
+            f"ok isolation: QoS-arm victim p99 {qos['victim_read_p99_ns']} ns, "
+            f"{cur['qos_blowup']:.2f}x alone (budget {QOS_MAX_BLOWUP}x)"
+        )
+
+    if cur["unfenced_blowup"] < QOS_MIN_UNFENCED_BLOWUP:
+        failures.append(
+            f"antagonist not antagonizing: unfenced blowup "
+            f"{cur['unfenced_blowup']:.2f}x < {QOS_MIN_UNFENCED_BLOWUP}x — "
+            f"the experiment no longer demonstrates starvation"
+        )
+    else:
+        print(
+            f"ok contrast: unfenced victim p99 blowup "
+            f"{cur['unfenced_blowup']:.2f}x (floor {QOS_MIN_UNFENCED_BLOWUP}x)"
+        )
+
+    # Placement census must corroborate the latency story.
+    if qos["victim_pm_blocks"] < QOS_MIN_VICTIM_PM * qos["victim_blocks"]:
+        failures.append(
+            f"QoS arm: only {qos['victim_pm_blocks']} of "
+            f"{qos['victim_blocks']} victim blocks on PM "
+            f"(want >= {QOS_MIN_VICTIM_PM:.0%})"
+        )
+    else:
+        print(
+            f"ok placement: {qos['victim_pm_blocks']}/{qos['victim_blocks']} "
+            f"victim blocks on PM with QoS"
+        )
+    if unfenced["victim_pm_blocks"] > QOS_MAX_UNFENCED_VICTIM_PM * unfenced["victim_blocks"]:
+        failures.append(
+            f"unfenced arm: {unfenced['victim_pm_blocks']} of "
+            f"{unfenced['victim_blocks']} victim blocks reached PM "
+            f"(want <= {QOS_MAX_UNFENCED_VICTIM_PM:.0%} — the antagonist "
+            f"should be hogging it)"
+        )
+    else:
+        print(
+            f"ok starvation census: {unfenced['victim_pm_blocks']}/"
+            f"{unfenced['victim_blocks']} victim blocks on PM unfenced"
+        )
+
+    if not qos["qos_plan_exclusions"]:
+        failures.append(
+            "plan-time fencing never engaged: qos_plan_exclusions == 0 "
+            "in the QoS arm"
+        )
+    else:
+        print(
+            f"ok fencing: {qos['qos_plan_exclusions']} plan exclusions, "
+            f"{qos['qos_deferrals']} deferrals, {qos['qos_sheds']} sheds"
+        )
+
+    # Regressions against the committed baseline run.
+    if cur["qos_blowup"] > base["qos_blowup"] * (1.0 + REGRESSION_TOLERANCE):
+        failures.append(
+            f"QoS blowup regressed: {cur['qos_blowup']:.2f}x vs "
+            f"baseline {base['qos_blowup']:.2f}x"
+        )
+    if cur["unfenced_blowup"] < base["unfenced_blowup"] * (1.0 - REGRESSION_TOLERANCE):
+        failures.append(
+            f"unfenced contrast shrank: {cur['unfenced_blowup']:.2f}x vs "
+            f"baseline {base['unfenced_blowup']:.2f}x"
+        )
+
+    if failures:
+        print("\nQOS GATE FAILED:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("qos gate passed")
+    return 0
+
+
 def key(cell):
     return (cell["config"], cell["mix"], cell["threads"])
 
@@ -504,6 +612,7 @@ ALL_GATES = [
         "read_overhead",
     ),
     ("mirror", mirror_gate, "bench_results/mirror.json", "mirror"),
+    ("qos", qos_gate, "bench_results/qos.json", "qos"),
 ]
 
 
@@ -544,6 +653,7 @@ MODES = {
     "--integrity": integrity_gate,
     "--read-overhead": read_overhead_gate,
     "--mirror": mirror_gate,
+    "--qos": qos_gate,
 }
 
 
