@@ -11,13 +11,14 @@
 //! counters, per-(operation × tier) latency percentiles, device busy-time
 //! attribution, and the tail of the trace ring.
 //!
-//! With `--from FILE`, re-renders a `bench_results/latency_breakdown.json`
-//! or `bench_results/integrity.json` previously written by `repro` instead
-//! of running anything. See OBSERVABILITY.md for how to read the output.
+//! With `--from FILE`, re-renders a `bench_results/latency_breakdown.json`,
+//! `bench_results/integrity.json`, or `bench_results/cluster.json`
+//! previously written by `repro` instead of running anything. See
+//! OBSERVABILITY.md for how to read the output.
 
 use std::sync::Arc;
 
-use bench::experiments::{self as ex, IntegrityResult, LatencyBreakdown};
+use bench::experiments::{self as ex, ClusterResult, IntegrityResult, LatencyBreakdown};
 use bench::report;
 use bench::testbed::{build_mux_stack_cached, Capacities};
 use mux::{CacheConfig, CacheController, MuxOptions, PinnedPolicy, BLOCK};
@@ -76,8 +77,13 @@ fn main() {
         } else if let Ok(parsed) = serde_json::from_str::<IntegrityResult>(&text) {
             println!("== muxstat — re-rendering {path} ==\n");
             println!("{}", report::render_integrity(&parsed));
+        } else if let Ok(parsed) = serde_json::from_str::<ClusterResult>(&text) {
+            println!("== muxstat — re-rendering {path} ==\n");
+            println!("{}", report::render_cluster(&parsed));
         } else {
-            eprintln!("cannot parse {path} as latency_breakdown.json or integrity.json");
+            eprintln!(
+                "cannot parse {path} as latency_breakdown.json, integrity.json, or cluster.json"
+            );
             std::process::exit(1);
         }
         return;
@@ -190,6 +196,10 @@ fn demo(tail: usize) {
         "  mirrors_created {}  mirrors_retired {}  mirror_reads_fast {}  lazy_resyncs {}",
         s.mirrors_created, s.mirrors_retired, s.mirror_reads_fast, s.lazy_resyncs
     );
+    println!(
+        "  remote_reads {}  remote_writes {}  remote_bytes {}",
+        s.remote_reads, s.remote_writes, s.remote_bytes
+    );
     println!("\nIntegrity");
     println!(
         "  corruptions_detected {}  corruptions_repaired {}  blocks_quarantined {}",
@@ -281,4 +291,87 @@ fn demo(tail: usize) {
         integrity.len() - ifrom
     );
     print!("{}", report::trace_lines(&integrity[ifrom..]));
+    cluster_demo();
+}
+
+/// A two-node cluster vignette: remote dispatch, a partition, a heal —
+/// then the per-direction link counters and cluster trace events.
+fn cluster_demo() {
+    use cluster::set_thread_home;
+    use mux::BLOCK as BLK;
+    let c = bench::testbed::build_cluster(2, 64 << 20, cluster::ClusterConfig::default());
+    set_thread_home(0);
+    // Enough files that both shards own some; write/read each so the
+    // wire carries bulk payload in both directions.
+    let mut buf = vec![0u8; BLK as usize];
+    for i in 0..8 {
+        let f = c
+            .create(ROOT_INO, &format!("c{i}"), FileType::Regular, 0o644)
+            .unwrap();
+        c.write(f.ino, 0, &pattern_at(0, BLK as usize)).unwrap();
+        c.read(f.ino, 0, &mut buf).unwrap();
+    }
+    // One partition/heal cycle so the drop counters and the
+    // link_partitioned/link_healed events have something to show.
+    c.partition_node(1);
+    for i in 0..8 {
+        if let Ok(a) = c.lookup(ROOT_INO, &format!("c{i}")) {
+            let _ = c.read(a.ino, 0, &mut buf);
+        }
+    }
+    c.heal_node(1);
+    println!("\n== Cluster links (two-node vignette) ==\n");
+    println!("Inter-node links (per-direction wire counters)");
+    for l in c.link_reports() {
+        println!(
+            "  {}<->{}  req {} msgs / {} B  resp {} msgs / {} B  dropped {} msgs / {} B",
+            l.a,
+            l.b,
+            l.stats.req_messages,
+            l.stats.req_bytes,
+            l.stats.resp_messages,
+            l.stats.resp_bytes,
+            l.stats.dropped_messages,
+            l.stats.dropped_bytes
+        );
+        println!(
+            "      wire busy {} ns  propagation awaited {} ns",
+            l.busy_ns, l.latency_ns
+        );
+    }
+    let cs = c.stats().snapshot();
+    println!(
+        "  routed local {}  remote {}  breaker fast-fails {}  partitions/heals {}/{}",
+        cs.routed_local, cs.routed_remote, cs.breaker_fast_fails, cs.partitions, cs.heals
+    );
+    for n in 0..c.node_count() {
+        let s = c.node(n).mux.stats().snapshot();
+        println!(
+            "  node {n}: remote_reads {}  remote_writes {}  remote_bytes {}",
+            s.remote_reads, s.remote_writes, s.remote_bytes
+        );
+    }
+    let events: Vec<mux::TraceEvent> = c
+        .node(0)
+        .mux
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                mux::TraceEventKind::RemoteDispatch { .. }
+                    | mux::TraceEventKind::LinkPartitioned
+                    | mux::TraceEventKind::LinkHealed
+            )
+        })
+        .cloned()
+        .collect();
+    let from = events.len().saturating_sub(12);
+    println!(
+        "\nCluster trace events on node 0 ({} total; last {}):",
+        events.len(),
+        events.len() - from
+    );
+    print!("{}", report::trace_lines(&events[from..]));
 }

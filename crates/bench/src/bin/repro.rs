@@ -4,7 +4,7 @@
 //! repro [--experiment fig3a|fig3b|read-overhead|write-overhead|
 //!        meta-overhead|ablation-occ|ablation-cache|ablation-policy|
 //!        degraded-mode|latency|scaling|autotier|mirror|integrity|
-//!        qos|crash|all]
+//!        qos|cluster|crash|all]
 //!       [--quick]
 //! ```
 //!
@@ -42,6 +42,10 @@ struct Scale {
     qos_file_blocks: u64,
     qos_epochs: usize,
     qos_ops: usize,
+    cluster_streams: usize,
+    cluster_region_blocks: u64,
+    cluster_ops: usize,
+    cluster_chaos_ops: usize,
 }
 
 const FULL: Scale = Scale {
@@ -74,6 +78,10 @@ const FULL: Scale = Scale {
     qos_file_blocks: 128,
     qos_epochs: 12,
     qos_ops: 200,
+    cluster_streams: 64,
+    cluster_region_blocks: 64,
+    cluster_ops: 24_000,
+    cluster_chaos_ops: 6_000,
 };
 
 const QUICK: Scale = Scale {
@@ -110,6 +118,12 @@ const QUICK: Scale = Scale {
     qos_file_blocks: 128,
     qos_epochs: 8,
     qos_ops: 100,
+    // Streams must stay a multiple of the 8 simulated clients so every
+    // client keeps work at every cluster size — quick mode trims ops.
+    cluster_streams: 64,
+    cluster_region_blocks: 32,
+    cluster_ops: 6_000,
+    cluster_chaos_ops: 1_500,
 };
 
 fn main() {
@@ -130,7 +144,7 @@ fn main() {
                      experiments: fig3a fig3b read-overhead write-overhead\n\
                      \x20            meta-overhead ablation-occ ablation-cache\n\
                      \x20            ablation-policy degraded-mode latency scaling crash\n\
-                     \x20            autotier mirror integrity qos all"
+                     \x20            autotier mirror integrity qos cluster all"
                 );
                 return;
             }
@@ -241,6 +255,16 @@ fn main() {
         );
         println!("{}", report::render_qos(&r));
         let _ = report::write_json("qos", &r);
+    }
+    if all || experiment == "cluster" {
+        let r = ex::cluster(
+            scale.cluster_streams,
+            scale.cluster_region_blocks,
+            scale.cluster_ops,
+            scale.cluster_chaos_ops,
+        );
+        println!("{}", report::render_cluster(&r));
+        let _ = report::write_json("cluster", &r);
     }
     if all || experiment == "crash" {
         // --quick skips the torn-write pass (half the points).

@@ -2179,3 +2179,299 @@ pub fn qos(victim_files: u64, file_blocks: u64, epochs: usize, ops: usize) -> Qo
         qos: fenced,
     }
 }
+
+// ---------------------------------------------------------------------
+// Cluster — sharded scale-out namespace
+// ---------------------------------------------------------------------
+
+/// One row of the cluster scaling sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterScaleRow {
+    /// Mux nodes in the cluster.
+    pub nodes: usize,
+    /// Simulated client frontends (fixed across rows).
+    pub clients: usize,
+    /// Operations completed.
+    pub total_ops: u64,
+    /// MiB moved.
+    pub total_mib: f64,
+    /// Cluster elapsed virtual time (max over node and link ledgers), ms.
+    pub elapsed_ms: f64,
+    /// Aggregate throughput, MiB/s.
+    pub agg_mib_s: f64,
+    /// Fraction of routed ops that crossed a node boundary.
+    pub remote_frac: f64,
+    /// Busiest inter-node link's wire occupancy, ms.
+    pub max_link_busy_ms: f64,
+    /// Throughput relative to ideal linear scaling from the 1-node row
+    /// (`tput_n / (n * tput_1)`); filled by [`cluster()`](fn@cluster).
+    pub efficiency: f64,
+    /// Pattern-verification failures (must be 0).
+    pub verify_failures: u64,
+}
+
+/// The partition/heal chaos arm (4 nodes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterChaos {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Operations attempted across all phases.
+    pub ops_attempted: u64,
+    /// Operations that failed (partitioned owner — never acked).
+    pub ops_failed: u64,
+    /// Writes acknowledged to the client.
+    pub acked_writes: u64,
+    /// Bytes those acks covered.
+    pub acked_bytes: u64,
+    /// Acked bytes unreadable or wrong after heal. The whole point: 0.
+    pub lost_bytes: u64,
+    /// Creates attempted while a node was dark, and how many the
+    /// two-choice placer routed to a live node (must match).
+    pub creates_during_partition: u64,
+    /// See `creates_during_partition`.
+    pub creates_rerouted: u64,
+    /// RPCs refused without touching the wire (peer breaker open).
+    pub breaker_fast_fails: u64,
+    /// Cross-node migrations rolled back (the mid-partition attempt).
+    pub migration_aborts: u64,
+    /// Staging/intent orphans left anywhere after heal (must be 0).
+    pub debris_after_heal: u64,
+    /// Nodes failing the crash-oracle structural check after heal (0).
+    pub structural_violations: u64,
+    /// Partition events injected.
+    pub partitions: u64,
+    /// Heal events injected.
+    pub heals: u64,
+}
+
+/// Full cluster experiment result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterResult {
+    /// Streams (top-level files) per run.
+    pub streams: usize,
+    /// 4-KiB blocks per stream region.
+    pub region_blocks: u64,
+    /// Scaling sweep rows.
+    pub rows: Vec<ClusterScaleRow>,
+    /// Efficiency at 4 nodes — the CI gate (>= 0.8 = within 20% of
+    /// ideal linear).
+    pub scaling_4n: f64,
+    /// The chaos arm.
+    pub chaos: ClusterChaos,
+}
+
+/// Simulated client frontends driving the cluster.
+const CLUSTER_CLIENTS: usize = 8;
+
+fn cluster_home(stream: usize, nodes: usize) -> usize {
+    // Client affinity: stream s belongs to client s % CLIENTS, attached
+    // to node client % n. Ownership is wherever two-choice placement put
+    // the stream, so remote traffic emerges naturally.
+    (stream % CLUSTER_CLIENTS) % nodes
+}
+
+fn cluster_scale_run(
+    nodes: usize,
+    streams: usize,
+    region_blocks: u64,
+    ops: usize,
+) -> ClusterScaleRow {
+    use cluster::set_thread_home;
+    let c = crate::testbed::build_cluster(nodes, 512 << 20, cluster::ClusterConfig::default());
+    set_thread_home(0);
+    let mut ginos = Vec::with_capacity(streams);
+    for s in 0..streams {
+        set_thread_home(cluster_home(s, nodes));
+        let ino = mk(c.as_ref(), &format!("stream-{s}.dat"));
+        c.write(ino, 0, &pattern_at(0, (region_blocks * BLOCK) as usize))
+            .unwrap();
+        ginos.push(ino);
+    }
+    // Measure only the steady state: snapshot every ledger after prefill.
+    let t0 = c.instant();
+    let mut bytes = 0u64;
+    let mut verify_failures = 0u64;
+    let mut buf = vec![0u8; BLOCK as usize];
+    for i in 0..ops {
+        let s = i % streams;
+        set_thread_home(cluster_home(s, nodes));
+        let round = (i / streams) as u64;
+        let block = (round.wrapping_mul(0x9e37).wrapping_add(s as u64 * 7)) % region_blocks;
+        let off = block * BLOCK;
+        if i % 20 == 19 {
+            c.write(ginos[s], off, &pattern_at(off, BLOCK as usize))
+                .unwrap();
+        } else {
+            c.read(ginos[s], off, &mut buf).unwrap();
+            if !workloads::pattern_check(off, &buf) {
+                verify_failures += 1;
+            }
+        }
+        bytes += BLOCK;
+    }
+    let elapsed_ns = c.elapsed_since(&t0).max(1);
+    let snap = c.stats().snapshot();
+    let routed = (snap.routed_local + snap.routed_remote).max(1);
+    let max_link_busy = c
+        .link_reports()
+        .iter()
+        .map(|l| l.busy_ns)
+        .max()
+        .unwrap_or(0);
+    ClusterScaleRow {
+        nodes,
+        clients: CLUSTER_CLIENTS,
+        total_ops: ops as u64,
+        total_mib: bytes as f64 / (1 << 20) as f64,
+        elapsed_ms: elapsed_ns as f64 / 1e6,
+        agg_mib_s: bytes as f64 / (1 << 20) as f64 / (elapsed_ns as f64 / 1e9),
+        remote_frac: snap.routed_remote as f64 / routed as f64,
+        max_link_busy_ms: max_link_busy as f64 / 1e6,
+        efficiency: 0.0, // filled by the caller
+        verify_failures,
+    }
+}
+
+fn cluster_chaos_run(streams: usize, region_blocks: u64, ops: usize) -> ClusterChaos {
+    use cluster::set_thread_home;
+    use std::collections::HashSet;
+    const NODES: usize = 4;
+    let c = crate::testbed::build_cluster(NODES, 512 << 20, cluster::ClusterConfig::default());
+    set_thread_home(0);
+    let mut ginos = Vec::with_capacity(streams);
+    for s in 0..streams {
+        set_thread_home(cluster_home(s, NODES));
+        ginos.push(mk(c.as_ref(), &format!("chaos-{s}.dat")));
+    }
+    let victim = c.owner_of(ginos[0]).unwrap();
+    let mut acked: HashSet<(u64, u64)> = HashSet::new();
+    let mut acked_writes = 0u64;
+    let mut ops_failed = 0u64;
+    let mut creates = 0u64;
+    let mut rerouted = 0u64;
+    let mut dark = false;
+    let mut buf = vec![0u8; BLOCK as usize];
+    for i in 0..ops {
+        if i == ops / 3 {
+            c.partition_node(victim);
+            dark = true;
+            // A migration into the dark node must roll back cleanly.
+            let (g, src) = ginos
+                .iter()
+                .find_map(|&g| {
+                    let o = c.owner_of(g).unwrap();
+                    (o != victim).then_some((g, o))
+                })
+                .expect("some stream lives off the victim");
+            set_thread_home(src);
+            assert!(c.migrate_to_node(g, victim).is_err());
+        }
+        if i == 2 * ops / 3 {
+            c.heal_node(victim);
+            dark = false;
+        }
+        let s = i % streams;
+        let mut home = cluster_home(s, NODES);
+        if dark && home == victim {
+            // Clients of the dark node reconnect to its neighbor.
+            home = (victim + 1) % NODES;
+        }
+        set_thread_home(home);
+        if dark && i % 97 == 0 {
+            // Placement must route around the dark candidate.
+            creates += 1;
+            let ino = mk(c.as_ref(), &format!("chaos-extra-{i}.dat"));
+            if c.owner_of(ino).unwrap() != victim {
+                rerouted += 1;
+            }
+            continue;
+        }
+        let round = (i / streams) as u64;
+        let block = (round.wrapping_mul(0x9e37).wrapping_add(s as u64 * 7)) % region_blocks;
+        let off = block * BLOCK;
+        if i % 2 == 0 {
+            // The pattern is a pure function of the offset, so replays of
+            // an applied-but-unacked write can never corrupt acked data.
+            match c.write(ginos[s], off, &pattern_at(off, BLOCK as usize)) {
+                Ok(_) => {
+                    acked.insert((ginos[s], off));
+                    acked_writes += 1;
+                }
+                Err(_) => ops_failed += 1,
+            }
+        } else if c.read(ginos[s], off, &mut buf).is_err() {
+            ops_failed += 1;
+        }
+    }
+    // The oracle: every byte the cluster acked must read back intact.
+    let mut lost_bytes = 0u64;
+    for &(g, off) in &acked {
+        match c.read(g, off, &mut buf) {
+            Ok(n) if n == BLOCK as usize && workloads::pattern_check(off, &buf) => {}
+            _ => lost_bytes += BLOCK,
+        }
+    }
+    let mut structural_violations = 0u64;
+    for n in 0..NODES {
+        if mux::structural_check(&c.node(n).mux).is_err() {
+            structural_violations += 1;
+        }
+    }
+    let snap = c.stats().snapshot();
+    ClusterChaos {
+        nodes: NODES,
+        ops_attempted: ops as u64,
+        ops_failed,
+        acked_writes,
+        acked_bytes: acked_writes * BLOCK,
+        lost_bytes,
+        creates_during_partition: creates,
+        creates_rerouted: rerouted,
+        breaker_fast_fails: snap.breaker_fast_fails,
+        migration_aborts: snap.migration_aborts,
+        debris_after_heal: c.scan_debris().len() as u64,
+        structural_violations,
+        partitions: snap.partitions,
+        heals: snap.heals,
+    }
+}
+
+/// The cluster experiment: an aggregate-throughput scaling sweep over
+/// 1/2/4/8 Mux nodes plus a 4-node partition/heal chaos arm.
+///
+/// Eight simulated clients drive `streams` top-level files with a 95/5
+/// read/write mix. Every node charges its own virtual clock and every
+/// link its own occupancy ledger, so cluster elapsed time is the max
+/// across all of them — aggregate throughput on the modeled hardware is
+/// `bytes / elapsed`. Efficiency at n nodes is throughput relative to
+/// ideal linear scaling from the 1-node row; the CI gate holds the
+/// 4-node figure at >= 0.8.
+///
+/// The chaos arm partitions the node owning stream 0 a third of the way
+/// in, heals it at two thirds, attempts a migration into the dark node
+/// (must abort without debris), keeps serving the surviving shards, and
+/// finally verifies every acked write byte-for-byte: `lost_bytes` must
+/// be 0.
+pub fn cluster(streams: usize, region_blocks: u64, ops: usize, chaos_ops: usize) -> ClusterResult {
+    let mut rows: Vec<ClusterScaleRow> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&n| cluster_scale_run(n, streams, region_blocks, ops))
+        .collect();
+    let base = rows[0].agg_mib_s.max(f64::MIN_POSITIVE);
+    for r in rows.iter_mut() {
+        r.efficiency = r.agg_mib_s / (r.nodes as f64 * base);
+    }
+    let scaling_4n = rows
+        .iter()
+        .find(|r| r.nodes == 4)
+        .map(|r| r.efficiency)
+        .unwrap_or(0.0);
+    let chaos = cluster_chaos_run(streams / 2, region_blocks, chaos_ops);
+    ClusterResult {
+        streams,
+        region_blocks,
+        rows,
+        scaling_4n,
+        chaos,
+    }
+}

@@ -567,3 +567,74 @@ pub fn render_crash(m: &mux::CrashMatrix) -> String {
     }
     s
 }
+
+/// Renders the cluster scale-out experiment.
+pub fn render_cluster(r: &crate::experiments::ClusterResult) -> String {
+    let mut s = format!(
+        "Cluster — sharded namespace, {} streams x {} blocks, 95/5 mix, {} clients\n",
+        r.streams,
+        r.region_blocks,
+        r.rows.first().map(|x| x.clients).unwrap_or(0)
+    );
+    let body: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|c| {
+            vec![
+                c.nodes.to_string(),
+                c.total_ops.to_string(),
+                format!("{:.1}", c.total_mib),
+                format!("{:.2}", c.elapsed_ms),
+                format!("{:.1}", c.agg_mib_s),
+                format!("{:.0}%", c.remote_frac * 100.0),
+                format!("{:.2}", c.max_link_busy_ms),
+                format!("{:.2}", c.efficiency),
+                c.verify_failures.to_string(),
+            ]
+        })
+        .collect();
+    s += &table(
+        &[
+            "nodes",
+            "ops",
+            "MiB",
+            "elapsed ms",
+            "agg MiB/s",
+            "remote",
+            "link busy ms",
+            "efficiency",
+            "verify_fail",
+        ],
+        &body,
+    );
+    let _ = writeln!(
+        s,
+        "  scaling at 4 nodes: {:.2} of ideal linear (gate >= 0.80)",
+        r.scaling_4n
+    );
+    let c = &r.chaos;
+    let _ = writeln!(
+        s,
+        "\nChaos — {} nodes, partition at 1/3, heal at 2/3:\n  \
+         ops {} (failed while dark: {})  acked writes {} ({} bytes)\n  \
+         lost acked bytes: {}  (gate == 0)\n  \
+         creates rerouted around dark node: {}/{}  breaker fast-fails: {}\n  \
+         migration aborts: {}  debris after heal: {}  structural violations: {}\n  \
+         partitions/heals: {}/{}",
+        c.nodes,
+        c.ops_attempted,
+        c.ops_failed,
+        c.acked_writes,
+        c.acked_bytes,
+        c.lost_bytes,
+        c.creates_rerouted,
+        c.creates_during_partition,
+        c.breaker_fast_fails,
+        c.migration_aborts,
+        c.debris_after_heal,
+        c.structural_violations,
+        c.partitions,
+        c.heals
+    );
+    s
+}

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use cluster::{ClusterMux, ClusterNode};
 use e4fs::{E4Fs, E4Options};
 use mux::{Mux, MuxOptions, TierConfig, TieringPolicy};
 use novafs::{NovaFs, NovaOptions};
@@ -128,6 +129,38 @@ pub fn build_mux_stack_cached(
         mux,
         nova,
     }
+}
+
+/// Builds an `n`-node [`cluster::ClusterMux`]: every node is a Mux over
+/// novafs on its own PM device with its own clock — the scale-out unit
+/// the paper's "Distributed Mux" section sketches. Links use `cfg.link`
+/// (datacenter by default).
+pub fn build_cluster(n: usize, pm_bytes: u64, cfg: cluster::ClusterConfig) -> Arc<ClusterMux> {
+    let nodes = (0..n)
+        .map(|i| {
+            let clock = VirtualClock::new();
+            let dev = device(pmem(), pm_bytes, &clock);
+            let nova = Arc::new(NovaFs::format(dev, NovaOptions::default()).unwrap());
+            let mux = Arc::new(Mux::new(
+                clock.clone(),
+                Arc::new(mux::LruPolicy::default_watermarks()) as Arc<dyn TieringPolicy>,
+                MuxOptions::default(),
+            ));
+            mux.add_tier(
+                TierConfig {
+                    name: format!("node{i}-pm"),
+                    class: DeviceClass::Pmem,
+                },
+                nova as Arc<dyn FileSystem>,
+            );
+            ClusterNode {
+                name: format!("node{i}"),
+                mux,
+                clock,
+            }
+        })
+        .collect();
+    ClusterMux::new(nodes, cfg)
 }
 
 /// Builds a Strata baseline over its own identical devices and clock.

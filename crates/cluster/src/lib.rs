@@ -1,0 +1,46 @@
+//! `cluster` — the scale-out Mux: one namespace over N nodes (paper §4,
+//! "Distributed Mux", grown past the single remote tier of `netfs`).
+//!
+//! The paper argues tiering belongs above native file systems — and that
+//! argument does not stop at one machine: a peer node's file system is
+//! just another tier with a link in front of it. This crate supplies the
+//! missing pieces:
+//!
+//! * [`ClusterMux`] — a [`tvfs::FileSystem`] frontend routing every VFS
+//!   op to the [`Mux`](mux::Mux) node that owns the entity. Shards are
+//!   placed by two-choice consistent hashing over a directory-affinity
+//!   key ([`ring`]), so a directory's files co-locate with its metadata.
+//! * [`rpc`] — the typed RPC seam: every inter-node message is priced by
+//!   `netfs::wire` and charged on a per-link occupancy ledger, with
+//!   propagation latency accounted separately (clients await the wire,
+//!   they don't spin a CPU on it).
+//! * Remote tiers — [`ClusterMux::mount_peer_tier`] attaches a peer's
+//!   exported file system as a local tier through [`netfs::RemoteFs`],
+//!   fenced by the mounting node's per-tier health breaker.
+//! * Cross-node migration — [`ClusterMux::migrate_to_node`] moves a file
+//!   journaled OCC-style: durable intent on the source, chunked copy,
+//!   attribute-stability validation, fsync-then-rename on the destination
+//!   *before* the routing flip, and heal-time debris sweeping when a
+//!   partition strands an abort.
+//! * Partition chaos — [`ClusterMux::partition_node`] severs every link
+//!   touching a node and opens the peer breaker; [`ClusterMux::heal_node`]
+//!   reverses it. Both leave `link_partitioned` / `link_healed` trace
+//!   events on the surviving nodes' rings.
+//!
+//! Time extends from N cores to N nodes: each node charges its own
+//! [`simdev::VirtualClock`] and each link its own occupancy ledger;
+//! cluster elapsed time over an interval is the max across all of them
+//! ([`ClusterMux::elapsed_since`]).
+
+#![warn(missing_docs)]
+
+mod cluster;
+pub mod ring;
+pub mod rpc;
+
+pub use cluster::{
+    set_thread_home, thread_home, ClusterConfig, ClusterInstant, ClusterMux, ClusterNode,
+    ClusterStats, ClusterStatsSnapshot, LinkReport, MountReport, GINO_BASE,
+};
+pub use ring::HashRing;
+pub use rpc::{PeerLink, RpcOp};

@@ -1,0 +1,508 @@
+//! Integration tests for the scale-out namespace: shard routing,
+//! directory affinity, remote-dispatch accounting, cross-node migration,
+//! remote tiers, and partition/heal chaos.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cluster::{set_thread_home, ClusterConfig, ClusterMux, ClusterNode};
+use mux::{structural_check, LruPolicy, Mux, MuxOptions, TierConfig, TierHealthState};
+use parking_lot::Mutex;
+use simdev::{DeviceClass, VirtualClock};
+use tvfs::memfs::MemFs;
+use tvfs::{
+    DirEntry, FileAttr, FileSystem, FileType, InodeNo, SetAttr, StatFs, VfsResult, ROOT_INO,
+};
+
+fn mem_node(i: usize) -> ClusterNode {
+    let clock = VirtualClock::new();
+    let mux = Arc::new(Mux::new(
+        clock.clone(),
+        Arc::new(LruPolicy::default_watermarks()),
+        MuxOptions::default(),
+    ));
+    mux.add_tier(
+        TierConfig {
+            name: format!("node{i}-pm"),
+            class: DeviceClass::Pmem,
+        },
+        Arc::new(MemFs::new(format!("node{i}-pm"), 1 << 26)) as Arc<dyn FileSystem>,
+    );
+    ClusterNode {
+        name: format!("node{i}"),
+        mux,
+        clock,
+    }
+}
+
+fn mem_cluster(n: usize) -> Arc<ClusterMux> {
+    let cfg = ClusterConfig {
+        copy_chunk: 32 * 1024,
+        ..ClusterConfig::default()
+    };
+    ClusterMux::new((0..n).map(mem_node).collect(), cfg)
+}
+
+fn pattern(gino: u64, off: u64, len: usize) -> Vec<u8> {
+    (0..len as u64)
+        .map(|i| (gino.wrapping_mul(31).wrapping_add(off + i) % 251) as u8)
+        .collect()
+}
+
+#[test]
+fn namespace_ops_route_across_shards() {
+    set_thread_home(0);
+    let c = mem_cluster(4);
+    let mut owners = std::collections::HashSet::new();
+    for i in 0..16 {
+        let f = c
+            .create(ROOT_INO, &format!("f{i}"), FileType::Regular, 0o644)
+            .unwrap();
+        assert!(f.ino >= cluster::GINO_BASE, "global inos live above local");
+        owners.insert(c.owner_of(f.ino).unwrap());
+        let data = pattern(f.ino, 0, 8192);
+        assert_eq!(c.write(f.ino, 0, &data).unwrap(), 8192);
+        let mut buf = vec![0u8; 8192];
+        assert_eq!(c.read(f.ino, 0, &mut buf).unwrap(), 8192);
+        assert_eq!(buf, data);
+        assert_eq!(c.getattr(f.ino).unwrap().size, 8192);
+        assert_eq!(c.lookup(ROOT_INO, &format!("f{i}")).unwrap().ino, f.ino);
+        c.fsync(f.ino).unwrap();
+    }
+    assert!(
+        owners.len() > 1,
+        "16 top-level files must spread across shards: {owners:?}"
+    );
+    let names: Vec<String> = c
+        .readdir(ROOT_INO)
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(names.len(), 16);
+    assert!(names.contains(&"f0".to_string()));
+    // Rename across directories is pure routing-table work.
+    c.rename(ROOT_INO, "f0", ROOT_INO, "f0-renamed").unwrap();
+    assert!(c.lookup(ROOT_INO, "f0").is_err());
+    let renamed = c.lookup(ROOT_INO, "f0-renamed").unwrap();
+    let mut buf = vec![0u8; 8192];
+    c.read(renamed.ino, 0, &mut buf).unwrap();
+    assert_eq!(buf, pattern(renamed.ino, 0, 8192));
+    c.unlink(ROOT_INO, "f0-renamed").unwrap();
+    assert!(c.lookup(ROOT_INO, "f0-renamed").is_err());
+    c.sync().unwrap();
+    assert!(c.statfs().unwrap().total_bytes >= 4 * (1 << 26) as u64);
+}
+
+#[test]
+fn directory_files_colocate_with_their_metadata() {
+    set_thread_home(0);
+    let c = mem_cluster(4);
+    for d in 0..8 {
+        let dir = c
+            .create(ROOT_INO, &format!("dir{d}"), FileType::Directory, 0o755)
+            .unwrap();
+        let dir_node = c.owner_of(dir.ino).unwrap();
+        for f in 0..4 {
+            let file = c
+                .create(dir.ino, &format!("file{f}"), FileType::Regular, 0o644)
+                .unwrap();
+            assert_eq!(
+                c.owner_of(file.ino).unwrap(),
+                dir_node,
+                "directory affinity: files live with their directory's shard"
+            );
+        }
+        let entries = c.readdir(dir.ino).unwrap();
+        assert_eq!(entries.len(), 4);
+        // Nested directories inherit the shard too.
+        let sub = c
+            .create(dir.ino, "sub", FileType::Directory, 0o755)
+            .unwrap();
+        assert_eq!(c.owner_of(sub.ino).unwrap(), dir_node);
+        c.unlink(dir.ino, "sub").unwrap();
+    }
+}
+
+#[test]
+fn remote_dispatch_counters_and_trace_events() {
+    set_thread_home(0);
+    let c = mem_cluster(4);
+    // Find a file owned by a node other than our home.
+    let mut victim = None;
+    for i in 0..16 {
+        let f = c
+            .create(ROOT_INO, &format!("r{i}"), FileType::Regular, 0o644)
+            .unwrap();
+        let owner = c.owner_of(f.ino).unwrap();
+        if owner != 0 {
+            victim = Some((f.ino, owner));
+            break;
+        }
+    }
+    let (gino, owner) = victim.expect("some file must land off-home");
+    let before = c.node(owner).mux.stats().snapshot();
+    let data = pattern(gino, 0, 4096);
+    c.write(gino, 0, &data).unwrap();
+    let mut buf = vec![0u8; 4096];
+    c.read(gino, 0, &mut buf).unwrap();
+    let after = c.node(owner).mux.stats().snapshot();
+    assert_eq!(after.remote_writes - before.remote_writes, 1);
+    assert_eq!(after.remote_reads - before.remote_reads, 1);
+    assert!(after.remote_bytes - before.remote_bytes >= 2 * 4096);
+    let labels: Vec<&str> = c
+        .node(owner)
+        .mux
+        .trace()
+        .events()
+        .iter()
+        .map(|e| e.kind.label())
+        .collect();
+    assert!(
+        labels.contains(&"remote_dispatch"),
+        "owner ring must carry remote_dispatch events: {labels:?}"
+    );
+    let snap = c.stats().snapshot();
+    assert!(snap.routed_remote >= 2);
+    // The wire carried priced messages in both directions.
+    let total: u64 = c.link_reports().iter().map(|l| l.stats.messages()).sum();
+    assert!(total >= 4, "request+response per remote call");
+}
+
+#[test]
+fn cross_node_migration_moves_data_and_ownership() {
+    set_thread_home(0);
+    let c = mem_cluster(3);
+    let f = c
+        .create(ROOT_INO, "mover", FileType::Regular, 0o644)
+        .unwrap();
+    let src = c.owner_of(f.ino).unwrap();
+    let dst = (src + 1) % 3;
+    let data = pattern(f.ino, 0, 200_000);
+    c.write(f.ino, 0, &data).unwrap();
+
+    let moved = c.migrate_to_node(f.ino, dst).unwrap();
+    assert_eq!(moved, 200_000);
+    assert_eq!(c.owner_of(f.ino).unwrap(), dst);
+    // Data survives the move and the namespace still resolves.
+    let mut buf = vec![0u8; 200_000];
+    assert_eq!(c.read(f.ino, 0, &mut buf).unwrap(), 200_000);
+    assert_eq!(buf, data);
+    assert_eq!(c.lookup(ROOT_INO, "mover").unwrap().ino, f.ino);
+    // No staging or intent debris anywhere; both nodes structurally sound.
+    assert!(c.scan_debris().is_empty(), "{:?}", c.scan_debris());
+    structural_check(&c.node(src).mux).unwrap();
+    structural_check(&c.node(dst).mux).unwrap();
+    let snap = c.stats().snapshot();
+    assert_eq!(snap.migrations, 1);
+    assert_eq!(snap.migration_aborts, 0);
+    // Writes keep working on the new owner.
+    c.write(f.ino, 0, &pattern(f.ino, 0, 100)).unwrap();
+    // Migrating to the current owner is a no-op.
+    assert_eq!(c.migrate_to_node(f.ino, dst).unwrap(), 0);
+}
+
+#[test]
+fn partition_fast_fails_routes_placement_and_heals() {
+    set_thread_home(0);
+    let c = mem_cluster(4);
+    let mut by_node: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); 4];
+    for i in 0..24 {
+        let f = c
+            .create(ROOT_INO, &format!("p{i}"), FileType::Regular, 0o644)
+            .unwrap();
+        let data = pattern(f.ino, 0, 4096);
+        c.write(f.ino, 0, &data).unwrap();
+        by_node[c.owner_of(f.ino).unwrap()].push((f.ino, data));
+    }
+    // Partition a node that owns files but is not our home.
+    let victim = (1..4).find(|&n| !by_node[n].is_empty()).unwrap();
+    c.partition_node(victim);
+    assert_eq!(
+        c.peer_health().state(victim as u32),
+        TierHealthState::Offline
+    );
+    // Ops against the dead node fail fast; the rest keep serving.
+    let (dead_ino, _) = by_node[victim][0].clone();
+    let mut buf = vec![0u8; 16];
+    assert!(c.read(dead_ino, 0, &mut buf).is_err());
+    for (n, files) in by_node.iter().enumerate() {
+        if n == victim {
+            continue;
+        }
+        for (gino, data) in files {
+            let mut buf = vec![0u8; data.len()];
+            c.read(*gino, 0, &mut buf).unwrap();
+            assert_eq!(&buf, data);
+        }
+    }
+    // New placements route around the dead candidate.
+    for i in 0..16 {
+        let f = c
+            .create(ROOT_INO, &format!("during{i}"), FileType::Regular, 0o644)
+            .unwrap();
+        assert_ne!(
+            c.owner_of(f.ino).unwrap(),
+            victim,
+            "placement must avoid an Offline peer"
+        );
+    }
+    assert!(c.stats().snapshot().breaker_fast_fails > 0);
+    // Heal: the dead node's data comes back byte-identical.
+    c.heal_node(victim);
+    assert_eq!(
+        c.peer_health().state(victim as u32),
+        TierHealthState::Healthy
+    );
+    for (gino, data) in &by_node[victim] {
+        let mut buf = vec![0u8; data.len()];
+        c.read(*gino, 0, &mut buf).unwrap();
+        assert_eq!(&buf, data, "acked bytes must survive partition+heal");
+    }
+    // Surviving nodes observed both transitions on their trace rings.
+    let labels: Vec<&str> = c
+        .node(0)
+        .mux
+        .trace()
+        .events()
+        .iter()
+        .map(|e| e.kind.label())
+        .collect();
+    assert!(labels.contains(&"link_partitioned"));
+    assert!(labels.contains(&"link_healed"));
+    let snap = c.stats().snapshot();
+    assert_eq!(snap.partitions, 1);
+    assert_eq!(snap.heals, 1);
+}
+
+/// A pass-through FS that fires a hook after `trigger` reads — used to
+/// partition the destination deterministically in the middle of a
+/// cross-node migration's copy loop.
+struct TripwireFs {
+    inner: MemFs,
+    reads: AtomicUsize,
+    trigger: AtomicUsize,
+    hook: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl FileSystem for TripwireFs {
+    fn fs_name(&self) -> &str {
+        self.inner.fs_name()
+    }
+    fn lookup(&self, parent: InodeNo, name: &str) -> VfsResult<FileAttr> {
+        self.inner.lookup(parent, name)
+    }
+    fn getattr(&self, ino: InodeNo) -> VfsResult<FileAttr> {
+        self.inner.getattr(ino)
+    }
+    fn setattr(&self, ino: InodeNo, set: &SetAttr) -> VfsResult<FileAttr> {
+        self.inner.setattr(ino, set)
+    }
+    fn create(
+        &self,
+        parent: InodeNo,
+        name: &str,
+        kind: FileType,
+        mode: u32,
+    ) -> VfsResult<FileAttr> {
+        self.inner.create(parent, name, kind, mode)
+    }
+    fn unlink(&self, parent: InodeNo, name: &str) -> VfsResult<()> {
+        self.inner.unlink(parent, name)
+    }
+    fn rename(&self, p: InodeNo, n: &str, np: InodeNo, nn: &str) -> VfsResult<()> {
+        self.inner.rename(p, n, np, nn)
+    }
+    fn readdir(&self, ino: InodeNo) -> VfsResult<Vec<DirEntry>> {
+        self.inner.readdir(ino)
+    }
+    fn read(&self, ino: InodeNo, off: u64, buf: &mut [u8]) -> VfsResult<usize> {
+        let n = self.inner.read(ino, off, buf)?;
+        if self.reads.fetch_add(1, Ordering::SeqCst) + 1 == self.trigger.load(Ordering::SeqCst) {
+            if let Some(hook) = self.hook.lock().take() {
+                hook();
+            }
+        }
+        Ok(n)
+    }
+    fn write(&self, ino: InodeNo, off: u64, data: &[u8]) -> VfsResult<usize> {
+        self.inner.write(ino, off, data)
+    }
+    fn punch_hole(&self, ino: InodeNo, off: u64, len: u64) -> VfsResult<()> {
+        self.inner.punch_hole(ino, off, len)
+    }
+    fn next_data(&self, ino: InodeNo, off: u64) -> VfsResult<Option<(u64, u64)>> {
+        self.inner.next_data(ino, off)
+    }
+    fn fsync(&self, ino: InodeNo) -> VfsResult<()> {
+        self.inner.fsync(ino)
+    }
+    fn sync(&self) -> VfsResult<()> {
+        self.inner.sync()
+    }
+    fn statfs(&self) -> VfsResult<StatFs> {
+        self.inner.statfs()
+    }
+}
+
+#[test]
+fn partition_mid_migration_aborts_without_debris() {
+    // Node 0 carries a TripwireFs that severs the destination node after
+    // a few migration pull-reads — the partition lands inside the copy
+    // loop, deterministically.
+    let clock0 = VirtualClock::new();
+    let mux0 = Arc::new(Mux::new(
+        clock0.clone(),
+        Arc::new(LruPolicy::default_watermarks()),
+        MuxOptions::default(),
+    ));
+    let trip = Arc::new(TripwireFs {
+        inner: MemFs::new("node0-pm", 1 << 26),
+        reads: AtomicUsize::new(0),
+        trigger: AtomicUsize::new(usize::MAX), // armed later
+        hook: Mutex::new(None),
+    });
+    mux0.add_tier(
+        TierConfig {
+            name: "node0-pm".into(),
+            class: DeviceClass::Pmem,
+        },
+        trip.clone() as Arc<dyn FileSystem>,
+    );
+    let node0 = ClusterNode {
+        name: "node0".into(),
+        mux: mux0,
+        clock: clock0,
+    };
+    let c = ClusterMux::new(
+        vec![node0, mem_node(1)],
+        ClusterConfig {
+            copy_chunk: 16 * 1024,
+            ..ClusterConfig::default()
+        },
+    );
+
+    set_thread_home(0);
+    // Place the file on node 0 (create directly until it lands there).
+    let mut mover = None;
+    for i in 0..16 {
+        let f = c
+            .create(ROOT_INO, &format!("m{i}"), FileType::Regular, 0o644)
+            .unwrap();
+        if c.owner_of(f.ino).unwrap() == 0 {
+            mover = Some(f.ino);
+            break;
+        }
+    }
+    let gino = mover.expect("some file lands on node 0");
+    let data = pattern(gino, 0, 128 * 1024); // 8 pull chunks
+    c.write(gino, 0, &data).unwrap();
+
+    // Arm the tripwire: after 3 more reads, node 1 partitions away.
+    trip.reads.store(0, Ordering::SeqCst);
+    trip.trigger.store(3, Ordering::SeqCst);
+    {
+        let c2 = Arc::clone(&c);
+        *trip.hook.lock() = Some(Box::new(move || c2.partition_node(1)));
+    }
+
+    let err = c.migrate_to_node(gino, 1);
+    assert!(err.is_err(), "migration into a partition must abort");
+    let snap = c.stats().snapshot();
+    assert_eq!(snap.migration_aborts, 1);
+    assert_eq!(snap.migrations, 0);
+
+    // The OCC abort path left no debris on the reachable side, and the
+    // unreachable side's staging orphan is swept on heal.
+    c.heal_node(1);
+    assert!(c.scan_debris().is_empty(), "{:?}", c.scan_debris());
+    assert!(c.stats().snapshot().orphans_cleaned >= 1);
+
+    // Crash-oracle structural invariants hold on both nodes, ownership
+    // never flipped, and the source copy is byte-identical.
+    structural_check(&c.node(0).mux).unwrap();
+    structural_check(&c.node(1).mux).unwrap();
+    assert_eq!(c.owner_of(gino).unwrap(), 0);
+    let mut buf = vec![0u8; data.len()];
+    c.read(gino, 0, &mut buf).unwrap();
+    assert_eq!(buf, data);
+
+    // And after heal, the same migration goes through cleanly.
+    assert_eq!(c.migrate_to_node(gino, 1).unwrap(), data.len() as u64);
+    assert_eq!(c.owner_of(gino).unwrap(), 1);
+    assert!(c.scan_debris().is_empty());
+}
+
+#[test]
+fn mounted_peer_tier_fences_on_partition_and_resumes_on_heal() {
+    set_thread_home(0);
+    let c = mem_cluster(2);
+    // Node 1 exports a capacity FS; node 0 mounts it as its cold tier.
+    let export = Arc::new(MemFs::new("node1-export", 1 << 26));
+    let tier = c.mount_peer_tier(
+        0,
+        1,
+        DeviceClass::Hdd,
+        export.clone() as Arc<dyn FileSystem>,
+    );
+
+    let mux0 = &c.node(0).mux;
+    let f = mux0
+        .create(ROOT_INO, "archive-me", FileType::Regular, 0o644)
+        .unwrap();
+    mux0.write(f.ino, 0, &vec![7u8; 64 * 1024]).unwrap();
+    mux0.migrate_file(f.ino, tier).unwrap();
+    assert!(export.lookup(ROOT_INO, "archive-me").unwrap().blocks_bytes > 0);
+    let mut buf = vec![0u8; 64 * 1024];
+    mux0.read(f.ino, 0, &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == 7));
+
+    // Partitioning the peer severs the mounted link too: migrations onto
+    // the tier fail and the breaker starts fencing it.
+    c.partition_node(1);
+    let g = mux0
+        .create(ROOT_INO, "stuck", FileType::Regular, 0o644)
+        .unwrap();
+    mux0.write(g.ino, 0, &vec![9u8; 16 * 1024]).unwrap();
+    assert!(mux0.migrate_file(g.ino, tier).is_err());
+    assert_ne!(mux0.tier_health(tier).state, TierHealthState::Healthy);
+    // The mounted link counted what the partition dropped.
+    let mounts = c.mount_reports();
+    assert_eq!(mounts.len(), 1);
+    assert!(mounts[0].stats.dropped_messages > 0);
+
+    // Heal: link reopens, breaker resets, the demotion resumes.
+    c.heal_node(1);
+    assert_eq!(mux0.tier_health(tier).state, TierHealthState::Healthy);
+    mux0.migrate_file(g.ino, tier).unwrap();
+    assert!(export.lookup(ROOT_INO, "stuck").unwrap().blocks_bytes > 0);
+}
+
+#[test]
+fn cluster_elapsed_is_max_over_node_and_link_ledgers() {
+    set_thread_home(0);
+    let c = mem_cluster(2);
+    let t0 = c.instant();
+    // Drive both nodes; elapsed must be the max ledger delta, strictly
+    // less than the sum (the nodes worked in parallel virtual time).
+    let a = c.create(ROOT_INO, "a", FileType::Regular, 0o644).unwrap();
+    let b = c.create(ROOT_INO, "b", FileType::Regular, 0o644).unwrap();
+    for _ in 0..50 {
+        c.write(a.ino, 0, &[1u8; 4096]).unwrap();
+        c.write(b.ino, 0, &[2u8; 4096]).unwrap();
+    }
+    let now = c.instant();
+    let deltas: Vec<u64> = now
+        .node_ns
+        .iter()
+        .zip(&t0.node_ns)
+        .map(|(x, y)| x - y)
+        .collect();
+    let elapsed = c.elapsed_since(&t0);
+    let sum: u64 = deltas.iter().sum();
+    let max = *deltas.iter().max().unwrap();
+    assert!(elapsed >= max);
+    if c.owner_of(a.ino).unwrap() != c.owner_of(b.ino).unwrap() {
+        assert!(elapsed < sum, "parallel nodes must not serialize");
+    }
+}

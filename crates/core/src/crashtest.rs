@@ -267,7 +267,11 @@ fn read_all(mux: &Mux, ino: InodeNo, size: u64) -> VfsResult<Vec<u8>> {
 /// only after a durable CRC-verified copy, and a retirement journals
 /// before the first punch — so a crash may lose a whole replica but
 /// never leave a torn or shadowing one).
-fn structural_check(mux: &Mux) -> Result<(), String> {
+///
+/// Public so other oracles (e.g. the cluster partition-chaos tests) can
+/// assert the same invariants on each node's Mux after an aborted
+/// cross-node migration.
+pub fn structural_check(mux: &Mux) -> Result<(), String> {
     let mut files: Vec<(u64, Arc<crate::file::MuxFile>)> = Vec::new();
     mux.files.for_each(|&i, f| files.push((i, Arc::clone(f))));
     files.sort_unstable_by_key(|e| e.0);

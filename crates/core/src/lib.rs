@@ -58,7 +58,9 @@ pub mod types;
 pub use autotier::{AutotierConfig, EpochAction, EpochPlan, EpochReport};
 pub use blt::BlockLookupTable;
 pub use cache::{CacheConfig, CacheController};
-pub use crashtest::{run_matrix, standard_scenarios, CrashMatrix, Scenario, TierDef};
+pub use crashtest::{
+    run_matrix, standard_scenarios, structural_check, CrashMatrix, Scenario, TierDef,
+};
 pub use fastpath::FastPath;
 pub use health::{HealthConfig, HealthRegistry, HealthSnapshot, TierHealthState};
 pub use hist::{

@@ -102,6 +102,14 @@ pub struct MuxStats {
     /// Candidate files the planner skipped because their tenant was
     /// plan-blocked (over fair share on a saturated destination tier).
     pub qos_plan_exclusions: AtomicU64,
+    /// Read operations that arrived over a cluster link — this node served
+    /// them on behalf of a remote peer (see `crates/cluster`).
+    pub remote_reads: AtomicU64,
+    /// Write operations that arrived over a cluster link.
+    pub remote_writes: AtomicU64,
+    /// Payload bytes moved for remote peers (read responses + write
+    /// requests), excluding RPC framing.
+    pub remote_bytes: AtomicU64,
     /// User read operations per tenant slot (see
     /// [`crate::sched::tenant_slot`]).
     pub tenant_reads: [AtomicU64; MAX_TENANTS],
@@ -186,6 +194,12 @@ pub struct MuxStatsSnapshot {
     pub qos_tenant_throttled_bytes: u64,
     /// Planner candidates skipped because their tenant was plan-blocked.
     pub qos_plan_exclusions: u64,
+    /// Read operations served on behalf of a remote peer.
+    pub remote_reads: u64,
+    /// Write operations served on behalf of a remote peer.
+    pub remote_writes: u64,
+    /// Payload bytes moved for remote peers.
+    pub remote_bytes: u64,
     /// User read operations per tenant slot.
     pub tenant_reads: [u64; MAX_TENANTS],
     /// User write operations per tenant slot.
@@ -243,6 +257,9 @@ impl MuxStats {
             qos_sheds: self.qos_sheds.load(Ordering::Relaxed),
             qos_tenant_throttled_bytes: self.qos_tenant_throttled_bytes.load(Ordering::Relaxed),
             qos_plan_exclusions: self.qos_plan_exclusions.load(Ordering::Relaxed),
+            remote_reads: self.remote_reads.load(Ordering::Relaxed),
+            remote_writes: self.remote_writes.load(Ordering::Relaxed),
+            remote_bytes: self.remote_bytes.load(Ordering::Relaxed),
             tenant_reads: std::array::from_fn(|i| self.tenant_reads[i].load(Ordering::Relaxed)),
             tenant_writes: std::array::from_fn(|i| self.tenant_writes[i].load(Ordering::Relaxed)),
         }
@@ -343,6 +360,18 @@ mod tests {
         assert_eq!(snap.tenant_writes[1], 5);
         assert_eq!(snap.tenant_reads[MAX_TENANTS - 1], 2);
         assert_eq!(snap.tenant_reads[0], 0);
+    }
+
+    #[test]
+    fn remote_counters_snapshot() {
+        let s = MuxStats::default();
+        MuxStats::add(&s.remote_reads, 12);
+        MuxStats::add(&s.remote_writes, 3);
+        MuxStats::add(&s.remote_bytes, 15 * 4096);
+        let snap = s.snapshot();
+        assert_eq!(snap.remote_reads, 12);
+        assert_eq!(snap.remote_writes, 3);
+        assert_eq!(snap.remote_bytes, 15 * 4096);
     }
 
     #[test]

@@ -190,6 +190,20 @@ pub enum TraceEventKind {
         /// Tenant whose bucket ran dry.
         tenant: u32,
     },
+    /// A cluster link to a peer node went down (injected partition or a
+    /// breaker decision). The event's `tier` field carries the *peer node
+    /// id*, not a tier id.
+    LinkPartitioned,
+    /// A cluster link to a peer node came back; traffic may resume. The
+    /// event's `tier` field carries the peer node id.
+    LinkHealed,
+    /// A VFS op arrived over a cluster link and was executed by this node
+    /// on behalf of a peer. The event's `tier` field carries the
+    /// *requesting* node id; ino/off/len describe the local operation.
+    RemoteDispatch {
+        /// Operation class of the remote call.
+        op: OpKind,
+    },
 }
 
 impl TraceEventKind {
@@ -223,6 +237,9 @@ impl TraceEventKind {
             TraceEventKind::QosDeferred { .. } => "qos_deferred",
             TraceEventKind::QosShed { .. } => "qos_shed",
             TraceEventKind::QosThrottled { .. } => "qos_throttled",
+            TraceEventKind::LinkPartitioned => "link_partitioned",
+            TraceEventKind::LinkHealed => "link_healed",
+            TraceEventKind::RemoteDispatch { .. } => "remote_dispatch",
         }
     }
 }

@@ -26,7 +26,7 @@
 
 mod link;
 mod remote;
-mod wire;
+pub mod wire;
 
-pub use link::{LinkProfile, SimLink};
+pub use link::{LinkDir, LinkProfile, LinkStats, SimLink};
 pub use remote::RemoteFs;

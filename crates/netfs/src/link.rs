@@ -36,7 +36,53 @@ impl LinkProfile {
 
     /// Service time of one message of `bytes`.
     pub fn message_ns(&self, bytes: u64) -> u64 {
-        self.one_way_ns + bytes.saturating_mul(1_000_000_000) / self.bandwidth_bps.max(1)
+        self.one_way_ns + self.serialization_ns(bytes)
+    }
+
+    /// Time the wire itself is occupied by `bytes` (bandwidth term only —
+    /// propagation latency does not consume link capacity).
+    pub fn serialization_ns(&self, bytes: u64) -> u64 {
+        bytes.saturating_mul(1_000_000_000) / self.bandwidth_bps.max(1)
+    }
+}
+
+/// Direction of one message on a bidirectional link, seen from the
+/// initiator: requests flow out, responses flow back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDir {
+    /// Initiator → responder.
+    Request,
+    /// Responder → initiator.
+    Response,
+}
+
+/// Counters for one [`SimLink`], split by direction, plus the traffic a
+/// partition dropped on the floor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages sent initiator → responder.
+    pub req_messages: u64,
+    /// Bytes sent initiator → responder.
+    pub req_bytes: u64,
+    /// Messages sent responder → initiator.
+    pub resp_messages: u64,
+    /// Bytes sent responder → initiator.
+    pub resp_bytes: u64,
+    /// Messages refused because the link was partitioned.
+    pub dropped_messages: u64,
+    /// Bytes refused because the link was partitioned.
+    pub dropped_bytes: u64,
+}
+
+impl LinkStats {
+    /// Total messages delivered in both directions.
+    pub fn messages(&self) -> u64 {
+        self.req_messages + self.resp_messages
+    }
+
+    /// Total bytes delivered in both directions.
+    pub fn bytes(&self) -> u64 {
+        self.req_bytes + self.resp_bytes
     }
 }
 
@@ -50,8 +96,12 @@ struct Shared {
     profile: LinkProfile,
     clock: VirtualClock,
     partitioned: AtomicBool,
-    messages: AtomicU64,
-    bytes: AtomicU64,
+    req_messages: AtomicU64,
+    req_bytes: AtomicU64,
+    resp_messages: AtomicU64,
+    resp_bytes: AtomicU64,
+    dropped_messages: AtomicU64,
+    dropped_bytes: AtomicU64,
 }
 
 impl SimLink {
@@ -62,8 +112,12 @@ impl SimLink {
                 profile,
                 clock,
                 partitioned: AtomicBool::new(false),
-                messages: AtomicU64::new(0),
-                bytes: AtomicU64::new(0),
+                req_messages: AtomicU64::new(0),
+                req_bytes: AtomicU64::new(0),
+                resp_messages: AtomicU64::new(0),
+                resp_bytes: AtomicU64::new(0),
+                dropped_messages: AtomicU64::new(0),
+                dropped_bytes: AtomicU64::new(0),
             }),
         }
     }
@@ -73,24 +127,48 @@ impl SimLink {
         self.shared.partitioned.store(p, Ordering::Release);
     }
 
-    /// `(messages, bytes)` transferred so far.
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.shared.messages.load(Ordering::Relaxed),
-            self.shared.bytes.load(Ordering::Relaxed),
-        )
+    /// Whether the link is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.shared.partitioned.load(Ordering::Acquire)
     }
 
-    /// Charges one message of `bytes` in one direction.
-    pub fn transfer(&self, bytes: u64) -> VfsResult<()> {
-        if self.shared.partitioned.load(Ordering::Acquire) {
+    /// The link's performance model.
+    pub fn profile(&self) -> &LinkProfile {
+        &self.shared.profile
+    }
+
+    /// Per-direction message/byte counters plus partition drops.
+    pub fn stats(&self) -> LinkStats {
+        let s = &self.shared;
+        LinkStats {
+            req_messages: s.req_messages.load(Ordering::Relaxed),
+            req_bytes: s.req_bytes.load(Ordering::Relaxed),
+            resp_messages: s.resp_messages.load(Ordering::Relaxed),
+            resp_bytes: s.resp_bytes.load(Ordering::Relaxed),
+            dropped_messages: s.dropped_messages.load(Ordering::Relaxed),
+            dropped_bytes: s.dropped_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Charges one message of `bytes` in direction `dir`.
+    pub fn transfer(&self, dir: LinkDir, bytes: u64) -> VfsResult<()> {
+        let s = &self.shared;
+        if s.partitioned.load(Ordering::Acquire) {
+            s.dropped_messages.fetch_add(1, Ordering::Relaxed);
+            s.dropped_bytes.fetch_add(bytes, Ordering::Relaxed);
             return Err(VfsError::Io("network partition".into()));
         }
-        self.shared
-            .clock
-            .advance(self.shared.profile.message_ns(bytes));
-        self.shared.messages.fetch_add(1, Ordering::Relaxed);
-        self.shared.bytes.fetch_add(bytes, Ordering::Relaxed);
+        s.clock.advance(s.profile.message_ns(bytes));
+        match dir {
+            LinkDir::Request => {
+                s.req_messages.fetch_add(1, Ordering::Relaxed);
+                s.req_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+            LinkDir::Response => {
+                s.resp_messages.fetch_add(1, Ordering::Relaxed);
+                s.resp_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
         Ok(())
     }
 }
@@ -107,10 +185,11 @@ mod tests {
         };
         assert_eq!(p.message_ns(0), 1000);
         assert_eq!(p.message_ns(1_000_000), 1000 + 1_000_000);
+        assert_eq!(p.serialization_ns(1_000_000), 1_000_000);
     }
 
     #[test]
-    fn transfer_charges_clock_and_counts() {
+    fn transfer_charges_clock_and_counts_per_direction() {
         let clock = VirtualClock::new();
         let l = SimLink::new(
             LinkProfile {
@@ -119,18 +198,61 @@ mod tests {
             },
             clock.clone(),
         );
-        l.transfer(1000).unwrap();
+        l.transfer(LinkDir::Request, 1000).unwrap();
         assert_eq!(clock.now_ns(), 500 + 1000);
-        assert_eq!(l.stats(), (1, 1000));
+        l.transfer(LinkDir::Response, 200).unwrap();
+        let st = l.stats();
+        assert_eq!((st.req_messages, st.req_bytes), (1, 1000));
+        assert_eq!((st.resp_messages, st.resp_bytes), (1, 200));
+        assert_eq!(st.messages(), 2);
+        assert_eq!(st.bytes(), 1200);
+        assert_eq!(st.dropped_messages, 0);
     }
 
     #[test]
-    fn partition_blocks_traffic() {
+    fn partition_blocks_traffic_and_counts_drops() {
         let l = SimLink::new(LinkProfile::datacenter(), VirtualClock::new());
+        assert!(!l.is_partitioned());
         l.set_partitioned(true);
-        assert!(l.transfer(1).is_err());
+        assert!(l.is_partitioned());
+        assert!(l.transfer(LinkDir::Request, 64).is_err());
+        assert!(l.transfer(LinkDir::Response, 36).is_err());
+        let st = l.stats();
+        assert_eq!(st.dropped_messages, 2);
+        assert_eq!(st.dropped_bytes, 100);
+        assert_eq!(st.messages(), 0);
         l.set_partitioned(false);
-        assert!(l.transfer(1).is_ok());
+        assert!(l.transfer(LinkDir::Request, 1).is_ok());
+    }
+
+    #[test]
+    fn partition_then_heal_resumes_delivery_with_history_intact() {
+        // The satellite-3 transition test: traffic → partition (drops
+        // accumulate, clock frozen) → heal (delivery resumes, drop
+        // counters keep their history).
+        let clock = VirtualClock::new();
+        let l = SimLink::new(LinkProfile::datacenter(), clock.clone());
+        l.transfer(LinkDir::Request, 4096).unwrap();
+        let healthy_ns = clock.now_ns();
+        let before = l.stats();
+        assert_eq!(before.req_messages, 1);
+
+        l.set_partitioned(true);
+        for _ in 0..5 {
+            assert!(l.transfer(LinkDir::Request, 4096).is_err());
+        }
+        // A partitioned link never advances virtual time.
+        assert_eq!(clock.now_ns(), healthy_ns);
+        assert_eq!(l.stats().dropped_messages, 5);
+        assert_eq!(l.stats().dropped_bytes, 5 * 4096);
+
+        l.set_partitioned(false);
+        l.transfer(LinkDir::Response, 128).unwrap();
+        let after = l.stats();
+        assert_eq!(after.req_messages, 1);
+        assert_eq!(after.resp_messages, 1);
+        assert_eq!(after.dropped_messages, 5, "heal must not clear history");
+        assert!(clock.now_ns() > healthy_ns);
     }
 
     #[test]

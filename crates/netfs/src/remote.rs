@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use tvfs::{DirEntry, FileAttr, FileSystem, FileType, InodeNo, SetAttr, StatFs, VfsResult};
 
-use crate::link::SimLink;
+use crate::link::{LinkDir, SimLink};
 use crate::wire;
 
 /// A [`FileSystem`] proxy that forwards every call over a [`SimLink`] to a
@@ -43,13 +43,15 @@ impl RemoteFs {
         resp_fixed: u64,
         f: impl FnOnce() -> VfsResult<R>,
     ) -> VfsResult<(R, u64)> {
-        self.link.transfer(wire::request(req_fixed, req_payload))?;
+        self.link
+            .transfer(LinkDir::Request, wire::request(req_fixed, req_payload))?;
         let out = f()?;
         Ok((out, resp_fixed))
     }
 
     fn finish<R>(&self, out: (R, u64), resp_payload: u64) -> VfsResult<R> {
-        self.link.transfer(wire::response(out.1, resp_payload))?;
+        self.link
+            .transfer(LinkDir::Response, wire::response(out.1, resp_payload))?;
         Ok(out.0)
     }
 }
@@ -194,10 +196,13 @@ mod tests {
     fn every_call_pays_two_messages() {
         let clock = VirtualClock::new();
         let (r, _) = remote(&clock);
-        let (m0, _) = r.link().stats();
+        let s0 = r.link().stats();
         r.getattr(ROOT_INO).unwrap();
-        let (m1, _) = r.link().stats();
-        assert_eq!(m1 - m0, 2);
+        let s1 = r.link().stats();
+        assert_eq!(s1.messages() - s0.messages(), 2);
+        // One in each direction.
+        assert_eq!(s1.req_messages - s0.req_messages, 1);
+        assert_eq!(s1.resp_messages - s0.resp_messages, 1);
     }
 
     #[test]
@@ -205,16 +210,21 @@ mod tests {
         let clock = VirtualClock::new();
         let (r, _) = remote(&clock);
         let f = r.create(ROOT_INO, "f", FileType::Regular, 0o644).unwrap();
-        let (_, b0) = r.link().stats();
+        let s0 = r.link().stats();
         r.write(f.ino, 0, &vec![1u8; 1 << 20]).unwrap();
-        let (_, b1) = r.link().stats();
-        assert!(b1 - b0 >= 1 << 20, "wire bytes must include the payload");
+        let s1 = r.link().stats();
+        assert!(
+            s1.req_bytes - s0.req_bytes >= 1 << 20,
+            "write payload rides the request"
+        );
         // Reads charge the payload on the response.
-        let (_, b1) = r.link().stats();
         let mut buf = vec![0u8; 1 << 20];
         r.read(f.ino, 0, &mut buf).unwrap();
-        let (_, b2) = r.link().stats();
-        assert!(b2 - b1 >= 1 << 20);
+        let s2 = r.link().stats();
+        assert!(
+            s2.resp_bytes - s1.resp_bytes >= 1 << 20,
+            "read payload rides the response"
+        );
     }
 
     #[test]

@@ -38,4 +38,32 @@ mod tests {
         assert_eq!(response(ATTR, 0), HEADER + ATTR);
         assert_eq!(name("abc"), 5);
     }
+
+    #[test]
+    fn every_message_pays_the_header() {
+        assert_eq!(request(0, 0), HEADER);
+        assert_eq!(response(0, 0), HEADER);
+    }
+
+    #[test]
+    fn request_and_response_cost_fixed_plus_payload_exactly() {
+        // Wire cost is purely additive: header + fixed + payload, no
+        // hidden rounding — the link model depends on this for charging.
+        for fixed in [0u64, 8, 24, ATTR] {
+            for payload in [0u64, 1, 4096, 1 << 20] {
+                assert_eq!(request(fixed, payload), HEADER + fixed + payload);
+                assert_eq!(response(fixed, payload), HEADER + fixed + payload);
+            }
+        }
+    }
+
+    #[test]
+    fn name_cost_is_length_prefixed() {
+        assert_eq!(name(""), 2);
+        assert_eq!(name("x"), 3);
+        let long = "d".repeat(255);
+        assert_eq!(name(&long), 2 + 255);
+        // Multi-byte UTF-8 charges encoded bytes, not chars.
+        assert_eq!(name("é"), 2 + 2);
+    }
 }

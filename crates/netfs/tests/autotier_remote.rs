@@ -78,7 +78,7 @@ fn cold_data_demotes_to_the_remote_tier() {
         .unwrap()
         .iter()
         .all(|&(_, _, t)| t == 0));
-    let (msgs_before, _) = st.remote.link().stats();
+    let msgs_before = st.remote.link().stats().messages();
 
     // Left untouched, the write heat decays below the cold floor within a
     // few epochs and the planner sinks the file to the remote tier.
@@ -107,7 +107,7 @@ fn cold_data_demotes_to_the_remote_tier() {
         "demotions: {}",
         stats.auto_demotions
     );
-    let (msgs_after, _) = st.remote.link().stats();
+    let msgs_after = st.remote.link().stats().messages();
     assert!(
         msgs_after > msgs_before,
         "demotion must actually cross the simulated link"

@@ -107,7 +107,8 @@ fn main() {
 
     let t0 = clock.now_ns();
     mux_a.migrate_file(f.ino, remote_tier).unwrap();
-    let (msgs, bytes) = link.stats();
+    let st = link.stats();
+    let (msgs, bytes) = (st.messages(), st.bytes());
     println!(
         "archived to machine B in {:.2} ms (virtual): {} RPC messages, {:.1} MiB on the wire",
         (clock.now_ns() - t0) as f64 / 1e6,

@@ -9,6 +9,7 @@ Usage:
   check_bench.py --read-overhead <current read_overhead.json> <baseline read_overhead.json>
   check_bench.py --mirror <current mirror.json> <baseline mirror.json>
   check_bench.py --qos <current qos.json> <baseline qos.json>
+  check_bench.py --cluster <current cluster.json> <baseline cluster.json>
   check_bench.py --all [baseline-ref]
 
 `--all` runs every gate in one process against freshly regenerated
@@ -81,6 +82,17 @@ QoS mode fails (exit 1) if:
   * either blowup regressed by more than REGRESSION_TOLERANCE against
     the committed baseline.
 
+Cluster mode fails (exit 1) if:
+  * aggregate throughput at 4 nodes is below CLUSTER_MIN_SCALING_4N of
+    ideal linear scaling from the 1-node row, or
+  * any scaling row reports pattern-verification failures, or
+  * the partition/heal chaos arm lost any acked byte, left migration
+    debris after heal, or failed a structural check, or
+  * the chaos arm never exercised the machinery (no failed ops while
+    dark, no breaker fast-fails, or no migration abort), or
+  * 4-node efficiency or 1-node throughput regressed by more than
+    REGRESSION_TOLERANCE against the committed baseline.
+
 All numbers are virtual-time (deterministic), so the gates are safe on
 shared CI runners: a failure means the code got worse, not the machine.
 """
@@ -105,6 +117,7 @@ QOS_MAX_BLOWUP = 2.0  # victim p99 with QoS on, relative to antagonist-free
 QOS_MIN_UNFENCED_BLOWUP = 3.0  # unfenced starvation must be material
 QOS_MIN_VICTIM_PM = 0.9  # QoS arm: victim blocks that must reach PM
 QOS_MAX_UNFENCED_VICTIM_PM = 0.1  # unfenced arm: victim blocks allowed on PM
+CLUSTER_MIN_SCALING_4N = 0.8  # 4-node aggregate throughput vs ideal linear
 
 
 class GateInputError(Exception):
@@ -543,6 +556,109 @@ def qos_gate(current_path, baseline_path):
     return 0
 
 
+def cluster_gate(current_path, baseline_path):
+    cur = load_json(current_path)
+    base = load_json(baseline_path)
+
+    failures = []
+
+    if cur["scaling_4n"] < CLUSTER_MIN_SCALING_4N:
+        failures.append(
+            f"4-node scaling {cur['scaling_4n']:.2f} < "
+            f"{CLUSTER_MIN_SCALING_4N} of ideal linear"
+        )
+    else:
+        print(
+            f"ok scaling: {cur['scaling_4n']:.2f} of ideal linear at 4 nodes "
+            f"(floor {CLUSTER_MIN_SCALING_4N})"
+        )
+
+    for row in cur["rows"]:
+        if row.get("verify_failures", 0):
+            failures.append(
+                f"{row['nodes']}-node row: {row['verify_failures']} "
+                f"pattern-verification failures"
+            )
+
+    chaos = cur["chaos"]
+    if chaos["lost_bytes"]:
+        failures.append(
+            f"chaos arm LOST ACKED DATA: {chaos['lost_bytes']} of "
+            f"{chaos['acked_bytes']} acked bytes unreadable after heal"
+        )
+    else:
+        print(
+            f"ok chaos oracle: {chaos['acked_bytes']} acked bytes, "
+            f"0 lost through partition+heal"
+        )
+    if chaos["debris_after_heal"]:
+        failures.append(
+            f"chaos arm left {chaos['debris_after_heal']} migration "
+            f"staging/intent orphans after heal"
+        )
+    if chaos["structural_violations"]:
+        failures.append(
+            f"chaos arm: {chaos['structural_violations']} nodes failed "
+            f"the structural check after heal"
+        )
+    if chaos["creates_rerouted"] != chaos["creates_during_partition"]:
+        failures.append(
+            f"placement sent {chaos['creates_during_partition'] - chaos['creates_rerouted']} "
+            f"creates to the dark node"
+        )
+
+    # The arm must demonstrably exercise the machinery, or the oracle is
+    # vacuous: ops must fail while a node is dark, the breaker must fast-
+    # fail, and the mid-partition migration must abort.
+    for field, label in [
+        ("ops_failed", "no ops failed while a node was dark"),
+        ("breaker_fast_fails", "peer breaker never fast-failed"),
+        ("migration_aborts", "mid-partition migration never aborted"),
+    ]:
+        if not chaos[field]:
+            failures.append(f"chaos arm vacuous: {label}")
+    if not failures:
+        print(
+            f"ok chaos coverage: {chaos['ops_failed']} dark-op failures, "
+            f"{chaos['breaker_fast_fails']} fast-fails, "
+            f"{chaos['migration_aborts']} migration aborts, "
+            f"{chaos['creates_rerouted']}/{chaos['creates_during_partition']} "
+            f"creates rerouted"
+        )
+
+    # Regressions against the committed baseline run.
+    floor = base["scaling_4n"] * (1.0 - REGRESSION_TOLERANCE)
+    if cur["scaling_4n"] < floor:
+        failures.append(
+            f"4-node scaling regressed: {cur['scaling_4n']:.2f} vs "
+            f"baseline {base['scaling_4n']:.2f}"
+        )
+    cur_1n = next((r for r in cur["rows"] if r["nodes"] == 1), None)
+    base_1n = next((r for r in base["rows"] if r["nodes"] == 1), None)
+    if cur_1n is None:
+        failures.append("no 1-node row in current results")
+    elif base_1n is not None:
+        floor = base_1n["agg_mib_s"] * (1.0 - REGRESSION_TOLERANCE)
+        if cur_1n["agg_mib_s"] < floor:
+            failures.append(
+                f"1-node throughput regressed: {cur_1n['agg_mib_s']:.1f} "
+                f"MiB/s vs baseline {base_1n['agg_mib_s']:.1f}"
+            )
+        else:
+            print(
+                f"ok 1-node throughput: {cur_1n['agg_mib_s']:.1f} MiB/s "
+                f"(baseline {base_1n['agg_mib_s']:.1f})"
+            )
+
+    if failures:
+        print("\nCLUSTER GATE FAILED:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print("cluster gate passed")
+    return 0
+
+
 def key(cell):
     return (cell["config"], cell["mix"], cell["threads"])
 
@@ -613,6 +729,7 @@ ALL_GATES = [
     ),
     ("mirror", mirror_gate, "bench_results/mirror.json", "mirror"),
     ("qos", qos_gate, "bench_results/qos.json", "qos"),
+    ("cluster", cluster_gate, "bench_results/cluster.json", "cluster"),
 ]
 
 
@@ -654,6 +771,7 @@ MODES = {
     "--read-overhead": read_overhead_gate,
     "--mirror": mirror_gate,
     "--qos": qos_gate,
+    "--cluster": cluster_gate,
 }
 
 
